@@ -1,0 +1,325 @@
+(* Command-line interface to the tiered-pricing reproduction.
+
+   tiered-cli list
+   tiered-cli run [EXPERIMENT...] [--csv DIR]
+   tiered-cli dataset NETWORK [--netflow-sample N]
+   tiered-cli evaluate NETWORK [--demand ced|logit] [--cost MODEL]
+       [--theta T] [--bundles B] [--strategy S] ...
+   tiered-cli sweep NETWORK --param alpha|p0|s0 [--strategy S] *)
+
+open Cmdliner
+open Tiered
+
+let ppf = Format.std_formatter
+
+(* --- shared argument parsers -------------------------------------------- *)
+
+let network_conv =
+  let parse s =
+    if List.mem s Netsim.Presets.all_names then Ok s
+    else Error (`Msg ("unknown network: " ^ s ^ " (expected eu_isp, cdn or internet2)"))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let strategy_conv =
+  let parse s =
+    match Strategy.of_name s with
+    | strategy -> Ok strategy
+    | exception Invalid_argument msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Strategy.name s))
+
+let network_arg =
+  Arg.(required & pos 0 (some network_conv) None & info [] ~docv:"NETWORK")
+
+let demand_arg =
+  Arg.(value
+       & opt (enum [ ("ced", `Ced); ("logit", `Logit); ("linear", `Linear) ]) `Ced
+       & info [ "demand" ] ~docv:"MODEL" ~doc:"Demand model: ced, logit or linear.")
+
+let cost_arg =
+  Arg.(value
+       & opt (enum [ ("linear", `Linear); ("concave", `Concave); ("regional", `Regional);
+                     ("destination-type", `Destination_type) ])
+           `Linear
+       & info [ "cost" ] ~docv:"MODEL" ~doc:"Cost model.")
+
+let theta_arg =
+  Arg.(value & opt (some float) None
+       & info [ "theta" ] ~docv:"T" ~doc:"Cost-model tuning parameter.")
+
+let alpha_arg =
+  Arg.(value & opt float Experiment.Defaults.alpha
+       & info [ "alpha" ] ~docv:"A" ~doc:"Price sensitivity.")
+
+let p0_arg =
+  Arg.(value & opt float Experiment.Defaults.p0
+       & info [ "p0" ] ~docv:"P" ~doc:"Observed blended rate, \\$/Mbps/month.")
+
+let s0_arg =
+  Arg.(value & opt float Experiment.Defaults.s0
+       & info [ "s0" ] ~docv:"S" ~doc:"Logit non-participating share.")
+
+let strategy_arg =
+  Arg.(value & opt strategy_conv Strategy.Optimal
+       & info [ "strategy" ] ~docv:"S"
+           ~doc:"Bundling strategy (optimal, profit-weighted, cost-weighted, \
+                 demand-weighted, profit-weighted-classes, cost-division, \
+                 index-division).")
+
+let bundles_arg =
+  Arg.(value & opt int 3 & info [ "bundles" ] ~docv:"B" ~doc:"Number of pricing tiers.")
+
+let cost_model_of ~cost ~theta =
+  let theta_or default = Option.value ~default theta in
+  match cost with
+  | `Linear -> Cost_model.linear ~theta:(theta_or Experiment.Defaults.theta)
+  | `Concave -> Cost_model.concave ~theta:(theta_or Experiment.Defaults.theta)
+  | `Regional -> Cost_model.regional ~theta:(theta_or 1.1)
+  | `Destination_type -> Cost_model.destination_type ~theta:(theta_or 0.1)
+
+let spec_of ~demand ~s0 =
+  match demand with
+  | `Ced -> Market.Ced
+  | `Logit -> Market.Logit { s0 }
+  | `Linear -> Market.Linear { epsilon = 1.8 }
+
+(* --- list ----------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e -> Format.fprintf ppf "%-8s %s@." e.Experiment.id e.Experiment.description)
+      Experiment.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List reproducible experiments.")
+    Term.(const run $ const ())
+
+(* --- run ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let ids_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT")
+  in
+  let csv_arg =
+    Arg.(value & opt (some dir) None
+         & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV into $(docv).")
+  in
+  let md_arg =
+    Arg.(value & opt (some dir) None
+         & info [ "markdown" ] ~docv:"DIR"
+             ~doc:"Also write each table as a Markdown file into $(docv).")
+  in
+  let run ids csv_dir md_dir =
+    let experiments =
+      match ids with
+      | [] -> Experiment.all
+      | ids -> List.map Experiment.find ids
+    in
+    let write dir ext render i (e : Experiment.t) t =
+      let path = Filename.concat dir (Printf.sprintf "%s_%d.%s" e.Experiment.id i ext) in
+      let oc = open_out path in
+      output_string oc (render t);
+      close_out oc;
+      Format.fprintf ppf "  wrote %s@." path
+    in
+    List.iter
+      (fun (e : Experiment.t) ->
+        let tables = e.Experiment.run () in
+        List.iter (Report.print ppf) tables;
+        Option.iter
+          (fun dir -> List.iteri (fun i t -> write dir "csv" Report.to_csv i e t) tables)
+          csv_dir;
+        Option.iter
+          (fun dir ->
+            List.iteri (fun i t -> write dir "md" Report.to_markdown i e t) tables)
+          md_dir)
+      experiments
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Regenerate paper tables/figures (all by default).")
+    Term.(const run $ ids_arg $ csv_arg $ md_arg)
+
+(* --- dataset ---------------------------------------------------------------- *)
+
+let dataset_cmd =
+  let sample_arg =
+    Arg.(value & opt (some int) None
+         & info [ "netflow-sample" ] ~docv:"N"
+             ~doc:"Also run the 1-in-$(docv) sampled NetFlow pipeline and compare.")
+  in
+  let run network sample =
+    let w = Experiment.workload network in
+    let target = Flowgen.Workload.table1_targets network in
+    Format.fprintf ppf "%s workload: %a@." network Flowgen.Workload.pp_stats
+      (Flowgen.Workload.stats w);
+    Format.fprintf ppf
+      "paper targets: w-avg dist %.0f mi, CV(dist) %.2f, %.1f Gbps, CV(demand) %.2f@."
+      target.Flowgen.Workload.t_w_avg_distance target.Flowgen.Workload.t_cv_distance
+      target.Flowgen.Workload.t_aggregate_gbps target.Flowgen.Workload.t_cv_demand;
+    match sample with
+    | None -> ()
+    | Some rate ->
+        let measured = Dataset.via_netflow ~sampling_rate:rate w in
+        Format.fprintf ppf "measured through 1-in-%d sampling: %d flows, %.1f Gbps@."
+          rate (Array.length measured)
+          (Flow.total_demand_mbps measured /. 1000.)
+  in
+  Cmd.v
+    (Cmd.info "dataset" ~doc:"Show a calibrated workload vs its Table 1 targets.")
+    Term.(const run $ network_arg $ sample_arg)
+
+(* --- evaluate ----------------------------------------------------------------- *)
+
+let evaluate_cmd =
+  let run network demand cost theta alpha p0 s0 strategy bundles =
+    let market =
+      Experiment.market ~alpha ~p0 ~cost_model:(cost_model_of ~cost ~theta)
+        ~spec:(spec_of ~demand ~s0) network
+    in
+    let partition = Strategy.apply strategy market ~n_bundles:bundles in
+    let outcome = Pricing.evaluate market partition in
+    let ctx = Capture.context market in
+    Format.fprintf ppf "%a@." Market.pp market;
+    Array.iteri
+      (fun b group ->
+        let demand_gbps =
+          Numerics.Stats.sum
+            (Array.map (fun i -> market.Market.flows.(i).Flow.demand_mbps) group)
+          /. 1000.
+        in
+        Format.fprintf ppf "tier %d: $%.2f/Mbps, %d destinations, %.1f Gbps observed@."
+          b outcome.Pricing.bundle_prices.(b) (Array.length group) demand_gbps)
+      (partition :> int array array);
+    Format.fprintf ppf "profit $%.4g (blended $%.4g, per-flow max $%.4g)@."
+      outcome.Pricing.profit ctx.Capture.original ctx.Capture.maximum;
+    Format.fprintf ppf "profit capture: %s@."
+      (Report.cell_pct (Capture.value ctx outcome.Pricing.profit))
+  in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"Price one tier configuration on a network.")
+    Term.(const run $ network_arg $ demand_arg $ cost_arg $ theta_arg $ alpha_arg
+          $ p0_arg $ s0_arg $ strategy_arg $ bundles_arg)
+
+(* --- sweep ----------------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let param_arg =
+    Arg.(required
+         & opt (some (enum [ ("alpha", `Alpha); ("p0", `P0); ("s0", `S0) ])) None
+         & info [ "param" ] ~docv:"P" ~doc:"Parameter to sweep: alpha, p0 or s0.")
+  in
+  let run network demand s0 strategy param =
+    let values, fit =
+      match param with
+      | `Alpha ->
+          ( Sensitivity.alpha_range ~steps:8 ~lo:1.1 ~hi:10. (),
+            fun v -> Experiment.market ~alpha:v ~spec:(spec_of ~demand ~s0) network )
+      | `P0 ->
+          ( Sensitivity.linear_range ~steps:8 ~lo:5. ~hi:30. (),
+            fun v -> Experiment.market ~p0:v ~spec:(spec_of ~demand ~s0) network )
+      | `S0 ->
+          ( Sensitivity.linear_range ~steps:8 ~lo:0.06 ~hi:0.9 (),
+            fun v -> Experiment.market ~spec:(Market.Logit { s0 = v }) network )
+    in
+    let rows =
+      List.map
+        (fun v ->
+          let market = fit v in
+          Report.cell_f v
+          :: List.map
+               (fun b -> Report.cell_f (Sensitivity.capture_at market strategy ~n_bundles:b))
+               Experiment.Defaults.bundle_counts)
+        values
+    in
+    Report.print ppf
+      (Report.make
+         ~title:(Printf.sprintf "capture on %s while sweeping the parameter" network)
+         ~header:("value" :: List.map string_of_int Experiment.Defaults.bundle_counts)
+         rows)
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Sweep a model parameter and tabulate profit capture.")
+    Term.(const run $ network_arg $ demand_arg $ s0_arg $ strategy_arg $ param_arg)
+
+(* --- trace ----------------------------------------------------------------------- *)
+
+let trace_cmd =
+  let out_arg =
+    Arg.(required & opt (some string) None
+         & info [ "out" ] ~docv:"FILE" ~doc:"Write the CSV trace to $(docv).")
+  in
+  let sample_arg =
+    Arg.(value & opt int 1
+         & info [ "sample" ] ~docv:"N" ~doc:"Apply 1-in-$(docv) packet sampling.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 99 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+  in
+  let run network out sample seed =
+    let w = Experiment.workload network in
+    let rng = Numerics.Rng.create seed in
+    let records = Flowgen.Netflow.synthesize ~rng (Flowgen.Workload.to_ground_truth w) in
+    let records =
+      if sample <= 1 then records
+      else Flowgen.Sampling.sample rng (Flowgen.Sampling.make sample) records
+    in
+    Flowgen.Trace.save ~path:out records;
+    Format.fprintf ppf "wrote %s: %s@." out (Flowgen.Trace.summarize records)
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Synthesize a day of NetFlow for a network and dump it as CSV.")
+    Term.(const run $ network_arg $ out_arg $ sample_arg $ seed_arg)
+
+(* --- loading ---------------------------------------------------------------------- *)
+
+let loading_cmd =
+  let run network =
+    let w = Experiment.workload network in
+    let report = Flowgen.Loading.of_workload w in
+    Flowgen.Loading.pp ppf report
+  in
+  Cmd.v
+    (Cmd.info "loading" ~doc:"Show link utilization of a network's workload.")
+    Term.(const run $ network_arg)
+
+(* --- tiers ------------------------------------------------------------------------ *)
+
+let tiers_cmd =
+  let overhead_arg =
+    Arg.(value & opt float 0.
+         & info [ "overhead" ] ~docv:"X" ~doc:"Per-tier monthly overhead in dollars.")
+  in
+  let max_arg =
+    Arg.(value & opt int 8 & info [ "max" ] ~docv:"B" ~doc:"Largest tier count to consider.")
+  in
+  let run network demand s0 strategy overhead max_bundles =
+    let market = Experiment.market ~spec:(spec_of ~demand ~s0) network in
+    let o = Tier_count.overhead ~per_tier:overhead () in
+    let series = Tier_count.series market strategy o ~max_bundles in
+    let best = Tier_count.optimal market strategy o ~max_bundles in
+    List.iter
+      (fun (p : Tier_count.point) ->
+        Format.fprintf ppf "%s%d tier(s): gross $%.0f, overhead $%.0f, net $%.0f@."
+          (if p.Tier_count.n_bundles = best.Tier_count.n_bundles then "* " else "  ")
+          p.Tier_count.n_bundles p.Tier_count.gross_profit p.Tier_count.overhead_cost
+          p.Tier_count.net_profit)
+      series;
+    Format.fprintf ppf "answer: %d tier(s)@." best.Tier_count.n_bundles
+  in
+  Cmd.v
+    (Cmd.info "tiers"
+       ~doc:"Answer the title question: the net-profit-optimal tier count.")
+    Term.(const run $ network_arg $ demand_arg $ s0_arg $ strategy_arg $ overhead_arg
+          $ max_arg)
+
+(* --- main ---------------------------------------------------------------------- *)
+
+let () =
+  let info =
+    Cmd.info "tiered-cli" ~version:"1.0.0"
+      ~doc:"Tiered transit pricing: reproduction of Valancius et al., SIGCOMM 2011."
+  in
+  exit (Cmd.eval (Cmd.group info
+       [ list_cmd; run_cmd; dataset_cmd; evaluate_cmd; sweep_cmd; trace_cmd; loading_cmd;
+         tiers_cmd ]))

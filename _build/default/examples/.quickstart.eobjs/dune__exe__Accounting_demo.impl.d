@@ -1,0 +1,1 @@
+examples/accounting_demo.ml: Array Bundle Cost_model Dataset Flowgen Format List Market Netsim Numerics Pricing Routing Strategy Tiered

@@ -1,0 +1,1 @@
+examples/accounting_demo.mli:

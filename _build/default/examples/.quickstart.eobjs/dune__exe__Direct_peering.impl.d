@@ -1,0 +1,1 @@
+examples/direct_peering.ml: Array Flowgen Format List Netsim Policy Printf Routing Tagging

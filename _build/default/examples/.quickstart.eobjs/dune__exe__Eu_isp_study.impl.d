@@ -1,0 +1,1 @@
+examples/eu_isp_study.ml: Array Capture Cost_model Dataset Flow Flowgen Format List Market Numerics Pricing Report Sensitivity Strategy Tiered

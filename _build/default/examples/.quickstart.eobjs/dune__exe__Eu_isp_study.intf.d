@@ -1,0 +1,1 @@
+examples/eu_isp_study.mli:

@@ -1,0 +1,1 @@
+examples/how_many_tiers.ml: Capture Experiment Format List Market Strategy Tier_count Tiered

@@ -1,0 +1,1 @@
+examples/how_many_tiers.mli:

@@ -1,0 +1,1 @@
+examples/price_war.ml: Array Competition Dynamics Experiment Format List Market Strategy Tiered

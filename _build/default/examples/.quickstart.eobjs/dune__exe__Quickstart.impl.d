@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bundle Flow Format Market Pricing Tiered

@@ -1,0 +1,1 @@
+examples/regional_pricing.ml: Array Capture Cost_model Dataset Flow Flowgen Format List Market Pricing Report Sensitivity Strategy Tiered

@@ -1,0 +1,79 @@
+(* Section 5 of the paper end to end: take an optimal 3-tier bundling,
+   tag routes with tier communities, account a day of NetFlow under both
+   architectures (per-tier links polled via SNMP vs a flow collector
+   joining records against the RIB), and bill the customer under
+   mean-rate and 95th-percentile billing.
+
+   Run with: dune exec examples/accounting_demo.exe *)
+
+open Tiered
+
+let () =
+  (* A small workload keeps the output readable. *)
+  let params =
+    { (Flowgen.Workload.preset_params "eu_isp") with Flowgen.Workload.n_flows = 40 }
+  in
+  let w = Flowgen.Workload.generate (Netsim.Presets.eu_isp ()) params in
+  let market =
+    Market.fit ~spec:Market.Ced ~alpha:1.1 ~p0:20.
+      ~cost_model:(Cost_model.linear ~theta:0.2) (Dataset.of_workload w)
+  in
+  let bundles = Strategy.apply Strategy.Optimal market ~n_bundles:3 in
+  let outcome = Pricing.evaluate market bundles in
+  let owner = Bundle.member_of bundles ~n_flows:(Market.n_flows market) in
+  let rates = outcome.Pricing.bundle_prices in
+
+  Format.printf "Tier sheet:@.";
+  Array.iteri (fun b p -> Format.printf "  tier %d: $%.2f/Mbps@." b p) rates;
+
+  (* 5.1: tag each destination route with its tier community. *)
+  let assignments =
+    List.map
+      (fun (f : Flowgen.Workload.flow) ->
+        {
+          Routing.Tagging.dst_prefix = Flowgen.Ipv4.prefix f.Flowgen.Workload.dst_addr 24;
+          tier = owner.(f.Flowgen.Workload.id);
+          next_hop = f.Flowgen.Workload.entry.Netsim.Node.id;
+        })
+      w.Flowgen.Workload.flows
+  in
+  let rib = Routing.Tagging.build_rib ~asn:65010 assignments in
+  Format.printf "@.RIB: %d tagged routes, tier histogram:" (Routing.Rib.size rib);
+  List.iter
+    (fun (tier, n) -> Format.printf " t%d=%d" tier n)
+    (Routing.Tagging.tier_counts rib);
+  Format.printf "@.";
+
+  (* A day of traffic, deduplicated across observing routers. *)
+  let rng = Numerics.Rng.create 31 in
+  let records =
+    Flowgen.Dedup.dedup
+      (Flowgen.Netflow.synthesize ~rng (Flowgen.Workload.to_ground_truth w))
+  in
+  Format.printf "@.Collected %d flow records over 24h@." (List.length records);
+
+  (* 5.2a: link-based accounting (SNMP polling of per-tier links). *)
+  let snmp = Routing.Accounting.Snmp.create ~n_tiers:(Array.length rates) () in
+  Routing.Accounting.Snmp.observe snmp ~rib records;
+  let link_usage = Routing.Accounting.Snmp.usage snmp in
+
+  (* 5.2b: flow-based accounting (collector joins NetFlow with the RIB). *)
+  let flow_usage = Routing.Accounting.flow_based ~rib records in
+
+  Format.printf "@.Accounted bytes per tier (link-based | flow-based):@.";
+  List.iter2
+    (fun (t, a) (_, b) -> Format.printf "  tier %d: %14.0f | %14.0f@." t a b)
+    link_usage.Routing.Accounting.tier_bytes flow_usage.Routing.Accounting.tier_bytes;
+
+  (* Billing: mean-rate from byte totals, p95 from the rate series. *)
+  let day = Flowgen.Netflow.day_seconds in
+  let invoice_mean = Routing.Billing.of_usage ~rates ~period_s:day flow_usage in
+  let series = Routing.Accounting.rate_series ~rib ~interval_s:300 ~horizon_s:day records in
+  let invoice_p95 =
+    Routing.Billing.of_rate_series ~rates ~method_:(Routing.Billing.Percentile 0.95)
+      ~period_s:day series
+  in
+  Format.printf "@.%a@.%a@." Routing.Billing.pp invoice_mean Routing.Billing.pp invoice_p95;
+  Format.printf
+    "p95 bills the diurnal peak, mean bills the average -- the gap funds@.\
+     the ISP's peak-capacity provisioning.@."

@@ -1,0 +1,85 @@
+(* Figure 2 of the paper: a CDN with a backbone PoP in New York buys
+   blended transit from an upstream ISP, including for traffic that only
+   travels to an IXP in Boston. As the blended rate stays above the cost
+   of a leased line, the CDN eventually builds the direct link -- even
+   when the ISP could have carried the traffic more cheaply (a market
+   failure that tiered pricing removes).
+
+   Run with: dune exec examples/direct_peering.exe *)
+
+open Routing
+
+let () =
+  (* Geography: the ISP's cost for NYC->Boston traffic scales with the
+     distance between the PoPs. *)
+  let nyc = Netsim.Cities.find "New York" in
+  let boston = Netsim.Cities.find "Boston" in
+  let distance = Netsim.Geo.distance_miles nyc.Netsim.Cities.coord boston.Netsim.Cities.coord in
+  (* $/Mbps figures: a short regional wave is cheap for the ISP. *)
+  let isp_cost = 0.02 *. distance in
+  Format.printf "NYC -> Boston: %.0f miles, ISP delivery cost $%.2f/Mbps@.@." distance isp_cost;
+
+  let decide ~blended_rate ~direct_cost =
+    Policy.Bypass.decide
+      {
+        Policy.Bypass.blended_rate;
+        direct_cost;
+        isp_cost;
+        isp_margin = 0.3;
+        accounting_overhead = 0.5;
+      }
+  in
+
+  (* A leased line's amortized cost falls as the CDN's volume grows. *)
+  Format.printf "%-14s %-12s %-10s %-12s %s@." "volume (Gbps)" "c_direct" "bypasses?"
+    "tier price" "verdict";
+  List.iter
+    (fun (volume, direct_cost) ->
+      let v = decide ~blended_rate:20. ~direct_cost in
+      Format.printf "%-14.0f $%-11.2f %-10s $%-11.2f %s@." volume direct_cost
+        (if v.Policy.Bypass.customer_bypasses then "yes" else "no")
+        v.Policy.Bypass.tiered_price
+        (if v.Policy.Bypass.market_failure then
+           "market failure: a regional tier would have kept this traffic"
+         else if v.Policy.Bypass.customer_bypasses then "efficient build-out"
+         else "stays on transit");
+      ())
+    [ (1., 45.); (5., 24.); (10., 12.); (40., 6.); (100., 3.) ];
+
+  (* With tier tags in the RIB, the same decision happens per-route:
+     the CDN cold-potatoes only where the tier price beats its own
+     backbone cost. *)
+  Format.printf "@.Tier-aware egress selection:@.";
+  let rib =
+    Tagging.build_rib ~asn:64512
+      [
+        {
+          Tagging.dst_prefix = Flowgen.Ipv4.prefix_of_string "10.1.0.0/16" (* Boston metro *);
+          tier = 0;
+          next_hop = 1;
+        };
+        {
+          Tagging.dst_prefix = Flowgen.Ipv4.prefix_of_string "10.2.0.0/16" (* EU, long-haul *);
+          tier = 1;
+          next_hop = 1;
+        };
+      ]
+  in
+  let tier_prices = [| 4.0; 22.0 |] in
+  let backbone_cost = 9.0 in
+  List.iter
+    (fun (label, addr) ->
+      let choice =
+        Policy.Egress.choose ~rib ~tier_prices ~backbone_cost_per_mbps:backbone_cost
+          (Flowgen.Ipv4.of_string addr)
+      in
+      let verdict =
+        match choice with
+        | Some (Policy.Egress.Use_upstream tier) ->
+            Printf.sprintf "upstream tier %d ($%.0f/Mbps)" tier tier_prices.(tier)
+        | Some Policy.Egress.Use_backbone ->
+            Printf.sprintf "own backbone ($%.0f/Mbps beats the tier)" backbone_cost
+        | None -> "no route"
+      in
+      Format.printf "  %-22s -> %s@." label verdict)
+    [ ("Boston (10.1.2.3)", "10.1.2.3"); ("Frankfurt (10.2.9.9)", "10.2.9.9") ]

@@ -1,0 +1,1 @@
+lib/core/bundle.ml: Array Format Fun List

@@ -1,0 +1,1 @@
+lib/core/capture.ml: Format List Pricing Strategy

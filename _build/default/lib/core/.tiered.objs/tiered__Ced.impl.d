@@ -1,0 +1,1 @@
+lib/core/ced.ml: Array Numerics

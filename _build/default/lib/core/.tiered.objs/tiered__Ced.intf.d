@@ -1,0 +1,1 @@
+lib/core/ced.mli:

@@ -1,0 +1,1 @@
+lib/core/commit.ml: Array Ced Float Numerics

@@ -1,0 +1,1 @@
+lib/core/dataset.ml: Array Flow Flowgen Hashtbl List Numerics

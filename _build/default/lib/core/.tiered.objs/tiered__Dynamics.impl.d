@@ -1,0 +1,1 @@
+lib/core/dynamics.ml: Array Capture Ced List Market Numerics Pricing Strategy

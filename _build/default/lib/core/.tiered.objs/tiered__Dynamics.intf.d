@@ -1,0 +1,1 @@
+lib/core/dynamics.mli: Market Strategy

@@ -1,0 +1,1 @@
+lib/core/estimate.ml: Array Ced Dynamics Float List Market Numerics

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Array Bundle Capture Ced Cost_model Dataset Float Flow Flowgen Hashtbl List Logit Market Numerics Pricing Printf Report Sensitivity Strategy String

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Cost_model Flowgen Market Report

@@ -1,0 +1,1 @@
+lib/core/logit.ml: Array Float Numerics Printf

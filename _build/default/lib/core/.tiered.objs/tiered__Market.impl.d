@@ -1,0 +1,1 @@
+lib/core/market.ml: Array Ced Cost_model Float Flow Format Lin Logit

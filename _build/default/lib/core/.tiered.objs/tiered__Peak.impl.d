@@ -1,0 +1,1 @@
+lib/core/peak.ml: Array Bundle Ced Float Flowgen Market Numerics Printf Strategy

@@ -1,0 +1,1 @@
+lib/core/peak.mli: Flowgen Market Strategy

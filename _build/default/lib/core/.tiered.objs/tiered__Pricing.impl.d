@@ -1,0 +1,1 @@
+lib/core/pricing.ml: Array Bundle Ced Lin Logit Market Numerics

@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Array Bundle Cost_model Float Flow Fun Lin List Market Numerics Pricing String

@@ -1,0 +1,1 @@
+lib/core/tier_count.ml: List Market Pricing Strategy

@@ -1,0 +1,1 @@
+lib/core/welfare.ml: Array Bundle Format List Market Pricing Strategy

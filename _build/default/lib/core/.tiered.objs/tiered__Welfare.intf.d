@@ -1,0 +1,1 @@
+lib/core/welfare.mli: Format Market Pricing Strategy

@@ -1,0 +1,39 @@
+(** Partitions of flows into pricing bundles.
+
+    A bundling is an array of bundles, each a non-empty array of flow
+    indices; together they cover every flow exactly once. Empty bundles
+    are never represented — a pricing tier nobody maps to earns nothing
+    and sells nothing, so strategies that produce empty ranges (e.g.
+    cost division) simply yield fewer bundles. *)
+
+type t = private int array array
+
+val of_groups : n_flows:int -> int list list -> t
+(** Validates coverage and drops empty groups. Raises [Invalid_argument]
+    if any index is out of range, duplicated or missing. *)
+
+val all_in_one : n_flows:int -> t
+val singletons : n_flows:int -> t
+
+val of_assignment : n_bundles:int -> int array -> t
+(** [of_assignment ~n_bundles a] where [a.(i)] is flow [i]'s bundle
+    index in [\[0, n_bundles)]. Empty bundles are dropped. *)
+
+val contiguous : order:int array -> cuts:int list -> t
+(** [contiguous ~order ~cuts] splits [order] (a permutation of flow
+    indices) after the positions in [cuts] (strictly increasing,
+    each in [\[1, n-1\]]). *)
+
+val count : t -> int
+(** Number of bundles. *)
+
+val sizes : t -> int array
+
+val member_of : t -> n_flows:int -> int array
+(** Inverse map: flow index -> bundle index. *)
+
+val gather : t -> float array -> float array array
+(** [gather t values] extracts per-bundle sub-arrays of a per-flow
+    array. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+(** The paper's profit-capture metric (§4.2.2).
+
+    [capture = (pi_new - pi_original) / (pi_max - pi_original)] where
+    [pi_original] is the blended-rate profit and [pi_max] the profit
+    with per-flow pricing. 0 means no improvement over the blended rate,
+    1 means as good as infinitely many tiers. *)
+
+type context = {
+  original : float;  (** Blended-rate profit. *)
+  maximum : float;  (** Per-flow pricing profit. *)
+}
+
+val context : Market.t -> context
+
+val value : context -> float -> float
+(** [value ctx profit]. Raises [Invalid_argument] when the market has no
+    headroom ([maximum <= original] beyond rounding). *)
+
+val headroom : context -> float
+(** [maximum - original]. *)
+
+type point = { n_bundles : int; capture : float; profit : float }
+
+val series :
+  Market.t -> Strategy.t -> bundle_counts:int list -> point list
+(** Capture for each bundle count, pricing each partition optimally. *)
+
+val pp_point : Format.formatter -> point -> unit

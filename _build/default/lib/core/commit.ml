@@ -1,0 +1,100 @@
+type tier = { commit_mbps : float; rate : float }
+type menu = tier array
+
+let tier ~commit_mbps ~rate =
+  if commit_mbps < 0. then invalid_arg "Commit.tier: negative commit";
+  if not (rate > 0.) then invalid_arg "Commit.tier: rate must be positive";
+  { commit_mbps; rate }
+
+type choice = {
+  tier_index : int option;
+  usage_mbps : float;
+  billed_mbps : float;
+  payment : float;
+  surplus : float;
+}
+
+let opt_out = { tier_index = None; usage_mbps = 0.; billed_mbps = 0.; payment = 0.; surplus = 0. }
+
+let choice_for ~alpha ~v index t =
+  let usage = Ced.demand ~alpha ~v t.rate in
+  let billed = Float.max t.commit_mbps usage in
+  let payment = billed *. t.rate in
+  (* Gross utility of consuming [usage] minus the payment; the commit
+     shortfall is pure loss to the customer. *)
+  let surplus = Ced.consumer_surplus ~alpha ~v t.rate -. ((billed -. usage) *. t.rate) in
+  { tier_index = Some index; usage_mbps = usage; billed_mbps = billed; payment; surplus }
+
+let choose ~alpha ~v menu =
+  if Array.length menu = 0 then invalid_arg "Commit.choose: empty menu";
+  let best = ref opt_out in
+  Array.iteri
+    (fun index t ->
+      let candidate = choice_for ~alpha ~v index t in
+      if candidate.surplus > !best.surplus +. 1e-12 then best := candidate)
+    menu;
+  !best
+
+type outcome = {
+  profit : float;
+  revenue : float;
+  delivery_cost : float;
+  consumer_surplus : float;
+  tier_counts : int array;
+  opted_out : int;
+}
+
+let evaluate ~alpha ~unit_cost ~valuations menu =
+  if unit_cost < 0. then invalid_arg "Commit.evaluate: negative unit cost";
+  let tier_counts = Array.make (Array.length menu) 0 in
+  let opted_out = ref 0 in
+  let revenue = ref 0. and delivery_cost = ref 0. and surplus = ref 0. in
+  Array.iter
+    (fun v ->
+      let c = choose ~alpha ~v menu in
+      (match c.tier_index with
+      | None -> incr opted_out
+      | Some i -> tier_counts.(i) <- tier_counts.(i) + 1);
+      revenue := !revenue +. c.payment;
+      delivery_cost := !delivery_cost +. (unit_cost *. c.usage_mbps);
+      surplus := !surplus +. c.surplus)
+    valuations;
+  {
+    profit = !revenue -. !delivery_cost;
+    revenue = !revenue;
+    delivery_cost = !delivery_cost;
+    consumer_surplus = !surplus;
+    tier_counts;
+    opted_out = !opted_out;
+  }
+
+let enforce_decreasing rates =
+  (* A volume discount: later (higher-commit) tiers cannot be dearer. *)
+  let out = Array.copy rates in
+  for i = 1 to Array.length out - 1 do
+    out.(i) <- Float.min out.(i) out.(i - 1)
+  done;
+  out
+
+let optimize_rates ~alpha ~unit_cost ~valuations ~commits =
+  Ced.check_alpha alpha;
+  if Array.length commits = 0 then invalid_arg "Commit.optimize_rates: no commit levels";
+  let menu_of log_rates =
+    let rates = enforce_decreasing (Array.map exp log_rates) in
+    Array.map2 (fun commit_mbps rate -> { commit_mbps; rate }) commits rates
+  in
+  let objective log_rates =
+    -.(evaluate ~alpha ~unit_cost ~valuations (menu_of log_rates)).profit
+  in
+  (* Start every tier at the uniform monopoly rate. *)
+  let p_star = Ced.optimal_price ~alpha ~c:(Float.max 1e-6 unit_cost) in
+  let start = Array.map (fun _ -> log p_star) commits in
+  let result = Numerics.Gradient.nelder_mead ~scale:0.3 ~max_iter:4000 ~f:objective start in
+  menu_of result.Numerics.Gradient.x
+
+let commit_quantiles ~alpha ~p0 ~valuations ~n =
+  if n < 1 then invalid_arg "Commit.commit_quantiles: n must be >= 1";
+  let demands = Array.map (fun v -> Ced.demand ~alpha ~v p0) valuations in
+  Array.init n (fun i ->
+      if i = 0 then 0.
+      else Numerics.Stats.quantile demands (float_of_int i /. float_of_int n))

@@ -1,0 +1,64 @@
+(** Volume ("commit") pricing — the other tiering axis (§2.1).
+
+    Most transit is sold with volume discounts: committing to a higher
+    minimum bandwidth buys a lower per-Mbps rate, billed at
+    [rate * max(commit, usage)]. This module models a heterogeneous
+    customer population with CED demand choosing from a tier menu
+    (second-degree price discrimination) and lets the ISP optimize the
+    menu — complementary to the paper's destination-based tiers.
+
+    A customer with valuation [v] facing unit rate [r] consumes
+    [q(r) = (v / r)^alpha] and gets surplus [Ced.consumer_surplus]; with
+    a commit floor [q_min] the effective usage is [max(q_min, q(r))] and
+    the shortfall is paid for but unused. Customers pick the
+    surplus-maximizing tier, or opt out when every tier yields negative
+    surplus (which cannot happen for pure usage pricing but can under a
+    commit floor). *)
+
+type tier = { commit_mbps : float; rate : float }
+(** A commit level and its discounted unit price. *)
+
+type menu = tier array
+
+val tier : commit_mbps:float -> rate:float -> tier
+(** Raises [Invalid_argument] on negative commit or non-positive rate. *)
+
+type choice = {
+  tier_index : int option;  (** [None] = opted out. *)
+  usage_mbps : float;  (** Actual consumption (0 when opted out). *)
+  billed_mbps : float;  (** [max commit usage]. *)
+  payment : float;
+  surplus : float;
+}
+
+val choose : alpha:float -> v:float -> menu -> choice
+(** The customer's optimal tier (ties go to the lower index). *)
+
+type outcome = {
+  profit : float;
+  revenue : float;
+  delivery_cost : float;
+  consumer_surplus : float;
+  tier_counts : int array;  (** Customers per tier. *)
+  opted_out : int;
+}
+
+val evaluate :
+  alpha:float -> unit_cost:float -> valuations:float array -> menu -> outcome
+(** Total outcome over a population; [unit_cost] is the ISP's per-Mbps
+    delivery cost of {e used} bandwidth (commit shortfall costs
+    nothing to deliver). *)
+
+val optimize_rates :
+  alpha:float ->
+  unit_cost:float ->
+  valuations:float array ->
+  commits:float array ->
+  menu
+(** Profit-maximizing rates for fixed commit levels (Nelder-Mead over
+    log-rates; rates are forced decreasing in commit level so the menu
+    is a genuine volume discount). *)
+
+val commit_quantiles : alpha:float -> p0:float -> valuations:float array -> n:int -> float array
+(** Natural commit levels: demand quantiles of the population at the
+    blended price [p0] ([n >= 1] levels, first one 0). *)

@@ -1,0 +1,96 @@
+type firm = { name : string; costs : float array }
+
+type equilibrium = {
+  margins : float array;
+  prices : float array array;
+  shares : float array;
+  s0 : float;
+  profits : float array;
+  iterations : int;
+}
+
+let firm ~name ~costs = { name; costs }
+
+(* Exponent of (firm g, flow i) at margin m_g. *)
+let exponent ~alpha ~valuations ~(firms : firm array) ~margins g i =
+  alpha *. (valuations.(i) -. firms.(g).costs.(i) -. margins.(g))
+
+(* ln of each firm's summed weight and of the full denominator. *)
+let log_weights ~alpha ~valuations ~firms ~margins =
+  let n = Array.length valuations in
+  let per_firm =
+    Array.mapi
+      (fun g _ ->
+        Numerics.Stats.logsumexp
+          (Array.init n (fun i -> exponent ~alpha ~valuations ~firms ~margins g i)))
+      firms
+  in
+  let log_z = Numerics.Stats.logsumexp (Array.append per_firm [| 0. |]) in
+  (per_firm, log_z)
+
+let firm_shares ~alpha ~valuations ~firms ~margins =
+  let per_firm, log_z = log_weights ~alpha ~valuations ~firms ~margins in
+  (Array.map (fun lw -> exp (lw -. log_z)) per_firm, exp (-.log_z))
+
+let best_response_margin ~alpha ~valuations ~firms ~margins f =
+  let share_at m =
+    let margins = Array.copy margins in
+    margins.(f) <- m;
+    (fst (firm_shares ~alpha ~valuations ~firms ~margins)).(f)
+  in
+  (* g(m) = m alpha (1 - S_f(m)) - 1 is increasing with g(1/alpha) < 0. *)
+  let g m = (m *. alpha *. (1. -. share_at m)) -. 1. in
+  let lo = 1. /. alpha in
+  let rec grow hi = if g hi > 0. then hi else grow (2. *. hi) in
+  let hi = grow (Float.max 1. (2. /. alpha)) in
+  Numerics.Solve.bisect ~tol:1e-12 ~f:g lo hi
+
+let validate ~alpha ~valuations firms =
+  if Array.length firms = 0 then invalid_arg "Competition: no firms";
+  if not (alpha > 0.) then invalid_arg "Competition: alpha must be > 0";
+  Array.iter
+    (fun f ->
+      if Array.length f.costs <> Array.length valuations then
+        invalid_arg "Competition: cost/valuation length mismatch")
+    firms
+
+let equilibrium_of ~k ~alpha ~valuations ~firms ~margins ~iterations =
+  let shares, s0 = firm_shares ~alpha ~valuations ~firms ~margins in
+  {
+    margins;
+    prices =
+      Array.mapi (fun g f -> Array.map (fun c -> c +. margins.(g)) f.costs) firms;
+    shares;
+    s0;
+    profits = Array.map2 (fun share m -> k *. share *. m) shares margins;
+    iterations;
+  }
+
+let nash ?(tol = 1e-10) ?(max_iter = 500) ?(k = 1.) ~alpha ~valuations firms =
+  validate ~alpha ~valuations firms;
+  let n_firms = Array.length firms in
+  (* Start every firm at its monopoly-flavoured margin. *)
+  let margins = Array.make n_firms (1. /. alpha) in
+  let rec iterate margins iter =
+    if iter >= max_iter then (margins, iter)
+    else begin
+      let next =
+        Array.mapi
+          (fun f _ -> best_response_margin ~alpha ~valuations ~firms ~margins f)
+          margins
+      in
+      (* Mild damping keeps two-firm oscillation from cycling. *)
+      let damped = Array.map2 (fun a b -> (0.5 *. a) +. (0.5 *. b)) margins next in
+      if Numerics.Vec.linf_dist damped margins <= tol *. (1. +. Numerics.Vec.norm2 margins)
+      then (damped, iter + 1)
+      else iterate damped (iter + 1)
+    end
+  in
+  let margins, iterations = iterate margins 0 in
+  equilibrium_of ~k ~alpha ~valuations ~firms ~margins ~iterations
+
+let monopoly ?(k = 1.) ~alpha ~valuations f =
+  validate ~alpha ~valuations [| f |];
+  let { Logit.x; _ } = Logit.optimize ~alpha ~valuations ~costs:f.costs in
+  equilibrium_of ~k ~alpha ~valuations ~firms:[| f |]
+    ~margins:[| x /. alpha |] ~iterations:0

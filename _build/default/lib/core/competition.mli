@@ -1,0 +1,56 @@
+(** Bertrand price competition between transit providers.
+
+    The paper treats competitors only through {e residual} demand and
+    notes its model "does not capture full dynamic interaction between
+    competing ISPs (e.g., price wars)". This extension adds the standard
+    multiproduct-logit Bertrand game: each provider sells every flow at
+    its own costs, consumers choose a (provider, flow) pair or nothing,
+    and providers best-respond in prices.
+
+    For a multiproduct logit firm, all optimal prices share one margin
+    [m_f = 1 / (alpha (1 - S_f))] where [S_f] is the firm's total share
+    — the single-firm Eq. 9 generalizes with [s_0] replaced by
+    "everything not sold by me". Nash equilibrium is computed by damped
+    best-response iteration on the margins. *)
+
+type firm = {
+  name : string;
+  costs : float array;  (** Per-flow delivery costs; length = #flows. *)
+}
+
+type equilibrium = {
+  margins : float array;  (** Per firm. *)
+  prices : float array array;  (** [prices.(f).(i) = costs + margin]. *)
+  shares : float array;  (** Per-firm total market share. *)
+  s0 : float;  (** Non-participating share at equilibrium. *)
+  profits : float array;  (** Per firm, scaled by the population [k]. *)
+  iterations : int;
+}
+
+val firm : name:string -> costs:float array -> firm
+
+val best_response_margin :
+  alpha:float ->
+  valuations:float array ->
+  firms:firm array ->
+  margins:float array ->
+  int ->
+  float
+(** The profit-maximizing common margin of firm [f] holding the other
+    margins fixed (scalar fixed point, solved by bisection). Exposed for
+    tests. *)
+
+val nash :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?k:float ->
+  alpha:float ->
+  valuations:float array ->
+  firm array ->
+  equilibrium
+(** Damped best-response iteration from the monopoly margins. Raises
+    [Invalid_argument] on an empty firm array, mismatched cost lengths
+    or a non-positive [alpha]. [k] (population) defaults to 1. *)
+
+val monopoly : ?k:float -> alpha:float -> valuations:float array -> firm -> equilibrium
+(** Single-firm benchmark (equals {!Logit.optimize}). *)

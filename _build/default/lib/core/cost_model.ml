@@ -1,0 +1,79 @@
+type t =
+  | Linear of { theta : float }
+  | Concave of { theta : float; a : float; b : float; c : float }
+  | Regional of { theta : float }
+  | Destination_type of { theta : float }
+
+let check_theta name theta =
+  if theta < 0. then invalid_arg ("Cost_model." ^ name ^ ": negative theta")
+
+let linear ~theta =
+  check_theta "linear" theta;
+  Linear { theta }
+
+let concave ~theta =
+  check_theta "concave" theta;
+  Concave { theta; a = 0.5; b = 6.; c = 1. }
+
+let regional ~theta =
+  check_theta "regional" theta;
+  Regional { theta }
+
+let destination_type ~theta =
+  if theta < 0. || theta > 1. then
+    invalid_arg "Cost_model.destination_type: theta out of [0, 1]";
+  Destination_type { theta }
+
+let name = function
+  | Linear _ -> "linear"
+  | Concave _ -> "concave"
+  | Regional _ -> "regional"
+  | Destination_type _ -> "destination-type"
+
+let theta = function
+  | Linear { theta } | Regional { theta } | Destination_type { theta } -> theta
+  | Concave { theta; _ } -> theta
+
+(* Golden-ratio low-discrepancy assignment: the fraction of ids with
+   [is_on_net] true converges to theta, deterministically. *)
+let golden = 0.618033988749895
+
+let is_on_net ~theta id =
+  let x = float_of_int (id + 1) *. golden in
+  x -. Float.of_int (int_of_float x) < theta
+
+(* Relative costs must stay strictly positive; the concave curve can dip
+   below zero for very short flows, so clamp. *)
+let cost_floor = 0.05
+
+let relative_costs t flows =
+  if Array.length flows = 0 then [||]
+  else
+    match t with
+    | Linear { theta } ->
+        let dmax = Numerics.Stats.max (Flow.distances flows) in
+        let base = theta *. dmax in
+        Array.map (fun (f : Flow.t) -> Float.max cost_floor (f.distance_miles +. base)) flows
+    | Concave { theta; a; b; c } ->
+        let dmax = Float.max 1. (Numerics.Stats.max (Flow.distances flows)) in
+        let curve (f : Flow.t) =
+          let x = Float.max 1e-3 (f.distance_miles /. dmax) in
+          Float.max cost_floor ((a *. (log x /. log b)) +. c)
+        in
+        let raw = Array.map curve flows in
+        let base = theta *. Numerics.Stats.max raw in
+        Array.map (fun v -> v +. base) raw
+    | Regional { theta } ->
+        Array.map
+          (fun (f : Flow.t) ->
+            match f.locality with
+            | Flow.Metro -> 1.
+            | Flow.National -> 2. ** theta
+            | Flow.International -> 3. ** theta)
+          flows
+    | Destination_type { theta } ->
+        Array.map
+          (fun (f : Flow.t) -> if is_on_net ~theta f.id then 1. else 2.)
+          flows
+
+let pp ppf t = Format.fprintf ppf "%s(theta=%g)" (name t) (theta t)

@@ -1,0 +1,47 @@
+(** The paper's four network cost models (§3.3).
+
+    Each model maps a flow to a {e relative} cost; the absolute scale γ
+    is recovered separately by {!Market.fit} from the
+    profit-maximization assumption, so only cost {e ratios} matter here.
+    Every model carries the paper's tuning parameter θ:
+
+    - {b Linear}: cost grows linearly with distance; θ is the base cost
+      as a fraction of the maximum distance cost.
+    - {b Concave}: cost grows as [a log_b (d / d_max) + c] (the Fig. 6
+      fit); θ again sets the base cost.
+    - {b Regional}: metro / national / international cost [1], [2^θ],
+      [3^θ].
+    - {b Destination_type}: on-net traffic costs [1], off-net costs [2]
+      (the ISP is paid on both ends of customer-to-customer traffic);
+      θ is the fraction of flows that are on-net. *)
+
+type t =
+  | Linear of { theta : float }
+  | Concave of { theta : float; a : float; b : float; c : float }
+  | Regional of { theta : float }
+  | Destination_type of { theta : float }
+
+val linear : theta:float -> t
+val concave : theta:float -> t
+(** The Fig. 6 shape: [a = 0.5], [b = 6], [c = 1]. *)
+
+val regional : theta:float -> t
+val destination_type : theta:float -> t
+(** All constructors validate θ: non-negative, and within [\[0, 1\]] for
+    [Destination_type]. *)
+
+val name : t -> string
+val theta : t -> float
+
+val relative_costs : t -> Flow.t array -> float array
+(** Strictly positive relative cost per flow, in input order. For
+    [Destination_type], on-net flags are re-drawn deterministically from
+    flow ids so that a θ sweep changes the on-net share without touching
+    the flows. *)
+
+val is_on_net : theta:float -> int -> bool
+(** The deterministic quasi-random on-net assignment used by
+    [Destination_type] (golden-ratio low-discrepancy sequence over flow
+    ids). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+let locality_of = function
+  | Flowgen.Geoip.Metro -> Flow.Metro
+  | Flowgen.Geoip.National -> Flow.National
+  | Flowgen.Geoip.International -> Flow.International
+
+let of_flow (f : Flowgen.Workload.flow) ~demand_mbps =
+  Flow.make ~locality:(locality_of f.locality) ~on_net:f.on_net ~id:f.id
+    ~demand_mbps ~distance_miles:f.distance_miles ()
+
+let of_workload (w : Flowgen.Workload.t) =
+  Array.of_list (List.map (fun f -> of_flow f ~demand_mbps:f.Flowgen.Workload.mbps) w.flows)
+
+let via_netflow ?(sampling_rate = 1000) ?shape ?(seed = 7) (w : Flowgen.Workload.t) =
+  let rng = Numerics.Rng.create seed in
+  let records = Flowgen.Netflow.synthesize ?shape ~rng (Flowgen.Workload.to_ground_truth w) in
+  let sampler = Flowgen.Sampling.make sampling_rate in
+  let sampled = Flowgen.Sampling.sample rng sampler records in
+  let deduped = Flowgen.Dedup.dedup sampled in
+  let aggregates = Flowgen.Demand.by_endpoint_pair deduped in
+  let by_endpoints = Hashtbl.create 1024 in
+  List.iter
+    (fun (f : Flowgen.Workload.flow) ->
+      Hashtbl.replace by_endpoints
+        (Flowgen.Ipv4.to_int f.src_addr, Flowgen.Ipv4.to_int f.dst_addr)
+        f)
+    w.flows;
+  let flows =
+    List.filter_map
+      (fun (a : Flowgen.Demand.aggregate) ->
+        match
+          Hashtbl.find_opt by_endpoints
+            (Flowgen.Ipv4.to_int a.src, Flowgen.Ipv4.to_int a.dst)
+        with
+        | Some f when a.mbps > 0. -> Some (of_flow f ~demand_mbps:a.mbps)
+        | Some _ | None -> None)
+      aggregates
+  in
+  Array.of_list flows

@@ -1,0 +1,25 @@
+(** Bridging the measurement substrate to the pricing model.
+
+    Two paths from a synthetic workload to the model's flows:
+    {!of_workload} reads the ground truth directly, while
+    {!via_netflow} runs the full §4.1.1 measurement pipeline — NetFlow
+    synthesis at every on-path router, packet sampling, duplicate
+    suppression, aggregation — and joins the result back to flow
+    distances. Comparing the two quantifies measurement distortion. *)
+
+val of_workload : Flowgen.Workload.t -> Flow.t array
+(** Ground-truth demands; flow ids follow workload flow ids. *)
+
+val via_netflow :
+  ?sampling_rate:int ->
+  ?shape:Flowgen.Netflow.shape ->
+  ?seed:int ->
+  Flowgen.Workload.t ->
+  Flow.t array
+(** Demands as the collector would estimate them ([sampling_rate]
+    defaults to 1000, the paper-era norm for core routers). Flows whose
+    packets are entirely missed by sampling are absent from the result.
+    Distance and classification metadata are joined from the workload by
+    endpoint addresses. *)
+
+val locality_of : Flowgen.Geoip.locality -> Flow.locality

@@ -1,0 +1,98 @@
+type config = {
+  truth : Market.t;
+  estimated_alpha : float;
+  strategy : Strategy.t;
+  n_bundles : int;
+  rounds : int;
+  damping : float;
+}
+
+type round = {
+  index : int;
+  flow_prices : float array;
+  realized_demand : float array;
+  true_profit : float;
+  capture : float;
+}
+
+let validate c =
+  (match c.truth.Market.spec with
+  | Market.Ced -> ()
+  | Market.Logit _ | Market.Linear _ ->
+      invalid_arg "Dynamics.simulate: only CED ground truth is supported");
+  if not (c.estimated_alpha > 1.) then
+    invalid_arg "Dynamics.simulate: estimated_alpha must be > 1";
+  if c.rounds < 0 then invalid_arg "Dynamics.simulate: negative rounds";
+  if not (c.damping > 0. && c.damping <= 1.) then
+    invalid_arg "Dynamics.simulate: damping out of (0, 1]"
+
+let true_demand truth prices =
+  Array.mapi
+    (fun i p -> Ced.demand ~alpha:truth.Market.alpha ~v:truth.Market.valuations.(i) p)
+    prices
+
+let true_profit truth prices demands =
+  let n = Market.n_flows truth in
+  let terms =
+    Array.init n (fun i -> demands.(i) *. (prices.(i) -. truth.Market.costs.(i)))
+  in
+  Numerics.Stats.sum terms
+
+let simulate c =
+  validate c;
+  let truth = c.truth in
+  let n = Market.n_flows truth in
+  let ctx = Capture.context truth in
+  let snapshot index flow_prices =
+    let realized_demand = true_demand truth flow_prices in
+    let profit = true_profit truth flow_prices realized_demand in
+    {
+      index;
+      flow_prices;
+      realized_demand;
+      true_profit = profit;
+      capture = Capture.value ctx profit;
+    }
+  in
+  let initial = snapshot 0 (Array.make n truth.Market.p0) in
+  let step (previous : round) index =
+    (* The ISP re-fits flow valuations from what it observed, using its
+       own elasticity belief, then re-bundles and re-prices. *)
+    let estimated_valuations =
+      Array.mapi
+        (fun i q ->
+          Ced.valuation_of_demand ~alpha:c.estimated_alpha ~p0:previous.flow_prices.(i) ~q)
+        previous.realized_demand
+    in
+    let believed =
+      Market.of_parameters ~spec:Market.Ced ~alpha:c.estimated_alpha
+        ~p0:truth.Market.p0 ~valuations:estimated_valuations
+        ~costs:(Array.copy truth.Market.costs) truth.Market.flows
+    in
+    let bundles = Strategy.apply c.strategy believed ~n_bundles:c.n_bundles in
+    let target = (Pricing.evaluate believed bundles).Pricing.flow_prices in
+    let flow_prices =
+      Array.init n (fun i ->
+          (c.damping *. target.(i)) +. ((1. -. c.damping) *. previous.flow_prices.(i)))
+    in
+    snapshot index flow_prices
+  in
+  let rec loop acc previous index =
+    if index > c.rounds then List.rev acc
+    else
+      let r = step previous index in
+      loop (r :: acc) r (index + 1)
+  in
+  loop [ initial ] initial 1
+
+let converged ?(tol = 1e-6) rounds =
+  match List.rev rounds with
+  | last :: second_last :: _ ->
+      let diff = Numerics.Vec.linf_dist last.flow_prices second_last.flow_prices in
+      diff <= tol *. (1. +. Numerics.Vec.norm2 last.flow_prices)
+  | _ -> false
+
+let final_capture rounds =
+  match List.rev rounds with
+  | last :: _ -> last.capture
+  | [] -> invalid_arg "Dynamics.final_capture: empty simulation"

@@ -1,0 +1,43 @@
+(** Repricing dynamics under model misestimation.
+
+    The paper's evaluation is static: it assumes the ISP knows the
+    demand model when it restructures tiers. This extension simulates
+    the loop a real ISP would run — observe demand at current prices,
+    re-fit valuations {e using its own (possibly wrong) elasticity
+    estimate}, re-bundle, re-price, let true demand respond — and asks
+    whether the loop converges and how much profit a wrong elasticity
+    costs.
+
+    Ground truth is a fitted {!Market.t}; the ISP sees only realized
+    per-flow demands. Currently CED-only: the logit fit additionally
+    needs a share-of-nothing estimate, which the ISP cannot observe. *)
+
+type config = {
+  truth : Market.t;  (** True market (must be CED). *)
+  estimated_alpha : float;  (** The ISP's elasticity belief ([> 1]). *)
+  strategy : Strategy.t;
+  n_bundles : int;
+  rounds : int;
+  damping : float;
+      (** New price = damping * reprice + (1 - damping) * old; in
+          [(0, 1]], 1 = jump straight to the re-optimized prices. *)
+}
+
+type round = {
+  index : int;  (** 0 = the initial blended state. *)
+  flow_prices : float array;
+  realized_demand : float array;  (** True demand at these prices. *)
+  true_profit : float;
+  capture : float;  (** Against the true market's capture context. *)
+}
+
+val simulate : config -> round list
+(** [rounds + 1] entries (initial state included). Raises
+    [Invalid_argument] on a non-CED market, [estimated_alpha <= 1],
+    [rounds < 0] or damping outside [(0, 1]]. *)
+
+val converged : ?tol:float -> round list -> bool
+(** True when the last two rounds' prices differ by less than [tol]
+    (default 1e-6) relatively. *)
+
+val final_capture : round list -> float

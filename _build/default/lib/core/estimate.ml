@@ -1,0 +1,67 @@
+type experiment = { price : float; demand : float }
+
+let validate_experiment e =
+  if not (e.price > 0. && e.demand > 0.) then
+    invalid_arg "Estimate: experiments need positive price and demand"
+
+let alpha_of_flow experiments =
+  List.iter validate_experiment experiments;
+  let xs = Array.of_list (List.map (fun e -> log e.price) experiments) in
+  let ys = Array.of_list (List.map (fun e -> -.log e.demand) experiments) in
+  if Array.length xs < 2 then
+    invalid_arg "Estimate.alpha_of_flow: need at least two observations";
+  (Numerics.Fit.linear ~xs ~ys).Numerics.Fit.slope
+
+let alpha_pooled flows =
+  (* Fixed effects: demean each flow's (ln p, -ln q) pairs so per-flow
+     valuations drop out, then regress the pooled deviations. *)
+  let points =
+    List.concat_map
+      (fun experiments ->
+        match experiments with
+        | [] | [ _ ] -> []
+        | _ ->
+            List.iter validate_experiment experiments;
+            let xs = List.map (fun e -> log e.price) experiments in
+            let ys = List.map (fun e -> -.log e.demand) experiments in
+            let mean l = List.fold_left ( +. ) 0. l /. float_of_int (List.length l) in
+            let mx = mean xs and my = mean ys in
+            List.map2 (fun x y -> (x -. mx, y -. my)) xs ys)
+      flows
+  in
+  if List.length points < 2 then
+    invalid_arg "Estimate.alpha_pooled: not enough observations";
+  let xs = Array.of_list (List.map fst points) in
+  let ys = Array.of_list (List.map snd points) in
+  (Numerics.Fit.linear ~xs ~ys).Numerics.Fit.slope
+
+let probe ?(noise_cv = 0.05) ?rng market ~discounts =
+  (match market.Market.spec with
+  | Market.Ced -> ()
+  | Market.Logit _ | Market.Linear _ ->
+      invalid_arg "Estimate.probe: CED markets only");
+  Array.iter
+    (fun d -> if not (d > 0.) then invalid_arg "Estimate.probe: non-positive discount")
+    discounts;
+  let rng = match rng with Some r -> r | None -> Numerics.Rng.create 17 in
+  Array.to_list
+    (Array.map
+       (fun v ->
+         Array.to_list
+           (Array.map
+              (fun d ->
+                let price = market.Market.p0 *. d in
+                let noise =
+                  if noise_cv = 0. then 1.
+                  else Numerics.Dist.lognormal_of_mean_cv rng ~mean:1. ~cv:noise_cv
+                in
+                { price; demand = Ced.demand ~alpha:market.Market.alpha ~v price *. noise })
+              discounts))
+       market.Market.valuations)
+
+let calibrated_dynamics ?noise_cv ?(discounts = [| 0.7; 0.85; 1.0; 1.15; 1.3 |]) ~truth
+    ~strategy ~n_bundles ~rounds () =
+  let experiments = probe ?noise_cv truth ~discounts in
+  let estimated_alpha = Float.max 1.0001 (alpha_pooled experiments) in
+  Dynamics.simulate
+    { Dynamics.truth; estimated_alpha; strategy; n_bundles; rounds; damping = 1. }

@@ -1,0 +1,50 @@
+(** Elasticity estimation from price experiments.
+
+    {!Dynamics} shows a wrong elasticity belief costs far more profit
+    than coarse tiers; this module is the remedy. Under CED,
+    [ln q = alpha ln v - alpha ln p], so observing demand at two or more
+    price points identifies alpha by a log-log regression — the price
+    experiment a transit ISP can actually run (a small temporary
+    discount on a subset of flows). *)
+
+type experiment = { price : float; demand : float }
+(** One observation of a flow at a trial price. Both positive. *)
+
+val alpha_of_flow : experiment list -> float
+(** OLS slope of [-ln q] on [ln p] for one flow's observations.
+    Requires [>= 2] observations at distinct prices; raises
+    [Invalid_argument] otherwise or on non-positive values. *)
+
+val alpha_pooled : experiment list list -> float
+(** Pooled estimate across flows: each flow is demeaned (its own
+    valuation intercept drops out), then one regression runs over the
+    pooled deviations — the fixed-effects estimator. Flows with fewer
+    than two observations are ignored; raises [Invalid_argument] if
+    nothing remains. *)
+
+val probe :
+  ?noise_cv:float ->
+  ?rng:Numerics.Rng.t ->
+  Market.t ->
+  discounts:float array ->
+  experiment list list
+(** Simulate the experiment on a (CED) ground-truth market: every flow
+    is observed at [p0 * d] for each multiplier [d] in [discounts],
+    with multiplicative lognormal measurement noise ([noise_cv] default
+    0.05). Raises [Invalid_argument] on a logit market or non-positive
+    discounts. *)
+
+val calibrated_dynamics :
+  ?noise_cv:float ->
+  ?discounts:float array ->
+  truth:Market.t ->
+  strategy:Strategy.t ->
+  n_bundles:int ->
+  rounds:int ->
+  unit ->
+  Dynamics.round list
+(** Probe first, then run {!Dynamics.simulate} with the estimated alpha
+    — the measure-then-reprice loop a careful ISP would run. Default
+    discounts span [0.7 .. 1.3]: near [alpha = 1] the optimal markup
+    [alpha/(alpha-1)] diverges, so the experiment needs a wide price
+    spread for the estimate to be tight enough to price from. *)

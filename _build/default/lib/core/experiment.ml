@@ -1,0 +1,394 @@
+module Defaults = struct
+  let alpha = 1.1
+  let p0 = 20.
+  let theta = 0.2
+  let s0 = 0.2
+  let bundle_counts = [ 1; 2; 3; 4; 5; 6 ]
+  let networks = [ "eu_isp"; "internet2"; "cdn" ]
+end
+
+type t = { id : string; description : string; run : unit -> Report.t list }
+
+(* --- shared infrastructure --------------------------------------------- *)
+
+let workload_cache : (string, Flowgen.Workload.t) Hashtbl.t = Hashtbl.create 4
+
+let workload name =
+  match Hashtbl.find_opt workload_cache name with
+  | Some w -> w
+  | None ->
+      let w = Flowgen.Workload.preset name in
+      Hashtbl.add workload_cache name w;
+      w
+
+let market ?(alpha = Defaults.alpha) ?(p0 = Defaults.p0)
+    ?(cost_model = Cost_model.linear ~theta:Defaults.theta) ~spec name =
+  Market.fit ~spec ~alpha ~p0 ~cost_model (Dataset.of_workload (workload name))
+
+let spec_name = Market.demand_spec_name
+let logit_spec = Market.Logit { s0 = Defaults.s0 }
+
+let int_cell = string_of_int
+
+(* --- Table 1 ------------------------------------------------------------ *)
+
+let run_table1 () =
+  let row name =
+    let target = Flowgen.Workload.table1_targets name in
+    let s = Flowgen.Workload.stats (workload name) in
+    [
+      name;
+      Printf.sprintf "%.0f / %.0f" s.w_avg_distance_miles target.t_w_avg_distance;
+      Printf.sprintf "%.2f / %.2f" s.cv_distance target.t_cv_distance;
+      Printf.sprintf "%.1f / %.1f" s.aggregate_gbps target.t_aggregate_gbps;
+      Printf.sprintf "%.2f / %.2f" s.cv_demand target.t_cv_demand;
+    ]
+  in
+  [
+    Report.make ~title:"Table 1: data sets (measured / paper)"
+      ~header:
+        [ "network"; "w-avg dist (mi)"; "CV dist"; "aggregate (Gbps)"; "CV demand" ]
+      (List.map row Defaults.networks)
+      ~notes:
+        [
+          "synthetic workloads calibrated to the paper's Table 1; see \
+           Flowgen.Workload";
+        ];
+  ]
+
+(* --- Figure 1: blended vs tiered toy market ----------------------------- *)
+
+let fig1_market () =
+  let flows =
+    [|
+      Flow.make ~id:0 ~demand_mbps:1. ~distance_miles:200. ();
+      Flow.make ~id:1 ~demand_mbps:2. ~distance_miles:50. ();
+    |]
+  in
+  Market.of_parameters ~spec:Market.Ced ~alpha:2.0 ~valuations:[| 1.7; 2.1 |]
+    ~costs:[| 1.0; 0.5 |] flows
+
+let run_fig1 () =
+  let market = fig1_market () in
+  let blended = Pricing.blended market in
+  let tiered = Pricing.evaluate market (Bundle.singletons ~n_flows:2) in
+  let row label (o : Pricing.outcome) =
+    [
+      label;
+      String.concat " "
+        (Array.to_list (Array.map (fun p -> Printf.sprintf "$%.2f" p) o.bundle_prices));
+      Report.cell_f o.profit;
+      Report.cell_f o.consumer_surplus;
+      Report.cell_f (Pricing.welfare o);
+    ]
+  in
+  [
+    Report.make ~title:"Figure 1: market efficiency loss due to coarse bundling"
+      ~header:[ "pricing"; "prices"; "ISP profit"; "consumer surplus"; "welfare" ]
+      [ row "blended rate" blended; row "two tiers" tiered ]
+      ~notes:
+        [
+          "two CED flows, costs $1.0 and $0.5; tiered pricing should raise \
+           both profit and surplus";
+        ];
+  ]
+
+(* --- Figures 3-5: demand model shapes ----------------------------------- *)
+
+let run_fig3 () =
+  let prices = Sensitivity.linear_range ~steps:16 ~lo:0.25 ~hi:4.0 () in
+  let rows =
+    List.map
+      (fun p ->
+        [
+          Report.cell_f p;
+          Report.cell_f (Ced.demand ~alpha:1.4 ~v:1. p);
+          Report.cell_f (Ced.demand ~alpha:3.3 ~v:1. p);
+        ])
+      prices
+  in
+  [
+    Report.make ~title:"Figure 3: feasible CED demand functions (v = 1)"
+      ~header:[ "price"; "Q alpha=1.4"; "Q alpha=3.3" ]
+      rows;
+  ]
+
+let run_fig4 () =
+  let prices = Sensitivity.linear_range ~steps:25 ~lo:1.05 ~hi:7.0 () in
+  let rows =
+    List.map
+      (fun p ->
+        [
+          Report.cell_f p;
+          Report.cell_f (Ced.flow_profit ~alpha:2. ~v:1. ~c:1. p);
+          Report.cell_f (Ced.flow_profit ~alpha:2. ~v:1. ~c:2. p);
+        ])
+      prices
+  in
+  let p1 = Ced.optimal_price ~alpha:2. ~c:1. in
+  let p2 = Ced.optimal_price ~alpha:2. ~c:2. in
+  [
+    Report.make
+      ~title:"Figure 4: profit for two flows with identical demand, different cost"
+      ~header:[ "price"; "profit c=1"; "profit c=2" ]
+      rows
+      ~notes:
+        [
+          Printf.sprintf "optimal prices: p1* = %.2f, p2* = %.2f (Eq. 4)" p1 p2;
+        ];
+  ]
+
+let run_fig5 () =
+  let valuations = [| 1.6; 1.0 |] in
+  let p2s = Sensitivity.linear_range ~steps:17 ~lo:0.0 ~hi:4.0 () in
+  let q alpha p2 =
+    let s, _ = Logit.shares ~alpha ~valuations ~prices:[| 1.0; p2 |] in
+    s.(1)
+  in
+  let rows =
+    List.map
+      (fun p2 ->
+        [ Report.cell_f p2; Report.cell_f (q 1. p2); Report.cell_f (q 2. p2) ])
+      p2s
+  in
+  [
+    Report.make
+      ~title:"Figure 5: logit demand for flow 2 (v = [1.6; 1.0], p1 = 1, K = 1)"
+      ~header:[ "price p2"; "Q alpha=1"; "Q alpha=2" ]
+      rows;
+  ]
+
+(* --- Figure 6: concave distance-to-cost fit ------------------------------ *)
+
+let run_fig6 () =
+  (* The paper's fitted curves; we sample them with noise and recover the
+     parameters, standing in for the unavailable ITU/NTT price sheets. *)
+  let sources =
+    [ ("ITU", 0.43, 9.43, 0.99); ("NTT", 0.03, 1.12, 1.01) ]
+  in
+  let rng = Numerics.Rng.create 66 in
+  let rows =
+    List.map
+      (fun (label, a, b, c) ->
+        let truth = Numerics.Fit.of_base { Numerics.Fit.a; b; c } in
+        let xs =
+          Array.init 40 (fun i -> 0.02 +. (0.98 *. float_of_int i /. 39.))
+        in
+        let ys =
+          Array.map
+            (fun x ->
+              Numerics.Fit.log_curve_eval truth x
+              +. Numerics.Dist.normal rng ~mean:0. ~stddev:0.02)
+            xs
+        in
+        let fitted = Numerics.Fit.log_linear ~xs ~ys in
+        let back = Numerics.Fit.to_base fitted ~base:b in
+        [
+          label;
+          Printf.sprintf "a=%.2f b=%.2f c=%.2f" a b c;
+          Printf.sprintf "a=%.2f b=%.2f c=%.2f" back.Numerics.Fit.a
+            back.Numerics.Fit.b back.Numerics.Fit.c;
+          Report.cell_f fitted.Numerics.Fit.r2;
+        ])
+      sources
+  in
+  [
+    Report.make ~title:"Figure 6: concave distance-to-price fit (y = a log_b x + c)"
+      ~header:[ "source"; "paper fit"; "recovered fit"; "R^2" ]
+      rows
+      ~notes:
+        [
+          "samples drawn from the paper's published curves + Gaussian noise; \
+           the base b is fixed during recovery (a log_b x is \
+           over-parameterized)";
+        ];
+  ]
+
+(* --- Figures 8-9: bundling strategies ----------------------------------- *)
+
+let strategy_columns = function
+  | Market.Ced | Market.Linear _ ->
+      [
+        Strategy.Optimal; Strategy.Cost_weighted; Strategy.Profit_weighted;
+        Strategy.Demand_weighted; Strategy.Cost_division; Strategy.Index_division;
+      ]
+  | Market.Logit _ ->
+      (* Demand weighting coincides with profit weighting under logit
+         (Eq. 13), as in the paper's Figure 9. *)
+      [
+        Strategy.Optimal; Strategy.Cost_weighted; Strategy.Profit_weighted;
+        Strategy.Cost_division; Strategy.Index_division;
+      ]
+
+let capture_table ~spec ~title network =
+  let m = market ~spec network in
+  let strategies = strategy_columns m.Market.spec in
+  let ctx = Capture.context m in
+  let rows =
+    List.map
+      (fun b ->
+        int_cell b
+        :: List.map
+             (fun strategy ->
+               let bundles = Strategy.apply strategy m ~n_bundles:b in
+               Report.cell_f
+                 (Capture.value ctx (Pricing.evaluate m bundles).Pricing.profit))
+             strategies)
+      Defaults.bundle_counts
+  in
+  Report.make ~title ~header:("bundles" :: List.map Strategy.name strategies) rows
+
+let run_fig8 () =
+  List.map
+    (fun network ->
+      capture_table ~spec:Market.Ced
+        ~title:(Printf.sprintf "Figure 8 (%s): profit capture, CED demand" network)
+        network)
+    Defaults.networks
+
+let run_fig9 () =
+  List.map
+    (fun network ->
+      capture_table ~spec:logit_spec
+        ~title:(Printf.sprintf "Figure 9 (%s): profit capture, logit demand" network)
+        network)
+    Defaults.networks
+
+(* --- Figures 10-13: cost models ------------------------------------------ *)
+
+(* Normalized profit increase: (pi(B, theta) - pi_orig(theta)) divided by
+   the largest headroom across the theta settings, so settings with less
+   cost variability visibly plateau lower (the paper's normalization). *)
+let theta_table ~spec ~strategy ~cost_of_theta ~thetas ~title network =
+  let markets =
+    List.map (fun th -> (th, market ~spec ~cost_model:(cost_of_theta th) network)) thetas
+  in
+  let contexts = List.map (fun (th, m) -> (th, m, Capture.context m)) markets in
+  let max_headroom =
+    List.fold_left (fun acc (_, _, ctx) -> Float.max acc (Capture.headroom ctx)) 0.
+      contexts
+  in
+  let rows =
+    List.map
+      (fun b ->
+        int_cell b
+        :: List.map
+             (fun (_, m, ctx) ->
+               let bundles = Strategy.apply strategy m ~n_bundles:b in
+               let profit = (Pricing.evaluate m bundles).Pricing.profit in
+               Report.cell_f ((profit -. ctx.Capture.original) /. max_headroom))
+             contexts)
+      Defaults.bundle_counts
+  in
+  Report.make ~title
+    ~header:("bundles" :: List.map (fun th -> Printf.sprintf "theta=%g" th) thetas)
+    rows
+    ~notes:[ "normalized to the largest profit headroom across theta settings" ]
+
+let cost_model_figure ~figure ~model_name ~cost_of_theta ~thetas ~strategy =
+  List.map
+    (fun spec ->
+      theta_table ~spec ~strategy ~cost_of_theta ~thetas
+        ~title:
+          (Printf.sprintf "Figure %s (EU ISP, %s demand): %s cost model" figure
+             (spec_name spec) model_name)
+        "eu_isp")
+    [ Market.Ced; logit_spec ]
+
+let run_fig10 () =
+  cost_model_figure ~figure:"10" ~model_name:"linear"
+    ~cost_of_theta:(fun theta -> Cost_model.linear ~theta)
+    ~thetas:[ 0.1; 0.2; 0.3 ] ~strategy:Strategy.Profit_weighted
+
+let run_fig11 () =
+  cost_model_figure ~figure:"11" ~model_name:"concave"
+    ~cost_of_theta:(fun theta -> Cost_model.concave ~theta)
+    ~thetas:[ 0.1; 0.2; 0.3 ] ~strategy:Strategy.Profit_weighted
+
+let run_fig12 () =
+  cost_model_figure ~figure:"12" ~model_name:"regional"
+    ~cost_of_theta:(fun theta -> Cost_model.regional ~theta)
+    ~thetas:[ 1.0; 1.1; 1.2 ] ~strategy:Strategy.Profit_weighted
+
+let run_fig13 () =
+  cost_model_figure ~figure:"13" ~model_name:"destination-type"
+    ~cost_of_theta:(fun theta -> Cost_model.destination_type ~theta)
+    ~thetas:[ 0.05; 0.1; 0.15 ] ~strategy:Strategy.Profit_weighted_classes
+
+(* --- Figures 14-16: parameter sweeps ------------------------------------- *)
+
+let sweep_table ~title ~mode ~markets_of_network =
+  List.map
+    (fun spec ->
+      let rows =
+        let columns =
+          List.map
+            (fun network ->
+              let markets = markets_of_network spec network in
+              Sensitivity.envelope ~markets ~strategy:Strategy.Profit_weighted
+                ~bundle_counts:Defaults.bundle_counts ~mode)
+            Defaults.networks
+        in
+        List.mapi
+          (fun i b ->
+            int_cell b
+            :: List.map (fun col -> Report.cell_f (snd (List.nth col i))) columns)
+          Defaults.bundle_counts
+      in
+      Report.make
+        ~title:(Printf.sprintf "%s (%s demand)" title (spec_name spec))
+        ~header:("bundles" :: Defaults.networks)
+        rows)
+
+let run_fig14 () =
+  let alphas = Sensitivity.alpha_range ~steps:6 ~lo:1.1 ~hi:10. () in
+  sweep_table
+    ~title:"Figure 14: minimum profit capture over alpha in [1.1, 10]" ~mode:`Min
+    ~markets_of_network:(fun spec network ->
+      List.map (fun alpha -> market ~alpha ~spec network) alphas)
+    [ Market.Ced; logit_spec ]
+
+let run_fig15 () =
+  let p0s = Sensitivity.linear_range ~steps:6 ~lo:5. ~hi:30. () in
+  sweep_table
+    ~title:"Figure 15: minimum profit capture over P0 in [5, 30]" ~mode:`Min
+    ~markets_of_network:(fun spec network ->
+      List.map (fun p0 -> market ~p0 ~spec network) p0s)
+    [ Market.Ced; logit_spec ]
+
+let run_fig16 () =
+  (* s0 below 1/(alpha p0) would imply negative costs; start above it. *)
+  let s0s = Sensitivity.linear_range ~steps:6 ~lo:0.06 ~hi:0.9 () in
+  sweep_table
+    ~title:"Figure 16: maximum profit capture over s0 in (0, 0.9]" ~mode:`Max
+    ~markets_of_network:(fun _ network ->
+      List.map (fun s0 -> market ~spec:(Market.Logit { s0 }) network) s0s)
+    [ logit_spec ]
+
+(* --- registry ------------------------------------------------------------ *)
+
+let all =
+  [
+    { id = "table1"; description = "data-set statistics vs paper targets"; run = run_table1 };
+    { id = "fig1"; description = "blended vs tiered toy market"; run = run_fig1 };
+    { id = "fig3"; description = "feasible CED demand functions"; run = run_fig3 };
+    { id = "fig4"; description = "per-flow profit maximization"; run = run_fig4 };
+    { id = "fig5"; description = "logit demand functions"; run = run_fig5 };
+    { id = "fig6"; description = "concave distance-to-cost fit"; run = run_fig6 };
+    { id = "fig8"; description = "bundling strategies, CED demand"; run = run_fig8 };
+    { id = "fig9"; description = "bundling strategies, logit demand"; run = run_fig9 };
+    { id = "fig10"; description = "linear cost model sensitivity"; run = run_fig10 };
+    { id = "fig11"; description = "concave cost model sensitivity"; run = run_fig11 };
+    { id = "fig12"; description = "regional cost model sensitivity"; run = run_fig12 };
+    { id = "fig13"; description = "destination-type cost model sensitivity"; run = run_fig13 };
+    { id = "fig14"; description = "robustness to price sensitivity alpha"; run = run_fig14 };
+    { id = "fig15"; description = "robustness to blended rate P0"; run = run_fig15 };
+    { id = "fig16"; description = "robustness to non-participation s0"; run = run_fig16 };
+  ]
+
+let ids () = List.map (fun e -> e.id) all
+
+let find id =
+  match List.find_opt (fun e -> String.equal e.id id) all with
+  | Some e -> e
+  | None -> raise Not_found

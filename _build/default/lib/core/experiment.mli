@@ -1,0 +1,46 @@
+(** The experiment registry: one entry per table/figure of the paper
+    that the model reproduces.
+
+    Each experiment regenerates the corresponding artifact as one or
+    more {!Report.t} tables (a figure's line series become columns).
+    Everything is deterministic. Figure 2 (direct peering) and
+    Figure 17 (accounting) exercise the routing substrate and live in
+    the benchmark harness and examples instead; see DESIGN.md's
+    experiment index. *)
+
+type t = {
+  id : string;  (** e.g. ["fig8"], ["table1"]. *)
+  description : string;
+  run : unit -> Report.t list;
+}
+
+val all : t list
+(** In paper order. *)
+
+val ids : unit -> string list
+val find : string -> t
+(** Raises [Not_found]. *)
+
+(** Default evaluation parameters (§4.2.2): [alpha = 1.1],
+    [p0 = $20/Mbps/month], linear cost model with [theta = 0.2], logit
+    non-participation [s0 = 0.2], bundle counts 1..6. *)
+module Defaults : sig
+  val alpha : float
+  val p0 : float
+  val theta : float
+  val s0 : float
+  val bundle_counts : int list
+  val networks : string list
+end
+
+val workload : string -> Flowgen.Workload.t
+(** Memoized calibrated workload for a network name. *)
+
+val market :
+  ?alpha:float ->
+  ?p0:float ->
+  ?cost_model:Cost_model.t ->
+  spec:Market.demand_spec ->
+  string ->
+  Market.t
+(** Fitted market for a network under the defaults, with overrides. *)

@@ -1,0 +1,37 @@
+type locality = Metro | National | International
+
+let locality_to_string = function
+  | Metro -> "metro"
+  | National -> "national"
+  | International -> "international"
+
+type t = {
+  id : int;
+  demand_mbps : float;
+  distance_miles : float;
+  locality : locality;
+  on_net : bool;
+}
+
+(* §3.3: the EU ISP data only exposes distances, so the paper classifies
+   flows under 10 miles as metro and under 100 as national. *)
+let classify_distance d =
+  if d < 10. then Metro else if d < 100. then National else International
+
+let make ?locality ?(on_net = false) ~id ~demand_mbps ~distance_miles () =
+  if demand_mbps < 0. then invalid_arg "Flow.make: negative demand";
+  if distance_miles < 0. then invalid_arg "Flow.make: negative distance";
+  let locality =
+    match locality with Some l -> l | None -> classify_distance distance_miles
+  in
+  { id; demand_mbps; distance_miles; locality; on_net }
+
+let demands flows = Array.map (fun f -> f.demand_mbps) flows
+let distances flows = Array.map (fun f -> f.distance_miles) flows
+let total_demand_mbps flows = Numerics.Stats.sum (demands flows)
+
+let pp ppf f =
+  Format.fprintf ppf "flow#%d %.2f Mbps over %.1f mi (%s%s)" f.id f.demand_mbps
+    f.distance_miles
+    (locality_to_string f.locality)
+    (if f.on_net then ", on-net" else "")

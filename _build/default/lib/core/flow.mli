@@ -1,0 +1,41 @@
+(** Traffic flows as the pricing model sees them.
+
+    A flow is a destination-based traffic aggregate: the demand observed
+    at the current blended price, the distance the traffic travels and
+    the classification attributes the cost models need. Valuations and
+    costs are {e derived} from these by {!Market.fit}; they are not part
+    of the flow itself. *)
+
+type locality = Metro | National | International
+
+val locality_to_string : locality -> string
+
+type t = {
+  id : int;
+  demand_mbps : float;  (** Observed demand at the blended price. *)
+  distance_miles : float;
+  locality : locality;
+  on_net : bool;  (** Destination is a customer of the ISP. *)
+}
+
+val make :
+  ?locality:locality ->
+  ?on_net:bool ->
+  id:int ->
+  demand_mbps:float ->
+  distance_miles:float ->
+  unit ->
+  t
+(** [locality] defaults to a distance-threshold classification (metro
+    under 10 miles, national under 100, the paper's EU ISP rule);
+    [on_net] defaults to [false]. Raises [Invalid_argument] on negative
+    demand or distance. *)
+
+val classify_distance : float -> locality
+(** The 10 / 100 mile thresholds of §3.3. *)
+
+val demands : t array -> float array
+val distances : t array -> float array
+val total_demand_mbps : t array -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+let check_epsilon epsilon =
+  if not (epsilon > 1.) then invalid_arg "Lin: epsilon must be > 1"
+
+let coefficients ~epsilon ~p0 ~q =
+  check_epsilon epsilon;
+  if not (p0 > 0. && q > 0.) then invalid_arg "Lin.coefficients: need p0 > 0, q > 0";
+  let b = epsilon *. q /. p0 in
+  (q *. (1. +. epsilon), b)
+
+let demand ~a ~b p = Float.max 0. (a -. (b *. p))
+
+let flow_profit ~a ~b ~c p = demand ~a ~b p *. (p -. c)
+
+let optimal_price ~a ~b ~c =
+  if not (b > 0.) then invalid_arg "Lin.optimal_price: b must be positive";
+  (* Above the choke price a/b demand is zero; a flow whose cost exceeds
+     the choke cannot be served at a profit, and its "optimal" price is
+     the choke itself (zero demand, zero loss). *)
+  Float.min ((a +. (b *. c)) /. (2. *. b)) (a /. b)
+
+let potential_profit ~a ~b ~c =
+  if not (b > 0.) then invalid_arg "Lin.potential_profit: b must be positive";
+  let margin = a -. (b *. c) in
+  if margin <= 0. then 0. else margin *. margin /. (4. *. b)
+
+let bundle_price ~a_sum ~b_sum ~bc_sum =
+  if not (b_sum > 0.) then invalid_arg "Lin.bundle_price: sum b must be positive";
+  (* Clamp at the (common, under the fit) choke price a_sum / b_sum: a
+     bundle whose weighted cost exceeds the choke earns zero at best. *)
+  Float.min ((a_sum +. bc_sum) /. (2. *. b_sum)) (a_sum /. b_sum)
+
+let bundle_profit ~a_sum ~b_sum ~bc_sum ~ac_sum ~price =
+  (price *. a_sum) -. ac_sum -. (price *. price *. b_sum) +. (price *. bc_sum)
+
+let gamma ~epsilon ~p0 ~demands ~rel_costs =
+  check_epsilon epsilon;
+  if Array.length demands <> Array.length rel_costs then
+    invalid_arg "Lin.gamma: length mismatch";
+  if Array.length demands = 0 then invalid_arg "Lin.gamma: empty market";
+  (* Stationarity of sum (a_i - b_i P)(P - c_i) at p0 gives
+     c_bar = p0 (epsilon - 1) / epsilon where c_bar is the b-weighted
+     average cost; with c_i = gamma f_i this pins gamma. *)
+  let b = Array.map (fun q -> epsilon *. q /. p0) demands in
+  let bf = Array.map2 (fun bi f -> bi *. f) b rel_costs in
+  p0 *. (epsilon -. 1.) /. epsilon *. Numerics.Stats.sum b /. Numerics.Stats.sum bf
+
+let consumer_surplus ~a ~b p =
+  if not (b > 0.) then invalid_arg "Lin.consumer_surplus: b must be positive";
+  let q = demand ~a ~b p in
+  q *. q /. (2. *. b)

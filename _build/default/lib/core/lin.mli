@@ -1,0 +1,60 @@
+(** Linear demand — a third demand family (extension).
+
+    The paper evaluates under CED and logit and argues its results are
+    robust because they agree across models; adding the textbook linear
+    demand [q_i(p) = max 0 (a_i - b_i p)] tests that claim from outside
+    the paper's own choices.
+
+    Fitting follows the same §4.1 inversion. Observing [q_i] at the
+    blended price [p0] fixes one parameter; the second comes from a
+    point-elasticity assumption [epsilon = b_i p0 / q_i] shared by all
+    flows (the linear analogue of CED's common alpha), giving
+    [b_i = epsilon q_i / p0] and [a_i = q_i (1 + epsilon)]. Requires
+    [epsilon > 1], otherwise the blended stationarity implies
+    non-positive costs — exactly the CED constraint in new clothes.
+
+    All formulas below assume prices within the positive-demand range;
+    profit-maximizing prices always are (demand at the optimum equals
+    [(a - b c) / 2], which is positive whenever the flow is worth
+    serving). *)
+
+val check_epsilon : float -> unit
+(** Raises [Invalid_argument] unless [epsilon > 1]. *)
+
+val coefficients : epsilon:float -> p0:float -> q:float -> float * float
+(** [(a, b)] for a flow observed demanding [q] at [p0]. *)
+
+val demand : a:float -> b:float -> float -> float
+(** [max 0 (a - b p)]. *)
+
+val flow_profit : a:float -> b:float -> c:float -> float -> float
+val optimal_price : a:float -> b:float -> c:float -> float
+(** [(a + b c) / (2 b)], clamped at the choke price [a / b]: a flow
+    whose cost exceeds the choke cannot be served at a profit and is
+    priced out (zero demand). Requires [b > 0]. *)
+
+val potential_profit : a:float -> b:float -> c:float -> float
+(** [(a - b c)^2 / (4 b)] when the flow is servable ([a > b c]), else
+    [0] — profit at the flow's own optimal price. *)
+
+val bundle_price :
+  a_sum:float -> b_sum:float -> bc_sum:float -> float
+(** The common price maximizing a bundle's summed profit:
+    [(sum a + sum b c) / (2 sum b)], clamped at [sum a / sum b] (under
+    the common-elasticity fit every member shares that choke price, so
+    the clamp is exact). *)
+
+val bundle_profit :
+  a_sum:float -> b_sum:float -> bc_sum:float -> ac_sum:float -> price:float -> float
+(** Summed profit at a common price from the bundle's sufficient
+    statistics [sum a], [sum b], [sum b c], [sum a c]:
+    [P sum_a - sum_ac - P^2 sum_b + P sum_bc]. *)
+
+val gamma :
+  epsilon:float -> p0:float -> demands:float array -> rel_costs:float array -> float
+(** The scale making [p0] the blended optimum:
+    [gamma = p0 (epsilon - 1)/epsilon * sum b / sum (b f(d))] with
+    [b_i = epsilon q_i / p0]. *)
+
+val consumer_surplus : a:float -> b:float -> float -> float
+(** Triangle area [(a - b p)^2 / (2 b)] for [p] in the demand range. *)

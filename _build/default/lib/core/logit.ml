@@ -1,0 +1,108 @@
+let check_alpha alpha =
+  if not (alpha > 0.) then invalid_arg "Logit: alpha must be > 0"
+
+let check_s0 s0 =
+  if not (s0 > 0. && s0 < 1.) then invalid_arg "Logit: s0 must be in (0, 1)"
+
+let check_lengths valuations prices =
+  if Array.length valuations <> Array.length prices then
+    invalid_arg "Logit: array length mismatch";
+  if Array.length valuations = 0 then invalid_arg "Logit: empty flow set"
+
+type fit = { valuations : float array; k : float; s0 : float; p0 : float }
+
+let fit_valuations ~alpha ~p0 ~s0 ~demands =
+  check_alpha alpha;
+  check_s0 s0;
+  if Array.length demands = 0 then invalid_arg "Logit.fit_valuations: no demands";
+  let total = Numerics.Stats.sum demands in
+  if not (total > 0.) then invalid_arg "Logit.fit_valuations: zero total demand";
+  let valuations =
+    Array.map
+      (fun q ->
+        if not (q > 0.) then
+          invalid_arg "Logit.fit_valuations: demands must be positive";
+        let share = q *. (1. -. s0) /. total in
+        ((log share -. log s0) /. alpha) +. p0)
+      demands
+  in
+  { valuations; k = total /. (1. -. s0); s0; p0 }
+
+let gamma ~alpha ~p0 ~s0 ~valuations ~rel_costs =
+  check_alpha alpha;
+  check_s0 s0;
+  check_lengths valuations rel_costs;
+  let margin = 1. /. (alpha *. s0) in
+  if p0 <= margin then
+    invalid_arg
+      (Printf.sprintf
+         "Logit.gamma: p0 = %g <= 1/(alpha s0) = %g implies negative costs" p0
+         margin);
+  (* w_i = e^(alpha (v_i - p0)) = s_i / s0: bounded, no overflow. *)
+  let w = Array.map (fun v -> exp (alpha *. (v -. p0))) valuations in
+  let wf = Array.map2 (fun wi f -> wi *. f) w rel_costs in
+  (p0 -. margin) *. Numerics.Stats.sum w /. Numerics.Stats.sum wf
+
+let shares ~alpha ~valuations ~prices =
+  check_alpha alpha;
+  check_lengths valuations prices;
+  let exponents = Array.map2 (fun v p -> alpha *. (v -. p)) valuations prices in
+  (* Include the no-purchase option as exponent 0. *)
+  let ln_z = Numerics.Stats.logsumexp (Array.append exponents [| 0. |]) in
+  (Array.map (fun x -> exp (x -. ln_z)) exponents, exp (-.ln_z))
+
+let demands_at ~alpha ~k ~valuations ~prices =
+  let s, _ = shares ~alpha ~valuations ~prices in
+  Array.map (fun si -> k *. si) s
+
+let profit_at ~alpha ~k ~valuations ~costs ~prices =
+  check_lengths valuations costs;
+  let s, _ = shares ~alpha ~valuations ~prices in
+  let terms = Array.init (Array.length s) (fun i -> s.(i) *. (prices.(i) -. costs.(i))) in
+  k *. Numerics.Stats.sum terms
+
+let consumer_surplus ~alpha ~k ~valuations ~prices =
+  check_alpha alpha;
+  check_lengths valuations prices;
+  let exponents = Array.map2 (fun v p -> alpha *. (v -. p)) valuations prices in
+  let ln_z = Numerics.Stats.logsumexp (Array.append exponents [| 0. |]) in
+  k /. alpha *. ln_z
+
+let bundle_aggregate ~alpha ~valuations ~costs =
+  check_alpha alpha;
+  check_lengths valuations costs;
+  let exponents = Array.map (fun v -> alpha *. v) valuations in
+  let ln_w = Numerics.Stats.logsumexp exponents in
+  let weights = Array.map (fun x -> exp (x -. ln_w)) exponents in
+  let c_terms = Array.map2 (fun u c -> u *. c) weights costs in
+  (ln_w /. alpha, Numerics.Stats.sum c_terms)
+
+let ln_s ~alpha ~valuations ~costs =
+  check_alpha alpha;
+  check_lengths valuations costs;
+  Numerics.Stats.logsumexp (Array.map2 (fun v c -> alpha *. (v -. c)) valuations costs)
+
+let optimal_margin ~alpha ~ln_s =
+  check_alpha alpha;
+  (* Solve the log form x + ln (x - 1) = ln_s, which stays well-scaled
+     for arbitrarily large ln_s (the raw form's exp term swamps Newton).
+     The root is bracketed by 1 + e^(ln_s - hi) < x < hi. *)
+  let f x = x +. log (x -. 1.) -. ln_s in
+  let df x = 1. +. (1. /. (x -. 1.)) in
+  let hi = Float.max 2. (ln_s +. 2.) in
+  let lo = 1. +. exp (ln_s -. hi) in
+  if lo >= hi then hi
+  else if f lo >= 0. then lo
+  else Numerics.Solve.newton_bisect ~f ~df lo hi
+
+type optimum = { prices : float array; x : float; profit_per_k : float }
+
+let optimize ~alpha ~valuations ~costs =
+  let ln_s_value = ln_s ~alpha ~valuations ~costs in
+  let x = optimal_margin ~alpha ~ln_s:ln_s_value in
+  let margin = x /. alpha in
+  {
+    prices = Array.map (fun c -> c +. margin) costs;
+    x;
+    profit_per_k = (x -. 1.) /. alpha;
+  }

@@ -1,0 +1,153 @@
+type period = { label : string; hours : int * int; weight : float }
+
+(* Hourly diurnal weight of a shape, normalized to mean one — the same
+   curve Netflow.synthesize spreads traffic with. *)
+let hourly_weights (shape : Flowgen.Netflow.shape) =
+  let raw =
+    Array.init 24 (fun h ->
+        1.
+        +. shape.Flowgen.Netflow.diurnal_amplitude
+           *. cos
+                (2. *. Float.pi
+                *. (float_of_int h -. shape.Flowgen.Netflow.peak_hour)
+                /. 24.))
+  in
+  let mean = Numerics.Stats.mean raw in
+  Array.map (fun w -> w /. mean) raw
+
+let span_weight weights start stop =
+  let total = ref 0. in
+  for h = start to stop - 1 do
+    total := !total +. weights.(h mod 24)
+  done;
+  !total /. float_of_int (stop - start)
+
+let periods_of_shape shape ~n_periods =
+  if n_periods < 1 || 24 mod n_periods <> 0 then
+    invalid_arg "Peak.periods_of_shape: n_periods must divide 24";
+  let weights = hourly_weights shape in
+  let span = 24 / n_periods in
+  Array.init n_periods (fun p ->
+      let start = p * span in
+      let stop = start + span in
+      {
+        label = Printf.sprintf "%02d-%02dh" start stop;
+        hours = (start, stop);
+        weight = span_weight weights start stop;
+      })
+
+let peak_offpeak shape =
+  let weights = hourly_weights shape in
+  let best_start = ref 0 and best = ref neg_infinity in
+  for start = 0 to 23 do
+    let w = span_weight weights start (start + 12) in
+    if w > !best then begin
+      best := w;
+      best_start := start
+    end
+  done;
+  let start = !best_start in
+  [|
+    {
+      label = Printf.sprintf "peak %02d-%02dh" start ((start + 12) mod 24);
+      hours = (start, start + 12);
+      weight = !best;
+    };
+    {
+      label = "off-peak";
+      hours = (start + 12, start + 24);
+      weight = span_weight weights (start + 12) (start + 24);
+    };
+  |]
+
+type outcome = {
+  single_price_profit : float;
+  per_period_profit : float;
+  gain : float;
+  period_prices : (string * float array) list;
+}
+
+let evaluate ?(congestion_premium = 0.5) market strategy ~n_bundles periods =
+  (match market.Market.spec with
+  | Market.Ced -> ()
+  | Market.Logit _ | Market.Linear _ -> invalid_arg "Peak.evaluate: CED markets only");
+  if Array.length periods = 0 then invalid_arg "Peak.evaluate: no periods";
+  if congestion_premium < 0. then invalid_arg "Peak.evaluate: negative premium";
+  let alpha = market.Market.alpha in
+  let bundles = Strategy.apply strategy market ~n_bundles in
+  let member_vs = Bundle.gather bundles market.Market.valuations in
+  let member_cs = Bundle.gather bundles market.Market.costs in
+  let duration p = let start, stop = p.hours in float_of_int (stop - start) in
+  let total_hours = Array.fold_left (fun acc p -> acc +. duration p) 0. periods in
+  let frac p = duration p /. total_hours in
+  (* Period demand q * w means period valuation v * w^(1/alpha); period
+     cost carries the peak-load premium. *)
+  let scaled_vs p =
+    Array.map (Array.map (fun v -> v *. (p.weight ** (1. /. alpha)))) member_vs
+  in
+  let period_cost p c =
+    c *. (1. +. (congestion_premium *. Float.max 0. (p.weight -. 1.)))
+  in
+  let period_cs p = Array.map (Array.map (period_cost p)) member_cs in
+  let weighted_profit price_of =
+    let acc = ref 0. in
+    Array.iteri
+      (fun pi p ->
+        let vs = scaled_vs p and cs = period_cs p in
+        let profit = ref 0. in
+        Array.iteri
+          (fun b v_members ->
+            profit :=
+              !profit
+              +. Ced.bundle_profit ~alpha ~valuations:v_members ~costs:cs.(b)
+                   ~price:(price_of pi b))
+          vs;
+        acc := !acc +. (frac p *. !profit))
+      periods;
+    !acc
+  in
+  (* Single price per bundle, optimal against the whole day: Eq. 5 with
+     each flow's cost replaced by its demand-weighted day-average cost
+     (profit is linear in the per-period demand scale). *)
+  let base_prices =
+    let weight_total =
+      Array.fold_left (fun acc p -> acc +. (frac p *. p.weight)) 0. periods
+    in
+    Array.mapi
+      (fun b vs ->
+        let day_costs =
+          Array.map
+            (fun c ->
+              let weighted =
+                Array.fold_left
+                  (fun acc p -> acc +. (frac p *. p.weight *. period_cost p c))
+                  0. periods
+              in
+              weighted /. weight_total)
+            member_cs.(b)
+        in
+        Ced.bundle_price ~alpha ~valuations:vs ~costs:day_costs)
+      member_vs
+  in
+  let single_price_profit = weighted_profit (fun _ b -> base_prices.(b)) in
+  (* Per-period prices: re-optimize each (period, bundle) cell. *)
+  let period_price_table =
+    Array.map
+      (fun p ->
+        let vs = scaled_vs p and cs = period_cs p in
+        ( p.label,
+          Array.mapi
+            (fun b v_members ->
+              Ced.bundle_price ~alpha ~valuations:v_members ~costs:cs.(b))
+            vs ))
+      periods
+  in
+  let per_period_profit =
+    weighted_profit (fun pi b -> (snd period_price_table.(pi)).(b))
+  in
+  {
+    single_price_profit;
+    per_period_profit;
+    gain = (per_period_profit -. single_price_profit) /. single_price_profit;
+    period_prices = Array.to_list period_price_table;
+  }

@@ -1,0 +1,51 @@
+(** Time-of-day tiering — the temporal axis the related work explores
+    (Jiang et al., Hande et al.; §6 of the paper).
+
+    The NetFlow substrate already gives traffic a diurnal shape; here the
+    day is split into periods, each period's demand is fitted as its own
+    CED flow set (demand scales with the diurnal weight), and the ISP
+    prices (period x bundle) cells. Because CED demand is separable,
+    every machinery piece of the base model applies per period. *)
+
+type period = { label : string; hours : int * int; weight : float }
+(** [hours = (start, stop))] in [0, 24), [weight] = average diurnal
+    multiplier of the period (mean 1 across the full day when weighted
+    by duration). *)
+
+val periods_of_shape : Flowgen.Netflow.shape -> n_periods:int -> period array
+(** Split the day into [n_periods] equal spans and average the shape's
+    diurnal weights over each. *)
+
+val peak_offpeak : Flowgen.Netflow.shape -> period array
+(** The classic two-period split: the 12 busiest consecutive hours vs
+    the rest. *)
+
+type outcome = {
+  single_price_profit : float;  (** One price across all periods. *)
+  per_period_profit : float;  (** One price per (period, bundle). *)
+  gain : float;  (** Relative profit gain of time-of-day pricing. *)
+  period_prices : (string * float array) list;
+      (** Optimal bundle prices per period. *)
+}
+
+val evaluate :
+  ?congestion_premium:float ->
+  Market.t ->
+  Strategy.t ->
+  n_bundles:int ->
+  period array ->
+  outcome
+(** CED-only. The single-price benchmark prices the same partition once
+    for the whole day, optimally against the time-varying demand/cost;
+    the per-period variant re-prices every (period, bundle) cell.
+
+    Because CED demand under a {e common} multiplicative diurnal scaling
+    leaves optimal prices unchanged, time-of-day pricing only gains when
+    delivery costs are time-varying. [congestion_premium] (default 0.5)
+    models peak-load provisioning: a flow's period cost is
+    [c_i * (1 + premium * max 0 (weight_p - 1))] — above-average load
+    hours are proportionally dearer to serve. With [premium = 0] the
+    gain is exactly zero (a property the tests assert).
+
+    Raises [Invalid_argument] for a logit market, an empty period array
+    or a negative premium. *)

@@ -1,0 +1,60 @@
+type t = {
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ?(notes = []) ~title ~header rows =
+  let width = List.length header in
+  List.iter
+    (fun row ->
+      if List.length row <> width then
+        invalid_arg ("Report.make: ragged row in table " ^ title))
+    rows;
+  { title; header; rows; notes }
+
+let cell_f v =
+  if Float.is_nan v then "nan"
+  else if Float.abs v >= 0.01 && Float.abs v < 10000. then Printf.sprintf "%.3f" v
+  else Printf.sprintf "%.3g" v
+
+let cell_pct v = Printf.sprintf "%.1f%%" (100. *. v)
+
+let column_widths t =
+  let update widths row =
+    List.map2 (fun w cell -> max w (String.length cell)) widths row
+  in
+  List.fold_left update (List.map String.length t.header) t.rows
+
+let print ppf t =
+  let widths = column_widths t in
+  let pad cell width = cell ^ String.make (width - String.length cell) ' ' in
+  let print_row row =
+    let cells = List.map2 pad row widths in
+    Format.fprintf ppf "  %s@." (String.concat "  " cells)
+  in
+  Format.fprintf ppf "@.%s@.%s@." t.title (String.make (String.length t.title) '=');
+  print_row t.header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row t.rows;
+  List.iter (fun note -> Format.fprintf ppf "  note: %s@." note) t.notes
+
+let to_markdown t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("### " ^ t.title ^ "\n\n");
+  let line row = "| " ^ String.concat " | " row ^ " |\n" in
+  Buffer.add_string buf (line t.header);
+  Buffer.add_string buf (line (List.map (fun _ -> "---") t.header));
+  List.iter (fun row -> Buffer.add_string buf (line row)) t.rows;
+  List.iter (fun note -> Buffer.add_string buf ("\n> " ^ note ^ "\n")) t.notes;
+  Buffer.contents buf
+
+let escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let line row = String.concat "," (List.map escape row) in
+  String.concat "\n" (line t.header :: List.map line t.rows) ^ "\n"

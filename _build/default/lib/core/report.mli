@@ -1,0 +1,32 @@
+(** Plain-text tables for the experiment harness.
+
+    Every reproduced figure/table is printed as one of these, so the
+    benchmark output can be diffed across runs and against
+    EXPERIMENTS.md. *)
+
+type t = {
+  title : string;
+  header : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val make : ?notes:string list -> title:string -> header:string list -> string list list -> t
+(** Raises [Invalid_argument] when a row's width differs from the
+    header's. *)
+
+val cell_f : float -> string
+(** Compact float formatting ([%.3g] with fixed-point for moderate
+    magnitudes). *)
+
+val cell_pct : float -> string
+(** A ratio as a percentage with one decimal. *)
+
+val print : Format.formatter -> t -> unit
+(** Aligned columns, underlined title, notes at the end. *)
+
+val to_csv : t -> string
+
+val to_markdown : t -> string
+(** GitHub-flavoured table with the title as a heading and notes as a
+    trailing blockquote. *)

@@ -1,0 +1,25 @@
+(** Parameter sweeps (§4.3.2).
+
+    Figures 14-16 plot, for each bundle count, the worst (or best)
+    profit capture observed while one model parameter sweeps a range —
+    a robustness summary, not a single curve. *)
+
+val capture_at :
+  Market.t -> Strategy.t -> n_bundles:int -> float
+(** Capture of a strategy at one bundle count. *)
+
+val envelope :
+  markets:Market.t list ->
+  strategy:Strategy.t ->
+  bundle_counts:int list ->
+  mode:[ `Min | `Max ] ->
+  (int * float) list
+(** For each bundle count, the min (or max) capture across the fitted
+    markets. Markets whose fit raised (e.g. a logit [s0] implying
+    negative costs) should be filtered out before calling; raises
+    [Invalid_argument] on an empty market list. *)
+
+val alpha_range : ?steps:int -> lo:float -> hi:float -> unit -> float list
+(** Geometric grid, suitable for elasticity sweeps. *)
+
+val linear_range : ?steps:int -> lo:float -> hi:float -> unit -> float list

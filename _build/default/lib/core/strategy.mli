@@ -1,0 +1,47 @@
+(** The six bundling strategies of §4.2.1, plus the class-aware
+    refinement of §4.3.1.
+
+    All heuristics produce at most [n_bundles] bundles (fewer when a
+    range ends up empty, mirroring the paper's cost-division dips).
+
+    The [Optimal] strategy: for CED the profit of a flow at a common
+    price [P] factors as [v_i^alpha * P^(-alpha) (P - c_i)], so the best
+    bundle for a flow depends only on its cost and the optimal partition
+    is contiguous in cost order — an O(B n^2) dynamic program over
+    cost-sorted flows is {e exact}. For logit, optimal profit is
+    monotone in [S = sum_b W_b e^(-alpha c_b)] (see {!Logit}), which is
+    additive over bundles, so the same DP applies; contiguity in cost is
+    near-exact there, and the result is additionally floored at the best
+    heuristic (tests cross-check against exhaustive search on small
+    instances). *)
+
+type t =
+  | Optimal
+  | Demand_weighted
+  | Cost_weighted
+  | Profit_weighted
+  | Profit_weighted_classes
+      (** Profit-weighted, but flows of different cost classes (on-net
+          vs off-net, or locality under the regional model) never share
+          a bundle. *)
+  | Cost_division
+  | Index_division
+
+val all : t list
+val name : t -> string
+val of_name : string -> t
+(** Raises [Invalid_argument] on unknown names. *)
+
+val apply : t -> Market.t -> n_bundles:int -> Bundle.t
+(** Raises [Invalid_argument] when [n_bundles < 1]. *)
+
+val token_bucket : weights:float array -> order:int array -> n_bundles:int -> Bundle.t
+(** The paper's token-bucket grouping: budget [sum w / B] per bundle,
+    flows traversed in [order], each assigned to the first bundle that is
+    empty or still has budget; overdraft carries into the next bundle.
+    Exposed for tests. *)
+
+val exhaustive_optimal : Market.t -> n_bundles:int -> Bundle.t
+(** True exhaustive search over all set partitions into at most
+    [n_bundles] parts. Exponential — intended for cross-checking
+    [Optimal] on small instances (n <= 12 enforced). *)

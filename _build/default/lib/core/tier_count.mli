@@ -1,0 +1,47 @@
+(** Answering the title question: {e how many tiers?}
+
+    The paper shows capture curves flattening by 3-4 bundles and argues
+    informally that implementation overhead caps the useful tier count
+    (§5.2: link-based accounting "grows significantly with the number of
+    pricing levels"). This module closes that loop: give each tier an
+    explicit monthly overhead and pick the count that maximizes {e net}
+    profit.
+
+    Overhead model, per month:
+    [fixed + per_tier * B + per_flow * n] — the per-tier term covers the
+    extra BGP sessions / virtual links / billing plumbing of link-based
+    accounting; the per-flow term covers the collector of flow-based
+    accounting (paid once, regardless of B). *)
+
+type overhead = {
+  fixed : float;
+  per_tier : float;
+  per_flow : float;
+}
+
+val overhead : ?fixed:float -> ?per_flow:float -> per_tier:float -> unit -> overhead
+(** Defaults: [fixed = 0], [per_flow = 0]. Raises [Invalid_argument] on
+    negative components. *)
+
+val cost : overhead -> n_tiers:int -> n_flows:int -> float
+
+type point = {
+  n_bundles : int;
+  gross_profit : float;
+  overhead_cost : float;
+  net_profit : float;
+}
+
+val series :
+  Market.t -> Strategy.t -> overhead -> max_bundles:int -> point list
+(** Net-profit curve for 1..max_bundles tiers. *)
+
+val optimal :
+  Market.t -> Strategy.t -> overhead -> max_bundles:int -> point
+(** The net-profit-maximizing tier count (ties go to fewer tiers). *)
+
+val break_even_overhead :
+  Market.t -> Strategy.t -> from_bundles:int -> to_bundles:int -> float
+(** The per-tier overhead at which adding tiers beyond [from_bundles]
+    stops paying: [(gross(to) - gross(from)) / (to - from)]. Raises
+    [Invalid_argument] unless [1 <= from < to]. *)

@@ -1,0 +1,38 @@
+type analysis = {
+  profit : float;
+  consumer_surplus : float;
+  welfare : float;
+  first_best_welfare : float;
+  deadweight_loss : float;
+  efficiency : float;
+}
+
+let first_best market =
+  (* Marginal-cost pricing: one "bundle" per flow, priced at cost. *)
+  let n = Market.n_flows market in
+  let bundles = Bundle.singletons ~n_flows:n in
+  Pricing.evaluate_at_prices market bundles (Array.copy market.Market.costs)
+
+let analyze market (outcome : Pricing.outcome) =
+  let fb = first_best market in
+  let first_best_welfare = Pricing.welfare fb in
+  let welfare = Pricing.welfare outcome in
+  {
+    profit = outcome.Pricing.profit;
+    consumer_surplus = outcome.Pricing.consumer_surplus;
+    welfare;
+    first_best_welfare;
+    deadweight_loss = first_best_welfare -. welfare;
+    efficiency = welfare /. first_best_welfare;
+  }
+
+let of_strategy market strategy ~n_bundles =
+  analyze market (Pricing.evaluate market (Strategy.apply strategy market ~n_bundles))
+
+let series market strategy ~bundle_counts =
+  List.map (fun b -> (b, of_strategy market strategy ~n_bundles:b)) bundle_counts
+
+let pp_analysis ppf a =
+  Format.fprintf ppf
+    "profit %.4g, surplus %.4g, welfare %.4g (%.1f%% of first-best, DWL %.4g)"
+    a.profit a.consumer_surplus a.welfare (100. *. a.efficiency) a.deadweight_loss

@@ -1,0 +1,33 @@
+(** Welfare accounting (§2.2.1).
+
+    The paper argues blended rates are a {e market failure}: both ISP
+    profit and consumer surplus rise under (well-structured) tiering.
+    This module quantifies that: each pricing outcome is decomposed into
+    profit, consumer surplus and the deadweight loss relative to the
+    first-best (marginal-cost pricing, the welfare-maximizing benchmark
+    under both demand models). *)
+
+type analysis = {
+  profit : float;
+  consumer_surplus : float;
+  welfare : float;  (** profit + consumer surplus. *)
+  first_best_welfare : float;  (** Welfare at marginal-cost prices. *)
+  deadweight_loss : float;  (** first-best minus realized welfare. *)
+  efficiency : float;  (** realized / first-best welfare. *)
+}
+
+val first_best : Market.t -> Pricing.outcome
+(** The outcome when every flow is priced at its own marginal cost
+    (profit 0 by construction, maximal welfare). *)
+
+val analyze : Market.t -> Pricing.outcome -> analysis
+
+val of_strategy : Market.t -> Strategy.t -> n_bundles:int -> analysis
+(** Analysis of a strategy's optimally-priced partition. *)
+
+val series :
+  Market.t -> Strategy.t -> bundle_counts:int list -> (int * analysis) list
+(** Welfare decomposition as the tier count grows — the welfare
+    counterpart of the profit-capture series. *)
+
+val pp_analysis : Format.formatter -> analysis -> unit

@@ -1,0 +1,1 @@
+lib/flowgen/dedup.ml: Hashtbl Ipv4 List Netflow

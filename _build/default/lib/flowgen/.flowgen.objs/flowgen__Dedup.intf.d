@@ -1,0 +1,1 @@
+lib/flowgen/dedup.mli: Ipv4 Netflow

@@ -1,0 +1,1 @@
+lib/flowgen/demand.ml: Array Hashtbl Ipv4 List Netflow Numerics

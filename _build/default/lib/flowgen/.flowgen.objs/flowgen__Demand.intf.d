@@ -1,0 +1,1 @@
+lib/flowgen/demand.mli: Ipv4 Netflow

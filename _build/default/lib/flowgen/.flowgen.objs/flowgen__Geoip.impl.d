@@ -1,0 +1,1 @@
+lib/flowgen/geoip.ml: Hashtbl Ipv4 List Netsim Numerics Option

@@ -1,0 +1,1 @@
+lib/flowgen/geoip.mli: Ipv4 Netsim Numerics

@@ -1,0 +1,1 @@
+lib/flowgen/ipv4.mli: Numerics

@@ -1,0 +1,1 @@
+lib/flowgen/loading.ml: Format Hashtbl List Netsim Option Printf Workload

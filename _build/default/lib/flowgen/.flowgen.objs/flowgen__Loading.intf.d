@@ -1,0 +1,1 @@
+lib/flowgen/loading.mli: Format Netsim Workload

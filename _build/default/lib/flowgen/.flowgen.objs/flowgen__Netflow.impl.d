@@ -1,0 +1,1 @@
+lib/flowgen/netflow.ml: Array Float Format Ipv4 List Numerics Printf String

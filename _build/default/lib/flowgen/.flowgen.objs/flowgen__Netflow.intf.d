@@ -1,0 +1,1 @@
+lib/flowgen/netflow.mli: Format Ipv4 Numerics

@@ -1,0 +1,1 @@
+lib/flowgen/sampling.ml: Float List Netflow Numerics

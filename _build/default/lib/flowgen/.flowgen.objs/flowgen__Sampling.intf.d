@@ -1,0 +1,1 @@
+lib/flowgen/sampling.mli: Netflow Numerics

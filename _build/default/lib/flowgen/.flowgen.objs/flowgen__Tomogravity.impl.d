@@ -1,0 +1,1 @@
+lib/flowgen/tomogravity.ml: Array Float Hashtbl List Netsim Numerics Option

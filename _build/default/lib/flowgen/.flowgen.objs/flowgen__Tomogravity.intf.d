@@ -1,0 +1,1 @@
+lib/flowgen/tomogravity.mli: Netsim

@@ -1,0 +1,1 @@
+lib/flowgen/trace.ml: Fun Hashtbl Ipv4 List Netflow Printf String

@@ -1,0 +1,1 @@
+lib/flowgen/trace.mli: Netflow

@@ -1,0 +1,1 @@
+lib/flowgen/workload.ml: Array Float Format Geoip Ipv4 List Netflow Netsim Numerics

@@ -1,0 +1,1 @@
+lib/flowgen/workload.mli: Format Geoip Ipv4 Netflow Netsim

@@ -1,0 +1,34 @@
+type key = {
+  k_src : Ipv4.t;
+  k_dst : Ipv4.t;
+  k_src_port : int;
+  k_dst_port : int;
+  k_proto : int;
+  k_first_s : int;
+}
+
+let key_of_record (r : Netflow.record) =
+  {
+    k_src = r.src;
+    k_dst = r.dst;
+    k_src_port = r.src_port;
+    k_dst_port = r.dst_port;
+    k_proto = r.proto;
+    k_first_s = r.first_s;
+  }
+
+let dedup records =
+  let best : (key, Netflow.record) Hashtbl.t = Hashtbl.create 4096 in
+  let order = ref [] in
+  List.iter
+    (fun (r : Netflow.record) ->
+      let key = key_of_record r in
+      match Hashtbl.find_opt best key with
+      | None ->
+          Hashtbl.add best key r;
+          order := key :: !order
+      | Some kept -> if r.router < kept.router then Hashtbl.replace best key r)
+    records;
+  List.rev_map (fun key -> Hashtbl.find best key) !order
+
+let duplicate_count records = List.length records - List.length (dedup records)

@@ -1,0 +1,26 @@
+(** Duplicate suppression for multi-router observations.
+
+    A flow crossing k core routers shows up k times in the collected
+    records; the paper "ensure\[s\] we do not double-count records that
+    are duplicated on different routers" (§4.1.1). Two records are
+    duplicates when they share the 5-tuple and time window but differ in
+    observing router; we keep the observation from the lowest-numbered
+    router, a deterministic stand-in for "the designated accounting
+    router". *)
+
+type key = {
+  k_src : Ipv4.t;
+  k_dst : Ipv4.t;
+  k_src_port : int;
+  k_dst_port : int;
+  k_proto : int;
+  k_first_s : int;
+}
+
+val key_of_record : Netflow.record -> key
+
+val dedup : Netflow.record list -> Netflow.record list
+(** Output order follows first appearance of each key. *)
+
+val duplicate_count : Netflow.record list -> int
+(** How many records {!dedup} would drop. *)

@@ -1,0 +1,44 @@
+type aggregate = {
+  src : Ipv4.t;
+  dst : Ipv4.t;
+  mbps : float;
+  bytes : float;
+  records : int;
+}
+
+let group ~window_s ~key_of records =
+  if window_s <= 0 then invalid_arg "Demand: non-positive window";
+  let acc = Hashtbl.create 1024 in
+  let order = ref [] in
+  List.iter
+    (fun (r : Netflow.record) ->
+      let key = key_of r in
+      match Hashtbl.find_opt acc key with
+      | None ->
+          Hashtbl.add acc key (r.src, r.dst, r.bytes, 1);
+          order := key :: !order
+      | Some (src, dst, bytes, count) ->
+          Hashtbl.replace acc key (src, dst, bytes +. r.bytes, count + 1))
+    records;
+  List.rev_map
+    (fun key ->
+      let src, dst, bytes, records = Hashtbl.find acc key in
+      {
+        src;
+        dst;
+        bytes;
+        records;
+        mbps = Netflow.mbps_of_bytes ~bytes ~seconds:window_s;
+      })
+    !order
+
+let by_endpoint_pair ?(window_s = Netflow.day_seconds) records =
+  group ~window_s ~key_of:(fun (r : Netflow.record) -> (Ipv4.to_int r.src, Ipv4.to_int r.dst)) records
+
+let by_destination ?(window_s = Netflow.day_seconds) records =
+  group ~window_s ~key_of:(fun (r : Netflow.record) -> (0, Ipv4.to_int r.dst)) records
+
+let total_mbps aggregates =
+  Numerics.Stats.sum (Array.of_list (List.map (fun a -> a.mbps) aggregates))
+
+let demands aggregates = Array.of_list (List.map (fun a -> a.mbps) aggregates)

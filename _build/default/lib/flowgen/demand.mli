@@ -1,0 +1,27 @@
+(** Aggregation of NetFlow records into per-destination demand.
+
+    The pricing model consumes one demand figure per "flow" in the
+    economic sense — an (entry, destination) traffic aggregate. This is
+    the last stage of the paper's measurement pipeline: collect, sample,
+    dedup, then aggregate to Mbps over the capture window. *)
+
+type aggregate = {
+  src : Ipv4.t;
+  dst : Ipv4.t;
+  mbps : float;  (** Mean rate over the capture window. *)
+  bytes : float;
+  records : int;  (** Records merged into this aggregate. *)
+}
+
+val by_endpoint_pair : ?window_s:int -> Netflow.record list -> aggregate list
+(** Groups by (src, dst) address pair over a window of [window_s]
+    seconds (default one day). Order follows first appearance. *)
+
+val by_destination : ?window_s:int -> Netflow.record list -> aggregate list
+(** Groups by destination address only ([src] is set to the first
+    source seen) — destination-based pricing's native granularity. *)
+
+val total_mbps : aggregate list -> float
+
+val demands : aggregate list -> float array
+(** Demand vector, same order as the input aggregates. *)

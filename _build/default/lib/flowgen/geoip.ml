@@ -1,0 +1,85 @@
+type entry = { prefix : Ipv4.prefix; city : Netsim.Cities.t }
+
+type t = {
+  entries : entry list;
+  by_city : (string, entry list) Hashtbl.t;
+}
+
+(* Allocate from a contiguous test range; with /16 blocks the pool holds
+   1024 allocations, comfortably more than the gazetteer needs. *)
+let pool_base = 0x0A000000 (* 10.0.0.0 *)
+let pool_limit = 0x0E000000 (* 14.0.0.0 *)
+
+let synthesize ?(prefix_bits = 16) ?(prefixes_per_city = 4) cities =
+  if cities = [] then invalid_arg "Geoip.synthesize: empty city list";
+  if prefix_bits < 8 || prefix_bits > 30 then
+    invalid_arg "Geoip.synthesize: prefix_bits out of [8, 30]";
+  if prefixes_per_city <= 0 then
+    invalid_arg "Geoip.synthesize: prefixes_per_city must be positive";
+  let block = 1 lsl (32 - prefix_bits) in
+  let next = ref pool_base in
+  let alloc () =
+    if !next + block > pool_limit then
+      invalid_arg "Geoip.synthesize: prefix pool exhausted";
+    let p = Ipv4.prefix (Ipv4.of_int !next) prefix_bits in
+    next := !next + block;
+    p
+  in
+  let entries =
+    List.concat_map
+      (fun city ->
+        List.init prefixes_per_city (fun _ -> { prefix = alloc (); city }))
+      cities
+  in
+  let by_city = Hashtbl.create 128 in
+  List.iter
+    (fun e ->
+      let existing =
+        Option.value ~default:[] (Hashtbl.find_opt by_city e.city.Netsim.Cities.name)
+      in
+      Hashtbl.replace by_city e.city.Netsim.Cities.name (e :: existing))
+    entries;
+  { entries; by_city }
+
+let entries t = t.entries
+
+let lookup t addr =
+  List.find_map
+    (fun e -> if Ipv4.mem addr e.prefix then Some e.city else None)
+    t.entries
+
+let coord t addr = Option.map (fun c -> c.Netsim.Cities.coord) (lookup t addr)
+
+let random_address_in rng t city =
+  match Hashtbl.find_opt t.by_city city.Netsim.Cities.name with
+  | None | Some [] -> raise Not_found
+  | Some allocations ->
+      let e = List.nth allocations (Numerics.Rng.int rng (List.length allocations)) in
+      Ipv4.random_in rng e.prefix
+
+let distance_miles t a b =
+  match (coord t a, coord t b) with
+  | Some ca, Some cb -> Some (Netsim.Geo.distance_miles ca cb)
+  | _ -> None
+
+type locality = Metro | National | International
+
+let locality_to_string = function
+  | Metro -> "metro"
+  | National -> "national"
+  | International -> "international"
+
+let classify t ~src ~dst =
+  match (lookup t src, lookup t dst) with
+  | Some a, Some b ->
+      if Netsim.Cities.same_city a b then Some Metro
+      else if Netsim.Cities.same_country a b then Some National
+      else Some International
+  | _ -> None
+
+let classify_distance ~metro_miles ~national_miles d =
+  if metro_miles < 0. || national_miles < metro_miles then
+    invalid_arg "Geoip.classify_distance: need 0 <= metro <= national";
+  if d < metro_miles then Metro
+  else if d < national_miles then National
+  else International

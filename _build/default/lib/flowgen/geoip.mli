@@ -1,0 +1,44 @@
+(** A synthetic GeoIP database.
+
+    Substitutes for the MaxMind GeoLite database the paper uses to place
+    CDN flow destinations and to classify flows as metro, national or
+    international (§3.3, §4.1.1). Prefixes are allocated deterministically
+    from a disjoint pool, one or more per gazetteer city. *)
+
+type t
+
+type entry = { prefix : Ipv4.prefix; city : Netsim.Cities.t }
+
+val synthesize :
+  ?prefix_bits:int -> ?prefixes_per_city:int -> Netsim.Cities.t list -> t
+(** Allocates [prefixes_per_city] (default 4) disjoint [/prefix_bits]
+    (default 16) prefixes per city out of a private pool. Raises
+    [Invalid_argument] if the pool is exhausted or the city list is
+    empty. *)
+
+val entries : t -> entry list
+val lookup : t -> Ipv4.t -> Netsim.Cities.t option
+(** City of the prefix covering the address, if any. *)
+
+val coord : t -> Ipv4.t -> Netsim.Geo.coord option
+val random_address_in : Numerics.Rng.t -> t -> Netsim.Cities.t -> Ipv4.t
+(** A random address from one of the city's prefixes. Raises [Not_found]
+    if the city has no allocation. *)
+
+val distance_miles : t -> Ipv4.t -> Ipv4.t -> float option
+(** Great-circle distance between the cities of two addresses — the
+    paper's CDN distance heuristic. *)
+
+type locality = Metro | National | International
+
+val locality_to_string : locality -> string
+
+val classify : t -> src:Ipv4.t -> dst:Ipv4.t -> locality option
+(** Same city -> [Metro]; same country -> [National]; otherwise
+    [International]. [None] when either address is unknown. *)
+
+val classify_distance :
+  metro_miles:float -> national_miles:float -> float -> locality
+(** The paper's EU ISP fallback: thresholds on flow distance (10 and 100
+    miles in the paper). Raises [Invalid_argument] unless
+    [0 <= metro_miles <= national_miles]. *)

@@ -1,0 +1,57 @@
+type t = int
+
+let max_addr = (1 lsl 32) - 1
+
+let of_int v =
+  if v < 0 || v > max_addr then invalid_arg "Ipv4.of_int: out of range";
+  v
+
+let to_int t = t
+
+let of_octets a b c d =
+  let octet name v =
+    if v < 0 || v > 255 then invalid_arg ("Ipv4.of_octets: bad octet " ^ name);
+    v
+  in
+  (octet "a" a lsl 24) lor (octet "b" b lsl 16) lor (octet "c" c lsl 8) lor octet "d" d
+
+let to_string t =
+  Printf.sprintf "%d.%d.%d.%d" ((t lsr 24) land 0xff) ((t lsr 16) land 0xff)
+    ((t lsr 8) land 0xff) (t land 0xff)
+
+let of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+      match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c, int_of_string_opt d) with
+      | Some a, Some b, Some c, Some d -> of_octets a b c d
+      | _ -> invalid_arg ("Ipv4.of_string: malformed address " ^ s))
+  | _ -> invalid_arg ("Ipv4.of_string: malformed address " ^ s)
+
+let compare = Int.compare
+let equal = Int.equal
+
+type prefix = { base : t; bits : int }
+
+let mask bits = if bits = 0 then 0 else (max_addr lsr (32 - bits)) lsl (32 - bits)
+
+let prefix addr bits =
+  if bits < 0 || bits > 32 then invalid_arg "Ipv4.prefix: bits out of [0, 32]";
+  { base = addr land mask bits; bits }
+
+let prefix_of_string s =
+  match String.split_on_char '/' s with
+  | [ addr; bits ] -> (
+      match int_of_string_opt bits with
+      | Some bits -> prefix (of_string addr) bits
+      | None -> invalid_arg ("Ipv4.prefix_of_string: malformed prefix " ^ s))
+  | _ -> invalid_arg ("Ipv4.prefix_of_string: malformed prefix " ^ s)
+
+let prefix_to_string p = Printf.sprintf "%s/%d" (to_string p.base) p.bits
+let mem addr p = addr land mask p.bits = p.base
+let prefix_size p = 1 lsl (32 - p.bits)
+
+let nth_in p k =
+  if k < 0 || k >= prefix_size p then invalid_arg "Ipv4.nth_in: out of range";
+  p.base lor k
+
+let random_in rng p = nth_in p (Numerics.Rng.int rng (prefix_size p))

@@ -1,0 +1,46 @@
+(** IPv4 addresses and prefixes.
+
+    The NetFlow substrate identifies flow endpoints by address; the
+    synthetic GeoIP database maps prefixes to cities. Addresses are
+    stored as the host-order 32-bit value in an OCaml [int]. *)
+
+type t = private int
+(** An IPv4 address; the private [int] holds the 32-bit value. *)
+
+val of_int : int -> t
+(** Raises [Invalid_argument] outside [\[0, 2^32)]. *)
+
+val to_int : t -> int
+
+val of_octets : int -> int -> int -> int -> t
+(** [of_octets a b c d] for dotted quad [a.b.c.d]. *)
+
+val to_string : t -> string
+val of_string : string -> t
+(** Parses dotted-quad notation. Raises [Invalid_argument] on malformed
+    input. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+type prefix = private { base : t; bits : int }
+(** A CIDR prefix; [base] has its host bits cleared. *)
+
+val prefix : t -> int -> prefix
+(** [prefix addr bits] with [bits] in [\[0, 32\]]; host bits of [addr]
+    are masked off. *)
+
+val prefix_of_string : string -> prefix
+(** Parses ["a.b.c.d/n"]. *)
+
+val prefix_to_string : prefix -> string
+val mem : t -> prefix -> bool
+val prefix_size : prefix -> int
+(** Number of addresses covered. *)
+
+val random_in : Numerics.Rng.t -> prefix -> t
+(** Uniform address inside the prefix. *)
+
+val nth_in : prefix -> int -> t
+(** [nth_in p k] is the [k]-th address of the prefix. Raises
+    [Invalid_argument] when out of range. *)

@@ -1,0 +1,111 @@
+type link_load = {
+  link : Netsim.Link.t;
+  mbps : float;
+  utilization : float;
+}
+
+type report = {
+  loads : link_load list;
+  max_utilization : float;
+  overloaded : link_load list;
+  unrouted_mbps : float;
+}
+
+(* Accumulate per-link loads keyed by the (a, b) endpoints, orientation
+   normalized. For parallel links the traffic lands on the shortest. *)
+let build ~topology contributions =
+  let graph = topology.Netsim.Topology.graph in
+  let shortest_between = Hashtbl.create 256 in
+  List.iter
+    (fun (l : Netsim.Link.t) ->
+      let key = (min l.a l.b, max l.a l.b) in
+      match Hashtbl.find_opt shortest_between key with
+      | Some (existing : Netsim.Link.t) when existing.length_miles <= l.length_miles -> ()
+      | Some _ | None -> Hashtbl.replace shortest_between key l)
+    (Netsim.Graph.links graph);
+  let loads = Hashtbl.create 256 in
+  let unrouted = ref 0. in
+  List.iter
+    (fun (hops, mbps) ->
+      match hops with
+      | [] | [ _ ] -> ()
+      | _ ->
+          let rec walk = function
+            | a :: (b :: _ as rest) ->
+                let key = (min a b, max a b) in
+                (if Hashtbl.mem shortest_between key then
+                   Hashtbl.replace loads key
+                     (mbps +. Option.value ~default:0. (Hashtbl.find_opt loads key))
+                 else unrouted := !unrouted +. mbps);
+                walk rest
+            | [ _ ] | [] -> ()
+          in
+          walk hops)
+    contributions;
+  let link_loads =
+    Hashtbl.fold
+      (fun key mbps acc ->
+        let link = Hashtbl.find shortest_between key in
+        { link; mbps; utilization = mbps /. (link.capacity_gbps *. 1000.) } :: acc)
+      loads []
+    |> List.sort (fun a b -> compare b.utilization a.utilization)
+  in
+  {
+    loads = link_loads;
+    max_utilization =
+      (match link_loads with [] -> 0. | top :: _ -> top.utilization);
+    overloaded = List.filter (fun l -> l.utilization > 1.) link_loads;
+    unrouted_mbps = !unrouted;
+  }
+
+let of_workload (w : Workload.t) =
+  let contributions =
+    List.map (fun (f : Workload.flow) -> (f.routers, f.mbps)) w.flows
+  in
+  build ~topology:w.topology contributions
+
+let of_demands ~topology demands =
+  let graph = topology.Netsim.Topology.graph in
+  let unrouted = ref 0. in
+  let contributions =
+    List.filter_map
+      (fun (src, dst, mbps) ->
+        if src = dst then None
+        else
+          match Netsim.Graph.shortest_path graph ~src ~dst with
+          | Some path -> Some (path.Netsim.Graph.hops, mbps)
+          | None ->
+              unrouted := !unrouted +. mbps;
+              None)
+      demands
+  in
+  let report = build ~topology contributions in
+  { report with unrouted_mbps = report.unrouted_mbps +. !unrouted }
+
+let scale_demands factor report =
+  if factor < 0. then invalid_arg "Loading.scale_demands: negative factor";
+  let loads =
+    List.map
+      (fun l -> { l with mbps = l.mbps *. factor; utilization = l.utilization *. factor })
+      report.loads
+  in
+  {
+    loads;
+    max_utilization = report.max_utilization *. factor;
+    overloaded = List.filter (fun l -> l.utilization > 1.) loads;
+    unrouted_mbps = report.unrouted_mbps *. factor;
+  }
+
+let pp ppf report =
+  Format.fprintf ppf "max utilization %.1f%%, %d overloaded link(s)%s@."
+    (100. *. report.max_utilization)
+    (List.length report.overloaded)
+    (if report.unrouted_mbps > 0. then
+       Printf.sprintf ", %.1f Mbps unrouted" report.unrouted_mbps
+     else "");
+  List.iteri
+    (fun i l ->
+      if i < 5 then
+        Format.fprintf ppf "  %a: %.0f Mbps (%.1f%%)@." Netsim.Link.pp l.link l.mbps
+          (100. *. l.utilization))
+    report.loads

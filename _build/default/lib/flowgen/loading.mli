@@ -1,0 +1,34 @@
+(** Link loading: map a workload's flows onto the topology and check
+    capacities.
+
+    Tier pricing reshapes demand; before an ISP deploys a new tier sheet
+    it wants to know the links still hold the traffic. Each flow
+    contributes its rate to every link on its (shortest) path. *)
+
+type link_load = {
+  link : Netsim.Link.t;
+  mbps : float;
+  utilization : float;  (** mbps / capacity (capacities are in Gbps). *)
+}
+
+type report = {
+  loads : link_load list;  (** Descending by utilization. *)
+  max_utilization : float;
+  overloaded : link_load list;  (** Utilization > 1. *)
+  unrouted_mbps : float;  (** Traffic whose endpoints have no path. *)
+}
+
+val of_workload : Workload.t -> report
+(** Loads the workload's own topology using each flow's recorded path
+    (its [routers] list). Flows observed at a single node (geo mode)
+    load nothing. *)
+
+val of_demands :
+  topology:Netsim.Topology.t -> (int * int * float) list -> report
+(** [(src node, dst node, mbps)] triples routed on shortest paths. *)
+
+val scale_demands : float -> report -> report
+(** Re-scale all loads (e.g. to model demand response to a price cut). *)
+
+val pp : Format.formatter -> report -> unit
+(** Top-5 loaded links and any overloads. *)

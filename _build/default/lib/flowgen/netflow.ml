@@ -1,0 +1,132 @@
+type record = {
+  src : Ipv4.t;
+  dst : Ipv4.t;
+  src_port : int;
+  dst_port : int;
+  proto : int;
+  bytes : float;
+  packets : float;
+  first_s : int;
+  last_s : int;
+  router : int;
+}
+
+let pp_record ppf r =
+  Format.fprintf ppf "%s:%d -> %s:%d proto=%d bytes=%.0f pkts=%.0f [%d,%d) @r%d"
+    (Ipv4.to_string r.src) r.src_port (Ipv4.to_string r.dst) r.dst_port r.proto
+    r.bytes r.packets r.first_s r.last_s r.router
+
+let csv_header = "src,dst,src_port,dst_port,proto,bytes,packets,first_s,last_s,router"
+
+let to_csv_line r =
+  Printf.sprintf "%s,%s,%d,%d,%d,%.3f,%.3f,%d,%d,%d" (Ipv4.to_string r.src)
+    (Ipv4.to_string r.dst) r.src_port r.dst_port r.proto r.bytes r.packets
+    r.first_s r.last_s r.router
+
+let of_csv_line line =
+  match String.split_on_char ',' line with
+  | [ src; dst; sp; dp; proto; bytes; packets; first_s; last_s; router ] -> (
+      try
+        {
+          src = Ipv4.of_string src;
+          dst = Ipv4.of_string dst;
+          src_port = int_of_string sp;
+          dst_port = int_of_string dp;
+          proto = int_of_string proto;
+          bytes = float_of_string bytes;
+          packets = float_of_string packets;
+          first_s = int_of_string first_s;
+          last_s = int_of_string last_s;
+          router = int_of_string router;
+        }
+      with Failure _ -> invalid_arg ("Netflow.of_csv_line: malformed line: " ^ line))
+  | _ -> invalid_arg ("Netflow.of_csv_line: malformed line: " ^ line)
+
+type ground_truth = {
+  gt_src : Ipv4.t;
+  gt_dst : Ipv4.t;
+  gt_mbps : float;
+  gt_routers : int list;
+}
+
+let day_seconds = 86_400
+
+type shape = {
+  bins : int;
+  diurnal_amplitude : float;
+  peak_hour : float;
+  noise_cv : float;
+}
+
+let default_shape =
+  { bins = 24; diurnal_amplitude = 0.5; peak_hour = 20.0; noise_cv = 0.15 }
+
+let bytes_per_mbit_second = 125_000.
+
+(* Common application ports weighted towards web traffic. *)
+let port_choices = [| 443; 80; 443; 8080; 443; 22; 53; 993; 443; 25 |]
+
+let synthesize ?(shape = default_shape) ~rng gts =
+  if shape.bins <= 0 then invalid_arg "Netflow.synthesize: bins must be positive";
+  if shape.diurnal_amplitude < 0. || shape.diurnal_amplitude >= 1. then
+    invalid_arg "Netflow.synthesize: diurnal_amplitude out of [0, 1)";
+  let bin_seconds = day_seconds / shape.bins in
+  (* Normalized diurnal weights: mean exactly one so totals are exact. *)
+  let weights =
+    Array.init shape.bins (fun b ->
+        let hour = float_of_int b *. 24. /. float_of_int shape.bins in
+        1.
+        +. shape.diurnal_amplitude
+           *. cos (2. *. Float.pi *. (hour -. shape.peak_hour) /. 24.))
+  in
+  let weight_mean = Numerics.Stats.mean weights in
+  let weights = Array.map (fun w -> w /. weight_mean) weights in
+  let records = ref [] in
+  List.iter
+    (fun gt ->
+      if gt.gt_mbps < 0. then invalid_arg "Netflow.synthesize: negative rate";
+      if gt.gt_routers = [] then invalid_arg "Netflow.synthesize: flow with no observing router";
+      let src_port = 1024 + Numerics.Rng.int rng 64_000 in
+      let dst_port = Numerics.Rng.choose rng port_choices in
+      let proto = if Numerics.Rng.float rng < 0.9 then 6 else 17 in
+      (* Per-bin noise is shared across routers: every router sees the
+         same wire traffic. *)
+      let bin_bytes =
+        Array.init shape.bins (fun b ->
+            let noise =
+              if shape.noise_cv = 0. then 1.
+              else Numerics.Dist.lognormal_of_mean_cv rng ~mean:1. ~cv:shape.noise_cv
+            in
+            gt.gt_mbps *. bytes_per_mbit_second
+            *. float_of_int bin_seconds *. weights.(b) *. noise)
+      in
+      List.iter
+        (fun router ->
+          Array.iteri
+            (fun b bytes ->
+              let packets = Float.max 1. (bytes /. 1000.) in
+              records :=
+                {
+                  src = gt.gt_src;
+                  dst = gt.gt_dst;
+                  src_port;
+                  dst_port;
+                  proto;
+                  bytes;
+                  packets;
+                  first_s = b * bin_seconds;
+                  last_s = (b + 1) * bin_seconds;
+                  router;
+                }
+                :: !records)
+            bin_bytes)
+        gt.gt_routers)
+    gts;
+  List.rev !records
+
+let total_bytes records =
+  Numerics.Stats.sum (Array.of_list (List.map (fun r -> r.bytes) records))
+
+let mbps_of_bytes ~bytes ~seconds =
+  if seconds <= 0 then invalid_arg "Netflow.mbps_of_bytes: non-positive window";
+  bytes *. 8. /. float_of_int seconds /. 1e6

@@ -1,0 +1,43 @@
+type t = { rate : int }
+
+let make rate =
+  if rate < 1 then invalid_arg "Sampling.make: rate must be >= 1";
+  { rate }
+
+let binomial rng ~n ~p =
+  (* Exact Bernoulli thinning for small n, Gaussian approximation with
+     continuity clamp beyond that. *)
+  if n <= 0. then 0.
+  else if n *. p <= 100. && n <= 10_000. then begin
+    let count = ref 0 in
+    for _ = 1 to int_of_float n do
+      if Numerics.Rng.float rng < p then incr count
+    done;
+    float_of_int !count
+  end
+  else
+    let mean = n *. p in
+    let sd = sqrt (n *. p *. (1. -. p)) in
+    Float.max 0. (Float.round (Numerics.Dist.normal rng ~mean ~stddev:sd))
+
+let sample_record rng t (r : Netflow.record) =
+  if t.rate = 1 then Some r
+  else
+    let p = 1. /. float_of_int t.rate in
+    let survivors = binomial rng ~n:r.packets ~p in
+    if survivors <= 0. then None
+    else
+      let scale = float_of_int t.rate in
+      let bytes_per_packet = r.bytes /. Float.max 1. r.packets in
+      Some
+        {
+          r with
+          bytes = survivors *. bytes_per_packet *. scale;
+          packets = survivors *. scale;
+        }
+
+let sample rng t records = List.filter_map (sample_record rng t) records
+
+let expected_relative_error t ~packets =
+  if packets <= 0. then invalid_arg "Sampling.expected_relative_error: packets <= 0";
+  sqrt (float_of_int (t.rate - 1) /. packets)

@@ -1,0 +1,179 @@
+type observation = {
+  node_out_mbps : float array;
+  node_in_mbps : float array;
+  link_mbps : (int * int * float) list;
+}
+
+(* Edge key normalized by orientation. *)
+let edge_key a b = (min a b, max a b)
+
+(* Shortest-path edge lists between every ordered pop pair. *)
+let pair_paths topology =
+  let pops = Array.of_list topology.Netsim.Topology.pops in
+  let n = Array.length pops in
+  let paths = Array.make_matrix n n [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then
+        match
+          Netsim.Graph.shortest_path topology.Netsim.Topology.graph
+            ~src:pops.(i).Netsim.Node.id ~dst:pops.(j).Netsim.Node.id
+        with
+        | None -> ()
+        | Some path ->
+            let rec edges = function
+              | a :: (b :: _ as rest) -> edge_key a b :: edges rest
+              | [ _ ] | [] -> []
+            in
+            paths.(i).(j) <- edges path.Netsim.Graph.hops
+    done
+  done;
+  (pops, paths)
+
+let observe topology demands =
+  let pops, paths = pair_paths topology in
+  let n = Array.length pops in
+  let node_out = Array.make n 0. and node_in = Array.make n 0. in
+  let link_loads = Hashtbl.create 64 in
+  List.iter
+    (fun (i, j, mbps) ->
+      if i < 0 || i >= n || j < 0 || j >= n then
+        invalid_arg "Tomogravity.observe: pop index out of range";
+      if mbps < 0. then invalid_arg "Tomogravity.observe: negative demand";
+      if i <> j then begin
+        node_out.(i) <- node_out.(i) +. mbps;
+        node_in.(j) <- node_in.(j) +. mbps;
+        List.iter
+          (fun key ->
+            Hashtbl.replace link_loads key
+              (mbps +. Option.value ~default:0. (Hashtbl.find_opt link_loads key)))
+          paths.(i).(j)
+      end)
+    demands;
+  {
+    node_out_mbps = node_out;
+    node_in_mbps = node_in;
+    link_mbps =
+      Hashtbl.fold (fun (a, b) load acc -> (a, b, load) :: acc) link_loads []
+      |> List.sort compare;
+  }
+
+let gravity obs =
+  let n = Array.length obs.node_out_mbps in
+  if Array.length obs.node_in_mbps <> n then
+    invalid_arg "Tomogravity.gravity: in/out length mismatch";
+  let total = Numerics.Stats.sum obs.node_out_mbps in
+  if not (total > 0.) then invalid_arg "Tomogravity.gravity: zero total traffic";
+  let raw =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            if i = j then 0. else obs.node_out_mbps.(i) *. obs.node_in_mbps.(j)))
+  in
+  let raw_total =
+    Numerics.Stats.sum (Array.map Numerics.Stats.sum raw)
+  in
+  if raw_total <= 0. then raw
+  else Array.map (Array.map (fun t -> t *. total /. raw_total)) raw
+
+(* Scale rows then columns toward the observed node totals (one IPF
+   sweep). *)
+let ipf_sweep estimate ~node_out ~node_in =
+  let n = Array.length node_out in
+  for i = 0 to n - 1 do
+    let row_total = Numerics.Stats.sum estimate.(i) in
+    if row_total > 0. then
+      for j = 0 to n - 1 do
+        estimate.(i).(j) <- estimate.(i).(j) *. node_out.(i) /. row_total
+      done
+  done;
+  for j = 0 to n - 1 do
+    let col_total = ref 0. in
+    for i = 0 to n - 1 do
+      col_total := !col_total +. estimate.(i).(j)
+    done;
+    if !col_total > 0. then
+      for i = 0 to n - 1 do
+        estimate.(i).(j) <- estimate.(i).(j) *. node_in.(j) /. !col_total
+      done
+  done
+
+let estimate ?(iterations = 50) topology obs =
+  if iterations < 0 then invalid_arg "Tomogravity.estimate: negative iterations";
+  let _, paths = pair_paths topology in
+  let n = Array.length obs.node_out_mbps in
+  let observed = Hashtbl.create 64 in
+  List.iter (fun (a, b, load) -> Hashtbl.replace observed (edge_key a b) load) obs.link_mbps;
+  let t = gravity obs in
+  for _ = 1 to iterations do
+    (* Implied link loads of the current estimate. *)
+    let implied = Hashtbl.create 64 in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if t.(i).(j) > 0. then
+          List.iter
+            (fun key ->
+              Hashtbl.replace implied key
+                (t.(i).(j) +. Option.value ~default:0. (Hashtbl.find_opt implied key)))
+            paths.(i).(j)
+      done
+    done;
+    (* Multiplicative correction: geometric mean of per-edge ratios. *)
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j && t.(i).(j) > 0. && paths.(i).(j) <> [] then begin
+          let log_ratio = ref 0. and edges = ref 0 in
+          List.iter
+            (fun key ->
+              let obs_load = Option.value ~default:0. (Hashtbl.find_opt observed key) in
+              let est_load = Option.value ~default:0. (Hashtbl.find_opt implied key) in
+              if est_load > 1e-12 then begin
+                log_ratio := !log_ratio +. log (Float.max 1e-12 obs_load /. est_load);
+                incr edges
+              end)
+            paths.(i).(j);
+          if !edges > 0 then
+            t.(i).(j) <- t.(i).(j) *. exp (!log_ratio /. float_of_int !edges)
+        end
+      done
+    done;
+    ipf_sweep t ~node_out:obs.node_out_mbps ~node_in:obs.node_in_mbps
+  done;
+  t
+
+type quality = {
+  correlation : float;
+  mean_relative_error : float;
+  total_error : float;
+}
+
+let compare_to_truth ?(cutoff_mbps = 1.) ~truth estimate =
+  let n = Array.length truth in
+  if Array.length estimate <> n then
+    invalid_arg "Tomogravity.compare_to_truth: size mismatch";
+  let xs = ref [] and ys = ref [] in
+  let rel_errors = ref [] in
+  let sum_true = ref 0. and sum_est = ref 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        sum_true := !sum_true +. truth.(i).(j);
+        sum_est := !sum_est +. estimate.(i).(j);
+        xs := truth.(i).(j) :: !xs;
+        ys := estimate.(i).(j) :: !ys;
+        if truth.(i).(j) >= cutoff_mbps then
+          rel_errors :=
+            (abs_float (estimate.(i).(j) -. truth.(i).(j)) /. truth.(i).(j))
+            :: !rel_errors
+      end
+    done
+  done;
+  {
+    correlation = Numerics.Stats.pearson (Array.of_list !xs) (Array.of_list !ys);
+    mean_relative_error =
+      (match !rel_errors with
+      | [] -> Float.nan
+      | errors -> Numerics.Stats.mean (Array.of_list errors));
+    total_error =
+      (if !sum_true > 0. then abs_float (!sum_est -. !sum_true) /. !sum_true
+       else Float.nan);
+  }

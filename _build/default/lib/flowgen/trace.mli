@@ -1,0 +1,20 @@
+(** Persisting NetFlow traces.
+
+    Round-trips record lists through the CSV format of {!Netflow}, so a
+    synthetic day of traffic can be dumped once and reprocessed by
+    external tooling (or reloaded in a later session). *)
+
+val save : path:string -> Netflow.record list -> unit
+(** Writes a header line plus one CSV line per record. Raises [Sys_error]
+    on I/O failure. *)
+
+val load : path:string -> Netflow.record list
+(** Reads a file written by {!save}. Raises [Invalid_argument] on a
+    malformed header or record line (with the line number). *)
+
+val append : path:string -> Netflow.record list -> unit
+(** Appends records to an existing trace (header must already exist). *)
+
+val summarize : Netflow.record list -> string
+(** One line: record count, distinct endpoint pairs, total bytes, time
+    span. *)

@@ -1,0 +1,99 @@
+(** Calibrated synthetic workloads.
+
+    Substitutes for the three proprietary traces. A workload samples
+    (entry PoP, destination city) aggregates from a topology with a
+    locality-biased gravity model and lognormal demands, then scales to
+    an aggregate rate. Three knobs — the locality scale [d0], the demand
+    coefficient of variation and a local-tail distance — are calibrated
+    so the generated trace matches Table 1 of the paper (demand-weighted
+    average flow distance, CV of distance, aggregate Gbps, CV of
+    demand). *)
+
+type params = {
+  n_flows : int;
+  aggregate_gbps : float;
+  locality_scale : float;
+      (** Preferred flow distance [d0] (miles): pair weight is
+          [population * exp (-(ln d - ln d0)^2 / (2 * spread^2))]. *)
+  locality_spread : float;
+      (** Width of the distance band in log space; large values
+          approximate distance-blind gravity. *)
+  demand_cv : float;  (** Lognormal demand dispersion. *)
+  demand_distance_exponent : float;
+      (** Traffic-locality strength: a flow's demand is additionally
+          scaled by [((d + 25) / 25) ^ -exponent], so nearer
+          destinations attract more traffic. [0] disables the
+          correlation. *)
+  local_tail_miles : float;
+      (** Mean of the Erlang-2 last-mile extra distance added to
+          every flow. *)
+  on_net_fraction : float;  (** Share of destinations that are customers. *)
+  distance_mode : [ `Path | `Geo ];
+      (** Flow distance = shortest path through the graph (EU ISP,
+          Internet2) or great-circle entry-to-destination (CDN). *)
+  seed : int;
+}
+
+type flow = {
+  id : int;
+  entry : Netsim.Node.t;
+  dst_city : Netsim.Cities.t;
+  src_addr : Ipv4.t;
+  dst_addr : Ipv4.t;
+  mbps : float;
+  distance_miles : float;
+  locality : Geoip.locality;
+  on_net : bool;
+  routers : int list;  (** Node ids observing the flow (its path). *)
+}
+
+type t = {
+  params : params;
+  topology : Netsim.Topology.t;
+  geoip : Geoip.t;
+  flows : flow list;
+}
+
+type stats = {
+  flow_count : int;
+  w_avg_distance_miles : float;
+  cv_distance : float;
+  aggregate_gbps : float;
+  cv_demand : float;
+}
+
+val generate : Netsim.Topology.t -> params -> t
+(** Deterministic in [params.seed]. Raises [Invalid_argument] on
+    non-positive [n_flows]/[aggregate_gbps], [locality_scale <= 0] or
+    an [on_net_fraction] outside [\[0, 1\]]. *)
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+val to_ground_truth : t -> Netflow.ground_truth list
+(** Feed the generated flows into the NetFlow synthesis pipeline. *)
+
+type target = {
+  t_w_avg_distance : float;
+  t_cv_distance : float;
+  t_aggregate_gbps : float;
+  t_cv_demand : float;
+}
+(** A Table 1 row. *)
+
+val table1_targets : string -> target
+(** Targets for ["eu_isp"], ["cdn"], ["internet2"]. *)
+
+val calibrate :
+  ?max_iter:int -> Netsim.Topology.t -> params -> target -> params
+(** Nelder-Mead search over [locality_scale], [locality_spread],
+    [demand_cv] and [local_tail_miles] minimizing the summed squared
+    relative error of the three dispersion statistics (aggregate rate is
+    matched exactly by construction). Starts from the given params. *)
+
+val preset : string -> t
+(** Calibrated workload for ["eu_isp"], ["cdn"] or ["internet2"] on the
+    matching {!Netsim.Presets} topology, using stored calibration
+    constants (no search at run time). *)
+
+val preset_params : string -> params

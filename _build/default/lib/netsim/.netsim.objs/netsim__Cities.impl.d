@@ -1,0 +1,1 @@
+lib/netsim/cities.ml: Geo Hashtbl List String

@@ -1,0 +1,1 @@
+lib/netsim/cities.mli: Geo

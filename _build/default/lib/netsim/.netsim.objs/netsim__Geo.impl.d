@@ -1,0 +1,1 @@
+lib/netsim/geo.ml: Float Format Numerics

@@ -1,0 +1,1 @@
+lib/netsim/geo.mli: Format Numerics

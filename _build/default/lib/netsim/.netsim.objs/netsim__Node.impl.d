@@ -1,0 +1,1 @@
+lib/netsim/node.ml: Cities Format Geo

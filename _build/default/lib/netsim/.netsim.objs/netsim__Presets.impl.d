@@ -1,0 +1,1 @@
+lib/netsim/presets.ml: Array Cities Geo Hashtbl Link List Node Numerics Printf Topology

@@ -1,0 +1,1 @@
+lib/netsim/topology.ml: Array Cities Float Graph Hashtbl Link List Node Numerics String

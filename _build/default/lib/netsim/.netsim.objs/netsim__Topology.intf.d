@@ -1,0 +1,1 @@
+lib/netsim/topology.mli: Cities Graph Link Node Numerics

@@ -1,0 +1,155 @@
+type continent = Europe | North_america | South_america | Asia | Africa | Oceania
+
+let continent_to_string = function
+  | Europe -> "Europe"
+  | North_america -> "North America"
+  | South_america -> "South America"
+  | Asia -> "Asia"
+  | Africa -> "Africa"
+  | Oceania -> "Oceania"
+
+type t = {
+  name : string;
+  country : string;
+  continent : continent;
+  coord : Geo.coord;
+  population : float;
+}
+
+let city name country continent lat lon population =
+  { name; country; continent; coord = Geo.coord ~lat ~lon; population }
+
+(* Coordinates are approximate city centers; populations are metro-area
+   figures in millions, used only as relative traffic weights. *)
+let all =
+  [
+    (* Europe *)
+    city "London" "GB" Europe 51.51 (-0.13) 14.0;
+    city "Manchester" "GB" Europe 53.48 (-2.24) 2.8;
+    city "Dublin" "IE" Europe 53.35 (-6.26) 2.0;
+    city "Paris" "FR" Europe 48.86 2.35 12.5;
+    city "Lyon" "FR" Europe 45.76 4.84 2.3;
+    city "Marseille" "FR" Europe 43.30 5.37 1.8;
+    city "Amsterdam" "NL" Europe 52.37 4.90 2.9;
+    city "Rotterdam" "NL" Europe 51.92 4.48 1.8;
+    city "Brussels" "BE" Europe 50.85 4.35 2.1;
+    city "Frankfurt" "DE" Europe 50.11 8.68 2.7;
+    city "Berlin" "DE" Europe 52.52 13.41 4.7;
+    city "Munich" "DE" Europe 48.14 11.58 2.9;
+    city "Hamburg" "DE" Europe 53.55 9.99 3.3;
+    city "Dusseldorf" "DE" Europe 51.23 6.77 1.6;
+    city "Zurich" "CH" Europe 47.37 8.54 1.5;
+    city "Geneva" "CH" Europe 46.20 6.14 0.6;
+    city "Vienna" "AT" Europe 48.21 16.37 2.9;
+    city "Prague" "CZ" Europe 50.08 14.44 2.7;
+    city "Warsaw" "PL" Europe 52.23 21.01 3.1;
+    city "Krakow" "PL" Europe 50.06 19.94 1.8;
+    city "Budapest" "HU" Europe 47.50 19.04 3.0;
+    city "Bucharest" "RO" Europe 44.43 26.10 2.3;
+    city "Sofia" "BG" Europe 42.70 23.32 1.7;
+    city "Athens" "GR" Europe 37.98 23.73 3.6;
+    city "Rome" "IT" Europe 41.90 12.50 4.3;
+    city "Milan" "IT" Europe 45.46 9.19 4.3;
+    city "Madrid" "ES" Europe 40.42 (-3.70) 6.7;
+    city "Barcelona" "ES" Europe 41.39 2.17 5.6;
+    city "Lisbon" "PT" Europe 38.72 (-9.14) 2.9;
+    city "Stockholm" "SE" Europe 59.33 18.07 2.4;
+    city "Gothenburg" "SE" Europe 57.71 11.97 1.0;
+    city "Oslo" "NO" Europe 59.91 10.75 1.5;
+    city "Copenhagen" "DK" Europe 55.68 12.57 2.1;
+    city "Helsinki" "FI" Europe 60.17 24.94 1.5;
+    city "Kyiv" "UA" Europe 50.45 30.52 3.0;
+    city "Istanbul" "TR" Europe 41.01 28.98 15.5;
+    city "Moscow" "RU" Europe 55.76 37.62 12.5;
+    (* North America *)
+    city "New York" "US" North_america 40.71 (-74.01) 19.8;
+    city "Boston" "US" North_america 42.36 (-71.06) 4.9;
+    city "Washington" "US" North_america 38.91 (-77.04) 6.3;
+    city "Atlanta" "US" North_america 33.75 (-84.39) 6.1;
+    city "Miami" "US" North_america 25.76 (-80.19) 6.2;
+    city "Chicago" "US" North_america 41.88 (-87.63) 9.5;
+    city "Indianapolis" "US" North_america 39.77 (-86.16) 2.1;
+    city "Kansas City" "US" North_america 39.10 (-94.58) 2.2;
+    city "Houston" "US" North_america 29.76 (-95.37) 7.1;
+    city "Dallas" "US" North_america 32.78 (-96.80) 7.6;
+    city "Denver" "US" North_america 39.74 (-104.99) 3.0;
+    city "Salt Lake City" "US" North_america 40.76 (-111.89) 1.3;
+    city "Seattle" "US" North_america 47.61 (-122.33) 4.0;
+    city "Sunnyvale" "US" North_america 37.37 (-122.04) 2.0;
+    city "Los Angeles" "US" North_america 34.05 (-118.24) 13.2;
+    city "Phoenix" "US" North_america 33.45 (-112.07) 4.9;
+    city "Minneapolis" "US" North_america 44.98 (-93.27) 3.7;
+    city "Ashburn" "US" North_america 39.04 (-77.49) 0.5;
+    city "San Jose" "US" North_america 37.34 (-121.89) 2.0;
+    city "Toronto" "CA" North_america 43.65 (-79.38) 6.3;
+    city "Montreal" "CA" North_america 45.50 (-73.57) 4.3;
+    city "Vancouver" "CA" North_america 49.28 (-123.12) 2.6;
+    city "Mexico City" "MX" North_america 19.43 (-99.13) 21.8;
+    (* South America *)
+    city "Sao Paulo" "BR" South_america (-23.55) (-46.63) 22.0;
+    city "Rio de Janeiro" "BR" South_america (-22.91) (-43.17) 13.5;
+    city "Buenos Aires" "AR" South_america (-34.60) (-58.38) 15.2;
+    city "Santiago" "CL" South_america (-33.45) (-70.67) 6.8;
+    city "Bogota" "CO" South_america 4.71 (-74.07) 10.7;
+    city "Lima" "PE" South_america (-12.05) (-77.04) 10.7;
+    (* Asia *)
+    city "Tokyo" "JP" Asia 35.68 139.69 37.4;
+    city "Osaka" "JP" Asia 34.69 135.50 19.2;
+    city "Seoul" "KR" Asia 37.57 126.98 25.5;
+    city "Beijing" "CN" Asia 39.90 116.41 20.5;
+    city "Shanghai" "CN" Asia 31.23 121.47 27.1;
+    city "Hong Kong" "HK" Asia 22.32 114.17 7.5;
+    city "Taipei" "TW" Asia 25.03 121.57 7.0;
+    city "Singapore" "SG" Asia 1.35 103.82 5.9;
+    city "Kuala Lumpur" "MY" Asia 3.14 101.69 8.0;
+    city "Jakarta" "ID" Asia (-6.21) 106.85 10.6;
+    city "Bangkok" "TH" Asia 13.76 100.50 10.7;
+    city "Mumbai" "IN" Asia 19.08 72.88 20.4;
+    city "Delhi" "IN" Asia 28.70 77.10 31.2;
+    city "Chennai" "IN" Asia 13.08 80.27 11.2;
+    city "Dubai" "AE" Asia 25.20 55.27 3.4;
+    city "Tel Aviv" "IL" Asia 32.09 34.78 4.2;
+    (* Africa *)
+    city "Johannesburg" "ZA" Africa (-26.20) 28.05 10.0;
+    city "Cape Town" "ZA" Africa (-33.92) 18.42 4.6;
+    city "Cairo" "EG" Africa 30.04 31.24 21.3;
+    city "Lagos" "NG" Africa 6.52 3.38 15.4;
+    city "Nairobi" "KE" Africa (-1.29) 36.82 4.7;
+    (* Oceania *)
+    city "Sydney" "AU" Oceania (-33.87) 151.21 5.3;
+    city "Melbourne" "AU" Oceania (-37.81) 144.96 5.1;
+    city "Perth" "AU" Oceania (-31.95) 115.86 2.1;
+    city "Auckland" "NZ" Oceania (-36.85) 174.76 1.7;
+  ]
+
+let by_name = Hashtbl.create 128
+
+let () =
+  List.iter
+    (fun c ->
+      if Hashtbl.mem by_name c.name then
+        invalid_arg ("Cities: duplicate city name " ^ c.name);
+      Hashtbl.add by_name c.name c)
+    all
+
+let find name =
+  match Hashtbl.find_opt by_name name with
+  | Some c -> c
+  | None -> raise Not_found
+
+let in_continent continent = List.filter (fun c -> c.continent = continent) all
+let in_country country = List.filter (fun c -> c.country = country) all
+
+let nearest coord =
+  match all with
+  | [] -> assert false
+  | first :: rest ->
+      let better best candidate =
+        if Geo.distance_miles candidate.coord coord < Geo.distance_miles best.coord coord
+        then candidate
+        else best
+      in
+      List.fold_left better first rest
+
+let same_city a b = String.equal a.name b.name
+let same_country a b = String.equal a.country b.country

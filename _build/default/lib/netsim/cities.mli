@@ -1,0 +1,34 @@
+(** A small public-knowledge city gazetteer.
+
+    Stands in for the proprietary PoP location data and the commercial
+    GeoIP database: topology presets place PoPs at these cities and the
+    synthetic GeoIP allocator assigns prefixes to them. Population
+    weights (millions, metro-area order of magnitude) drive
+    gravity-style traffic generation. *)
+
+type continent = Europe | North_america | South_america | Asia | Africa | Oceania
+
+val continent_to_string : continent -> string
+
+type t = {
+  name : string;
+  country : string;  (** ISO-3166 alpha-2 code, e.g. ["DE"]. *)
+  continent : continent;
+  coord : Geo.coord;
+  population : float;  (** Metro population in millions; traffic weight. *)
+}
+
+val all : t list
+(** The full gazetteer (distinct [name] values). *)
+
+val find : string -> t
+(** Lookup by name. Raises [Not_found]. *)
+
+val in_continent : continent -> t list
+val in_country : string -> t list
+
+val nearest : Geo.coord -> t
+(** The gazetteer city closest to a coordinate. *)
+
+val same_city : t -> t -> bool
+val same_country : t -> t -> bool

@@ -1,0 +1,55 @@
+type coord = { lat : float; lon : float }
+
+let coord ~lat ~lon =
+  if lat < -90. || lat > 90. then invalid_arg "Geo.coord: latitude out of range";
+  if lon < -180. || lon > 180. then invalid_arg "Geo.coord: longitude out of range";
+  { lat; lon }
+
+let earth_radius_miles = 3958.8
+let earth_radius_km = 6371.0
+let deg_to_rad d = d *. Float.pi /. 180.
+let rad_to_deg r = r *. 180. /. Float.pi
+
+let haversine_central_angle a b =
+  let phi1 = deg_to_rad a.lat and phi2 = deg_to_rad b.lat in
+  let dphi = deg_to_rad (b.lat -. a.lat) in
+  let dlambda = deg_to_rad (b.lon -. a.lon) in
+  let sin_dphi = sin (dphi /. 2.) and sin_dlambda = sin (dlambda /. 2.) in
+  let h =
+    (sin_dphi *. sin_dphi) +. (cos phi1 *. cos phi2 *. sin_dlambda *. sin_dlambda)
+  in
+  (* Clamp against rounding before asin. *)
+  2. *. asin (sqrt (Float.min 1. h))
+
+let distance_miles a b = earth_radius_miles *. haversine_central_angle a b
+let distance_km a b = earth_radius_km *. haversine_central_angle a b
+
+let midpoint a b =
+  let phi1 = deg_to_rad a.lat and phi2 = deg_to_rad b.lat in
+  let lambda1 = deg_to_rad a.lon in
+  let dlambda = deg_to_rad (b.lon -. a.lon) in
+  let bx = cos phi2 *. cos dlambda in
+  let by = cos phi2 *. sin dlambda in
+  let phi3 =
+    atan2 (sin phi1 +. sin phi2) (sqrt (((cos phi1 +. bx) ** 2.) +. (by *. by)))
+  in
+  let lambda3 = lambda1 +. atan2 by (cos phi1 +. bx) in
+  let lon = rad_to_deg lambda3 in
+  let lon = if lon > 180. then lon -. 360. else if lon < -180. then lon +. 360. else lon in
+  { lat = rad_to_deg phi3; lon }
+
+let jitter rng ~radius_miles c =
+  if radius_miles < 0. then invalid_arg "Geo.jitter: negative radius";
+  let angle = Numerics.Rng.uniform rng 0. (2. *. Float.pi) in
+  (* sqrt for an area-uniform displacement. *)
+  let r = radius_miles *. sqrt (Numerics.Rng.float rng) in
+  let dlat = r *. cos angle /. 69.0 in
+  let cos_lat = Float.max 0.01 (cos (deg_to_rad c.lat)) in
+  let dlon = r *. sin angle /. (69.0 *. cos_lat) in
+  let clamp lo hi v = Float.max lo (Float.min hi v) in
+  {
+    lat = clamp (-90.) 90. (c.lat +. dlat);
+    lon = clamp (-180.) 180. (c.lon +. dlon);
+  }
+
+let pp ppf c = Format.fprintf ppf "(%.4f, %.4f)" c.lat c.lon

@@ -1,0 +1,30 @@
+(** Geographic coordinates and great-circle distances.
+
+    All of the paper's cost models take the distance a flow travels as
+    their input; for the EU ISP that is the geographic distance between
+    entry and exit PoPs, for the CDN the GeoIP distance to the
+    destination, and for Internet2 the sum of traversed link lengths.
+    Distances are returned in statute miles to match the paper's units. *)
+
+type coord = { lat : float; lon : float }
+(** Degrees; latitude in [\[-90, 90\]], longitude in [\[-180, 180\]]. *)
+
+val coord : lat:float -> lon:float -> coord
+(** Checked constructor. Raises [Invalid_argument] when out of range. *)
+
+val earth_radius_miles : float
+
+val distance_miles : coord -> coord -> float
+(** Haversine great-circle distance. Symmetric, non-negative, and zero
+    iff the coordinates coincide (up to rounding). *)
+
+val distance_km : coord -> coord -> float
+
+val midpoint : coord -> coord -> coord
+(** Spherical midpoint of the great-circle segment. *)
+
+val jitter : Numerics.Rng.t -> radius_miles:float -> coord -> coord
+(** A point displaced by at most [radius_miles] in a uniformly random
+    direction — used to scatter customer sites around a PoP's city. *)
+
+val pp : Format.formatter -> coord -> unit

@@ -1,0 +1,147 @@
+type t = {
+  nodes : Node.t array;
+  links : Link.t list;
+  adjacency : (int * float) list array;
+}
+
+let create node_list link_list =
+  let n = List.length node_list in
+  let nodes = Array.make n None in
+  List.iter
+    (fun (node : Node.t) ->
+      if node.id < 0 || node.id >= n then
+        invalid_arg "Graph.create: node ids must be dense 0..n-1";
+      match nodes.(node.id) with
+      | Some _ -> invalid_arg "Graph.create: duplicate node id"
+      | None -> nodes.(node.id) <- Some node)
+    node_list;
+  let nodes =
+    Array.map (function Some node -> node | None -> assert false) nodes
+  in
+  let adjacency = Array.make n [] in
+  List.iter
+    (fun (link : Link.t) ->
+      if link.a < 0 || link.a >= n || link.b < 0 || link.b >= n then
+        invalid_arg "Graph.create: link references unknown node";
+      adjacency.(link.a) <- (link.b, link.length_miles) :: adjacency.(link.a);
+      adjacency.(link.b) <- (link.a, link.length_miles) :: adjacency.(link.b))
+    link_list;
+  { nodes; links = link_list; adjacency }
+
+let node_count t = Array.length t.nodes
+let link_count t = List.length t.links
+let nodes t = Array.copy t.nodes
+let links t = t.links
+
+let node t id =
+  if id < 0 || id >= Array.length t.nodes then invalid_arg "Graph.node: bad id";
+  t.nodes.(id)
+
+let neighbors t id =
+  if id < 0 || id >= Array.length t.nodes then
+    invalid_arg "Graph.neighbors: bad id";
+  t.adjacency.(id)
+
+type path = { hops : int list; length_miles : float }
+
+(* A minimal binary min-heap on (distance, node). *)
+module Heap = struct
+  type t = {
+    mutable data : (float * int) array;
+    mutable size : int;
+  }
+
+  let create () = { data = Array.make 64 (0., 0); size = 0 }
+  let swap h i j =
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- tmp
+
+  let push h entry =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (2 * h.size) (0., 0) in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- entry;
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    while !i > 0 && fst h.data.((!i - 1) / 2) > fst h.data.(!i) do
+      swap h ((!i - 1) / 2) !i;
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      h.data.(0) <- h.data.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && fst h.data.(l) < fst h.data.(!smallest) then smallest := l;
+        if r < h.size && fst h.data.(r) < fst h.data.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          swap h !i !smallest;
+          i := !smallest
+        end
+      done;
+      Some top
+    end
+end
+
+let dijkstra t src =
+  let n = Array.length t.nodes in
+  if src < 0 || src >= n then invalid_arg "Graph: bad source id";
+  let dist = Array.make n infinity in
+  let prev = Array.make n (-1) in
+  dist.(src) <- 0.;
+  let heap = Heap.create () in
+  Heap.push heap (0., src);
+  let rec drain () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, u) ->
+        if d <= dist.(u) then
+          List.iter
+            (fun (v, w) ->
+              let candidate = d +. w in
+              if candidate < dist.(v) then begin
+                dist.(v) <- candidate;
+                prev.(v) <- u;
+                Heap.push heap (candidate, v)
+              end)
+            t.adjacency.(u);
+        drain ()
+  in
+  drain ();
+  (dist, prev)
+
+let shortest_path_lengths t ~src = fst (dijkstra t src)
+
+let shortest_path t ~src ~dst =
+  let n = Array.length t.nodes in
+  if dst < 0 || dst >= n then invalid_arg "Graph.shortest_path: bad dst id";
+  let dist, prev = dijkstra t src in
+  if dist.(dst) = infinity then None
+  else
+    let rec backtrack acc u = if u = src then src :: acc else backtrack (u :: acc) prev.(u) in
+    Some { hops = backtrack [] dst; length_miles = dist.(dst) }
+
+let path_distance_miles t ~src ~dst =
+  let dist = shortest_path_lengths t ~src in
+  if dist.(dst) = infinity then None else Some dist.(dst)
+
+let is_connected t =
+  match Array.length t.nodes with
+  | 0 -> true
+  | _ ->
+      let dist = shortest_path_lengths t ~src:0 in
+      Array.for_all (fun d -> d < infinity) dist
+
+let pp ppf t =
+  Format.fprintf ppf "graph: %d nodes, %d links" (node_count t) (link_count t)

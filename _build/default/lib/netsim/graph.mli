@@ -1,0 +1,35 @@
+(** Weighted undirected graphs over {!Node.t}, with shortest paths.
+
+    The Internet2 heuristic of the paper sums the geographic lengths of
+    the links a flow traverses; {!shortest_path} provides exactly that.
+    Node ids must be dense ([0 .. n-1]). *)
+
+type t
+
+val create : Node.t list -> Link.t list -> t
+(** Raises [Invalid_argument] if ids are not dense/unique or a link
+    references an unknown node. Parallel links are allowed; the shorter
+    one wins for routing. *)
+
+val node_count : t -> int
+val link_count : t -> int
+val nodes : t -> Node.t array
+val links : t -> Link.t list
+val node : t -> int -> Node.t
+val neighbors : t -> int -> (int * float) list
+(** [(neighbor id, link length)] pairs. *)
+
+type path = { hops : int list; length_miles : float }
+(** [hops] includes both endpoints; a zero-length path has one hop. *)
+
+val shortest_path : t -> src:int -> dst:int -> path option
+(** Dijkstra by link length. [None] when disconnected. *)
+
+val shortest_path_lengths : t -> src:int -> float array
+(** Single-source distances; [infinity] for unreachable nodes. *)
+
+val path_distance_miles : t -> src:int -> dst:int -> float option
+(** Shortest-path length only. *)
+
+val is_connected : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+type t = { a : int; b : int; length_miles : float; capacity_gbps : float }
+
+let make ?(stretch = 1.0) ~capacity_gbps n1 n2 =
+  if n1.Node.id = n2.Node.id then invalid_arg "Link.make: self-loop";
+  if capacity_gbps <= 0. then invalid_arg "Link.make: non-positive capacity";
+  if stretch < 1.0 then invalid_arg "Link.make: stretch < 1";
+  {
+    a = n1.Node.id;
+    b = n2.Node.id;
+    length_miles = stretch *. Node.distance_miles n1 n2;
+    capacity_gbps;
+  }
+
+let other_end t id =
+  if id = t.a then t.b
+  else if id = t.b then t.a
+  else invalid_arg "Link.other_end: node not an endpoint"
+
+let connects t x y = (t.a = x && t.b = y) || (t.a = y && t.b = x)
+
+let pp ppf t =
+  Format.fprintf ppf "%d--%d (%.1f mi, %g Gbps)" t.a t.b t.length_miles
+    t.capacity_gbps

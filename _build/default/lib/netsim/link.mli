@@ -1,0 +1,27 @@
+(** Undirected network links.
+
+    A link's [length_miles] is the geographic distance between its
+    endpoints (optionally stretched by a cable-routing factor); link
+    lengths are what Internet2-style path distances sum over. *)
+
+type t = {
+  a : int;  (** Endpoint node id. *)
+  b : int;
+  length_miles : float;
+  capacity_gbps : float;
+}
+
+val make : ?stretch:float -> capacity_gbps:float -> Node.t -> Node.t -> t
+(** [make n1 n2] builds a link with geographic length scaled by
+    [stretch] (default [1.0]; real fiber rarely follows great circles).
+    Raises [Invalid_argument] on self-loops, non-positive capacity or
+    [stretch < 1]. *)
+
+val other_end : t -> int -> int
+(** [other_end link id] is the opposite endpoint. Raises
+    [Invalid_argument] if [id] is not an endpoint. *)
+
+val connects : t -> int -> int -> bool
+(** Endpoint test, orientation-insensitive. *)
+
+val pp : Format.formatter -> t -> unit

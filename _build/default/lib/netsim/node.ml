@@ -1,0 +1,26 @@
+type kind = Pop | Ixp | Datacenter | Customer_site
+
+let kind_to_string = function
+  | Pop -> "pop"
+  | Ixp -> "ixp"
+  | Datacenter -> "datacenter"
+  | Customer_site -> "customer"
+
+type t = {
+  id : int;
+  name : string;
+  kind : kind;
+  city : Cities.t;
+  coord : Geo.coord;
+}
+
+let make_at ~id ~name ~kind ~city ~coord =
+  if id < 0 then invalid_arg "Node.make: negative id";
+  { id; name; kind; city; coord }
+
+let make ~id ~name ~kind ~city = make_at ~id ~name ~kind ~city ~coord:city.Cities.coord
+let distance_miles a b = Geo.distance_miles a.coord b.coord
+
+let pp ppf t =
+  Format.fprintf ppf "#%d %s (%s, %s)" t.id t.name (kind_to_string t.kind)
+    t.city.Cities.name

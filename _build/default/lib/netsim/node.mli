@@ -1,0 +1,26 @@
+(** Network nodes: points of presence, exchange points, data centers and
+    customer sites. *)
+
+type kind =
+  | Pop  (** ISP point of presence (core/edge router site). *)
+  | Ixp  (** Internet exchange point. *)
+  | Datacenter  (** CDN cache / content origin. *)
+  | Customer_site  (** Downstream customer attachment. *)
+
+val kind_to_string : kind -> string
+
+type t = {
+  id : int;  (** Dense, unique within one topology. *)
+  name : string;
+  kind : kind;
+  city : Cities.t;
+  coord : Geo.coord;  (** Usually the city center, possibly jittered. *)
+}
+
+val make : id:int -> name:string -> kind:kind -> city:Cities.t -> t
+(** Node placed exactly at its city's coordinates. *)
+
+val make_at : id:int -> name:string -> kind:kind -> city:Cities.t -> coord:Geo.coord -> t
+
+val distance_miles : t -> t -> float
+val pp : Format.formatter -> t -> unit

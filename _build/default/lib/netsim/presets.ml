@@ -1,0 +1,180 @@
+(* Deterministic preset builders. The fixed seeds only affect metro-PoP
+   jitter, never the backbone shape. *)
+
+let metro_pops_per_major_city = 3
+let metro_jitter_miles = 6.0
+
+(* EU ISP: backbone cities in ring order (roughly geographic), chords, and
+   extra metro PoPs in the biggest metros so that metro-local flows have
+   small but non-zero distances. *)
+let eu_backbone_cities =
+  [
+    "London"; "Amsterdam"; "Hamburg"; "Berlin"; "Warsaw"; "Prague"; "Vienna";
+    "Budapest"; "Munich"; "Zurich"; "Milan"; "Lyon"; "Paris"; "Brussels";
+    "Frankfurt"; "Dusseldorf";
+  ]
+
+let eu_chords =
+  [
+    ("London", "Paris"); ("Amsterdam", "Frankfurt"); ("Frankfurt", "Munich");
+    ("Paris", "Frankfurt"); ("Berlin", "Frankfurt"); ("Vienna", "Munich");
+    ("Milan", "Zurich"); ("Brussels", "Amsterdam"); ("London", "Amsterdam");
+  ]
+
+let eu_major_metros = [ "London"; "Paris"; "Frankfurt"; "Amsterdam"; "Milan" ]
+
+let eu_isp () =
+  let rng = Numerics.Rng.create 20110815 in
+  let backbone = List.map Cities.find eu_backbone_cities in
+  let next_id = ref 0 in
+  let fresh_id () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  let core_nodes =
+    List.map
+      (fun (city : Cities.t) ->
+        Node.make ~id:(fresh_id ()) ~name:(city.name ^ "-core") ~kind:Node.Pop ~city)
+      backbone
+  in
+  let core_by_city = Hashtbl.create 32 in
+  List.iter
+    (fun (n : Node.t) -> Hashtbl.add core_by_city n.city.Cities.name n)
+    core_nodes;
+  let metro_nodes =
+    List.concat_map
+      (fun metro ->
+        let city = Cities.find metro in
+        List.init metro_pops_per_major_city (fun k ->
+            let coord = Geo.jitter rng ~radius_miles:metro_jitter_miles city.coord in
+            Node.make_at ~id:(fresh_id ())
+              ~name:(Printf.sprintf "%s-metro%d" city.name (k + 1))
+              ~kind:Node.Pop ~city ~coord))
+      eu_major_metros
+  in
+  let ring_links =
+    let arr = Array.of_list core_nodes in
+    let n = Array.length arr in
+    List.init n (fun i -> Link.make ~capacity_gbps:100. arr.(i) arr.((i + 1) mod n))
+  in
+  let chord_links =
+    List.map
+      (fun (a, b) ->
+        Link.make ~capacity_gbps:100. (Hashtbl.find core_by_city a)
+          (Hashtbl.find core_by_city b))
+      eu_chords
+  in
+  let metro_links =
+    List.map
+      (fun (metro : Node.t) ->
+        Link.make ~capacity_gbps:40.
+          (Hashtbl.find core_by_city metro.city.Cities.name)
+          metro)
+      metro_nodes
+  in
+  Topology.of_nodes_links ~name:"eu_isp" (core_nodes @ metro_nodes)
+    (ring_links @ chord_links @ metro_links)
+
+(* CDN: datacenters on six continents. The overlay is a gateway-and-spoke
+   long-haul mesh: regional sites attach to their continent's gateway and
+   gateways are fully meshed. *)
+let cdn_sites =
+  [
+    (* (city, is_gateway) *)
+    ("Ashburn", true); ("New York", false); ("Chicago", false);
+    ("Dallas", false); ("Los Angeles", false); ("Seattle", false);
+    ("Miami", false); ("Toronto", false); ("Mexico City", false);
+    ("London", true); ("Frankfurt", false); ("Amsterdam", false);
+    ("Paris", false); ("Madrid", false); ("Stockholm", false);
+    ("Warsaw", false); ("Sao Paulo", true); ("Buenos Aires", false);
+    ("Santiago", false); ("Singapore", true); ("Tokyo", false);
+    ("Hong Kong", false); ("Mumbai", false); ("Seoul", false);
+    ("Sydney", true); ("Auckland", false); ("Johannesburg", true);
+    ("Cairo", false);
+  ]
+
+let cdn () =
+  let nodes =
+    List.mapi
+      (fun id (name, _) ->
+        let city = Cities.find name in
+        Node.make ~id ~name:(city.name ^ "-dc") ~kind:Node.Datacenter ~city)
+      cdn_sites
+  in
+  let gateways =
+    List.filteri (fun i _ -> snd (List.nth cdn_sites i)) nodes
+  in
+  let gateway_of (n : Node.t) =
+    let nearest best candidate =
+      if
+        Node.distance_miles candidate n < Node.distance_miles best n
+      then candidate
+      else best
+    in
+    match gateways with
+    | [] -> assert false
+    | g :: gs -> List.fold_left nearest g gs
+  in
+  let spoke_links =
+    List.filter_map
+      (fun n ->
+        let g = gateway_of n in
+        if g.Node.id = n.Node.id then None
+        else Some (Link.make ~capacity_gbps:400. g n))
+      nodes
+  in
+  let rec mesh acc = function
+    | [] -> acc
+    | g :: rest ->
+        let acc =
+          List.fold_left
+            (fun acc g' -> Link.make ~capacity_gbps:1000. g g' :: acc)
+            acc rest
+        in
+        mesh acc rest
+  in
+  Topology.of_nodes_links ~name:"cdn" nodes (mesh spoke_links gateways)
+
+(* Internet2 (Abilene): the historical 11-PoP research backbone. *)
+let abilene_cities =
+  [
+    "Seattle"; "Sunnyvale"; "Los Angeles"; "Denver"; "Kansas City"; "Houston";
+    "Chicago"; "Indianapolis"; "Atlanta"; "Washington"; "New York";
+  ]
+
+let abilene_links =
+  [
+    ("Seattle", "Sunnyvale"); ("Seattle", "Denver"); ("Sunnyvale", "Los Angeles");
+    ("Sunnyvale", "Denver"); ("Los Angeles", "Houston"); ("Denver", "Kansas City");
+    ("Kansas City", "Houston"); ("Kansas City", "Indianapolis");
+    ("Houston", "Atlanta"); ("Chicago", "Indianapolis"); ("Chicago", "New York");
+    ("Indianapolis", "Atlanta"); ("Atlanta", "Washington");
+    ("Washington", "New York");
+  ]
+
+let internet2 () =
+  let nodes =
+    List.mapi
+      (fun id name ->
+        let city = Cities.find name in
+        Node.make ~id ~name:(city.name ^ "-i2") ~kind:Node.Pop ~city)
+      abilene_cities
+  in
+  let by_city = Hashtbl.create 16 in
+  List.iter (fun (n : Node.t) -> Hashtbl.add by_city n.city.Cities.name n) nodes;
+  let links =
+    List.map
+      (fun (a, b) ->
+        Link.make ~capacity_gbps:10. (Hashtbl.find by_city a) (Hashtbl.find by_city b))
+      abilene_links
+  in
+  Topology.of_nodes_links ~name:"internet2" nodes links
+
+let all_names = [ "eu_isp"; "cdn"; "internet2" ]
+
+let by_name = function
+  | "eu_isp" -> eu_isp ()
+  | "cdn" -> cdn ()
+  | "internet2" -> internet2 ()
+  | other -> invalid_arg ("Presets.by_name: unknown preset " ^ other)

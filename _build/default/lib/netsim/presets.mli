@@ -1,0 +1,23 @@
+(** The three evaluation networks of the paper, rebuilt from public
+    knowledge.
+
+    - {!eu_isp}: a European transit ISP serving business customers —
+      dense metro PoPs (several per major city) on a national/continental
+      backbone, so most traffic can stay local (Table 1: 54 demand-weighted
+      miles).
+    - {!cdn}: a global content distribution network — datacenters on six
+      continents connected by a long-haul overlay (Table 1: 1988 miles).
+    - {!internet2}: the Abilene-style US research backbone with its
+      historical 11 PoPs and link map (Table 1: 660 miles).
+
+    All presets are deterministic (internal fixed seeds). *)
+
+val eu_isp : unit -> Topology.t
+val cdn : unit -> Topology.t
+val internet2 : unit -> Topology.t
+
+val by_name : string -> Topology.t
+(** ["eu_isp"], ["cdn"] or ["internet2"]. Raises [Invalid_argument]
+    otherwise. *)
+
+val all_names : string list

@@ -1,0 +1,124 @@
+type t = { name : string; graph : Graph.t; pops : Node.t list }
+
+let of_nodes_links ~name node_list link_list =
+  let graph = Graph.create node_list link_list in
+  if not (Graph.is_connected graph) then
+    invalid_arg ("Topology." ^ name ^ ": graph is not connected");
+  let pops =
+    List.filter
+      (fun (n : Node.t) -> match n.kind with Pop | Datacenter -> true | Ixp | Customer_site -> false)
+      node_list
+  in
+  { name; graph; pops }
+
+let pop_nodes cities =
+  List.mapi
+    (fun id (city : Cities.t) ->
+      Node.make ~id ~name:(city.name ^ "-pop") ~kind:Node.Pop ~city)
+    cities
+
+let ring ~name ~capacity_gbps cities =
+  let nodes = pop_nodes cities in
+  let n = List.length nodes in
+  if n < 2 then invalid_arg "Topology.ring: need at least two cities";
+  let arr = Array.of_list nodes in
+  let links = ref [] in
+  for i = 0 to n - 1 do
+    let j = (i + 1) mod n in
+    (* For two nodes the "ring" degenerates to one edge. *)
+    if not (n = 2 && i = 1) then
+      links := Link.make ~capacity_gbps arr.(i) arr.(j) :: !links
+  done;
+  of_nodes_links ~name nodes !links
+
+let star ~name ~capacity_gbps ~hub cities =
+  let hub_node = Node.make ~id:0 ~name:(hub.Cities.name ^ "-hub") ~kind:Node.Pop ~city:hub in
+  let spokes =
+    List.mapi
+      (fun i (city : Cities.t) ->
+        Node.make ~id:(i + 1) ~name:(city.name ^ "-pop") ~kind:Node.Pop ~city)
+      cities
+  in
+  let links = List.map (fun spoke -> Link.make ~capacity_gbps hub_node spoke) spokes in
+  of_nodes_links ~name (hub_node :: spokes) links
+
+let full_mesh ~name ~capacity_gbps cities =
+  let nodes = pop_nodes cities in
+  let arr = Array.of_list nodes in
+  let n = Array.length arr in
+  if n < 2 then invalid_arg "Topology.full_mesh: need at least two cities";
+  let links = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      links := Link.make ~capacity_gbps arr.(i) arr.(j) :: !links
+    done
+  done;
+  of_nodes_links ~name nodes !links
+
+let waxman ~name ~rng ~capacity_gbps ~alpha ~beta cities =
+  if alpha <= 0. || alpha > 1. || beta <= 0. || beta > 1. then
+    invalid_arg "Topology.waxman: alpha and beta must be in (0, 1]";
+  let nodes = pop_nodes cities in
+  let arr = Array.of_list nodes in
+  let n = Array.length arr in
+  if n < 2 then invalid_arg "Topology.waxman: need at least two cities";
+  let max_d = ref 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      max_d := Float.max !max_d (Node.distance_miles arr.(i) arr.(j))
+    done
+  done;
+  let links = ref [] in
+  let linked = Hashtbl.create 64 in
+  let add i j =
+    let key = if i < j then (i, j) else (j, i) in
+    if not (Hashtbl.mem linked key) then begin
+      Hashtbl.add linked key ();
+      links := Link.make ~capacity_gbps arr.(i) arr.(j) :: !links
+    end
+  in
+  (* Nearest-unvisited-neighbor chain guarantees connectivity. *)
+  let visited = Array.make n false in
+  visited.(0) <- true;
+  let current = ref 0 in
+  for _ = 1 to n - 1 do
+    let best = ref (-1) and best_d = ref infinity in
+    for j = 0 to n - 1 do
+      if not visited.(j) then begin
+        let d = Node.distance_miles arr.(!current) arr.(j) in
+        if d < !best_d then begin
+          best := j;
+          best_d := d
+        end
+      end
+    done;
+    add !current !best;
+    visited.(!best) <- true;
+    current := !best
+  done;
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let d = Node.distance_miles arr.(i) arr.(j) in
+      let p = alpha *. exp (-.d /. (beta *. !max_d)) in
+      if Numerics.Rng.float rng < p then add i j
+    done
+  done;
+  of_nodes_links ~name nodes !links
+
+let distance_matrix t =
+  let pops = Array.of_list t.pops in
+  let n = Array.length pops in
+  let matrix = Array.make_matrix n n 0. in
+  Array.iteri
+    (fun i (src : Node.t) ->
+      let dist = Graph.shortest_path_lengths t.graph ~src:src.id in
+      Array.iteri (fun j (dst : Node.t) -> matrix.(i).(j) <- dist.(dst.id)) pops)
+    pops;
+  matrix
+
+let pop_by_city t city_name =
+  match
+    List.find_opt (fun (n : Node.t) -> String.equal n.city.Cities.name city_name) t.pops
+  with
+  | Some n -> n
+  | None -> raise Not_found

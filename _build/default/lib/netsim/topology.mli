@@ -1,0 +1,44 @@
+(** Topology builders.
+
+    A topology couples a {!Graph.t} with the roles its nodes play. The
+    builders here produce the generic shapes (ring, star, random
+    geometric) used in tests and ablations; {!Presets} assembles the
+    three evaluation networks from them. *)
+
+type t = {
+  name : string;
+  graph : Graph.t;
+  pops : Node.t list;  (** Nodes with kind [Pop] or [Datacenter]. *)
+}
+
+val of_nodes_links : name:string -> Node.t list -> Link.t list -> t
+(** Checked constructor; requires a connected graph. *)
+
+val ring : name:string -> capacity_gbps:float -> Cities.t list -> t
+(** PoPs in the given city order, connected in a cycle (or a single edge
+    for two cities). Requires at least two cities. *)
+
+val star : name:string -> capacity_gbps:float -> hub:Cities.t -> Cities.t list -> t
+(** A hub PoP connected to one PoP per listed city. *)
+
+val full_mesh : name:string -> capacity_gbps:float -> Cities.t list -> t
+
+val waxman :
+  name:string ->
+  rng:Numerics.Rng.t ->
+  capacity_gbps:float ->
+  alpha:float ->
+  beta:float ->
+  Cities.t list ->
+  t
+(** Waxman random geometric graph: cities become PoPs and each pair is
+    linked with probability [alpha * exp (-d / (beta * max_d))]. A
+    spanning backbone (nearest-neighbor chain) is added first so the
+    result is always connected. [alpha], [beta] in [(0, 1]]. *)
+
+val distance_matrix : t -> float array array
+(** Shortest-path distances between every pair of PoPs, indexed by
+    position in [pops]. *)
+
+val pop_by_city : t -> string -> Node.t
+(** First PoP located in the named city. Raises [Not_found]. *)

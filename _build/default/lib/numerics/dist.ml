@@ -1,0 +1,68 @@
+let exponential rng ~rate =
+  if rate <= 0. then invalid_arg "Dist.exponential: rate must be positive";
+  (* 1 - u avoids log 0. *)
+  -.log (1. -. Rng.float rng) /. rate
+
+let normal rng ~mean ~stddev =
+  if stddev < 0. then invalid_arg "Dist.normal: stddev must be >= 0";
+  let u1 = 1. -. Rng.float rng and u2 = Rng.float rng in
+  let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+  mean +. (stddev *. z)
+
+let lognormal rng ~mu ~sigma = exp (normal rng ~mean:mu ~stddev:sigma)
+
+let lognormal_of_mean_cv rng ~mean ~cv =
+  if mean <= 0. then invalid_arg "Dist.lognormal_of_mean_cv: mean must be positive";
+  if cv < 0. then invalid_arg "Dist.lognormal_of_mean_cv: cv must be >= 0";
+  if cv = 0. then mean
+  else
+    let sigma2 = log (1. +. (cv *. cv)) in
+    let mu = log mean -. (sigma2 /. 2.) in
+    lognormal rng ~mu ~sigma:(sqrt sigma2)
+
+let pareto rng ~shape ~scale =
+  if shape <= 0. || scale <= 0. then
+    invalid_arg "Dist.pareto: shape and scale must be positive";
+  scale /. ((1. -. Rng.float rng) ** (1. /. shape))
+
+let gumbel rng ~mu ~beta =
+  if beta <= 0. then invalid_arg "Dist.gumbel: beta must be positive";
+  let u = 1. -. Rng.float rng in
+  mu -. (beta *. log (-.log u))
+
+let categorical rng weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Dist.categorical: empty weights";
+  let total = ref 0. in
+  for i = 0 to n - 1 do
+    if weights.(i) < 0. then invalid_arg "Dist.categorical: negative weight";
+    total := !total +. weights.(i)
+  done;
+  if !total <= 0. then invalid_arg "Dist.categorical: weights sum to zero";
+  let target = Rng.float rng *. !total in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.
+
+let zipf rng ~n = categorical rng n
+
+let zipf_weights ~n ~s =
+  if n <= 0 then invalid_arg "Dist.zipf_weights: n must be positive";
+  Array.init n (fun i -> 1. /. (float_of_int (i + 1) ** s))
+
+let dirichlet_like rng ~n ~concentration =
+  if n <= 0 then invalid_arg "Dist.dirichlet_like: n must be positive";
+  if concentration <= 0. then
+    invalid_arg "Dist.dirichlet_like: concentration must be positive";
+  (* Exponential draws raised to 1/concentration approximate Gamma-driven
+     Dirichlet spikiness: small concentration -> a few large shares. *)
+  let raw =
+    Array.init n (fun _ ->
+        exponential rng ~rate:1. ** (1. /. concentration))
+  in
+  let total = Array.fold_left ( +. ) 0. raw in
+  Array.map (fun x -> x /. total) raw

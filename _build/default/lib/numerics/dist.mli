@@ -1,0 +1,48 @@
+(** Samplers for the probability distributions used by the workload
+    generator and the demand models.
+
+    All samplers take an explicit {!Rng.t} and are pure functions of the
+    generator state. Parameter conventions follow the usual textbook
+    definitions; each sampler documents its mean where it is finite. *)
+
+val exponential : Rng.t -> rate:float -> float
+(** [exponential rng ~rate] with [rate > 0]; mean [1/rate]. *)
+
+val normal : Rng.t -> mean:float -> stddev:float -> float
+(** Gaussian via Box-Muller. [stddev >= 0]. *)
+
+val lognormal : Rng.t -> mu:float -> sigma:float -> float
+(** [exp] of a Gaussian with parameters [mu], [sigma]. Mean
+    [exp (mu + sigma^2/2)]. *)
+
+val lognormal_of_mean_cv : Rng.t -> mean:float -> cv:float -> float
+(** Lognormal parameterized directly by its mean and coefficient of
+    variation: [sigma^2 = ln (1 + cv^2)], [mu = ln mean - sigma^2/2].
+    Requires [mean > 0] and [cv >= 0]. *)
+
+val pareto : Rng.t -> shape:float -> scale:float -> float
+(** Pareto type I: support [\[scale, inf)], P(X > x) = (scale/x)^shape.
+    Heavy-tailed demand. Requires [shape > 0], [scale > 0]. *)
+
+val gumbel : Rng.t -> mu:float -> beta:float -> float
+(** Standard Gumbel (type-I extreme value), the idiosyncratic preference
+    noise of the logit model. Requires [beta > 0]. *)
+
+val zipf : Rng.t -> n:float array -> int
+(** Alias for {!categorical}; kept for discoverability when the weights
+    are Zipfian ranks. *)
+
+val categorical : Rng.t -> float array -> int
+(** [categorical rng weights] draws an index with probability
+    proportional to [weights.(i)]. Requires at least one strictly positive
+    weight and no negative weights. *)
+
+val zipf_weights : n:int -> s:float -> float array
+(** [zipf_weights ~n ~s] is the (unnormalized) Zipf weight vector
+    [1/k^s] for ranks [1..n]. *)
+
+val dirichlet_like : Rng.t -> n:int -> concentration:float -> float array
+(** [dirichlet_like rng ~n ~concentration] draws a random point on the
+    n-simplex by normalizing Gamma-like draws; low concentration yields
+    spiky (high-CV) vectors. Implemented with exponential-power draws to
+    avoid a full Gamma sampler. *)

@@ -1,0 +1,51 @@
+type linear = { slope : float; intercept : float; r2 : float }
+
+let r2 ~predicted ~observed =
+  if Array.length predicted <> Array.length observed then
+    invalid_arg "Fit.r2: length mismatch";
+  let mean_obs = Stats.mean observed in
+  let residuals =
+    Array.map2 (fun p o -> (o -. p) *. (o -. p)) predicted observed
+  in
+  let deviations = Array.map (fun o -> (o -. mean_obs) *. (o -. mean_obs)) observed in
+  let ss_res = Stats.sum residuals and ss_tot = Stats.sum deviations in
+  if ss_tot = 0. then if ss_res = 0. then 1. else Float.neg_infinity
+  else 1. -. (ss_res /. ss_tot)
+
+let linear ~xs ~ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Fit.linear: length mismatch";
+  if n < 2 then invalid_arg "Fit.linear: need at least two points";
+  let mx = Stats.mean xs and my = Stats.mean ys in
+  let sxy = ref 0. and sxx = ref 0. in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx in
+    sxy := !sxy +. (dx *. (ys.(i) -. my));
+    sxx := !sxx +. (dx *. dx)
+  done;
+  if !sxx = 0. then invalid_arg "Fit.linear: degenerate xs";
+  let slope = !sxy /. !sxx in
+  let intercept = my -. (slope *. mx) in
+  let predicted = Array.map (fun x -> (slope *. x) +. intercept) xs in
+  { slope; intercept; r2 = r2 ~predicted ~observed:ys }
+
+type log_curve = { k : float; c : float; r2 : float }
+
+let log_linear ~xs ~ys =
+  Array.iter
+    (fun x -> if x <= 0. then invalid_arg "Fit.log_linear: xs must be positive")
+    xs;
+  let { slope; intercept; r2 } = linear ~xs:(Array.map log xs) ~ys in
+  { k = slope; c = intercept; r2 }
+
+let log_curve_eval { k; c; _ } x = (k *. log x) +. c
+
+type log_base_curve = { a : float; b : float; c : float }
+
+let to_base { k; c; _ } ~base =
+  if base <= 0. || base = 1. then invalid_arg "Fit.to_base: invalid base";
+  { a = k *. log base; b = base; c }
+
+let of_base { a; b; c } =
+  if b <= 0. || b = 1. then invalid_arg "Fit.of_base: invalid base";
+  { k = a /. log b; c; r2 = Float.nan }

@@ -1,0 +1,35 @@
+(** Least-squares curve fitting.
+
+    Figure 6 of the paper fits a concave distance-to-price curve
+    [y = a log_b x + c] to ITU and NTT leased-line price sheets. That
+    family is over-parameterized ([a log_b x = (a / ln b) ln x]), so the
+    canonical fit here is the log-linear model [y = k ln x + c]; helpers
+    convert to the paper's [a, b, c] presentation for a chosen base. *)
+
+type linear = { slope : float; intercept : float; r2 : float }
+
+val linear : xs:float array -> ys:float array -> linear
+(** Ordinary least squares [y = slope * x + intercept] with the
+    coefficient of determination. Requires [>= 2] points and
+    non-degenerate [xs]. *)
+
+type log_curve = { k : float; c : float; r2 : float }
+(** [y = k ln x + c]. *)
+
+val log_linear : xs:float array -> ys:float array -> log_curve
+(** Least squares in [ln x]. Requires all [xs > 0]. *)
+
+val log_curve_eval : log_curve -> float -> float
+
+type log_base_curve = { a : float; b : float; c : float }
+(** The paper's presentation [y = a log_b x + c]. *)
+
+val to_base : log_curve -> base:float -> log_base_curve
+(** [to_base fit ~base] rewrites [k ln x + c] as [a log_base x + c] with
+    [a = k ln base]. Requires [base > 0] and [base <> 1]. *)
+
+val of_base : log_base_curve -> log_curve
+(** Inverse of {!to_base} (with [r2 = nan]). *)
+
+val r2 : predicted:float array -> observed:float array -> float
+(** Coefficient of determination of arbitrary predictions. *)

@@ -1,0 +1,132 @@
+type result = {
+  x : float array;
+  value : float;
+  iterations : int;
+  converged : bool;
+}
+
+let identity_projection x = x
+
+let ascent ?(step0 = 1.0) ?(tol = 1e-9) ?(max_iter = 10_000)
+    ?(project = identity_projection) ~f ~grad x0 =
+  let armijo = 1e-4 in
+  let rec loop x fx iter =
+    if iter >= max_iter then { x; value = fx; iterations = iter; converged = false }
+    else
+      let g = grad x in
+      let gnorm = Vec.norm2 g in
+      if gnorm <= tol then { x; value = fx; iterations = iter; converged = true }
+      else
+        (* Backtracking line search along the gradient, re-projecting
+           each trial point. *)
+        let rec search step =
+          if step < 1e-16 then None
+          else
+            let trial = project (Vec.add x (Vec.scale step g)) in
+            let ft = f trial in
+            let progress = Vec.linf_dist trial x in
+            if ft >= fx +. (armijo *. step *. gnorm *. gnorm) then Some (trial, ft, progress)
+            else search (step /. 2.)
+        in
+        match search step0 with
+        | None -> { x; value = fx; iterations = iter; converged = true }
+        | Some (x', fx', progress) ->
+            if progress <= tol *. (1. +. Vec.norm2 x') then
+              { x = x'; value = fx'; iterations = iter + 1; converged = true }
+            else loop x' fx' (iter + 1)
+  in
+  let x0 = project x0 in
+  loop x0 (f x0) 0
+
+let descent ?step0 ?tol ?max_iter ?project ~f ~grad x0 =
+  let neg_f x = -.f x in
+  let neg_grad x = Vec.scale (-1.) (grad x) in
+  let r = ascent ?step0 ?tol ?max_iter ?project ~f:neg_f ~grad:neg_grad x0 in
+  { r with value = -.r.value }
+
+let numeric_grad ?(eps = 1e-6) f x =
+  let n = Array.length x in
+  Array.init n (fun i ->
+      let h = eps *. (1. +. abs_float x.(i)) in
+      let xp = Array.copy x and xm = Array.copy x in
+      xp.(i) <- x.(i) +. h;
+      xm.(i) <- x.(i) -. h;
+      (f xp -. f xm) /. (2. *. h))
+
+(* Nelder-Mead with the standard reflection/expansion/contraction/shrink
+   coefficients (1, 2, 0.5, 0.5). *)
+let nelder_mead ?(tol = 1e-10) ?(max_iter = 20_000) ?(scale = 0.1) ~f x0 =
+  let n = Array.length x0 in
+  if n = 0 then invalid_arg "Gradient.nelder_mead: empty start point";
+  let point i =
+    if i = 0 then Array.copy x0
+    else begin
+      let p = Array.copy x0 in
+      let j = i - 1 in
+      let h = scale *. (1. +. abs_float x0.(j)) in
+      p.(j) <- p.(j) +. h;
+      p
+    end
+  in
+  let simplex = Array.init (n + 1) (fun i -> (point i, 0.)) in
+  Array.iteri (fun i (p, _) -> simplex.(i) <- (p, f p)) simplex;
+  let order () = Array.sort (fun (_, a) (_, b) -> compare a b) simplex in
+  let centroid () =
+    let c = Array.make n 0. in
+    for i = 0 to n - 1 do
+      (* all but the worst vertex *)
+      let p, _ = simplex.(i) in
+      Vec.axpy_inplace 1. p c
+    done;
+    Vec.scale (1. /. float_of_int n) c
+  in
+  let simplex_diameter () =
+    let best_p, _ = simplex.(0) in
+    Array.fold_left
+      (fun acc (p, _) -> Float.max acc (Vec.linf_dist p best_p))
+      0. simplex
+  in
+  let rec loop iter =
+    order ();
+    let best_p, best = simplex.(0) in
+    let _, worst = simplex.(n) in
+    (* Equal values at distinct vertices (e.g. symmetric points around a
+       kink) are not convergence: also require a small simplex. *)
+    let values_flat = abs_float (worst -. best) <= tol *. (1. +. abs_float best) in
+    let simplex_small = simplex_diameter () <= tol *. (1. +. Vec.norm2 best_p) in
+    if (values_flat && simplex_small) || iter >= max_iter then
+      let x, value = simplex.(0) in
+      { x; value; iterations = iter; converged = iter < max_iter }
+    else begin
+      let c = centroid () in
+      let worst_p, worst_f = simplex.(n) in
+      let along t = Vec.add c (Vec.scale t (Vec.sub c worst_p)) in
+      let reflected = along 1. in
+      let fr = f reflected in
+      let _, second_worst = simplex.(n - 1) in
+      if fr < best then begin
+        let expanded = along 2. in
+        let fe = f expanded in
+        simplex.(n) <- (if fe < fr then (expanded, fe) else (reflected, fr))
+      end
+      else if fr < second_worst then simplex.(n) <- (reflected, fr)
+      else begin
+        let contracted =
+          if fr < worst_f then along 0.5 else along (-0.5)
+        in
+        let fc = f contracted in
+        if fc < Stdlib.min fr worst_f then simplex.(n) <- (contracted, fc)
+        else begin
+          (* Shrink towards the best vertex. *)
+          let best_p, _ = simplex.(0) in
+          for i = 1 to n do
+            let p, _ = simplex.(i) in
+            let shrunk = Vec.add best_p (Vec.scale 0.5 (Vec.sub p best_p)) in
+            simplex.(i) <- (shrunk, f shrunk)
+          done
+        end
+      end;
+      loop (iter + 1)
+    end
+  in
+  loop 0

@@ -1,0 +1,54 @@
+(** Multivariate optimization.
+
+    The logit bundle-pricing problem maximizes a smooth concave-ish profit
+    over a handful of bundle prices; the calibrator minimizes a loss over
+    two or three workload knobs. Two methods cover both: projected
+    gradient ascent with backtracking line search, and derivative-free
+    Nelder-Mead. *)
+
+type result = {
+  x : float array;  (** Final point. *)
+  value : float;  (** Objective value at [x]. *)
+  iterations : int;
+  converged : bool;
+}
+
+val ascent :
+  ?step0:float ->
+  ?tol:float ->
+  ?max_iter:int ->
+  ?project:(float array -> float array) ->
+  f:(float array -> float) ->
+  grad:(float array -> float array) ->
+  float array ->
+  result
+(** [ascent ~f ~grad x0] maximizes [f] by gradient ascent with a
+    backtracking (Armijo) line search. [project] is applied after every
+    trial step, e.g. to keep prices above cost. Convergence is declared
+    when the projected step is smaller than [tol] (default [1e-9])
+    relative to the point. *)
+
+val descent :
+  ?step0:float ->
+  ?tol:float ->
+  ?max_iter:int ->
+  ?project:(float array -> float array) ->
+  f:(float array -> float) ->
+  grad:(float array -> float array) ->
+  float array ->
+  result
+(** Minimization counterpart of {!ascent}. *)
+
+val numeric_grad : ?eps:float -> (float array -> float) -> float array -> float array
+(** Central-difference gradient, for cross-checking analytic gradients in
+    tests and for objectives without closed-form derivatives. *)
+
+val nelder_mead :
+  ?tol:float ->
+  ?max_iter:int ->
+  ?scale:float ->
+  f:(float array -> float) ->
+  float array ->
+  result
+(** Derivative-free minimization of [f] starting from a simplex around
+    the initial point with spread [scale] (default [0.1] relative). *)

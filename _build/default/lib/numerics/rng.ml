@@ -1,0 +1,57 @@
+(* Splitmix64 (Steele, Lea, Flood 2014). Chosen over [Random] for
+   splittability and stability across OCaml releases. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = bits64 t in
+  { state = mix seed }
+
+(* 53 high-quality bits -> float in [0,1). *)
+let float t =
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+let uniform t lo hi =
+  if not (lo <= hi) then invalid_arg "Rng.uniform: lo > hi";
+  lo +. ((hi -. lo) *. float t)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let mask = Int64.of_int max_int in
+  let rec draw () =
+    let v = Int64.to_int (Int64.logand (bits64 t) mask) in
+    let limit = max_int - (max_int mod n) in
+    if v >= limit then draw () else v mod n
+  in
+  draw ()
+
+let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int t (Array.length arr))

@@ -1,0 +1,43 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, fast, splittable generator based on splitmix64. Every
+    stochastic component in this repository takes an explicit [t] so that
+    workloads, tests and benchmarks are reproducible bit-for-bit. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator that will continue producing the
+    same stream as [t] would from this point. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent generator from [t],
+    advancing [t] once. Useful to give each subsystem its own stream so
+    that adding draws in one place does not perturb another. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** [float t] is uniform in [\[0, 1)]. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform t lo hi] is uniform in [\[lo, hi)]. Requires [lo <= hi]. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. Requires [n > 0]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. Raises [Invalid_argument] on an
+    empty array. *)

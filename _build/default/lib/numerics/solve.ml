@@ -1,0 +1,91 @@
+let default_tol = 1e-12
+
+let bisect ?(tol = default_tol) ?(max_iter = 200) ~f lo hi =
+  if lo > hi then invalid_arg "Solve.bisect: lo > hi";
+  let flo = f lo and fhi = f hi in
+  if flo = 0. then lo
+  else if fhi = 0. then hi
+  else if flo *. fhi > 0. then
+    invalid_arg "Solve.bisect: f(lo) and f(hi) have the same sign"
+  else
+    let rec loop lo hi flo iter =
+      let mid = 0.5 *. (lo +. hi) in
+      if hi -. lo <= tol *. (1. +. abs_float mid) || iter >= max_iter then mid
+      else
+        let fmid = f mid in
+        if fmid = 0. then mid
+        else if flo *. fmid < 0. then loop lo mid flo (iter + 1)
+        else loop mid hi fmid (iter + 1)
+    in
+    loop lo hi flo 0
+
+let newton ?(tol = default_tol) ?(max_iter = 100) ~f ~df x0 =
+  let rec loop x iter =
+    if iter >= max_iter then failwith "Solve.newton: did not converge"
+    else
+      let fx = f x in
+      let dfx = df x in
+      if dfx = 0. then failwith "Solve.newton: zero derivative"
+      else
+        let x' = x -. (fx /. dfx) in
+        if abs_float (x' -. x) <= tol *. (1. +. abs_float x') then x'
+        else loop x' (iter + 1)
+  in
+  loop x0 0
+
+let newton_bisect ?(tol = default_tol) ?(max_iter = 200) ~f ~df lo hi =
+  let flo = f lo and fhi = f hi in
+  if flo = 0. then lo
+  else if fhi = 0. then hi
+  else if flo *. fhi > 0. then
+    invalid_arg "Solve.newton_bisect: no sign change on bracket"
+  else
+    (* Keep [lo, hi] a bracket; take Newton steps when they stay inside,
+       otherwise bisect. *)
+    let rec loop lo hi flo x iter =
+      if iter >= max_iter then x
+      else
+        let fx = f x in
+        if fx = 0. then x
+        else
+          let lo, hi, flo = if flo *. fx < 0. then (lo, x, flo) else (x, hi, fx) in
+          if hi -. lo <= tol *. (1. +. abs_float x) then 0.5 *. (lo +. hi)
+          else
+            let dfx = df x in
+            let x' =
+              if dfx = 0. then 0.5 *. (lo +. hi)
+              else
+                let candidate = x -. (fx /. dfx) in
+                if candidate <= lo || candidate >= hi then 0.5 *. (lo +. hi)
+                else candidate
+            in
+            loop lo hi flo x' (iter + 1)
+    in
+    loop lo hi flo (0.5 *. (lo +. hi)) 0
+
+let inv_phi = (sqrt 5. -. 1.) /. 2.
+
+let golden_section ?(tol = 1e-10) ?(max_iter = 200) ~f lo hi =
+  if lo > hi then invalid_arg "Solve.golden_section: lo > hi";
+  let rec loop a b c d fc fd iter =
+    if b -. a <= tol *. (1. +. abs_float a +. abs_float b) || iter >= max_iter
+    then 0.5 *. (a +. b)
+    else if fc < fd then
+      (* Minimum lies in [a, d]; reuse c as the new upper probe. *)
+      let b = d in
+      let d = c and fd = fc in
+      let c = b -. (inv_phi *. (b -. a)) in
+      loop a b c d (f c) fd (iter + 1)
+    else
+      (* Minimum lies in [c, b]; reuse d as the new lower probe. *)
+      let a = c in
+      let c = d and fc = fd in
+      let d = a +. (inv_phi *. (b -. a)) in
+      loop a b c d fc (f d) (iter + 1)
+  in
+  let c = hi -. (inv_phi *. (hi -. lo)) in
+  let d = lo +. (inv_phi *. (hi -. lo)) in
+  loop lo hi c d (f c) (f d) 0
+
+let maximize_scalar ?tol ?max_iter ~f lo hi =
+  golden_section ?tol ?max_iter ~f:(fun x -> -.f x) lo hi

@@ -1,0 +1,41 @@
+(** Scalar root finding and one-dimensional optimization.
+
+    Used by the logit pricing machinery (the common-margin equation
+    [x - 1 = S e^(-x)]) and by workload calibration. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float -> float
+(** [bisect ~f lo hi] finds a root of [f] in [\[lo, hi\]]. Requires
+    [f lo] and [f hi] to have opposite (or zero) signs. [tol] bounds the
+    bracket width (default [1e-12] relative to the bracket). *)
+
+val newton :
+  ?tol:float ->
+  ?max_iter:int ->
+  f:(float -> float) ->
+  df:(float -> float) ->
+  float ->
+  float
+(** Newton-Raphson from an initial guess. Raises [Failure] if it does not
+    converge within [max_iter] (default 100) iterations. *)
+
+val newton_bisect :
+  ?tol:float ->
+  ?max_iter:int ->
+  f:(float -> float) ->
+  df:(float -> float) ->
+  float ->
+  float ->
+  float
+(** [newton_bisect ~f ~df lo hi] — safeguarded Newton: Newton steps
+    clipped to a maintained bisection bracket [\[lo, hi\]], so it converges whenever [f] changes sign on the
+    bracket, with Newton-rate convergence near the root. *)
+
+val golden_section :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float -> float
+(** [golden_section ~f lo hi] returns an approximate minimizer of a
+    unimodal [f] on [\[lo, hi\]]. *)
+
+val maximize_scalar :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> float -> float -> float
+(** Golden-section maximization of a unimodal [f]. *)

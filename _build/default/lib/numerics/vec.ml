@@ -1,0 +1,34 @@
+let check_lengths name x y =
+  if Array.length x <> Array.length y then invalid_arg (name ^ ": length mismatch")
+
+let map2 f x y =
+  check_lengths "Vec.map2" x y;
+  Array.init (Array.length x) (fun i -> f x.(i) y.(i))
+
+let add x y = map2 ( +. ) x y
+let sub x y = map2 ( -. ) x y
+let scale a x = Array.map (fun v -> a *. v) x
+
+let dot x y =
+  check_lengths "Vec.dot" x y;
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+let norm2 x = sqrt (dot x x)
+
+let axpy_inplace a x y =
+  check_lengths "Vec.axpy_inplace" x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (a *. x.(i)) +. y.(i)
+  done
+
+let linf_dist x y =
+  check_lengths "Vec.linf_dist" x y;
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    acc := Stdlib.max !acc (abs_float (x.(i) -. y.(i)))
+  done;
+  !acc

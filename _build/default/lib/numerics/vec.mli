@@ -1,0 +1,18 @@
+(** Small dense-vector helpers for the gradient-based optimizers.
+
+    Vectors are plain [float array]s; all operations allocate fresh
+    results unless suffixed [_inplace]. *)
+
+val add : float array -> float array -> float array
+val sub : float array -> float array -> float array
+val scale : float -> float array -> float array
+val dot : float array -> float array -> float
+val norm2 : float array -> float
+(** Euclidean norm. *)
+
+val axpy_inplace : float -> float array -> float array -> unit
+(** [axpy_inplace a x y] sets [y := a*x + y]. *)
+
+val map2 : (float -> float -> float) -> float array -> float array -> float array
+val linf_dist : float array -> float array -> float
+(** Max absolute componentwise difference. *)

@@ -1,0 +1,1 @@
+lib/routing/accounting.ml: Array Flowgen Hashtbl Int64 List Option Rib

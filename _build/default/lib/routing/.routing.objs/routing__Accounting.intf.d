@@ -1,0 +1,1 @@
+lib/routing/accounting.mli: Flowgen Rib

@@ -1,0 +1,1 @@
+lib/routing/billing.ml: Accounting Array Format List Numerics Printf

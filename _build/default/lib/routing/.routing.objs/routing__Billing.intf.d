@@ -1,0 +1,1 @@
+lib/routing/billing.mli: Accounting Format

@@ -1,0 +1,1 @@
+lib/routing/community.ml: Printf String

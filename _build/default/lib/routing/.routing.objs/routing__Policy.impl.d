@@ -1,0 +1,1 @@
+lib/routing/policy.ml: Array Community List Rib

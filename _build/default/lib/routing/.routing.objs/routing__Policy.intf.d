@@ -1,0 +1,1 @@
+lib/routing/policy.mli: Flowgen Rib

@@ -1,0 +1,1 @@
+lib/routing/rib.ml: Array Community Flowgen Int List Map

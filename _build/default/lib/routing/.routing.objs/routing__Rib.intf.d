@@ -1,0 +1,1 @@
+lib/routing/rib.mli: Community Flowgen

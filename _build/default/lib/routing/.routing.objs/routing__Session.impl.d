@@ -1,0 +1,1 @@
+lib/routing/session.ml: Community Flowgen Hashtbl List Rib Tagging

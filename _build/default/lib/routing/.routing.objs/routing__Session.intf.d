@@ -1,0 +1,1 @@
+lib/routing/session.mli: Flowgen Rib Tagging

@@ -1,0 +1,1 @@
+lib/routing/tagging.ml: Community Flowgen Hashtbl List Option Rib

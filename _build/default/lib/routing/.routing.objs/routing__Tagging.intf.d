@@ -1,0 +1,1 @@
+lib/routing/tagging.mli: Flowgen Rib

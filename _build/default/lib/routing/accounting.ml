@@ -1,0 +1,142 @@
+type usage = {
+  tier_bytes : (int * float) list;
+  untiered_bytes : float;
+}
+
+let total_bytes u =
+  List.fold_left (fun acc (_, b) -> acc +. b) u.untiered_bytes u.tier_bytes
+
+let tier_of_record rib (r : Flowgen.Netflow.record) = Rib.tier_of rib r.dst
+
+module Snmp = struct
+  (* Octet counters behave like the 64-bit ifHCInOctets MIB objects:
+     they wrap modulo 2^64 (we keep them in Int64 and let OCaml wrap). *)
+  type t = {
+    n_tiers : int;
+    poll_interval_s : int;
+    counters : int64 array;  (** Final counter values. *)
+    mutable untiered : float;
+    (* Byte arrivals per (tier, second bucket) kept so that poll_series
+       can reconstruct the counter value at any poll instant. *)
+    timeline : (int, (int * float) list ref) Hashtbl.t;
+  }
+
+  let create ~n_tiers ?(poll_interval_s = 300) () =
+    if n_tiers <= 0 then invalid_arg "Accounting.Snmp.create: n_tiers <= 0";
+    if poll_interval_s <= 0 then
+      invalid_arg "Accounting.Snmp.create: poll interval <= 0";
+    {
+      n_tiers;
+      poll_interval_s;
+      counters = Array.make n_tiers 0L;
+      untiered = 0.;
+      timeline = Hashtbl.create 64;
+    }
+
+  let observe t ~rib records =
+    List.iter
+      (fun (r : Flowgen.Netflow.record) ->
+        match tier_of_record rib r with
+        | None -> t.untiered <- t.untiered +. r.bytes
+        | Some tier ->
+            if tier >= t.n_tiers then
+              invalid_arg "Accounting.Snmp.observe: tier beyond configured links";
+            t.counters.(tier) <-
+              Int64.add t.counters.(tier) (Int64.of_float r.bytes);
+            (* Spread the record's bytes uniformly over its window at
+               poll-interval granularity for the series view. *)
+            let span = max 1 (r.last_s - r.first_s) in
+            let per_s = r.bytes /. float_of_int span in
+            let first_bucket = r.first_s / t.poll_interval_s in
+            let last_bucket = (r.last_s - 1) / t.poll_interval_s in
+            for bucket = first_bucket to last_bucket do
+              let bucket_start = bucket * t.poll_interval_s in
+              let bucket_end = bucket_start + t.poll_interval_s in
+              let overlap =
+                float_of_int (min r.last_s bucket_end - max r.first_s bucket_start)
+              in
+              let bytes = per_s *. overlap in
+              let cell =
+                match Hashtbl.find_opt t.timeline bucket with
+                | Some cell -> cell
+                | None ->
+                    let cell = ref [] in
+                    Hashtbl.add t.timeline bucket cell;
+                    cell
+              in
+              cell := (tier, bytes) :: !cell
+            done)
+      records
+
+  let poll_series t ~horizon_s =
+    let polls = (horizon_s + t.poll_interval_s - 1) / t.poll_interval_s in
+    List.init t.n_tiers (fun tier ->
+        let deltas = Array.make polls 0. in
+        Hashtbl.iter
+          (fun bucket cell ->
+            if bucket < polls then
+              List.iter
+                (fun (tr, bytes) ->
+                  if tr = tier then deltas.(bucket) <- deltas.(bucket) +. bytes)
+                !cell)
+          t.timeline;
+        (tier, deltas))
+
+  let usage t =
+    {
+      tier_bytes =
+        List.init t.n_tiers (fun tier -> (tier, Int64.to_float t.counters.(tier)));
+      untiered_bytes = t.untiered;
+    }
+end
+
+let flow_based ~rib records =
+  let by_tier = Hashtbl.create 16 in
+  let untiered = ref 0. in
+  List.iter
+    (fun (r : Flowgen.Netflow.record) ->
+      match tier_of_record rib r with
+      | None -> untiered := !untiered +. r.bytes
+      | Some tier ->
+          Hashtbl.replace by_tier tier
+            (r.bytes +. Option.value ~default:0. (Hashtbl.find_opt by_tier tier)))
+    records;
+  {
+    tier_bytes =
+      Hashtbl.fold (fun tier b acc -> (tier, b) :: acc) by_tier [] |> List.sort compare;
+    untiered_bytes = !untiered;
+  }
+
+let rate_series ~rib ~interval_s ~horizon_s records =
+  if interval_s <= 0 then invalid_arg "Accounting.rate_series: interval <= 0";
+  let intervals = (horizon_s + interval_s - 1) / interval_s in
+  let by_tier : (int, float array) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Flowgen.Netflow.record) ->
+      match tier_of_record rib r with
+      | None -> ()
+      | Some tier ->
+          let series =
+            match Hashtbl.find_opt by_tier tier with
+            | Some s -> s
+            | None ->
+                let s = Array.make intervals 0. in
+                Hashtbl.add by_tier tier s;
+                s
+          in
+          let span = max 1 (r.last_s - r.first_s) in
+          let per_s = r.bytes /. float_of_int span in
+          let first_bucket = r.first_s / interval_s in
+          let last_bucket = min (intervals - 1) ((r.last_s - 1) / interval_s) in
+          for bucket = first_bucket to last_bucket do
+            let bucket_start = bucket * interval_s in
+            let bucket_end = bucket_start + interval_s in
+            let overlap =
+              float_of_int (min r.last_s bucket_end - max r.first_s bucket_start)
+            in
+            series.(bucket) <-
+              series.(bucket)
+              +. (per_s *. overlap *. 8. /. float_of_int interval_s /. 1e6)
+          done)
+    records;
+  Hashtbl.fold (fun tier s acc -> (tier, s) :: acc) by_tier [] |> List.sort compare

@@ -1,0 +1,51 @@
+(** The two tier-accounting architectures of §5.2 (Fig. 17).
+
+    {b Link-based}: each tier rides its own (virtual) link; edge-router
+    byte counters are polled periodically (SNMP-style, with 64-bit
+    counter wrap handled) and per-poll deltas give per-tier usage.
+
+    {b Flow-based}: a single link carries everything; the collector
+    joins exported flow records against the tagged RIB to attribute
+    bytes to tiers after the fact.
+
+    Both yield the same per-tier totals on the same traffic — asserted
+    by the test suite — but flow-based accounting also produces the
+    per-interval rate series that percentile billing needs. *)
+
+type usage = {
+  tier_bytes : (int * float) list;  (** [(tier, bytes)], ascending tier. *)
+  untiered_bytes : float;  (** Traffic matching no tiered route. *)
+}
+
+val total_bytes : usage -> float
+
+(** SNMP-style polled counters. *)
+module Snmp : sig
+  type t
+
+  val create : n_tiers:int -> ?poll_interval_s:int -> unit -> t
+  (** Default poll interval 300 s. *)
+
+  val observe : t -> rib:Rib.t -> Flowgen.Netflow.record list -> unit
+  (** Feed traffic through the per-tier links: each record's bytes are
+      added to its tier's counter (spread over the record's duration).
+      Records matching no tiered route count as untiered. *)
+
+  val poll_series : t -> horizon_s:int -> (int * float array) list
+  (** Per tier, the per-poll byte deltas a poller would have read over
+      [horizon_s] seconds, reconstructed from wrapped 64-bit counters. *)
+
+  val usage : t -> usage
+end
+
+val flow_based : rib:Rib.t -> Flowgen.Netflow.record list -> usage
+(** Join flow records to tiers via the RIB (destination lookup). *)
+
+val rate_series :
+  rib:Rib.t ->
+  interval_s:int ->
+  horizon_s:int ->
+  Flowgen.Netflow.record list ->
+  (int * float array) list
+(** Per-tier Mbps per interval — the input to percentile billing.
+    Records are attributed to intervals by overlap. *)

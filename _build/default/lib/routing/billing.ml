@@ -1,0 +1,74 @@
+type method_ = Mean_rate | Percentile of float
+
+type line = {
+  tier : int;
+  billable_mbps : float;
+  rate_per_mbps : float;
+  amount : float;
+}
+
+type invoice = {
+  lines : line list;
+  total : float;
+  method_ : method_;
+  period_s : int;
+}
+
+let rate_for rates tier =
+  if tier < 0 || tier >= Array.length rates then
+    invalid_arg "Billing: usage references a tier with no configured rate";
+  rates.(tier)
+
+let build ~method_ ~period_s lines =
+  let lines = List.filter (fun l -> l.billable_mbps > 0.) lines in
+  {
+    lines;
+    total = List.fold_left (fun acc l -> acc +. l.amount) 0. lines;
+    method_;
+    period_s;
+  }
+
+let of_usage ~rates ~period_s (usage : Accounting.usage) =
+  if period_s <= 0 then invalid_arg "Billing.of_usage: period <= 0";
+  let lines =
+    List.map
+      (fun (tier, bytes) ->
+        let rate_per_mbps = rate_for rates tier in
+        let billable_mbps = bytes *. 8. /. float_of_int period_s /. 1e6 in
+        { tier; billable_mbps; rate_per_mbps; amount = billable_mbps *. rate_per_mbps })
+      usage.Accounting.tier_bytes
+  in
+  build ~method_:Mean_rate ~period_s lines
+
+let of_rate_series ~rates ~method_ ~period_s series =
+  if period_s <= 0 then invalid_arg "Billing.of_rate_series: period <= 0";
+  let billable mbps_series =
+    match method_ with
+    | Mean_rate -> Numerics.Stats.mean mbps_series
+    | Percentile p ->
+        if p < 0. || p > 1. then invalid_arg "Billing: percentile out of [0, 1]";
+        Numerics.Stats.quantile mbps_series p
+  in
+  let lines =
+    List.map
+      (fun (tier, mbps_series) ->
+        let rate_per_mbps = rate_for rates tier in
+        let billable_mbps = if Array.length mbps_series = 0 then 0. else billable mbps_series in
+        { tier; billable_mbps; rate_per_mbps; amount = billable_mbps *. rate_per_mbps })
+      series
+  in
+  build ~method_ ~period_s lines
+
+let pp ppf t =
+  let method_name =
+    match t.method_ with
+    | Mean_rate -> "mean-rate"
+    | Percentile p -> Printf.sprintf "p%.0f" (100. *. p)
+  in
+  Format.fprintf ppf "invoice (%s over %ds):@." method_name t.period_s;
+  List.iter
+    (fun l ->
+      Format.fprintf ppf "  tier %d: %.1f Mbps x $%.2f = $%.2f@." l.tier
+        l.billable_mbps l.rate_per_mbps l.amount)
+    t.lines;
+  Format.fprintf ppf "  total: $%.2f@." t.total

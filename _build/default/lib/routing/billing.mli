@@ -1,0 +1,41 @@
+(** Invoices from per-tier usage.
+
+    Converts accounted usage into the $/Mbps/month line items a transit
+    contract bills, under either mean-rate or 95th-percentile billing
+    (the industry's burstable standard). *)
+
+type method_ = Mean_rate | Percentile of float
+(** [Percentile 0.95] is conventional burstable billing. *)
+
+type line = {
+  tier : int;
+  billable_mbps : float;
+  rate_per_mbps : float;
+  amount : float;
+}
+
+type invoice = {
+  lines : line list;
+  total : float;
+  method_ : method_;
+  period_s : int;
+}
+
+val of_usage :
+  rates:float array -> period_s:int -> Accounting.usage -> invoice
+(** Mean-rate billing of byte totals: [billable = bytes * 8 / period / 1e6].
+    [rates.(tier)] is the tier's $/Mbps price. Tiers with no traffic
+    yield no line. Raises [Invalid_argument] if usage references a tier
+    with no rate. *)
+
+val of_rate_series :
+  rates:float array ->
+  method_:method_ ->
+  period_s:int ->
+  (int * float array) list ->
+  invoice
+(** Billing from per-interval Mbps series (see
+    {!Accounting.rate_series}): mean or percentile of each tier's
+    series. *)
+
+val pp : Format.formatter -> invoice -> unit

@@ -1,0 +1,34 @@
+type t = { asn : int; value : int }
+
+let fits_16 v = v >= 0 && v < 65536
+
+let make ~asn ~value =
+  if not (fits_16 asn) then invalid_arg "Community.make: asn out of 16 bits";
+  if not (fits_16 value) then invalid_arg "Community.make: value out of 16 bits";
+  { asn; value }
+
+(* Tier tags live in a reserved band, by convention 60000 + k. *)
+let tier_base = 60000
+let max_tiers = 256
+
+let tier ~asn k =
+  if k < 0 || k >= max_tiers then invalid_arg "Community.tier: tier out of range";
+  make ~asn ~value:(tier_base + k)
+
+let tier_of t =
+  if t.value >= tier_base && t.value < tier_base + max_tiers then
+    Some (t.value - tier_base)
+  else None
+
+let to_string t = Printf.sprintf "%d:%d" t.asn t.value
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ asn; value ] -> (
+      match (int_of_string_opt asn, int_of_string_opt value) with
+      | Some asn, Some value -> make ~asn ~value
+      | _ -> invalid_arg ("Community.of_string: malformed community " ^ s))
+  | _ -> invalid_arg ("Community.of_string: malformed community " ^ s)
+
+let equal a b = a.asn = b.asn && a.value = b.value
+let compare a b = compare (a.asn, a.value) (b.asn, b.value)

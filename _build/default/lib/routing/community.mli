@@ -1,0 +1,29 @@
+(** BGP extended communities used as pricing-tier tags (§5.1).
+
+    The upstream ISP tags every route it announces with the tier it
+    belongs to; the customer's routers match on the tag to build policy.
+    We model the conventional ["asn:value"] two-octet encoding, with a
+    reserved value range for tiers. *)
+
+type t = { asn : int; value : int }
+
+val make : asn:int -> value:int -> t
+(** Raises [Invalid_argument] unless both fit in 16 bits. *)
+
+val tier : asn:int -> int -> t
+(** [tier ~asn k] is the community tagging pricing tier [k] (0-based);
+    encoded in a reserved value range so tier tags cannot collide with
+    other communities from the same ASN. Raises [Invalid_argument] for
+    [k < 0] or [k >= max_tiers]. *)
+
+val max_tiers : int
+
+val tier_of : t -> int option
+(** [Some k] when the community is a tier tag. *)
+
+val to_string : t -> string
+(** ["asn:value"]. *)
+
+val of_string : string -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int

@@ -1,0 +1,64 @@
+module Bypass = struct
+  type inputs = {
+    blended_rate : float;
+    direct_cost : float;
+    isp_cost : float;
+    isp_margin : float;
+    accounting_overhead : float;
+  }
+
+  type verdict = {
+    customer_bypasses : bool;
+    market_failure : bool;
+    tiered_price : float;
+    customer_saving : float;
+  }
+
+  let validate i =
+    if
+      i.blended_rate < 0. || i.direct_cost < 0. || i.isp_cost < 0.
+      || i.isp_margin < 0. || i.accounting_overhead < 0.
+    then invalid_arg "Policy.Bypass: negative input"
+
+  let decide i =
+    validate i;
+    let customer_bypasses = i.direct_cost < i.blended_rate in
+    let tiered_price = ((i.isp_margin +. 1.) *. i.isp_cost) +. i.accounting_overhead in
+    {
+      customer_bypasses;
+      (* §2.2.2: the bypass is a market failure when the customer builds
+         capacity at a higher cost than a tiered price would have been. *)
+      market_failure = customer_bypasses && i.direct_cost > tiered_price;
+      tiered_price;
+      customer_saving = (if customer_bypasses then i.blended_rate -. i.direct_cost else 0.);
+    }
+
+  let break_even_rate i =
+    validate i;
+    i.direct_cost
+end
+
+module Egress = struct
+  type choice = Use_upstream of int | Use_backbone
+
+  let choose ~rib ~tier_prices ~backbone_cost_per_mbps addr =
+    match Rib.lookup rib addr with
+    | None -> None
+    | Some route -> (
+        match List.find_map Community.tier_of route.Rib.communities with
+        | None -> Some (Use_upstream 0)
+        | Some tier ->
+            if tier >= Array.length tier_prices then
+              invalid_arg "Policy.Egress.choose: tier has no configured price";
+            if tier_prices.(tier) > backbone_cost_per_mbps then Some Use_backbone
+            else Some (Use_upstream tier))
+
+  let split ~rib ~tier_prices ~backbone_cost_per_mbps demands ~upstream_mbps
+      ~backbone_mbps =
+    List.iter
+      (fun (addr, mbps) ->
+        match choose ~rib ~tier_prices ~backbone_cost_per_mbps addr with
+        | Some Use_backbone -> backbone_mbps := !backbone_mbps +. mbps
+        | Some (Use_upstream _) | None -> upstream_mbps := !upstream_mbps +. mbps)
+      demands
+end

@@ -1,0 +1,59 @@
+(** Customer-side routing economics: the direct-peering bypass decision
+    of §2.2.2 (Fig. 2) and tier-aware route selection (§5.1). *)
+
+(** The Fig. 2 scenario: a customer (e.g. a CDN with a backbone PoP)
+    decides whether to keep buying blended transit to reach a nearby IXP
+    or to procure a direct link to it. *)
+module Bypass : sig
+  type inputs = {
+    blended_rate : float;  (** [R], $/Mbps via the upstream. *)
+    direct_cost : float;  (** [c_direct], amortized $/Mbps of own link. *)
+    isp_cost : float;  (** [c_ISP], the ISP's true cost for the flow. *)
+    isp_margin : float;  (** [M], the ISP's profit margin (e.g. 0.3). *)
+    accounting_overhead : float;  (** [A], per-Mbps tier-accounting cost. *)
+  }
+
+  type verdict = {
+    customer_bypasses : bool;  (** [c_direct < R]. *)
+    market_failure : bool;
+        (** Bypass happens although the ISP could profitably offer a
+            tier below [c_direct]: [c_direct > (M + 1) c_ISP + A]. *)
+    tiered_price : float;  (** [(M + 1) c_ISP + A], what a tier would cost. *)
+    customer_saving : float;  (** [R - c_direct] when bypassing, else 0. *)
+  }
+
+  val decide : inputs -> verdict
+  (** Raises [Invalid_argument] on negative inputs. *)
+
+  val break_even_rate : inputs -> float
+  (** The blended rate below which the customer stops bypassing. *)
+end
+
+(** Tier-aware egress selection: with tagged routes, a customer with its
+    own backbone can carry traffic itself ("cold potato") when the
+    upstream's tier for that destination is priced above its internal
+    transport cost. *)
+module Egress : sig
+  type choice = Use_upstream of int (* tier *) | Use_backbone
+
+  val choose :
+    rib:Rib.t ->
+    tier_prices:float array ->
+    backbone_cost_per_mbps:float ->
+    Flowgen.Ipv4.t ->
+    choice option
+  (** [None] when no route covers the destination. Raises
+      [Invalid_argument] if a matched route's tier has no price. *)
+
+  val split :
+    rib:Rib.t ->
+    tier_prices:float array ->
+    backbone_cost_per_mbps:float ->
+    (Flowgen.Ipv4.t * float) list ->
+    upstream_mbps:float ref ->
+    backbone_mbps:float ref ->
+    unit
+  (** Classify a demand list [(dst, mbps)] into upstream vs backbone
+      volume. Destinations without routes count as upstream (default
+      route). *)
+end

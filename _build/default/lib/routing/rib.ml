@@ -1,0 +1,59 @@
+type route = {
+  prefix : Flowgen.Ipv4.prefix;
+  next_hop : int;
+  as_path_len : int;
+  communities : Community.t list;
+}
+
+let route ?(as_path_len = 1) ?(communities = []) ~prefix ~next_hop () =
+  if as_path_len < 0 then invalid_arg "Rib.route: negative AS-path length";
+  { prefix; next_hop; as_path_len; communities }
+
+(* Routes bucketed by prefix length for longest-prefix match; within a
+   length, keyed by the prefix base address. *)
+module Addr_map = Map.Make (Int)
+
+type t = { by_len : route Addr_map.t array }
+
+let empty = { by_len = Array.make 33 Addr_map.empty }
+
+let add t route =
+  let { Flowgen.Ipv4.base; bits } = route.prefix in
+  let key = Flowgen.Ipv4.to_int base in
+  let bucket = t.by_len.(bits) in
+  let keep =
+    match Addr_map.find_opt key bucket with
+    | Some incumbent when incumbent.as_path_len <= route.as_path_len -> incumbent
+    | Some _ | None -> route
+  in
+  let by_len = Array.copy t.by_len in
+  by_len.(bits) <- Addr_map.add key keep bucket;
+  { by_len }
+
+let size t =
+  Array.fold_left (fun acc bucket -> acc + Addr_map.cardinal bucket) 0 t.by_len
+
+let routes t =
+  Array.fold_left
+    (fun acc bucket -> Addr_map.fold (fun _ r acc -> r :: acc) bucket acc)
+    [] t.by_len
+
+let lookup t addr =
+  let rec scan bits =
+    if bits < 0 then None
+    else
+      let masked = Flowgen.Ipv4.prefix addr bits in
+      let key = Flowgen.Ipv4.to_int masked.Flowgen.Ipv4.base in
+      match Addr_map.find_opt key t.by_len.(bits) with
+      | Some r -> Some r
+      | None -> scan (bits - 1)
+  in
+  scan 32
+
+let tier_of t addr =
+  match lookup t addr with
+  | None -> None
+  | Some r -> List.find_map Community.tier_of r.communities
+
+let with_community t c =
+  List.filter (fun r -> List.exists (Community.equal c) r.communities) (routes t)

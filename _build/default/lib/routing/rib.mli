@@ -1,0 +1,39 @@
+(** A BGP-style routing information base.
+
+    Routes carry the attributes tier accounting needs: the announced
+    prefix, a next hop, an AS-path length and the community tags the
+    upstream attached. Lookup is longest-prefix match. *)
+
+type route = {
+  prefix : Flowgen.Ipv4.prefix;
+  next_hop : int;  (** Node id of the egress / session. *)
+  as_path_len : int;
+  communities : Community.t list;
+}
+
+val route :
+  ?as_path_len:int ->
+  ?communities:Community.t list ->
+  prefix:Flowgen.Ipv4.prefix ->
+  next_hop:int ->
+  unit ->
+  route
+
+type t
+
+val empty : t
+val add : t -> route -> t
+(** A route for an already-present prefix replaces the old one when it
+    is preferred (shorter AS path; ties keep the incumbent). *)
+
+val size : t -> int
+val routes : t -> route list
+
+val lookup : t -> Flowgen.Ipv4.t -> route option
+(** Longest-prefix match. *)
+
+val tier_of : t -> Flowgen.Ipv4.t -> int option
+(** Tier tag of the best route covering the address, if any. *)
+
+val with_community : t -> Community.t -> route list
+(** All routes carrying the given community. *)

@@ -1,0 +1,112 @@
+type state = Idle | Established
+
+type t = {
+  id : int;
+  tier : int;
+  link : int;
+  state : state;
+  advertised : Rib.route list;
+}
+
+let create ~id ~tier ~link =
+  if tier < 0 then invalid_arg "Session.create: negative tier";
+  { id; tier; link; state = Idle; advertised = [] }
+
+let establish t = { t with state = Established }
+let shutdown t = { t with state = Idle; advertised = [] }
+
+let advertise t ~asn (route : Rib.route) =
+  (match t.state with
+  | Established -> ()
+  | Idle -> invalid_arg "Session.advertise: session not established");
+  (match List.find_map Community.tier_of route.Rib.communities with
+  | Some tier when tier <> t.tier ->
+      invalid_arg "Session.advertise: route already tagged with a different tier"
+  | Some _ | None -> ());
+  let tag = Community.tier ~asn t.tier in
+  let communities =
+    if List.exists (Community.equal tag) route.Rib.communities then
+      route.Rib.communities
+    else tag :: route.Rib.communities
+  in
+  { t with advertised = { route with Rib.communities } :: t.advertised }
+
+let advertised_rib sessions =
+  List.fold_left
+    (fun rib t -> List.fold_left Rib.add rib t.advertised)
+    Rib.empty sessions
+
+type violation = {
+  session_id : int;
+  prefix : Flowgen.Ipv4.prefix;
+  expected_tier : int;
+  actual_tier : int option;
+}
+
+let check_consistency sessions =
+  (* 1. Every route's tag matches its session. *)
+  let tag_violations =
+    List.concat_map
+      (fun t ->
+        List.filter_map
+          (fun (r : Rib.route) ->
+            let actual = List.find_map Community.tier_of r.Rib.communities in
+            if actual = Some t.tier then None
+            else
+              Some
+                {
+                  session_id = t.id;
+                  prefix = r.Rib.prefix;
+                  expected_tier = t.tier;
+                  actual_tier = actual;
+                })
+          t.advertised)
+      sessions
+  in
+  (* 2. No prefix on two sessions with different tiers. *)
+  let seen : (string, int * int) Hashtbl.t = Hashtbl.create 64 in
+  let cross_violations = ref [] in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun (r : Rib.route) ->
+          let key = Flowgen.Ipv4.prefix_to_string r.Rib.prefix in
+          match Hashtbl.find_opt seen key with
+          | Some (_, tier) when tier <> t.tier ->
+              cross_violations :=
+                {
+                  session_id = t.id;
+                  prefix = r.Rib.prefix;
+                  expected_tier = tier;
+                  actual_tier = Some t.tier;
+                }
+                :: !cross_violations
+          | Some _ -> ()
+          | None -> Hashtbl.add seen key (t.id, t.tier))
+        t.advertised)
+    sessions;
+  tag_violations @ List.rev !cross_violations
+
+let session_of_tier sessions tier =
+  List.find_opt (fun t -> t.tier = tier && t.state = Established) sessions
+
+let plan ~asn assignments ~n_links =
+  if n_links < 1 then invalid_arg "Session.plan: n_links < 1";
+  let tiers =
+    List.sort_uniq compare (List.map (fun a -> a.Tagging.tier) assignments)
+  in
+  let sessions =
+    List.mapi
+      (fun i tier -> establish (create ~id:i ~tier ~link:(i mod n_links)))
+      tiers
+  in
+  List.fold_left
+    (fun sessions (a : Tagging.assignment) ->
+      List.map
+        (fun t ->
+          if t.tier = a.Tagging.tier then
+            advertise t ~asn
+              (Rib.route ~prefix:a.Tagging.dst_prefix ~next_hop:a.Tagging.next_hop ())
+          else t)
+        sessions)
+    sessions assignments

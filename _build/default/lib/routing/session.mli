@@ -1,0 +1,62 @@
+(** Per-tier BGP sessions (§5.2, Fig. 17a).
+
+    Link-based accounting requires one (physical or virtual) link per
+    pricing tier, each with its own BGP session announcing only that
+    tier's routes. This module models the session layer: which routes
+    are advertised over which session, and the consistency property the
+    architecture depends on — traffic to a destination leaves on the
+    session that advertised it, so per-link byte counters {e are}
+    per-tier byte counters.
+
+    Sessions are deliberately simple (no timers, no path attributes
+    beyond what tiering needs); the point is the invariant checking an
+    operator would script. *)
+
+type state = Idle | Established
+
+type t = {
+  id : int;
+  tier : int;  (** The single tier this session carries. *)
+  link : int;  (** Virtual-link identifier (e.g. VLAN). *)
+  state : state;
+  advertised : Rib.route list;
+}
+
+val create : id:int -> tier:int -> link:int -> t
+(** A fresh idle session with an empty advertisement set. *)
+
+val establish : t -> t
+val shutdown : t -> t
+(** Shutting down withdraws everything. *)
+
+val advertise : t -> asn:int -> Rib.route -> t
+(** Tags the route with the session's tier community and adds it to the
+    advertisement set. Raises [Invalid_argument] if the session is not
+    established, or if the route already carries a {e different} tier
+    tag (a misconfiguration the operator must resolve, not mask). *)
+
+val advertised_rib : t list -> Rib.t
+(** The customer-side RIB implied by a session set: the union of all
+    advertisements. *)
+
+type violation = {
+  session_id : int;
+  prefix : Flowgen.Ipv4.prefix;
+  expected_tier : int;
+  actual_tier : int option;
+}
+
+val check_consistency : t list -> violation list
+(** The Fig. 17a invariant: every advertised route's tier tag matches
+    its session's tier, and no prefix is advertised on two sessions
+    with different tiers. Returns all violations (empty = consistent). *)
+
+val session_of_tier : t list -> int -> t option
+(** The established session carrying a tier, if any. *)
+
+val plan :
+  asn:int -> Tagging.assignment list -> n_links:int -> t list
+(** Build one established session per tier (round-robin over
+    [n_links] links) and advertise each assignment on its tier's
+    session — the §5.1 deployment in one call. Raises
+    [Invalid_argument] when [n_links < 1]. *)

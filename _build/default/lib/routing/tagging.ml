@@ -1,0 +1,27 @@
+type assignment = { dst_prefix : Flowgen.Ipv4.prefix; tier : int; next_hop : int }
+
+let build_rib ~asn assignments =
+  List.fold_left
+    (fun rib { dst_prefix; tier; next_hop } ->
+      let communities = [ Community.tier ~asn tier ] in
+      Rib.add rib (Rib.route ~communities ~prefix:dst_prefix ~next_hop ()))
+    Rib.empty assignments
+
+let tier_counts rib =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Rib.route) ->
+      match List.find_map Community.tier_of r.communities with
+      | Some tier ->
+          Hashtbl.replace counts tier
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts tier))
+      | None -> ())
+    (Rib.routes rib);
+  Hashtbl.fold (fun tier n acc -> (tier, n) :: acc) counts []
+  |> List.sort compare
+
+let untiered_routes rib =
+  List.filter
+    (fun (r : Rib.route) ->
+      not (List.exists (fun c -> Community.tier_of c <> None) r.communities))
+    (Rib.routes rib)

@@ -1,0 +1,18 @@
+(** Associating routes with pricing tiers (§5.1).
+
+    The upstream ISP announces every destination prefix tagged with the
+    community of its pricing tier; customers then know, per route, which
+    tier traffic to that destination bills under. *)
+
+type assignment = { dst_prefix : Flowgen.Ipv4.prefix; tier : int; next_hop : int }
+
+val build_rib : asn:int -> assignment list -> Rib.t
+(** One tagged route per assignment. Raises [Invalid_argument] on a tier
+    outside [Community]'s range. *)
+
+val tier_counts : Rib.t -> (int * int) list
+(** [(tier, number of routes)] pairs, ascending by tier. *)
+
+val untiered_routes : Rib.t -> Rib.route list
+(** Routes carrying no tier tag — configuration errors an operator
+    would want to alarm on. *)

@@ -1,0 +1,1 @@
+test/fixtures.ml: Array Cost_model Flow Flowgen List Market Netsim Tiered

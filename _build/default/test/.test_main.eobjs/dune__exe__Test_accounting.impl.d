@@ -1,0 +1,1 @@
+test/test_accounting.ml: Accounting Alcotest Array Float Flowgen Gen Ipv4 List Netflow Printf QCheck QCheck_alcotest Rib Routing Tagging

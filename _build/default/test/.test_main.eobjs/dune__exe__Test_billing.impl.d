@@ -1,0 +1,1 @@
+test/test_billing.ml: Accounting Alcotest Array Billing Flowgen List Routing Tagging

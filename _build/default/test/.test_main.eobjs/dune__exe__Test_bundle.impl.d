@@ -1,0 +1,1 @@
+test/test_bundle.ml: Alcotest Array Bundle Fun Gen QCheck QCheck_alcotest Tiered

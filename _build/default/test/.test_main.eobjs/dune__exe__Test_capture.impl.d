@@ -1,0 +1,1 @@
+test/test_capture.ml: Alcotest Capture Fixtures List Strategy Tiered

@@ -1,0 +1,1 @@
+test/test_ced.ml: Alcotest Array Ced Float Gen List Numerics QCheck QCheck_alcotest Tiered

@@ -1,0 +1,1 @@
+test/test_cities.ml: Alcotest Cities Geo List Netsim

@@ -1,0 +1,1 @@
+test/test_commit.ml: Alcotest Array Ced Commit Numerics QCheck QCheck_alcotest Tiered

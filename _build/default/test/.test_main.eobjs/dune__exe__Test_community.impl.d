@@ -1,0 +1,1 @@
+test/test_community.ml: Alcotest Community List Routing

@@ -1,0 +1,1 @@
+test/test_competition.ml: Alcotest Array Competition Logit Numerics Tiered

@@ -1,0 +1,1 @@
+test/test_cost_model.ml: Alcotest Array Cost_model Flow Gen List QCheck QCheck_alcotest Tiered

@@ -1,0 +1,1 @@
+test/test_dataset.ml: Alcotest Array Cost_model Dataset Fixtures Flow Flowgen Hashtbl List Market Pricing Strategy Tiered

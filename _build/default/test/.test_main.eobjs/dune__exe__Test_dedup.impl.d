@@ -1,0 +1,1 @@
+test/test_dedup.ml: Alcotest Dedup Flowgen Gen Ipv4 List Netflow Numerics QCheck QCheck_alcotest

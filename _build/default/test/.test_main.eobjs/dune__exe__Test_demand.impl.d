@@ -1,0 +1,1 @@
+test/test_demand.ml: Alcotest Demand Flowgen Gen Ipv4 List Netflow Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array Dist Gen Numerics Printf QCheck QCheck_alcotest Rng Stats

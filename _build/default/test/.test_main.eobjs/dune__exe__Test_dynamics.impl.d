@@ -1,0 +1,1 @@
+test/test_dynamics.ml: Alcotest Array Ced Dynamics Fixtures Float List Market Pricing Strategy Tiered

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Bundle Capture Cost_model Fixtures Float Flow Flowgen List Market Netsim Numerics Pricing Printf Routing Strategy Tiered

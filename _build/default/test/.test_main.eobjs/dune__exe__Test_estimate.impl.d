@@ -1,0 +1,1 @@
+test/test_estimate.ml: Alcotest Ced Dynamics Estimate Fixtures List Market QCheck QCheck_alcotest Strategy Tiered

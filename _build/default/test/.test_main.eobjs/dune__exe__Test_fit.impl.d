@@ -1,0 +1,1 @@
+test/test_fit.ml: Alcotest Array Dist Fit Gen List Numerics QCheck QCheck_alcotest Rng

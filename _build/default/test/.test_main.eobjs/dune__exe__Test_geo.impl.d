@@ -1,0 +1,1 @@
+test/test_geo.ml: Alcotest Float Geo Netsim Numerics QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_geoip.ml: Alcotest Flowgen Geoip Ipv4 Lazy List Netsim Numerics

@@ -1,0 +1,1 @@
+test/test_gradient.ml: Alcotest Array Float Gradient Numerics Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Cities Geo Graph Link List Netsim Node Numerics QCheck QCheck_alcotest Topology

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Bundle Capture Cost_model Dataset Experiment Flow Flowgen Hashtbl List Market Netsim Numerics Pricing Report Routing Strategy String Tiered

@@ -1,0 +1,1 @@
+test/test_ipv4.ml: Alcotest Flowgen Ipv4 List Numerics QCheck QCheck_alcotest

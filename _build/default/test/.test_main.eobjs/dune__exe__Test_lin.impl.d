@@ -1,0 +1,1 @@
+test/test_lin.ml: Alcotest Array Bundle Capture Cost_model Fixtures Flow Lin List Market Pricing Printf QCheck QCheck_alcotest Strategy Tiered Welfare

@@ -1,0 +1,1 @@
+test/test_loading.ml: Alcotest Fixtures Flowgen Lazy List Loading Netsim

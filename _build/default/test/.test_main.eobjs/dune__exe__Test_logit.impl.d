@@ -1,0 +1,1 @@
+test/test_logit.ml: Alcotest Array Float Gen List Logit Numerics Printf QCheck QCheck_alcotest Tiered

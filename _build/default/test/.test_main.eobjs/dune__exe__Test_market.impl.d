@@ -1,0 +1,1 @@
+test/test_market.ml: Alcotest Array Ced Fixtures Flow Market Pricing Tiered

@@ -1,0 +1,1 @@
+test/test_netflow.ml: Alcotest Flowgen Ipv4 List Netflow Numerics

@@ -1,0 +1,1 @@
+test/test_peak.ml: Alcotest Array Fixtures Flowgen List Peak Pricing Printf Strategy Tiered

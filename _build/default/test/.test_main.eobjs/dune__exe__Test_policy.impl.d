@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Flowgen Ipv4 Policy Rib Routing Tagging

@@ -1,0 +1,1 @@
+test/test_presets.ml: Alcotest Array Cities Geo Graph List Netsim Node Presets String Topology

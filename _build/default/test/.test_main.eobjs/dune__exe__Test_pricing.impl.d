@@ -1,0 +1,1 @@
+test/test_pricing.ml: Alcotest Array Bundle Fixtures Flow Gen List Logit Market Pricing QCheck QCheck_alcotest Strategy Tiered

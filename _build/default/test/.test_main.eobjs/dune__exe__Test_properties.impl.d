@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Capture Ced Cost_model Fixtures Flow List Market Numerics Pricing QCheck QCheck_alcotest Sensitivity Strategy Tier_count Tiered Welfare

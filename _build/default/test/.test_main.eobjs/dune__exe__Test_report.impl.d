@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Buffer Float Format List Report String Tiered

@@ -1,0 +1,1 @@
+test/test_rib.ml: Alcotest Community Flowgen Fun Ipv4 List QCheck QCheck_alcotest Rib Routing

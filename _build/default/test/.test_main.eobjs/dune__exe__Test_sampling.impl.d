@@ -1,0 +1,1 @@
+test/test_sampling.ml: Alcotest Float Flowgen Ipv4 List Netflow Numerics QCheck QCheck_alcotest Sampling

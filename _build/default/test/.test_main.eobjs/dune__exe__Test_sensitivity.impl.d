@@ -1,0 +1,1 @@
+test/test_sensitivity.ml: Alcotest Capture Fixtures List Sensitivity Strategy Tiered

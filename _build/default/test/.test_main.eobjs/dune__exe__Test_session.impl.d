@@ -1,0 +1,1 @@
+test/test_session.ml: Accounting Alcotest Community Flowgen Ipv4 List Netflow Rib Routing Session Tagging

@@ -1,0 +1,1 @@
+test/test_solve.ml: Alcotest Float Fun Numerics QCheck QCheck_alcotest Solve

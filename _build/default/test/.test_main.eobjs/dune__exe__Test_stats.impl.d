@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Buffer Float Format Gen Numerics QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_strategy.ml: Alcotest Array Bundle Cost_model Fixtures Float Flow Gen List Market Numerics Pricing Printf QCheck QCheck_alcotest Strategy Tiered

@@ -1,0 +1,1 @@
+test/test_tier_count.ml: Alcotest Capture Fixtures Float List Strategy Tier_count Tiered

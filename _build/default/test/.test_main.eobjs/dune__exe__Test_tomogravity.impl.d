@@ -1,0 +1,1 @@
+test/test_tomogravity.ml: Alcotest Array Flowgen Lazy List Loading Netsim Numerics Tomogravity

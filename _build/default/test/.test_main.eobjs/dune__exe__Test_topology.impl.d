@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Cities Graph Link List Netsim Node Numerics Topology

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Filename Flowgen Fun Ipv4 List Netflow Numerics String Sys Trace

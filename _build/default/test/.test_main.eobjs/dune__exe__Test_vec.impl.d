@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest Gen Numerics QCheck QCheck_alcotest Vec

@@ -1,0 +1,1 @@
+test/test_welfare.ml: Alcotest Fixtures List Pricing Strategy Tiered Welfare

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Flowgen Geoip Lazy List Netflow Netsim Workload

@@ -1,0 +1,142 @@
+open Routing
+open Flowgen
+
+let prefix = Ipv4.prefix_of_string
+
+(* Two tiers: 10.1/16 -> tier 0, 10.2/16 -> tier 1; 10.9/16 untiered. *)
+let rib () =
+  Tagging.build_rib ~asn:65000
+    [
+      { Tagging.dst_prefix = prefix "10.1.0.0/16"; tier = 0; next_hop = 1 };
+      { Tagging.dst_prefix = prefix "10.2.0.0/16"; tier = 1; next_hop = 2 };
+    ]
+
+let record ~dst ~bytes ~first_s ~last_s =
+  {
+    Netflow.src = Ipv4.of_string "10.0.0.1";
+    dst = Ipv4.of_string dst;
+    src_port = 1000;
+    dst_port = 443;
+    proto = 6;
+    bytes;
+    packets = Float.max 1. (bytes /. 1000.);
+    first_s;
+    last_s;
+    router = 0;
+  }
+
+let records () =
+  [
+    record ~dst:"10.1.0.5" ~bytes:1000. ~first_s:0 ~last_s:3600;
+    record ~dst:"10.1.0.6" ~bytes:500. ~first_s:3600 ~last_s:7200;
+    record ~dst:"10.2.0.5" ~bytes:2000. ~first_s:0 ~last_s:3600;
+    record ~dst:"10.9.0.5" ~bytes:300. ~first_s:0 ~last_s:3600;
+  ]
+
+let test_flow_based_totals () =
+  let usage = Accounting.flow_based ~rib:(rib ()) (records ()) in
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "per-tier bytes"
+    [ (0, 1500.); (1, 2000.) ]
+    usage.Accounting.tier_bytes;
+  Alcotest.(check (float 1e-9)) "untiered" 300. usage.Accounting.untiered_bytes;
+  Alcotest.(check (float 1e-9)) "total" 3800. (Accounting.total_bytes usage)
+
+let test_snmp_matches_flow_based () =
+  (* The paper's two accounting architectures must agree on totals. *)
+  let rib = rib () in
+  let snmp = Accounting.Snmp.create ~n_tiers:2 () in
+  Accounting.Snmp.observe snmp ~rib (records ());
+  let s = Accounting.Snmp.usage snmp in
+  let f = Accounting.flow_based ~rib (records ()) in
+  List.iter2
+    (fun (t1, b1) (t2, b2) ->
+      Alcotest.(check int) "tier" t1 t2;
+      Alcotest.(check (float 1.)) "bytes agree" b1 b2)
+    s.Accounting.tier_bytes f.Accounting.tier_bytes;
+  Alcotest.(check (float 1e-9)) "untiered agree" f.Accounting.untiered_bytes
+    s.Accounting.untiered_bytes
+
+let test_snmp_poll_series () =
+  let rib = rib () in
+  let snmp = Accounting.Snmp.create ~n_tiers:2 ~poll_interval_s:3600 () in
+  Accounting.Snmp.observe snmp ~rib (records ());
+  let series = Accounting.Snmp.poll_series snmp ~horizon_s:7200 in
+  let tier0 = List.assoc 0 series in
+  Alcotest.(check int) "two polls" 2 (Array.length tier0);
+  Alcotest.(check (float 1e-6)) "first hour" 1000. tier0.(0);
+  Alcotest.(check (float 1e-6)) "second hour" 500. tier0.(1)
+
+let test_snmp_tier_overflow () =
+  let snmp = Accounting.Snmp.create ~n_tiers:1 () in
+  Alcotest.check_raises "tier beyond links"
+    (Invalid_argument "Accounting.Snmp.observe: tier beyond configured links")
+    (fun () ->
+      Accounting.Snmp.observe snmp ~rib:(rib ())
+        [ record ~dst:"10.2.0.1" ~bytes:10. ~first_s:0 ~last_s:60 ])
+
+let test_rate_series () =
+  let rib = rib () in
+  let series =
+    Accounting.rate_series ~rib ~interval_s:1800 ~horizon_s:7200
+      [ record ~dst:"10.1.0.5" ~bytes:1.8e9 ~first_s:0 ~last_s:3600 ]
+  in
+  let tier0 = List.assoc 0 series in
+  Alcotest.(check int) "four intervals" 4 (Array.length tier0);
+  (* 1.8 GB over 3600 s = 4 Mbps in each of the first two intervals. *)
+  Alcotest.(check (float 1e-6)) "rate interval 0" 4. tier0.(0);
+  Alcotest.(check (float 1e-6)) "rate interval 1" 4. tier0.(1);
+  Alcotest.(check (float 1e-6)) "idle interval" 0. tier0.(2)
+
+let test_record_spanning_intervals () =
+  let rib = rib () in
+  let series =
+    Accounting.rate_series ~rib ~interval_s:1000 ~horizon_s:4000
+      [ record ~dst:"10.1.0.5" ~bytes:3000. ~first_s:500 ~last_s:3500 ]
+  in
+  let tier0 = List.assoc 0 series in
+  (* Uniform spread: 1 byte/s; intervals hold 500, 1000, 1000, 500 bytes. *)
+  let bytes_of_rate r interval = r *. 1e6 /. 8. *. float_of_int interval in
+  Alcotest.(check (float 1e-6)) "partial first" 500. (bytes_of_rate tier0.(0) 1000);
+  Alcotest.(check (float 1e-6)) "full middle" 1000. (bytes_of_rate tier0.(1) 1000);
+  Alcotest.(check (float 1e-6)) "partial last" 500. (bytes_of_rate tier0.(3) 1000)
+
+let test_tagging_tier_counts () =
+  let rib = rib () in
+  Alcotest.(check (list (pair int int))) "counts" [ (0, 1); (1, 1) ] (Tagging.tier_counts rib);
+  Alcotest.(check int) "no untiered routes" 0 (List.length (Tagging.untiered_routes rib))
+
+let test_untiered_route_detection () =
+  let rib =
+    Rib.add (rib ()) (Rib.route ~prefix:(prefix "10.3.0.0/16") ~next_hop:3 ())
+  in
+  Alcotest.(check int) "one untagged" 1 (List.length (Tagging.untiered_routes rib))
+
+let prop_accounting_conservation =
+  QCheck.Test.make ~name:"flow-based accounting conserves bytes" ~count:100
+    QCheck.(list_of_size Gen.(0 -- 20) (pair (int_range 1 9) (float_range 1. 1e6)))
+    (fun specs ->
+      let records =
+        List.map
+          (fun (third_octet, bytes) ->
+            record
+              ~dst:(Printf.sprintf "10.%d.0.1" third_octet)
+              ~bytes ~first_s:0 ~last_s:3600)
+          specs
+      in
+      let usage = Accounting.flow_based ~rib:(rib ()) records in
+      let total_in = List.fold_left (fun a (r : Netflow.record) -> a +. r.Netflow.bytes) 0. records in
+      abs_float (Accounting.total_bytes usage -. total_in) <= 1e-6 *. (1. +. total_in))
+
+let suite =
+  [
+    Alcotest.test_case "flow-based totals" `Quick test_flow_based_totals;
+    Alcotest.test_case "SNMP agrees with flow-based" `Quick test_snmp_matches_flow_based;
+    Alcotest.test_case "SNMP poll series" `Quick test_snmp_poll_series;
+    Alcotest.test_case "SNMP tier overflow" `Quick test_snmp_tier_overflow;
+    Alcotest.test_case "rate series" `Quick test_rate_series;
+    Alcotest.test_case "record spanning intervals" `Quick test_record_spanning_intervals;
+    Alcotest.test_case "tagging tier counts" `Quick test_tagging_tier_counts;
+    Alcotest.test_case "untiered route detection" `Quick test_untiered_route_detection;
+    QCheck_alcotest.to_alcotest prop_accounting_conservation;
+  ]

@@ -1,0 +1,113 @@
+open Routing
+
+let usage : Accounting.usage =
+  (* 1 GB on tier 0 and 4 GB on tier 1 over a day. *)
+  { Accounting.tier_bytes = [ (0, 1e9); (1, 4e9) ]; untiered_bytes = 0. }
+
+let test_of_usage () =
+  let invoice = Billing.of_usage ~rates:[| 20.; 10. |] ~period_s:86_400 usage in
+  Alcotest.(check int) "two lines" 2 (List.length invoice.Billing.lines);
+  let line0 = List.hd invoice.Billing.lines in
+  let expected_mbps = 1e9 *. 8. /. 86_400. /. 1e6 in
+  Alcotest.(check (float 1e-9)) "billable" expected_mbps line0.Billing.billable_mbps;
+  Alcotest.(check (float 1e-9)) "amount" (expected_mbps *. 20.) line0.Billing.amount;
+  let expected_total = (expected_mbps *. 20.) +. (4. *. expected_mbps *. 10.) in
+  Alcotest.(check (float 1e-9)) "total" expected_total invoice.Billing.total
+
+let test_missing_rate () =
+  Alcotest.check_raises "no rate for tier"
+    (Invalid_argument "Billing: usage references a tier with no configured rate")
+    (fun () -> ignore (Billing.of_usage ~rates:[| 20. |] ~period_s:86_400 usage))
+
+let test_zero_traffic_omitted () =
+  let usage = { Accounting.tier_bytes = [ (0, 0.); (1, 8.64e9) ]; untiered_bytes = 0. } in
+  let invoice = Billing.of_usage ~rates:[| 20.; 10. |] ~period_s:86_400 usage in
+  Alcotest.(check int) "one line" 1 (List.length invoice.Billing.lines);
+  Alcotest.(check int) "tier 1" 1 (List.hd invoice.Billing.lines).Billing.tier
+
+let test_mean_rate_series () =
+  let series = [ (0, [| 10.; 20.; 30.; 40. |]) ] in
+  let invoice =
+    Billing.of_rate_series ~rates:[| 2. |] ~method_:Billing.Mean_rate ~period_s:1200 series
+  in
+  Alcotest.(check (float 1e-9)) "mean 25 Mbps x $2" 50. invoice.Billing.total
+
+let test_percentile_billing () =
+  (* Classic burstable: the p95 ignores the top 5% burst. *)
+  let series = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  let invoice =
+    Billing.of_rate_series ~rates:[| 1. |] ~method_:(Billing.Percentile 0.95)
+      ~period_s:36_000
+      [ (0, series) ]
+  in
+  Alcotest.(check (float 0.1)) "p95 of 1..100" 95. invoice.Billing.total
+
+let test_percentile_validation () =
+  Alcotest.check_raises "p > 1" (Invalid_argument "Billing: percentile out of [0, 1]")
+    (fun () ->
+      ignore
+        (Billing.of_rate_series ~rates:[| 1. |] ~method_:(Billing.Percentile 1.5)
+           ~period_s:60
+           [ (0, [| 1. |]) ]))
+
+let test_p95_leq_max_geq_mean_for_bursty () =
+  let series = Array.concat [ Array.make 95 10.; Array.make 5 1000. ] in
+  let bill m =
+    (Billing.of_rate_series ~rates:[| 1. |] ~method_:m ~period_s:60 [ (0, series) ])
+      .Billing.total
+  in
+  let mean = bill Billing.Mean_rate in
+  let p95 = bill (Billing.Percentile 0.95) in
+  Alcotest.(check bool) "p95 close to base rate" true (p95 < 100.);
+  Alcotest.(check bool) "mean above base rate" true (mean > 10.)
+
+let test_empty_series_omitted () =
+  let invoice =
+    Billing.of_rate_series ~rates:[| 5. |] ~method_:Billing.Mean_rate ~period_s:60
+      [ (0, [||]) ]
+  in
+  Alcotest.(check int) "no lines" 0 (List.length invoice.Billing.lines);
+  Alcotest.(check (float 0.)) "zero total" 0. invoice.Billing.total
+
+let test_end_to_end_with_accounting () =
+  (* Tag routes, account flows, bill: the full §5 pipeline. *)
+  let rib =
+    Tagging.build_rib ~asn:65000
+      [
+        { Tagging.dst_prefix = Flowgen.Ipv4.prefix_of_string "10.1.0.0/16"; tier = 0; next_hop = 1 };
+        { Tagging.dst_prefix = Flowgen.Ipv4.prefix_of_string "10.2.0.0/16"; tier = 1; next_hop = 2 };
+      ]
+  in
+  let record dst bytes =
+    {
+      Flowgen.Netflow.src = Flowgen.Ipv4.of_string "10.0.0.1";
+      dst = Flowgen.Ipv4.of_string dst;
+      src_port = 1;
+      dst_port = 443;
+      proto = 6;
+      bytes;
+      packets = 1.;
+      first_s = 0;
+      last_s = 86_400;
+      router = 0;
+    }
+  in
+  let usage =
+    Accounting.flow_based ~rib [ record "10.1.0.1" 8.64e9; record "10.2.0.1" 17.28e9 ]
+  in
+  let invoice = Billing.of_usage ~rates:[| 20.; 5. |] ~period_s:86_400 usage in
+  (* 0.8 Gbps day avg? No: 8.64e9 bytes / 86400 s = 1e5 B/s = 0.8 Mbps. *)
+  Alcotest.(check (float 1e-6)) "total" ((0.8 *. 20.) +. (1.6 *. 5.)) invoice.Billing.total
+
+let suite =
+  [
+    Alcotest.test_case "of_usage" `Quick test_of_usage;
+    Alcotest.test_case "missing rate" `Quick test_missing_rate;
+    Alcotest.test_case "zero traffic omitted" `Quick test_zero_traffic_omitted;
+    Alcotest.test_case "mean-rate series" `Quick test_mean_rate_series;
+    Alcotest.test_case "percentile billing" `Quick test_percentile_billing;
+    Alcotest.test_case "percentile validation" `Quick test_percentile_validation;
+    Alcotest.test_case "bursty p95 vs mean" `Quick test_p95_leq_max_geq_mean_for_bursty;
+    Alcotest.test_case "empty series omitted" `Quick test_empty_series_omitted;
+    Alcotest.test_case "end-to-end tag/account/bill" `Quick test_end_to_end_with_accounting;
+  ]

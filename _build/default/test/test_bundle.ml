@@ -1,0 +1,91 @@
+open Tiered
+
+let test_of_groups () =
+  let b = Bundle.of_groups ~n_flows:4 [ [ 0; 2 ]; [ 1; 3 ] ] in
+  Alcotest.(check int) "count" 2 (Bundle.count b);
+  Alcotest.(check (array int)) "sizes" [| 2; 2 |] (Bundle.sizes b)
+
+let test_of_groups_drops_empty () =
+  let b = Bundle.of_groups ~n_flows:2 [ [ 0 ]; []; [ 1 ] ] in
+  Alcotest.(check int) "empties dropped" 2 (Bundle.count b)
+
+let test_of_groups_validation () =
+  Alcotest.check_raises "missing flow" (Invalid_argument "Bundle: flows left unassigned")
+    (fun () -> ignore (Bundle.of_groups ~n_flows:3 [ [ 0; 1 ] ]));
+  Alcotest.check_raises "duplicate" (Invalid_argument "Bundle: duplicate flow index")
+    (fun () -> ignore (Bundle.of_groups ~n_flows:2 [ [ 0; 0 ]; [ 1 ] ]));
+  Alcotest.check_raises "out of range" (Invalid_argument "Bundle: flow index out of range")
+    (fun () -> ignore (Bundle.of_groups ~n_flows:2 [ [ 0; 5 ]; [ 1 ] ]))
+
+let test_all_in_one_singletons () =
+  Alcotest.(check int) "one bundle" 1 (Bundle.count (Bundle.all_in_one ~n_flows:5));
+  Alcotest.(check int) "five bundles" 5 (Bundle.count (Bundle.singletons ~n_flows:5))
+
+let test_of_assignment () =
+  let b = Bundle.of_assignment ~n_bundles:3 [| 0; 2; 0; 2 |] in
+  (* Bundle 1 is empty and dropped. *)
+  Alcotest.(check int) "two non-empty" 2 (Bundle.count b);
+  Alcotest.(check (array int)) "sizes" [| 2; 2 |] (Bundle.sizes b)
+
+let test_contiguous () =
+  let b = Bundle.contiguous ~order:[| 3; 1; 0; 2 |] ~cuts:[ 1; 3 ] in
+  Alcotest.(check int) "three segments" 3 (Bundle.count b);
+  let groups = (b :> int array array) in
+  Alcotest.(check (array int)) "first" [| 3 |] groups.(0);
+  Alcotest.(check (array int)) "second" [| 1; 0 |] groups.(1);
+  Alcotest.(check (array int)) "third" [| 2 |] groups.(2)
+
+let test_contiguous_validation () =
+  Alcotest.check_raises "bad cuts"
+    (Invalid_argument "Bundle.contiguous: cuts must be strictly increasing in [1, n-1]")
+    (fun () -> ignore (Bundle.contiguous ~order:[| 0; 1 |] ~cuts:[ 0 ]))
+
+let test_member_of () =
+  let b = Bundle.of_groups ~n_flows:4 [ [ 0; 2 ]; [ 1; 3 ] ] in
+  Alcotest.(check (array int)) "inverse map" [| 0; 1; 0; 1 |] (Bundle.member_of b ~n_flows:4)
+
+let test_gather () =
+  let b = Bundle.of_groups ~n_flows:3 [ [ 2; 0 ]; [ 1 ] ] in
+  let values = [| 10.; 20.; 30. |] in
+  let gathered = Bundle.gather b values in
+  Alcotest.(check (array (float 0.))) "bundle 0" [| 30.; 10. |] gathered.(0);
+  Alcotest.(check (array (float 0.))) "bundle 1" [| 20. |] gathered.(1)
+
+let prop_assignment_roundtrip =
+  QCheck.Test.make ~name:"of_assignment covers all flows once" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 30) (int_bound 4))
+    (fun assignment ->
+      let assignment = Array.of_list assignment in
+      let b = Bundle.of_assignment ~n_bundles:5 assignment in
+      let total = Array.fold_left ( + ) 0 (Bundle.sizes b) in
+      total = Array.length assignment)
+
+let prop_member_of_consistent =
+  QCheck.Test.make ~name:"member_of agrees with groups" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 30) (int_bound 3))
+    (fun assignment ->
+      let assignment = Array.of_list assignment in
+      let n = Array.length assignment in
+      let b = Bundle.of_assignment ~n_bundles:4 assignment in
+      let owner = Bundle.member_of b ~n_flows:n in
+      let groups = (b :> int array array) in
+      Array.for_all Fun.id
+        (Array.mapi
+           (fun bundle_idx group ->
+             Array.for_all (fun i -> owner.(i) = bundle_idx) group)
+           groups))
+
+let suite =
+  [
+    Alcotest.test_case "of_groups" `Quick test_of_groups;
+    Alcotest.test_case "of_groups drops empty" `Quick test_of_groups_drops_empty;
+    Alcotest.test_case "of_groups validation" `Quick test_of_groups_validation;
+    Alcotest.test_case "all_in_one / singletons" `Quick test_all_in_one_singletons;
+    Alcotest.test_case "of_assignment" `Quick test_of_assignment;
+    Alcotest.test_case "contiguous" `Quick test_contiguous;
+    Alcotest.test_case "contiguous validation" `Quick test_contiguous_validation;
+    Alcotest.test_case "member_of" `Quick test_member_of;
+    Alcotest.test_case "gather" `Quick test_gather;
+    QCheck_alcotest.to_alcotest prop_assignment_roundtrip;
+    QCheck_alcotest.to_alcotest prop_member_of_consistent;
+  ]

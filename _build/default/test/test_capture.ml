@@ -1,0 +1,73 @@
+open Tiered
+
+let checkf tol = Alcotest.(check (float tol))
+
+let test_context_ordering () =
+  List.iter
+    (fun m ->
+      let ctx = Capture.context m in
+      Alcotest.(check bool) "max > original" true (ctx.Capture.maximum > ctx.Capture.original);
+      Alcotest.(check bool) "headroom positive" true (Capture.headroom ctx > 0.))
+    [ Fixtures.ced_market (); Fixtures.logit_market () ]
+
+let test_value_endpoints () =
+  let m = Fixtures.ced_market () in
+  let ctx = Capture.context m in
+  checkf 1e-9 "original -> 0" 0. (Capture.value ctx ctx.Capture.original);
+  checkf 1e-9 "maximum -> 1" 1. (Capture.value ctx ctx.Capture.maximum)
+
+let test_value_no_headroom () =
+  let ctx = { Capture.original = 10.; maximum = 10. } in
+  Alcotest.check_raises "degenerate"
+    (Invalid_argument "Capture.value: market has no profit headroom") (fun () ->
+      ignore (Capture.value ctx 10.))
+
+let test_series_shape () =
+  let m = Fixtures.ced_market () in
+  let series = Capture.series m Strategy.Optimal ~bundle_counts:[ 1; 2; 3; 4 ] in
+  Alcotest.(check int) "four points" 4 (List.length series);
+  let captures = List.map (fun p -> p.Capture.capture) series in
+  (match captures with
+  | first :: _ -> checkf 1e-9 "starts at 0" 0. first
+  | [] -> Alcotest.fail "empty series");
+  (* Monotone non-decreasing for the optimal strategy. *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "monotone" true (a <= b +. 1e-9);
+        monotone rest
+    | _ -> ()
+  in
+  monotone captures
+
+let test_series_reaches_most_profit_by_four () =
+  (* The paper's headline: 3-4 well-chosen tiers capture ~90%+. *)
+  List.iter
+    (fun m ->
+      let series = Capture.series m Strategy.Optimal ~bundle_counts:[ 4 ] in
+      match series with
+      | [ p ] ->
+          Alcotest.(check bool) "capture >= 0.85" true (p.Capture.capture >= 0.85)
+      | _ -> Alcotest.fail "unexpected series")
+    [ Fixtures.ced_market (); Fixtures.logit_market () ]
+
+let test_capture_in_unit_range_for_heuristics () =
+  let m = Fixtures.logit_market () in
+  List.iter
+    (fun strategy ->
+      List.iter
+        (fun p ->
+          if p.Capture.capture < -0.01 || p.Capture.capture > 1.01 then
+            Alcotest.failf "%s capture out of range: %f" (Strategy.name strategy)
+              p.Capture.capture)
+        (Capture.series m strategy ~bundle_counts:[ 1; 2; 4; 6 ]))
+    Strategy.all
+
+let suite =
+  [
+    Alcotest.test_case "context ordering" `Quick test_context_ordering;
+    Alcotest.test_case "value endpoints" `Quick test_value_endpoints;
+    Alcotest.test_case "no headroom" `Quick test_value_no_headroom;
+    Alcotest.test_case "series shape" `Quick test_series_shape;
+    Alcotest.test_case "90% by four tiers" `Quick test_series_reaches_most_profit_by_four;
+    Alcotest.test_case "captures in range" `Quick test_capture_in_unit_range_for_heuristics;
+  ]

@@ -1,0 +1,139 @@
+open Tiered
+
+let checkf tol = Alcotest.(check (float tol))
+
+let test_demand_shape () =
+  checkf 1e-12 "at v" 1. (Ced.demand ~alpha:2. ~v:3. 3.);
+  (* Halving the price with alpha = 2 quadruples demand. *)
+  checkf 1e-12 "elasticity" 4. (Ced.demand ~alpha:2. ~v:3. 1.5);
+  Alcotest.check_raises "alpha <= 1" (Invalid_argument "Ced: alpha must be > 1")
+    (fun () -> ignore (Ced.demand ~alpha:1. ~v:1. 1.))
+
+let test_inverse_demand () =
+  let v = 2.5 and alpha = 1.7 in
+  let p = 1.3 in
+  let q = Ced.demand ~alpha ~v p in
+  checkf 1e-9 "inverse" p (Ced.inverse_demand ~alpha ~v q)
+
+let test_optimal_price_formula () =
+  (* Eq. 4: p* = alpha c / (alpha - 1). *)
+  checkf 1e-12 "alpha=2" 2. (Ced.optimal_price ~alpha:2. ~c:1.);
+  checkf 1e-9 "alpha=1.1" (1.1 /. 0.1) (Ced.optimal_price ~alpha:1.1 ~c:1.)
+
+let test_optimal_price_maximizes () =
+  let alpha = 2.3 and v = 1.4 and c = 0.8 in
+  let p_star = Ced.optimal_price ~alpha ~c in
+  let best = Ced.flow_profit ~alpha ~v ~c p_star in
+  List.iter
+    (fun p ->
+      if Ced.flow_profit ~alpha ~v ~c p > best +. 1e-12 then
+        Alcotest.failf "price %f beats p*" p)
+    [ 0.9; 1.2; p_star *. 0.9; p_star *. 1.1; 5.; 10. ]
+
+let test_potential_profit_fig4 () =
+  (* Figure 4's worked example: v = 1, alpha = 2, c = 1 gives p* = 2 and
+     max profit 0.25; c = 2 gives p* = 4 and 0.125. *)
+  checkf 1e-12 "c=1" 0.25 (Ced.potential_profit ~alpha:2. ~v:1. ~c:1.);
+  checkf 1e-12 "c=2" 0.125 (Ced.potential_profit ~alpha:2. ~v:1. ~c:2.)
+
+let test_bundle_price_single_flow () =
+  (* One flow's bundle price is its optimal price. *)
+  checkf 1e-9
+    "degenerate bundle"
+    (Ced.optimal_price ~alpha:1.5 ~c:2.)
+    (Ced.bundle_price ~alpha:1.5 ~valuations:[| 3. |] ~costs:[| 2. |])
+
+let test_bundle_price_weighted () =
+  (* Eq. 5 weights costs by v^alpha: a high-valuation flow drags the
+     price toward its own optimum. *)
+  let p =
+    Ced.bundle_price ~alpha:2. ~valuations:[| 10.; 0.1 |] ~costs:[| 1.; 3. |]
+  in
+  checkf 1e-3 "dominated by big flow" (Ced.optimal_price ~alpha:2. ~c:1.) p
+
+let test_bundle_price_maximizes_bundle_profit () =
+  let valuations = [| 1.; 2.; 1.5 |] and costs = [| 0.5; 1.5; 1. |] in
+  let alpha = 1.8 in
+  let p_star = Ced.bundle_price ~alpha ~valuations ~costs in
+  let profit p = Ced.bundle_profit ~alpha ~valuations ~costs ~price:p in
+  let best = profit p_star in
+  List.iter
+    (fun frac ->
+      if profit (p_star *. frac) > best +. 1e-9 then
+        Alcotest.failf "price %f x p* beats bundle price" frac)
+    [ 0.5; 0.8; 0.95; 1.05; 1.2; 2. ]
+
+let test_valuation_fit_consistency () =
+  (* Fitting v from observed demand then evaluating demand at p0 must
+     return the observation. *)
+  let alpha = 1.3 and p0 = 20. and q = 123.4 in
+  let v = Ced.valuation_of_demand ~alpha ~p0 ~q in
+  checkf 1e-6 "roundtrip" q (Ced.demand ~alpha ~v p0)
+
+let test_gamma_makes_p0_optimal () =
+  (* With gamma-scaled costs, the single-bundle optimal price is p0. *)
+  let alpha = 1.4 and p0 = 20. in
+  let demands = [| 10.; 55.; 3.; 120. |] in
+  let rel_costs = [| 1.; 2.; 5.; 0.5 |] in
+  let valuations = Array.map (fun q -> Ced.valuation_of_demand ~alpha ~p0 ~q) demands in
+  let gamma = Ced.gamma ~alpha ~p0 ~valuations ~rel_costs in
+  Alcotest.(check bool) "gamma positive" true (gamma > 0.);
+  let costs = Array.map (fun f -> gamma *. f) rel_costs in
+  checkf 1e-9 "p0 is the blended optimum" p0 (Ced.bundle_price ~alpha ~valuations ~costs)
+
+let test_consumer_surplus_positive_and_decreasing () =
+  let alpha = 2. and v = 1. in
+  let s1 = Ced.consumer_surplus ~alpha ~v 1. in
+  let s2 = Ced.consumer_surplus ~alpha ~v 2. in
+  Alcotest.(check bool) "positive" true (s1 > 0. && s2 > 0.);
+  Alcotest.(check bool) "higher price, less surplus" true (s2 < s1)
+
+let test_consumer_surplus_closed_form () =
+  (* alpha = 2, v = 1, p = 1: Q = 1, CS = v Q^(1/2) / (1/2) - p Q = 1. *)
+  checkf 1e-9 "closed form" 1. (Ced.consumer_surplus ~alpha:2. ~v:1. 1.)
+
+let prop_optimal_price_above_cost =
+  QCheck.Test.make ~name:"p* > c always" ~count:300
+    QCheck.(pair (float_range 1.01 10.) (float_range 0.01 100.))
+    (fun (alpha, c) -> Ced.optimal_price ~alpha ~c > c)
+
+let prop_bundle_price_within_member_range =
+  QCheck.Test.make ~name:"bundle price within member optimal prices" ~count:300
+    QCheck.(
+      pair (float_range 1.05 5.)
+        (list_of_size Gen.(1 -- 8) (pair (float_range 0.1 10.) (float_range 0.1 10.))))
+    (fun (alpha, members) ->
+      let valuations = Array.of_list (List.map fst members) in
+      let costs = Array.of_list (List.map snd members) in
+      let p = Ced.bundle_price ~alpha ~valuations ~costs in
+      let opts = Array.map (fun c -> Ced.optimal_price ~alpha ~c) costs in
+      p >= Numerics.Stats.min opts -. 1e-9 && p <= Numerics.Stats.max opts +. 1e-9)
+
+let prop_profit_concave_around_optimum =
+  QCheck.Test.make ~name:"profit lower away from p*" ~count:300
+    QCheck.(triple (float_range 1.1 5.) (float_range 0.1 5.) (float_range 0.1 5.))
+    (fun (alpha, v, c) ->
+      let p_star = Ced.optimal_price ~alpha ~c in
+      let best = Ced.flow_profit ~alpha ~v ~c p_star in
+      Ced.flow_profit ~alpha ~v ~c (p_star *. 1.5) <= best +. 1e-9
+      && Ced.flow_profit ~alpha ~v ~c (Float.max (c /. 2.) (p_star *. 0.7)) <= best +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "demand shape" `Quick test_demand_shape;
+    Alcotest.test_case "inverse demand" `Quick test_inverse_demand;
+    Alcotest.test_case "optimal price formula" `Quick test_optimal_price_formula;
+    Alcotest.test_case "optimal price maximizes" `Quick test_optimal_price_maximizes;
+    Alcotest.test_case "Fig. 4 profits" `Quick test_potential_profit_fig4;
+    Alcotest.test_case "bundle of one" `Quick test_bundle_price_single_flow;
+    Alcotest.test_case "bundle price weighting" `Quick test_bundle_price_weighted;
+    Alcotest.test_case "bundle price maximizes" `Quick test_bundle_price_maximizes_bundle_profit;
+    Alcotest.test_case "valuation fit roundtrip" `Quick test_valuation_fit_consistency;
+    Alcotest.test_case "gamma makes p0 optimal" `Quick test_gamma_makes_p0_optimal;
+    Alcotest.test_case "surplus positive, decreasing" `Quick
+      test_consumer_surplus_positive_and_decreasing;
+    Alcotest.test_case "surplus closed form" `Quick test_consumer_surplus_closed_form;
+    QCheck_alcotest.to_alcotest prop_optimal_price_above_cost;
+    QCheck_alcotest.to_alcotest prop_bundle_price_within_member_range;
+    QCheck_alcotest.to_alcotest prop_profit_concave_around_optimum;
+  ]

@@ -1,0 +1,80 @@
+open Netsim
+
+let test_gazetteer_size () =
+  Alcotest.(check bool) "at least 80 cities" true (List.length Cities.all >= 80)
+
+let test_find () =
+  let c = Cities.find "Frankfurt" in
+  Alcotest.(check string) "country" "DE" c.Cities.country;
+  Alcotest.check_raises "missing" Not_found (fun () -> ignore (Cities.find "Atlantis"))
+
+let test_unique_names () =
+  let names = List.map (fun c -> c.Cities.name) Cities.all in
+  Alcotest.(check int) "no duplicates"
+    (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_valid_coordinates () =
+  List.iter
+    (fun c ->
+      let { Geo.lat; lon } = c.Cities.coord in
+      if lat < -90. || lat > 90. || lon < -180. || lon > 180. then
+        Alcotest.failf "%s has invalid coordinates" c.Cities.name)
+    Cities.all
+
+let test_positive_population () =
+  List.iter
+    (fun c ->
+      if c.Cities.population <= 0. then
+        Alcotest.failf "%s has non-positive population" c.Cities.name)
+    Cities.all
+
+let test_continent_filter () =
+  let europe = Cities.in_continent Cities.Europe in
+  Alcotest.(check bool) "many European cities" true (List.length europe >= 30);
+  List.iter
+    (fun c ->
+      if c.Cities.continent <> Cities.Europe then
+        Alcotest.failf "%s leaked into Europe" c.Cities.name)
+    europe
+
+let test_country_filter () =
+  let de = Cities.in_country "DE" in
+  Alcotest.(check int) "German cities" 5 (List.length de)
+
+let test_nearest () =
+  (* A point in the English Channel is closest to London or Paris-side
+     cities; a point at Frankfurt's exact coordinates must return
+     Frankfurt. *)
+  let frankfurt = Cities.find "Frankfurt" in
+  let found = Cities.nearest frankfurt.Cities.coord in
+  Alcotest.(check string) "exact match" "Frankfurt" found.Cities.name
+
+let test_same_city_country () =
+  let berlin = Cities.find "Berlin" and munich = Cities.find "Munich" in
+  Alcotest.(check bool) "same city" true (Cities.same_city berlin berlin);
+  Alcotest.(check bool) "not same city" false (Cities.same_city berlin munich);
+  Alcotest.(check bool) "same country" true (Cities.same_country berlin munich)
+
+let test_us_research_cities_present () =
+  (* The Internet2 preset depends on these. *)
+  List.iter
+    (fun name -> ignore (Cities.find name))
+    [
+      "Seattle"; "Sunnyvale"; "Los Angeles"; "Denver"; "Kansas City"; "Houston";
+      "Chicago"; "Indianapolis"; "Atlanta"; "Washington"; "New York";
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "gazetteer size" `Quick test_gazetteer_size;
+    Alcotest.test_case "find" `Quick test_find;
+    Alcotest.test_case "unique names" `Quick test_unique_names;
+    Alcotest.test_case "valid coordinates" `Quick test_valid_coordinates;
+    Alcotest.test_case "positive population" `Quick test_positive_population;
+    Alcotest.test_case "continent filter" `Quick test_continent_filter;
+    Alcotest.test_case "country filter" `Quick test_country_filter;
+    Alcotest.test_case "nearest" `Quick test_nearest;
+    Alcotest.test_case "same city/country" `Quick test_same_city_country;
+    Alcotest.test_case "Internet2 cities present" `Quick test_us_research_cities_present;
+  ]

@@ -1,0 +1,129 @@
+open Tiered
+
+let checkf tol = Alcotest.(check (float tol))
+let alpha = 2.0
+
+let test_tier_validation () =
+  Alcotest.check_raises "negative commit" (Invalid_argument "Commit.tier: negative commit")
+    (fun () -> ignore (Commit.tier ~commit_mbps:(-1.) ~rate:1.));
+  Alcotest.check_raises "zero rate" (Invalid_argument "Commit.tier: rate must be positive")
+    (fun () -> ignore (Commit.tier ~commit_mbps:0. ~rate:0.))
+
+let test_choose_usage_pricing () =
+  (* Commit 0 = pure usage pricing: usage is the CED demand, surplus the
+     CED surplus. *)
+  let menu = [| Commit.tier ~commit_mbps:0. ~rate:2. |] in
+  let c = Commit.choose ~alpha ~v:3. menu in
+  checkf 1e-9 "usage" (Ced.demand ~alpha ~v:3. 2.) c.Commit.usage_mbps;
+  checkf 1e-9 "surplus" (Ced.consumer_surplus ~alpha ~v:3. 2.) c.Commit.surplus;
+  checkf 1e-9 "billed = usage" c.Commit.usage_mbps c.Commit.billed_mbps
+
+let test_choose_prefers_discount_when_big () =
+  (* Two tiers: usage at $2, or commit 2 Mbps at $1. A big customer uses
+     the discount; a tiny one avoids paying for unused commit. *)
+  let menu =
+    [| Commit.tier ~commit_mbps:0. ~rate:2.; Commit.tier ~commit_mbps:2. ~rate:1. |]
+  in
+  let big = Commit.choose ~alpha ~v:3. menu in
+  Alcotest.(check (option int)) "big takes commit tier" (Some 1) big.Commit.tier_index;
+  let small = Commit.choose ~alpha ~v:0.3 menu in
+  Alcotest.(check (option int)) "small stays usage-priced" (Some 0) small.Commit.tier_index
+
+let test_commit_shortfall_billed () =
+  let menu = [| Commit.tier ~commit_mbps:10. ~rate:1. |] in
+  let c = Commit.choose ~alpha ~v:2. menu in
+  (* Demand at rate 1 is 4 < commit 10. *)
+  match c.Commit.tier_index with
+  | None -> () (* opting out is allowed if the shortfall kills the surplus *)
+  | Some _ ->
+      checkf 1e-9 "billed at commit" 10. c.Commit.billed_mbps;
+      checkf 1e-9 "payment" 10. c.Commit.payment
+
+let test_opt_out_when_all_tiers_bad () =
+  (* A huge commit at a high rate destroys all surplus for a small
+     customer. *)
+  let menu = [| Commit.tier ~commit_mbps:1000. ~rate:5. |] in
+  let c = Commit.choose ~alpha ~v:0.5 menu in
+  Alcotest.(check (option int)) "opts out" None c.Commit.tier_index;
+  checkf 0. "no payment" 0. c.Commit.payment
+
+let test_evaluate_accounting () =
+  let menu =
+    [| Commit.tier ~commit_mbps:0. ~rate:2.; Commit.tier ~commit_mbps:2. ~rate:1.2 |]
+  in
+  let valuations = [| 0.5; 1.; 2.; 4. |] in
+  let o = Commit.evaluate ~alpha ~unit_cost:0.5 ~valuations menu in
+  checkf 1e-9 "profit identity" o.Commit.profit (o.Commit.revenue -. o.Commit.delivery_cost);
+  let customers =
+    Array.fold_left ( + ) o.Commit.opted_out o.Commit.tier_counts
+  in
+  Alcotest.(check int) "everyone accounted" 4 customers
+
+let test_menu_beats_single_rate () =
+  (* Second-degree discrimination: an optimized 3-tier menu earns at
+     least as much as the optimized single rate. *)
+  let rng = Numerics.Rng.create 2024 in
+  let valuations =
+    Array.init 200 (fun _ -> Numerics.Dist.lognormal_of_mean_cv rng ~mean:2. ~cv:1.0)
+  in
+  let unit_cost = 0.4 in
+  let single =
+    Commit.optimize_rates ~alpha ~unit_cost ~valuations ~commits:[| 0. |]
+  in
+  let single_profit = (Commit.evaluate ~alpha ~unit_cost ~valuations single).Commit.profit in
+  let commits = Commit.commit_quantiles ~alpha ~p0:1. ~valuations ~n:3 in
+  let menu = Commit.optimize_rates ~alpha ~unit_cost ~valuations ~commits in
+  let menu_profit = (Commit.evaluate ~alpha ~unit_cost ~valuations menu).Commit.profit in
+  Alcotest.(check bool) "menu >= single rate" true (menu_profit >= single_profit -. 1e-6)
+
+let test_single_rate_optimum_matches_theory () =
+  (* With commit 0 the optimal usage rate is the CED monopoly price
+     alpha c / (alpha - 1), independent of the valuation mix. *)
+  let valuations = [| 1.; 2.; 3. |] in
+  let unit_cost = 0.5 in
+  let menu = Commit.optimize_rates ~alpha ~unit_cost ~valuations ~commits:[| 0. |] in
+  checkf 1e-2 "monopoly rate" (Ced.optimal_price ~alpha ~c:unit_cost) menu.(0).Commit.rate
+
+let test_rates_decreasing_in_commit () =
+  let rng = Numerics.Rng.create 7 in
+  let valuations =
+    Array.init 100 (fun _ -> Numerics.Dist.lognormal_of_mean_cv rng ~mean:2. ~cv:0.8)
+  in
+  let commits = Commit.commit_quantiles ~alpha ~p0:1. ~valuations ~n:3 in
+  let menu = Commit.optimize_rates ~alpha ~unit_cost:0.4 ~valuations ~commits in
+  for i = 1 to Array.length menu - 1 do
+    Alcotest.(check bool) "volume discount" true
+      (menu.(i).Commit.rate <= menu.(i - 1).Commit.rate +. 1e-12)
+  done
+
+let test_commit_quantiles () =
+  let valuations = [| 1.; 2.; 3.; 4. |] in
+  let commits = Commit.commit_quantiles ~alpha ~p0:1. ~valuations ~n:2 in
+  Alcotest.(check int) "two levels" 2 (Array.length commits);
+  checkf 0. "first is zero" 0. commits.(0);
+  Alcotest.(check bool) "second is a demand quantile" true (commits.(1) > 0.)
+
+let prop_choice_never_negative_surplus =
+  QCheck.Test.make ~name:"chosen surplus is never negative" ~count:300
+    QCheck.(pair (float_range 0.1 10.) (float_range 0.1 20.))
+    (fun (v, commit) ->
+      let menu =
+        [| Commit.tier ~commit_mbps:commit ~rate:1.5; Commit.tier ~commit_mbps:0. ~rate:2.5 |]
+      in
+      (Commit.choose ~alpha ~v menu).Commit.surplus >= 0.)
+
+let suite =
+  [
+    Alcotest.test_case "tier validation" `Quick test_tier_validation;
+    Alcotest.test_case "pure usage pricing" `Quick test_choose_usage_pricing;
+    Alcotest.test_case "discount attracts big customers" `Quick
+      test_choose_prefers_discount_when_big;
+    Alcotest.test_case "commit shortfall billed" `Quick test_commit_shortfall_billed;
+    Alcotest.test_case "opt out" `Quick test_opt_out_when_all_tiers_bad;
+    Alcotest.test_case "evaluate accounting" `Quick test_evaluate_accounting;
+    Alcotest.test_case "menu beats single rate" `Slow test_menu_beats_single_rate;
+    Alcotest.test_case "single-rate optimum" `Slow test_single_rate_optimum_matches_theory;
+    Alcotest.test_case "rates decrease with commit" `Slow test_rates_decreasing_in_commit;
+    Alcotest.test_case "commit quantiles" `Quick test_commit_quantiles;
+    QCheck_alcotest.to_alcotest prop_choice_never_negative_surplus;
+  ]

@@ -1,0 +1,56 @@
+open Routing
+
+let test_make_bounds () =
+  Alcotest.check_raises "asn too big" (Invalid_argument "Community.make: asn out of 16 bits")
+    (fun () -> ignore (Community.make ~asn:70000 ~value:1));
+  Alcotest.check_raises "negative value"
+    (Invalid_argument "Community.make: value out of 16 bits") (fun () ->
+      ignore (Community.make ~asn:1 ~value:(-1)))
+
+let test_tier_roundtrip () =
+  for k = 0 to 5 do
+    let c = Community.tier ~asn:65000 k in
+    Alcotest.(check (option int)) "tier_of" (Some k) (Community.tier_of c)
+  done
+
+let test_tier_bounds () =
+  Alcotest.check_raises "negative tier" (Invalid_argument "Community.tier: tier out of range")
+    (fun () -> ignore (Community.tier ~asn:1 (-1)));
+  Alcotest.check_raises "too many tiers"
+    (Invalid_argument "Community.tier: tier out of range") (fun () ->
+      ignore (Community.tier ~asn:1 Community.max_tiers))
+
+let test_non_tier_community () =
+  let c = Community.make ~asn:65000 ~value:100 in
+  Alcotest.(check (option int)) "not a tier" None (Community.tier_of c)
+
+let test_string_roundtrip () =
+  let c = Community.make ~asn:65001 ~value:60003 in
+  Alcotest.(check string) "format" "65001:60003" (Community.to_string c);
+  Alcotest.(check bool) "roundtrip" true
+    (Community.equal c (Community.of_string (Community.to_string c)))
+
+let test_of_string_malformed () =
+  List.iter
+    (fun s ->
+      match Community.of_string s with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "accepted %s" s)
+    [ "1:2:3"; "abc"; "1:x"; "" ]
+
+let test_compare () =
+  let a = Community.make ~asn:1 ~value:2 in
+  let b = Community.make ~asn:1 ~value:3 in
+  Alcotest.(check bool) "ordering" true (Community.compare a b < 0);
+  Alcotest.(check int) "reflexive" 0 (Community.compare a a)
+
+let suite =
+  [
+    Alcotest.test_case "make bounds" `Quick test_make_bounds;
+    Alcotest.test_case "tier roundtrip" `Quick test_tier_roundtrip;
+    Alcotest.test_case "tier bounds" `Quick test_tier_bounds;
+    Alcotest.test_case "non-tier community" `Quick test_non_tier_community;
+    Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+    Alcotest.test_case "malformed strings" `Quick test_of_string_malformed;
+    Alcotest.test_case "compare" `Quick test_compare;
+  ]

@@ -1,0 +1,117 @@
+open Tiered
+
+let checkf tol = Alcotest.(check (float tol))
+
+let valuations = [| 5.; 7.; 6. |]
+let alpha = 1.2
+
+let firm_a = Competition.firm ~name:"A" ~costs:[| 1.0; 2.0; 1.5 |]
+let firm_b = Competition.firm ~name:"B" ~costs:[| 1.4; 1.2; 1.5 |]
+
+let test_monopoly_matches_logit () =
+  let eq = Competition.monopoly ~alpha ~valuations firm_a in
+  let opt = Logit.optimize ~alpha ~valuations ~costs:firm_a.Competition.costs in
+  checkf 1e-9 "same margin" (opt.Logit.x /. alpha) eq.Competition.margins.(0);
+  checkf 1e-9 "profit = (x-1)/alpha" opt.Logit.profit_per_k eq.Competition.profits.(0)
+
+let test_duopoly_structure () =
+  let eq = Competition.nash ~alpha ~valuations [| firm_a; firm_b |] in
+  Alcotest.(check int) "two margins" 2 (Array.length eq.Competition.margins);
+  Array.iter
+    (fun m -> Alcotest.(check bool) "margin above 1/alpha" true (m > 1. /. alpha))
+    eq.Competition.margins;
+  let total =
+    Array.fold_left ( +. ) eq.Competition.s0 eq.Competition.shares
+  in
+  checkf 1e-9 "shares + s0 = 1" 1. total
+
+let test_duopoly_is_fixed_point () =
+  let eq = Competition.nash ~alpha ~valuations [| firm_a; firm_b |] in
+  Array.iteri
+    (fun f m ->
+      let br =
+        Competition.best_response_margin ~alpha ~valuations
+          ~firms:[| firm_a; firm_b |] ~margins:eq.Competition.margins f
+      in
+      checkf 1e-5 "best response to itself" m br)
+    eq.Competition.margins
+
+let test_competition_compresses_margins () =
+  (* Entry must not raise the incumbent's margin. *)
+  let mono = Competition.monopoly ~alpha ~valuations firm_a in
+  let duo = Competition.nash ~alpha ~valuations [| firm_a; firm_b |] in
+  Alcotest.(check bool) "entry lowers A's margin" true
+    (duo.Competition.margins.(0) < mono.Competition.margins.(0));
+  Alcotest.(check bool) "entry lowers A's profit" true
+    (duo.Competition.profits.(0) < mono.Competition.profits.(0))
+
+let test_cheaper_firm_wins_share () =
+  (* Give B a strict cost advantage everywhere. *)
+  let cheap = Competition.firm ~name:"cheap" ~costs:[| 0.5; 0.5; 0.5 |] in
+  let dear = Competition.firm ~name:"dear" ~costs:[| 2.5; 2.5; 2.5 |] in
+  let eq = Competition.nash ~alpha ~valuations [| cheap; dear |] in
+  Alcotest.(check bool) "cost leader gets more share" true
+    (eq.Competition.shares.(0) > eq.Competition.shares.(1));
+  Alcotest.(check bool) "and more profit" true
+    (eq.Competition.profits.(0) > eq.Competition.profits.(1))
+
+let test_symmetric_firms_symmetric_equilibrium () =
+  let twin = Competition.firm ~name:"twin" ~costs:firm_a.Competition.costs in
+  let eq = Competition.nash ~alpha ~valuations [| firm_a; twin |] in
+  checkf 1e-6 "equal margins" eq.Competition.margins.(0) eq.Competition.margins.(1);
+  checkf 1e-6 "equal shares" eq.Competition.shares.(0) eq.Competition.shares.(1)
+
+let test_prices_are_cost_plus_margin () =
+  let eq = Competition.nash ~alpha ~valuations [| firm_a; firm_b |] in
+  Array.iteri
+    (fun f prices ->
+      let firm = [| firm_a; firm_b |].(f) in
+      Array.iteri
+        (fun i p ->
+          checkf 1e-9 "price decomposition"
+            (firm.Competition.costs.(i) +. eq.Competition.margins.(f))
+            p)
+        prices)
+    eq.Competition.prices
+
+let test_validation () =
+  (match Competition.nash ~alpha ~valuations [||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted zero firms");
+  let short = Competition.firm ~name:"short" ~costs:[| 1. |] in
+  match Competition.nash ~alpha ~valuations [| short |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted mismatched costs"
+
+let test_price_war_trajectory () =
+  (* As the entrant's costs fall year over year, equilibrium prices
+     fall too -- the paper's 30%/year transit price decline story. *)
+  let year_price cost_scale =
+    let entrant =
+      Competition.firm ~name:"entrant"
+        ~costs:(Array.map (fun c -> c *. cost_scale) firm_b.Competition.costs)
+    in
+    let eq = Competition.nash ~alpha ~valuations [| firm_a; entrant |] in
+    (* Demand-weighted average price across the market. *)
+    let per_firm, _ =
+      ( Array.map (fun prices -> Numerics.Stats.mean prices) eq.Competition.prices,
+        () )
+    in
+    Numerics.Stats.mean per_firm
+  in
+  let p0 = year_price 1.0 and p1 = year_price 0.7 and p2 = year_price 0.49 in
+  Alcotest.(check bool) "prices fall with entrant costs" true (p0 > p1 && p1 > p2)
+
+let suite =
+  [
+    Alcotest.test_case "monopoly = Logit.optimize" `Quick test_monopoly_matches_logit;
+    Alcotest.test_case "duopoly structure" `Quick test_duopoly_structure;
+    Alcotest.test_case "equilibrium is a fixed point" `Quick test_duopoly_is_fixed_point;
+    Alcotest.test_case "competition compresses margins" `Quick
+      test_competition_compresses_margins;
+    Alcotest.test_case "cost leader wins" `Quick test_cheaper_firm_wins_share;
+    Alcotest.test_case "symmetric equilibrium" `Quick test_symmetric_firms_symmetric_equilibrium;
+    Alcotest.test_case "price decomposition" `Quick test_prices_are_cost_plus_margin;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "price war trajectory" `Quick test_price_war_trajectory;
+  ]

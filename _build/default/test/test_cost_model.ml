@@ -1,0 +1,132 @@
+open Tiered
+
+let flows =
+  [|
+    Flow.make ~id:0 ~demand_mbps:1. ~distance_miles:5. ();
+    Flow.make ~id:1 ~demand_mbps:1. ~distance_miles:50. ();
+    Flow.make ~id:2 ~demand_mbps:1. ~distance_miles:500. ();
+  |]
+
+let test_linear_base_cost () =
+  (* theta = 0.1 -> base = 50; costs are d + 50. *)
+  let costs = Cost_model.relative_costs (Cost_model.linear ~theta:0.1) flows in
+  Alcotest.(check (array (float 1e-9))) "d + base" [| 55.; 100.; 550. |] costs
+
+let test_linear_theta_zero () =
+  let costs = Cost_model.relative_costs (Cost_model.linear ~theta:0.) flows in
+  Alcotest.(check (array (float 1e-9))) "pure distance" [| 5.; 50.; 500. |] costs
+
+let test_linear_positive () =
+  let zero_dist = [| Flow.make ~id:0 ~demand_mbps:1. ~distance_miles:0. () |] in
+  let costs = Cost_model.relative_costs (Cost_model.linear ~theta:0.) zero_dist in
+  Alcotest.(check bool) "floored above zero" true (costs.(0) > 0.)
+
+let test_concave_flattens () =
+  let linear = Cost_model.relative_costs (Cost_model.linear ~theta:0.) flows in
+  let concave = Cost_model.relative_costs (Cost_model.concave ~theta:0.) flows in
+  (* Concave curve compresses the ratio between far and near flows. *)
+  let ratio c = c.(2) /. c.(0) in
+  Alcotest.(check bool) "compressed ratios" true (ratio concave < ratio linear);
+  Array.iter (fun c -> Alcotest.(check bool) "positive" true (c > 0.)) concave
+
+let test_concave_monotone () =
+  let concave = Cost_model.relative_costs (Cost_model.concave ~theta:0.2) flows in
+  Alcotest.(check bool) "monotone in distance" true
+    (concave.(0) < concave.(1) && concave.(1) < concave.(2))
+
+let test_regional_classes () =
+  let costs = Cost_model.relative_costs (Cost_model.regional ~theta:1.) flows in
+  Alcotest.(check (array (float 1e-9))) "1/2/3" [| 1.; 2.; 3. |] costs
+
+let test_regional_theta_zero_flat () =
+  let costs = Cost_model.relative_costs (Cost_model.regional ~theta:0.) flows in
+  Alcotest.(check (array (float 1e-9))) "no differentiation" [| 1.; 1.; 1. |] costs
+
+let test_regional_theta_superlinear () =
+  let costs = Cost_model.relative_costs (Cost_model.regional ~theta:2.) flows in
+  Alcotest.(check (array (float 1e-9))) "squared" [| 1.; 4.; 9. |] costs
+
+let test_destination_type_two_classes () =
+  let model = Cost_model.destination_type ~theta:0.5 in
+  let many =
+    Array.init 100 (fun id -> Flow.make ~id ~demand_mbps:1. ~distance_miles:10. ())
+  in
+  let costs = Cost_model.relative_costs model many in
+  Array.iter
+    (fun c ->
+      if c <> 1. && c <> 2. then Alcotest.failf "cost neither on- nor off-net: %f" c)
+    costs;
+  (* Half the flows should be on-net, within rounding of the
+     low-discrepancy sequence. *)
+  let on_net = Array.fold_left (fun acc c -> if c = 1. then acc + 1 else acc) 0 costs in
+  if on_net < 40 || on_net > 60 then Alcotest.failf "on-net share off: %d/100" on_net
+
+let test_is_on_net_fraction () =
+  let theta = 0.15 in
+  let n = 10_000 in
+  let count = ref 0 in
+  for id = 0 to n - 1 do
+    if Cost_model.is_on_net ~theta id then incr count
+  done;
+  let frac = float_of_int !count /. float_of_int n in
+  Alcotest.(check (float 0.01)) "converges to theta" theta frac
+
+let test_is_on_net_deterministic () =
+  Alcotest.(check bool) "same answer" (Cost_model.is_on_net ~theta:0.3 7)
+    (Cost_model.is_on_net ~theta:0.3 7)
+
+let test_validation () =
+  Alcotest.check_raises "negative theta"
+    (Invalid_argument "Cost_model.linear: negative theta") (fun () ->
+      ignore (Cost_model.linear ~theta:(-0.1)));
+  Alcotest.check_raises "dest-type theta > 1"
+    (Invalid_argument "Cost_model.destination_type: theta out of [0, 1]") (fun () ->
+      ignore (Cost_model.destination_type ~theta:1.5))
+
+let test_names () =
+  Alcotest.(check string) "linear" "linear" (Cost_model.name (Cost_model.linear ~theta:0.1));
+  Alcotest.(check (float 0.)) "theta accessor" 0.1 (Cost_model.theta (Cost_model.linear ~theta:0.1))
+
+let test_empty_flows () =
+  Alcotest.(check int) "empty" 0
+    (Array.length (Cost_model.relative_costs (Cost_model.linear ~theta:0.1) [||]))
+
+let prop_costs_positive =
+  let models =
+    [
+      Cost_model.linear ~theta:0.2; Cost_model.concave ~theta:0.2;
+      Cost_model.regional ~theta:1.1; Cost_model.destination_type ~theta:0.3;
+    ]
+  in
+  QCheck.Test.make ~name:"all cost models yield positive costs" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 20) (float_range 0. 5000.))
+    (fun distances ->
+      let flows =
+        Array.of_list
+          (List.mapi
+             (fun id d -> Flow.make ~id ~demand_mbps:1. ~distance_miles:d ())
+             distances)
+      in
+      List.for_all
+        (fun model ->
+          Array.for_all (fun c -> c > 0.) (Cost_model.relative_costs model flows))
+        models)
+
+let suite =
+  [
+    Alcotest.test_case "linear base cost" `Quick test_linear_base_cost;
+    Alcotest.test_case "linear theta=0" `Quick test_linear_theta_zero;
+    Alcotest.test_case "linear floors at zero distance" `Quick test_linear_positive;
+    Alcotest.test_case "concave flattens ratios" `Quick test_concave_flattens;
+    Alcotest.test_case "concave monotone" `Quick test_concave_monotone;
+    Alcotest.test_case "regional classes" `Quick test_regional_classes;
+    Alcotest.test_case "regional theta=0 flat" `Quick test_regional_theta_zero_flat;
+    Alcotest.test_case "regional theta=2" `Quick test_regional_theta_superlinear;
+    Alcotest.test_case "destination type two classes" `Quick test_destination_type_two_classes;
+    Alcotest.test_case "on-net fraction" `Quick test_is_on_net_fraction;
+    Alcotest.test_case "on-net deterministic" `Quick test_is_on_net_deterministic;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "names and theta" `Quick test_names;
+    Alcotest.test_case "empty flows" `Quick test_empty_flows;
+    QCheck_alcotest.to_alcotest prop_costs_positive;
+  ]

@@ -1,0 +1,97 @@
+open Tiered
+
+let test_of_workload_fields () =
+  let w = Fixtures.workload () in
+  let flows = Dataset.of_workload w in
+  Alcotest.(check int) "one econ flow per workload flow"
+    (List.length w.Flowgen.Workload.flows)
+    (Array.length flows);
+  List.iteri
+    (fun i (wf : Flowgen.Workload.flow) ->
+      Alcotest.(check (float 0.)) "demand" wf.Flowgen.Workload.mbps flows.(i).Flow.demand_mbps;
+      Alcotest.(check (float 0.)) "distance" wf.Flowgen.Workload.distance_miles
+        flows.(i).Flow.distance_miles;
+      Alcotest.(check bool) "on-net" wf.Flowgen.Workload.on_net flows.(i).Flow.on_net)
+    w.Flowgen.Workload.flows
+
+let test_locality_mapping () =
+  Alcotest.(check bool) "metro" true (Dataset.locality_of Flowgen.Geoip.Metro = Flow.Metro);
+  Alcotest.(check bool) "national" true
+    (Dataset.locality_of Flowgen.Geoip.National = Flow.National);
+  Alcotest.(check bool) "international" true
+    (Dataset.locality_of Flowgen.Geoip.International = Flow.International)
+
+let test_via_netflow_unsampled_matches_ground_truth () =
+  (* With sampling off and no noise the measured pipeline must agree
+     with ground truth almost exactly. *)
+  let w = Fixtures.workload () in
+  let shape = { Flowgen.Netflow.default_shape with noise_cv = 0. } in
+  let measured = Dataset.via_netflow ~sampling_rate:1 ~shape w in
+  let truth = Dataset.of_workload w in
+  Alcotest.(check int) "all flows survive" (Array.length truth) (Array.length measured);
+  let demand_by_id flows =
+    let t = Hashtbl.create 64 in
+    Array.iter (fun f -> Hashtbl.replace t f.Flow.id f.Flow.demand_mbps) flows;
+    t
+  in
+  let truth_demands = demand_by_id truth in
+  Array.iter
+    (fun f ->
+      let expected = Hashtbl.find truth_demands f.Flow.id in
+      if abs_float (f.Flow.demand_mbps -. expected) /. expected > 1e-6 then
+        Alcotest.failf "flow %d: %f vs %f" f.Flow.id f.Flow.demand_mbps expected)
+    measured
+
+let test_via_netflow_sampled_close_in_aggregate () =
+  let w = Fixtures.workload () in
+  let measured = Dataset.via_netflow ~sampling_rate:100 w in
+  let truth = Dataset.of_workload w in
+  let total flows = Flow.total_demand_mbps flows in
+  let rel = abs_float (total measured -. total truth) /. total truth in
+  if rel > 0.05 then Alcotest.failf "aggregate off by %f" rel
+
+let test_via_netflow_sampling_loses_small_flows () =
+  (* At realistic volumes nothing vanishes, so shrink the workload until
+     the smallest flows carry only a handful of packets per day. *)
+  let w = Fixtures.workload () in
+  let tiny =
+    Flowgen.Workload.generate w.Flowgen.Workload.topology
+      { w.Flowgen.Workload.params with Flowgen.Workload.aggregate_gbps = 1e-5 }
+  in
+  let harsh = Dataset.via_netflow ~sampling_rate:100_000 tiny in
+  let truth = Dataset.of_workload tiny in
+  Alcotest.(check bool) "some flows vanish" true
+    (Array.length harsh < Array.length truth)
+
+let test_via_netflow_deterministic () =
+  let w = Fixtures.workload () in
+  let a = Dataset.via_netflow ~sampling_rate:1000 ~seed:5 w in
+  let b = Dataset.via_netflow ~sampling_rate:1000 ~seed:5 w in
+  Alcotest.(check int) "same flow count" (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i f ->
+      Alcotest.(check (float 0.)) "same demand" f.Flow.demand_mbps b.(i).Flow.demand_mbps)
+    a
+
+let test_pipeline_feeds_market () =
+  (* The measured flows fit a market end to end. *)
+  let w = Fixtures.workload () in
+  let flows = Dataset.via_netflow ~sampling_rate:10 w in
+  let m =
+    Market.fit ~spec:Market.Ced ~alpha:1.1 ~p0:20.
+      ~cost_model:(Cost_model.linear ~theta:0.2) flows
+  in
+  let o = Pricing.evaluate m (Strategy.apply Strategy.Optimal m ~n_bundles:3) in
+  Alcotest.(check bool) "positive profit" true (o.Pricing.profit > 0.)
+
+let suite =
+  [
+    Alcotest.test_case "of_workload fields" `Quick test_of_workload_fields;
+    Alcotest.test_case "locality mapping" `Quick test_locality_mapping;
+    Alcotest.test_case "unsampled pipeline = ground truth" `Quick
+      test_via_netflow_unsampled_matches_ground_truth;
+    Alcotest.test_case "sampled aggregate close" `Quick test_via_netflow_sampled_close_in_aggregate;
+    Alcotest.test_case "harsh sampling loses flows" `Quick test_via_netflow_sampling_loses_small_flows;
+    Alcotest.test_case "pipeline deterministic" `Quick test_via_netflow_deterministic;
+    Alcotest.test_case "pipeline feeds market" `Quick test_pipeline_feeds_market;
+  ]

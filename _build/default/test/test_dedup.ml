@@ -1,0 +1,94 @@
+open Flowgen
+
+let record ?(src = "10.0.0.1") ?(dst = "10.1.0.1") ?(src_port = 1000)
+    ?(first_s = 0) ?(router = 0) ?(bytes = 100.) () =
+  {
+    Netflow.src = Ipv4.of_string src;
+    dst = Ipv4.of_string dst;
+    src_port;
+    dst_port = 443;
+    proto = 6;
+    bytes;
+    packets = 1.;
+    first_s;
+    last_s = first_s + 3600;
+    router;
+  }
+
+let test_keeps_unique () =
+  let records = [ record (); record ~src_port:2000 (); record ~first_s:3600 () ] in
+  Alcotest.(check int) "nothing dropped" 3 (List.length (Dedup.dedup records))
+
+let test_drops_cross_router_duplicates () =
+  let records = [ record ~router:0 (); record ~router:1 (); record ~router:2 () ] in
+  let kept = Dedup.dedup records in
+  Alcotest.(check int) "one survives" 1 (List.length kept);
+  Alcotest.(check int) "lowest router kept" 0 (List.hd kept).Netflow.router
+
+let test_lowest_router_wins_any_order () =
+  let records = [ record ~router:5 (); record ~router:1 (); record ~router:3 () ] in
+  let kept = Dedup.dedup records in
+  Alcotest.(check int) "router 1" 1 (List.hd kept).Netflow.router
+
+let test_different_windows_not_duplicates () =
+  let records = [ record ~router:0 ~first_s:0 (); record ~router:1 ~first_s:3600 () ] in
+  Alcotest.(check int) "both kept" 2 (List.length (Dedup.dedup records))
+
+let test_duplicate_count () =
+  let records =
+    [ record ~router:0 (); record ~router:1 (); record ~src_port:7 ~router:0 () ]
+  in
+  Alcotest.(check int) "one duplicate" 1 (Dedup.duplicate_count records)
+
+let test_order_stable () =
+  let records =
+    [
+      record ~src_port:1 (); record ~src_port:2 (); record ~src_port:3 ();
+      record ~src_port:2 ~router:4 ();
+    ]
+  in
+  let ports = List.map (fun (r : Netflow.record) -> r.Netflow.src_port) (Dedup.dedup records) in
+  Alcotest.(check (list int)) "first-appearance order" [ 1; 2; 3 ] ports
+
+let test_pipeline_volume_matches_single_router () =
+  (* End-to-end: synthesize at 3 routers, dedup, and recover exactly the
+     per-router volume. *)
+  let rng = Numerics.Rng.create 11 in
+  let gt =
+    {
+      Netflow.gt_src = Ipv4.of_string "10.0.0.1";
+      gt_dst = Ipv4.of_string "10.1.0.1";
+      gt_mbps = 5.;
+      gt_routers = [ 0; 1; 2 ];
+    }
+  in
+  let shape = { Netflow.default_shape with noise_cv = 0. } in
+  let records = Netflow.synthesize ~shape ~rng [ gt ] in
+  let deduped = Dedup.dedup records in
+  let expected = 5. *. 125_000. *. float_of_int Netflow.day_seconds in
+  Alcotest.(check (float 1.)) "triple-counting removed" expected
+    (Netflow.total_bytes deduped);
+  Alcotest.(check (float 1.)) "raw was 3x" (3. *. expected) (Netflow.total_bytes records)
+
+let prop_dedup_idempotent =
+  QCheck.Test.make ~name:"dedup is idempotent" ~count:100
+    QCheck.(list_of_size Gen.(0 -- 30) (pair (int_range 0 3) (int_range 0 3)))
+    (fun specs ->
+      let records =
+        List.map (fun (router, port) -> record ~router ~src_port:port ()) specs
+      in
+      let once = Dedup.dedup records in
+      let twice = Dedup.dedup once in
+      List.length once = List.length twice)
+
+let suite =
+  [
+    Alcotest.test_case "keeps unique records" `Quick test_keeps_unique;
+    Alcotest.test_case "drops cross-router duplicates" `Quick test_drops_cross_router_duplicates;
+    Alcotest.test_case "lowest router wins" `Quick test_lowest_router_wins_any_order;
+    Alcotest.test_case "different windows kept" `Quick test_different_windows_not_duplicates;
+    Alcotest.test_case "duplicate count" `Quick test_duplicate_count;
+    Alcotest.test_case "stable output order" `Quick test_order_stable;
+    Alcotest.test_case "pipeline volume" `Quick test_pipeline_volume_matches_single_router;
+    QCheck_alcotest.to_alcotest prop_dedup_idempotent;
+  ]

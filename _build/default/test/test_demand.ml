@@ -1,0 +1,94 @@
+open Flowgen
+
+let record ~src ~dst ~bytes ~first_s =
+  {
+    Netflow.src = Ipv4.of_string src;
+    dst = Ipv4.of_string dst;
+    src_port = 1000;
+    dst_port = 443;
+    proto = 6;
+    bytes;
+    packets = 1.;
+    first_s;
+    last_s = first_s + 3600;
+    router = 0;
+  }
+
+let test_by_endpoint_pair () =
+  let records =
+    [
+      record ~src:"10.0.0.1" ~dst:"10.1.0.1" ~bytes:100. ~first_s:0;
+      record ~src:"10.0.0.1" ~dst:"10.1.0.1" ~bytes:200. ~first_s:3600;
+      record ~src:"10.0.0.2" ~dst:"10.1.0.1" ~bytes:50. ~first_s:0;
+    ]
+  in
+  let aggs = Demand.by_endpoint_pair records in
+  Alcotest.(check int) "two pairs" 2 (List.length aggs);
+  let first = List.hd aggs in
+  Alcotest.(check (float 1e-9)) "bytes merged" 300. first.Demand.bytes;
+  Alcotest.(check int) "records counted" 2 first.Demand.records
+
+let test_by_destination () =
+  let records =
+    [
+      record ~src:"10.0.0.1" ~dst:"10.1.0.1" ~bytes:100. ~first_s:0;
+      record ~src:"10.0.0.2" ~dst:"10.1.0.1" ~bytes:50. ~first_s:0;
+      record ~src:"10.0.0.2" ~dst:"10.2.0.1" ~bytes:50. ~first_s:0;
+    ]
+  in
+  let aggs = Demand.by_destination records in
+  Alcotest.(check int) "two destinations" 2 (List.length aggs);
+  Alcotest.(check (float 1e-9)) "merged across sources" 150. (List.hd aggs).Demand.bytes
+
+let test_mbps_conversion () =
+  let records = [ record ~src:"10.0.0.1" ~dst:"10.1.0.1" ~bytes:1e6 ~first_s:0 ] in
+  let aggs = Demand.by_endpoint_pair ~window_s:8 records in
+  Alcotest.(check (float 1e-9)) "1 Mbps" 1. (List.hd aggs).Demand.mbps
+
+let test_total_and_vector () =
+  let records =
+    [
+      record ~src:"10.0.0.1" ~dst:"10.1.0.1" ~bytes:4e6 ~first_s:0;
+      record ~src:"10.0.0.2" ~dst:"10.1.0.2" ~bytes:8e6 ~first_s:0;
+    ]
+  in
+  let aggs = Demand.by_endpoint_pair ~window_s:8 records in
+  Alcotest.(check (float 1e-9)) "total" 12. (Demand.total_mbps aggs);
+  Alcotest.(check (array (float 1e-9))) "vector" [| 4.; 8. |] (Demand.demands aggs)
+
+let test_invalid_window () =
+  Alcotest.check_raises "window 0" (Invalid_argument "Demand: non-positive window")
+    (fun () -> ignore (Demand.by_endpoint_pair ~window_s:0 []))
+
+let test_empty () =
+  Alcotest.(check int) "no records" 0 (List.length (Demand.by_endpoint_pair []))
+
+let prop_total_bytes_preserved =
+  QCheck.Test.make ~name:"aggregation preserves total bytes" ~count:100
+    QCheck.(list_of_size Gen.(0 -- 40) (pair (int_range 0 5) (float_range 1. 1e6)))
+    (fun specs ->
+      let records =
+        List.map
+          (fun (dst, bytes) ->
+            record ~src:"10.0.0.1"
+              ~dst:(Printf.sprintf "10.1.0.%d" dst)
+              ~bytes ~first_s:0)
+          specs
+      in
+      let aggs = Demand.by_destination records in
+      let total_in =
+        List.fold_left (fun acc (r : Netflow.record) -> acc +. r.Netflow.bytes) 0. records
+      in
+      let total_out = List.fold_left (fun acc a -> acc +. a.Demand.bytes) 0. aggs in
+      abs_float (total_in -. total_out) < 1e-6 *. (1. +. total_in))
+
+let suite =
+  [
+    Alcotest.test_case "by endpoint pair" `Quick test_by_endpoint_pair;
+    Alcotest.test_case "by destination" `Quick test_by_destination;
+    Alcotest.test_case "mbps conversion" `Quick test_mbps_conversion;
+    Alcotest.test_case "total and vector" `Quick test_total_and_vector;
+    Alcotest.test_case "invalid window" `Quick test_invalid_window;
+    Alcotest.test_case "empty input" `Quick test_empty;
+    QCheck_alcotest.to_alcotest prop_total_bytes_preserved;
+  ]

@@ -1,0 +1,131 @@
+open Numerics
+
+let sample n f =
+  let rng = Rng.create 123 in
+  Array.init n (fun _ -> f rng)
+
+let close ?(tol = 0.05) name expected actual =
+  if abs_float (expected -. actual) > tol *. (1. +. abs_float expected) then
+    Alcotest.failf "%s: expected ~%f, got %f" name expected actual
+
+let test_exponential_mean () =
+  let xs = sample 100_000 (fun rng -> Dist.exponential rng ~rate:2.) in
+  close "exp mean" 0.5 (Stats.mean xs);
+  close "exp cv" 1.0 (Stats.cv xs)
+
+let test_exponential_positive () =
+  let xs = sample 10_000 (fun rng -> Dist.exponential rng ~rate:0.1) in
+  Array.iter (fun x -> if x < 0. then Alcotest.fail "negative exponential") xs
+
+let test_exponential_invalid () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "rate 0"
+    (Invalid_argument "Dist.exponential: rate must be positive") (fun () ->
+      ignore (Dist.exponential rng ~rate:0.))
+
+let test_normal_moments () =
+  let xs = sample 100_000 (fun rng -> Dist.normal rng ~mean:3. ~stddev:2.) in
+  close "normal mean" 3. (Stats.mean xs);
+  close "normal sd" 2. (Stats.stddev xs)
+
+let test_normal_zero_sd () =
+  let rng = Rng.create 1 in
+  Alcotest.(check (float 0.)) "degenerate normal" 5. (Dist.normal rng ~mean:5. ~stddev:0.)
+
+let test_lognormal_mean_cv () =
+  let xs =
+    sample 200_000 (fun rng -> Dist.lognormal_of_mean_cv rng ~mean:10. ~cv:1.5)
+  in
+  close ~tol:0.07 "lognormal mean" 10. (Stats.mean xs);
+  close ~tol:0.1 "lognormal cv" 1.5 (Stats.cv xs)
+
+let test_lognormal_cv_zero () =
+  let rng = Rng.create 1 in
+  Alcotest.(check (float 0.)) "cv=0 is constant" 7.
+    (Dist.lognormal_of_mean_cv rng ~mean:7. ~cv:0.)
+
+let test_pareto_support () =
+  let xs = sample 10_000 (fun rng -> Dist.pareto rng ~shape:2.5 ~scale:3.) in
+  Array.iter (fun x -> if x < 3. then Alcotest.failf "below scale: %f" x) xs;
+  (* Mean of Pareto(shape a, scale m) is a*m/(a-1). *)
+  close ~tol:0.1 "pareto mean" (2.5 *. 3. /. 1.5) (Stats.mean xs)
+
+let test_gumbel_mean () =
+  (* Mean of Gumbel(mu, beta) is mu + beta * Euler-Mascheroni. *)
+  let xs = sample 200_000 (fun rng -> Dist.gumbel rng ~mu:1. ~beta:2.) in
+  close ~tol:0.05 "gumbel mean" (1. +. (2. *. 0.5772156649)) (Stats.mean xs)
+
+let test_categorical_frequencies () =
+  let rng = Rng.create 5 in
+  let weights = [| 1.; 2.; 7. |] in
+  let counts = Array.make 3 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Dist.categorical rng weights in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      close ~tol:0.05
+        (Printf.sprintf "weight %d" i)
+        (weights.(i) /. 10.)
+        (float_of_int c /. float_of_int n))
+    counts
+
+let test_categorical_invalid () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "empty" (Invalid_argument "Dist.categorical: empty weights")
+    (fun () -> ignore (Dist.categorical rng [||]));
+  Alcotest.check_raises "zero sum"
+    (Invalid_argument "Dist.categorical: weights sum to zero") (fun () ->
+      ignore (Dist.categorical rng [| 0.; 0. |]));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Dist.categorical: negative weight") (fun () ->
+      ignore (Dist.categorical rng [| 1.; -1. |]))
+
+let test_zipf_weights () =
+  let w = Dist.zipf_weights ~n:4 ~s:1. in
+  Alcotest.(check (array (float 1e-12)))
+    "harmonic weights"
+    [| 1.; 0.5; 1. /. 3.; 0.25 |]
+    w
+
+let test_dirichlet_like_simplex () =
+  let rng = Rng.create 6 in
+  for _ = 1 to 100 do
+    let shares = Dist.dirichlet_like rng ~n:5 ~concentration:0.5 in
+    let total = Array.fold_left ( +. ) 0. shares in
+    close ~tol:1e-9 "sums to 1" 1. total;
+    Array.iter (fun s -> if s < 0. then Alcotest.fail "negative share") shares
+  done
+
+(* Property: categorical never returns an index with zero weight when
+   others are positive... it can only when rounding; instead check it
+   always returns a positive-weight index. *)
+let prop_categorical_positive_weight =
+  QCheck.Test.make ~name:"categorical returns positive-weight index" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 8) (float_range 0. 10.)) small_int)
+    (fun (weights, seed) ->
+      let weights = Array.of_list weights in
+      QCheck.assume (Array.exists (fun w -> w > 0.) weights);
+      let rng = Rng.create seed in
+      let i = Dist.categorical rng weights in
+      weights.(i) > 0.)
+
+let suite =
+  [
+    Alcotest.test_case "exponential moments" `Slow test_exponential_mean;
+    Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
+    Alcotest.test_case "exponential invalid rate" `Quick test_exponential_invalid;
+    Alcotest.test_case "normal moments" `Slow test_normal_moments;
+    Alcotest.test_case "normal zero sd" `Quick test_normal_zero_sd;
+    Alcotest.test_case "lognormal mean/cv parameterization" `Slow test_lognormal_mean_cv;
+    Alcotest.test_case "lognormal cv=0" `Quick test_lognormal_cv_zero;
+    Alcotest.test_case "pareto support and mean" `Slow test_pareto_support;
+    Alcotest.test_case "gumbel mean" `Slow test_gumbel_mean;
+    Alcotest.test_case "categorical frequencies" `Slow test_categorical_frequencies;
+    Alcotest.test_case "categorical invalid input" `Quick test_categorical_invalid;
+    Alcotest.test_case "zipf weights" `Quick test_zipf_weights;
+    Alcotest.test_case "dirichlet-like on simplex" `Quick test_dirichlet_like_simplex;
+    QCheck_alcotest.to_alcotest prop_categorical_positive_weight;
+  ]

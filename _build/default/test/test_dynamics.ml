@@ -1,0 +1,106 @@
+open Tiered
+
+let config ?(estimated_alpha = 1.1) ?(rounds = 8) ?(damping = 1.) () =
+  {
+    Dynamics.truth = Fixtures.ced_market ();
+    estimated_alpha;
+    strategy = Strategy.Optimal;
+    n_bundles = 3;
+    rounds;
+    damping;
+  }
+
+let test_round_count () =
+  let rounds = Dynamics.simulate (config ~rounds:5 ()) in
+  Alcotest.(check int) "initial + 5" 6 (List.length rounds)
+
+let test_initial_state_is_blended () =
+  let rounds = Dynamics.simulate (config ()) in
+  let first = List.hd rounds in
+  Array.iter
+    (fun p -> Alcotest.(check (float 0.)) "blended start" 20. p)
+    first.Dynamics.flow_prices;
+  Alcotest.(check (float 1e-9)) "capture 0 at start" 0. first.Dynamics.capture
+
+let test_correct_alpha_converges_in_one_round () =
+  (* Knowing the true elasticity, the first re-fit recovers the exact
+     valuations, so round 1 already attains the optimal tiering. *)
+  let truth = Fixtures.ced_market () in
+  let rounds =
+    Dynamics.simulate
+      { (config ~estimated_alpha:truth.Market.alpha ()) with Dynamics.truth }
+  in
+  let optimal =
+    (Pricing.evaluate truth (Strategy.apply Strategy.Optimal truth ~n_bundles:3))
+      .Pricing.profit
+  in
+  let round1 = List.nth rounds 1 in
+  Alcotest.(check (float 1e-6)) "one-shot optimum" optimal round1.Dynamics.true_profit;
+  Alcotest.(check bool) "converged" true (Dynamics.converged rounds)
+
+let test_wrong_alpha_still_converges () =
+  let rounds = Dynamics.simulate (config ~estimated_alpha:2.5 ~rounds:30 ()) in
+  Alcotest.(check bool) "converged" true (Dynamics.converged ~tol:1e-4 rounds);
+  (* A badly wrong elasticity costs profit but the loop must not blow up
+     or go negative-capture after the first reprice. *)
+  let final = Dynamics.final_capture rounds in
+  Alcotest.(check bool) "finite" true (Float.is_finite final)
+
+let test_correct_alpha_beats_wrong_alpha () =
+  let right = Dynamics.simulate (config ~estimated_alpha:1.1 ~rounds:20 ()) in
+  let wrong = Dynamics.simulate (config ~estimated_alpha:4.0 ~rounds:20 ()) in
+  Alcotest.(check bool) "truth helps" true
+    (Dynamics.final_capture right >= Dynamics.final_capture wrong -. 1e-9)
+
+let test_damping_slows_but_reaches () =
+  let fast = Dynamics.simulate (config ~rounds:1 ~damping:1. ()) in
+  let slow = Dynamics.simulate (config ~rounds:1 ~damping:0.3 ()) in
+  Alcotest.(check bool) "damped round 1 below undamped" true
+    (Dynamics.final_capture slow <= Dynamics.final_capture fast +. 1e-9);
+  let slow_long = Dynamics.simulate (config ~rounds:40 ~damping:0.3 ()) in
+  Alcotest.(check (float 1e-3)) "same fixed point"
+    (Dynamics.final_capture fast)
+    (Dynamics.final_capture slow_long)
+
+let test_validation () =
+  (match Dynamics.simulate { (config ()) with Dynamics.truth = Fixtures.logit_market () } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted logit truth");
+  (match Dynamics.simulate (config ~estimated_alpha:1.0 ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted alpha = 1");
+  (match Dynamics.simulate (config ~damping:0. ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted damping = 0");
+  match Dynamics.simulate (config ~rounds:(-1) ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted negative rounds"
+
+let test_demand_response_consistent () =
+  (* Realized demand in each round must equal the true CED response. *)
+  let truth = Fixtures.ced_market () in
+  let rounds = Dynamics.simulate { (config ~rounds:3 ()) with Dynamics.truth } in
+  List.iter
+    (fun (r : Dynamics.round) ->
+      Array.iteri
+        (fun i q ->
+          let expected =
+            Ced.demand ~alpha:truth.Market.alpha ~v:truth.Market.valuations.(i)
+              r.Dynamics.flow_prices.(i)
+          in
+          Alcotest.(check (float 1e-9)) "true response" expected q)
+        r.Dynamics.realized_demand)
+    rounds
+
+let suite =
+  [
+    Alcotest.test_case "round count" `Quick test_round_count;
+    Alcotest.test_case "initial state is blended" `Quick test_initial_state_is_blended;
+    Alcotest.test_case "true alpha: one-shot optimum" `Quick
+      test_correct_alpha_converges_in_one_round;
+    Alcotest.test_case "wrong alpha still converges" `Quick test_wrong_alpha_still_converges;
+    Alcotest.test_case "truth beats misestimation" `Quick test_correct_alpha_beats_wrong_alpha;
+    Alcotest.test_case "damping" `Quick test_damping_slows_but_reaches;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "demand response consistent" `Quick test_demand_response_consistent;
+  ]

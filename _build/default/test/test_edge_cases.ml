@@ -1,0 +1,147 @@
+(* Degenerate and extreme inputs across the stack: single-flow markets,
+   identical flows, extreme elasticities, very large markets. *)
+open Tiered
+
+let checkf tol = Alcotest.(check (float tol))
+
+let single_flow_market spec =
+  let flows = [| Flow.make ~id:0 ~demand_mbps:42. ~distance_miles:100. () |] in
+  Market.fit ~spec ~alpha:1.5 ~p0:20. ~cost_model:(Cost_model.linear ~theta:0.2) flows
+
+let test_single_flow_market () =
+  List.iter
+    (fun spec ->
+      let m = single_flow_market spec in
+      (* One flow: blended = per-flow = max; headroom is zero, so every
+         strategy trivially produces one bundle and capture is
+         undefined. *)
+      let blended = Pricing.original_profit m in
+      let maximum = Pricing.max_profit m in
+      checkf 1e-6 "no headroom" blended maximum;
+      List.iter
+        (fun s ->
+          Alcotest.(check int) (Strategy.name s) 1
+            (Bundle.count (Strategy.apply s m ~n_bundles:3)))
+        Strategy.all)
+    [ Market.Ced; Market.Logit { s0 = 0.2 } ]
+
+let test_identical_flows_no_headroom () =
+  (* Identical flows: bundling cannot help; capture context must refuse. *)
+  let flows =
+    Array.init 5 (fun id -> Flow.make ~id ~demand_mbps:10. ~distance_miles:50. ())
+  in
+  let m = Market.fit ~spec:Market.Ced ~alpha:1.5 ~p0:20.
+      ~cost_model:(Cost_model.linear ~theta:0.2) flows
+  in
+  let ctx = Capture.context m in
+  Alcotest.(check bool) "headroom ~ 0" true (Capture.headroom ctx < 1e-6);
+  match Capture.value ctx ctx.Capture.original with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted degenerate capture"
+
+let test_extreme_alpha_ced () =
+  (* alpha barely above 1 (huge markups) and alpha = 50 (razor-thin). *)
+  List.iter
+    (fun alpha ->
+      let m = Fixtures.ced_market ~alpha () in
+      let o = Pricing.evaluate m (Strategy.apply Strategy.Optimal m ~n_bundles:3) in
+      Alcotest.(check bool)
+        (Printf.sprintf "finite at alpha=%g" alpha)
+        true
+        (Float.is_finite o.Pricing.profit && o.Pricing.profit > 0.))
+    [ 1.0001; 1.01; 50. ]
+
+let test_extreme_s0_logit () =
+  List.iter
+    (fun s0 ->
+      let m = Fixtures.logit_market ~s0 () in
+      let o = Pricing.evaluate m (Strategy.apply Strategy.Optimal m ~n_bundles:3) in
+      Alcotest.(check bool)
+        (Printf.sprintf "finite at s0=%g" s0)
+        true
+        (Float.is_finite o.Pricing.profit && o.Pricing.profit > 0.))
+    [ 0.05; 0.5; 0.99 ]
+
+let test_tiny_and_huge_demands () =
+  (* Nine orders of magnitude of demand in one market. *)
+  let flows =
+    Fixtures.flows_of_spec
+      [ (1e-3, 5.); (1., 50.); (1e3, 500.); (1e6, 5000.) ]
+  in
+  List.iter
+    (fun m ->
+      let o = Pricing.evaluate m (Strategy.apply Strategy.Optimal m ~n_bundles:2) in
+      Alcotest.(check bool) "finite" true (Float.is_finite o.Pricing.profit))
+    [ Fixtures.ced_market ~flows (); Fixtures.logit_market ~flows () ]
+
+let test_more_bundles_than_flows () =
+  let flows = Fixtures.flows_of_spec [ (10., 10.); (20., 200.) ] in
+  let m = Fixtures.ced_market ~flows () in
+  List.iter
+    (fun s ->
+      let b = Strategy.apply s m ~n_bundles:10 in
+      Alcotest.(check bool) (Strategy.name s) true (Bundle.count b <= 2))
+    Strategy.all
+
+let test_zero_distance_flows () =
+  let flows =
+    [|
+      Flow.make ~id:0 ~demand_mbps:10. ~distance_miles:0. ();
+      Flow.make ~id:1 ~demand_mbps:5. ~distance_miles:100. ();
+    |]
+  in
+  List.iter
+    (fun cost_model ->
+      let m = Market.fit ~spec:Market.Ced ~alpha:1.5 ~p0:20. ~cost_model flows in
+      Array.iter
+        (fun c -> Alcotest.(check bool) "positive cost" true (c > 0.))
+        m.Market.costs)
+    [
+      Cost_model.linear ~theta:0.; Cost_model.linear ~theta:0.2;
+      Cost_model.concave ~theta:0.2; Cost_model.regional ~theta:1.1;
+    ]
+
+let test_large_market_scales () =
+  (* 5000 flows: fit, optimal DP, evaluation and capture must complete
+     and stay sane. *)
+  let rng = Numerics.Rng.create 555 in
+  let flows =
+    Array.init 5000 (fun id ->
+        Flow.make ~id
+          ~demand_mbps:(Numerics.Dist.lognormal_of_mean_cv rng ~mean:10. ~cv:1.5)
+          ~distance_miles:(Numerics.Rng.uniform rng 1. 5000.)
+          ())
+  in
+  let m = Market.fit ~spec:Market.Ced ~alpha:1.1 ~p0:20.
+      ~cost_model:(Cost_model.linear ~theta:0.2) flows
+  in
+  let ctx = Capture.context m in
+  let capture =
+    Capture.value ctx
+      (Pricing.evaluate m (Strategy.apply Strategy.Optimal m ~n_bundles:4)).Pricing.profit
+  in
+  Alcotest.(check bool) "sane capture" true (capture > 0.5 && capture <= 1.)
+
+let test_workload_one_flow () =
+  let params = { (Flowgen.Workload.preset_params "eu_isp") with Flowgen.Workload.n_flows = 1 } in
+  let w = Flowgen.Workload.generate (Netsim.Presets.eu_isp ()) params in
+  Alcotest.(check int) "one flow" 1 (List.length w.Flowgen.Workload.flows)
+
+let test_empty_accounting () =
+  let rib = Routing.Rib.empty in
+  let usage = Routing.Accounting.flow_based ~rib [] in
+  Alcotest.(check (float 0.)) "empty" 0. (Routing.Accounting.total_bytes usage)
+
+let suite =
+  [
+    Alcotest.test_case "single-flow market" `Quick test_single_flow_market;
+    Alcotest.test_case "identical flows: no headroom" `Quick test_identical_flows_no_headroom;
+    Alcotest.test_case "extreme alpha (CED)" `Quick test_extreme_alpha_ced;
+    Alcotest.test_case "extreme s0 (logit)" `Quick test_extreme_s0_logit;
+    Alcotest.test_case "nine orders of demand magnitude" `Quick test_tiny_and_huge_demands;
+    Alcotest.test_case "more bundles than flows" `Quick test_more_bundles_than_flows;
+    Alcotest.test_case "zero-distance flows" `Quick test_zero_distance_flows;
+    Alcotest.test_case "5000-flow market" `Slow test_large_market_scales;
+    Alcotest.test_case "one-flow workload" `Quick test_workload_one_flow;
+    Alcotest.test_case "empty accounting" `Quick test_empty_accounting;
+  ]

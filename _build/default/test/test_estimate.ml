@@ -1,0 +1,116 @@
+open Tiered
+
+let checkf tol = Alcotest.(check (float tol))
+
+let test_alpha_of_flow_exact () =
+  (* Noiseless CED observations identify alpha exactly. *)
+  let alpha = 1.7 and v = 3. in
+  let experiments =
+    List.map
+      (fun price -> { Estimate.price; demand = Ced.demand ~alpha ~v price })
+      [ 10.; 15.; 20.; 25. ]
+  in
+  checkf 1e-9 "exact recovery" alpha (Estimate.alpha_of_flow experiments)
+
+let test_alpha_of_flow_validation () =
+  (match Estimate.alpha_of_flow [ { Estimate.price = 1.; demand = 1. } ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted one observation");
+  match Estimate.alpha_of_flow [ { Estimate.price = 0.; demand = 1. };
+                                 { Estimate.price = 2.; demand = 1. } ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted zero price"
+
+let test_alpha_pooled_heterogeneous_valuations () =
+  (* Flows with wildly different valuations share one alpha; the
+     fixed-effects pooling must recover it despite the level shifts. *)
+  let alpha = 2.3 in
+  let flows =
+    List.map
+      (fun v ->
+        List.map
+          (fun price -> { Estimate.price; demand = Ced.demand ~alpha ~v price })
+          [ 18.; 20.; 22. ])
+      [ 0.5; 5.; 50.; 500. ]
+  in
+  checkf 1e-9 "pooled recovery" alpha (Estimate.alpha_pooled flows)
+
+let test_alpha_pooled_ignores_singletons () =
+  let alpha = 1.5 in
+  let good =
+    List.map
+      (fun price -> { Estimate.price; demand = Ced.demand ~alpha ~v:2. price })
+      [ 10.; 20. ]
+  in
+  let singleton = [ { Estimate.price = 10.; demand = 1. } ] in
+  checkf 1e-9 "singleton ignored" alpha (Estimate.alpha_pooled [ good; singleton ])
+
+let test_probe_and_recover () =
+  let truth = Fixtures.ced_market () in
+  let experiments =
+    Estimate.probe ~noise_cv:0.02 truth ~discounts:[| 0.85; 1.0; 1.15 |]
+  in
+  Alcotest.(check int) "one experiment set per flow" (Market.n_flows truth)
+    (List.length experiments);
+  let estimated = Estimate.alpha_pooled experiments in
+  checkf 0.15 "alpha recovered from noisy probe" truth.Market.alpha estimated
+
+let test_probe_noiseless_exact () =
+  let truth = Fixtures.ced_market () in
+  let experiments = Estimate.probe ~noise_cv:0. truth ~discounts:[| 0.9; 1.1 |] in
+  checkf 1e-9 "exact" truth.Market.alpha (Estimate.alpha_pooled experiments)
+
+let test_probe_validation () =
+  (match Estimate.probe (Fixtures.logit_market ()) ~discounts:[| 1. |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted logit market");
+  match Estimate.probe (Fixtures.ced_market ()) ~discounts:[| 0. |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted zero discount"
+
+let test_calibrated_dynamics_nearly_optimal () =
+  (* Measure-then-reprice: the probe-calibrated loop must land within a
+     whisker of the true-alpha outcome. *)
+  let truth = Fixtures.ced_market () in
+  let calibrated =
+    Estimate.calibrated_dynamics ~noise_cv:0.01 ~truth ~strategy:Strategy.Optimal
+      ~n_bundles:3 ~rounds:6 ()
+  in
+  let ideal =
+    Dynamics.simulate
+      {
+        Dynamics.truth;
+        estimated_alpha = truth.Market.alpha;
+        strategy = Strategy.Optimal;
+        n_bundles = 3;
+        rounds = 6;
+        damping = 1.;
+      }
+  in
+  let c = Dynamics.final_capture calibrated and i = Dynamics.final_capture ideal in
+  if abs_float (c -. i) > 0.3 then
+    Alcotest.failf "calibrated %f too far from ideal %f" c i
+
+let prop_alpha_recovery =
+  QCheck.Test.make ~name:"alpha recovered across the feasible range" ~count:50
+    QCheck.(pair (float_range 1.1 8.) (float_range 0.5 20.))
+    (fun (alpha, v) ->
+      let experiments =
+        List.map
+          (fun price -> { Estimate.price; demand = Ced.demand ~alpha ~v price })
+          [ 5.; 10.; 30. ]
+      in
+      abs_float (Estimate.alpha_of_flow experiments -. alpha) < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "exact single-flow recovery" `Quick test_alpha_of_flow_exact;
+    Alcotest.test_case "single-flow validation" `Quick test_alpha_of_flow_validation;
+    Alcotest.test_case "pooled fixed effects" `Quick test_alpha_pooled_heterogeneous_valuations;
+    Alcotest.test_case "singletons ignored" `Quick test_alpha_pooled_ignores_singletons;
+    Alcotest.test_case "noisy probe recovery" `Quick test_probe_and_recover;
+    Alcotest.test_case "noiseless probe exact" `Quick test_probe_noiseless_exact;
+    Alcotest.test_case "probe validation" `Quick test_probe_validation;
+    Alcotest.test_case "calibrated dynamics" `Quick test_calibrated_dynamics_nearly_optimal;
+    QCheck_alcotest.to_alcotest prop_alpha_recovery;
+  ]

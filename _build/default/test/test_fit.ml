@@ -1,0 +1,91 @@
+open Numerics
+
+let checkf tol = Alcotest.(check (float tol))
+
+let test_linear_exact () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  let ys = Array.map (fun x -> (2.5 *. x) -. 1. ) xs in
+  let fit = Fit.linear ~xs ~ys in
+  checkf 1e-9 "slope" 2.5 fit.Fit.slope;
+  checkf 1e-9 "intercept" (-1.) fit.Fit.intercept;
+  checkf 1e-9 "r2" 1. fit.Fit.r2
+
+let test_linear_noisy () =
+  let rng = Rng.create 99 in
+  let xs = Array.init 200 (fun i -> float_of_int i /. 10.) in
+  let ys = Array.map (fun x -> (3. *. x) +. 2. +. Dist.normal rng ~mean:0. ~stddev:0.1) xs in
+  let fit = Fit.linear ~xs ~ys in
+  checkf 0.05 "slope" 3. fit.Fit.slope;
+  checkf 0.1 "intercept" 2. fit.Fit.intercept;
+  Alcotest.(check bool) "good r2" true (fit.Fit.r2 > 0.99)
+
+let test_linear_invalid () =
+  Alcotest.check_raises "one point" (Invalid_argument "Fit.linear: need at least two points")
+    (fun () -> ignore (Fit.linear ~xs:[| 1. |] ~ys:[| 1. |]));
+  Alcotest.check_raises "degenerate" (Invalid_argument "Fit.linear: degenerate xs")
+    (fun () -> ignore (Fit.linear ~xs:[| 2.; 2. |] ~ys:[| 1.; 3. |]))
+
+let test_log_linear_exact () =
+  let xs = [| 0.1; 0.5; 1.; 2.; 5. |] in
+  let ys = Array.map (fun x -> (0.4 *. log x) +. 1. ) xs in
+  let fit = Fit.log_linear ~xs ~ys in
+  checkf 1e-9 "k" 0.4 fit.Fit.k;
+  checkf 1e-9 "c" 1. fit.Fit.c;
+  checkf 1e-9 "eval" ((0.4 *. log 3.) +. 1.) (Fit.log_curve_eval fit 3.)
+
+let test_log_linear_rejects_nonpositive () =
+  Alcotest.check_raises "x <= 0"
+    (Invalid_argument "Fit.log_linear: xs must be positive") (fun () ->
+      ignore (Fit.log_linear ~xs:[| 0.; 1. |] ~ys:[| 1.; 2. |]))
+
+let test_base_roundtrip () =
+  let curve = { Fit.k = 0.7; c = 0.3; r2 = 1. } in
+  let based = Fit.to_base curve ~base:6. in
+  checkf 1e-9 "a" (0.7 *. log 6.) based.Fit.a;
+  let back = Fit.of_base based in
+  checkf 1e-9 "k roundtrip" curve.Fit.k back.Fit.k;
+  checkf 1e-9 "c roundtrip" curve.Fit.c back.Fit.c
+
+let test_paper_curve_recovery () =
+  (* The Fig. 6 substitution: sample the paper's ITU curve, recover it. *)
+  let truth = Fit.of_base { Fit.a = 0.43; b = 9.43; c = 0.99 } in
+  let rng = Rng.create 2011 in
+  let xs = Array.init 50 (fun i -> 0.02 +. (0.97 *. float_of_int i /. 49.)) in
+  let ys =
+    Array.map (fun x -> Fit.log_curve_eval truth x +. Dist.normal rng ~mean:0. ~stddev:0.01) xs
+  in
+  let fit = Fit.log_linear ~xs ~ys in
+  let recovered = Fit.to_base fit ~base:9.43 in
+  checkf 0.03 "a recovered" 0.43 recovered.Fit.a;
+  checkf 0.02 "c recovered" 0.99 recovered.Fit.c;
+  Alcotest.(check bool) "r2 high" true (fit.Fit.r2 > 0.98)
+
+let test_r2_perfect_and_bad () =
+  checkf 1e-12 "perfect" 1. (Fit.r2 ~predicted:[| 1.; 2. |] ~observed:[| 1.; 2. |]);
+  Alcotest.(check bool) "bad fit below 1" true
+    (Fit.r2 ~predicted:[| 5.; 5. |] ~observed:[| 1.; 2. |] < 0.)
+
+let prop_linear_fit_r2_bounds =
+  QCheck.Test.make ~name:"OLS r2 <= 1" ~count:200
+    QCheck.(
+      list_of_size Gen.(3 -- 20)
+        (pair (float_range (-10.) 10.) (float_range (-10.) 10.)))
+    (fun points ->
+      let xs = Array.of_list (List.map fst points) in
+      let ys = Array.of_list (List.map snd points) in
+      QCheck.assume (Array.exists (fun x -> x <> xs.(0)) xs);
+      let fit = Fit.linear ~xs ~ys in
+      fit.Fit.r2 <= 1. +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "linear exact" `Quick test_linear_exact;
+    Alcotest.test_case "linear noisy" `Quick test_linear_noisy;
+    Alcotest.test_case "linear invalid input" `Quick test_linear_invalid;
+    Alcotest.test_case "log-linear exact" `Quick test_log_linear_exact;
+    Alcotest.test_case "log-linear rejects x<=0" `Quick test_log_linear_rejects_nonpositive;
+    Alcotest.test_case "base conversion roundtrip" `Quick test_base_roundtrip;
+    Alcotest.test_case "paper ITU curve recovery" `Quick test_paper_curve_recovery;
+    Alcotest.test_case "r2 bounds" `Quick test_r2_perfect_and_bad;
+    QCheck_alcotest.to_alcotest prop_linear_fit_r2_bounds;
+  ]

@@ -1,0 +1,50 @@
+open Tiered
+
+let test_classify_distance () =
+  Alcotest.(check string) "metro" "metro" (Flow.locality_to_string (Flow.classify_distance 5.));
+  Alcotest.(check string) "national" "national" (Flow.locality_to_string (Flow.classify_distance 50.));
+  Alcotest.(check string) "international" "international"
+    (Flow.locality_to_string (Flow.classify_distance 5000.));
+  (* Boundaries follow the paper: < 10 metro, < 100 national. *)
+  Alcotest.(check string) "10 is national" "national"
+    (Flow.locality_to_string (Flow.classify_distance 10.))
+
+let test_make_defaults () =
+  let f = Flow.make ~id:3 ~demand_mbps:10. ~distance_miles:7. () in
+  Alcotest.(check bool) "metro default" true (f.Flow.locality = Flow.Metro);
+  Alcotest.(check bool) "off-net default" false f.Flow.on_net
+
+let test_make_explicit () =
+  let f =
+    Flow.make ~locality:Flow.International ~on_net:true ~id:0 ~demand_mbps:1.
+      ~distance_miles:1. ()
+  in
+  Alcotest.(check bool) "explicit locality" true (f.Flow.locality = Flow.International);
+  Alcotest.(check bool) "on-net" true f.Flow.on_net
+
+let test_validation () =
+  Alcotest.check_raises "negative demand" (Invalid_argument "Flow.make: negative demand")
+    (fun () -> ignore (Flow.make ~id:0 ~demand_mbps:(-1.) ~distance_miles:1. ()));
+  Alcotest.check_raises "negative distance"
+    (Invalid_argument "Flow.make: negative distance") (fun () ->
+      ignore (Flow.make ~id:0 ~demand_mbps:1. ~distance_miles:(-1.) ()))
+
+let test_vectors () =
+  let flows =
+    [|
+      Flow.make ~id:0 ~demand_mbps:1. ~distance_miles:10. ();
+      Flow.make ~id:1 ~demand_mbps:2. ~distance_miles:20. ();
+    |]
+  in
+  Alcotest.(check (array (float 0.))) "demands" [| 1.; 2. |] (Flow.demands flows);
+  Alcotest.(check (array (float 0.))) "distances" [| 10.; 20. |] (Flow.distances flows);
+  Alcotest.(check (float 1e-12)) "total" 3. (Flow.total_demand_mbps flows)
+
+let suite =
+  [
+    Alcotest.test_case "classify_distance" `Quick test_classify_distance;
+    Alcotest.test_case "make defaults" `Quick test_make_defaults;
+    Alcotest.test_case "make explicit" `Quick test_make_explicit;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "vectors" `Quick test_vectors;
+  ]

@@ -1,0 +1,87 @@
+open Netsim
+
+let checkf tol = Alcotest.(check (float tol))
+
+let london = Geo.coord ~lat:51.51 ~lon:(-0.13)
+let paris = Geo.coord ~lat:48.86 ~lon:2.35
+let nyc = Geo.coord ~lat:40.71 ~lon:(-74.01)
+
+let test_coord_validation () =
+  Alcotest.check_raises "lat" (Invalid_argument "Geo.coord: latitude out of range")
+    (fun () -> ignore (Geo.coord ~lat:91. ~lon:0.));
+  Alcotest.check_raises "lon" (Invalid_argument "Geo.coord: longitude out of range")
+    (fun () -> ignore (Geo.coord ~lat:0. ~lon:181.))
+
+let test_known_distances () =
+  (* London-Paris is ~213 statute miles, London-NYC ~3460. *)
+  checkf 5. "london-paris" 213. (Geo.distance_miles london paris);
+  checkf 40. "london-nyc" 3460. (Geo.distance_miles london nyc)
+
+let test_distance_properties () =
+  checkf 1e-9 "self distance" 0. (Geo.distance_miles london london);
+  checkf 1e-6 "symmetry" (Geo.distance_miles london paris) (Geo.distance_miles paris london)
+
+let test_km_conversion () =
+  let miles = Geo.distance_miles london paris in
+  let km = Geo.distance_km london paris in
+  checkf 0.01 "km/mi ratio" 1.609 (km /. miles)
+
+let test_midpoint () =
+  let mid = Geo.midpoint london paris in
+  let d1 = Geo.distance_miles london mid in
+  let d2 = Geo.distance_miles mid paris in
+  checkf 0.5 "midpoint equidistant" d1 d2
+
+let test_jitter_within_radius () =
+  let rng = Numerics.Rng.create 17 in
+  for _ = 1 to 500 do
+    let p = Geo.jitter rng ~radius_miles:10. london in
+    let d = Geo.distance_miles london p in
+    if d > 10.5 then Alcotest.failf "jitter escaped radius: %f" d
+  done
+
+let test_jitter_zero_radius () =
+  let rng = Numerics.Rng.create 17 in
+  let p = Geo.jitter rng ~radius_miles:0. london in
+  checkf 1e-6 "no displacement" 0. (Geo.distance_miles london p)
+
+let prop_triangle_inequality =
+  let coord_gen =
+    QCheck.Gen.map2
+      (fun lat lon -> Geo.coord ~lat ~lon)
+      (QCheck.Gen.float_range (-80.) 80.)
+      (QCheck.Gen.float_range (-179.) 179.)
+  in
+  let arb = QCheck.make coord_gen in
+  QCheck.Test.make ~name:"great-circle triangle inequality" ~count:300
+    (QCheck.triple arb arb arb)
+    (fun (a, b, c) ->
+      Geo.distance_miles a c
+      <= Geo.distance_miles a b +. Geo.distance_miles b c +. 1e-6)
+
+let prop_distance_nonneg =
+  let coord_gen =
+    QCheck.Gen.map2
+      (fun lat lon -> Geo.coord ~lat ~lon)
+      (QCheck.Gen.float_range (-90.) 90.)
+      (QCheck.Gen.float_range (-180.) 180.)
+  in
+  let arb = QCheck.make coord_gen in
+  QCheck.Test.make ~name:"distance non-negative and bounded" ~count:300
+    (QCheck.pair arb arb)
+    (fun (a, b) ->
+      let d = Geo.distance_miles a b in
+      d >= 0. && d <= Float.pi *. Geo.earth_radius_miles +. 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "coord validation" `Quick test_coord_validation;
+    Alcotest.test_case "known distances" `Quick test_known_distances;
+    Alcotest.test_case "distance properties" `Quick test_distance_properties;
+    Alcotest.test_case "km conversion" `Quick test_km_conversion;
+    Alcotest.test_case "midpoint" `Quick test_midpoint;
+    Alcotest.test_case "jitter within radius" `Quick test_jitter_within_radius;
+    Alcotest.test_case "jitter zero radius" `Quick test_jitter_zero_radius;
+    QCheck_alcotest.to_alcotest prop_triangle_inequality;
+    QCheck_alcotest.to_alcotest prop_distance_nonneg;
+  ]

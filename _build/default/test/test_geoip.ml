@@ -1,0 +1,93 @@
+open Flowgen
+
+let db = lazy (Geoip.synthesize Netsim.Cities.all)
+
+let test_disjoint_prefixes () =
+  let entries = Geoip.entries (Lazy.force db) in
+  let bases =
+    List.map (fun e -> Ipv4.to_int e.Geoip.prefix.Ipv4.base) entries
+  in
+  Alcotest.(check int) "no overlap at equal length"
+    (List.length bases)
+    (List.length (List.sort_uniq compare bases))
+
+let test_every_city_covered () =
+  let t = Lazy.force db in
+  let rng = Numerics.Rng.create 1 in
+  List.iter
+    (fun city ->
+      let a = Geoip.random_address_in rng t city in
+      match Geoip.lookup t a with
+      | Some found ->
+          Alcotest.(check string) "lookup returns owner" city.Netsim.Cities.name
+            found.Netsim.Cities.name
+      | None -> Alcotest.failf "no coverage for %s" city.Netsim.Cities.name)
+    Netsim.Cities.all
+
+let test_lookup_unknown () =
+  let t = Lazy.force db in
+  Alcotest.(check bool) "public address unknown" true
+    (Geoip.lookup t (Ipv4.of_string "8.8.8.8") = None)
+
+let test_distance () =
+  let t = Lazy.force db in
+  let rng = Numerics.Rng.create 2 in
+  let london = Netsim.Cities.find "London" in
+  let paris = Netsim.Cities.find "Paris" in
+  let a = Geoip.random_address_in rng t london in
+  let b = Geoip.random_address_in rng t paris in
+  match Geoip.distance_miles t a b with
+  | None -> Alcotest.fail "distance failed"
+  | Some d -> Alcotest.(check (float 5.)) "london-paris" 213. d
+
+let test_classify () =
+  let t = Lazy.force db in
+  let rng = Numerics.Rng.create 3 in
+  let addr city = Geoip.random_address_in rng t (Netsim.Cities.find city) in
+  let check_class src dst expected =
+    match Geoip.classify t ~src:(addr src) ~dst:(addr dst) with
+    | Some l -> Alcotest.(check string) (src ^ "->" ^ dst) expected (Geoip.locality_to_string l)
+    | None -> Alcotest.fail "classification failed"
+  in
+  check_class "Berlin" "Berlin" "metro";
+  check_class "Berlin" "Munich" "national";
+  check_class "Berlin" "Paris" "international"
+
+let test_classify_unknown () =
+  let t = Lazy.force db in
+  Alcotest.(check bool) "unknown src" true
+    (Geoip.classify t ~src:(Ipv4.of_string "8.8.8.8")
+       ~dst:(Ipv4.of_string "8.8.4.4")
+    = None)
+
+let test_classify_distance_thresholds () =
+  let f = Geoip.classify_distance ~metro_miles:10. ~national_miles:100. in
+  Alcotest.(check string) "metro" "metro" (Geoip.locality_to_string (f 5.));
+  Alcotest.(check string) "national" "national" (Geoip.locality_to_string (f 50.));
+  Alcotest.(check string) "international" "international" (Geoip.locality_to_string (f 500.));
+  Alcotest.(check string) "boundary is national" "national" (Geoip.locality_to_string (f 10.))
+
+let test_classify_distance_invalid () =
+  Alcotest.check_raises "bad thresholds"
+    (Invalid_argument "Geoip.classify_distance: need 0 <= metro <= national")
+    (fun () -> ignore (Geoip.classify_distance ~metro_miles:100. ~national_miles:10. 5.))
+
+let test_synthesize_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Geoip.synthesize: empty city list")
+    (fun () -> ignore (Geoip.synthesize []));
+  Alcotest.check_raises "bad bits"
+    (Invalid_argument "Geoip.synthesize: prefix_bits out of [8, 30]") (fun () ->
+      ignore (Geoip.synthesize ~prefix_bits:4 Netsim.Cities.all))
+
+let suite =
+  [
+    Alcotest.test_case "prefixes disjoint" `Quick test_disjoint_prefixes;
+    Alcotest.test_case "every city covered" `Quick test_every_city_covered;
+    Alcotest.test_case "unknown lookup" `Quick test_lookup_unknown;
+    Alcotest.test_case "address distance" `Quick test_distance;
+    Alcotest.test_case "metro/national/international" `Quick test_classify;
+    Alcotest.test_case "classify unknown" `Quick test_classify_unknown;
+    Alcotest.test_case "distance thresholds" `Quick test_classify_distance_thresholds;
+    Alcotest.test_case "invalid thresholds" `Quick test_classify_distance_invalid;
+    Alcotest.test_case "synthesize validation" `Quick test_synthesize_validation;
+  ]

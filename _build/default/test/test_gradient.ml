@@ -1,0 +1,92 @@
+open Numerics
+
+let checkf tol = Alcotest.(check (float tol))
+
+let quadratic_max center x =
+  (* Concave paraboloid peaked at [center]. *)
+  let acc = ref 0. in
+  Array.iteri (fun i xi -> acc := !acc -. ((xi -. center.(i)) ** 2.)) x;
+  !acc
+
+let quadratic_grad center x =
+  Array.mapi (fun i xi -> -2. *. (xi -. center.(i))) x
+
+let test_ascent_quadratic () =
+  let center = [| 1.; -2.; 3. |] in
+  let r =
+    Gradient.ascent
+      ~f:(quadratic_max center)
+      ~grad:(quadratic_grad center)
+      [| 0.; 0.; 0. |]
+  in
+  Alcotest.(check bool) "converged" true r.Gradient.converged;
+  Array.iteri (fun i c -> checkf 1e-4 (Printf.sprintf "x%d" i) c r.Gradient.x.(i)) center
+
+let test_ascent_with_projection () =
+  (* Maximize -(x-3)^2 subject to x <= 1: optimum at the boundary. *)
+  let project x = [| Float.min 1. x.(0) |] in
+  let r =
+    Gradient.ascent ~project
+      ~f:(fun x -> -.((x.(0) -. 3.) ** 2.))
+      ~grad:(fun x -> [| -2. *. (x.(0) -. 3.) |])
+      [| 0. |]
+  in
+  checkf 1e-6 "projected optimum" 1. r.Gradient.x.(0)
+
+let test_descent_rosenbrock_ish () =
+  (* A gentle convex function; descent must find the minimum. *)
+  let f x = ((x.(0) -. 2.) ** 2.) +. (10. *. ((x.(1) +. 1.) ** 2.)) in
+  let grad x = [| 2. *. (x.(0) -. 2.); 20. *. (x.(1) +. 1.) |] in
+  let r = Gradient.descent ~f ~grad [| 0.; 0. |] in
+  checkf 1e-3 "x0" 2. r.Gradient.x.(0);
+  checkf 1e-3 "x1" (-1.) r.Gradient.x.(1);
+  checkf 1e-5 "value" 0. r.Gradient.value
+
+let test_numeric_grad_matches_analytic () =
+  let center = [| 0.5; -1.5 |] in
+  let x = [| 2.; 2. |] in
+  let numeric = Gradient.numeric_grad (quadratic_max center) x in
+  let analytic = quadratic_grad center x in
+  Array.iteri
+    (fun i g -> checkf 1e-4 (Printf.sprintf "grad %d" i) g numeric.(i))
+    analytic
+
+let test_nelder_mead_quadratic () =
+  let f x = ((x.(0) -. 4.) ** 2.) +. ((x.(1) -. 1.) ** 2.) +. 7. in
+  let r = Gradient.nelder_mead ~f [| 0.; 0. |] in
+  checkf 1e-3 "x0" 4. r.Gradient.x.(0);
+  checkf 1e-3 "x1" 1. r.Gradient.x.(1);
+  checkf 1e-4 "value" 7. r.Gradient.value
+
+let test_nelder_mead_1d () =
+  (* Non-smooth objectives can stall simplex methods; accept a coarse
+     tolerance. *)
+  let f x = abs_float (x.(0) -. 2.) in
+  let r = Gradient.nelder_mead ~f [| -3. |] in
+  checkf 0.05 "non-smooth 1d" 2. r.Gradient.x.(0)
+
+let test_nelder_mead_empty () =
+  Alcotest.check_raises "empty start"
+    (Invalid_argument "Gradient.nelder_mead: empty start point") (fun () ->
+      ignore (Gradient.nelder_mead ~f:(fun _ -> 0.) [||]))
+
+let prop_ascent_does_not_decrease =
+  QCheck.Test.make ~name:"ascent never returns a worse point" ~count:100
+    QCheck.(pair (float_range (-5.) 5.) (float_range (-5.) 5.))
+    (fun (a, b) ->
+      let center = [| a; b |] in
+      let start = [| 0.; 0. |] in
+      let r = Gradient.ascent ~f:(quadratic_max center) ~grad:(quadratic_grad center) start in
+      r.Gradient.value >= quadratic_max center start -. 1e-12)
+
+let suite =
+  [
+    Alcotest.test_case "ascent on quadratic" `Quick test_ascent_quadratic;
+    Alcotest.test_case "ascent with projection" `Quick test_ascent_with_projection;
+    Alcotest.test_case "descent on convex" `Quick test_descent_rosenbrock_ish;
+    Alcotest.test_case "numeric gradient" `Quick test_numeric_grad_matches_analytic;
+    Alcotest.test_case "nelder-mead quadratic" `Quick test_nelder_mead_quadratic;
+    Alcotest.test_case "nelder-mead 1d non-smooth" `Quick test_nelder_mead_1d;
+    Alcotest.test_case "nelder-mead empty input" `Quick test_nelder_mead_empty;
+    QCheck_alcotest.to_alcotest prop_ascent_does_not_decrease;
+  ]

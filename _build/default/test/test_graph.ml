@@ -1,0 +1,125 @@
+open Netsim
+
+let checkf tol = Alcotest.(check (float tol))
+
+(* A small diamond: 0 - 1 - 3 and 0 - 2 - 3, with the 0-2-3 side shorter. *)
+let diamond () =
+  let city name = Cities.find name in
+  let n0 = Node.make ~id:0 ~name:"a" ~kind:Node.Pop ~city:(city "London") in
+  let n1 = Node.make ~id:1 ~name:"b" ~kind:Node.Pop ~city:(city "Berlin") in
+  let n2 = Node.make ~id:2 ~name:"c" ~kind:Node.Pop ~city:(city "Paris") in
+  let n3 = Node.make ~id:3 ~name:"d" ~kind:Node.Pop ~city:(city "Madrid") in
+  let links =
+    [
+      Link.make ~capacity_gbps:10. n0 n1;
+      Link.make ~capacity_gbps:10. n1 n3;
+      Link.make ~capacity_gbps:10. n0 n2;
+      Link.make ~capacity_gbps:10. n2 n3;
+    ]
+  in
+  (Graph.create [ n0; n1; n2; n3 ] links, [ n0; n1; n2; n3 ])
+
+let test_create_counts () =
+  let g, _ = diamond () in
+  Alcotest.(check int) "nodes" 4 (Graph.node_count g);
+  Alcotest.(check int) "links" 4 (Graph.link_count g)
+
+let test_create_validation () =
+  let city = Cities.find "London" in
+  let n0 = Node.make ~id:0 ~name:"a" ~kind:Node.Pop ~city in
+  let dup = Node.make ~id:0 ~name:"b" ~kind:Node.Pop ~city in
+  Alcotest.check_raises "duplicate id" (Invalid_argument "Graph.create: duplicate node id")
+    (fun () -> ignore (Graph.create [ n0; dup ] []));
+  let sparse = Node.make ~id:5 ~name:"c" ~kind:Node.Pop ~city in
+  Alcotest.check_raises "sparse ids"
+    (Invalid_argument "Graph.create: node ids must be dense 0..n-1") (fun () ->
+      ignore (Graph.create [ n0; sparse ] []))
+
+let test_shortest_path_route () =
+  let g, _ = diamond () in
+  (* London-Paris-Madrid is shorter than London-Berlin-Madrid. *)
+  match Graph.shortest_path g ~src:0 ~dst:3 with
+  | None -> Alcotest.fail "no path"
+  | Some path ->
+      Alcotest.(check (list int)) "via Paris" [ 0; 2; 3 ] path.Graph.hops;
+      let expected =
+        Geo.distance_miles (Cities.find "London").coord (Cities.find "Paris").coord
+        +. Geo.distance_miles (Cities.find "Paris").coord (Cities.find "Madrid").coord
+      in
+      checkf 1e-6 "length" expected path.Graph.length_miles
+
+let test_shortest_path_self () =
+  let g, _ = diamond () in
+  match Graph.shortest_path g ~src:2 ~dst:2 with
+  | None -> Alcotest.fail "no self path"
+  | Some path ->
+      Alcotest.(check (list int)) "single hop" [ 2 ] path.Graph.hops;
+      checkf 0. "zero length" 0. path.Graph.length_miles
+
+let test_disconnected () =
+  let city = Cities.find "London" in
+  let n0 = Node.make ~id:0 ~name:"a" ~kind:Node.Pop ~city in
+  let n1 = Node.make ~id:1 ~name:"b" ~kind:Node.Pop ~city:(Cities.find "Paris") in
+  let g = Graph.create [ n0; n1 ] [] in
+  Alcotest.(check bool) "disconnected" false (Graph.is_connected g);
+  Alcotest.(check bool) "no path" true (Graph.shortest_path g ~src:0 ~dst:1 = None);
+  Alcotest.(check bool) "no distance" true (Graph.path_distance_miles g ~src:0 ~dst:1 = None)
+
+let test_connected () =
+  let g, _ = diamond () in
+  Alcotest.(check bool) "connected" true (Graph.is_connected g)
+
+let test_parallel_links_shorter_wins () =
+  let n0 = Node.make ~id:0 ~name:"a" ~kind:Node.Pop ~city:(Cities.find "London") in
+  let n1 = Node.make ~id:1 ~name:"b" ~kind:Node.Pop ~city:(Cities.find "Paris") in
+  let short = Link.make ~capacity_gbps:10. n0 n1 in
+  let long = Link.make ~stretch:2.0 ~capacity_gbps:10. n0 n1 in
+  let g = Graph.create [ n0; n1 ] [ long; short ] in
+  match Graph.shortest_path g ~src:0 ~dst:1 with
+  | None -> Alcotest.fail "no path"
+  | Some path -> checkf 1e-6 "short parallel link" short.Link.length_miles path.Graph.length_miles
+
+let test_single_source_lengths () =
+  let g, _ = diamond () in
+  let dist = Graph.shortest_path_lengths g ~src:0 in
+  checkf 0. "self" 0. dist.(0);
+  Alcotest.(check bool) "all finite" true (Array.for_all (fun d -> d < infinity) dist)
+
+let test_neighbors () =
+  let g, _ = diamond () in
+  Alcotest.(check int) "degree of 0" 2 (List.length (Graph.neighbors g 0))
+
+(* Property: Dijkstra distances satisfy the triangle inequality over the
+   link relaxation (d(dst) <= d(mid) + w(mid,dst) for every edge). *)
+let prop_dijkstra_relaxed =
+  QCheck.Test.make ~name:"dijkstra leaves no relaxable edge" ~count:50
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Numerics.Rng.create seed in
+      let cities = Array.of_list (Cities.in_continent Cities.Europe) in
+      Numerics.Rng.shuffle rng (Array.map (fun c -> c) cities);
+      let chosen = Array.to_list (Array.sub cities 0 10) in
+      let topo =
+        Topology.waxman ~name:"t" ~rng ~capacity_gbps:10. ~alpha:0.7 ~beta:0.5 chosen
+      in
+      let g = topo.Topology.graph in
+      let dist = Graph.shortest_path_lengths g ~src:0 in
+      List.for_all
+        (fun (l : Link.t) ->
+          dist.(l.Link.b) <= dist.(l.Link.a) +. l.Link.length_miles +. 1e-6
+          && dist.(l.Link.a) <= dist.(l.Link.b) +. l.Link.length_miles +. 1e-6)
+        (Graph.links g))
+
+let suite =
+  [
+    Alcotest.test_case "create counts" `Quick test_create_counts;
+    Alcotest.test_case "create validation" `Quick test_create_validation;
+    Alcotest.test_case "shortest path routing" `Quick test_shortest_path_route;
+    Alcotest.test_case "shortest path to self" `Quick test_shortest_path_self;
+    Alcotest.test_case "disconnected graph" `Quick test_disconnected;
+    Alcotest.test_case "connected graph" `Quick test_connected;
+    Alcotest.test_case "parallel links" `Quick test_parallel_links_shorter_wins;
+    Alcotest.test_case "single-source lengths" `Quick test_single_source_lengths;
+    Alcotest.test_case "neighbors" `Quick test_neighbors;
+    QCheck_alcotest.to_alcotest prop_dijkstra_relaxed;
+  ]

@@ -1,0 +1,92 @@
+open Flowgen
+
+let test_roundtrip_string () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Ipv4.to_string (Ipv4.of_string s)))
+    [ "0.0.0.0"; "10.1.2.3"; "255.255.255.255"; "192.168.0.1" ]
+
+let test_of_octets () =
+  Alcotest.(check int) "value" 0x0A010203 (Ipv4.to_int (Ipv4.of_octets 10 1 2 3))
+
+let test_invalid_strings () =
+  List.iter
+    (fun s ->
+      match Ipv4.of_string s with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "accepted malformed address %s" s)
+    [ "1.2.3"; "1.2.3.4.5"; "a.b.c.d"; "256.1.1.1"; "" ]
+
+let test_of_int_bounds () =
+  Alcotest.check_raises "negative" (Invalid_argument "Ipv4.of_int: out of range")
+    (fun () -> ignore (Ipv4.of_int (-1)));
+  Alcotest.check_raises "too big" (Invalid_argument "Ipv4.of_int: out of range")
+    (fun () -> ignore (Ipv4.of_int (1 lsl 32)))
+
+let test_prefix_masking () =
+  let p = Ipv4.prefix (Ipv4.of_string "10.1.2.3") 16 in
+  Alcotest.(check string) "masked base" "10.1.0.0/16" (Ipv4.prefix_to_string p)
+
+let test_prefix_membership () =
+  let p = Ipv4.prefix_of_string "10.1.0.0/16" in
+  Alcotest.(check bool) "inside" true (Ipv4.mem (Ipv4.of_string "10.1.255.255") p);
+  Alcotest.(check bool) "outside" false (Ipv4.mem (Ipv4.of_string "10.2.0.0") p);
+  Alcotest.(check bool) "base inside" true (Ipv4.mem (Ipv4.of_string "10.1.0.0") p)
+
+let test_prefix_zero_bits () =
+  let p = Ipv4.prefix (Ipv4.of_string "1.2.3.4") 0 in
+  Alcotest.(check bool) "everything matches /0" true (Ipv4.mem (Ipv4.of_string "200.1.1.1") p)
+
+let test_prefix_32_bits () =
+  let p = Ipv4.prefix (Ipv4.of_string "1.2.3.4") 32 in
+  Alcotest.(check bool) "host route matches itself" true (Ipv4.mem (Ipv4.of_string "1.2.3.4") p);
+  Alcotest.(check bool) "host route excludes neighbor" false (Ipv4.mem (Ipv4.of_string "1.2.3.5") p);
+  Alcotest.(check int) "size" 1 (Ipv4.prefix_size p)
+
+let test_prefix_size () =
+  Alcotest.(check int) "/24" 256 (Ipv4.prefix_size (Ipv4.prefix_of_string "10.0.0.0/24"))
+
+let test_nth_in () =
+  let p = Ipv4.prefix_of_string "10.0.0.0/24" in
+  Alcotest.(check string) "first" "10.0.0.0" (Ipv4.to_string (Ipv4.nth_in p 0));
+  Alcotest.(check string) "last" "10.0.0.255" (Ipv4.to_string (Ipv4.nth_in p 255));
+  Alcotest.check_raises "out of range" (Invalid_argument "Ipv4.nth_in: out of range")
+    (fun () -> ignore (Ipv4.nth_in p 256))
+
+let test_random_in () =
+  let rng = Numerics.Rng.create 3 in
+  let p = Ipv4.prefix_of_string "10.5.0.0/16" in
+  for _ = 1 to 1000 do
+    let a = Ipv4.random_in rng p in
+    if not (Ipv4.mem a p) then Alcotest.failf "escaped prefix: %s" (Ipv4.to_string a)
+  done
+
+let test_compare_equal () =
+  let a = Ipv4.of_string "1.2.3.4" and b = Ipv4.of_string "1.2.3.5" in
+  Alcotest.(check bool) "lt" true (Ipv4.compare a b < 0);
+  Alcotest.(check bool) "eq" true (Ipv4.equal a a)
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"of_string . to_string = id" ~count:500
+    QCheck.(int_bound ((1 lsl 30) - 1))
+    (fun v ->
+      (* Cover the full range by scaling into 32 bits. *)
+      let v = v * 4 in
+      let a = Ipv4.of_int v in
+      Ipv4.equal a (Ipv4.of_string (Ipv4.to_string a)))
+
+let suite =
+  [
+    Alcotest.test_case "string roundtrip" `Quick test_roundtrip_string;
+    Alcotest.test_case "of_octets" `Quick test_of_octets;
+    Alcotest.test_case "invalid strings rejected" `Quick test_invalid_strings;
+    Alcotest.test_case "of_int bounds" `Quick test_of_int_bounds;
+    Alcotest.test_case "prefix masks host bits" `Quick test_prefix_masking;
+    Alcotest.test_case "prefix membership" `Quick test_prefix_membership;
+    Alcotest.test_case "/0 prefix" `Quick test_prefix_zero_bits;
+    Alcotest.test_case "/32 prefix" `Quick test_prefix_32_bits;
+    Alcotest.test_case "prefix size" `Quick test_prefix_size;
+    Alcotest.test_case "nth_in" `Quick test_nth_in;
+    Alcotest.test_case "random_in stays inside" `Quick test_random_in;
+    Alcotest.test_case "compare/equal" `Quick test_compare_equal;
+    QCheck_alcotest.to_alcotest prop_string_roundtrip;
+  ]

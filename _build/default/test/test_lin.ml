@@ -1,0 +1,164 @@
+open Tiered
+
+let checkf tol = Alcotest.(check (float tol))
+
+let test_coefficients_recover_observation () =
+  let epsilon = 2. and p0 = 20. and q = 50. in
+  let a, b = Lin.coefficients ~epsilon ~p0 ~q in
+  checkf 1e-9 "demand at p0 is q" q (Lin.demand ~a ~b p0);
+  (* Point elasticity at p0: b p0 / q = epsilon. *)
+  checkf 1e-9 "elasticity" epsilon (b *. p0 /. q)
+
+let test_epsilon_validation () =
+  Alcotest.check_raises "epsilon 1" (Invalid_argument "Lin: epsilon must be > 1")
+    (fun () -> Lin.check_epsilon 1.)
+
+let test_demand_clamps () =
+  checkf 0. "negative region" 0. (Lin.demand ~a:10. ~b:2. 6.)
+
+let test_optimal_price_maximizes () =
+  let a = 10. and b = 2. and c = 1.5 in
+  let p_star = Lin.optimal_price ~a ~b ~c in
+  let best = Lin.flow_profit ~a ~b ~c p_star in
+  List.iter
+    (fun p ->
+      if Lin.flow_profit ~a ~b ~c p > best +. 1e-12 then
+        Alcotest.failf "price %f beats p*" p)
+    [ 1.6; 2.; 3.; p_star *. 0.9; p_star *. 1.1; 4.9 ];
+  checkf 1e-12 "potential = profit at p*" (Lin.potential_profit ~a ~b ~c) best
+
+let test_bundle_price_maximizes () =
+  let a = [| 10.; 6. |] and b = [| 2.; 1. |] and c = [| 1.; 3. |] in
+  let a_sum = 16. and b_sum = 3. in
+  let bc_sum = (2. *. 1.) +. (1. *. 3.) in
+  let ac_sum = (10. *. 1.) +. (6. *. 3.) in
+  let p_star = Lin.bundle_price ~a_sum ~b_sum ~bc_sum in
+  let profit p = Lin.bundle_profit ~a_sum ~b_sum ~bc_sum ~ac_sum ~price:p in
+  List.iter
+    (fun p ->
+      if profit p > profit p_star +. 1e-12 then Alcotest.failf "price %f beats P*" p)
+    [ 2.; 2.5; 3.; 3.5; 4. ];
+  (* Cross-check the sufficient-statistic profit against the direct sum. *)
+  let direct p =
+    Lin.flow_profit ~a:a.(0) ~b:b.(0) ~c:c.(0) p
+    +. Lin.flow_profit ~a:a.(1) ~b:b.(1) ~c:c.(1) p
+  in
+  checkf 1e-9 "profit formula" (direct p_star) (profit p_star)
+
+let test_gamma_makes_p0_optimal () =
+  let epsilon = 1.8 and p0 = 20. in
+  let demands = [| 10.; 55.; 3.; 120. |] in
+  let rel_costs = [| 1.; 2.; 5.; 0.5 |] in
+  let gamma = Lin.gamma ~epsilon ~p0 ~demands ~rel_costs in
+  Alcotest.(check bool) "gamma positive" true (gamma > 0.);
+  (* Bundle price of all flows at gamma-scaled costs is p0. *)
+  let a_sum = ref 0. and b_sum = ref 0. and bc_sum = ref 0. in
+  Array.iteri
+    (fun i q ->
+      let a, b = Lin.coefficients ~epsilon ~p0 ~q in
+      a_sum := !a_sum +. a;
+      b_sum := !b_sum +. b;
+      bc_sum := !bc_sum +. (b *. gamma *. rel_costs.(i)))
+    demands;
+  checkf 1e-9 "p0 is the blended optimum" p0
+    (Lin.bundle_price ~a_sum:!a_sum ~b_sum:!b_sum ~bc_sum:!bc_sum)
+
+let test_consumer_surplus_triangle () =
+  (* a=10, b=2, p=3: q=4, surplus = 4^2 / (2*2) = 4. *)
+  checkf 1e-12 "triangle" 4. (Lin.consumer_surplus ~a:10. ~b:2. 3.)
+
+(* --- the linear market through the full machinery ----------------------- *)
+
+let linear_market ?(epsilon = 1.8) ?flows () =
+  let flows = match flows with Some f -> f | None -> Fixtures.flows () in
+  Market.fit ~spec:(Market.Linear { epsilon }) ~alpha:1.1 ~p0:20.
+    ~cost_model:(Cost_model.linear ~theta:0.2) flows
+
+let test_market_fit_blended_is_p0 () =
+  let m = linear_market () in
+  let o = Pricing.blended m in
+  checkf 1e-9 "blended price recovered" 20. o.Pricing.bundle_prices.(0);
+  Array.iteri
+    (fun i q ->
+      checkf 1e-6 "observed demand" m.Market.flows.(i).Flow.demand_mbps q)
+    o.Pricing.flow_demands
+
+let test_market_capture_shape () =
+  (* The paper's headline shape must survive the change of demand
+     family. *)
+  let m = linear_market () in
+  let ctx = Capture.context m in
+  let capture b =
+    Capture.value ctx
+      (Pricing.evaluate m (Strategy.apply Strategy.Optimal m ~n_bundles:b)).Pricing.profit
+  in
+  checkf 1e-9 "one bundle -> 0" 0. (capture 1);
+  Alcotest.(check bool) "monotone" true (capture 2 <= capture 3 +. 1e-9);
+  Alcotest.(check bool) "most by 4" true (capture 4 >= 0.8)
+
+let test_dp_matches_exhaustive () =
+  let flows =
+    Fixtures.flows_of_spec [ (50., 5.); (20., 60.); (10., 300.); (5., 1200.); (80., 15.) ]
+  in
+  let m = linear_market ~flows () in
+  List.iter
+    (fun b ->
+      let dp =
+        (Pricing.evaluate m (Strategy.apply Strategy.Optimal m ~n_bundles:b)).Pricing.profit
+      in
+      let ex =
+        (Pricing.evaluate m (Strategy.exhaustive_optimal m ~n_bundles:b)).Pricing.profit
+      in
+      checkf 1e-6 (Printf.sprintf "B=%d" b) ex dp)
+    [ 1; 2; 3 ]
+
+let test_singletons_reach_max () =
+  let m = linear_market () in
+  let o = Pricing.evaluate m (Bundle.singletons ~n_flows:(Market.n_flows m)) in
+  checkf 1e-6 "per-flow pricing = max" (Pricing.max_profit m) o.Pricing.profit
+
+let test_welfare_works () =
+  let m = linear_market () in
+  let a = Welfare.of_strategy m Strategy.Optimal ~n_bundles:3 in
+  Alcotest.(check bool) "efficiency in (0,1]" true
+    (a.Welfare.efficiency > 0. && a.Welfare.efficiency <= 1. +. 1e-9)
+
+let test_of_parameters_rejected () =
+  let flows = Fixtures.flows_of_spec [ (1., 10.) ] in
+  match
+    Market.of_parameters ~spec:(Market.Linear { epsilon = 2. }) ~alpha:1.1
+      ~valuations:[| 1. |] ~costs:[| 1. |] flows
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "of_parameters accepted Linear"
+
+let test_linear_b_guard () =
+  match Market.linear_b (Fixtures.ced_market ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "linear_b accepted a CED market"
+
+let prop_optimal_price_above_cost =
+  QCheck.Test.make ~name:"linear p* above cost when servable" ~count:300
+    QCheck.(triple (float_range 1. 100.) (float_range 0.1 10.) (float_range 0.01 5.))
+    (fun (a, b, c) ->
+      QCheck.assume (a -. (b *. c) > 0.);
+      Lin.optimal_price ~a ~b ~c > c)
+
+let suite =
+  [
+    Alcotest.test_case "coefficients" `Quick test_coefficients_recover_observation;
+    Alcotest.test_case "epsilon validation" `Quick test_epsilon_validation;
+    Alcotest.test_case "demand clamps at zero" `Quick test_demand_clamps;
+    Alcotest.test_case "optimal price maximizes" `Quick test_optimal_price_maximizes;
+    Alcotest.test_case "bundle price maximizes" `Quick test_bundle_price_maximizes;
+    Alcotest.test_case "gamma makes p0 optimal" `Quick test_gamma_makes_p0_optimal;
+    Alcotest.test_case "surplus triangle" `Quick test_consumer_surplus_triangle;
+    Alcotest.test_case "market: blended = p0" `Quick test_market_fit_blended_is_p0;
+    Alcotest.test_case "market: capture shape" `Quick test_market_capture_shape;
+    Alcotest.test_case "market: DP = exhaustive" `Quick test_dp_matches_exhaustive;
+    Alcotest.test_case "market: singletons reach max" `Quick test_singletons_reach_max;
+    Alcotest.test_case "market: welfare" `Quick test_welfare_works;
+    Alcotest.test_case "of_parameters rejected" `Quick test_of_parameters_rejected;
+    Alcotest.test_case "linear_b guard" `Quick test_linear_b_guard;
+    QCheck_alcotest.to_alcotest prop_optimal_price_above_cost;
+  ]

@@ -1,0 +1,99 @@
+open Flowgen
+
+let checkf tol = Alcotest.(check (float tol))
+
+let topo = lazy (Netsim.Presets.internet2 ())
+
+let node t name = (Netsim.Topology.pop_by_city t name).Netsim.Node.id
+
+let test_of_demands_single_path () =
+  let t = Lazy.force topo in
+  (* NYC -> Washington is a direct Abilene link. *)
+  let report =
+    Loading.of_demands ~topology:t [ (node t "New York", node t "Washington", 100.) ]
+  in
+  Alcotest.(check int) "one loaded link" 1 (List.length report.Loading.loads);
+  let l = List.hd report.Loading.loads in
+  checkf 1e-9 "full demand" 100. l.Loading.mbps;
+  (* 10 Gbps links: utilization = 100 / 10000. *)
+  checkf 1e-9 "utilization" 0.01 l.Loading.utilization
+
+let test_multi_hop_loads_every_link () =
+  let t = Lazy.force topo in
+  (* Seattle -> New York traverses several links; each carries the
+     flow. *)
+  let report =
+    Loading.of_demands ~topology:t [ (node t "Seattle", node t "New York", 50.) ]
+  in
+  Alcotest.(check bool) "several links loaded" true (List.length report.Loading.loads >= 3);
+  List.iter
+    (fun l -> checkf 1e-9 "same load everywhere" 50. l.Loading.mbps)
+    report.Loading.loads
+
+let test_flows_superpose () =
+  let t = Lazy.force topo in
+  let a = node t "New York" and b = node t "Washington" in
+  let report = Loading.of_demands ~topology:t [ (a, b, 100.); (b, a, 50.) ] in
+  let l = List.hd report.Loading.loads in
+  checkf 1e-9 "both directions summed" 150. l.Loading.mbps
+
+let test_overload_detection () =
+  let t = Lazy.force topo in
+  let report =
+    Loading.of_demands ~topology:t
+      [ (node t "New York", node t "Washington", 20_000.) ]
+  in
+  Alcotest.(check int) "overloaded" 1 (List.length report.Loading.overloaded);
+  Alcotest.(check bool) "max utilization > 1" true (report.Loading.max_utilization > 1.)
+
+let test_self_demand_ignored () =
+  let t = Lazy.force topo in
+  let a = node t "Chicago" in
+  let report = Loading.of_demands ~topology:t [ (a, a, 10.) ] in
+  Alcotest.(check int) "nothing loaded" 0 (List.length report.Loading.loads)
+
+let test_of_workload_conservation () =
+  let w = Fixtures.workload () in
+  let report = Loading.of_workload w in
+  (* Every multi-hop flow loads at least one link; totals are finite and
+     non-negative. *)
+  Alcotest.(check bool) "links loaded" true (List.length report.Loading.loads > 0);
+  List.iter
+    (fun l ->
+      if l.Loading.mbps < 0. then Alcotest.fail "negative load";
+      if l.Loading.utilization < 0. then Alcotest.fail "negative utilization")
+    report.Loading.loads;
+  checkf 1e-9 "nothing unrouted" 0. report.Loading.unrouted_mbps
+
+let test_loads_sorted () =
+  let w = Fixtures.workload () in
+  let report = Loading.of_workload w in
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+        a.Loading.utilization >= b.Loading.utilization && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "descending utilization" true (sorted report.Loading.loads)
+
+let test_scale () =
+  let t = Lazy.force topo in
+  let report =
+    Loading.of_demands ~topology:t [ (node t "New York", node t "Washington", 100.) ]
+  in
+  let doubled = Loading.scale_demands 2. report in
+  checkf 1e-9 "doubled" 200. (List.hd doubled.Loading.loads).Loading.mbps;
+  Alcotest.check_raises "negative factor"
+    (Invalid_argument "Loading.scale_demands: negative factor") (fun () ->
+      ignore (Loading.scale_demands (-1.) report))
+
+let suite =
+  [
+    Alcotest.test_case "single-hop demand" `Quick test_of_demands_single_path;
+    Alcotest.test_case "multi-hop loads every link" `Quick test_multi_hop_loads_every_link;
+    Alcotest.test_case "flows superpose" `Quick test_flows_superpose;
+    Alcotest.test_case "overload detection" `Quick test_overload_detection;
+    Alcotest.test_case "self demand ignored" `Quick test_self_demand_ignored;
+    Alcotest.test_case "workload conservation" `Quick test_of_workload_conservation;
+    Alcotest.test_case "loads sorted" `Quick test_loads_sorted;
+    Alcotest.test_case "scaling" `Quick test_scale;
+  ]

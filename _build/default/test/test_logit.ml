@@ -1,0 +1,180 @@
+open Tiered
+
+let checkf tol = Alcotest.(check (float tol))
+
+let test_shares_sum_to_one () =
+  let valuations = [| 1.6; 1.0; 2.2 |] and prices = [| 1.; 1.; 1.5 |] in
+  let shares, s0 = Logit.shares ~alpha:2. ~valuations ~prices in
+  let total = Array.fold_left ( +. ) s0 shares in
+  checkf 1e-12 "sum" 1. total;
+  Array.iter (fun s -> Alcotest.(check bool) "positive" true (s > 0.)) shares
+
+let test_shares_monotone_in_price () =
+  let valuations = [| 1.6; 1.0 |] in
+  let share_at p2 =
+    let s, _ = Logit.shares ~alpha:2. ~valuations ~prices:[| 1.; p2 |] in
+    s.(1)
+  in
+  Alcotest.(check bool) "demand falls with price" true (share_at 0.5 > share_at 2.0)
+
+let test_shares_overflow_safe () =
+  (* alpha v far beyond exp range must not produce nan/inf. *)
+  let valuations = [| 500.; 400. |] and prices = [| 1.; 1. |] in
+  let shares, s0 = Logit.shares ~alpha:3. ~valuations ~prices in
+  Array.iter (fun s -> Alcotest.(check bool) "finite" true (Float.is_finite s)) shares;
+  Alcotest.(check bool) "s0 finite" true (Float.is_finite s0);
+  checkf 1e-9 "sum still 1" 1. (Array.fold_left ( +. ) s0 shares)
+
+let test_fit_roundtrip () =
+  (* Fitting valuations from observed demands and evaluating at p0 must
+     recover those demands. *)
+  let alpha = 1.1 and p0 = 20. and s0 = 0.2 in
+  let demands = [| 100.; 45.; 3.; 260. |] in
+  let { Logit.valuations; k; _ } = Logit.fit_valuations ~alpha ~p0 ~s0 ~demands in
+  let prices = Array.make 4 p0 in
+  let recovered = Logit.demands_at ~alpha ~k ~valuations ~prices in
+  Array.iteri (fun i q -> checkf 1e-6 (Printf.sprintf "q%d" i) q recovered.(i)) demands;
+  (* And the implied non-participation is exactly s0. *)
+  let _, s0' = Logit.shares ~alpha ~valuations ~prices in
+  checkf 1e-9 "s0 recovered" s0 s0'
+
+let test_fit_validation () =
+  Alcotest.check_raises "bad s0" (Invalid_argument "Logit: s0 must be in (0, 1)")
+    (fun () -> ignore (Logit.fit_valuations ~alpha:1. ~p0:20. ~s0:0. ~demands:[| 1. |]));
+  Alcotest.check_raises "bad alpha" (Invalid_argument "Logit: alpha must be > 0")
+    (fun () -> ignore (Logit.fit_valuations ~alpha:0. ~p0:20. ~s0:0.2 ~demands:[| 1. |]))
+
+let test_gamma_requires_margin () =
+  (* p0 <= 1/(alpha s0) would imply non-positive costs. *)
+  let demands = [| 10.; 20. |] in
+  let { Logit.valuations; _ } = Logit.fit_valuations ~alpha:0.1 ~p0:2. ~s0:0.2 ~demands in
+  match
+    Logit.gamma ~alpha:0.1 ~p0:2. ~s0:0.2 ~valuations ~rel_costs:[| 1.; 2. |]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted infeasible margin"
+
+let test_gamma_makes_p0_stationary () =
+  (* With gamma-scaled costs, the blended price p0 satisfies the
+     optimal-margin condition: optimizing the all-in-one bundle returns
+     p0. *)
+  let alpha = 1.1 and p0 = 20. and s0 = 0.2 in
+  let demands = [| 100.; 45.; 3.; 260. |] in
+  let rel_costs = [| 1.; 4.; 2.; 0.5 |] in
+  let { Logit.valuations; _ } = Logit.fit_valuations ~alpha ~p0 ~s0 ~demands in
+  let gamma = Logit.gamma ~alpha ~p0 ~s0 ~valuations ~rel_costs in
+  let costs = Array.map (fun f -> gamma *. f) rel_costs in
+  let v_b, c_b = Logit.bundle_aggregate ~alpha ~valuations ~costs in
+  let { Logit.prices; x; _ } = Logit.optimize ~alpha ~valuations:[| v_b |] ~costs:[| c_b |] in
+  checkf 1e-6 "blended optimum is p0" p0 prices.(0);
+  (* At the blended optimum the non-participation share is s0 = 1/x. *)
+  checkf 1e-6 "x = 1/s0" (1. /. s0) x
+
+let test_optimal_margin_residual () =
+  List.iter
+    (fun ln_s ->
+      let x = Logit.optimal_margin ~alpha:1. ~ln_s in
+      checkf 1e-7 "residual" 0. (x -. 1. -. exp (ln_s -. x));
+      Alcotest.(check bool) "x > 1" true (x > 1.))
+    [ -5.; 0.; 1.; 10.; 100.; 500. ]
+
+let test_optimize_common_margin () =
+  let valuations = [| 5.; 7.; 6. |] and costs = [| 1.; 3.; 2. |] in
+  let { Logit.prices; x; _ } = Logit.optimize ~alpha:1.5 ~valuations ~costs in
+  let margins = Array.map2 (fun p c -> p -. c) prices costs in
+  Array.iter (fun m -> checkf 1e-9 "same margin" (x /. 1.5) m) margins
+
+let test_optimize_matches_numeric () =
+  (* Closed-form optimum vs direct numeric ascent on the profit. *)
+  let alpha = 1.2 and k = 100. in
+  let valuations = [| 5.; 8. |] and costs = [| 1.; 2.5 |] in
+  let opt = Logit.optimize ~alpha ~valuations ~costs in
+  let profit prices = Logit.profit_at ~alpha ~k ~valuations ~costs ~prices in
+  (* step0 matters: a large first step can strand the ascent on the
+     exponentially flat region of the logit profit surface. *)
+  let numeric =
+    Numerics.Gradient.ascent ~step0:0.1
+      ~project:(fun p -> Array.mapi (fun i pi -> Float.max costs.(i) pi) p)
+      ~f:profit
+      ~grad:(Numerics.Gradient.numeric_grad profit)
+      [| 3.; 4. |]
+  in
+  checkf 1e-3 "profits agree" (k *. opt.Logit.profit_per_k) numeric.Numerics.Gradient.value;
+  Array.iteri
+    (fun i p -> checkf 1e-2 (Printf.sprintf "price %d" i) p numeric.Numerics.Gradient.x.(i))
+    opt.Logit.prices
+
+let test_bundle_aggregate_properties () =
+  let valuations = [| 2.; 3. |] and costs = [| 1.; 5. |] in
+  let v_b, c_b = Logit.bundle_aggregate ~alpha:1.5 ~valuations ~costs in
+  (* Eq. 10: bundle valuation exceeds every member (log-sum-exp). *)
+  Alcotest.(check bool) "v_b >= max v" true (v_b >= 3.);
+  (* Eq. 11: bundle cost is a convex combination of member costs. *)
+  Alcotest.(check bool) "cost inside range" true (c_b > 1. && c_b < 5.);
+  (* Weighting favors the higher-valuation flow's cost. *)
+  Alcotest.(check bool) "tilted to big flow" true (c_b > 3.)
+
+let test_bundling_cannot_beat_singletons () =
+  (* Optimal profit is monotone in S, and S is maximal with per-flow
+     pricing. *)
+  let alpha = 1.1 in
+  let valuations = [| 5.; 8.; 3. |] and costs = [| 1.; 2.; 0.5 |] in
+  let singleton = Logit.optimize ~alpha ~valuations ~costs in
+  let v_b, c_b = Logit.bundle_aggregate ~alpha ~valuations ~costs in
+  let bundled = Logit.optimize ~alpha ~valuations:[| v_b |] ~costs:[| c_b |] in
+  Alcotest.(check bool) "bundle loses" true
+    (bundled.Logit.profit_per_k <= singleton.Logit.profit_per_k +. 1e-12)
+
+let test_consumer_surplus_decreasing_in_price () =
+  let valuations = [| 2.; 3. |] in
+  let cs prices = Logit.consumer_surplus ~alpha:1.5 ~k:10. ~valuations ~prices in
+  Alcotest.(check bool) "lower at higher price" true (cs [| 2.; 2. |] > cs [| 3.; 3. |])
+
+let test_profit_at_blended_below_optimal () =
+  let alpha = 1.3 and k = 50. in
+  let valuations = [| 4.; 6. |] and costs = [| 1.; 2. |] in
+  let opt = Logit.optimize ~alpha ~valuations ~costs in
+  let blended = Logit.profit_at ~alpha ~k ~valuations ~costs ~prices:[| 3.; 3. |] in
+  Alcotest.(check bool) "suboptimal" true (blended <= (k *. opt.Logit.profit_per_k) +. 1e-9)
+
+let prop_margin_increasing_in_s =
+  QCheck.Test.make ~name:"optimal margin increases with ln S" ~count:200
+    QCheck.(pair (float_range (-5.) 50.) (float_range 0.01 10.))
+    (fun (ln_s, delta) ->
+      let x1 = Logit.optimal_margin ~alpha:1. ~ln_s in
+      let x2 = Logit.optimal_margin ~alpha:1. ~ln_s:(ln_s +. delta) in
+      x2 >= x1 -. 1e-9)
+
+let prop_shares_probability_vector =
+  QCheck.Test.make ~name:"shares are a probability vector" ~count:200
+    QCheck.(
+      pair (float_range 0.1 5.)
+        (list_of_size Gen.(1 -- 6) (pair (float_range (-5.) 20.) (float_range 0. 30.))))
+    (fun (alpha, goods) ->
+      let valuations = Array.of_list (List.map fst goods) in
+      let prices = Array.of_list (List.map snd goods) in
+      let shares, s0 = Logit.shares ~alpha ~valuations ~prices in
+      let total = Array.fold_left ( +. ) s0 shares in
+      abs_float (total -. 1.) < 1e-9
+      && s0 >= 0.
+      && Array.for_all (fun s -> s >= 0.) shares)
+
+let suite =
+  [
+    Alcotest.test_case "shares sum to one" `Quick test_shares_sum_to_one;
+    Alcotest.test_case "shares monotone in price" `Quick test_shares_monotone_in_price;
+    Alcotest.test_case "overflow-safe shares" `Quick test_shares_overflow_safe;
+    Alcotest.test_case "fit roundtrip" `Quick test_fit_roundtrip;
+    Alcotest.test_case "fit validation" `Quick test_fit_validation;
+    Alcotest.test_case "gamma margin feasibility" `Quick test_gamma_requires_margin;
+    Alcotest.test_case "gamma makes p0 stationary" `Quick test_gamma_makes_p0_stationary;
+    Alcotest.test_case "optimal margin residual" `Quick test_optimal_margin_residual;
+    Alcotest.test_case "common margin" `Quick test_optimize_common_margin;
+    Alcotest.test_case "closed form = numeric" `Quick test_optimize_matches_numeric;
+    Alcotest.test_case "bundle aggregation (Eqs. 10-11)" `Quick test_bundle_aggregate_properties;
+    Alcotest.test_case "bundling cannot beat singletons" `Quick test_bundling_cannot_beat_singletons;
+    Alcotest.test_case "surplus decreasing in price" `Quick test_consumer_surplus_decreasing_in_price;
+    Alcotest.test_case "blended below optimal" `Quick test_profit_at_blended_below_optimal;
+    QCheck_alcotest.to_alcotest prop_margin_increasing_in_s;
+    QCheck_alcotest.to_alcotest prop_shares_probability_vector;
+  ]

@@ -1,0 +1,108 @@
+open Tiered
+
+let checkf tol = Alcotest.(check (float tol))
+
+let test_fit_ced_fields () =
+  let m = Fixtures.ced_market () in
+  Alcotest.(check int) "flows" 8 (Market.n_flows m);
+  Alcotest.(check bool) "gamma positive" true (m.Market.gamma > 0.);
+  Array.iter (fun c -> Alcotest.(check bool) "cost positive" true (c > 0.)) m.Market.costs;
+  Array.iter (fun v -> Alcotest.(check bool) "valuation positive" true (v > 0.)) m.Market.valuations
+
+let test_fit_ced_valuations_match_demand () =
+  let m = Fixtures.ced_market () in
+  Array.iteri
+    (fun i v ->
+      let q = m.Market.flows.(i).Flow.demand_mbps in
+      checkf 1e-6 "demand recovered at p0" q (Ced.demand ~alpha:m.Market.alpha ~v m.Market.p0))
+    m.Market.valuations
+
+let test_fit_costs_ordered_by_distance () =
+  (* Linear cost model: farther flow, higher cost. *)
+  let m = Fixtures.ced_market () in
+  for i = 0 to Market.n_flows m - 2 do
+    Alcotest.(check bool) "monotone" true (m.Market.costs.(i) <= m.Market.costs.(i + 1))
+  done
+
+let test_fit_logit_fields () =
+  let m = Fixtures.logit_market () in
+  Alcotest.(check bool) "population positive" true (m.Market.k > 0.);
+  checkf 1e-9 "k = total demand / (1 - s0)"
+    (Flow.total_demand_mbps m.Market.flows /. 0.8)
+    m.Market.k
+
+let test_fit_validation () =
+  Alcotest.check_raises "no flows" (Invalid_argument "Market.fit: no flows") (fun () ->
+      ignore (Fixtures.ced_market ~flows:[||] ()));
+  let zero_demand = [| Flow.make ~id:0 ~demand_mbps:0. ~distance_miles:1. () |] in
+  Alcotest.check_raises "zero demand"
+    (Invalid_argument "Market.fit: demands must be positive") (fun () ->
+      ignore (Fixtures.ced_market ~flows:zero_demand ()))
+
+let test_fit_ced_alpha_validation () =
+  match Fixtures.ced_market ~alpha:1.0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted alpha = 1 for CED"
+
+let test_potential_profits_ced () =
+  let m = Fixtures.ced_market () in
+  let profits = Market.potential_profits m in
+  Array.iteri
+    (fun i pi ->
+      checkf 1e-9 "Eq. 12"
+        (Ced.potential_profit ~alpha:m.Market.alpha ~v:m.Market.valuations.(i)
+           ~c:m.Market.costs.(i))
+        pi)
+    profits
+
+let test_potential_profits_logit_proportional_to_demand () =
+  let m = Fixtures.logit_market () in
+  let profits = Market.potential_profits m in
+  Array.iteri
+    (fun i pi -> checkf 1e-9 "Eq. 13" m.Market.flows.(i).Flow.demand_mbps pi)
+    profits
+
+let test_of_parameters_default_p0 () =
+  let flows = Fixtures.flows_of_spec [ (1., 10.); (1., 20.) ] in
+  let m =
+    Market.of_parameters ~spec:Market.Ced ~alpha:2. ~valuations:[| 1.; 1.5 |]
+      ~costs:[| 0.5; 1. |] flows
+  in
+  (* Default p0 is the blended optimum, so blended pricing returns it. *)
+  let o = Pricing.blended m in
+  checkf 1e-9 "consistent" m.Market.p0 o.Pricing.bundle_prices.(0)
+
+let test_of_parameters_validation () =
+  let flows = Fixtures.flows_of_spec [ (1., 10.) ] in
+  Alcotest.check_raises "length" (Invalid_argument "Market.of_parameters: array length mismatch")
+    (fun () ->
+      ignore
+        (Market.of_parameters ~spec:Market.Ced ~alpha:2. ~valuations:[| 1.; 2. |]
+           ~costs:[| 1.; 2. |] flows));
+  Alcotest.check_raises "cost" (Invalid_argument "Market.of_parameters: costs must be positive")
+    (fun () ->
+      ignore
+        (Market.of_parameters ~spec:Market.Ced ~alpha:2. ~valuations:[| 1. |]
+           ~costs:[| 0. |] flows))
+
+let test_gamma_scales_with_p0 () =
+  (* Doubling the blended price doubles the inferred absolute costs. *)
+  let m1 = Fixtures.ced_market ~p0:20. () in
+  let m2 = Fixtures.ced_market ~p0:40. () in
+  checkf 1e-9 "gamma ratio" 2. (m2.Market.gamma /. m1.Market.gamma)
+
+let suite =
+  [
+    Alcotest.test_case "CED fit fields" `Quick test_fit_ced_fields;
+    Alcotest.test_case "CED valuations recover demand" `Quick test_fit_ced_valuations_match_demand;
+    Alcotest.test_case "costs monotone in distance" `Quick test_fit_costs_ordered_by_distance;
+    Alcotest.test_case "logit fit fields" `Quick test_fit_logit_fields;
+    Alcotest.test_case "fit validation" `Quick test_fit_validation;
+    Alcotest.test_case "CED alpha validation" `Quick test_fit_ced_alpha_validation;
+    Alcotest.test_case "potential profits (CED)" `Quick test_potential_profits_ced;
+    Alcotest.test_case "potential profits (logit)" `Quick
+      test_potential_profits_logit_proportional_to_demand;
+    Alcotest.test_case "of_parameters default p0" `Quick test_of_parameters_default_p0;
+    Alcotest.test_case "of_parameters validation" `Quick test_of_parameters_validation;
+    Alcotest.test_case "gamma scales with p0" `Quick test_gamma_scales_with_p0;
+  ]

@@ -1,0 +1,113 @@
+open Flowgen
+
+let gt ?(mbps = 10.) ?(routers = [ 0 ]) () =
+  {
+    Netflow.gt_src = Ipv4.of_string "10.0.0.1";
+    gt_dst = Ipv4.of_string "10.1.0.1";
+    gt_mbps = mbps;
+    gt_routers = routers;
+  }
+
+let test_record_count () =
+  let rng = Numerics.Rng.create 1 in
+  let records = Netflow.synthesize ~rng [ gt ~routers:[ 0; 1; 2 ] () ] in
+  (* Default 24 bins x 3 routers. *)
+  Alcotest.(check int) "bins x routers" 72 (List.length records)
+
+let test_total_volume_preserved () =
+  let rng = Numerics.Rng.create 2 in
+  let shape = { Netflow.default_shape with noise_cv = 0. } in
+  let records = Netflow.synthesize ~shape ~rng [ gt ~mbps:10. () ] in
+  let expected = 10. *. 125_000. *. float_of_int Netflow.day_seconds in
+  Alcotest.(check (float 1.)) "bytes" expected (Netflow.total_bytes records)
+
+let test_volume_with_noise_close () =
+  let rng = Numerics.Rng.create 3 in
+  let records = Netflow.synthesize ~rng [ gt ~mbps:10. () ] in
+  let expected = 10. *. 125_000. *. float_of_int Netflow.day_seconds in
+  let actual = Netflow.total_bytes records in
+  if abs_float (actual -. expected) /. expected > 0.2 then
+    Alcotest.failf "noisy volume too far: %f vs %f" actual expected
+
+let test_diurnal_shape () =
+  let rng = Numerics.Rng.create 4 in
+  let shape = { Netflow.default_shape with noise_cv = 0.; diurnal_amplitude = 0.6 } in
+  let records = Netflow.synthesize ~shape ~rng [ gt () ] in
+  let at_hour h =
+    List.find (fun (r : Netflow.record) -> r.first_s = h * 3600) records
+  in
+  let peak = (at_hour 20).Netflow.bytes in
+  let trough = (at_hour 8).Netflow.bytes in
+  Alcotest.(check bool) "peak > trough" true (peak > 2. *. trough)
+
+let test_flat_shape_uniform () =
+  let rng = Numerics.Rng.create 5 in
+  let shape = { Netflow.default_shape with noise_cv = 0.; diurnal_amplitude = 0. } in
+  let records = Netflow.synthesize ~shape ~rng [ gt () ] in
+  let bytes = List.map (fun (r : Netflow.record) -> r.Netflow.bytes) records in
+  match bytes with
+  | [] -> Alcotest.fail "no records"
+  | first :: rest ->
+      List.iter (fun b -> Alcotest.(check (float 1e-3)) "uniform bins" first b) rest
+
+let test_duplicate_observations_identical () =
+  let rng = Numerics.Rng.create 6 in
+  let shape = { Netflow.default_shape with noise_cv = 0.3 } in
+  let records = Netflow.synthesize ~shape ~rng [ gt ~routers:[ 3; 9 ] () ] in
+  (* Each bin appears once per router with the same bytes (same wire). *)
+  List.iter
+    (fun (r : Netflow.record) ->
+      if r.Netflow.router = 3 then
+        let twin =
+          List.find
+            (fun (r' : Netflow.record) ->
+              r'.Netflow.router = 9 && r'.Netflow.first_s = r.Netflow.first_s)
+            records
+        in
+        Alcotest.(check (float 1e-6)) "same bytes at both routers" r.Netflow.bytes
+          twin.Netflow.bytes)
+    records
+
+let test_csv_roundtrip () =
+  let rng = Numerics.Rng.create 7 in
+  let records = Netflow.synthesize ~rng [ gt () ] in
+  List.iter
+    (fun r ->
+      let r' = Netflow.of_csv_line (Netflow.to_csv_line r) in
+      Alcotest.(check string) "roundtrip" (Netflow.to_csv_line r) (Netflow.to_csv_line r'))
+    records
+
+let test_csv_malformed () =
+  Alcotest.check_raises "garbage"
+    (Invalid_argument "Netflow.of_csv_line: malformed line: not,a,flow") (fun () ->
+      ignore (Netflow.of_csv_line "not,a,flow"))
+
+let test_validation () =
+  let rng = Numerics.Rng.create 8 in
+  (match Netflow.synthesize ~rng [ { (gt ()) with Netflow.gt_routers = [] } ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted flow without routers");
+  match
+    Netflow.synthesize ~shape:{ Netflow.default_shape with bins = 0 } ~rng [ gt () ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted zero bins"
+
+let test_mbps_of_bytes () =
+  Alcotest.(check (float 1e-9)) "1 MB over 8s = 1 Mbps" 1.
+    (Netflow.mbps_of_bytes ~bytes:1e6 ~seconds:8)
+
+let suite =
+  [
+    Alcotest.test_case "record count" `Quick test_record_count;
+    Alcotest.test_case "volume preserved (no noise)" `Quick test_total_volume_preserved;
+    Alcotest.test_case "volume close (noise)" `Quick test_volume_with_noise_close;
+    Alcotest.test_case "diurnal shape" `Quick test_diurnal_shape;
+    Alcotest.test_case "flat shape uniform" `Quick test_flat_shape_uniform;
+    Alcotest.test_case "duplicates identical across routers" `Quick
+      test_duplicate_observations_identical;
+    Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip;
+    Alcotest.test_case "csv malformed" `Quick test_csv_malformed;
+    Alcotest.test_case "input validation" `Quick test_validation;
+    Alcotest.test_case "mbps conversion" `Quick test_mbps_of_bytes;
+  ]

@@ -1,0 +1,113 @@
+open Tiered
+
+let checkf tol = Alcotest.(check (float tol))
+let shape = Flowgen.Netflow.default_shape
+
+let test_periods_partition_day () =
+  let periods = Peak.periods_of_shape shape ~n_periods:4 in
+  Alcotest.(check int) "four periods" 4 (Array.length periods);
+  let hours =
+    Array.fold_left (fun acc p -> let a, b = p.Peak.hours in acc + b - a) 0 periods
+  in
+  Alcotest.(check int) "24 hours covered" 24 hours;
+  (* Duration-weighted mean weight is one. *)
+  let mean =
+    Array.fold_left (fun acc p -> acc +. (p.Peak.weight /. 4.)) 0. periods
+  in
+  checkf 1e-9 "weights average to one" 1. mean
+
+let test_periods_validation () =
+  Alcotest.check_raises "5 does not divide 24"
+    (Invalid_argument "Peak.periods_of_shape: n_periods must divide 24") (fun () ->
+      ignore (Peak.periods_of_shape shape ~n_periods:5))
+
+let test_peak_offpeak_ordering () =
+  let periods = Peak.peak_offpeak shape in
+  Alcotest.(check int) "two periods" 2 (Array.length periods);
+  Alcotest.(check bool) "peak busier than off-peak" true
+    (periods.(0).Peak.weight > periods.(1).Peak.weight);
+  (* The default shape peaks at hour 20; the busy window must contain it. *)
+  let start, stop = periods.(0).Peak.hours in
+  Alcotest.(check bool) "peak window covers hour 20" true (start <= 20 && 20 < stop)
+
+let test_flat_shape_no_gain () =
+  let flat = { shape with Flowgen.Netflow.diurnal_amplitude = 0. } in
+  let m = Fixtures.ced_market () in
+  let o = Peak.evaluate m Strategy.Optimal ~n_bundles:2 (Peak.periods_of_shape flat ~n_periods:4) in
+  checkf 1e-9 "no gain without a diurnal cycle" 0. o.Peak.gain
+
+let test_no_premium_no_gain () =
+  (* The scale-invariance theorem: under CED, a common multiplicative
+     diurnal scaling leaves optimal prices unchanged, so without
+     time-varying costs time-of-day pricing is worthless. *)
+  let m = Fixtures.ced_market () in
+  let o =
+    Peak.evaluate ~congestion_premium:0. m Strategy.Optimal ~n_bundles:2
+      (Peak.peak_offpeak shape)
+  in
+  checkf 1e-9 "zero gain with flat costs" 0. o.Peak.gain
+
+let test_diurnal_shape_positive_gain () =
+  let m = Fixtures.ced_market () in
+  let o = Peak.evaluate m Strategy.Optimal ~n_bundles:2 (Peak.peak_offpeak shape) in
+  Alcotest.(check bool) "time-of-day pricing gains" true (o.Peak.gain > 0.);
+  (* Peak prices exceed off-peak prices tier by tier. *)
+  match o.Peak.period_prices with
+  | [ (_, peak); (_, off) ] ->
+      Array.iteri
+        (fun b p -> Alcotest.(check bool) "peak dearer" true (p > off.(b)))
+        peak
+  | _ -> Alcotest.fail "expected two periods"
+
+let test_per_period_dominates_single_price () =
+  (* A single price per bundle is always feasible in the per-period
+     problem, so per-period pricing can never lose -- at any
+     granularity. (Strict monotonicity in the period count does not
+     hold: the peak-load cost kink changes with period averaging.) *)
+  let m = Fixtures.ced_market () in
+  List.iter
+    (fun n ->
+      let o =
+        Peak.evaluate m Strategy.Optimal ~n_bundles:2
+          (Peak.periods_of_shape shape ~n_periods:n)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "dominates at %d periods" n)
+        true
+        (o.Peak.per_period_profit >= o.Peak.single_price_profit -. 1e-9))
+    [ 2; 3; 4; 6; 8; 12; 24 ]
+
+let test_single_price_profit_matches_base () =
+  (* With flat costs and duration-weighted mean weight one, the
+     single-price day profit equals the static market's optimal bundle
+     profit. *)
+  let m = Fixtures.ced_market () in
+  let bundles = Strategy.apply Strategy.Optimal m ~n_bundles:2 in
+  let static_profit = (Pricing.evaluate m bundles).Pricing.profit in
+  let o =
+    Peak.evaluate ~congestion_premium:0. m Strategy.Optimal ~n_bundles:2
+      (Peak.periods_of_shape shape ~n_periods:4)
+  in
+  checkf 1e-6 "consistency" static_profit o.Peak.single_price_profit
+
+let test_logit_rejected () =
+  match
+    Peak.evaluate (Fixtures.logit_market ()) Strategy.Optimal ~n_bundles:2
+      (Peak.peak_offpeak shape)
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted logit market"
+
+let suite =
+  [
+    Alcotest.test_case "periods partition the day" `Quick test_periods_partition_day;
+    Alcotest.test_case "period validation" `Quick test_periods_validation;
+    Alcotest.test_case "peak/off-peak ordering" `Quick test_peak_offpeak_ordering;
+    Alcotest.test_case "flat shape: no gain" `Quick test_flat_shape_no_gain;
+    Alcotest.test_case "no premium: no gain" `Quick test_no_premium_no_gain;
+    Alcotest.test_case "diurnal shape: positive gain" `Quick test_diurnal_shape_positive_gain;
+    Alcotest.test_case "per-period dominates single price" `Quick
+      test_per_period_dominates_single_price;
+    Alcotest.test_case "single-price consistency" `Quick test_single_price_profit_matches_base;
+    Alcotest.test_case "logit rejected" `Quick test_logit_rejected;
+  ]

@@ -1,0 +1,124 @@
+open Routing
+open Flowgen
+
+let inputs ?(blended_rate = 20.) ?(direct_cost = 12.) ?(isp_cost = 5.)
+    ?(isp_margin = 0.3) ?(accounting_overhead = 1.) () =
+  {
+    Policy.Bypass.blended_rate;
+    direct_cost;
+    isp_cost;
+    isp_margin;
+    accounting_overhead;
+  }
+
+let test_bypass_happens () =
+  let v = Policy.Bypass.decide (inputs ()) in
+  Alcotest.(check bool) "bypasses" true v.Policy.Bypass.customer_bypasses;
+  Alcotest.(check (float 1e-9)) "saving" 8. v.Policy.Bypass.customer_saving
+
+let test_no_bypass_when_direct_expensive () =
+  let v = Policy.Bypass.decide (inputs ~direct_cost:25. ()) in
+  Alcotest.(check bool) "stays" false v.Policy.Bypass.customer_bypasses;
+  Alcotest.(check bool) "no failure without bypass" false v.Policy.Bypass.market_failure;
+  Alcotest.(check (float 1e-9)) "no saving" 0. v.Policy.Bypass.customer_saving
+
+let test_market_failure_condition () =
+  (* Tiered price = 1.3 * 5 + 1 = 7.5; direct at 12 > 7.5 while bypassing:
+     the Fig. 2 market failure. *)
+  let v = Policy.Bypass.decide (inputs ()) in
+  Alcotest.(check (float 1e-9)) "tier price" 7.5 v.Policy.Bypass.tiered_price;
+  Alcotest.(check bool) "market failure" true v.Policy.Bypass.market_failure
+
+let test_efficient_bypass () =
+  (* Direct link genuinely cheaper than any tier the ISP could offer. *)
+  let v = Policy.Bypass.decide (inputs ~direct_cost:5. ()) in
+  Alcotest.(check bool) "bypasses" true v.Policy.Bypass.customer_bypasses;
+  Alcotest.(check bool) "efficient, not a failure" false v.Policy.Bypass.market_failure
+
+let test_bypass_validation () =
+  Alcotest.check_raises "negative" (Invalid_argument "Policy.Bypass: negative input")
+    (fun () -> ignore (Policy.Bypass.decide (inputs ~isp_cost:(-1.) ())))
+
+let test_break_even () =
+  Alcotest.(check (float 1e-9)) "break even" 12. (Policy.Bypass.break_even_rate (inputs ()))
+
+(* --- egress selection --------------------------------------------------- *)
+
+let rib () =
+  Tagging.build_rib ~asn:65000
+    [
+      { Tagging.dst_prefix = Ipv4.prefix_of_string "10.1.0.0/16"; tier = 0; next_hop = 1 };
+      { Tagging.dst_prefix = Ipv4.prefix_of_string "10.2.0.0/16"; tier = 1; next_hop = 1 };
+    ]
+
+let test_egress_prefers_cheap_tier () =
+  let choice =
+    Policy.Egress.choose ~rib:(rib ()) ~tier_prices:[| 5.; 30. |]
+      ~backbone_cost_per_mbps:10. (Ipv4.of_string "10.1.0.1")
+  in
+  Alcotest.(check bool) "cheap tier via upstream" true
+    (choice = Some (Policy.Egress.Use_upstream 0))
+
+let test_egress_cold_potato_on_expensive_tier () =
+  let choice =
+    Policy.Egress.choose ~rib:(rib ()) ~tier_prices:[| 5.; 30. |]
+      ~backbone_cost_per_mbps:10. (Ipv4.of_string "10.2.0.1")
+  in
+  Alcotest.(check bool) "expensive tier via backbone" true
+    (choice = Some Policy.Egress.Use_backbone)
+
+let test_egress_no_route () =
+  let choice =
+    Policy.Egress.choose ~rib:(rib ()) ~tier_prices:[| 5.; 30. |]
+      ~backbone_cost_per_mbps:10. (Ipv4.of_string "11.0.0.1")
+  in
+  Alcotest.(check bool) "none" true (choice = None)
+
+let test_egress_missing_price () =
+  Alcotest.check_raises "tier without price"
+    (Invalid_argument "Policy.Egress.choose: tier has no configured price") (fun () ->
+      ignore
+        (Policy.Egress.choose ~rib:(rib ()) ~tier_prices:[| 5. |]
+           ~backbone_cost_per_mbps:10. (Ipv4.of_string "10.2.0.1")))
+
+let test_egress_untiered_route_defaults_to_upstream () =
+  (* A route without a tier tag is treated as tier 0 (the default
+     tier). *)
+  let rib =
+    Rib.add Rib.empty
+      (Rib.route ~prefix:(Ipv4.prefix_of_string "10.9.0.0/16") ~next_hop:1 ())
+  in
+  let choice =
+    Policy.Egress.choose ~rib ~tier_prices:[| 5. |] ~backbone_cost_per_mbps:1.
+      (Ipv4.of_string "10.9.1.1")
+  in
+  Alcotest.(check bool) "default tier" true (choice = Some (Policy.Egress.Use_upstream 0))
+
+let test_split () =
+  let upstream = ref 0. and backbone = ref 0. in
+  Policy.Egress.split ~rib:(rib ()) ~tier_prices:[| 5.; 30. |]
+    ~backbone_cost_per_mbps:10.
+    [
+      (Ipv4.of_string "10.1.0.1", 100.);
+      (Ipv4.of_string "10.2.0.1", 50.);
+      (Ipv4.of_string "11.0.0.1", 25.);
+    ]
+    ~upstream_mbps:upstream ~backbone_mbps:backbone;
+  Alcotest.(check (float 1e-9)) "upstream carries cheap + default" 125. !upstream;
+  Alcotest.(check (float 1e-9)) "backbone carries expensive" 50. !backbone
+
+let suite =
+  [
+    Alcotest.test_case "bypass happens" `Quick test_bypass_happens;
+    Alcotest.test_case "no bypass when direct expensive" `Quick test_no_bypass_when_direct_expensive;
+    Alcotest.test_case "market failure condition" `Quick test_market_failure_condition;
+    Alcotest.test_case "efficient bypass" `Quick test_efficient_bypass;
+    Alcotest.test_case "bypass validation" `Quick test_bypass_validation;
+    Alcotest.test_case "break-even rate" `Quick test_break_even;
+    Alcotest.test_case "egress cheap tier" `Quick test_egress_prefers_cheap_tier;
+    Alcotest.test_case "egress cold potato" `Quick test_egress_cold_potato_on_expensive_tier;
+    Alcotest.test_case "egress no route" `Quick test_egress_no_route;
+    Alcotest.test_case "egress missing price" `Quick test_egress_missing_price;
+    Alcotest.test_case "egress untiered route" `Quick test_egress_untiered_route_defaults_to_upstream;
+    Alcotest.test_case "demand split" `Quick test_split;
+  ]

@@ -1,0 +1,89 @@
+open Netsim
+
+let test_all_connected () =
+  List.iter
+    (fun name ->
+      let t = Presets.by_name name in
+      Alcotest.(check bool) (name ^ " connected") true (Graph.is_connected t.Topology.graph))
+    Presets.all_names
+
+let test_eu_isp_shape () =
+  let t = Presets.eu_isp () in
+  (* 16 core + 5 metros x 3 = 31 PoPs. *)
+  Alcotest.(check int) "pop count" 31 (List.length t.Topology.pops);
+  (* Metro PoPs sit within ~10 miles of their core. *)
+  let london_core = Topology.pop_by_city t "London" in
+  List.iter
+    (fun (n : Node.t) ->
+      if String.length n.Node.name > 6 && String.sub n.Node.name 0 6 = "London" then
+        let d = Node.distance_miles london_core n in
+        if d > 10. then Alcotest.failf "metro PoP %s too far: %f mi" n.Node.name d)
+    t.Topology.pops
+
+let test_eu_isp_has_metro_distances () =
+  let t = Presets.eu_isp () in
+  let m = Topology.distance_matrix t in
+  let n = Array.length m in
+  let short = ref 0 and long = ref 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then
+        if m.(i).(j) < 20. then incr short
+        else if m.(i).(j) > 200. then incr long
+    done
+  done;
+  Alcotest.(check bool) "has metro pairs" true (!short > 0);
+  Alcotest.(check bool) "has long pairs" true (!long > 0)
+
+let test_cdn_global () =
+  let t = Presets.cdn () in
+  Alcotest.(check int) "datacenters" 28 (List.length t.Topology.pops);
+  (* All nodes are datacenters. *)
+  List.iter
+    (fun (n : Node.t) ->
+      if n.Node.kind <> Node.Datacenter then
+        Alcotest.failf "%s is not a datacenter" n.Node.name)
+    t.Topology.pops;
+  (* Spans multiple continents. *)
+  let continents =
+    List.sort_uniq compare
+      (List.map (fun (n : Node.t) -> n.Node.city.Cities.continent) t.Topology.pops)
+  in
+  Alcotest.(check int) "six continents" 6 (List.length continents)
+
+let test_internet2_abilene () =
+  let t = Presets.internet2 () in
+  Alcotest.(check int) "11 PoPs" 11 (List.length t.Topology.pops);
+  Alcotest.(check int) "14 links" 14 (Graph.link_count t.Topology.graph);
+  (* Coast-to-coast shortest path: Seattle to New York passes the
+     midwest; around 2500-3600 route miles. *)
+  let seattle = Topology.pop_by_city t "Seattle" in
+  let nyc = Topology.pop_by_city t "New York" in
+  match
+    Graph.path_distance_miles t.Topology.graph ~src:seattle.Node.id ~dst:nyc.Node.id
+  with
+  | None -> Alcotest.fail "no coast-to-coast path"
+  | Some d ->
+      if d < 2300. || d > 3800. then Alcotest.failf "odd coast-to-coast distance %f" d
+
+let test_by_name_unknown () =
+  Alcotest.check_raises "unknown" (Invalid_argument "Presets.by_name: unknown preset nope")
+    (fun () -> ignore (Presets.by_name "nope"))
+
+let test_deterministic () =
+  let a = Presets.eu_isp () and b = Presets.eu_isp () in
+  let coords t =
+    List.map (fun (n : Node.t) -> (n.Node.coord.Geo.lat, n.Node.coord.Geo.lon)) t.Topology.pops
+  in
+  Alcotest.(check bool) "same jitter" true (coords a = coords b)
+
+let suite =
+  [
+    Alcotest.test_case "all presets connected" `Quick test_all_connected;
+    Alcotest.test_case "EU ISP shape" `Quick test_eu_isp_shape;
+    Alcotest.test_case "EU ISP metro + long distances" `Quick test_eu_isp_has_metro_distances;
+    Alcotest.test_case "CDN global span" `Quick test_cdn_global;
+    Alcotest.test_case "Internet2 Abilene map" `Quick test_internet2_abilene;
+    Alcotest.test_case "unknown preset" `Quick test_by_name_unknown;
+    Alcotest.test_case "deterministic construction" `Quick test_deterministic;
+  ]

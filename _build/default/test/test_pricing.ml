@@ -1,0 +1,132 @@
+open Tiered
+
+let checkf tol = Alcotest.(check (float tol))
+
+let test_blended_price_is_p0_ced () =
+  let m = Fixtures.ced_market () in
+  let o = Pricing.blended m in
+  checkf 1e-9 "p0 recovered" m.Market.p0 o.Pricing.bundle_prices.(0)
+
+let test_blended_price_is_p0_logit () =
+  let m = Fixtures.logit_market () in
+  let o = Pricing.blended m in
+  checkf 1e-6 "p0 recovered" m.Market.p0 o.Pricing.bundle_prices.(0)
+
+let test_blended_demand_matches_observed () =
+  let m = Fixtures.ced_market () in
+  let o = Pricing.blended m in
+  Array.iteri
+    (fun i q -> checkf 1e-6 "observed demand" m.Market.flows.(i).Flow.demand_mbps q)
+    o.Pricing.flow_demands
+
+let test_more_bundles_more_profit_ced () =
+  let m = Fixtures.ced_market () in
+  let profit b = (Pricing.evaluate m (Strategy.apply Strategy.Optimal m ~n_bundles:b)).Pricing.profit in
+  let p1 = profit 1 and p2 = profit 2 and p4 = profit 4 and p8 = profit 8 in
+  Alcotest.(check bool) "1 <= 2" true (p1 <= p2 +. 1e-9);
+  Alcotest.(check bool) "2 <= 4" true (p2 <= p4 +. 1e-9);
+  Alcotest.(check bool) "4 <= 8" true (p4 <= p8 +. 1e-9)
+
+let test_max_profit_is_upper_bound () =
+  List.iter
+    (fun m ->
+      let maximum = Pricing.max_profit m in
+      List.iter
+        (fun b ->
+          let bundles = Strategy.apply Strategy.Optimal m ~n_bundles:b in
+          let profit = (Pricing.evaluate m bundles).Pricing.profit in
+          Alcotest.(check bool) "bounded" true (profit <= maximum +. 1e-6 *. abs_float maximum))
+        [ 1; 2; 4; 8 ])
+    [ Fixtures.ced_market (); Fixtures.logit_market () ]
+
+let test_singletons_achieve_max_ced () =
+  let m = Fixtures.ced_market () in
+  let o = Pricing.evaluate m (Bundle.singletons ~n_flows:(Market.n_flows m)) in
+  checkf 1e-6 "per-flow pricing = max" (Pricing.max_profit m) o.Pricing.profit
+
+let test_singletons_achieve_max_logit () =
+  let m = Fixtures.logit_market () in
+  let o = Pricing.evaluate m (Bundle.singletons ~n_flows:(Market.n_flows m)) in
+  let rel = abs_float (Pricing.max_profit m -. o.Pricing.profit) /. o.Pricing.profit in
+  Alcotest.(check bool) "per-flow pricing = max" true (rel < 1e-9)
+
+let test_outcome_accounting_identity () =
+  List.iter
+    (fun m ->
+      let o = Pricing.evaluate m (Strategy.apply Strategy.Optimal m ~n_bundles:3) in
+      checkf 1e-6 "profit = revenue - cost" o.Pricing.profit
+        (o.Pricing.revenue -. o.Pricing.delivery_cost);
+      checkf 1e-6 "welfare" (Pricing.welfare o) (o.Pricing.profit +. o.Pricing.consumer_surplus))
+    [ Fixtures.ced_market (); Fixtures.logit_market () ]
+
+let test_flow_prices_follow_bundles () =
+  let m = Fixtures.ced_market () in
+  let bundles = Strategy.apply Strategy.Optimal m ~n_bundles:3 in
+  let o = Pricing.evaluate m bundles in
+  let owner = Bundle.member_of bundles ~n_flows:(Market.n_flows m) in
+  Array.iteri
+    (fun i p -> checkf 0. "flow price = bundle price" o.Pricing.bundle_prices.(owner.(i)) p)
+    o.Pricing.flow_prices
+
+let test_tiering_raises_profit_and_welfare () =
+  (* The Fig. 1 claim: two well-chosen tiers beat the blended rate on
+     both profit and total welfare. *)
+  let m = Fixtures.ced_market () in
+  let blended = Pricing.blended m in
+  let tiered = Pricing.evaluate m (Strategy.apply Strategy.Optimal m ~n_bundles:2) in
+  Alcotest.(check bool) "profit up" true (tiered.Pricing.profit > blended.Pricing.profit);
+  Alcotest.(check bool) "welfare up" true (Pricing.welfare tiered > Pricing.welfare blended)
+
+let test_evaluate_at_prices () =
+  let m = Fixtures.ced_market () in
+  let bundles = Strategy.apply Strategy.Optimal m ~n_bundles:2 in
+  let optimal = Pricing.evaluate m bundles in
+  (* Perturbing the optimal prices must not help. *)
+  let perturbed =
+    Array.map (fun p -> p *. 1.1) optimal.Pricing.bundle_prices
+  in
+  let o = Pricing.evaluate_at_prices m bundles perturbed in
+  Alcotest.(check bool) "perturbation hurts" true (o.Pricing.profit <= optimal.Pricing.profit);
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Pricing.evaluate_at_prices: one price per bundle required")
+    (fun () -> ignore (Pricing.evaluate_at_prices m bundles [| 1. |]))
+
+let test_logit_bundle_shares_consistency () =
+  (* Bundle-level pricing via Eqs. 10-11 must equal flow-level profit
+     evaluation at those prices. *)
+  let m = Fixtures.logit_market () in
+  let bundles = Strategy.apply Strategy.Cost_weighted m ~n_bundles:3 in
+  let o = Pricing.evaluate m bundles in
+  let direct =
+    Logit.profit_at ~alpha:m.Market.alpha ~k:m.Market.k ~valuations:m.Market.valuations
+      ~costs:m.Market.costs ~prices:o.Pricing.flow_prices
+  in
+  checkf 1e-6 "bundle = flow-level" direct o.Pricing.profit
+
+let prop_ced_profit_positive_at_optimum =
+  QCheck.Test.make ~name:"optimal CED bundle profit positive" ~count:100
+    QCheck.(
+      list_of_size Gen.(2 -- 10)
+        (pair (float_range 1. 100.) (float_range 1. 1000.)))
+    (fun spec ->
+      let flows = Fixtures.flows_of_spec spec in
+      let m = Fixtures.ced_market ~flows () in
+      let o = Pricing.evaluate m (Strategy.apply Strategy.Optimal m ~n_bundles:3) in
+      o.Pricing.profit > 0.)
+
+let suite =
+  [
+    Alcotest.test_case "blended price = p0 (CED)" `Quick test_blended_price_is_p0_ced;
+    Alcotest.test_case "blended price = p0 (logit)" `Quick test_blended_price_is_p0_logit;
+    Alcotest.test_case "blended demand = observed" `Quick test_blended_demand_matches_observed;
+    Alcotest.test_case "profit monotone in bundles" `Quick test_more_bundles_more_profit_ced;
+    Alcotest.test_case "max profit bounds all" `Quick test_max_profit_is_upper_bound;
+    Alcotest.test_case "singletons reach max (CED)" `Quick test_singletons_achieve_max_ced;
+    Alcotest.test_case "singletons reach max (logit)" `Quick test_singletons_achieve_max_logit;
+    Alcotest.test_case "accounting identity" `Quick test_outcome_accounting_identity;
+    Alcotest.test_case "flow prices follow bundles" `Quick test_flow_prices_follow_bundles;
+    Alcotest.test_case "tiering raises profit+welfare" `Quick test_tiering_raises_profit_and_welfare;
+    Alcotest.test_case "evaluate_at_prices" `Quick test_evaluate_at_prices;
+    Alcotest.test_case "logit bundle/flow consistency" `Quick test_logit_bundle_shares_consistency;
+    QCheck_alcotest.to_alcotest prop_ced_profit_positive_at_optimum;
+  ]

@@ -1,0 +1,140 @@
+(* Cross-module property tests on randomly generated markets: the
+   invariants every component combination must satisfy, regardless of the
+   flow mix. *)
+open Tiered
+
+let market_gen =
+  (* 3-12 flows with demands over three orders of magnitude and
+     distances from metro to intercontinental. *)
+  QCheck.Gen.(
+    let flow = pair (float_range 0.5 500.) (float_range 1. 8000.) in
+    list_size (3 -- 12) flow)
+
+let arb_spec = QCheck.make ~print:QCheck.Print.(list (pair float float)) market_gen
+
+let markets_of spec =
+  let flows = Fixtures.flows_of_spec spec in
+  [
+    Market.fit ~spec:Market.Ced ~alpha:1.3 ~p0:20.
+      ~cost_model:(Cost_model.linear ~theta:0.2) flows;
+    Market.fit ~spec:(Market.Logit { s0 = 0.2 }) ~alpha:1.3 ~p0:20.
+      ~cost_model:(Cost_model.linear ~theta:0.2) flows;
+    Market.fit ~spec:(Market.Linear { epsilon = 1.8 }) ~alpha:1.3 ~p0:20.
+      ~cost_model:(Cost_model.linear ~theta:0.2) flows;
+  ]
+
+let for_all_markets f spec = List.for_all f (markets_of spec)
+
+let prop_capture_bounds =
+  QCheck.Test.make ~name:"optimal capture lies in [0, 1]" ~count:60 arb_spec
+    (for_all_markets (fun m ->
+         let ctx = Capture.context m in
+         List.for_all
+           (fun b ->
+             let c =
+               Capture.value ctx
+                 (Pricing.evaluate m (Strategy.apply Strategy.Optimal m ~n_bundles:b))
+                   .Pricing.profit
+             in
+             c >= -1e-9 && c <= 1. +. 1e-9)
+           [ 1; 2; 3 ]))
+
+let prop_profit_chain =
+  QCheck.Test.make ~name:"blended <= optimal B2 <= optimal B3 <= max" ~count:60
+    arb_spec
+    (for_all_markets (fun m ->
+         let profit b =
+           (Pricing.evaluate m (Strategy.apply Strategy.Optimal m ~n_bundles:b))
+             .Pricing.profit
+         in
+         let blended = Pricing.original_profit m in
+         let maximum = Pricing.max_profit m in
+         let tol = 1e-9 *. (1. +. abs_float maximum) in
+         blended <= profit 2 +. tol
+         && profit 2 <= profit 3 +. tol
+         && profit 3 <= maximum +. tol))
+
+let prop_every_strategy_below_optimal =
+  QCheck.Test.make ~name:"no heuristic beats optimal" ~count:40 arb_spec
+    (for_all_markets (fun m ->
+         let profit s =
+           (Pricing.evaluate m (Strategy.apply s m ~n_bundles:3)).Pricing.profit
+         in
+         let best = profit Strategy.Optimal in
+         let tol = 1e-9 *. (1. +. abs_float best) in
+         List.for_all (fun s -> profit s <= best +. tol) Strategy.all))
+
+let prop_welfare_identity =
+  QCheck.Test.make ~name:"welfare identity on random markets" ~count:60 arb_spec
+    (for_all_markets (fun m ->
+         let a = Welfare.of_strategy m Strategy.Optimal ~n_bundles:2 in
+         let tol = 1e-6 *. (1. +. abs_float a.Welfare.first_best_welfare) in
+         abs_float (a.Welfare.welfare -. (a.Welfare.profit +. a.Welfare.consumer_surplus))
+         <= tol
+         && a.Welfare.efficiency <= 1. +. 1e-9))
+
+let prop_blended_demand_recovered =
+  QCheck.Test.make ~name:"blended pricing reproduces observed demand" ~count:60
+    arb_spec
+    (for_all_markets (fun m ->
+         let o = Pricing.blended m in
+         Array.for_all2
+           (fun (f : Flow.t) q ->
+             abs_float (q -. f.Flow.demand_mbps) <= 1e-6 *. (1. +. f.Flow.demand_mbps))
+           m.Market.flows o.Pricing.flow_demands))
+
+let prop_bundle_prices_between_flow_optima_ced =
+  QCheck.Test.make ~name:"CED bundle prices within member optima" ~count:60 arb_spec
+    (fun spec ->
+      let m = List.hd (markets_of spec) in
+      let bundles = Strategy.apply Strategy.Optimal m ~n_bundles:2 in
+      let o = Pricing.evaluate m bundles in
+      Array.for_all2
+        (fun group price ->
+          let optima =
+            Array.map
+              (fun i -> Ced.optimal_price ~alpha:m.Market.alpha ~c:m.Market.costs.(i))
+              group
+          in
+          price >= Numerics.Stats.min optima -. 1e-6
+          && price <= Numerics.Stats.max optima +. 1e-6)
+        (bundles :> int array array)
+        o.Pricing.bundle_prices)
+
+let prop_cost_model_invariance =
+  (* Scaling every distance by a constant leaves relative costs, hence
+     capture, unchanged under the linear model with theta=0. *)
+  QCheck.Test.make ~name:"capture invariant to distance rescaling" ~count:40
+    QCheck.(pair arb_spec (float_range 0.5 20.))
+    (fun (spec, scale) ->
+      let scaled = List.map (fun (q, d) -> (q, d *. scale)) spec in
+      let capture s =
+        let m =
+          Market.fit ~spec:Market.Ced ~alpha:1.3 ~p0:20.
+            ~cost_model:(Cost_model.linear ~theta:0.)
+            (Fixtures.flows_of_spec s)
+        in
+        Sensitivity.capture_at m Strategy.Optimal ~n_bundles:2
+      in
+      abs_float (capture spec -. capture scaled) <= 1e-6)
+
+let prop_tier_count_net_profit_bounded =
+  QCheck.Test.make ~name:"net profit <= gross profit" ~count:40 arb_spec
+    (for_all_markets (fun m ->
+         let o = Tier_count.overhead ~fixed:1. ~per_tier:2. ~per_flow:0.1 () in
+         List.for_all
+           (fun p -> p.Tier_count.net_profit <= p.Tier_count.gross_profit)
+           (Tier_count.series m Strategy.Optimal o ~max_bundles:4)))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_capture_bounds;
+      prop_profit_chain;
+      prop_every_strategy_below_optimal;
+      prop_welfare_identity;
+      prop_blended_demand_recovered;
+      prop_bundle_prices_between_flow_optima_ced;
+      prop_cost_model_invariance;
+      prop_tier_count_net_profit_bounded;
+    ]

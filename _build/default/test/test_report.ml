@@ -1,0 +1,67 @@
+open Tiered
+
+let table () =
+  Report.make ~title:"T" ~header:[ "a"; "b" ]
+    [ [ "1"; "2" ]; [ "333"; "4" ] ]
+    ~notes:[ "a note" ]
+
+let test_make_validates_width () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Report.make: ragged row in table T")
+    (fun () -> ignore (Report.make ~title:"T" ~header:[ "a"; "b" ] [ [ "1" ] ]))
+
+let test_print_contains_everything () =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Report.print ppf (table ());
+  Format.pp_print_flush ppf ();
+  let out = Buffer.contents buf in
+  List.iter
+    (fun needle ->
+      if not (String.length out >= String.length needle) then Alcotest.fail "short";
+      let found =
+        let rec scan i =
+          if i + String.length needle > String.length out then false
+          else if String.sub out i (String.length needle) = needle then true
+          else scan (i + 1)
+        in
+        scan 0
+      in
+      if not found then Alcotest.failf "missing %S in output" needle)
+    [ "T"; "a"; "b"; "333"; "note: a note" ]
+
+let test_csv () =
+  let csv = Report.to_csv (table ()) in
+  Alcotest.(check string) "csv" "a,b\n1,2\n333,4\n" csv
+
+let test_csv_escaping () =
+  let t = Report.make ~title:"T" ~header:[ "x" ] [ [ "a,b" ]; [ "q\"q" ] ] in
+  Alcotest.(check string) "escaped" "x\n\"a,b\"\n\"q\"\"q\"\n" (Report.to_csv t)
+
+let test_markdown () =
+  let md = Report.to_markdown (table ()) in
+  Alcotest.(check bool) "heading" true (String.length md > 4 && String.sub md 0 4 = "### ");
+  let has needle =
+    let n = String.length needle and m = String.length md in
+    let rec scan i = i + n <= m && (String.sub md i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "header row" true (has "| a | b |");
+  Alcotest.(check bool) "separator" true (has "| --- | --- |");
+  Alcotest.(check bool) "data row" true (has "| 333 | 4 |");
+  Alcotest.(check bool) "note" true (has "> a note")
+
+let test_cell_formats () =
+  Alcotest.(check string) "moderate" "1.235" (Report.cell_f 1.23456);
+  Alcotest.(check string) "tiny" "1e-09" (Report.cell_f 1e-9);
+  Alcotest.(check string) "nan" "nan" (Report.cell_f Float.nan);
+  Alcotest.(check string) "pct" "12.3%" (Report.cell_pct 0.123)
+
+let suite =
+  [
+    Alcotest.test_case "width validation" `Quick test_make_validates_width;
+    Alcotest.test_case "print output" `Quick test_print_contains_everything;
+    Alcotest.test_case "csv" `Quick test_csv;
+    Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
+    Alcotest.test_case "markdown" `Quick test_markdown;
+    Alcotest.test_case "cell formats" `Quick test_cell_formats;
+  ]

@@ -1,0 +1,107 @@
+open Routing
+open Flowgen
+
+let prefix = Ipv4.prefix_of_string
+
+let test_empty () =
+  Alcotest.(check int) "size" 0 (Rib.size Rib.empty);
+  Alcotest.(check bool) "lookup" true (Rib.lookup Rib.empty (Ipv4.of_string "1.1.1.1") = None)
+
+let test_add_and_lookup () =
+  let rib = Rib.add Rib.empty (Rib.route ~prefix:(prefix "10.0.0.0/8") ~next_hop:1 ()) in
+  Alcotest.(check int) "size" 1 (Rib.size rib);
+  match Rib.lookup rib (Ipv4.of_string "10.5.5.5") with
+  | Some r -> Alcotest.(check int) "next hop" 1 r.Rib.next_hop
+  | None -> Alcotest.fail "lookup failed"
+
+let test_longest_prefix_match () =
+  let rib =
+    Rib.empty
+    |> Fun.flip Rib.add (Rib.route ~prefix:(prefix "10.0.0.0/8") ~next_hop:1 ())
+    |> Fun.flip Rib.add (Rib.route ~prefix:(prefix "10.1.0.0/16") ~next_hop:2 ())
+    |> Fun.flip Rib.add (Rib.route ~prefix:(prefix "10.1.2.0/24") ~next_hop:3 ())
+  in
+  let hop addr =
+    match Rib.lookup rib (Ipv4.of_string addr) with
+    | Some r -> r.Rib.next_hop
+    | None -> -1
+  in
+  Alcotest.(check int) "most specific" 3 (hop "10.1.2.9");
+  Alcotest.(check int) "mid" 2 (hop "10.1.9.9");
+  Alcotest.(check int) "least specific" 1 (hop "10.9.9.9");
+  Alcotest.(check int) "no match" (-1) (hop "11.0.0.1")
+
+let test_preference_shorter_as_path () =
+  let p = prefix "10.0.0.0/16" in
+  let rib =
+    Rib.empty
+    |> Fun.flip Rib.add (Rib.route ~as_path_len:3 ~prefix:p ~next_hop:1 ())
+    |> Fun.flip Rib.add (Rib.route ~as_path_len:2 ~prefix:p ~next_hop:2 ())
+  in
+  Alcotest.(check int) "one route kept" 1 (Rib.size rib);
+  match Rib.lookup rib (Ipv4.of_string "10.0.1.1") with
+  | Some r -> Alcotest.(check int) "shorter path wins" 2 r.Rib.next_hop
+  | None -> Alcotest.fail "lookup failed"
+
+let test_incumbent_wins_ties () =
+  let p = prefix "10.0.0.0/16" in
+  let rib =
+    Rib.empty
+    |> Fun.flip Rib.add (Rib.route ~as_path_len:2 ~prefix:p ~next_hop:1 ())
+    |> Fun.flip Rib.add (Rib.route ~as_path_len:2 ~prefix:p ~next_hop:2 ())
+  in
+  match Rib.lookup rib (Ipv4.of_string "10.0.1.1") with
+  | Some r -> Alcotest.(check int) "incumbent kept" 1 r.Rib.next_hop
+  | None -> Alcotest.fail "lookup failed"
+
+let test_tier_of () =
+  let c = Community.tier ~asn:65000 2 in
+  let rib =
+    Rib.add Rib.empty
+      (Rib.route ~communities:[ c ] ~prefix:(prefix "10.0.0.0/8") ~next_hop:1 ())
+  in
+  Alcotest.(check (option int)) "tier" (Some 2) (Rib.tier_of rib (Ipv4.of_string "10.1.1.1"));
+  Alcotest.(check (option int)) "no route" None (Rib.tier_of rib (Ipv4.of_string "11.1.1.1"))
+
+let test_with_community () =
+  let c0 = Community.tier ~asn:65000 0 in
+  let c1 = Community.tier ~asn:65000 1 in
+  let rib =
+    Rib.empty
+    |> Fun.flip Rib.add (Rib.route ~communities:[ c0 ] ~prefix:(prefix "10.0.0.0/16") ~next_hop:1 ())
+    |> Fun.flip Rib.add (Rib.route ~communities:[ c1 ] ~prefix:(prefix "10.1.0.0/16") ~next_hop:1 ())
+    |> Fun.flip Rib.add (Rib.route ~communities:[ c1 ] ~prefix:(prefix "10.2.0.0/16") ~next_hop:1 ())
+  in
+  Alcotest.(check int) "tier 1 routes" 2 (List.length (Rib.with_community rib c1));
+  Alcotest.(check int) "tier 0 routes" 1 (List.length (Rib.with_community rib c0))
+
+let test_immutability () =
+  let rib0 = Rib.empty in
+  let _rib1 = Rib.add rib0 (Rib.route ~prefix:(prefix "10.0.0.0/8") ~next_hop:1 ()) in
+  Alcotest.(check int) "original untouched" 0 (Rib.size rib0)
+
+let prop_lookup_matches_membership =
+  QCheck.Test.make ~name:"lookup result always covers the address" ~count:300
+    QCheck.(pair (int_bound 0xFFFF) (int_range 8 28))
+    (fun (host, bits) ->
+      let base = Ipv4.of_int (0x0A000000 lor host) in
+      let rib =
+        Rib.add Rib.empty (Rib.route ~prefix:(Ipv4.prefix base bits) ~next_hop:1 ())
+      in
+      let addr = Ipv4.of_int (0x0A000000 lor ((host + 1) land 0xFFFF)) in
+      match Rib.lookup rib addr with
+      | Some r -> Ipv4.mem addr r.Rib.prefix
+      | None -> true)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "add and lookup" `Quick test_add_and_lookup;
+    Alcotest.test_case "longest-prefix match" `Quick test_longest_prefix_match;
+    Alcotest.test_case "shorter AS path preferred" `Quick test_preference_shorter_as_path;
+    Alcotest.test_case "incumbent wins ties" `Quick test_incumbent_wins_ties;
+    Alcotest.test_case "tier_of" `Quick test_tier_of;
+    Alcotest.test_case "with_community" `Quick test_with_community;
+    Alcotest.test_case "persistence" `Quick test_immutability;
+    QCheck_alcotest.to_alcotest prop_lookup_matches_membership;
+  ]

@@ -1,0 +1,134 @@
+open Numerics
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different streams" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_copy_independent () =
+  let a = Rng.create 7 in
+  let _ = Rng.bits64 a in
+  let b = Rng.copy a in
+  let va = Rng.bits64 a in
+  let vb = Rng.bits64 b in
+  Alcotest.(check int64) "copy continues the same stream" va vb;
+  (* Advancing the copy must not affect the original. *)
+  let _ = Rng.bits64 b in
+  let a2 = Rng.copy a in
+  Alcotest.(check int64) "original unaffected" (Rng.bits64 a) (Rng.bits64 a2)
+
+let test_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split stream differs" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_float_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng in
+    if x < 0. || x >= 1. then Alcotest.failf "float out of [0,1): %f" x
+  done
+
+let test_float_mean () =
+  let rng = Rng.create 4 in
+  let xs = Array.init 50_000 (fun _ -> Rng.float rng) in
+  let m = Stats.mean xs in
+  if abs_float (m -. 0.5) > 0.01 then Alcotest.failf "uniform mean off: %f" m
+
+let test_int_bounds () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 17 in
+    if x < 0 || x >= 17 then Alcotest.failf "int out of range: %d" x
+  done
+
+let test_int_uniformity () =
+  let rng = Rng.create 6 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Rng.int rng 10 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 10 in
+      if abs (c - expected) > expected / 10 then
+        Alcotest.failf "bucket %d count %d too far from %d" i c expected)
+    counts
+
+let test_int_invalid () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_uniform_range () =
+  let rng = Rng.create 8 in
+  for _ = 1 to 1000 do
+    let x = Rng.uniform rng (-2.) 3. in
+    if x < -2. || x >= 3. then Alcotest.failf "uniform out of range: %f" x
+  done
+
+let test_uniform_invalid () =
+  let rng = Rng.create 8 in
+  Alcotest.check_raises "lo > hi" (Invalid_argument "Rng.uniform: lo > hi") (fun () ->
+      ignore (Rng.uniform rng 3. (-2.)))
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 9 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_shuffle_moves_something () =
+  let rng = Rng.create 10 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  Alcotest.(check bool) "not identity" true (arr <> Array.init 50 Fun.id)
+
+let test_choose () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 100 do
+    let x = Rng.choose rng [| 1; 2; 3 |] in
+    if x < 1 || x > 3 then Alcotest.failf "choose out of range: %d" x
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.choose: empty array") (fun () ->
+      ignore (Rng.choose rng [||]))
+
+let test_bool_balance () =
+  let rng = Rng.create 12 in
+  let trues = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Rng.bool rng then incr trues
+  done;
+  let frac = float_of_int !trues /. float_of_int n in
+  check_float "fair coin" 0.5 (Float.round (frac *. 10.) /. 10.)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+    Alcotest.test_case "copy is independent" `Quick test_copy_independent;
+    Alcotest.test_case "split is independent" `Quick test_split_independent;
+    Alcotest.test_case "float in [0,1)" `Quick test_float_range;
+    Alcotest.test_case "float mean ~0.5" `Quick test_float_mean;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int uniformity" `Quick test_int_uniformity;
+    Alcotest.test_case "int rejects zero bound" `Quick test_int_invalid;
+    Alcotest.test_case "uniform range" `Quick test_uniform_range;
+    Alcotest.test_case "uniform rejects lo>hi" `Quick test_uniform_invalid;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "shuffle moves elements" `Quick test_shuffle_moves_something;
+    Alcotest.test_case "choose" `Quick test_choose;
+    Alcotest.test_case "bool is balanced" `Quick test_bool_balance;
+  ]

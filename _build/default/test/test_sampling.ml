@@ -1,0 +1,99 @@
+open Flowgen
+
+let record bytes packets =
+  {
+    Netflow.src = Ipv4.of_string "10.0.0.1";
+    dst = Ipv4.of_string "10.1.0.1";
+    src_port = 1234;
+    dst_port = 443;
+    proto = 6;
+    bytes;
+    packets;
+    first_s = 0;
+    last_s = 3600;
+    router = 0;
+  }
+
+let test_rate_one_identity () =
+  let rng = Numerics.Rng.create 1 in
+  let r = record 1e6 1000. in
+  match Sampling.sample_record rng (Sampling.make 1) r with
+  | Some r' -> Alcotest.(check (float 0.)) "unchanged" r.Netflow.bytes r'.Netflow.bytes
+  | None -> Alcotest.fail "dropped at rate 1"
+
+let test_make_invalid () =
+  Alcotest.check_raises "rate 0" (Invalid_argument "Sampling.make: rate must be >= 1")
+    (fun () -> ignore (Sampling.make 0))
+
+let test_unbiased_estimate () =
+  let rng = Numerics.Rng.create 2 in
+  let sampler = Sampling.make 100 in
+  let n = 2000 in
+  let total = ref 0. in
+  for _ = 1 to n do
+    match Sampling.sample_record rng sampler (record 1e6 1000.) with
+    | Some r -> total := !total +. r.Netflow.bytes
+    | None -> ()
+  done;
+  let mean_estimate = !total /. float_of_int n in
+  (* Expected 1e6 with relative error ~ sqrt(99/1000)/sqrt(2000) ~ 0.7%. *)
+  if abs_float (mean_estimate -. 1e6) /. 1e6 > 0.03 then
+    Alcotest.failf "biased estimate: %f" mean_estimate
+
+let test_small_flows_can_vanish () =
+  let rng = Numerics.Rng.create 3 in
+  let sampler = Sampling.make 1000 in
+  let vanished = ref 0 in
+  for _ = 1 to 200 do
+    match Sampling.sample_record rng sampler (record 2000. 2.) with
+    | None -> incr vanished
+    | Some _ -> ()
+  done;
+  (* P(no packet sampled) = (1 - 1/1000)^2 ~ 0.998. *)
+  Alcotest.(check bool) "most vanish" true (!vanished > 150)
+
+let test_scaling_factor () =
+  let rng = Numerics.Rng.create 4 in
+  let sampler = Sampling.make 10 in
+  (* A flow with exactly 10 packets: each survivor contributes 10x. *)
+  match Sampling.sample_record rng sampler (record 10_000. 10.) with
+  | Some r ->
+      let per_packet = 1000. in
+      let ratio = r.Netflow.bytes /. per_packet /. 10. in
+      Alcotest.(check bool) "integral survivor count" true
+        (abs_float (ratio -. Float.round ratio) < 1e-9)
+  | None -> ()
+
+let test_sample_list_filters () =
+  let rng = Numerics.Rng.create 5 in
+  let sampler = Sampling.make 1000 in
+  let records = List.init 100 (fun _ -> record 1000. 1.) in
+  let kept = Sampling.sample rng sampler records in
+  Alcotest.(check bool) "most tiny records dropped" true (List.length kept < 20)
+
+let test_expected_relative_error () =
+  Alcotest.(check (float 1e-9)) "rate 1 exact" 0.
+    (Sampling.expected_relative_error (Sampling.make 1) ~packets:100.);
+  Alcotest.(check (float 1e-9)) "formula" (sqrt (99. /. 1000.))
+    (Sampling.expected_relative_error (Sampling.make 100) ~packets:1000.)
+
+let prop_sampling_never_negative =
+  QCheck.Test.make ~name:"sampled bytes non-negative" ~count:200
+    QCheck.(pair (int_range 1 500) small_int)
+    (fun (rate, seed) ->
+      let rng = Numerics.Rng.create seed in
+      match Sampling.sample_record rng (Sampling.make rate) (record 5e5 500.) with
+      | None -> true
+      | Some r -> r.Netflow.bytes >= 0. && r.Netflow.packets >= 0.)
+
+let suite =
+  [
+    Alcotest.test_case "rate 1 is identity" `Quick test_rate_one_identity;
+    Alcotest.test_case "invalid rate" `Quick test_make_invalid;
+    Alcotest.test_case "estimate is unbiased" `Slow test_unbiased_estimate;
+    Alcotest.test_case "small flows vanish" `Quick test_small_flows_can_vanish;
+    Alcotest.test_case "scaling factor" `Quick test_scaling_factor;
+    Alcotest.test_case "sample filters list" `Quick test_sample_list_filters;
+    Alcotest.test_case "expected relative error" `Quick test_expected_relative_error;
+    QCheck_alcotest.to_alcotest prop_sampling_never_negative;
+  ]

@@ -1,0 +1,90 @@
+open Tiered
+
+let test_capture_at_consistent_with_series () =
+  let m = Fixtures.ced_market () in
+  let direct = Sensitivity.capture_at m Strategy.Optimal ~n_bundles:3 in
+  match Capture.series m Strategy.Optimal ~bundle_counts:[ 3 ] with
+  | [ p ] -> Alcotest.(check (float 1e-12)) "same value" p.Capture.capture direct
+  | _ -> Alcotest.fail "unexpected series"
+
+let test_envelope_min_below_each () =
+  let markets = [ Fixtures.ced_market ~alpha:1.1 (); Fixtures.ced_market ~alpha:3. () ] in
+  let env =
+    Sensitivity.envelope ~markets ~strategy:Strategy.Optimal ~bundle_counts:[ 2; 4 ]
+      ~mode:`Min
+  in
+  List.iter
+    (fun (b, worst) ->
+      List.iter
+        (fun m ->
+          let c = Sensitivity.capture_at m Strategy.Optimal ~n_bundles:b in
+          Alcotest.(check bool) "min <= each" true (worst <= c +. 1e-12))
+        markets)
+    env
+
+let test_envelope_max_above_each () =
+  let markets = [ Fixtures.logit_market ~s0:0.1 (); Fixtures.logit_market ~s0:0.5 () ] in
+  let env =
+    Sensitivity.envelope ~markets ~strategy:Strategy.Optimal ~bundle_counts:[ 3 ]
+      ~mode:`Max
+  in
+  List.iter
+    (fun (b, best) ->
+      List.iter
+        (fun m ->
+          let c = Sensitivity.capture_at m Strategy.Optimal ~n_bundles:b in
+          Alcotest.(check bool) "max >= each" true (best >= c -. 1e-12))
+        markets)
+    env
+
+let test_envelope_empty () =
+  Alcotest.check_raises "no markets" (Invalid_argument "Sensitivity.envelope: no markets")
+    (fun () ->
+      ignore
+        (Sensitivity.envelope ~markets:[] ~strategy:Strategy.Optimal ~bundle_counts:[ 1 ]
+           ~mode:`Min))
+
+let test_alpha_range_geometric () =
+  let r = Sensitivity.alpha_range ~steps:3 ~lo:1. ~hi:4. () in
+  Alcotest.(check int) "steps" 3 (List.length r);
+  match r with
+  | [ a; b; c ] ->
+      Alcotest.(check (float 1e-9)) "lo" 1. a;
+      Alcotest.(check (float 1e-9)) "geometric middle" 2. b;
+      Alcotest.(check (float 1e-9)) "hi" 4. c
+  | _ -> Alcotest.fail "unexpected"
+
+let test_linear_range () =
+  let r = Sensitivity.linear_range ~steps:5 ~lo:0. ~hi:1. () in
+  Alcotest.(check (list (float 1e-9))) "grid" [ 0.; 0.25; 0.5; 0.75; 1. ] r
+
+let test_range_validation () =
+  Alcotest.check_raises "alpha lo" (Invalid_argument "Sensitivity.alpha_range: need 0 < lo < hi")
+    (fun () -> ignore (Sensitivity.alpha_range ~lo:0. ~hi:1. ()));
+  Alcotest.check_raises "linear" (Invalid_argument "Sensitivity.linear_range: need lo < hi")
+    (fun () -> ignore (Sensitivity.linear_range ~lo:1. ~hi:1. ()))
+
+let test_robustness_claim_small_market () =
+  (* Echo of Fig. 14: even the worst-case alpha keeps 2-bundle optimal
+     capture meaningfully positive. *)
+  let markets =
+    List.map (fun alpha -> Fixtures.ced_market ~alpha ()) (Sensitivity.alpha_range ~steps:5 ~lo:1.1 ~hi:10. ())
+  in
+  let env =
+    Sensitivity.envelope ~markets ~strategy:Strategy.Optimal ~bundle_counts:[ 2 ] ~mode:`Min
+  in
+  match env with
+  | [ (_, worst) ] -> Alcotest.(check bool) "positive worst case" true (worst > 0.3)
+  | _ -> Alcotest.fail "unexpected"
+
+let suite =
+  [
+    Alcotest.test_case "capture_at = series" `Quick test_capture_at_consistent_with_series;
+    Alcotest.test_case "min envelope below each" `Quick test_envelope_min_below_each;
+    Alcotest.test_case "max envelope above each" `Quick test_envelope_max_above_each;
+    Alcotest.test_case "empty envelope" `Quick test_envelope_empty;
+    Alcotest.test_case "alpha range geometric" `Quick test_alpha_range_geometric;
+    Alcotest.test_case "linear range" `Quick test_linear_range;
+    Alcotest.test_case "range validation" `Quick test_range_validation;
+    Alcotest.test_case "worst-case robustness" `Quick test_robustness_claim_small_market;
+  ]

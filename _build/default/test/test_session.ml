@@ -1,0 +1,146 @@
+open Routing
+open Flowgen
+
+let prefix = Ipv4.prefix_of_string
+let route p = Rib.route ~prefix:(prefix p) ~next_hop:1 ()
+
+let test_lifecycle () =
+  let s = Session.create ~id:0 ~tier:1 ~link:0 in
+  Alcotest.(check bool) "starts idle" true (s.Session.state = Session.Idle);
+  let s = Session.establish s in
+  Alcotest.(check bool) "established" true (s.Session.state = Session.Established);
+  let s = Session.advertise s ~asn:65000 (route "10.1.0.0/16") in
+  Alcotest.(check int) "one route" 1 (List.length s.Session.advertised);
+  let s = Session.shutdown s in
+  Alcotest.(check int) "withdrawn on shutdown" 0 (List.length s.Session.advertised)
+
+let test_advertise_requires_established () =
+  let s = Session.create ~id:0 ~tier:1 ~link:0 in
+  Alcotest.check_raises "idle session"
+    (Invalid_argument "Session.advertise: session not established") (fun () ->
+      ignore (Session.advertise s ~asn:65000 (route "10.1.0.0/16")))
+
+let test_advertise_tags_with_tier () =
+  let s = Session.(advertise (establish (create ~id:0 ~tier:2 ~link:0)) ~asn:65000)
+      (route "10.1.0.0/16")
+  in
+  match s.Session.advertised with
+  | [ r ] ->
+      Alcotest.(check (option int)) "tier tag" (Some 2)
+        (List.find_map Community.tier_of r.Rib.communities)
+  | _ -> Alcotest.fail "expected one route"
+
+let test_advertise_rejects_foreign_tier () =
+  let s = Session.(establish (create ~id:0 ~tier:2 ~link:0)) in
+  let foreign =
+    Rib.route
+      ~communities:[ Community.tier ~asn:65000 5 ]
+      ~prefix:(prefix "10.1.0.0/16") ~next_hop:1 ()
+  in
+  Alcotest.check_raises "foreign tag"
+    (Invalid_argument "Session.advertise: route already tagged with a different tier")
+    (fun () -> ignore (Session.advertise s ~asn:65000 foreign))
+
+let test_advertised_rib () =
+  let sessions =
+    Session.plan ~asn:65000
+      [
+        { Tagging.dst_prefix = prefix "10.1.0.0/16"; tier = 0; next_hop = 1 };
+        { Tagging.dst_prefix = prefix "10.2.0.0/16"; tier = 1; next_hop = 2 };
+      ]
+      ~n_links:2
+  in
+  let rib = Session.advertised_rib sessions in
+  Alcotest.(check int) "two routes" 2 (Rib.size rib);
+  Alcotest.(check (option int)) "tier 0 route" (Some 0)
+    (Rib.tier_of rib (Ipv4.of_string "10.1.5.5"));
+  Alcotest.(check (option int)) "tier 1 route" (Some 1)
+    (Rib.tier_of rib (Ipv4.of_string "10.2.5.5"))
+
+let test_plan_consistent () =
+  let sessions =
+    Session.plan ~asn:65000
+      [
+        { Tagging.dst_prefix = prefix "10.1.0.0/16"; tier = 0; next_hop = 1 };
+        { Tagging.dst_prefix = prefix "10.2.0.0/16"; tier = 1; next_hop = 2 };
+        { Tagging.dst_prefix = prefix "10.3.0.0/16"; tier = 1; next_hop = 2 };
+      ]
+      ~n_links:1
+  in
+  Alcotest.(check int) "one session per tier" 2 (List.length sessions);
+  Alcotest.(check int) "no violations" 0 (List.length (Session.check_consistency sessions))
+
+let test_cross_session_violation () =
+  (* The same prefix advertised on two sessions with different tiers. *)
+  let s0 =
+    Session.(advertise (establish (create ~id:0 ~tier:0 ~link:0)) ~asn:65000)
+      (route "10.1.0.0/16")
+  in
+  let s1 =
+    Session.(advertise (establish (create ~id:1 ~tier:1 ~link:1)) ~asn:65000)
+      (route "10.1.0.0/16")
+  in
+  let violations = Session.check_consistency [ s0; s1 ] in
+  Alcotest.(check int) "one violation" 1 (List.length violations);
+  let v = List.hd violations in
+  Alcotest.(check int) "reported on second session" 1 v.Session.session_id
+
+let test_session_of_tier () =
+  let sessions =
+    Session.plan ~asn:65000
+      [ { Tagging.dst_prefix = prefix "10.1.0.0/16"; tier = 3; next_hop = 1 } ]
+      ~n_links:1
+  in
+  Alcotest.(check bool) "found" true (Session.session_of_tier sessions 3 <> None);
+  Alcotest.(check bool) "absent tier" true (Session.session_of_tier sessions 9 = None)
+
+let test_plan_validation () =
+  Alcotest.check_raises "no links" (Invalid_argument "Session.plan: n_links < 1")
+    (fun () -> ignore (Session.plan ~asn:65000 [] ~n_links:0))
+
+let test_plan_accounting_agreement () =
+  (* End-to-end: a session plan's RIB must account traffic identically
+     to a directly built tagged RIB. *)
+  let assignments =
+    [
+      { Tagging.dst_prefix = prefix "10.1.0.0/16"; tier = 0; next_hop = 1 };
+      { Tagging.dst_prefix = prefix "10.2.0.0/16"; tier = 1; next_hop = 2 };
+    ]
+  in
+  let direct = Tagging.build_rib ~asn:65000 assignments in
+  let via_sessions = Session.advertised_rib (Session.plan ~asn:65000 assignments ~n_links:2) in
+  let record dst bytes =
+    {
+      Netflow.src = Ipv4.of_string "10.0.0.1";
+      dst = Ipv4.of_string dst;
+      src_port = 1;
+      dst_port = 443;
+      proto = 6;
+      bytes;
+      packets = 1.;
+      first_s = 0;
+      last_s = 3600;
+      router = 0;
+    }
+  in
+  let records = [ record "10.1.0.9" 100.; record "10.2.0.9" 250. ] in
+  let u1 = Accounting.flow_based ~rib:direct records in
+  let u2 = Accounting.flow_based ~rib:via_sessions records in
+  Alcotest.(check (list (pair int (float 1e-9)))) "same accounting"
+    u1.Accounting.tier_bytes u2.Accounting.tier_bytes
+
+let suite =
+  [
+    Alcotest.test_case "lifecycle" `Quick test_lifecycle;
+    Alcotest.test_case "advertise requires established" `Quick
+      test_advertise_requires_established;
+    Alcotest.test_case "advertise tags with tier" `Quick test_advertise_tags_with_tier;
+    Alcotest.test_case "foreign tier rejected" `Quick test_advertise_rejects_foreign_tier;
+    Alcotest.test_case "advertised RIB" `Quick test_advertised_rib;
+    Alcotest.test_case "plan is consistent" `Quick test_plan_consistent;
+    Alcotest.test_case "cross-session violation" `Quick test_cross_session_violation;
+    Alcotest.test_case "session_of_tier" `Quick test_session_of_tier;
+    Alcotest.test_case "plan validation" `Quick test_plan_validation;
+    Alcotest.test_case "plan = direct tagging for accounting" `Quick
+      test_plan_accounting_agreement;
+  ]

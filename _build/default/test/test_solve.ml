@@ -1,0 +1,89 @@
+open Numerics
+
+let checkf tol = Alcotest.(check (float tol))
+
+let test_bisect_sqrt2 () =
+  let root = Solve.bisect ~f:(fun x -> (x *. x) -. 2.) 0. 2. in
+  checkf 1e-9 "sqrt 2" (sqrt 2.) root
+
+let test_bisect_endpoint_root () =
+  checkf 0. "lo is root" 0. (Solve.bisect ~f:Fun.id 0. 1.);
+  checkf 0. "hi is root" 1. (Solve.bisect ~f:(fun x -> x -. 1.) 0. 1.)
+
+let test_bisect_no_sign_change () =
+  Alcotest.check_raises "same sign"
+    (Invalid_argument "Solve.bisect: f(lo) and f(hi) have the same sign") (fun () ->
+      ignore (Solve.bisect ~f:(fun x -> (x *. x) +. 1.) (-1.) 1.))
+
+let test_newton_converges () =
+  let root = Solve.newton ~f:(fun x -> (x *. x) -. 2.) ~df:(fun x -> 2. *. x) 1. in
+  checkf 1e-9 "sqrt 2" (sqrt 2.) root
+
+let test_newton_zero_derivative () =
+  Alcotest.check_raises "flat" (Failure "Solve.newton: zero derivative") (fun () ->
+      ignore (Solve.newton ~f:(fun _ -> 1.) ~df:(fun _ -> 0.) 0.))
+
+let test_newton_bisect_hard () =
+  (* A function where plain Newton from the midpoint diverges but the
+     safeguarded bracket holds: steep atan-like shape. *)
+  let f x = atan (20. *. (x -. 0.1)) in
+  let df x = 20. /. (1. +. (400. *. (x -. 0.1) ** 2.)) in
+  let root = Solve.newton_bisect ~f ~df (-100.) 100. in
+  checkf 1e-6 "atan root" 0.1 root
+
+let test_newton_bisect_logit_margin () =
+  (* The logit common-margin equation x - 1 = S e^(-x). *)
+  let ln_s = 3.0 in
+  let f x = x -. 1. -. exp (ln_s -. x) in
+  let df x = 1. +. exp (ln_s -. x) in
+  let x = Solve.newton_bisect ~f ~df 1. (Float.max 2. (ln_s +. 2.)) in
+  checkf 1e-8 "fixed point residual" 0. (f x);
+  Alcotest.(check bool) "x > 1" true (x > 1.)
+
+let test_golden_section_parabola () =
+  let xmin = Solve.golden_section ~f:(fun x -> (x -. 3.) ** 2.) 0. 10. in
+  checkf 1e-6 "parabola min" 3. xmin
+
+let test_golden_section_asymmetric () =
+  let f x = (x ** 4.) -. (3. *. x) in
+  (* f'(x) = 4x^3 - 3 -> x* = (3/4)^(1/3). *)
+  let xmin = Solve.golden_section ~f 0. 2. in
+  checkf 1e-5 "quartic min" ((3. /. 4.) ** (1. /. 3.)) xmin
+
+let test_maximize_scalar () =
+  let xmax = Solve.maximize_scalar ~f:(fun x -> -.((x -. 1.5) ** 2.)) 0. 4. in
+  checkf 1e-6 "max of concave" 1.5 xmax
+
+let prop_bisect_residual =
+  QCheck.Test.make ~name:"bisect residual is tiny" ~count:200
+    QCheck.(pair (float_range 0.1 50.) (float_range 0.1 10.))
+    (fun (target, scale) ->
+      (* f(x) = scale * (x - target), root at target. *)
+      let f x = scale *. (x -. target) in
+      let root = Solve.bisect ~f (-1.) 100. in
+      abs_float (root -. target) < 1e-6)
+
+let prop_golden_section_beats_endpoints =
+  QCheck.Test.make ~name:"golden section result beats endpoints" ~count:200
+    QCheck.(pair (float_range (-5.) 5.) (float_range 0.5 3.))
+    (fun (center, width) ->
+      let f x = (x -. center) ** 2. in
+      let lo = center -. (3. *. width) and hi = center +. (2. *. width) in
+      let x = Solve.golden_section ~f lo hi in
+      f x <= f lo +. 1e-9 && f x <= f hi +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "bisect sqrt(2)" `Quick test_bisect_sqrt2;
+    Alcotest.test_case "bisect endpoint roots" `Quick test_bisect_endpoint_root;
+    Alcotest.test_case "bisect requires sign change" `Quick test_bisect_no_sign_change;
+    Alcotest.test_case "newton converges" `Quick test_newton_converges;
+    Alcotest.test_case "newton rejects flat derivative" `Quick test_newton_zero_derivative;
+    Alcotest.test_case "newton_bisect on stiff function" `Quick test_newton_bisect_hard;
+    Alcotest.test_case "newton_bisect logit margin" `Quick test_newton_bisect_logit_margin;
+    Alcotest.test_case "golden section parabola" `Quick test_golden_section_parabola;
+    Alcotest.test_case "golden section quartic" `Quick test_golden_section_asymmetric;
+    Alcotest.test_case "maximize_scalar" `Quick test_maximize_scalar;
+    QCheck_alcotest.to_alcotest prop_bisect_residual;
+    QCheck_alcotest.to_alcotest prop_golden_section_beats_endpoints;
+  ]

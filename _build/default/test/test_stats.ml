@@ -1,0 +1,147 @@
+open Numerics
+
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_sum () =
+  checkf "simple" 6. (Stats.sum [| 1.; 2.; 3. |]);
+  checkf "empty" 0. (Stats.sum [||])
+
+let test_sum_compensated () =
+  (* Adding many tiny values to a large one loses them under naive
+     summation; Kahan keeps them. *)
+  let xs = Array.make 10_001 1e-10 in
+  xs.(0) <- 1e10;
+  let total = Stats.sum xs in
+  Alcotest.(check (float 1e-7)) "kahan" (1e10 +. 1e-6) total
+
+let test_mean_variance () =
+  let xs = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  checkf "mean" 5. (Stats.mean xs);
+  checkf "variance" 4. (Stats.variance xs);
+  checkf "stddev" 2. (Stats.stddev xs);
+  checkf "cv" 0.4 (Stats.cv xs)
+
+let test_empty_raises () =
+  Alcotest.check_raises "mean" (Invalid_argument "Stats.mean: empty array") (fun () ->
+      ignore (Stats.mean [||]))
+
+let test_cv_zero_mean () =
+  Alcotest.check_raises "cv" (Invalid_argument "Stats.cv: zero mean") (fun () ->
+      ignore (Stats.cv [| 1.; -1. |]))
+
+let test_weighted_mean () =
+  checkf "weighted" 2.5
+    (Stats.weighted_mean ~values:[| 1.; 2.; 3. |] ~weights:[| 1.; 0.; 3. |]);
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Stats.weighted_mean: length mismatch") (fun () ->
+      ignore (Stats.weighted_mean ~values:[| 1. |] ~weights:[| 1.; 2. |]));
+  Alcotest.check_raises "zero weight"
+    (Invalid_argument "Stats.weighted_mean: non-positive total weight") (fun () ->
+      ignore (Stats.weighted_mean ~values:[| 1. |] ~weights:[| 0. |]))
+
+let test_min_max () =
+  checkf "min" (-3.) (Stats.min [| 2.; -3.; 5. |]);
+  checkf "max" 5. (Stats.max [| 2.; -3.; 5. |])
+
+let test_quantile () =
+  let xs = [| 1.; 2.; 3.; 4. |] in
+  checkf "q0" 1. (Stats.quantile xs 0.);
+  checkf "q1" 4. (Stats.quantile xs 1.);
+  checkf "median interpolates" 2.5 (Stats.median xs);
+  checkf "q0.25" 1.75 (Stats.quantile xs 0.25);
+  (* quantile must not mutate. *)
+  let ys = [| 3.; 1.; 2. |] in
+  let _ = Stats.quantile ys 0.5 in
+  Alcotest.(check (array (float 0.))) "unmutated" [| 3.; 1.; 2. |] ys
+
+let test_quantile_invalid () =
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Stats.quantile: q out of [0,1]") (fun () ->
+      ignore (Stats.quantile [| 1. |] 1.5))
+
+let test_summarize_zero_mean_cv_nan () =
+  let s = Numerics.Stats.summarize [| 1.; -1. |] in
+  Alcotest.(check bool) "cv is nan" true (Float.is_nan s.Numerics.Stats.cv);
+  (* pp_summary must not raise on nan. *)
+  let buf = Buffer.create 64 in
+  let ppf = Format.formatter_of_buffer buf in
+  Numerics.Stats.pp_summary ppf s;
+  Format.pp_print_flush ppf ();
+  Alcotest.(check bool) "printed" true (Buffer.length buf > 0)
+
+let test_summarize () =
+  let s = Stats.summarize [| 1.; 2.; 3.; 4.; 5. |] in
+  Alcotest.(check int) "n" 5 s.Stats.n;
+  checkf "mean" 3. s.Stats.mean;
+  checkf "p50" 3. s.Stats.p50;
+  checkf "min" 1. s.Stats.min;
+  checkf "max" 5. s.Stats.max
+
+let test_histogram () =
+  let h = Stats.histogram ~bins:2 [| 0.; 1.; 2.; 3. |] in
+  Alcotest.(check int) "two bins" 2 (Array.length h);
+  let _, _, c0 = h.(0) and _, _, c1 = h.(1) in
+  Alcotest.(check int) "bin counts total" 4 (c0 + c1);
+  Alcotest.(check int) "first bin" 2 c0
+
+let test_histogram_constant_input () =
+  let h = Stats.histogram ~bins:3 [| 5.; 5.; 5. |] in
+  let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
+  Alcotest.(check int) "all counted" 3 total
+
+let test_pearson () =
+  checkf "perfect" 1. (Stats.pearson [| 1.; 2.; 3. |] [| 2.; 4.; 6. |]);
+  checkf "perfect negative" (-1.) (Stats.pearson [| 1.; 2.; 3. |] [| 3.; 2.; 1. |]);
+  Alcotest.check_raises "degenerate"
+    (Invalid_argument "Stats.pearson: degenerate input") (fun () ->
+      ignore (Stats.pearson [| 1.; 1. |] [| 1.; 2. |]))
+
+let test_logsumexp () =
+  checkf "two zeros" (log 2.) (Stats.logsumexp [| 0.; 0. |]);
+  checkf "dominant" 1000. (Stats.logsumexp [| 1000.; -1000. |]);
+  Alcotest.(check (float 1e-6)) "large values don't overflow"
+    (700. +. log 2.)
+    (Stats.logsumexp [| 700.; 700. |]);
+  Alcotest.(check bool) "empty" true (Stats.logsumexp [||] = Float.neg_infinity)
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~name:"quantile is monotone in q" ~count:200
+    QCheck.(
+      pair
+        (array_of_size Gen.(1 -- 20) (float_range (-100.) 100.))
+        (pair (float_range 0. 1.) (float_range 0. 1.)))
+    (fun (xs, (q1, q2)) ->
+      let lo = Float.min q1 q2 and hi = Float.max q1 q2 in
+      Stats.quantile xs lo <= Stats.quantile xs hi +. 1e-9)
+
+let prop_variance_nonneg =
+  QCheck.Test.make ~name:"variance is non-negative" ~count:500
+    QCheck.(array_of_size Gen.(1 -- 30) (float_range (-1e3) 1e3))
+    (fun xs -> Stats.variance xs >= -1e-6)
+
+let prop_logsumexp_exceeds_max =
+  QCheck.Test.make ~name:"logsumexp >= max element" ~count:500
+    QCheck.(array_of_size Gen.(1 -- 20) (float_range (-500.) 500.))
+    (fun xs -> Stats.logsumexp xs >= Stats.max xs -. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "sum" `Quick test_sum;
+    Alcotest.test_case "sum is compensated" `Quick test_sum_compensated;
+    Alcotest.test_case "mean/variance/stddev/cv" `Quick test_mean_variance;
+    Alcotest.test_case "empty input raises" `Quick test_empty_raises;
+    Alcotest.test_case "cv rejects zero mean" `Quick test_cv_zero_mean;
+    Alcotest.test_case "weighted mean" `Quick test_weighted_mean;
+    Alcotest.test_case "min/max" `Quick test_min_max;
+    Alcotest.test_case "quantile" `Quick test_quantile;
+    Alcotest.test_case "quantile invalid q" `Quick test_quantile_invalid;
+    Alcotest.test_case "summarize" `Quick test_summarize;
+    Alcotest.test_case "summarize zero-mean cv" `Quick test_summarize_zero_mean_cv_nan;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "histogram constant input" `Quick test_histogram_constant_input;
+    Alcotest.test_case "pearson" `Quick test_pearson;
+    Alcotest.test_case "logsumexp" `Quick test_logsumexp;
+    QCheck_alcotest.to_alcotest prop_quantile_monotone;
+    QCheck_alcotest.to_alcotest prop_variance_nonneg;
+    QCheck_alcotest.to_alcotest prop_logsumexp_exceeds_max;
+  ]

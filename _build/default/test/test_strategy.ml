@@ -1,0 +1,193 @@
+open Tiered
+
+let test_names_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check bool) (Strategy.name s) true (Strategy.of_name (Strategy.name s) = s))
+    Strategy.all;
+  Alcotest.check_raises "unknown" (Invalid_argument "Strategy.of_name: unknown strategy x")
+    (fun () -> ignore (Strategy.of_name "x"))
+
+let test_token_bucket_paper_example () =
+  (* The paper's worked example: demands 30, 10, 10, 10 into two bundles
+     puts the big flow alone. *)
+  let weights = [| 30.; 10.; 10.; 10. |] in
+  let bundles = Strategy.token_bucket ~weights ~order:[| 0; 1; 2; 3 |] ~n_bundles:2 in
+  Alcotest.(check int) "two bundles" 2 (Bundle.count bundles);
+  let groups = (bundles :> int array array) in
+  Alcotest.(check (array int)) "big flow alone" [| 0 |] groups.(0);
+  Alcotest.(check (array int)) "rest together" [| 1; 2; 3 |] groups.(1)
+
+let test_token_bucket_overdraft_carries () =
+  (* One huge flow overdrafts its budget; the deficit carries forward, so
+     the middle bundle only gets one flow (the "empty bundle accepts one"
+     rule) and the tail collects in the last bundle. *)
+  let weights = [| 100.; 1.; 1.; 1. |] in
+  let bundles = Strategy.token_bucket ~weights ~order:[| 0; 1; 2; 3 |] ~n_bundles:3 in
+  let groups = (bundles :> int array array) in
+  Alcotest.(check int) "three bundles" 3 (Bundle.count bundles);
+  Alcotest.(check (array int)) "giant alone" [| 0 |] groups.(0);
+  Alcotest.(check (array int)) "single flow despite deficit" [| 1 |] groups.(1);
+  Alcotest.(check (array int)) "tail" [| 2; 3 |] groups.(2)
+
+let test_token_bucket_equal_weights () =
+  let weights = Array.make 6 1. in
+  let bundles = Strategy.token_bucket ~weights ~order:[| 0; 1; 2; 3; 4; 5 |] ~n_bundles:3 in
+  Alcotest.(check (array int)) "even split" [| 2; 2; 2 |] (Bundle.sizes bundles)
+
+let test_all_strategies_valid_partitions () =
+  List.iter
+    (fun m ->
+      List.iter
+        (fun strategy ->
+          List.iter
+            (fun b ->
+              let bundles = Strategy.apply strategy m ~n_bundles:b in
+              (* Validity is enforced by Bundle's smart constructor; check
+                 bundle count within limit. *)
+              Alcotest.(check bool)
+                (Strategy.name strategy ^ " count")
+                true
+                (Bundle.count bundles <= b || b > Market.n_flows m))
+            [ 1; 2; 3; 5; 8 ])
+        Strategy.all)
+    [ Fixtures.ced_market (); Fixtures.logit_market () ]
+
+let test_cost_division_ranges () =
+  let m = Fixtures.ced_market () in
+  let bundles = Strategy.apply Strategy.Cost_division m ~n_bundles:2 in
+  let cmax = Numerics.Stats.max m.Market.costs in
+  let groups = (bundles :> int array array) in
+  Array.iter
+    (fun group ->
+      let costs = Array.map (fun i -> m.Market.costs.(i)) group in
+      let lo = Numerics.Stats.min costs and hi = Numerics.Stats.max costs in
+      (* All members fall in the same half of [0, cmax]. *)
+      Alcotest.(check bool) "same range" true
+        (Float.floor (lo /. (cmax /. 2.) -. 1e-12) >= Float.floor (hi /. (cmax /. 2.) -. 1e-12) -. 1e-9))
+    groups
+
+let test_index_division_equal_ranks () =
+  let m = Fixtures.ced_market () in
+  let bundles = Strategy.apply Strategy.Index_division m ~n_bundles:4 in
+  Alcotest.(check (array int)) "equal rank groups" [| 2; 2; 2; 2 |] (Bundle.sizes bundles)
+
+let test_optimal_beats_heuristics () =
+  List.iter
+    (fun m ->
+      let profit strategy b =
+        (Pricing.evaluate m (Strategy.apply strategy m ~n_bundles:b)).Pricing.profit
+      in
+      List.iter
+        (fun b ->
+          let best = profit Strategy.Optimal b in
+          List.iter
+            (fun s ->
+              if profit s b > best +. 1e-9 *. abs_float best then
+                Alcotest.failf "%s beats optimal at B=%d" (Strategy.name s) b)
+            Strategy.all)
+        [ 2; 3; 4 ])
+    [ Fixtures.ced_market (); Fixtures.logit_market () ]
+
+let test_optimal_matches_exhaustive_ced () =
+  (* The DP's contiguity-in-cost argument is exact for CED: cross-check
+     against true exhaustive set-partition search. *)
+  let flows =
+    Fixtures.flows_of_spec [ (50., 5.); (20., 60.); (10., 300.); (5., 1200.); (80., 15.) ]
+  in
+  let m = Fixtures.ced_market ~flows () in
+  List.iter
+    (fun b ->
+      let dp = (Pricing.evaluate m (Strategy.apply Strategy.Optimal m ~n_bundles:b)).Pricing.profit in
+      let ex = (Pricing.evaluate m (Strategy.exhaustive_optimal m ~n_bundles:b)).Pricing.profit in
+      Alcotest.(check (float 1e-6)) (Printf.sprintf "B=%d" b) ex dp)
+    [ 1; 2; 3 ]
+
+let test_optimal_close_to_exhaustive_logit () =
+  let flows =
+    Fixtures.flows_of_spec [ (50., 5.); (20., 60.); (10., 300.); (5., 1200.); (80., 15.) ]
+  in
+  let m = Fixtures.logit_market ~flows () in
+  List.iter
+    (fun b ->
+      let dp = (Pricing.evaluate m (Strategy.apply Strategy.Optimal m ~n_bundles:b)).Pricing.profit in
+      let ex = (Pricing.evaluate m (Strategy.exhaustive_optimal m ~n_bundles:b)).Pricing.profit in
+      if (ex -. dp) /. abs_float ex > 1e-6 then
+        Alcotest.failf "logit DP off at B=%d: %f vs %f" b dp ex)
+    [ 1; 2; 3 ]
+
+let test_exhaustive_guard () =
+  let flows =
+    Array.init 13 (fun id -> Flow.make ~id ~demand_mbps:1. ~distance_miles:10. ())
+  in
+  let m = Fixtures.ced_market ~flows () in
+  Alcotest.check_raises "too many flows"
+    (Invalid_argument "Strategy.exhaustive_optimal: too many flows (max 12)") (fun () ->
+      ignore (Strategy.exhaustive_optimal m ~n_bundles:2))
+
+let test_class_aware_never_mixes_classes () =
+  let m =
+    Market.fit ~spec:Market.Ced ~alpha:1.1 ~p0:20.
+      ~cost_model:(Cost_model.destination_type ~theta:0.3)
+      (Fixtures.flows ())
+  in
+  let bundles = Strategy.apply Strategy.Profit_weighted_classes m ~n_bundles:4 in
+  let groups = (bundles :> int array array) in
+  Array.iter
+    (fun group ->
+      let classes =
+        Array.map
+          (fun i -> Cost_model.is_on_net ~theta:0.3 m.Market.flows.(i).Flow.id)
+          group
+      in
+      let first = classes.(0) in
+      Array.iter
+        (fun c -> if c <> first then Alcotest.fail "mixed on/off-net bundle")
+        classes)
+    groups
+
+let test_n_bundles_validation () =
+  let m = Fixtures.ced_market () in
+  Alcotest.check_raises "zero" (Invalid_argument "Strategy.apply: n_bundles < 1")
+    (fun () -> ignore (Strategy.apply Strategy.Optimal m ~n_bundles:0))
+
+let test_single_bundle_all_equal () =
+  (* With one bundle every strategy produces the same (blended) result. *)
+  let m = Fixtures.ced_market () in
+  let blended = (Pricing.blended m).Pricing.profit in
+  List.iter
+    (fun s ->
+      let profit = (Pricing.evaluate m (Strategy.apply s m ~n_bundles:1)).Pricing.profit in
+      Alcotest.(check (float 1e-9)) (Strategy.name s) blended profit)
+    Strategy.all
+
+let prop_optimal_monotone_in_bundles =
+  QCheck.Test.make ~name:"optimal profit monotone in bundle count" ~count:30
+    QCheck.(
+      list_of_size Gen.(3 -- 9)
+        (pair (float_range 1. 50.) (float_range 1. 2000.)))
+    (fun spec ->
+      let m = Fixtures.ced_market ~flows:(Fixtures.flows_of_spec spec) () in
+      let profit b =
+        (Pricing.evaluate m (Strategy.apply Strategy.Optimal m ~n_bundles:b)).Pricing.profit
+      in
+      let p2 = profit 2 and p3 = profit 3 and p4 = profit 4 in
+      p2 <= p3 +. 1e-9 && p3 <= p4 +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "names roundtrip" `Quick test_names_roundtrip;
+    Alcotest.test_case "token bucket paper example" `Quick test_token_bucket_paper_example;
+    Alcotest.test_case "token bucket overdraft" `Quick test_token_bucket_overdraft_carries;
+    Alcotest.test_case "token bucket equal weights" `Quick test_token_bucket_equal_weights;
+    Alcotest.test_case "all strategies valid" `Quick test_all_strategies_valid_partitions;
+    Alcotest.test_case "cost division ranges" `Quick test_cost_division_ranges;
+    Alcotest.test_case "index division ranks" `Quick test_index_division_equal_ranks;
+    Alcotest.test_case "optimal beats heuristics" `Quick test_optimal_beats_heuristics;
+    Alcotest.test_case "optimal = exhaustive (CED)" `Slow test_optimal_matches_exhaustive_ced;
+    Alcotest.test_case "optimal ~ exhaustive (logit)" `Slow test_optimal_close_to_exhaustive_logit;
+    Alcotest.test_case "exhaustive size guard" `Quick test_exhaustive_guard;
+    Alcotest.test_case "class-aware never mixes" `Quick test_class_aware_never_mixes_classes;
+    Alcotest.test_case "n_bundles validation" `Quick test_n_bundles_validation;
+    Alcotest.test_case "single bundle equivalence" `Quick test_single_bundle_all_equal;
+    QCheck_alcotest.to_alcotest prop_optimal_monotone_in_bundles;
+  ]

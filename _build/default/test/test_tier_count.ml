@@ -1,0 +1,84 @@
+open Tiered
+
+let checkf tol = Alcotest.(check (float tol))
+
+let test_overhead_cost () =
+  let o = Tier_count.overhead ~fixed:100. ~per_flow:0.5 ~per_tier:10. () in
+  checkf 1e-9 "formula" (100. +. 30. +. 5.) (Tier_count.cost o ~n_tiers:3 ~n_flows:10)
+
+let test_overhead_validation () =
+  Alcotest.check_raises "negative" (Invalid_argument "Tier_count.overhead: negative component")
+    (fun () -> ignore (Tier_count.overhead ~per_tier:(-1.) ()))
+
+let test_series_shape () =
+  let m = Fixtures.ced_market () in
+  let o = Tier_count.overhead ~per_tier:0. () in
+  let series = Tier_count.series m Strategy.Optimal o ~max_bundles:5 in
+  Alcotest.(check int) "five points" 5 (List.length series);
+  List.iteri
+    (fun i p ->
+      Alcotest.(check int) "indexed" (i + 1) p.Tier_count.n_bundles;
+      checkf 1e-9 "net = gross with zero overhead" p.Tier_count.gross_profit
+        p.Tier_count.net_profit)
+    series
+
+let test_zero_overhead_picks_max_bundles () =
+  (* Without overhead, more tiers never hurt, so the optimum saturates. *)
+  let m = Fixtures.ced_market () in
+  let o = Tier_count.overhead ~per_tier:0. () in
+  let best = Tier_count.optimal m Strategy.Optimal o ~max_bundles:6 in
+  let series = Tier_count.series m Strategy.Optimal o ~max_bundles:6 in
+  let top = List.fold_left (fun acc p -> Float.max acc p.Tier_count.net_profit) neg_infinity series in
+  checkf 1e-9 "optimum attains the max" top best.Tier_count.net_profit
+
+let test_huge_overhead_picks_one () =
+  let m = Fixtures.ced_market () in
+  let headroom = Capture.headroom (Capture.context m) in
+  let o = Tier_count.overhead ~per_tier:(2. *. headroom) () in
+  let best = Tier_count.optimal m Strategy.Optimal o ~max_bundles:6 in
+  Alcotest.(check int) "one tier" 1 best.Tier_count.n_bundles
+
+let test_moderate_overhead_interior_optimum () =
+  (* Overhead priced so that the marginal tier beyond ~3 stops paying. *)
+  let m = Fixtures.ced_market () in
+  let marginal = Tier_count.break_even_overhead m Strategy.Optimal ~from_bundles:3 ~to_bundles:4 in
+  let o = Tier_count.overhead ~per_tier:(marginal *. 1.5) () in
+  let best = Tier_count.optimal m Strategy.Optimal o ~max_bundles:8 in
+  Alcotest.(check bool) "interior optimum" true
+    (best.Tier_count.n_bundles >= 2 && best.Tier_count.n_bundles <= 4)
+
+let test_break_even_monotone_in_span () =
+  (* Capture curves are concave-ish: the average marginal gain from
+     3->4 exceeds that from 3->8. *)
+  let m = Fixtures.ced_market () in
+  let near = Tier_count.break_even_overhead m Strategy.Optimal ~from_bundles:3 ~to_bundles:4 in
+  let far = Tier_count.break_even_overhead m Strategy.Optimal ~from_bundles:3 ~to_bundles:8 in
+  Alcotest.(check bool) "diminishing returns" true (near >= far -. 1e-9)
+
+let test_break_even_validation () =
+  let m = Fixtures.ced_market () in
+  Alcotest.check_raises "bad span"
+    (Invalid_argument "Tier_count.break_even_overhead: need 1 <= from < to") (fun () ->
+      ignore (Tier_count.break_even_overhead m Strategy.Optimal ~from_bundles:3 ~to_bundles:3))
+
+let test_net_profit_identity () =
+  let m = Fixtures.logit_market () in
+  let o = Tier_count.overhead ~fixed:10. ~per_flow:0.1 ~per_tier:5. () in
+  List.iter
+    (fun p ->
+      checkf 1e-9 "identity" p.Tier_count.net_profit
+        (p.Tier_count.gross_profit -. p.Tier_count.overhead_cost))
+    (Tier_count.series m Strategy.Optimal o ~max_bundles:4)
+
+let suite =
+  [
+    Alcotest.test_case "overhead cost" `Quick test_overhead_cost;
+    Alcotest.test_case "overhead validation" `Quick test_overhead_validation;
+    Alcotest.test_case "series shape" `Quick test_series_shape;
+    Alcotest.test_case "zero overhead saturates" `Quick test_zero_overhead_picks_max_bundles;
+    Alcotest.test_case "huge overhead picks one tier" `Quick test_huge_overhead_picks_one;
+    Alcotest.test_case "interior optimum" `Quick test_moderate_overhead_interior_optimum;
+    Alcotest.test_case "diminishing returns" `Quick test_break_even_monotone_in_span;
+    Alcotest.test_case "break-even validation" `Quick test_break_even_validation;
+    Alcotest.test_case "net profit identity" `Quick test_net_profit_identity;
+  ]

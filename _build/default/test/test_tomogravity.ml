@@ -1,0 +1,132 @@
+open Flowgen
+
+let topo = lazy (Netsim.Presets.internet2 ())
+
+(* A deterministic ground-truth demand matrix over the Internet2 pops.
+   Real traffic matrices are roughly gravity-shaped (that is why
+   tomogravity works); the truth here is gravity times lognormal noise,
+   so the estimator is tested in its intended regime while staying far
+   from an exact gravity matrix. *)
+let truth_demands () =
+  let t = Lazy.force topo in
+  let n = List.length t.Netsim.Topology.pops in
+  let rng = Numerics.Rng.create 404 in
+  let weight = Array.init n (fun _ -> Numerics.Rng.uniform rng 1. 10.) in
+  let demands = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then
+        let noise = Numerics.Dist.lognormal_of_mean_cv rng ~mean:1. ~cv:0.6 in
+        demands := (i, j, 2. *. weight.(i) *. weight.(j) *. noise) :: !demands
+    done
+  done;
+  !demands
+
+let truth_matrix demands n =
+  let m = Array.make_matrix n n 0. in
+  List.iter (fun (i, j, q) -> m.(i).(j) <- m.(i).(j) +. q) demands;
+  m
+
+let test_observe_totals () =
+  let t = Lazy.force topo in
+  let demands = truth_demands () in
+  let obs = Tomogravity.observe t demands in
+  let total = List.fold_left (fun acc (_, _, q) -> acc +. q) 0. demands in
+  Alcotest.(check (float 1e-6)) "out total" total (Numerics.Stats.sum obs.Tomogravity.node_out_mbps);
+  Alcotest.(check (float 1e-6)) "in total" total (Numerics.Stats.sum obs.Tomogravity.node_in_mbps);
+  Alcotest.(check bool) "links loaded" true (obs.Tomogravity.link_mbps <> [])
+
+let test_observe_matches_loading () =
+  (* The link loads the tomogravity observer produces must equal the
+     Loading module's (both route on shortest paths). *)
+  let t = Lazy.force topo in
+  let demands = truth_demands () in
+  let obs = Tomogravity.observe t demands in
+  let pops = Array.of_list t.Netsim.Topology.pops in
+  let report =
+    Loading.of_demands ~topology:t
+      (List.map (fun (i, j, q) -> (pops.(i).Netsim.Node.id, pops.(j).Netsim.Node.id, q)) demands)
+  in
+  List.iter
+    (fun (a, b, load) ->
+      match
+        List.find_opt
+          (fun (l : Loading.link_load) -> Netsim.Link.connects l.Loading.link a b)
+          report.Loading.loads
+      with
+      | Some l -> Alcotest.(check (float 1e-6)) "same link load" l.Loading.mbps load
+      | None -> Alcotest.failf "link %d-%d missing from Loading report" a b)
+    obs.Tomogravity.link_mbps
+
+let test_gravity_marginals () =
+  let t = Lazy.force topo in
+  let obs = Tomogravity.observe t (truth_demands ()) in
+  let g = Tomogravity.gravity obs in
+  (* Gravity preserves the total and has a zero diagonal. *)
+  let total = Numerics.Stats.sum (Array.map Numerics.Stats.sum g) in
+  Alcotest.(check (float 1.)) "total preserved"
+    (Numerics.Stats.sum obs.Tomogravity.node_out_mbps)
+    total;
+  Array.iteri (fun i row -> Alcotest.(check (float 0.)) "zero diagonal" 0. row.(i)) g
+
+let test_estimate_beats_gravity () =
+  let t = Lazy.force topo in
+  let demands = truth_demands () in
+  let n = List.length t.Netsim.Topology.pops in
+  let truth = truth_matrix demands n in
+  let obs = Tomogravity.observe t demands in
+  let gravity_q = Tomogravity.compare_to_truth ~truth (Tomogravity.gravity obs) in
+  let refined_q = Tomogravity.compare_to_truth ~truth (Tomogravity.estimate t obs) in
+  Alcotest.(check bool) "refinement helps correlation" true
+    (refined_q.Tomogravity.correlation >= gravity_q.Tomogravity.correlation -. 1e-9);
+  Alcotest.(check bool) "decent estimate" true (refined_q.Tomogravity.correlation > 0.7);
+  Alcotest.(check bool) "total close" true (refined_q.Tomogravity.total_error < 0.05)
+
+let test_estimate_nonnegative () =
+  let t = Lazy.force topo in
+  let obs = Tomogravity.observe t (truth_demands ()) in
+  let est = Tomogravity.estimate t obs in
+  Array.iter
+    (Array.iter (fun v -> if v < 0. then Alcotest.fail "negative demand estimate"))
+    est
+
+let test_zero_iterations_is_gravity () =
+  let t = Lazy.force topo in
+  let obs = Tomogravity.observe t (truth_demands ()) in
+  let est = Tomogravity.estimate ~iterations:0 t obs in
+  let g = Tomogravity.gravity obs in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j v -> Alcotest.(check (float 1e-9)) "matches gravity" g.(i).(j) v)
+        row)
+    est
+
+let test_observe_validation () =
+  let t = Lazy.force topo in
+  (match Tomogravity.observe t [ (0, 99, 5.) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted out-of-range pop");
+  match Tomogravity.observe t [ (0, 1, -5.) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted negative demand"
+
+let test_gravity_zero_traffic () =
+  match
+    Tomogravity.gravity
+      { Tomogravity.node_out_mbps = [| 0.; 0. |]; node_in_mbps = [| 0.; 0. |]; link_mbps = [] }
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted zero traffic"
+
+let suite =
+  [
+    Alcotest.test_case "observe totals" `Quick test_observe_totals;
+    Alcotest.test_case "observe matches Loading" `Quick test_observe_matches_loading;
+    Alcotest.test_case "gravity marginals" `Quick test_gravity_marginals;
+    Alcotest.test_case "estimate beats gravity" `Quick test_estimate_beats_gravity;
+    Alcotest.test_case "estimate non-negative" `Quick test_estimate_nonnegative;
+    Alcotest.test_case "zero iterations = gravity" `Quick test_zero_iterations_is_gravity;
+    Alcotest.test_case "observe validation" `Quick test_observe_validation;
+    Alcotest.test_case "gravity zero traffic" `Quick test_gravity_zero_traffic;
+  ]

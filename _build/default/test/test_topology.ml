@@ -1,0 +1,102 @@
+open Netsim
+
+let cities names = List.map Cities.find names
+let euro4 = [ "London"; "Paris"; "Berlin"; "Madrid" ]
+
+let test_ring () =
+  let t = Topology.ring ~name:"r" ~capacity_gbps:10. (cities euro4) in
+  Alcotest.(check int) "nodes" 4 (Graph.node_count t.Topology.graph);
+  Alcotest.(check int) "links" 4 (Graph.link_count t.Topology.graph);
+  Alcotest.(check bool) "connected" true (Graph.is_connected t.Topology.graph)
+
+let test_ring_two_cities () =
+  let t = Topology.ring ~name:"r2" ~capacity_gbps:10. (cities [ "London"; "Paris" ]) in
+  Alcotest.(check int) "single edge" 1 (Graph.link_count t.Topology.graph)
+
+let test_ring_too_small () =
+  Alcotest.check_raises "one city" (Invalid_argument "Topology.ring: need at least two cities")
+    (fun () -> ignore (Topology.ring ~name:"r" ~capacity_gbps:1. (cities [ "London" ])))
+
+let test_star () =
+  let t =
+    Topology.star ~name:"s" ~capacity_gbps:10. ~hub:(Cities.find "Frankfurt")
+      (cities euro4)
+  in
+  Alcotest.(check int) "nodes" 5 (Graph.node_count t.Topology.graph);
+  Alcotest.(check int) "links" 4 (Graph.link_count t.Topology.graph);
+  (* Hub has id 0 and degree 4. *)
+  Alcotest.(check int) "hub degree" 4 (List.length (Graph.neighbors t.Topology.graph 0))
+
+let test_full_mesh () =
+  let t = Topology.full_mesh ~name:"m" ~capacity_gbps:10. (cities euro4) in
+  Alcotest.(check int) "links" 6 (Graph.link_count t.Topology.graph)
+
+let test_waxman_connected () =
+  let rng = Numerics.Rng.create 5 in
+  let t =
+    Topology.waxman ~name:"w" ~rng ~capacity_gbps:10. ~alpha:0.3 ~beta:0.3
+      (cities [ "London"; "Paris"; "Berlin"; "Madrid"; "Rome"; "Vienna"; "Warsaw" ])
+  in
+  Alcotest.(check bool) "connected" true (Graph.is_connected t.Topology.graph);
+  Alcotest.(check bool) "at least spanning" true
+    (Graph.link_count t.Topology.graph >= 6)
+
+let test_waxman_params_validated () =
+  let rng = Numerics.Rng.create 5 in
+  Alcotest.check_raises "alpha 0"
+    (Invalid_argument "Topology.waxman: alpha and beta must be in (0, 1]") (fun () ->
+      ignore
+        (Topology.waxman ~name:"w" ~rng ~capacity_gbps:1. ~alpha:0. ~beta:0.5
+           (cities euro4)))
+
+let test_distance_matrix () =
+  let t = Topology.ring ~name:"r" ~capacity_gbps:10. (cities euro4) in
+  let m = Topology.distance_matrix t in
+  let n = List.length t.Topology.pops in
+  Alcotest.(check int) "square" n (Array.length m);
+  for i = 0 to n - 1 do
+    Alcotest.(check (float 1e-9)) "zero diagonal" 0. m.(i).(i);
+    for j = 0 to n - 1 do
+      Alcotest.(check (float 1e-6)) "symmetric" m.(i).(j) m.(j).(i)
+    done
+  done
+
+let test_pop_by_city () =
+  let t = Topology.ring ~name:"r" ~capacity_gbps:10. (cities euro4) in
+  let pop = Topology.pop_by_city t "Berlin" in
+  Alcotest.(check string) "city" "Berlin" pop.Node.city.Cities.name;
+  Alcotest.check_raises "missing" Not_found (fun () ->
+      ignore (Topology.pop_by_city t "Tokyo"))
+
+let test_link_stretch () =
+  let a = Node.make ~id:0 ~name:"a" ~kind:Node.Pop ~city:(Cities.find "London") in
+  let b = Node.make ~id:1 ~name:"b" ~kind:Node.Pop ~city:(Cities.find "Paris") in
+  let direct = Link.make ~capacity_gbps:1. a b in
+  let stretched = Link.make ~stretch:1.3 ~capacity_gbps:1. a b in
+  Alcotest.(check (float 1e-6)) "stretch factor" (direct.Link.length_miles *. 1.3)
+    stretched.Link.length_miles;
+  Alcotest.check_raises "self loop" (Invalid_argument "Link.make: self-loop") (fun () ->
+      ignore (Link.make ~capacity_gbps:1. a a))
+
+let test_link_other_end () =
+  let a = Node.make ~id:0 ~name:"a" ~kind:Node.Pop ~city:(Cities.find "London") in
+  let b = Node.make ~id:1 ~name:"b" ~kind:Node.Pop ~city:(Cities.find "Paris") in
+  let l = Link.make ~capacity_gbps:1. a b in
+  Alcotest.(check int) "other of a" 1 (Link.other_end l 0);
+  Alcotest.(check int) "other of b" 0 (Link.other_end l 1);
+  Alcotest.(check bool) "connects" true (Link.connects l 1 0)
+
+let suite =
+  [
+    Alcotest.test_case "ring" `Quick test_ring;
+    Alcotest.test_case "ring of two" `Quick test_ring_two_cities;
+    Alcotest.test_case "ring too small" `Quick test_ring_too_small;
+    Alcotest.test_case "star" `Quick test_star;
+    Alcotest.test_case "full mesh" `Quick test_full_mesh;
+    Alcotest.test_case "waxman connected" `Quick test_waxman_connected;
+    Alcotest.test_case "waxman validation" `Quick test_waxman_params_validated;
+    Alcotest.test_case "distance matrix" `Quick test_distance_matrix;
+    Alcotest.test_case "pop_by_city" `Quick test_pop_by_city;
+    Alcotest.test_case "link stretch + self-loop" `Quick test_link_stretch;
+    Alcotest.test_case "link other_end" `Quick test_link_other_end;
+  ]

@@ -1,0 +1,52 @@
+open Numerics
+
+let checkfa = Alcotest.(check (array (float 1e-12)))
+let checkf = Alcotest.(check (float 1e-12))
+
+let test_add_sub () =
+  checkfa "add" [| 4.; 6. |] (Vec.add [| 1.; 2. |] [| 3.; 4. |]);
+  checkfa "sub" [| -2.; -2. |] (Vec.sub [| 1.; 2. |] [| 3.; 4. |])
+
+let test_scale_dot_norm () =
+  checkfa "scale" [| 2.; -4. |] (Vec.scale 2. [| 1.; -2. |]);
+  checkf "dot" 11. (Vec.dot [| 1.; 2. |] [| 3.; 4. |]);
+  checkf "norm" 5. (Vec.norm2 [| 3.; 4. |])
+
+let test_axpy () =
+  let y = [| 1.; 1. |] in
+  Vec.axpy_inplace 2. [| 1.; 2. |] y;
+  checkfa "axpy" [| 3.; 5. |] y
+
+let test_linf () =
+  checkf "linf" 3. (Vec.linf_dist [| 0.; 5. |] [| 3.; 4. |])
+
+let test_length_mismatch () =
+  Alcotest.check_raises "dot mismatch" (Invalid_argument "Vec.dot: length mismatch")
+    (fun () -> ignore (Vec.dot [| 1. |] [| 1.; 2. |]))
+
+let prop_triangle_inequality =
+  QCheck.Test.make ~name:"norm triangle inequality" ~count:300
+    QCheck.(
+      pair
+        (array_of_size (Gen.return 4) (float_range (-100.) 100.))
+        (array_of_size (Gen.return 4) (float_range (-100.) 100.)))
+    (fun (x, y) -> Vec.norm2 (Vec.add x y) <= Vec.norm2 x +. Vec.norm2 y +. 1e-9)
+
+let prop_dot_cauchy_schwarz =
+  QCheck.Test.make ~name:"Cauchy-Schwarz" ~count:300
+    QCheck.(
+      pair
+        (array_of_size (Gen.return 3) (float_range (-50.) 50.))
+        (array_of_size (Gen.return 3) (float_range (-50.) 50.)))
+    (fun (x, y) -> abs_float (Vec.dot x y) <= (Vec.norm2 x *. Vec.norm2 y) +. 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "add/sub" `Quick test_add_sub;
+    Alcotest.test_case "scale/dot/norm" `Quick test_scale_dot_norm;
+    Alcotest.test_case "axpy inplace" `Quick test_axpy;
+    Alcotest.test_case "linf distance" `Quick test_linf;
+    Alcotest.test_case "length mismatch" `Quick test_length_mismatch;
+    QCheck_alcotest.to_alcotest prop_triangle_inequality;
+    QCheck_alcotest.to_alcotest prop_dot_cauchy_schwarz;
+  ]

@@ -1,0 +1,71 @@
+open Tiered
+
+let checkf tol = Alcotest.(check (float tol))
+
+let test_first_best_zero_profit () =
+  List.iter
+    (fun m ->
+      let fb = Welfare.first_best m in
+      checkf 1e-6 "marginal-cost pricing earns nothing" 0. fb.Pricing.profit)
+    [ Fixtures.ced_market (); Fixtures.logit_market () ]
+
+let test_first_best_dominates () =
+  List.iter
+    (fun m ->
+      let fb_welfare = Pricing.welfare (Welfare.first_best m) in
+      List.iter
+        (fun b ->
+          let o = Pricing.evaluate m (Strategy.apply Strategy.Optimal m ~n_bundles:b) in
+          Alcotest.(check bool) "first-best is the welfare ceiling" true
+            (Pricing.welfare o <= fb_welfare +. 1e-6 *. fb_welfare))
+        [ 1; 2; 4; 8 ])
+    [ Fixtures.ced_market (); Fixtures.logit_market () ]
+
+let test_analysis_identities () =
+  let m = Fixtures.ced_market () in
+  let a = Welfare.of_strategy m Strategy.Optimal ~n_bundles:3 in
+  checkf 1e-9 "welfare = profit + surplus" a.Welfare.welfare
+    (a.Welfare.profit +. a.Welfare.consumer_surplus);
+  checkf 1e-9 "dwl = ceiling - welfare" a.Welfare.deadweight_loss
+    (a.Welfare.first_best_welfare -. a.Welfare.welfare);
+  checkf 1e-9 "efficiency" a.Welfare.efficiency
+    (a.Welfare.welfare /. a.Welfare.first_best_welfare);
+  Alcotest.(check bool) "dwl positive under monopoly pricing" true
+    (a.Welfare.deadweight_loss > 0.)
+
+let test_tiering_shrinks_deadweight_loss () =
+  (* The §2.2.1 claim, at the full-market scale: more tiers, less DWL. *)
+  let m = Fixtures.ced_market () in
+  let series = Welfare.series m Strategy.Optimal ~bundle_counts:[ 1; 2; 4; 8 ] in
+  let dwls = List.map (fun (_, a) -> a.Welfare.deadweight_loss) series in
+  let rec weakly_decreasing = function
+    | a :: (b :: _ as rest) -> a >= b -. 1e-9 && weakly_decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "dwl falls with tiers" true (weakly_decreasing dwls)
+
+let test_both_sides_gain () =
+  let m = Fixtures.logit_market () in
+  let blended = Welfare.analyze m (Pricing.blended m) in
+  let tiered = Welfare.of_strategy m Strategy.Optimal ~n_bundles:3 in
+  Alcotest.(check bool) "profit up" true (tiered.Welfare.profit > blended.Welfare.profit);
+  Alcotest.(check bool) "efficiency up" true
+    (tiered.Welfare.efficiency > blended.Welfare.efficiency)
+
+let test_efficiency_bounds () =
+  let m = Fixtures.ced_market () in
+  List.iter
+    (fun (_, a) ->
+      if a.Welfare.efficiency < 0. || a.Welfare.efficiency > 1. +. 1e-9 then
+        Alcotest.failf "efficiency out of range: %f" a.Welfare.efficiency)
+    (Welfare.series m Strategy.Optimal ~bundle_counts:[ 1; 3; 8 ])
+
+let suite =
+  [
+    Alcotest.test_case "first-best earns zero profit" `Quick test_first_best_zero_profit;
+    Alcotest.test_case "first-best dominates" `Quick test_first_best_dominates;
+    Alcotest.test_case "analysis identities" `Quick test_analysis_identities;
+    Alcotest.test_case "tiering shrinks DWL" `Quick test_tiering_shrinks_deadweight_loss;
+    Alcotest.test_case "both sides gain from tiers" `Quick test_both_sides_gain;
+    Alcotest.test_case "efficiency in [0,1]" `Quick test_efficiency_bounds;
+  ]

@@ -1,0 +1,192 @@
+open Flowgen
+
+let small_params =
+  {
+    Workload.n_flows = 120;
+    aggregate_gbps = 5.;
+    locality_scale = 50.;
+    locality_spread = 1.0;
+    demand_cv = 1.0;
+    demand_distance_exponent = 1.0;
+    local_tail_miles = 30.;
+    on_net_fraction = 0.5;
+    distance_mode = `Path;
+    seed = 77;
+  }
+
+let topo = lazy (Netsim.Presets.eu_isp ())
+
+let test_flow_count_and_aggregate () =
+  let w = Workload.generate (Lazy.force topo) small_params in
+  let s = Workload.stats w in
+  Alcotest.(check int) "flow count" 120 s.Workload.flow_count;
+  Alcotest.(check (float 1e-6)) "aggregate exact" 5. s.Workload.aggregate_gbps
+
+let test_deterministic () =
+  let w1 = Workload.generate (Lazy.force topo) small_params in
+  let w2 = Workload.generate (Lazy.force topo) small_params in
+  let key w = List.map (fun f -> (f.Workload.mbps, f.Workload.distance_miles)) w.Workload.flows in
+  Alcotest.(check bool) "same flows" true (key w1 = key w2)
+
+let test_seed_changes_output () =
+  let w1 = Workload.generate (Lazy.force topo) small_params in
+  let w2 = Workload.generate (Lazy.force topo) { small_params with seed = 78 } in
+  let key w = List.map (fun f -> f.Workload.mbps) w.Workload.flows in
+  Alcotest.(check bool) "different flows" false (key w1 = key w2)
+
+let test_positive_fields () =
+  let w = Workload.generate (Lazy.force topo) small_params in
+  List.iter
+    (fun f ->
+      if f.Workload.mbps <= 0. then Alcotest.fail "non-positive demand";
+      if f.Workload.distance_miles < 0. then Alcotest.fail "negative distance")
+    w.Workload.flows
+
+let test_addresses_resolve () =
+  let w = Workload.generate (Lazy.force topo) small_params in
+  List.iter
+    (fun f ->
+      match Geoip.lookup w.Workload.geoip f.Workload.dst_addr with
+      | Some city ->
+          Alcotest.(check string) "dst city" f.Workload.dst_city.Netsim.Cities.name
+            city.Netsim.Cities.name
+      | None -> Alcotest.fail "destination address not in geoip")
+    w.Workload.flows
+
+let test_locality_consistent () =
+  (* Path mode uses the paper's distance thresholds... *)
+  let w = Workload.generate (Lazy.force topo) small_params in
+  List.iter
+    (fun f ->
+      let expected =
+        Geoip.classify_distance ~metro_miles:10. ~national_miles:100.
+          f.Workload.distance_miles
+      in
+      if f.Workload.locality <> expected then Alcotest.fail "locality mismatch")
+    w.Workload.flows;
+  (* ...and geo mode classifies by city/country. *)
+  let wg = Workload.generate (Lazy.force topo) { small_params with distance_mode = `Geo } in
+  List.iter
+    (fun f ->
+      let expected =
+        if Netsim.Cities.same_city f.Workload.entry.Netsim.Node.city f.Workload.dst_city
+        then Geoip.Metro
+        else if
+          Netsim.Cities.same_country f.Workload.entry.Netsim.Node.city f.Workload.dst_city
+        then Geoip.National
+        else Geoip.International
+      in
+      if f.Workload.locality <> expected then Alcotest.fail "geo locality mismatch")
+    wg.Workload.flows
+
+let test_locality_bias () =
+  (* A tighter locality band must lower the demand-weighted distance. *)
+  let near =
+    Workload.generate (Lazy.force topo)
+      { small_params with locality_scale = 5.; local_tail_miles = 5. }
+  in
+  let far =
+    Workload.generate (Lazy.force topo)
+      { small_params with locality_scale = 500.; local_tail_miles = 5. }
+  in
+  let d w = (Workload.stats w).Workload.w_avg_distance_miles in
+  Alcotest.(check bool) "locality pulls traffic close" true (d near < d far)
+
+let test_ground_truth_mapping () =
+  let w = Workload.generate (Lazy.force topo) small_params in
+  let gts = Workload.to_ground_truth w in
+  Alcotest.(check int) "one gt per flow" (List.length w.Workload.flows) (List.length gts);
+  List.iter2
+    (fun f gt ->
+      Alcotest.(check (float 0.)) "rate" f.Workload.mbps gt.Netflow.gt_mbps;
+      Alcotest.(check bool) "observers" true (gt.Netflow.gt_routers <> []))
+    w.Workload.flows gts
+
+let test_validation () =
+  let bad field params =
+    match Workload.generate (Lazy.force topo) params with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "accepted bad %s" field
+  in
+  bad "n_flows" { small_params with Workload.n_flows = 0 };
+  bad "aggregate" { small_params with Workload.aggregate_gbps = 0. };
+  bad "scale" { small_params with Workload.locality_scale = 0. };
+  bad "spread" { small_params with Workload.locality_spread = 0. };
+  bad "cv" { small_params with Workload.demand_cv = -1. };
+  bad "exponent" { small_params with Workload.demand_distance_exponent = -0.5 };
+  bad "on_net" { small_params with Workload.on_net_fraction = 1.5 }
+
+let close ~tol a b = abs_float (a -. b) /. b <= tol
+
+let test_table1_calibration () =
+  (* The headline substitution: presets must land near the paper's
+     Table 1 statistics. *)
+  List.iter
+    (fun name ->
+      let target = Workload.table1_targets name in
+      let s = Workload.stats (Workload.preset name) in
+      if not (close ~tol:0.12 s.Workload.w_avg_distance_miles target.Workload.t_w_avg_distance)
+      then
+        Alcotest.failf "%s w-avg distance %f vs %f" name s.Workload.w_avg_distance_miles
+          target.Workload.t_w_avg_distance;
+      if not (close ~tol:0.12 s.Workload.cv_distance target.Workload.t_cv_distance) then
+        Alcotest.failf "%s cv distance %f vs %f" name s.Workload.cv_distance
+          target.Workload.t_cv_distance;
+      if not (close ~tol:0.01 s.Workload.aggregate_gbps target.Workload.t_aggregate_gbps)
+      then Alcotest.failf "%s aggregate" name;
+      if not (close ~tol:0.12 s.Workload.cv_demand target.Workload.t_cv_demand) then
+        Alcotest.failf "%s cv demand %f vs %f" name s.Workload.cv_demand
+          target.Workload.t_cv_demand)
+    [ "eu_isp"; "cdn"; "internet2" ]
+
+let test_calibrate_reduces_loss () =
+  (* A short Nelder-Mead run from a deliberately bad start must move the
+     generated statistics toward the target. *)
+  let topo = Lazy.force topo in
+  let target =
+    { Workload.t_w_avg_distance = 120.; t_cv_distance = 0.8; t_aggregate_gbps = 5.;
+      t_cv_demand = 1.2 }
+  in
+  let bad_start = { small_params with Workload.locality_scale = 2000.; demand_cv = 0.1 } in
+  let loss p =
+    let s = Workload.stats (Workload.generate topo p) in
+    let rel a b = (a -. b) /. b in
+    (rel s.Workload.w_avg_distance_miles target.Workload.t_w_avg_distance ** 2.)
+    +. (rel s.Workload.cv_distance target.Workload.t_cv_distance ** 2.)
+    +. (rel s.Workload.cv_demand target.Workload.t_cv_demand ** 2.)
+  in
+  let calibrated = Workload.calibrate ~max_iter:120 topo bad_start target in
+  Alcotest.(check bool) "loss reduced" true
+    (loss calibrated < loss { bad_start with Workload.aggregate_gbps = 5. })
+
+let test_distance_modes_differ () =
+  let path = Workload.generate (Lazy.force topo) small_params in
+  let geo =
+    Workload.generate (Lazy.force topo) { small_params with distance_mode = `Geo }
+  in
+  (* Path distances are at least geo distances on the same pairs; the
+     workloads differ. *)
+  let d w = (Workload.stats w).Workload.w_avg_distance_miles in
+  Alcotest.(check bool) "modes differ" true (d path <> d geo)
+
+let test_unknown_preset () =
+  Alcotest.check_raises "unknown"
+    (Invalid_argument "Workload.preset_params: unknown network nope") (fun () ->
+      ignore (Workload.preset_params "nope"))
+
+let suite =
+  [
+    Alcotest.test_case "flow count and aggregate" `Quick test_flow_count_and_aggregate;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "seed changes output" `Quick test_seed_changes_output;
+    Alcotest.test_case "positive fields" `Quick test_positive_fields;
+    Alcotest.test_case "addresses resolve in geoip" `Quick test_addresses_resolve;
+    Alcotest.test_case "locality labels consistent" `Quick test_locality_consistent;
+    Alcotest.test_case "locality bias" `Quick test_locality_bias;
+    Alcotest.test_case "ground-truth mapping" `Quick test_ground_truth_mapping;
+    Alcotest.test_case "parameter validation" `Quick test_validation;
+    Alcotest.test_case "Table 1 calibration" `Slow test_table1_calibration;
+    Alcotest.test_case "calibrate reduces loss" `Slow test_calibrate_reduces_loss;
+    Alcotest.test_case "distance modes differ" `Quick test_distance_modes_differ;
+    Alcotest.test_case "unknown preset" `Quick test_unknown_preset;
+  ]
