@@ -1,0 +1,26 @@
+# Convenience wrappers around dune. `make bench-json` regenerates
+# BENCH_sweep.json (serial-vs-parallel timings of the full experiment
+# grid) so the perf trajectory accumulates across PRs.
+
+.PHONY: all build test bench bench-json smoke clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+bench-json:
+	dune exec bench/main.exe -- sweep
+
+smoke:
+	dune exec bin/tiered_cli.exe -- run table1 --jobs 2 --metrics
+
+clean:
+	dune clean
+	rm -rf _cache

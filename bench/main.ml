@@ -4,8 +4,14 @@
    algorithms.
 
    Usage: dune exec bench/main.exe [section ...]
-   with sections among: experiments fig2 fig17 ablations micro
-   (default: all). A specific experiment id (e.g. fig8) also works. *)
+   with sections among: experiments fig2 fig17 ablations extensions
+   sweep micro (default: all). A specific experiment id (e.g. fig8)
+   also works.
+
+   The experiments section executes on the Engine domain pool; the
+   sweep section times the full grid serial vs parallel, checks the
+   outputs are byte-identical and records the result in
+   BENCH_sweep.json (regenerate with `make bench-json`). *)
 
 open Tiered
 
@@ -18,9 +24,19 @@ let run_experiment (e : Experiment.t) =
   Format.fprintf ppf "@.---- %s: %s ----@." e.Experiment.id e.Experiment.description;
   List.iter (Report.print ppf) (e.Experiment.run ())
 
+let print_result (r : Runner.result) =
+  Format.fprintf ppf "@.---- %s: %s ----@." r.Runner.id r.Runner.description;
+  List.iter (Report.print ppf) r.Runner.tables
+
 let run_experiments () =
   section "Paper tables and figures";
-  List.iter run_experiment Experiment.all
+  (* The whole registry goes through the engine's domain pool; results
+     are merged in submission order, so the output is identical to the
+     historical serial walk at any job count. *)
+  let metrics = Engine.Metrics.create () in
+  let results = Runner.run_experiments ~metrics Experiment.all in
+  List.iter print_result results;
+  List.iter (Report.print ppf) (Runner.metrics_reports (Engine.Metrics.snapshot metrics))
 
 (* --- Figure 2: the direct-peering bypass -------------------------------- *)
 
@@ -804,6 +820,72 @@ let run_extensions () =
   extension_failures ();
   extension_loading ()
 
+(* --- sweep: serial vs parallel grid timing -------------------------------- *)
+
+(* Runs the full experiment grid twice from cold caches — once serial
+   (jobs=1), once on the domain pool — asserts the rendered output is
+   byte-identical, and appends the wall-clock comparison to
+   BENCH_sweep.json so the perf trajectory accumulates across PRs. *)
+
+let timed_grid ~jobs =
+  Engine.Cache.clear_all ();
+  let metrics = Engine.Metrics.create () in
+  let t0 = Unix.gettimeofday () in
+  let results = Runner.run_experiments ~jobs ~metrics Experiment.all in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (Runner.render results, wall_s, Engine.Metrics.snapshot metrics)
+
+let run_sweep_bench () =
+  section "Sweep: full experiment grid, serial vs domain pool";
+  let parallel_jobs = max 2 (Engine.Pool.default_jobs ()) in
+  let serial_out, serial_s, _ = timed_grid ~jobs:1 in
+  let parallel_out, parallel_s, parallel_snap = timed_grid ~jobs:parallel_jobs in
+  let identical = String.equal serial_out parallel_out in
+  let speedup = if parallel_s > 0. then serial_s /. parallel_s else 0. in
+  Report.print ppf
+    (Report.make ~title:"Serial vs parallel wall clock (cold caches)"
+       ~header:[ "quantity"; "value" ]
+       [
+         [ "grid"; Printf.sprintf "%d experiments" (List.length Experiment.all) ];
+         [ "host domains"; string_of_int (Domain.recommended_domain_count ()) ];
+         [ "serial (jobs=1)"; Printf.sprintf "%.3f s" serial_s ];
+         [ Printf.sprintf "parallel (jobs=%d)" parallel_jobs;
+           Printf.sprintf "%.3f s" parallel_s ];
+         [ "speedup"; Printf.sprintf "%.2fx" speedup ];
+         [ "pool utilization";
+           Printf.sprintf "%.1f%%"
+             (100. *. parallel_snap.Engine.Metrics.utilization) ];
+         [ "byte-identical output"; (if identical then "yes" else "NO") ];
+       ]
+       ~notes:
+         [
+           "results are keyed by task index and merged in submission order, \
+            so the parallel grid must reproduce the serial bytes exactly";
+         ]);
+  let oc = open_out "BENCH_sweep.json" in
+  output_string oc
+    (Printf.sprintf
+       "{\n\
+       \  \"grid\": \"experiments\",\n\
+       \  \"tasks\": %d,\n\
+       \  \"host_domains\": %d,\n\
+       \  \"jobs_serial\": 1,\n\
+       \  \"serial_s\": %.6f,\n\
+       \  \"jobs_parallel\": %d,\n\
+       \  \"parallel_s\": %.6f,\n\
+       \  \"speedup\": %.4f,\n\
+       \  \"pool_utilization\": %.4f,\n\
+       \  \"byte_identical\": %b\n\
+        }\n"
+       (List.length Experiment.all)
+       (Domain.recommended_domain_count ())
+       serial_s parallel_jobs parallel_s speedup
+       parallel_snap.Engine.Metrics.utilization identical);
+  close_out oc;
+  Format.fprintf ppf "@.wrote BENCH_sweep.json@.";
+  if not identical then
+    failwith "sweep: parallel grid output diverged from the serial run"
+
 (* --- micro-benchmarks ----------------------------------------------------- *)
 
 let run_micro () =
@@ -895,6 +977,7 @@ let () =
     if want "fig17" then run_fig17 ();
     if want "ablations" then run_ablations ();
     if want "extensions" then run_extensions ();
+    if want "sweep" then run_sweep_bench ();
     if want "micro" then run_micro ()
   end;
   Format.fprintf ppf "@."

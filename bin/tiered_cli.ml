@@ -1,11 +1,17 @@
 (* Command-line interface to the tiered-pricing reproduction.
 
    tiered-cli list
-   tiered-cli run [EXPERIMENT...] [--csv DIR]
+   tiered-cli run [EXPERIMENT...] [--csv DIR] [--jobs N] [--cache] [--metrics]
    tiered-cli dataset NETWORK [--netflow-sample N]
    tiered-cli evaluate NETWORK [--demand ced|logit] [--cost MODEL]
        [--theta T] [--bundles B] [--strategy S] ...
-   tiered-cli sweep NETWORK --param alpha|p0|s0 [--strategy S] *)
+   tiered-cli sweep NETWORK --param alpha|p0|s0 [--strategy S] [--jobs N]
+
+   Grid-shaped commands (run, sweep) execute on the Engine domain pool:
+   --jobs picks the worker-domain count (results are merged in
+   submission order, so any --jobs value prints byte-identical output)
+   and --cache persists calibrated workloads / fitted markets under
+   _cache/ across invocations. *)
 
 open Cmdliner
 open Tiered
@@ -70,6 +76,21 @@ let strategy_arg =
 let bundles_arg =
   Arg.(value & opt int 3 & info [ "bundles" ] ~docv:"B" ~doc:"Number of pricing tiers.")
 
+let jobs_arg =
+  Arg.(value & opt int (Engine.Pool.default_jobs ())
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains for grid execution (1 = serial). Output is \
+                 byte-identical at any value; defaults to the host's core \
+                 count minus one.")
+
+let cache_arg =
+  Arg.(value & flag
+       & info [ "cache" ]
+           ~doc:"Persist expensive artifacts (calibrated workloads, fitted \
+                 markets) on disk under _cache/ and reuse them across runs.")
+
+let enable_cache cache = if cache then Engine.Cache.enable_disk ~dir:"_cache"
+
 let cost_model_of ~cost ~theta =
   let theta_or default = Option.value ~default theta in
   match cost with
@@ -110,35 +131,74 @@ let run_cmd =
          & info [ "markdown" ] ~docv:"DIR"
              ~doc:"Also write each table as a Markdown file into $(docv).")
   in
-  let run ids csv_dir md_dir =
+  let metrics_arg =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Print run metrics (per-task wall time, cache hit/miss \
+                   counters, pool utilization) after the tables.")
+  in
+  let metrics_json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-json" ] ~docv:"FILE"
+             ~doc:"Dump the run metrics as JSON into $(docv).")
+  in
+  let run ids csv_dir md_dir jobs cache show_metrics metrics_json =
+    enable_cache cache;
     let experiments =
       match ids with
       | [] -> Experiment.all
-      | ids -> List.map Experiment.find ids
+      | ids ->
+          List.map
+            (fun id ->
+              match Experiment.find id with
+              | e -> e
+              | exception Not_found ->
+                  Format.eprintf
+                    "tiered-cli: unknown experiment id %S@.known ids: %s@." id
+                    (String.concat ", " (Experiment.ids ()));
+                  exit 1)
+            ids
     in
-    let write dir ext render i (e : Experiment.t) t =
-      let path = Filename.concat dir (Printf.sprintf "%s_%d.%s" e.Experiment.id i ext) in
+    let write dir ext render i id t =
+      let path = Filename.concat dir (Printf.sprintf "%s_%d.%s" id i ext) in
       let oc = open_out path in
       output_string oc (render t);
       close_out oc;
       Format.fprintf ppf "  wrote %s@." path
     in
+    let metrics = Engine.Metrics.create () in
+    let results = Runner.run_experiments ~jobs ~metrics experiments in
     List.iter
-      (fun (e : Experiment.t) ->
-        let tables = e.Experiment.run () in
-        List.iter (Report.print ppf) tables;
+      (fun (r : Runner.result) ->
+        List.iter (Report.print ppf) r.Runner.tables;
         Option.iter
-          (fun dir -> List.iteri (fun i t -> write dir "csv" Report.to_csv i e t) tables)
+          (fun dir ->
+            List.iteri
+              (fun i t -> write dir "csv" Report.to_csv i r.Runner.id t)
+              r.Runner.tables)
           csv_dir;
         Option.iter
           (fun dir ->
-            List.iteri (fun i t -> write dir "md" Report.to_markdown i e t) tables)
+            List.iteri
+              (fun i t -> write dir "md" Report.to_markdown i r.Runner.id t)
+              r.Runner.tables)
           md_dir)
-      experiments
+      results;
+    let snapshot () = Engine.Metrics.snapshot metrics in
+    if show_metrics then
+      List.iter (Report.print ppf) (Runner.metrics_reports (snapshot ()));
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Engine.Metrics.to_json (snapshot ()));
+        close_out oc;
+        Format.fprintf ppf "  wrote %s@." path)
+      metrics_json
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Regenerate paper tables/figures (all by default).")
-    Term.(const run $ ids_arg $ csv_arg $ md_arg)
+    Term.(const run $ ids_arg $ csv_arg $ md_arg $ jobs_arg $ cache_arg
+          $ metrics_arg $ metrics_json_arg)
 
 (* --- dataset ---------------------------------------------------------------- *)
 
@@ -209,7 +269,8 @@ let sweep_cmd =
          & opt (some (enum [ ("alpha", `Alpha); ("p0", `P0); ("s0", `S0) ])) None
          & info [ "param" ] ~docv:"P" ~doc:"Parameter to sweep: alpha, p0 or s0.")
   in
-  let run network demand s0 strategy param =
+  let run network demand s0 strategy param jobs cache =
+    enable_cache cache;
     let values, fit =
       match param with
       | `Alpha ->
@@ -222,15 +283,21 @@ let sweep_cmd =
           ( Sensitivity.linear_range ~steps:8 ~lo:0.06 ~hi:0.9 (),
             fun v -> Experiment.market ~spec:(Market.Logit { s0 = v }) network )
     in
+    (* One grid cell per swept value: fit + capture across the bundle
+       counts. Cells are independent, so they go through the domain
+       pool; rows come back in value order regardless of jobs. *)
     let rows =
-      List.map
-        (fun v ->
-          let market = fit v in
-          Report.cell_f v
-          :: List.map
-               (fun b -> Report.cell_f (Sensitivity.capture_at market strategy ~n_bundles:b))
-               Experiment.Defaults.bundle_counts)
-        values
+      Engine.Pool.with_pool ~jobs (fun pool ->
+          Engine.Pool.map_list pool
+            (fun v ->
+              let market = fit v in
+              Report.cell_f v
+              :: List.map
+                   (fun b ->
+                     Report.cell_f
+                       (Sensitivity.capture_at market strategy ~n_bundles:b))
+                   Experiment.Defaults.bundle_counts)
+            values)
     in
     Report.print ppf
       (Report.make
@@ -240,7 +307,8 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep a model parameter and tabulate profit capture.")
-    Term.(const run $ network_arg $ demand_arg $ s0_arg $ strategy_arg $ param_arg)
+    Term.(const run $ network_arg $ demand_arg $ s0_arg $ strategy_arg $ param_arg
+          $ jobs_arg $ cache_arg)
 
 (* --- trace ----------------------------------------------------------------------- *)
 

@@ -11,19 +11,35 @@ type t = { id : string; description : string; run : unit -> Report.t list }
 
 (* --- shared infrastructure --------------------------------------------- *)
 
-let workload_cache : (string, Flowgen.Workload.t) Hashtbl.t = Hashtbl.create 4
+(* Expensive intermediate artifacts are memoized in the engine's keyed
+   cache (domain-safe, optional disk tier): calibrated workloads,
+   per-network flow arrays and fitted markets. Keys are structural —
+   whatever parameters the artifact depends on — so a sweep only pays
+   for the cells it has not seen. Schema stamps guard the disk tier:
+   bump them when the corresponding type's representation changes. *)
+
+let workload_cache : Flowgen.Workload.t Engine.Cache.t =
+  Engine.Cache.create ~name:"workload" ~schema:"workload/1" ()
+
+let dataset_cache : Flow.t array Engine.Cache.t =
+  Engine.Cache.create ~name:"dataset" ~schema:"dataset/1" ()
+
+let market_cache : Market.t Engine.Cache.t =
+  Engine.Cache.create ~name:"market" ~schema:"market/1" ()
 
 let workload name =
-  match Hashtbl.find_opt workload_cache name with
-  | Some w -> w
-  | None ->
-      let w = Flowgen.Workload.preset name in
-      Hashtbl.add workload_cache name w;
-      w
+  Engine.Cache.find_or_add workload_cache ~key:("workload", name) (fun () ->
+      Flowgen.Workload.preset name)
+
+let dataset name =
+  Engine.Cache.find_or_add dataset_cache ~key:("dataset", name) (fun () ->
+      Dataset.of_workload (workload name))
 
 let market ?(alpha = Defaults.alpha) ?(p0 = Defaults.p0)
     ?(cost_model = Cost_model.linear ~theta:Defaults.theta) ~spec name =
-  Market.fit ~spec ~alpha ~p0 ~cost_model (Dataset.of_workload (workload name))
+  Engine.Cache.find_or_add market_cache
+    ~key:("market", name, alpha, p0, cost_model, spec)
+    (fun () -> Market.fit ~spec ~alpha ~p0 ~cost_model (dataset name))
 
 let spec_name = Market.demand_spec_name
 let logit_spec = Market.Logit { s0 = Defaults.s0 }

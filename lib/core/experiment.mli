@@ -34,7 +34,11 @@ module Defaults : sig
 end
 
 val workload : string -> Flowgen.Workload.t
-(** Memoized calibrated workload for a network name. *)
+(** Calibrated workload for a network name, memoized in the engine's
+    keyed artifact cache ({!Engine.Cache}); domain-safe. *)
+
+val dataset : string -> Flow.t array
+(** [Dataset.of_workload (workload name)], memoized alongside. *)
 
 val market :
   ?alpha:float ->

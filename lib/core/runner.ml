@@ -1,0 +1,70 @@
+type result = {
+  id : string;
+  description : string;
+  tables : Report.t list;
+  wall_s : float;
+}
+
+let run_experiments ?jobs ?metrics experiments =
+  let tasks = Array.of_list experiments in
+  let t0 = Unix.gettimeofday () in
+  let results, n_jobs =
+    Engine.Pool.with_pool ?jobs (fun pool ->
+        ( Engine.Pool.map pool
+            (fun (e : Experiment.t) ->
+              let s = Unix.gettimeofday () in
+              let tables = e.Experiment.run () in
+              {
+                id = e.Experiment.id;
+                description = e.Experiment.description;
+                tables;
+                wall_s = Unix.gettimeofday () -. s;
+              })
+            tasks,
+          Engine.Pool.jobs pool ))
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Option.iter
+    (fun m ->
+      Engine.Metrics.set_jobs m n_jobs;
+      Engine.Metrics.set_wall m wall_s;
+      (* Record serially, in submission order, so metrics snapshots are
+         as deterministic as the reports themselves. *)
+      Array.iter
+        (fun r -> Engine.Metrics.record m ~label:r.id ~wall_s:r.wall_s)
+        results)
+    metrics;
+  Array.to_list results
+
+let render results =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  List.iter (fun r -> List.iter (Report.print ppf) r.tables) results;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let metrics_reports (s : Engine.Metrics.snapshot) =
+  let tasks =
+    Report.make
+      ~title:
+        (Printf.sprintf
+           "Run metrics: %d task(s), jobs=%d, wall %.3fs, busy %.3fs, pool \
+            utilization %.1f%%"
+           (List.length s.Engine.Metrics.tasks)
+           s.Engine.Metrics.jobs s.Engine.Metrics.wall_s
+           s.Engine.Metrics.busy_s
+           (100. *. s.Engine.Metrics.utilization))
+      ~header:[ "task"; "wall (s)"; "share of busy" ]
+      (Engine.Metrics.task_rows s)
+  in
+  let caches =
+    Report.make ~title:"Artifact caches"
+      ~header:[ "cache"; "hits"; "disk hits"; "misses"; "hit rate" ]
+      (Engine.Metrics.cache_rows s)
+      ~notes:
+        [
+          "misses are artifact computations; enable the disk tier with \
+           --cache to persist them under _cache/";
+        ]
+  in
+  [ tasks; caches ]

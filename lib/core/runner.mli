@@ -1,0 +1,32 @@
+(** Pool-driven execution of the experiment registry.
+
+    The single entry point every harness (CLI [run], [bench/main.exe],
+    tests) uses to evaluate a set of experiments: tasks are scheduled
+    on an {!Engine.Pool} and results are merged in submission order,
+    so output at any [jobs] count is byte-identical to a serial run.
+    Artifact reuse across experiments happens underneath through the
+    engine caches wired into {!Experiment}. *)
+
+type result = {
+  id : string;
+  description : string;
+  tables : Report.t list;
+  wall_s : float;
+}
+
+val run_experiments :
+  ?jobs:int -> ?metrics:Engine.Metrics.t -> Experiment.t list -> result list
+(** Evaluate the experiments ([jobs] defaults to
+    {!Engine.Pool.default_jobs}; [1] is fully serial). Results are in
+    input order. When [metrics] is given, per-task wall times (in
+    submission order), the job count and the total wall time are
+    recorded into it. A raising experiment surfaces as
+    {!Engine.Pool.Task_failed} with the lowest failing index. *)
+
+val render : result list -> string
+(** Every table of every result printed with {!Report.print}, in
+    order — the canonical byte-comparable form of a run. *)
+
+val metrics_reports : Engine.Metrics.snapshot -> Report.t list
+(** The run-metrics layer rendered as tables: per-task wall times and
+    per-cache hit/miss counters. *)

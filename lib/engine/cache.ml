@@ -1,0 +1,200 @@
+type stats = { hits : int; disk_hits : int; misses : int }
+
+type 'v slot =
+  | Ready of 'v
+  | In_flight
+      (* Another domain is computing this key; wait on [filled] instead
+         of duplicating the work. *)
+
+type 'v t = {
+  name : string;
+  schema : string;
+  mutex : Mutex.t;
+  filled : Condition.t;
+  table : (string, 'v slot) Hashtbl.t;  (* key digest -> artifact *)
+  mutable hits : int;
+  mutable disk_hits : int;
+  mutable misses : int;
+}
+
+(* --- global registry and disk configuration ----------------------------- *)
+
+let registry_mutex = Mutex.create ()
+let registry : (string * (unit -> stats) * (unit -> unit)) list ref = ref []
+let disk : string option ref = ref None
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let enable_disk ~dir = with_lock registry_mutex (fun () -> disk := Some dir)
+let disable_disk () = with_lock registry_mutex (fun () -> disk := None)
+let disk_dir () = with_lock registry_mutex (fun () -> !disk)
+
+let register name stats clear =
+  with_lock registry_mutex (fun () ->
+      registry := (name, stats, clear) :: !registry)
+
+let all_stats () =
+  let entries = with_lock registry_mutex (fun () -> !registry) in
+  List.rev_map (fun (name, stats, _) -> (name, stats ())) entries
+
+let clear_all () =
+  let entries = with_lock registry_mutex (fun () -> !registry) in
+  List.iter (fun (_, _, clear) -> clear ()) entries
+
+(* --- keys ---------------------------------------------------------------- *)
+
+let key_digest key = Digest.to_hex (Digest.string (Marshal.to_string key []))
+
+(* --- creation ------------------------------------------------------------ *)
+
+let stats t =
+  with_lock t.mutex (fun () ->
+      { hits = t.hits; disk_hits = t.disk_hits; misses = t.misses })
+
+let clear t =
+  with_lock t.mutex (fun () ->
+      Hashtbl.reset t.table;
+      t.hits <- 0;
+      t.disk_hits <- 0;
+      t.misses <- 0)
+
+let create ?(schema = "1") ~name () =
+  let t =
+    {
+      name;
+      schema;
+      mutex = Mutex.create ();
+      filled = Condition.create ();
+      table = Hashtbl.create 16;
+      hits = 0;
+      disk_hits = 0;
+      misses = 0;
+    }
+  in
+  register name (fun () -> stats t) (fun () -> clear t);
+  t
+
+(* --- disk tier ----------------------------------------------------------- *)
+
+(* A payload is the marshalled pair (schema stamp, artifact). Reading
+   anything unexpected — missing file, truncated payload, foreign
+   schema — is a miss, never an error. *)
+
+let payload_path ~dir t digest =
+  Filename.concat dir (Printf.sprintf "%s-%s.bin" t.name digest)
+
+let disk_read t digest =
+  match disk_dir () with
+  | None -> None
+  | Some dir -> (
+      let path = payload_path ~dir t digest in
+      match open_in_bin path with
+      | exception Sys_error _ -> None
+      | ic ->
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              match (Marshal.from_channel ic : string * 'v) with
+              | stamp, v when String.equal stamp t.schema -> Some v
+              | _ -> None
+              | exception _ -> None))
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+
+let disk_write t digest v =
+  match disk_dir () with
+  | None -> ()
+  | Some dir -> (
+      ensure_dir dir;
+      let path = payload_path ~dir t digest in
+      let tmp = path ^ ".tmp" in
+      match open_out_bin tmp with
+      | exception Sys_error _ -> ()
+      | oc -> (
+          let ok =
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () ->
+                match Marshal.to_channel oc (t.schema, v) [] with
+                | () -> true
+                | exception _ -> false)
+          in
+          if ok then (try Sys.rename tmp path with Sys_error _ -> ())
+          else try Sys.remove tmp with Sys_error _ -> ()))
+
+let disk_remove t digest =
+  match disk_dir () with
+  | None -> ()
+  | Some dir -> (
+      let path = payload_path ~dir t digest in
+      try Sys.remove path with Sys_error _ -> ())
+
+(* --- lookup -------------------------------------------------------------- *)
+
+let find_or_add t ~key compute =
+  let digest = key_digest key in
+  Mutex.lock t.mutex;
+  let rec claim () =
+    match Hashtbl.find_opt t.table digest with
+    | Some (Ready v) ->
+        t.hits <- t.hits + 1;
+        `Hit v
+    | Some In_flight ->
+        (* Another domain is already computing this artifact: wait for
+           it rather than duplicating the work. *)
+        Condition.wait t.filled t.mutex;
+        claim ()
+    | None ->
+        Hashtbl.replace t.table digest In_flight;
+        `Ours
+  in
+  match claim () with
+  | `Hit v ->
+      Mutex.unlock t.mutex;
+      v
+  | `Ours -> (
+      (* Load or compute outside the lock so independent keys can miss
+         concurrently; only same-key lookups wait. *)
+      Mutex.unlock t.mutex;
+      let outcome =
+        match disk_read t digest with
+        | Some v -> Ok (v, true)
+        | None -> (
+            match compute () with
+            | v -> Ok ((v : _), false)
+            | exception exn ->
+                let bt = Printexc.get_raw_backtrace () in
+                Error (exn, bt))
+      in
+      Mutex.lock t.mutex;
+      (match outcome with
+      | Ok (v, from_disk) ->
+          Hashtbl.replace t.table digest (Ready v);
+          if from_disk then t.disk_hits <- t.disk_hits + 1
+          else t.misses <- t.misses + 1
+      | Error _ ->
+          (* Release the claim so waiters retry (and re-raise in their
+             own context if the computation is deterministic). *)
+          Hashtbl.remove t.table digest);
+      Condition.broadcast t.filled;
+      Mutex.unlock t.mutex;
+      match outcome with
+      | Ok (v, from_disk) ->
+          if not from_disk then disk_write t digest v;
+          v
+      | Error (exn, bt) -> Printexc.raise_with_backtrace exn bt)
+
+let invalidate t ~key =
+  let digest = key_digest key in
+  with_lock t.mutex (fun () ->
+      match Hashtbl.find_opt t.table digest with
+      | Some (Ready _) | None -> Hashtbl.remove t.table digest
+      | Some In_flight ->
+          (* The computing domain will insert its fresh result; nothing
+             stale to drop. *)
+          ());
+  disk_remove t digest

@@ -1,0 +1,73 @@
+(** Keyed artifact cache: memoizes expensive intermediate artifacts
+    (calibrated workloads, fitted markets, per-network flow arrays)
+    under a structural key.
+
+    A key is any marshal-able OCaml value — tuples of network name,
+    alpha, p0, cost model, theta, seed, … — digested to a fixed-size
+    identifier, so call sites never hand-build string keys.
+
+    Two tiers:
+    - an in-memory tier (domain-safe hash table) that returns the
+      {e physically} same artifact on repeat lookups, and
+    - an optional on-disk tier ([Marshal] under a key digest inside a
+      cache directory, [_cache/] by default), shared across processes
+      and invalidated by a per-cache schema version stamp: a payload
+      written under a different schema is ignored and recomputed.
+
+    The disk tier is off by default and switched on globally with
+    {!enable_disk} (the CLI's [--cache] flag). Corrupt or unreadable
+    payloads are treated as misses, never as errors. *)
+
+type 'v t
+
+type stats = {
+  hits : int;  (** in-memory tier hits *)
+  disk_hits : int;  (** disk tier hits (memory tier missed) *)
+  misses : int;  (** both tiers missed: the artifact was computed *)
+}
+
+val create : ?schema:string -> name:string -> unit -> 'v t
+(** A new cache holding artifacts of one type. [name] namespaces disk
+    payloads and labels the cache in {!all_stats}; [schema] (default
+    ["1"]) stamps disk payloads — bump it whenever the artifact's
+    representation changes. Caches register themselves for
+    {!all_stats} / {!clear_all}. *)
+
+val find_or_add : 'v t -> key:'k -> (unit -> 'v) -> 'v
+(** Memory tier, then disk tier (when enabled), then compute — and
+    populate the tiers that missed. A missing key is claimed before
+    computing: concurrent lookups of the same key block on the single
+    in-flight computation instead of duplicating it, so every artifact
+    is computed once and repeat lookups stay physically equal.
+    Independent keys never wait on each other. If the computation
+    raises, the claim is released (waiters retry) and the exception
+    propagates. *)
+
+val invalidate : 'v t -> key:'k -> unit
+(** Drop one key from both tiers; the next lookup recomputes. *)
+
+val clear : 'v t -> unit
+(** Drop the whole in-memory tier (disk payloads are kept). *)
+
+val stats : 'v t -> stats
+
+val key_digest : 'k -> string
+(** The structural digest (hex) used to identify keys. Exposed for
+    logging/tests. *)
+
+(** {2 Global registry} *)
+
+val enable_disk : dir:string -> unit
+(** Enable the on-disk tier for every cache, storing payloads under
+    [dir] (created on demand). *)
+
+val disable_disk : unit -> unit
+
+val disk_dir : unit -> string option
+
+val all_stats : unit -> (string * stats) list
+(** Per-cache counters, in cache-creation order. *)
+
+val clear_all : unit -> unit
+(** {!clear} every registered cache and reset its counters (used to
+    re-run a grid cold, e.g. for serial-vs-parallel benchmarks). *)

@@ -1,0 +1,132 @@
+type task = { label : string; wall_s : float }
+
+type snapshot = {
+  tasks : task list;
+  jobs : int;
+  wall_s : float;
+  busy_s : float;
+  utilization : float;
+  caches : (string * Cache.stats) list;
+}
+
+type t = {
+  mutex : Mutex.t;
+  mutable rev_tasks : task list;
+  mutable jobs : int;
+  mutable wall_s : float;
+}
+
+let create () =
+  { mutex = Mutex.create (); rev_tasks = []; jobs = 1; wall_s = 0. }
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let record t ~label ~wall_s =
+  with_lock t.mutex (fun () -> t.rev_tasks <- { label; wall_s } :: t.rev_tasks)
+
+let set_jobs t jobs = with_lock t.mutex (fun () -> t.jobs <- max 1 jobs)
+let set_wall t wall_s = with_lock t.mutex (fun () -> t.wall_s <- wall_s)
+
+let time t ~label f =
+  let t0 = Unix.gettimeofday () in
+  let finally () = record t ~label ~wall_s:(Unix.gettimeofday () -. t0) in
+  Fun.protect ~finally f
+
+let snapshot t =
+  let tasks, jobs, wall_s =
+    with_lock t.mutex (fun () -> (List.rev t.rev_tasks, t.jobs, t.wall_s))
+  in
+  let busy_s =
+    List.fold_left (fun acc (k : task) -> acc +. k.wall_s) 0. tasks
+  in
+  let utilization =
+    if wall_s > 0. && jobs > 0 then busy_s /. (float_of_int jobs *. wall_s)
+    else 0.
+  in
+  { tasks; jobs; wall_s; busy_s; utilization; caches = Cache.all_stats () }
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let task_rows s =
+  List.map
+    (fun k ->
+      [
+        k.label;
+        Printf.sprintf "%.3f" k.wall_s;
+        (if s.busy_s > 0. then
+           Printf.sprintf "%.1f%%" (100. *. k.wall_s /. s.busy_s)
+         else "-");
+      ])
+    s.tasks
+
+let cache_rows s =
+  List.map
+    (fun (name, (c : Cache.stats)) ->
+      let lookups = c.Cache.hits + c.Cache.disk_hits + c.Cache.misses in
+      [
+        name;
+        string_of_int c.Cache.hits;
+        string_of_int c.Cache.disk_hits;
+        string_of_int c.Cache.misses;
+        (if lookups > 0 then
+           Printf.sprintf "%.1f%%"
+             (100. *. float_of_int (c.Cache.hits + c.Cache.disk_hits)
+             /. float_of_int lookups)
+         else "-");
+      ])
+    s.caches
+
+(* --- JSON ---------------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float v =
+  if Float.is_finite v then Printf.sprintf "%.6g" v else "null"
+
+let to_json (s : snapshot) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" s.jobs);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"wall_s\": %s,\n" (json_float s.wall_s));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"busy_s\": %s,\n" (json_float s.busy_s));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"utilization\": %s,\n" (json_float s.utilization));
+  Buffer.add_string buf "  \"tasks\": [";
+  List.iteri
+    (fun i k ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\n    {\"label\": \"%s\", \"wall_s\": %s}"
+           (json_escape k.label) (json_float k.wall_s)))
+    s.tasks;
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf "  \"caches\": [";
+  List.iteri
+    (fun i (name, (c : Cache.stats)) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    {\"name\": \"%s\", \"hits\": %d, \"disk_hits\": %d, \
+            \"misses\": %d}"
+           (json_escape name) c.Cache.hits c.Cache.disk_hits c.Cache.misses))
+    s.caches;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf

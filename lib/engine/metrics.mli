@@ -1,0 +1,40 @@
+(** Run metrics for pool-driven grids: per-task wall time, cache
+    hit/miss counters and pool utilization.
+
+    A {!t} is a passive collector threaded through a run; {!snapshot}
+    freezes it (capturing {!Cache.all_stats} at that moment) into a
+    value that renders as table rows or JSON. Recording is
+    domain-safe, but runners normally record in submission order after
+    the parallel section so snapshots are deterministic. *)
+
+type task = { label : string; wall_s : float }
+
+type snapshot = {
+  tasks : task list;  (** submission order *)
+  jobs : int;
+  wall_s : float;  (** whole-run wall-clock time *)
+  busy_s : float;  (** sum of task wall times *)
+  utilization : float;  (** [busy_s / (jobs * wall_s)]; 0 when unknown *)
+  caches : (string * Cache.stats) list;
+}
+
+type t
+
+val create : unit -> t
+val record : t -> label:string -> wall_s:float -> unit
+val set_jobs : t -> int -> unit
+val set_wall : t -> float -> unit
+
+val time : t -> label:string -> (unit -> 'a) -> 'a
+(** Run the thunk, record its wall time under [label]. *)
+
+val snapshot : t -> snapshot
+
+val task_rows : snapshot -> string list list
+(** One row per task: label, wall seconds, share of busy time. *)
+
+val cache_rows : snapshot -> string list list
+(** One row per cache: name, hits, disk hits, misses, hit rate. *)
+
+val to_json : snapshot -> string
+(** Self-contained JSON object (no external dependency). *)

@@ -1,0 +1,130 @@
+exception Task_failed of { index : int; exn : exn; backtrace : string }
+
+type t = {
+  n_jobs : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+let jobs t = t.n_jobs
+
+(* Workers loop forever: wait for a thunk, run it, repeat. Thunks are
+   pre-wrapped by [map] and never raise, so a raising task can neither
+   kill a worker nor leave the queue stuck. *)
+let worker t =
+  let rec next () =
+    Mutex.lock t.mutex;
+    let rec wait () =
+      match Queue.take_opt t.queue with
+      | Some task ->
+          Mutex.unlock t.mutex;
+          `Run task
+      | None ->
+          if t.stop then begin
+            Mutex.unlock t.mutex;
+            `Stop
+          end
+          else begin
+            Condition.wait t.nonempty t.mutex;
+            wait ()
+          end
+    in
+    match wait () with
+    | `Stop -> ()
+    | `Run task ->
+        task ();
+        next ()
+  in
+  next ()
+
+let create ?jobs () =
+  let n_jobs =
+    match jobs with Some j -> max 1 j | None -> default_jobs ()
+  in
+  let t =
+    {
+      n_jobs;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      domains = [];
+    }
+  in
+  if n_jobs > 1 then
+    t.domains <- List.init n_jobs (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let run_task f x =
+  match f x with
+  | y -> Ok y
+  | exception exn ->
+      let backtrace = Printexc.get_backtrace () in
+      Error (exn, backtrace)
+
+(* Merge in submission order; surface the lowest-index failure so the
+   reported error does not depend on scheduling. *)
+let collect results =
+  Array.iteri
+    (fun index slot ->
+      match slot with
+      | Some (Error (exn, backtrace)) ->
+          raise (Task_failed { index; exn; backtrace })
+      | Some (Ok _) | None -> ())
+    results;
+  Array.map
+    (function Some (Ok v) -> v | Some (Error _) | None -> assert false)
+    results
+
+let map t f tasks =
+  let n = Array.length tasks in
+  let results = Array.make n None in
+  if t.n_jobs <= 1 || n <= 1 || t.domains = [] then begin
+    (* Serial fallback: identical semantics (attempt everything, then
+       report the first failure), no domains involved. *)
+    Array.iteri (fun i x -> results.(i) <- Some (run_task f x)) tasks;
+    collect results
+  end
+  else begin
+    let done_mutex = Mutex.create () in
+    let all_done = Condition.create () in
+    let remaining = ref n in
+    let task i () =
+      let r = run_task f tasks.(i) in
+      Mutex.lock done_mutex;
+      results.(i) <- Some r;
+      decr remaining;
+      if !remaining = 0 then Condition.signal all_done;
+      Mutex.unlock done_mutex
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.add (task i) t.queue
+    done;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    Mutex.lock done_mutex;
+    while !remaining > 0 do
+      Condition.wait all_done done_mutex
+    done;
+    Mutex.unlock done_mutex;
+    collect results
+  end
+
+let map_list t f tasks = Array.to_list (map t f (Array.of_list tasks))

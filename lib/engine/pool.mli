@@ -1,0 +1,44 @@
+(** A fixed-size pool of worker domains with a shared work queue.
+
+    The pool is the single execution substrate for grid-shaped
+    computations (experiment registries, parameter sweeps, benchmark
+    grids). Results are keyed by task index and merged in submission
+    order, so parallel output is byte-identical to a serial run —
+    callers never observe scheduling order.
+
+    [jobs] counts worker domains. At [jobs = 1] no domain is spawned
+    and tasks run serially on the calling domain (the fallback for
+    single-core hosts and for determinism baselines). The default is
+    [Domain.recommended_domain_count () - 1], reserving one core for
+    the submitting domain. *)
+
+type t
+
+exception Task_failed of { index : int; exn : exn; backtrace : string }
+(** Raised by {!map} when a task raised. Every task is still attempted
+    (the queue keeps draining; a raising task cannot deadlock or poison
+    the pool) and the error reported is the one with the lowest task
+    index, so the failure surfaced is deterministic. *)
+
+val default_jobs : unit -> int
+(** [max 1 (Domain.recommended_domain_count () - 1)]. *)
+
+val create : ?jobs:int -> unit -> t
+(** Spawn the worker domains ([jobs] defaults to {!default_jobs};
+    values [< 1] are clamped to [1], which spawns none). *)
+
+val jobs : t -> int
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f tasks] runs [f] over every element, in parallel when
+    the pool has workers, and returns results in input order. Safe to
+    call repeatedly and from tasks' completion; not re-entrant from
+    inside a worker task. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+val shutdown : t -> unit
+(** Join all workers. The pool must not be used afterwards. Idempotent. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run, then {!shutdown} (also on exception). *)

@@ -1,0 +1,133 @@
+(* The execution engine: domain pool determinism, keyed artifact cache
+   (memory + disk tiers, schema stamps), and failure containment. *)
+
+open Tiered
+
+(* (a) A representative experiment grid must produce identical reports
+   serial (jobs=1) and parallel (jobs=4) — same ids, same tables, same
+   rendered bytes. table1 exercises the workload cache from several
+   domains at once; fig8 exercises the market cache. *)
+let test_parallel_serial_identical () =
+  let grid =
+    List.map Experiment.find [ "table1"; "fig1"; "fig3"; "fig4"; "fig5"; "fig8" ]
+  in
+  let serial = Runner.run_experiments ~jobs:1 grid in
+  let parallel = Runner.run_experiments ~jobs:4 grid in
+  Alcotest.(check (list string))
+    "ids in submission order"
+    (List.map (fun (r : Runner.result) -> r.Runner.id) serial)
+    (List.map (fun (r : Runner.result) -> r.Runner.id) parallel);
+  List.iter2
+    (fun (a : Runner.result) (b : Runner.result) ->
+      if a.Runner.tables <> b.Runner.tables then
+        Alcotest.failf "experiment %s: parallel tables diverge" a.Runner.id)
+    serial parallel;
+  Alcotest.(check string)
+    "byte-identical rendering" (Runner.render serial) (Runner.render parallel)
+
+(* Plain pool mapping: ordering and the serial fallback. *)
+let test_pool_map_order () =
+  let input = Array.init 100 (fun i -> i) in
+  let expected = Array.map (fun i -> (i * i) + 1) input in
+  Engine.Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check (array int))
+        "parallel order" expected
+        (Engine.Pool.map pool (fun i -> (i * i) + 1) input));
+  Engine.Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check (array int))
+        "serial fallback" expected
+        (Engine.Pool.map pool (fun i -> (i * i) + 1) input))
+
+(* (b) The in-memory tier returns the physically same artifact until an
+   explicit invalidate forces a recomputation. *)
+let test_cache_physical_equality () =
+  let cache = Engine.Cache.create ~name:"test-mem" () in
+  let calls = ref 0 in
+  let compute () =
+    incr calls;
+    Array.init 4 float_of_int
+  in
+  let key = ("eu_isp", 1.1, 20.) in
+  let first = Engine.Cache.find_or_add cache ~key compute in
+  let second = Engine.Cache.find_or_add cache ~key compute in
+  Alcotest.(check bool) "physically equal" true (first == second);
+  Alcotest.(check int) "computed once" 1 !calls;
+  Alcotest.(check int) "one hit" 1 (Engine.Cache.stats cache).Engine.Cache.hits;
+  Engine.Cache.invalidate cache ~key;
+  let third = Engine.Cache.find_or_add cache ~key compute in
+  Alcotest.(check int) "recomputed after invalidate" 2 !calls;
+  Alcotest.(check bool) "fresh artifact" false (third == first);
+  (* A different key never aliases. *)
+  let other = Engine.Cache.find_or_add cache ~key:("cdn", 1.1, 20.) compute in
+  Alcotest.(check int) "distinct keys computed separately" 3 !calls;
+  Alcotest.(check bool) "distinct artifact" false (other == third)
+
+(* (c) The disk tier round-trips artifacts across cache instances and
+   rejects payloads written under a stale schema version. *)
+let test_cache_disk_tier () =
+  let dir =
+    let f = Filename.temp_file "engine-cache" "" in
+    Sys.remove f;
+    Sys.mkdir f 0o755;
+    f
+  in
+  Engine.Cache.enable_disk ~dir;
+  Fun.protect ~finally:Engine.Cache.disable_disk @@ fun () ->
+  let calls = ref 0 in
+  let compute () =
+    incr calls;
+    [ ("fit", 42.5); ("gamma", 0.25) ]
+  in
+  let key = ("market", "internet2", 0.2) in
+  let c1 = Engine.Cache.create ~name:"test-disk" ~schema:"v1" () in
+  let v1 = Engine.Cache.find_or_add c1 ~key compute in
+  Alcotest.(check int) "computed and written" 1 !calls;
+  (* A fresh cache (cold memory tier, same schema) loads from disk. *)
+  let c2 = Engine.Cache.create ~name:"test-disk" ~schema:"v1" () in
+  let v2 = Engine.Cache.find_or_add c2 ~key compute in
+  Alcotest.(check int) "disk hit, no recomputation" 1 !calls;
+  Alcotest.(check bool) "round-trips structurally" true (v1 = v2);
+  Alcotest.(check int)
+    "counted as disk hit" 1 (Engine.Cache.stats c2).Engine.Cache.disk_hits;
+  (* A bumped schema must reject the stale payload and recompute. *)
+  let c3 = Engine.Cache.create ~name:"test-disk" ~schema:"v2" () in
+  let _ = Engine.Cache.find_or_add c3 ~key compute in
+  Alcotest.(check int) "stale schema rejected" 2 !calls;
+  Alcotest.(check int)
+    "stale read is a miss" 1 (Engine.Cache.stats c3).Engine.Cache.misses
+
+(* (d) A raising task is reported (deterministically: lowest failing
+   index) without deadlocking the queue; the pool stays usable. *)
+let test_pool_survives_exception () =
+  Engine.Pool.with_pool ~jobs:4 (fun pool ->
+      (match
+         Engine.Pool.map pool
+           (fun i -> if i mod 5 = 3 then failwith "boom" else i)
+           (Array.init 16 (fun i -> i))
+       with
+      | _ -> Alcotest.fail "expected Task_failed"
+      | exception Engine.Pool.Task_failed { index; exn; _ } ->
+          Alcotest.(check int) "lowest failing index" 3 index;
+          Alcotest.(check string) "original exception" "boom"
+            (match exn with Failure m -> m | _ -> Printexc.to_string exn));
+      (* The queue drained; the same pool still schedules new work. *)
+      let again =
+        Engine.Pool.map pool (fun i -> i + 1) (Array.init 8 (fun i -> i))
+      in
+      Alcotest.(check (array int))
+        "pool alive after failure"
+        (Array.init 8 (fun i -> i + 1))
+        again)
+
+let suite =
+  [
+    Alcotest.test_case "parallel = serial on an experiment grid" `Slow
+      test_parallel_serial_identical;
+    Alcotest.test_case "pool map preserves order" `Quick test_pool_map_order;
+    Alcotest.test_case "cache memory tier: physical equality + invalidate"
+      `Quick test_cache_physical_equality;
+    Alcotest.test_case "cache disk tier: round-trip + schema stamp" `Quick
+      test_cache_disk_tier;
+    Alcotest.test_case "pool survives raising tasks" `Quick
+      test_pool_survives_exception;
+  ]
