@@ -1,8 +1,11 @@
 # Convenience wrappers around dune. `make bench-json` regenerates
 # BENCH_sweep.json (serial-vs-parallel timings of the full experiment
-# grid) so the perf trajectory accumulates across PRs.
+# grid) so the perf trajectory accumulates across PRs. `make
+# golden-regen` re-renders every registry experiment and promotes the
+# result into test/golden/ — run it (and commit the diff) after an
+# intentional output change.
 
-.PHONY: all build test bench bench-json smoke clean
+.PHONY: all build test bench bench-json golden-regen smoke clean
 
 all: build
 
@@ -17,6 +20,12 @@ bench:
 
 bench-json:
 	dune exec bench/main.exe -- sweep
+
+# Rewrite test/golden/*.expected from the current code. The second
+# pass re-checks the diffs so a failed promote cannot pass silently.
+golden-regen:
+	dune build @golden --auto-promote || true
+	dune build @golden
 
 smoke:
 	dune exec bin/tiered_cli.exe -- run table1 --jobs 2 --metrics

@@ -89,7 +89,16 @@ let cache_arg =
            ~doc:"Persist expensive artifacts (calibrated workloads, fitted \
                  markets) on disk under _cache/ and reuse them across runs.")
 
-let enable_cache cache = if cache then Engine.Cache.enable_disk ~dir:"_cache"
+let cache_max_bytes_arg =
+  Arg.(value & opt (some int) None
+       & info [ "cache-max-bytes" ] ~docv:"BYTES"
+           ~doc:"Bound the on-disk cache tier at $(docv) payload bytes; \
+                 least-recently-used artifacts are evicted first. Implies \
+                 --cache.")
+
+let enable_cache cache max_bytes =
+  if cache || max_bytes <> None then
+    Engine.Cache.enable_disk ?max_bytes ~dir:"_cache" ()
 
 let cost_model_of ~cost ~theta =
   let theta_or default = Option.value ~default theta in
@@ -142,8 +151,8 @@ let run_cmd =
          & info [ "metrics-json" ] ~docv:"FILE"
              ~doc:"Dump the run metrics as JSON into $(docv).")
   in
-  let run ids csv_dir md_dir jobs cache show_metrics metrics_json =
-    enable_cache cache;
+  let run ids csv_dir md_dir jobs cache cache_max_bytes show_metrics metrics_json =
+    enable_cache cache cache_max_bytes;
     let experiments =
       match ids with
       | [] -> Experiment.all
@@ -198,7 +207,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Regenerate paper tables/figures (all by default).")
     Term.(const run $ ids_arg $ csv_arg $ md_arg $ jobs_arg $ cache_arg
-          $ metrics_arg $ metrics_json_arg)
+          $ cache_max_bytes_arg $ metrics_arg $ metrics_json_arg)
 
 (* --- dataset ---------------------------------------------------------------- *)
 
@@ -269,8 +278,8 @@ let sweep_cmd =
          & opt (some (enum [ ("alpha", `Alpha); ("p0", `P0); ("s0", `S0) ])) None
          & info [ "param" ] ~docv:"P" ~doc:"Parameter to sweep: alpha, p0 or s0.")
   in
-  let run network demand s0 strategy param jobs cache =
-    enable_cache cache;
+  let run network demand s0 strategy param jobs cache cache_max_bytes =
+    enable_cache cache cache_max_bytes;
     let values, fit =
       match param with
       | `Alpha ->
@@ -308,7 +317,7 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep a model parameter and tabulate profit capture.")
     Term.(const run $ network_arg $ demand_arg $ s0_arg $ strategy_arg $ param_arg
-          $ jobs_arg $ cache_arg)
+          $ jobs_arg $ cache_arg $ cache_max_bytes_arg)
 
 (* --- trace ----------------------------------------------------------------------- *)
 

@@ -7,16 +7,77 @@ module Defaults = struct
   let networks = [ "eu_isp"; "internet2"; "cdn" ]
 end
 
-type t = { id : string; description : string; run : unit -> Report.t list }
+(* --- cell-level plans ---------------------------------------------------- *)
+
+(* Grid-shaped experiments (strategy sweeps over networks × bundle
+   counts, theta tables, sensitivity envelopes) expose their internal
+   grid as a list of independent cells plus a pure [assemble] that folds
+   the cell outputs back into the experiment's report list. The runner
+   schedules *cells* on the domain pool, so one slow figure no longer
+   pins a whole domain; because cells are listed and assembled in
+   submission order, the output stays byte-identical at any job count.
+   Scalar experiments fall back to a single cell wrapping [run]. *)
+
+type cell_output =
+  | Rows of string list list
+      (** Rows contributed to the experiment's tables, in grid order. *)
+  | Tables of Report.t list  (** A whole-experiment (scalar) result. *)
+
+type cell = { label : string; compute : unit -> cell_output }
+
+type t = {
+  id : string;
+  description : string;
+  run : unit -> Report.t list;
+  cells : unit -> cell list;
+  assemble : cell_output list -> Report.t list;
+}
+
+let rows_of = function
+  | Rows rows -> rows
+  | Tables _ -> invalid_arg "Experiment: expected a Rows cell output"
+
+let run_cells t = t.assemble (List.map (fun c -> c.compute ()) (t.cells ()))
+
+let scalar ~id ~description run =
+  {
+    id;
+    description;
+    run;
+    cells = (fun () -> [ { label = id; compute = (fun () -> Tables (run ())) } ]);
+    assemble =
+      (function
+      | [ Tables tables ] -> tables
+      | _ -> invalid_arg (id ^ ": scalar experiments assemble one Tables cell"));
+  }
+
+let chunk n xs =
+  if n <= 0 then invalid_arg "Experiment.chunk";
+  let rec take k xs =
+    match (k, xs) with
+    | 0, rest -> ([], rest)
+    | _, [] -> ([], [])
+    | k, x :: rest ->
+        let h, t = take (k - 1) rest in
+        (x :: h, t)
+  in
+  let rec go = function
+    | [] -> []
+    | xs ->
+        let h, t = take n xs in
+        h :: go t
+  in
+  go xs
 
 (* --- shared infrastructure --------------------------------------------- *)
 
 (* Expensive intermediate artifacts are memoized in the engine's keyed
    cache (domain-safe, optional disk tier): calibrated workloads,
-   per-network flow arrays and fitted markets. Keys are structural —
-   whatever parameters the artifact depends on — so a sweep only pays
-   for the cells it has not seen. Schema stamps guard the disk tier:
-   bump them when the corresponding type's representation changes. *)
+   per-network flow arrays, fitted markets and capture contexts. Keys
+   are structural — whatever parameters the artifact depends on — so a
+   sweep only pays for the cells it has not seen. Schema stamps guard
+   the disk tier: bump them when the corresponding type's
+   representation changes. *)
 
 let workload_cache : Flowgen.Workload.t Engine.Cache.t =
   Engine.Cache.create ~name:"workload" ~schema:"workload/1" ()
@@ -26,6 +87,9 @@ let dataset_cache : Flow.t array Engine.Cache.t =
 
 let market_cache : Market.t Engine.Cache.t =
   Engine.Cache.create ~name:"market" ~schema:"market/1" ()
+
+let context_cache : Capture.context Engine.Cache.t =
+  Engine.Cache.create ~name:"context" ~schema:"context/1" ()
 
 let workload name =
   Engine.Cache.find_or_add workload_cache ~key:("workload", name) (fun () ->
@@ -41,6 +105,12 @@ let market ?(alpha = Defaults.alpha) ?(p0 = Defaults.p0)
     ~key:("market", name, alpha, p0, cost_model, spec)
     (fun () -> Market.fit ~spec ~alpha ~p0 ~cost_model (dataset name))
 
+let context ?(alpha = Defaults.alpha) ?(p0 = Defaults.p0)
+    ?(cost_model = Cost_model.linear ~theta:Defaults.theta) ~spec name =
+  Engine.Cache.find_or_add context_cache
+    ~key:("context", name, alpha, p0, cost_model, spec)
+    (fun () -> Capture.context (market ~alpha ~p0 ~cost_model ~spec name))
+
 let spec_name = Market.demand_spec_name
 let logit_spec = Market.Logit { s0 = Defaults.s0 }
 
@@ -48,29 +118,41 @@ let int_cell = string_of_int
 
 (* --- Table 1 ------------------------------------------------------------ *)
 
-let run_table1 () =
-  let row name =
-    let target = Flowgen.Workload.table1_targets name in
-    let s = Flowgen.Workload.stats (workload name) in
-    [
-      name;
-      Printf.sprintf "%.0f / %.0f" s.w_avg_distance_miles target.t_w_avg_distance;
-      Printf.sprintf "%.2f / %.2f" s.cv_distance target.t_cv_distance;
-      Printf.sprintf "%.1f / %.1f" s.aggregate_gbps target.t_aggregate_gbps;
-      Printf.sprintf "%.2f / %.2f" s.cv_demand target.t_cv_demand;
-    ]
-  in
+let table1_row name =
+  let target = Flowgen.Workload.table1_targets name in
+  let s = Flowgen.Workload.stats (workload name) in
   [
-    Report.make ~title:"Table 1: data sets (measured / paper)"
-      ~header:
-        [ "network"; "w-avg dist (mi)"; "CV dist"; "aggregate (Gbps)"; "CV demand" ]
-      (List.map row Defaults.networks)
-      ~notes:
-        [
-          "synthetic workloads calibrated to the paper's Table 1; see \
-           Flowgen.Workload";
-        ];
+    name;
+    Printf.sprintf "%.0f / %.0f" s.w_avg_distance_miles target.t_w_avg_distance;
+    Printf.sprintf "%.2f / %.2f" s.cv_distance target.t_cv_distance;
+    Printf.sprintf "%.1f / %.1f" s.aggregate_gbps target.t_aggregate_gbps;
+    Printf.sprintf "%.2f / %.2f" s.cv_demand target.t_cv_demand;
   ]
+
+let table1_table rows =
+  Report.make ~title:"Table 1: data sets (measured / paper)"
+    ~header:
+      [ "network"; "w-avg dist (mi)"; "CV dist"; "aggregate (Gbps)"; "CV demand" ]
+    rows
+    ~notes:
+      [
+        "synthetic workloads calibrated to the paper's Table 1; see \
+         Flowgen.Workload";
+      ]
+
+let table1 =
+  {
+    id = "table1";
+    description = "data-set statistics vs paper targets";
+    run = (fun () -> [ table1_table (List.map table1_row Defaults.networks) ]);
+    cells =
+      (fun () ->
+        List.map
+          (fun name ->
+            { label = name; compute = (fun () -> Rows [ table1_row name ]) })
+          Defaults.networks);
+    assemble = (fun outputs -> [ table1_table (List.concat_map rows_of outputs) ]);
+  }
 
 (* --- Figure 1: blended vs tiered toy market ----------------------------- *)
 
@@ -236,146 +318,255 @@ let strategy_columns = function
         Strategy.Cost_division; Strategy.Index_division;
       ]
 
-let capture_table ~spec ~title network =
-  let m = market ~spec network in
+let capture_row ?alpha ?p0 ~spec network b =
+  let m = market ?alpha ?p0 ~spec network in
   let strategies = strategy_columns m.Market.spec in
-  let ctx = Capture.context m in
-  let rows =
+  let ctx = context ?alpha ?p0 ~spec network in
+  int_cell b
+  :: List.map
+       (fun strategy ->
+         let bundles = Strategy.apply strategy m ~n_bundles:b in
+         Report.cell_f
+           (Capture.value ctx (Pricing.evaluate m bundles).Pricing.profit))
+       strategies
+
+let capture_header ~spec = "bundles" :: List.map Strategy.name (strategy_columns spec)
+
+let capture_table ?alpha ?p0 ~spec ~title ~bundle_counts network =
+  Report.make ~title ~header:(capture_header ~spec)
+    (List.map (capture_row ?alpha ?p0 ~spec network) bundle_counts)
+
+let capture_experiment ?alpha ?p0 ~id ~description ~title_of ~spec ~networks
+    ~bundle_counts () =
+  let run () =
     List.map
-      (fun b ->
-        int_cell b
-        :: List.map
-             (fun strategy ->
-               let bundles = Strategy.apply strategy m ~n_bundles:b in
-               Report.cell_f
-                 (Capture.value ctx (Pricing.evaluate m bundles).Pricing.profit))
-             strategies)
-      Defaults.bundle_counts
+      (fun network ->
+        capture_table ?alpha ?p0 ~spec ~title:(title_of network) ~bundle_counts
+          network)
+      networks
   in
-  Report.make ~title ~header:("bundles" :: List.map Strategy.name strategies) rows
+  let cells () =
+    List.concat_map
+      (fun network ->
+        List.map
+          (fun b ->
+            {
+              label = Printf.sprintf "%s/b=%d" network b;
+              compute =
+                (fun () -> Rows [ capture_row ?alpha ?p0 ~spec network b ]);
+            })
+          bundle_counts)
+      networks
+  in
+  let assemble outputs =
+    let per_network =
+      chunk (List.length bundle_counts) (List.concat_map rows_of outputs)
+    in
+    List.map2
+      (fun network rows ->
+        Report.make ~title:(title_of network) ~header:(capture_header ~spec) rows)
+      networks per_network
+  in
+  { id; description; run; cells; assemble }
 
-let run_fig8 () =
-  List.map
-    (fun network ->
-      capture_table ~spec:Market.Ced
-        ~title:(Printf.sprintf "Figure 8 (%s): profit capture, CED demand" network)
-        network)
-    Defaults.networks
+let fig8 =
+  capture_experiment ~id:"fig8" ~description:"bundling strategies, CED demand"
+    ~title_of:
+      (Printf.sprintf "Figure 8 (%s): profit capture, CED demand")
+    ~spec:Market.Ced ~networks:Defaults.networks
+    ~bundle_counts:Defaults.bundle_counts ()
 
-let run_fig9 () =
-  List.map
-    (fun network ->
-      capture_table ~spec:logit_spec
-        ~title:(Printf.sprintf "Figure 9 (%s): profit capture, logit demand" network)
-        network)
-    Defaults.networks
+let fig9 =
+  capture_experiment ~id:"fig9" ~description:"bundling strategies, logit demand"
+    ~title_of:
+      (Printf.sprintf "Figure 9 (%s): profit capture, logit demand")
+    ~spec:logit_spec ~networks:Defaults.networks
+    ~bundle_counts:Defaults.bundle_counts ()
 
 (* --- Figures 10-13: cost models ------------------------------------------ *)
 
 (* Normalized profit increase: (pi(B, theta) - pi_orig(theta)) divided by
    the largest headroom across the theta settings, so settings with less
    cost variability visibly plateau lower (the paper's normalization). *)
-let theta_table ~spec ~strategy ~cost_of_theta ~thetas ~title network =
-  let markets =
-    List.map (fun th -> (th, market ~spec ~cost_model:(cost_of_theta th) network)) thetas
-  in
-  let contexts = List.map (fun (th, m) -> (th, m, Capture.context m)) markets in
+let theta_contexts ~spec ~cost_of_theta ~thetas network =
+  List.map
+    (fun th ->
+      let cost_model = cost_of_theta th in
+      (th, market ~spec ~cost_model network, context ~spec ~cost_model network))
+    thetas
+
+let theta_row ~spec ~strategy ~cost_of_theta ~thetas network b =
+  let contexts = theta_contexts ~spec ~cost_of_theta ~thetas network in
   let max_headroom =
     List.fold_left (fun acc (_, _, ctx) -> Float.max acc (Capture.headroom ctx)) 0.
       contexts
   in
-  let rows =
-    List.map
-      (fun b ->
-        int_cell b
-        :: List.map
-             (fun (_, m, ctx) ->
-               let bundles = Strategy.apply strategy m ~n_bundles:b in
-               let profit = (Pricing.evaluate m bundles).Pricing.profit in
-               Report.cell_f ((profit -. ctx.Capture.original) /. max_headroom))
-             contexts)
-      Defaults.bundle_counts
+  int_cell b
+  :: List.map
+       (fun (_, m, ctx) ->
+         let bundles = Strategy.apply strategy m ~n_bundles:b in
+         let profit = (Pricing.evaluate m bundles).Pricing.profit in
+         Report.cell_f ((profit -. ctx.Capture.original) /. max_headroom))
+       contexts
+
+let theta_header ~thetas =
+  "bundles" :: List.map (fun th -> Printf.sprintf "theta=%g" th) thetas
+
+let theta_notes = [ "normalized to the largest profit headroom across theta settings" ]
+
+let theta_table ~spec ~strategy ~cost_of_theta ~thetas ~title network =
+  Report.make ~title ~header:(theta_header ~thetas)
+    (List.map
+       (theta_row ~spec ~strategy ~cost_of_theta ~thetas network)
+       Defaults.bundle_counts)
+    ~notes:theta_notes
+
+let cost_model_experiment ~id ~description ~figure ~model_name ~cost_of_theta
+    ~thetas ~strategy =
+  let specs = [ Market.Ced; logit_spec ] in
+  let network = "eu_isp" in
+  let title spec =
+    Printf.sprintf "Figure %s (EU ISP, %s demand): %s cost model" figure
+      (spec_name spec) model_name
   in
-  Report.make ~title
-    ~header:("bundles" :: List.map (fun th -> Printf.sprintf "theta=%g" th) thetas)
-    rows
-    ~notes:[ "normalized to the largest profit headroom across theta settings" ]
+  let run () =
+    List.map
+      (fun spec ->
+        theta_table ~spec ~strategy ~cost_of_theta ~thetas ~title:(title spec)
+          network)
+      specs
+  in
+  let cells () =
+    List.concat_map
+      (fun spec ->
+        List.map
+          (fun b ->
+            {
+              label = Printf.sprintf "%s/b=%d" (spec_name spec) b;
+              compute =
+                (fun () ->
+                  Rows [ theta_row ~spec ~strategy ~cost_of_theta ~thetas network b ]);
+            })
+          Defaults.bundle_counts)
+      specs
+  in
+  let assemble outputs =
+    let per_spec =
+      chunk (List.length Defaults.bundle_counts) (List.concat_map rows_of outputs)
+    in
+    List.map2
+      (fun spec rows ->
+        Report.make ~title:(title spec) ~header:(theta_header ~thetas) rows
+          ~notes:theta_notes)
+      specs per_spec
+  in
+  { id; description; run; cells; assemble }
 
-let cost_model_figure ~figure ~model_name ~cost_of_theta ~thetas ~strategy =
-  List.map
-    (fun spec ->
-      theta_table ~spec ~strategy ~cost_of_theta ~thetas
-        ~title:
-          (Printf.sprintf "Figure %s (EU ISP, %s demand): %s cost model" figure
-             (spec_name spec) model_name)
-        "eu_isp")
-    [ Market.Ced; logit_spec ]
-
-let run_fig10 () =
-  cost_model_figure ~figure:"10" ~model_name:"linear"
+let fig10 =
+  cost_model_experiment ~id:"fig10" ~description:"linear cost model sensitivity"
+    ~figure:"10" ~model_name:"linear"
     ~cost_of_theta:(fun theta -> Cost_model.linear ~theta)
     ~thetas:[ 0.1; 0.2; 0.3 ] ~strategy:Strategy.Profit_weighted
 
-let run_fig11 () =
-  cost_model_figure ~figure:"11" ~model_name:"concave"
+let fig11 =
+  cost_model_experiment ~id:"fig11" ~description:"concave cost model sensitivity"
+    ~figure:"11" ~model_name:"concave"
     ~cost_of_theta:(fun theta -> Cost_model.concave ~theta)
     ~thetas:[ 0.1; 0.2; 0.3 ] ~strategy:Strategy.Profit_weighted
 
-let run_fig12 () =
-  cost_model_figure ~figure:"12" ~model_name:"regional"
+let fig12 =
+  cost_model_experiment ~id:"fig12" ~description:"regional cost model sensitivity"
+    ~figure:"12" ~model_name:"regional"
     ~cost_of_theta:(fun theta -> Cost_model.regional ~theta)
     ~thetas:[ 1.0; 1.1; 1.2 ] ~strategy:Strategy.Profit_weighted
 
-let run_fig13 () =
-  cost_model_figure ~figure:"13" ~model_name:"destination-type"
+let fig13 =
+  cost_model_experiment ~id:"fig13"
+    ~description:"destination-type cost model sensitivity" ~figure:"13"
+    ~model_name:"destination-type"
     ~cost_of_theta:(fun theta -> Cost_model.destination_type ~theta)
     ~thetas:[ 0.05; 0.1; 0.15 ] ~strategy:Strategy.Profit_weighted_classes
 
 (* --- Figures 14-16: parameter sweeps ------------------------------------- *)
 
-let sweep_table ~title ~mode ~markets_of_network =
-  List.map
-    (fun spec ->
-      let rows =
-        let columns =
-          List.map
-            (fun network ->
-              let markets = markets_of_network spec network in
-              Sensitivity.envelope ~markets ~strategy:Strategy.Profit_weighted
-                ~bundle_counts:Defaults.bundle_counts ~mode)
-            Defaults.networks
-        in
-        List.mapi
-          (fun i b ->
-            int_cell b
-            :: List.map (fun col -> Report.cell_f (snd (List.nth col i))) columns)
-          Defaults.bundle_counts
-      in
-      Report.make
-        ~title:(Printf.sprintf "%s (%s demand)" title (spec_name spec))
-        ~header:("bundles" :: Defaults.networks)
-        rows)
+let sweep_column ~mode ~markets_of_network spec network =
+  let markets = markets_of_network spec network in
+  Sensitivity.envelope ~markets ~strategy:Strategy.Profit_weighted
+    ~bundle_counts:Defaults.bundle_counts ~mode
 
-let run_fig14 () =
+let sweep_experiment ~id ~description ~title ~mode ~markets_of_network specs =
+  let spec_title spec = Printf.sprintf "%s (%s demand)" title (spec_name spec) in
+  let header = "bundles" :: Defaults.networks in
+  let run () =
+    List.map
+      (fun spec ->
+        let columns =
+          List.map (sweep_column ~mode ~markets_of_network spec) Defaults.networks
+        in
+        let rows =
+          List.mapi
+            (fun i b ->
+              int_cell b
+              :: List.map (fun col -> Report.cell_f (snd (List.nth col i))) columns)
+            Defaults.bundle_counts
+        in
+        Report.make ~title:(spec_title spec) ~header rows)
+      specs
+  in
+  let cells () =
+    List.concat_map
+      (fun spec ->
+        List.map
+          (fun network ->
+            {
+              label = Printf.sprintf "%s/%s" (spec_name spec) network;
+              compute =
+                (fun () ->
+                  Rows
+                    (List.map
+                       (fun (_, v) -> [ Report.cell_f v ])
+                       (sweep_column ~mode ~markets_of_network spec network)));
+            })
+          Defaults.networks)
+      specs
+  in
+  let assemble outputs =
+    (* One output per (spec, network): a column of single-cell rows,
+       transposed back into bundle-count rows. *)
+    let columns = List.map (fun o -> List.map List.hd (rows_of o)) outputs in
+    let per_spec = chunk (List.length Defaults.networks) columns in
+    List.map2
+      (fun spec cols ->
+        let rows =
+          List.mapi
+            (fun i b -> int_cell b :: List.map (fun col -> List.nth col i) cols)
+            Defaults.bundle_counts
+        in
+        Report.make ~title:(spec_title spec) ~header rows)
+      specs per_spec
+  in
+  { id; description; run; cells; assemble }
+
+let fig14 =
   let alphas = Sensitivity.alpha_range ~steps:6 ~lo:1.1 ~hi:10. () in
-  sweep_table
+  sweep_experiment ~id:"fig14" ~description:"robustness to price sensitivity alpha"
     ~title:"Figure 14: minimum profit capture over alpha in [1.1, 10]" ~mode:`Min
     ~markets_of_network:(fun spec network ->
       List.map (fun alpha -> market ~alpha ~spec network) alphas)
     [ Market.Ced; logit_spec ]
 
-let run_fig15 () =
+let fig15 =
   let p0s = Sensitivity.linear_range ~steps:6 ~lo:5. ~hi:30. () in
-  sweep_table
+  sweep_experiment ~id:"fig15" ~description:"robustness to blended rate P0"
     ~title:"Figure 15: minimum profit capture over P0 in [5, 30]" ~mode:`Min
     ~markets_of_network:(fun spec network ->
       List.map (fun p0 -> market ~p0 ~spec network) p0s)
     [ Market.Ced; logit_spec ]
 
-let run_fig16 () =
+let fig16 =
   (* s0 below 1/(alpha p0) would imply negative costs; start above it. *)
   let s0s = Sensitivity.linear_range ~steps:6 ~lo:0.06 ~hi:0.9 () in
-  sweep_table
+  sweep_experiment ~id:"fig16" ~description:"robustness to non-participation s0"
     ~title:"Figure 16: maximum profit capture over s0 in (0, 0.9]" ~mode:`Max
     ~markets_of_network:(fun _ network ->
       List.map (fun s0 -> market ~spec:(Market.Logit { s0 }) network) s0s)
@@ -385,21 +576,21 @@ let run_fig16 () =
 
 let all =
   [
-    { id = "table1"; description = "data-set statistics vs paper targets"; run = run_table1 };
-    { id = "fig1"; description = "blended vs tiered toy market"; run = run_fig1 };
-    { id = "fig3"; description = "feasible CED demand functions"; run = run_fig3 };
-    { id = "fig4"; description = "per-flow profit maximization"; run = run_fig4 };
-    { id = "fig5"; description = "logit demand functions"; run = run_fig5 };
-    { id = "fig6"; description = "concave distance-to-cost fit"; run = run_fig6 };
-    { id = "fig8"; description = "bundling strategies, CED demand"; run = run_fig8 };
-    { id = "fig9"; description = "bundling strategies, logit demand"; run = run_fig9 };
-    { id = "fig10"; description = "linear cost model sensitivity"; run = run_fig10 };
-    { id = "fig11"; description = "concave cost model sensitivity"; run = run_fig11 };
-    { id = "fig12"; description = "regional cost model sensitivity"; run = run_fig12 };
-    { id = "fig13"; description = "destination-type cost model sensitivity"; run = run_fig13 };
-    { id = "fig14"; description = "robustness to price sensitivity alpha"; run = run_fig14 };
-    { id = "fig15"; description = "robustness to blended rate P0"; run = run_fig15 };
-    { id = "fig16"; description = "robustness to non-participation s0"; run = run_fig16 };
+    table1;
+    scalar ~id:"fig1" ~description:"blended vs tiered toy market" run_fig1;
+    scalar ~id:"fig3" ~description:"feasible CED demand functions" run_fig3;
+    scalar ~id:"fig4" ~description:"per-flow profit maximization" run_fig4;
+    scalar ~id:"fig5" ~description:"logit demand functions" run_fig5;
+    scalar ~id:"fig6" ~description:"concave distance-to-cost fit" run_fig6;
+    fig8;
+    fig9;
+    fig10;
+    fig11;
+    fig12;
+    fig13;
+    fig14;
+    fig15;
+    fig16;
   ]
 
 let ids () = List.map (fun e -> e.id) all

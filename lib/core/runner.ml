@@ -5,34 +5,83 @@ type result = {
   wall_s : float;
 }
 
+(* Cells of every experiment are flattened into one task array (in
+   experiment order, then cell order — the topological submission
+   order) and scheduled on the pool together, so one slow figure's
+   cells interleave with everything else instead of pinning a domain.
+   Outputs are sliced back per experiment and assembled in submission
+   order, which keeps the rendered bytes independent of [jobs]. *)
 let run_experiments ?jobs ?metrics experiments =
-  let tasks = Array.of_list experiments in
+  let exps = Array.of_list experiments in
+  let plans =
+    Array.map (fun (e : Experiment.t) -> Array.of_list (e.Experiment.cells ())) exps
+  in
+  let tasks =
+    Array.concat
+      (Array.to_list
+         (Array.map (fun cells -> Array.map (fun c -> c) cells) plans))
+  in
   let t0 = Unix.gettimeofday () in
-  let results, n_jobs =
+  let outputs, n_jobs, domain_busy =
     Engine.Pool.with_pool ?jobs (fun pool ->
-        ( Engine.Pool.map pool
-            (fun (e : Experiment.t) ->
+        let outputs =
+          Engine.Pool.map pool
+            (fun (c : Experiment.cell) ->
               let s = Unix.gettimeofday () in
-              let tables = e.Experiment.run () in
-              {
-                id = e.Experiment.id;
-                description = e.Experiment.description;
-                tables;
-                wall_s = Unix.gettimeofday () -. s;
-              })
-            tasks,
-          Engine.Pool.jobs pool ))
+              let out = c.Experiment.compute () in
+              (out, Unix.gettimeofday () -. s))
+            tasks
+        in
+        (outputs, Engine.Pool.jobs pool, Engine.Pool.busy_times pool))
+  in
+  (* Slice the flat output array back into per-experiment runs and
+     assemble each (assembly is pure and cheap; it stays on the calling
+     domain). *)
+  let offset = ref 0 in
+  let results =
+    Array.mapi
+      (fun i (e : Experiment.t) ->
+        let n_cells = Array.length plans.(i) in
+        let slice = Array.sub outputs !offset n_cells in
+        offset := !offset + n_cells;
+        let a0 = Unix.gettimeofday () in
+        let tables =
+          e.Experiment.assemble (Array.to_list (Array.map fst slice))
+        in
+        let assemble_s = Unix.gettimeofday () -. a0 in
+        let cells_s = Array.fold_left (fun acc (_, s) -> acc +. s) 0. slice in
+        {
+          id = e.Experiment.id;
+          description = e.Experiment.description;
+          tables;
+          wall_s = cells_s +. assemble_s;
+        })
+      exps
   in
   let wall_s = Unix.gettimeofday () -. t0 in
   Option.iter
     (fun m ->
       Engine.Metrics.set_jobs m n_jobs;
       Engine.Metrics.set_wall m wall_s;
-      (* Record serially, in submission order, so metrics snapshots are
-         as deterministic as the reports themselves. *)
-      Array.iter
-        (fun r -> Engine.Metrics.record m ~label:r.id ~wall_s:r.wall_s)
-        results)
+      Engine.Metrics.set_domain_busy m domain_busy;
+      (* Record per-cell wall times serially, in submission order, so
+         metrics snapshots are as deterministic as the reports
+         themselves. *)
+      let cursor = ref 0 in
+      Array.iteri
+        (fun i (e : Experiment.t) ->
+          Array.iter
+            (fun (c : Experiment.cell) ->
+              let _, cell_s = outputs.(!cursor) in
+              incr cursor;
+              let label =
+                if String.equal c.Experiment.label e.Experiment.id then
+                  e.Experiment.id
+                else Printf.sprintf "%s/%s" e.Experiment.id c.Experiment.label
+              in
+              Engine.Metrics.record m ~label ~wall_s:cell_s)
+            plans.(i))
+        exps)
     metrics;
   Array.to_list results
 
@@ -48,13 +97,14 @@ let metrics_reports (s : Engine.Metrics.snapshot) =
     Report.make
       ~title:
         (Printf.sprintf
-           "Run metrics: %d task(s), jobs=%d, wall %.3fs, busy %.3fs, pool \
-            utilization %.1f%%"
+           "Run metrics: %d cell(s), jobs=%d, wall %.3fs, busy %.3fs, pool \
+            utilization %.1f%%, load balance %.2f"
            (List.length s.Engine.Metrics.tasks)
            s.Engine.Metrics.jobs s.Engine.Metrics.wall_s
            s.Engine.Metrics.busy_s
-           (100. *. s.Engine.Metrics.utilization))
-      ~header:[ "task"; "wall (s)"; "share of busy" ]
+           (100. *. s.Engine.Metrics.utilization)
+           s.Engine.Metrics.load_balance)
+      ~header:[ "cell"; "wall (s)"; "share of busy" ]
       (Engine.Metrics.task_rows s)
   in
   let caches =
@@ -67,4 +117,29 @@ let metrics_reports (s : Engine.Metrics.snapshot) =
            --cache to persist them under _cache/";
         ]
   in
-  [ tasks; caches ]
+  let disk =
+    match s.Engine.Metrics.disk with
+    | None -> []
+    | Some d ->
+        [
+          Report.make ~title:"Disk cache tier"
+            ~header:[ "quantity"; "value" ]
+            [
+              [ "directory"; d.Engine.Cache.dir ];
+              [ "payload bytes"; string_of_int d.Engine.Cache.bytes ];
+              [
+                "max bytes";
+                (match d.Engine.Cache.max_bytes with
+                | Some b -> string_of_int b
+                | None -> "unbounded");
+              ];
+              [ "evictions"; string_of_int d.Engine.Cache.evictions ];
+            ]
+            ~notes:
+              [
+                "least-recently-used payloads are evicted first once the \
+                 tier overflows --cache-max-bytes";
+              ];
+        ]
+  in
+  tasks :: caches :: disk

@@ -1,11 +1,16 @@
 (** Pool-driven execution of the experiment registry.
 
     The single entry point every harness (CLI [run], [bench/main.exe],
-    tests) uses to evaluate a set of experiments: tasks are scheduled
-    on an {!Engine.Pool} and results are merged in submission order,
-    so output at any [jobs] count is byte-identical to a serial run.
-    Artifact reuse across experiments happens underneath through the
-    engine caches wired into {!Experiment}. *)
+    tests) uses to evaluate a set of experiments. Scheduling is
+    per-{e cell}, not per-experiment: every experiment's
+    {!Experiment.cells} plan is flattened into one task array (in
+    experiment order, then cell order) and scheduled on an
+    {!Engine.Pool}, so a slow grid figure's cells interleave with the
+    rest of the registry instead of pinning one domain. Cell outputs
+    are merged and {!Experiment.assemble}d in submission order, so
+    output at any [jobs] count is byte-identical to a serial run (the
+    golden suite pins this). Artifact reuse across cells happens
+    underneath through the engine caches wired into {!Experiment}. *)
 
 type result = {
   id : string;
@@ -16,17 +21,21 @@ type result = {
 
 val run_experiments :
   ?jobs:int -> ?metrics:Engine.Metrics.t -> Experiment.t list -> result list
-(** Evaluate the experiments ([jobs] defaults to
+(** Evaluate the experiments' cells on the pool ([jobs] defaults to
     {!Engine.Pool.default_jobs}; [1] is fully serial). Results are in
-    input order. When [metrics] is given, per-task wall times (in
-    submission order), the job count and the total wall time are
-    recorded into it. A raising experiment surfaces as
-    {!Engine.Pool.Task_failed} with the lowest failing index. *)
+    input order; [wall_s] is the sum of the experiment's cell times
+    plus its assembly time. When [metrics] is given, per-cell wall
+    times (in submission order, labelled ["id/cell"]), the job count,
+    the total wall time and the per-domain busy times (the
+    load-balance stat) are recorded into it. A raising cell surfaces
+    as {!Engine.Pool.Task_failed} with the lowest failing cell index. *)
 
 val render : result list -> string
 (** Every table of every result printed with {!Report.print}, in
     order — the canonical byte-comparable form of a run. *)
 
 val metrics_reports : Engine.Metrics.snapshot -> Report.t list
-(** The run-metrics layer rendered as tables: per-task wall times and
-    per-cache hit/miss counters. *)
+(** The run-metrics layer rendered as tables: per-cell wall times (with
+    pool utilization and the load-balance stat in the title), per-cache
+    hit/miss counters, and — when the disk tier is enabled — its size
+    accounting and eviction counters. *)

@@ -1,5 +1,12 @@
 type stats = { hits : int; disk_hits : int; misses : int }
 
+type disk_stats = {
+  dir : string;
+  bytes : int;
+  max_bytes : int option;
+  evictions : int;
+}
+
 type 'v slot =
   | Ready of 'v
   | In_flight
@@ -22,14 +29,26 @@ type 'v t = {
 let registry_mutex = Mutex.create ()
 let registry : (string * (unit -> stats) * (unit -> unit)) list ref = ref []
 let disk : string option ref = ref None
+let disk_max : int option ref = ref None
+let disk_evictions = ref 0
 
 let with_lock m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
-let enable_disk ~dir = with_lock registry_mutex (fun () -> disk := Some dir)
-let disable_disk () = with_lock registry_mutex (fun () -> disk := None)
+let enable_disk ?max_bytes ~dir () =
+  with_lock registry_mutex (fun () ->
+      disk := Some dir;
+      disk_max := max_bytes;
+      disk_evictions := 0)
+
+let disable_disk () =
+  with_lock registry_mutex (fun () ->
+      disk := None;
+      disk_max := None)
+
 let disk_dir () = with_lock registry_mutex (fun () -> !disk)
+let disk_max_bytes () = with_lock registry_mutex (fun () -> !disk_max)
 
 let register name stats clear =
   with_lock registry_mutex (fun () ->
@@ -85,6 +104,88 @@ let create ?(schema = "1") ~name () =
 let payload_path ~dir t digest =
   Filename.concat dir (Printf.sprintf "%s-%s.bin" t.name digest)
 
+(* --- size accounting and LRU eviction ------------------------------------ *)
+
+(* The disk tier is bounded by an optional byte budget. Every payload
+   file carries a recency stamp (its mtime, refreshed on every disk
+   hit, since atime is unreliable under noatime mounts); when the tier
+   grows past [max_bytes] the least-recently-used payloads are removed
+   first. Eviction is best-effort and crash-safe: losing a file to a
+   concurrent reader, a permission error or a crash mid-eviction only
+   ever costs a recomputation, never raises. Ties on the stamp break
+   by file name so the eviction order is deterministic. *)
+
+let eviction_mutex = Mutex.create ()
+
+let touch path = try Unix.utimes path 0. 0. with Unix.Unix_error _ -> ()
+
+let is_payload name = Filename.check_suffix name ".bin"
+
+let scan_payloads dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter_map (fun name ->
+             if not (is_payload name) then None
+             else
+               let path = Filename.concat dir name in
+               match Unix.stat path with
+               | exception Unix.Unix_error _ -> None
+               | st when st.Unix.st_kind = Unix.S_REG ->
+                   Some (path, st.Unix.st_size, st.Unix.st_mtime)
+               | _ -> None)
+
+let disk_usage_bytes () =
+  match disk_dir () with
+  | None -> 0
+  | Some dir -> List.fold_left (fun acc (_, size, _) -> acc + size) 0 (scan_payloads dir)
+
+let enforce_budget () =
+  match (disk_dir (), disk_max_bytes ()) with
+  | Some dir, Some max_bytes ->
+      with_lock eviction_mutex (fun () ->
+          let entries = scan_payloads dir in
+          let total = List.fold_left (fun acc (_, size, _) -> acc + size) 0 entries in
+          if total > max_bytes then begin
+            (* Oldest stamp first; the just-written payload is evicted
+               too when it alone overflows the budget. *)
+            let by_age =
+              List.sort
+                (fun (pa, _, ma) (pb, _, mb) ->
+                  match Float.compare ma mb with 0 -> String.compare pa pb | c -> c)
+                entries
+            in
+            let evicted = ref 0 in
+            ignore
+              (List.fold_left
+                 (fun remaining (path, size, _) ->
+                   if remaining <= max_bytes then remaining
+                   else begin
+                     (match Sys.remove path with
+                     | () -> incr evicted
+                     | exception Sys_error _ -> ());
+                     remaining - size
+                   end)
+                 total by_age);
+            if !evicted > 0 then
+              with_lock registry_mutex (fun () ->
+                  disk_evictions := !disk_evictions + !evicted)
+          end)
+  | _ -> ()
+
+let disk_stats () =
+  match disk_dir () with
+  | None -> None
+  | Some dir ->
+      Some
+        {
+          dir;
+          bytes = disk_usage_bytes ();
+          max_bytes = disk_max_bytes ();
+          evictions = with_lock registry_mutex (fun () -> !disk_evictions);
+        }
+
 let disk_read t digest =
   match disk_dir () with
   | None -> None
@@ -92,14 +193,21 @@ let disk_read t digest =
       let path = payload_path ~dir t digest in
       match open_in_bin path with
       | exception Sys_error _ -> None
-      | ic ->
-          Fun.protect
-            ~finally:(fun () -> close_in_noerr ic)
-            (fun () ->
-              match (Marshal.from_channel ic : string * 'v) with
-              | stamp, v when String.equal stamp t.schema -> Some v
-              | _ -> None
-              | exception _ -> None))
+      | ic -> (
+          match
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () ->
+                match (Marshal.from_channel ic : string * 'v) with
+                | stamp, v when String.equal stamp t.schema -> Some v
+                | _ -> None
+                | exception _ -> None)
+          with
+          | Some v ->
+              (* Refresh the LRU stamp: a hit makes the payload recent. *)
+              touch path;
+              Some v
+          | None -> None))
 
 let ensure_dir dir =
   if not (Sys.file_exists dir) then
@@ -123,7 +231,10 @@ let disk_write t digest v =
                 | () -> true
                 | exception _ -> false)
           in
-          if ok then (try Sys.rename tmp path with Sys_error _ -> ())
+          if ok then begin
+            (try Sys.rename tmp path with Sys_error _ -> ());
+            enforce_budget ()
+          end
           else try Sys.remove tmp with Sys_error _ -> ()))
 
 let disk_remove t digest =

@@ -16,7 +16,14 @@
 
     The disk tier is off by default and switched on globally with
     {!enable_disk} (the CLI's [--cache] flag). Corrupt or unreadable
-    payloads are treated as misses, never as errors. *)
+    payloads are treated as misses, never as errors.
+
+    The disk tier can additionally be bounded by a byte budget
+    ([~max_bytes], the CLI's [--cache-max-bytes]): payloads carry a
+    recency stamp (their mtime, refreshed on every disk hit) and when
+    the tier overflows, the least-recently-used payloads are evicted
+    first — deterministically (stamp, then file name) and best-effort
+    (losing a race with a reader only costs a recomputation). *)
 
 type 'v t
 
@@ -24,6 +31,13 @@ type stats = {
   hits : int;  (** in-memory tier hits *)
   disk_hits : int;  (** disk tier hits (memory tier missed) *)
   misses : int;  (** both tiers missed: the artifact was computed *)
+}
+
+type disk_stats = {
+  dir : string;
+  bytes : int;  (** total payload bytes currently on disk *)
+  max_bytes : int option;  (** configured budget, if any *)
+  evictions : int;  (** payloads evicted since {!enable_disk} *)
 }
 
 val create : ?schema:string -> name:string -> unit -> 'v t
@@ -57,13 +71,25 @@ val key_digest : 'k -> string
 
 (** {2 Global registry} *)
 
-val enable_disk : dir:string -> unit
+val enable_disk : ?max_bytes:int -> dir:string -> unit -> unit
 (** Enable the on-disk tier for every cache, storing payloads under
-    [dir] (created on demand). *)
+    [dir] (created on demand). When [max_bytes] is given the tier
+    never holds more than that many payload bytes: every write that
+    overflows the budget evicts least-recently-used payloads (and the
+    eviction counter resets). *)
 
 val disable_disk : unit -> unit
 
 val disk_dir : unit -> string option
+val disk_max_bytes : unit -> int option
+
+val disk_usage_bytes : unit -> int
+(** Total bytes of payload files currently in the disk tier ([0] when
+    the tier is disabled). *)
+
+val disk_stats : unit -> disk_stats option
+(** Size accounting and eviction counters for the disk tier; [None]
+    when disabled. *)
 
 val all_stats : unit -> (string * stats) list
 (** Per-cache counters, in cache-creation order. *)

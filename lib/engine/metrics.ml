@@ -6,7 +6,10 @@ type snapshot = {
   wall_s : float;
   busy_s : float;
   utilization : float;
+  domain_busy_s : float array;
+  load_balance : float;
   caches : (string * Cache.stats) list;
+  disk : Cache.disk_stats option;
 }
 
 type t = {
@@ -14,10 +17,17 @@ type t = {
   mutable rev_tasks : task list;
   mutable jobs : int;
   mutable wall_s : float;
+  mutable domain_busy : float array;
 }
 
 let create () =
-  { mutex = Mutex.create (); rev_tasks = []; jobs = 1; wall_s = 0. }
+  {
+    mutex = Mutex.create ();
+    rev_tasks = [];
+    jobs = 1;
+    wall_s = 0.;
+    domain_busy = [||];
+  }
 
 let with_lock m f =
   Mutex.lock m;
@@ -29,14 +39,18 @@ let record t ~label ~wall_s =
 let set_jobs t jobs = with_lock t.mutex (fun () -> t.jobs <- max 1 jobs)
 let set_wall t wall_s = with_lock t.mutex (fun () -> t.wall_s <- wall_s)
 
+let set_domain_busy t busy =
+  with_lock t.mutex (fun () -> t.domain_busy <- Array.copy busy)
+
 let time t ~label f =
   let t0 = Unix.gettimeofday () in
   let finally () = record t ~label ~wall_s:(Unix.gettimeofday () -. t0) in
   Fun.protect ~finally f
 
 let snapshot t =
-  let tasks, jobs, wall_s =
-    with_lock t.mutex (fun () -> (List.rev t.rev_tasks, t.jobs, t.wall_s))
+  let tasks, jobs, wall_s, domain_busy_s =
+    with_lock t.mutex (fun () ->
+        (List.rev t.rev_tasks, t.jobs, t.wall_s, Array.copy t.domain_busy))
   in
   let busy_s =
     List.fold_left (fun acc (k : task) -> acc +. k.wall_s) 0. tasks
@@ -45,7 +59,26 @@ let snapshot t =
     if wall_s > 0. && jobs > 0 then busy_s /. (float_of_int jobs *. wall_s)
     else 0.
   in
-  { tasks; jobs; wall_s; busy_s; utilization; caches = Cache.all_stats () }
+  let load_balance =
+    let n = Array.length domain_busy_s in
+    if n = 0 then 0.
+    else
+      let sum = Array.fold_left ( +. ) 0. domain_busy_s in
+      let mean = sum /. float_of_int n in
+      if mean > 0. then Array.fold_left Float.max 0. domain_busy_s /. mean
+      else 0.
+  in
+  {
+    tasks;
+    jobs;
+    wall_s;
+    busy_s;
+    utilization;
+    domain_busy_s;
+    load_balance;
+    caches = Cache.all_stats ();
+    disk = Cache.disk_stats ();
+  }
 
 (* --- rendering ----------------------------------------------------------- *)
 
@@ -109,6 +142,27 @@ let to_json (s : snapshot) =
     (Printf.sprintf "  \"busy_s\": %s,\n" (json_float s.busy_s));
   Buffer.add_string buf
     (Printf.sprintf "  \"utilization\": %s,\n" (json_float s.utilization));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"load_balance\": %s,\n" (json_float s.load_balance));
+  Buffer.add_string buf "  \"domain_busy_s\": [";
+  Array.iteri
+    (fun i b ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (json_float b))
+    s.domain_busy_s;
+  Buffer.add_string buf "],\n";
+  (match s.disk with
+  | None -> Buffer.add_string buf "  \"disk\": null,\n"
+  | Some d ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  \"disk\": {\"dir\": \"%s\", \"bytes\": %d, \"max_bytes\": %s, \
+            \"evictions\": %d},\n"
+           (json_escape d.Cache.dir) d.Cache.bytes
+           (match d.Cache.max_bytes with
+           | Some b -> string_of_int b
+           | None -> "null")
+           d.Cache.evictions));
   Buffer.add_string buf "  \"tasks\": [";
   List.iteri
     (fun i k ->

@@ -10,12 +10,21 @@
 type task = { label : string; wall_s : float }
 
 type snapshot = {
-  tasks : task list;  (** submission order *)
+  tasks : task list;  (** submission order; one entry per grid cell *)
   jobs : int;
   wall_s : float;  (** whole-run wall-clock time *)
   busy_s : float;  (** sum of task wall times *)
   utilization : float;  (** [busy_s / (jobs * wall_s)]; 0 when unknown *)
+  domain_busy_s : float array;
+      (** cumulative busy seconds per worker domain ({!Pool.busy_times});
+          empty when not recorded *)
+  load_balance : float;
+      (** max/mean of [domain_busy_s]: [1.0] is perfectly balanced, higher
+          means some domain was pinned; [0.] when unknown *)
   caches : (string * Cache.stats) list;
+  disk : Cache.disk_stats option;
+      (** disk-tier size accounting and eviction counters; [None] when
+          the disk tier is disabled *)
 }
 
 type t
@@ -24,6 +33,10 @@ val create : unit -> t
 val record : t -> label:string -> wall_s:float -> unit
 val set_jobs : t -> int -> unit
 val set_wall : t -> float -> unit
+
+val set_domain_busy : t -> float array -> unit
+(** Record the per-domain busy times of the pool that ran the grid
+    (usually {!Pool.busy_times} captured just before shutdown). *)
 
 val time : t -> label:string -> (unit -> 'a) -> 'a
 (** Run the thunk, record its wall time under [label]. *)

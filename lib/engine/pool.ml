@@ -7,15 +7,30 @@ type t = {
   queue : (unit -> unit) Queue.t;
   mutable stop : bool;
   mutable domains : unit Domain.t list;
+  busy : float array;
+      (* Cumulative per-worker busy seconds (slot per worker domain;
+         slot 0 doubles as the serial-fallback slot). Guarded by
+         [mutex]. *)
 }
 
 let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
 let jobs t = t.n_jobs
 
+let add_busy t idx dt =
+  Mutex.lock t.mutex;
+  t.busy.(idx) <- t.busy.(idx) +. dt;
+  Mutex.unlock t.mutex
+
+let busy_times t =
+  Mutex.lock t.mutex;
+  let copy = Array.copy t.busy in
+  Mutex.unlock t.mutex;
+  copy
+
 (* Workers loop forever: wait for a thunk, run it, repeat. Thunks are
    pre-wrapped by [map] and never raise, so a raising task can neither
    kill a worker nor leave the queue stuck. *)
-let worker t =
+let worker t idx =
   let rec next () =
     Mutex.lock t.mutex;
     let rec wait () =
@@ -36,7 +51,9 @@ let worker t =
     match wait () with
     | `Stop -> ()
     | `Run task ->
+        let t0 = Unix.gettimeofday () in
         task ();
+        add_busy t idx (Unix.gettimeofday () -. t0);
         next ()
   in
   next ()
@@ -53,10 +70,11 @@ let create ?jobs () =
       queue = Queue.create ();
       stop = false;
       domains = [];
+      busy = Array.make n_jobs 0.;
     }
   in
   if n_jobs > 1 then
-    t.domains <- List.init n_jobs (fun _ -> Domain.spawn (fun () -> worker t));
+    t.domains <- List.init n_jobs (fun i -> Domain.spawn (fun () -> worker t i));
   t
 
 let shutdown t =
@@ -97,8 +115,11 @@ let map t f tasks =
   let results = Array.make n None in
   if t.n_jobs <= 1 || n <= 1 || t.domains = [] then begin
     (* Serial fallback: identical semantics (attempt everything, then
-       report the first failure), no domains involved. *)
+       report the first failure), no domains involved. Busy time lands
+       in slot 0, the calling domain's. *)
+    let t0 = Unix.gettimeofday () in
     Array.iteri (fun i x -> results.(i) <- Some (run_task f x)) tasks;
+    add_busy t 0 (Unix.gettimeofday () -. t0);
     collect results
   end
   else begin

@@ -29,6 +29,14 @@ val create : ?jobs:int -> unit -> t
 
 val jobs : t -> int
 
+val busy_times : t -> float array
+(** Cumulative busy seconds per worker slot (length {!jobs}; the serial
+    fallback accumulates into slot [0]). The max/mean ratio of these is
+    the pool's load-balance statistic: [1.0] is perfectly balanced,
+    higher means some domain was pinned by long tasks. Safe to call
+    between {!map}s; reading it concurrently with a running [map] gives
+    a consistent but mid-run snapshot. *)
+
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map pool f tasks] runs [f] over every element, in parallel when
     the pool has workers, and returns results in input order. Safe to

@@ -71,7 +71,7 @@ let test_cache_disk_tier () =
     Sys.mkdir f 0o755;
     f
   in
-  Engine.Cache.enable_disk ~dir;
+  Engine.Cache.enable_disk ~dir ();
   Fun.protect ~finally:Engine.Cache.disable_disk @@ fun () ->
   let calls = ref 0 in
   let compute () =
@@ -95,6 +95,159 @@ let test_cache_disk_tier () =
   Alcotest.(check int) "stale schema rejected" 2 !calls;
   Alcotest.(check int)
     "stale read is a miss" 1 (Engine.Cache.stats c3).Engine.Cache.misses
+
+let temp_cache_dir () =
+  let f = Filename.temp_file "engine-cache" "" in
+  Sys.remove f;
+  Sys.mkdir f 0o755;
+  f
+
+(* Byte count of the payload files actually on disk — an independent
+   check of the engine's own accounting. *)
+let scan_payload_bytes dir =
+  Array.fold_left
+    (fun acc name ->
+      if Filename.check_suffix name ".bin" then
+        acc + (Unix.stat (Filename.concat dir name)).Unix.st_size
+      else acc)
+    0 (Sys.readdir dir)
+
+(* (e) A bounded disk tier never holds more than max_bytes of payload,
+   whatever the (randomized) insert sizes; evicted artifacts recompute
+   instead of erroring. *)
+let test_cache_eviction_respects_budget () =
+  let dir = temp_cache_dir () in
+  let max_bytes = 4096 in
+  Engine.Cache.enable_disk ~max_bytes ~dir ();
+  Fun.protect ~finally:Engine.Cache.disable_disk @@ fun () ->
+  let cache = Engine.Cache.create ~name:"test-evict" ~schema:"v1" () in
+  let rng = Random.State.make [| 0xEC41C7 |] in
+  let computes = ref 0 in
+  let first_n = ref 0 in
+  (* 40 artifacts of randomized size (several times the budget in
+     total). After every single write the invariant must hold. *)
+  for i = 0 to 39 do
+    let n = 64 + Random.State.int rng 1024 in
+    if i = 0 then first_n := n;
+    let (_ : string) =
+      Engine.Cache.find_or_add cache ~key:("blob", i, n) (fun () ->
+          incr computes;
+          String.make n (Char.chr (65 + (i mod 26))))
+    in
+    let on_disk = scan_payload_bytes dir in
+    if on_disk > max_bytes then
+      Alcotest.failf "after insert %d: %d payload bytes on disk > budget %d" i
+        on_disk max_bytes;
+    let accounted = Engine.Cache.disk_usage_bytes () in
+    Alcotest.(check int)
+      (Printf.sprintf "accounting matches scan after insert %d" i)
+      on_disk accounted
+  done;
+  (match Engine.Cache.disk_stats () with
+  | None -> Alcotest.fail "disk tier enabled but disk_stats is None"
+  | Some s ->
+      Alcotest.(check (option int)) "budget reported" (Some max_bytes)
+        s.Engine.Cache.max_bytes;
+      Alcotest.(check bool) "bytes within budget" true
+        (s.Engine.Cache.bytes <= max_bytes);
+      Alcotest.(check bool)
+        (Printf.sprintf "evictions happened (%d)" s.Engine.Cache.evictions)
+        true
+        (s.Engine.Cache.evictions > 0));
+  (* The first key was long evicted from disk; with a cold memory tier
+     the lookup recomputes rather than raising. *)
+  let cold = Engine.Cache.create ~name:"test-evict" ~schema:"v1" () in
+  let before = !computes in
+  let (_ : string) =
+    Engine.Cache.find_or_add cold ~key:("blob", 0, !first_n) (fun () ->
+        incr computes;
+        "recomputed")
+  in
+  Alcotest.(check int) "evicted key recomputes cleanly" (before + 1) !computes
+
+(* (f) A truncated/corrupt on-disk payload is a miss, never an error:
+   the artifact recomputes and the bad payload is overwritten. *)
+let test_cache_truncated_payload_is_miss () =
+  let dir = temp_cache_dir () in
+  Engine.Cache.enable_disk ~dir ();
+  Fun.protect ~finally:Engine.Cache.disable_disk @@ fun () ->
+  let calls = ref 0 in
+  let compute () =
+    incr calls;
+    [ 1.5; 2.5; 3.5 ]
+  in
+  let key = ("corrupt", 7) in
+  let c1 = Engine.Cache.create ~name:"test-corrupt" ~schema:"v1" () in
+  let _ = Engine.Cache.find_or_add c1 ~key compute in
+  Alcotest.(check int) "written once" 1 !calls;
+  (* Truncate every payload in place (header survives partially; the
+     unmarshal must fail gracefully). *)
+  Array.iter
+    (fun name ->
+      if Filename.check_suffix name ".bin" then begin
+        let path = Filename.concat dir name in
+        let size = (Unix.stat path).Unix.st_size in
+        Unix.truncate path (max 1 (size / 2))
+      end)
+    (Sys.readdir dir);
+  let c2 = Engine.Cache.create ~name:"test-corrupt" ~schema:"v1" () in
+  let v = Engine.Cache.find_or_add c2 ~key compute in
+  Alcotest.(check int) "truncated payload recomputed" 2 !calls;
+  Alcotest.(check (list (float 1e-9))) "value intact" [ 1.5; 2.5; 3.5 ] v;
+  Alcotest.(check int)
+    "truncated read is a miss, not an error" 1
+    (Engine.Cache.stats c2).Engine.Cache.misses;
+  (* Zero-byte payloads (crash during write) behave the same. *)
+  Array.iter
+    (fun name ->
+      if Filename.check_suffix name ".bin" then
+        Unix.truncate (Filename.concat dir name) 0)
+    (Sys.readdir dir);
+  let c3 = Engine.Cache.create ~name:"test-corrupt" ~schema:"v1" () in
+  let _ = Engine.Cache.find_or_add c3 ~key compute in
+  Alcotest.(check int) "zero-byte payload recomputed" 3 !calls
+
+(* (g) A synthetic experiment of 100 micro-cells merges identically
+   through the Runner at jobs=1/2/8, and matches both direct paths. *)
+let test_runner_micro_cells () =
+  let n = 100 in
+  let row i = [ Printf.sprintf "cell%02d" i; string_of_int ((i * 37) mod 101) ] in
+  let micro : Experiment.t =
+    {
+      Experiment.id = "micro100";
+      description = "synthetic 100-cell grid";
+      run =
+        (fun () ->
+          [
+            Report.make ~title:"micro" ~header:[ "cell"; "value" ]
+              (List.init n row);
+          ]);
+      cells =
+        (fun () ->
+          List.init n (fun i ->
+              {
+                Experiment.label = Printf.sprintf "c%d" i;
+                compute = (fun () -> Experiment.Rows [ row i ]);
+              }));
+      assemble =
+        (fun outputs ->
+          let rows =
+            List.concat_map
+              (function
+                | Experiment.Rows rows -> rows
+                | Experiment.Tables _ -> Alcotest.fail "unexpected Tables")
+              outputs
+          in
+          [ Report.make ~title:"micro" ~header:[ "cell"; "value" ] rows ]);
+    }
+  in
+  Alcotest.(check bool)
+    "decomposed serial path = direct path" true
+    (Experiment.run_cells micro = micro.Experiment.run ());
+  let render jobs = Runner.render (Runner.run_experiments ~jobs [ micro ]) in
+  let r1 = render 1 in
+  Alcotest.(check string) "jobs=2 merges identically" r1 (render 2);
+  Alcotest.(check string) "jobs=8 merges identically" r1 (render 8)
 
 (* (d) A raising task is reported (deterministically: lowest failing
    index) without deadlocking the queue; the pool stays usable. *)
@@ -128,6 +281,12 @@ let suite =
       `Quick test_cache_physical_equality;
     Alcotest.test_case "cache disk tier: round-trip + schema stamp" `Quick
       test_cache_disk_tier;
+    Alcotest.test_case "cache disk tier: eviction respects max_bytes" `Quick
+      test_cache_eviction_respects_budget;
+    Alcotest.test_case "cache disk tier: truncated payload is a miss" `Quick
+      test_cache_truncated_payload_is_miss;
+    Alcotest.test_case "runner: 100 micro-cells merge identically" `Quick
+      test_runner_micro_cells;
     Alcotest.test_case "pool survives raising tasks" `Quick
       test_pool_survives_exception;
   ]

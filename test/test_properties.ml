@@ -126,6 +126,94 @@ let prop_tier_count_net_profit_bounded =
            (fun p -> p.Tier_count.net_profit <= p.Tier_count.gross_profit)
            (Tier_count.series m Strategy.Optimal o ~max_bundles:4)))
 
+let prop_ced_capture_monotone =
+  (* §4.2: under CED demand, adding tiers can only help the optimal
+     partition — capture stays in [0,1] and is non-decreasing in the
+     tier count. *)
+  QCheck.Test.make ~name:"CED capture in [0,1] and monotone in tier count"
+    ~count:40 arb_spec (fun spec ->
+      let m = List.hd (markets_of spec) in
+      let ctx = Capture.context m in
+      let capture b =
+        Capture.value ctx
+          (Pricing.evaluate m (Strategy.apply Strategy.Optimal m ~n_bundles:b))
+            .Pricing.profit
+      in
+      let cs = List.map capture [ 1; 2; 3; 4 ] in
+      let rec monotone = function
+        | a :: (b :: _ as tl) -> a <= b +. 1e-9 && monotone tl
+        | _ -> true
+      in
+      List.for_all (fun c -> c >= -1e-9 && c <= 1. +. 1e-9) cs && monotone cs)
+
+let prop_strategies_partition =
+  (* Whatever the strategy and market, the bundles form a partition of
+     the flow indices: non-empty, pairwise disjoint and covering. *)
+  QCheck.Test.make ~name:"every strategy yields a partition of the flows"
+    ~count:40 arb_spec
+    (for_all_markets (fun m ->
+         let n = Array.length m.Market.flows in
+         List.for_all
+           (fun s ->
+             List.for_all
+               (fun b ->
+                 let b = min b n in
+                 let groups =
+                   (Strategy.apply s m ~n_bundles:b :> int array array)
+                 in
+                 Array.for_all (fun g -> Array.length g > 0) groups
+                 &&
+                 let all = Array.concat (Array.to_list groups) in
+                 Array.sort compare all;
+                 Array.length all = n
+                 && Array.for_all2 (fun i j -> i = j) all (Array.init n Fun.id))
+               [ 1; 2; 4 ])
+           Strategy.all))
+
+let arb_capture_grid =
+  (* Random sub-grids of the fig8-class experiment shape: a non-empty
+     subset of networks and bundle counts, a demand spec, and evaluation
+     parameters. *)
+  let gen rand =
+    let open QCheck.Gen in
+    let nonempty_sub xs =
+      let chosen = List.filter (fun _ -> bool rand) xs in
+      if chosen = [] then [ List.nth xs (int_bound (List.length xs - 1) rand) ]
+      else chosen
+    in
+    let networks = nonempty_sub Experiment.Defaults.networks in
+    let bundle_counts = nonempty_sub Experiment.Defaults.bundle_counts in
+    let spec = if bool rand then Market.Ced else Market.Logit { s0 = 0.2 } in
+    let alpha = float_range 1.1 2.0 rand in
+    let p0 = float_range 10. 30. rand in
+    (networks, bundle_counts, spec, alpha, p0)
+  in
+  QCheck.make
+    ~print:(fun (ns, bs, spec, alpha, p0) ->
+      Printf.sprintf "networks=[%s] bundles=[%s] spec=%s alpha=%.3f p0=%.3f"
+        (String.concat ";" ns)
+        (String.concat ";" (List.map string_of_int bs))
+        (match spec with
+        | Market.Ced -> "ced"
+        | Market.Logit { s0 } -> Printf.sprintf "logit(s0=%.2f)" s0
+        | Market.Linear { epsilon } -> Printf.sprintf "linear(eps=%.2f)" epsilon)
+        alpha p0)
+    gen
+
+let prop_cell_decomposition =
+  (* The tentpole invariant: for any grid shape, assembling the cell
+     outputs reproduces the direct run byte-for-byte (structural
+     equality of the report lists implies identical rendering). *)
+  QCheck.Test.make ~name:"cell decomposition: assemble (map compute) = run"
+    ~count:6 arb_capture_grid (fun (networks, bundle_counts, spec, alpha, p0) ->
+      let e =
+        Experiment.capture_experiment ~alpha ~p0 ~id:"prop-grid"
+          ~description:"randomized capture grid"
+          ~title_of:(fun n -> "profit capture on " ^ n)
+          ~spec ~networks ~bundle_counts ()
+      in
+      Experiment.run_cells e = e.Experiment.run ())
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -137,4 +225,7 @@ let suite =
       prop_bundle_prices_between_flow_optima_ced;
       prop_cost_model_invariance;
       prop_tier_count_net_profit_bounded;
+      prop_ced_capture_monotone;
+      prop_strategies_partition;
+      prop_cell_decomposition;
     ]
