@@ -1,11 +1,13 @@
 # Convenience wrappers around dune. `make bench-json` regenerates
 # BENCH_sweep.json (serial-vs-parallel timings of the full experiment
-# grid) so the perf trajectory accumulates across PRs. `make
+# grid) and `make bench-pool` regenerates BENCH_pool.json (per-backend
+# task-dispatch overhead at 1/10/100 ms granularity) so the perf
+# trajectory accumulates across PRs. `make
 # golden-regen` re-renders every registry experiment and promotes the
 # result into test/golden/ — run it (and commit the diff) after an
 # intentional output change.
 
-.PHONY: all build test bench bench-json golden-regen smoke clean
+.PHONY: all build test bench bench-json bench-pool golden-regen smoke smoke-procs clean
 
 all: build
 
@@ -21,6 +23,9 @@ bench:
 bench-json:
 	dune exec bench/main.exe -- sweep
 
+bench-pool:
+	dune exec bench/main.exe -- pool
+
 # Rewrite test/golden/*.expected from the current code. The second
 # pass re-checks the diffs so a failed promote cannot pass silently.
 golden-regen:
@@ -29,6 +34,9 @@ golden-regen:
 
 smoke:
 	dune exec bin/tiered_cli.exe -- run table1 --jobs 2 --metrics
+
+smoke-procs:
+	dune exec bin/tiered_cli.exe -- run table1 --backend procs --jobs 2 --metrics
 
 clean:
 	dune clean

@@ -5,13 +5,16 @@
 
    Usage: dune exec bench/main.exe [section ...]
    with sections among: experiments fig2 fig17 ablations extensions
-   sweep micro (default: all). A specific experiment id (e.g. fig8)
-   also works.
+   sweep pool micro (default: all). A specific experiment id (e.g.
+   fig8) also works.
 
-   The experiments section executes on the Engine domain pool; the
-   sweep section times the full grid serial vs parallel, checks the
-   outputs are byte-identical and records the result in
-   BENCH_sweep.json (regenerate with `make bench-json`). *)
+   The experiments section executes on the Engine pool
+   ([--backend=procs] switches it to worker subprocesses); the sweep
+   section times the full grid serial vs parallel, checks the outputs
+   are byte-identical and records the result in BENCH_sweep.json; the
+   pool section sweeps task granularity across the serial / domain /
+   subprocess substrates and records per-task dispatch overhead in
+   BENCH_pool.json (regenerate with `make bench-json`). *)
 
 open Tiered
 
@@ -28,13 +31,13 @@ let print_result (r : Runner.result) =
   Format.fprintf ppf "@.---- %s: %s ----@." r.Runner.id r.Runner.description;
   List.iter (Report.print ppf) r.Runner.tables
 
-let run_experiments () =
+let run_experiments ~backend () =
   section "Paper tables and figures";
-  (* The whole registry goes through the engine's domain pool; results
-     are merged in submission order, so the output is identical to the
-     historical serial walk at any job count. *)
+  (* The whole registry goes through the engine pool; results are
+     merged in submission order, so the output is identical to the
+     historical serial walk at any job count or backend. *)
   let metrics = Engine.Metrics.create () in
-  let results = Runner.run_experiments ~metrics Experiment.all in
+  let results = Runner.run_experiments ~backend ~metrics Experiment.all in
   List.iter print_result results;
   List.iter (Report.print ppf) (Runner.metrics_reports (Engine.Metrics.snapshot metrics))
 
@@ -941,6 +944,141 @@ let run_sweep_bench () =
   if not identical then
     failwith "sweep: parallel grid output diverged from the serial run"
 
+(* --- pool: dispatch overhead per backend ----------------------------------- *)
+
+(* Pool-aware micro-benchmark: spin-wait tasks of known duration
+   (~1ms / ~10ms / ~100ms) dispatched through each execution substrate
+   (serial fast path, worker domains, worker subprocesses), so the
+   per-task dispatch cost of each backend is isolated from real
+   workload noise. The headline number is overhead per task:
+   (wall - ideal) / tasks, where ideal assumes perfect balance of the
+   spin time over the workers. Subprocess dispatch pays a Marshal
+   round-trip per task, so its overhead floor is the interesting
+   datum: it says how coarse a grid cell must be before --backend
+   procs is free. Results go to BENCH_pool.json. On a single-core
+   host the multi-worker legs are skipped (they would measure
+   scheduler contention, not dispatch cost). *)
+
+let spin task_s =
+  let t0 = Unix.gettimeofday () in
+  (* Busy-wait: sleep would hide dispatch overhead behind the kernel
+     timer slack that Unix.sleepf itself carries. *)
+  while Unix.gettimeofday () -. t0 < task_s do
+    ()
+  done;
+  0
+
+type pool_case = {
+  pc_backend : string;
+  pc_jobs : int;
+  pc_task_s : float;
+  pc_tasks : int;
+  pc_wall_s : float;
+  pc_overhead_us : float;  (* dispatch overhead per task, microseconds *)
+}
+
+let run_pool_bench () =
+  section "Pool: dispatch overhead per backend and task granularity";
+  let host_domains = Domain.recommended_domain_count () in
+  let grains = [ (0.001, 64); (0.01, 32); (0.1, 8) ] in
+  let parallel_jobs = max 2 (Engine.Pool.default_jobs ()) in
+  let legs =
+    (* The domains leg is meaningless on a host that reports one domain
+       (workers would multiplex on the submitter's core), but the procs
+       leg always runs: worker *processes* are scheduled by the OS and
+       reach real cores even when [recommended_domain_count]
+       under-reports. *)
+    (("serial", Engine.Pool.Domains, 1)
+     ::
+     (if host_domains <= 1 then []
+      else [ ("domains", Engine.Pool.Domains, parallel_jobs) ]))
+    @ [ ("procs", Engine.Pool.Procs, parallel_jobs) ]
+  in
+  let cases =
+    List.concat_map
+      (fun (label, backend, jobs) ->
+        Engine.Pool.with_pool ~backend ~jobs (fun pool ->
+            (* Report the backend actually used: a procs request can
+               degrade to domains on hosts where fork/exec fails. *)
+            let label =
+              if
+                String.equal label "procs"
+                && Engine.Pool.backend pool = Engine.Pool.Domains
+              then "procs(degraded:domains)"
+              else label
+            in
+            List.map
+              (fun (task_s, tasks) ->
+                (* One warm-up map so worker spawn / first-dispatch costs
+                   don't pollute the steady-state figure. *)
+                ignore (Engine.Pool.map pool spin (Array.make jobs 0.0001));
+                let inputs = Array.make tasks task_s in
+                let t0 = Unix.gettimeofday () in
+                ignore (Engine.Pool.map pool spin inputs);
+                let wall_s = Unix.gettimeofday () -. t0 in
+                let ideal_s =
+                  task_s
+                  *. float_of_int ((tasks + jobs - 1) / jobs)
+                in
+                {
+                  pc_backend = label;
+                  pc_jobs = jobs;
+                  pc_task_s = task_s;
+                  pc_tasks = tasks;
+                  pc_wall_s = wall_s;
+                  pc_overhead_us =
+                    1e6 *. Float.max 0. (wall_s -. ideal_s)
+                    /. float_of_int tasks;
+                })
+              grains))
+      legs
+  in
+  Report.print ppf
+    (Report.make
+       ~title:
+         (Printf.sprintf
+            "Per-task dispatch overhead by backend (host domains: %d)"
+            host_domains)
+       ~header:[ "backend"; "jobs"; "task"; "tasks"; "wall (s)"; "overhead/task" ]
+       (List.map
+          (fun c ->
+            [
+              c.pc_backend;
+              string_of_int c.pc_jobs;
+              Printf.sprintf "%.0f ms" (1000. *. c.pc_task_s);
+              string_of_int c.pc_tasks;
+              Printf.sprintf "%.3f" c.pc_wall_s;
+              Printf.sprintf "%.0f us" c.pc_overhead_us;
+            ])
+          cases)
+       ~notes:
+         [
+           "overhead = (wall - ideal) / tasks with ideal assuming perfect \
+            balance; the procs row prices the per-task Marshal round-trip";
+         ]);
+  let oc = open_out "BENCH_pool.json" in
+  output_string oc
+    (Printf.sprintf
+       "{\n\
+       \  \"grid\": \"pool-dispatch\",\n\
+       \  \"host_domains\": %d,\n\
+       \  \"cases\": [\n%s\n\
+       \  ]\n\
+        }\n"
+       host_domains
+       (String.concat ",\n"
+          (List.map
+             (fun c ->
+               Printf.sprintf
+                 "    {\"backend\": \"%s\", \"jobs\": %d, \"task_s\": %g, \
+                  \"tasks\": %d, \"wall_s\": %.6f, \
+                  \"overhead_us_per_task\": %.3f}"
+                 c.pc_backend c.pc_jobs c.pc_task_s c.pc_tasks c.pc_wall_s
+                 c.pc_overhead_us)
+             cases)));
+  close_out oc;
+  Format.fprintf ppf "@.wrote BENCH_pool.json@."
+
 (* --- micro-benchmarks ----------------------------------------------------- *)
 
 let run_micro () =
@@ -1021,10 +1159,16 @@ let run_micro () =
 (* --- driver ---------------------------------------------------------------- *)
 
 let () =
+  (* Must come first: when this executable is re-invoked as an engine
+     worker subprocess (--backend=procs / the pool section), serve
+     tasks and exit before any driver logic runs. *)
+  Engine.Proc.maybe_run_worker ();
   let raw_args = List.tl (Array.to_list Sys.argv) in
   (* Flags mirror tiered-cli: [--cache] turns on the disk tier under
      _cache/, [--cache-max-bytes=N] additionally bounds it (implying
-     [--cache]). Everything else selects sections or experiment ids. *)
+     [--cache]), [--backend=procs] runs the experiments section on
+     worker subprocesses. Everything else selects sections or
+     experiment ids. *)
   let cache_max_bytes =
     List.fold_left
       (fun acc a ->
@@ -1038,6 +1182,10 @@ let () =
   let use_cache = List.mem "--cache" raw_args || cache_max_bytes <> None in
   if use_cache then
     Engine.Cache.enable_disk ?max_bytes:cache_max_bytes ~dir:"_cache" ();
+  let backend =
+    if List.mem "--backend=procs" raw_args then Engine.Pool.Procs
+    else Engine.Pool.Domains
+  in
   let args =
     List.filter
       (fun a -> String.length a < 2 || String.sub a 0 2 <> "--")
@@ -1048,12 +1196,13 @@ let () =
   if experiment_filter <> [] then
     List.iter (fun id -> run_experiment (Experiment.find id)) experiment_filter
   else begin
-    if want "experiments" then run_experiments ();
+    if want "experiments" then run_experiments ~backend ();
     if want "fig2" then run_fig2 ();
     if want "fig17" then run_fig17 ();
     if want "ablations" then run_ablations ();
     if want "extensions" then run_extensions ();
     if want "sweep" then run_sweep_bench ();
+    if want "pool" then run_pool_bench ();
     if want "micro" then run_micro ()
   end;
   Format.fprintf ppf "@."

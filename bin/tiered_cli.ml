@@ -7,10 +7,12 @@
        [--theta T] [--bundles B] [--strategy S] ...
    tiered-cli sweep NETWORK --param alpha|p0|s0 [--strategy S] [--jobs N]
 
-   Grid-shaped commands (run, sweep) execute on the Engine domain pool:
-   --jobs picks the worker-domain count (results are merged in
-   submission order, so any --jobs value prints byte-identical output)
-   and --cache persists calibrated workloads / fitted markets under
+   Grid-shaped commands (run, sweep) execute on the Engine pool:
+   --jobs picks the worker count, --backend picks the execution
+   substrate (worker domains in-process, or worker subprocesses with
+   crash recovery — results are merged in submission order, so any
+   --jobs/--backend combination prints byte-identical output) and
+   --cache persists calibrated workloads / fitted markets under
    _cache/ across invocations. *)
 
 open Cmdliner
@@ -83,6 +85,29 @@ let jobs_arg =
                  byte-identical at any value; defaults to the host's core \
                  count minus one.")
 
+let backend_arg =
+  Arg.(value
+       & opt (enum [ ("domains", Engine.Pool.Domains); ("procs", Engine.Pool.Procs) ])
+           Engine.Pool.Domains
+       & info [ "backend" ] ~docv:"B"
+           ~doc:"Pool backend: $(b,domains) runs worker domains inside this \
+                 process; $(b,procs) forks worker processes of this \
+                 executable and recovers from worker crashes (requeue on a \
+                 surviving worker, bounded retries, replacement spawn). \
+                 Output is byte-identical either way.")
+
+let worker_retries_arg =
+  Arg.(value & opt int 2
+       & info [ "worker-retries" ] ~docv:"N"
+           ~doc:"With --backend procs: how many times a task whose worker \
+                 died is re-executed before the run fails.")
+
+let task_timeout_arg =
+  Arg.(value & opt (some float) None
+       & info [ "task-timeout" ] ~docv:"SECONDS"
+           ~doc:"With --backend procs: kill and replace a worker whose task \
+                 runs longer than $(docv) (the task is retried like a crash).")
+
 let cache_arg =
   Arg.(value & flag
        & info [ "cache" ]
@@ -151,7 +176,8 @@ let run_cmd =
          & info [ "metrics-json" ] ~docv:"FILE"
              ~doc:"Dump the run metrics as JSON into $(docv).")
   in
-  let run ids csv_dir md_dir jobs cache cache_max_bytes show_metrics metrics_json =
+  let run ids csv_dir md_dir backend retries timeout_s jobs cache cache_max_bytes
+      show_metrics metrics_json =
     enable_cache cache cache_max_bytes;
     let experiments =
       match ids with
@@ -176,7 +202,10 @@ let run_cmd =
       Format.fprintf ppf "  wrote %s@." path
     in
     let metrics = Engine.Metrics.create () in
-    let results = Runner.run_experiments ~jobs ~metrics experiments in
+    let results =
+      Runner.run_experiments ~backend ~retries ?timeout_s ~jobs ~metrics
+        experiments
+    in
     List.iter
       (fun (r : Runner.result) ->
         List.iter (Report.print ppf) r.Runner.tables;
@@ -206,7 +235,8 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Regenerate paper tables/figures (all by default).")
-    Term.(const run $ ids_arg $ csv_arg $ md_arg $ jobs_arg $ cache_arg
+    Term.(const run $ ids_arg $ csv_arg $ md_arg $ backend_arg
+          $ worker_retries_arg $ task_timeout_arg $ jobs_arg $ cache_arg
           $ cache_max_bytes_arg $ metrics_arg $ metrics_json_arg)
 
 (* --- dataset ---------------------------------------------------------------- *)
@@ -278,7 +308,8 @@ let sweep_cmd =
          & opt (some (enum [ ("alpha", `Alpha); ("p0", `P0); ("s0", `S0) ])) None
          & info [ "param" ] ~docv:"P" ~doc:"Parameter to sweep: alpha, p0 or s0.")
   in
-  let run network demand s0 strategy param jobs cache cache_max_bytes =
+  let run network demand s0 strategy param backend retries timeout_s jobs cache
+      cache_max_bytes =
     enable_cache cache cache_max_bytes;
     let values, fit =
       match param with
@@ -293,10 +324,10 @@ let sweep_cmd =
             fun v -> Experiment.market ~spec:(Market.Logit { s0 = v }) network )
     in
     (* One grid cell per swept value: fit + capture across the bundle
-       counts. Cells are independent, so they go through the domain
-       pool; rows come back in value order regardless of jobs. *)
+       counts. Cells are independent, so they go through the pool;
+       rows come back in value order regardless of jobs or backend. *)
     let rows =
-      Engine.Pool.with_pool ~jobs (fun pool ->
+      Engine.Pool.with_pool ~backend ~retries ?timeout_s ~jobs (fun pool ->
           Engine.Pool.map_list pool
             (fun v ->
               let market = fit v in
@@ -317,7 +348,8 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep a model parameter and tabulate profit capture.")
     Term.(const run $ network_arg $ demand_arg $ s0_arg $ strategy_arg $ param_arg
-          $ jobs_arg $ cache_arg $ cache_max_bytes_arg)
+          $ backend_arg $ worker_retries_arg $ task_timeout_arg $ jobs_arg
+          $ cache_arg $ cache_max_bytes_arg)
 
 (* --- trace ----------------------------------------------------------------------- *)
 
@@ -393,6 +425,10 @@ let tiers_cmd =
 (* --- main ---------------------------------------------------------------------- *)
 
 let () =
+  (* Must come first: when this executable is re-invoked as an engine
+     worker subprocess (--backend procs), serve tasks and exit before
+     any CLI parsing happens. *)
+  Engine.Proc.maybe_run_worker ();
   let info =
     Cmd.info "tiered-cli" ~version:"1.0.0"
       ~doc:"Tiered transit pricing: reproduction of Valancius et al., SIGCOMM 2011."

@@ -11,7 +11,7 @@ type result = {
    cells interleave with everything else instead of pinning a domain.
    Outputs are sliced back per experiment and assembled in submission
    order, which keeps the rendered bytes independent of [jobs]. *)
-let run_experiments ?jobs ?metrics experiments =
+let run_experiments ?backend ?retries ?timeout_s ?jobs ?metrics experiments =
   let exps = Array.of_list experiments in
   let plans =
     Array.map (fun (e : Experiment.t) -> Array.of_list (e.Experiment.cells ())) exps
@@ -22,8 +22,8 @@ let run_experiments ?jobs ?metrics experiments =
          (Array.map (fun cells -> Array.map (fun c -> c) cells) plans))
   in
   let t0 = Unix.gettimeofday () in
-  let outputs, n_jobs, domain_busy =
-    Engine.Pool.with_pool ?jobs (fun pool ->
+  let outputs, n_jobs, domain_busy, used_backend, worker_restarts =
+    Engine.Pool.with_pool ?backend ?retries ?timeout_s ?jobs (fun pool ->
         let outputs =
           Engine.Pool.map pool
             (fun (c : Experiment.cell) ->
@@ -32,7 +32,11 @@ let run_experiments ?jobs ?metrics experiments =
               (out, Unix.gettimeofday () -. s))
             tasks
         in
-        (outputs, Engine.Pool.jobs pool, Engine.Pool.busy_times pool))
+        ( outputs,
+          Engine.Pool.jobs pool,
+          Engine.Pool.busy_times pool,
+          Engine.Pool.backend pool,
+          Engine.Pool.restarts pool ))
   in
   (* Slice the flat output array back into per-experiment runs and
      assemble each (assembly is pure and cheap; it stays on the calling
@@ -62,6 +66,8 @@ let run_experiments ?jobs ?metrics experiments =
   Option.iter
     (fun m ->
       Engine.Metrics.set_jobs m n_jobs;
+      Engine.Metrics.set_backend m (Engine.Pool.backend_name used_backend);
+      Engine.Metrics.set_worker_restarts m worker_restarts;
       Engine.Metrics.set_wall m wall_s;
       Engine.Metrics.set_domain_busy m domain_busy;
       (* Record per-cell wall times serially, in submission order, so
@@ -97,11 +103,15 @@ let metrics_reports (s : Engine.Metrics.snapshot) =
     Report.make
       ~title:
         (Printf.sprintf
-           "Run metrics: %d cell(s), jobs=%d, wall %.3fs, busy %.3fs, pool \
-            utilization %.1f%%, load balance %.2f"
+           "Run metrics: %d cell(s), jobs=%d (%s backend%s), wall %.3fs, busy \
+            %.3fs, pool utilization %.1f%%, load balance %.2f"
            (List.length s.Engine.Metrics.tasks)
-           s.Engine.Metrics.jobs s.Engine.Metrics.wall_s
-           s.Engine.Metrics.busy_s
+           s.Engine.Metrics.jobs s.Engine.Metrics.backend
+           (if s.Engine.Metrics.worker_restarts > 0 then
+              Printf.sprintf ", %d worker restart(s)"
+                s.Engine.Metrics.worker_restarts
+            else "")
+           s.Engine.Metrics.wall_s s.Engine.Metrics.busy_s
            (100. *. s.Engine.Metrics.utilization)
            s.Engine.Metrics.load_balance)
       ~header:[ "cell"; "wall (s)"; "share of busy" ]

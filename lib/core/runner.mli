@@ -20,15 +20,26 @@ type result = {
 }
 
 val run_experiments :
-  ?jobs:int -> ?metrics:Engine.Metrics.t -> Experiment.t list -> result list
+  ?backend:Engine.Pool.backend ->
+  ?retries:int ->
+  ?timeout_s:float ->
+  ?jobs:int ->
+  ?metrics:Engine.Metrics.t ->
+  Experiment.t list ->
+  result list
 (** Evaluate the experiments' cells on the pool ([jobs] defaults to
-    {!Engine.Pool.default_jobs}; [1] is fully serial). Results are in
-    input order; [wall_s] is the sum of the experiment's cell times
-    plus its assembly time. When [metrics] is given, per-cell wall
-    times (in submission order, labelled ["id/cell"]), the job count,
-    the total wall time and the per-domain busy times (the
-    load-balance stat) are recorded into it. A raising cell surfaces
-    as {!Engine.Pool.Task_failed} with the lowest failing cell index. *)
+    {!Engine.Pool.default_jobs}; [1] is fully serial). [backend]
+    selects the execution substrate (default {!Engine.Pool.Domains});
+    [retries] and [timeout_s] tune the {!Engine.Pool.Procs} backend's
+    crash recovery (see {!Engine.Pool.create}). Results are in input
+    order regardless of backend; [wall_s] is the sum of the
+    experiment's cell times plus its assembly time. When [metrics] is
+    given, per-cell wall times (in submission order, labelled
+    ["id/cell"]), the job count, the backend actually used, the
+    worker-restart count, the total wall time and the per-worker busy
+    times (the load-balance stat) are recorded into it. A raising cell
+    surfaces as {!Engine.Pool.Task_failed} with the lowest failing
+    cell index. *)
 
 val render : result list -> string
 (** Every table of every result printed with {!Report.print}, in

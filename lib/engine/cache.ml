@@ -107,17 +107,61 @@ let payload_path ~dir t digest =
 (* --- size accounting and LRU eviction ------------------------------------ *)
 
 (* The disk tier is bounded by an optional byte budget. Every payload
-   file carries a recency stamp (its mtime, refreshed on every disk
-   hit, since atime is unreliable under noatime mounts); when the tier
-   grows past [max_bytes] the least-recently-used payloads are removed
-   first. Eviction is best-effort and crash-safe: losing a file to a
-   concurrent reader, a permission error or a crash mid-eviction only
-   ever costs a recomputation, never raises. Ties on the stamp break
-   by file name so the eviction order is deterministic. *)
+   file carries a recency stamp — a strictly increasing integer kept
+   in a [.stamp] sidecar next to the payload, allocated from a
+   [lru.next] counter file in the cache directory. mtime is useless
+   here: OCaml's [Unix.stat] truncates [st_mtime] to whole seconds, so
+   a hit in the same second as the write never looked more recent and
+   a hot payload could be evicted as "oldest". The counter survives
+   the process (it lives on disk) and is additionally floored by an
+   in-process counter, so stamps are strictly monotonic within a
+   process and monotone-enough across concurrent processes (a lost
+   race costs at most one eviction-order tie, broken by file name).
+   When the tier grows past [max_bytes] the least-recently-used
+   payloads are removed first. Eviction is best-effort and crash-safe:
+   losing a file to a concurrent reader, a permission error or a crash
+   mid-eviction only ever costs a recomputation, never raises — and a
+   payload that cannot be removed is skipped without being counted as
+   freed, so the loop keeps evicting until the budget truly holds.
+   Ties on the stamp break by file name so the eviction order is
+   deterministic. *)
 
 let eviction_mutex = Mutex.create ()
+let stamp_mutex = Mutex.create ()
+let last_stamp = ref 0
 
-let touch path = try Unix.utimes path 0. 0. with Unix.Unix_error _ -> ()
+let stamp_path path = path ^ ".stamp"
+let counter_path dir = Filename.concat dir "lru.next"
+
+let read_int_file path =
+  match open_in path with
+  | exception Sys_error _ -> 0
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match int_of_string_opt (String.trim (input_line ic)) with
+          | Some n -> n
+          | None | (exception End_of_file) -> 0)
+
+let write_int_file path n =
+  match open_out path with
+  | exception Sys_error _ -> ()
+  | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (string_of_int n))
+
+let next_stamp dir =
+  with_lock stamp_mutex (fun () ->
+      let n = 1 + max (read_int_file (counter_path dir)) !last_stamp in
+      last_stamp := n;
+      write_int_file (counter_path dir) n;
+      n)
+
+(* Refresh a payload's recency: write a fresh stamp into its sidecar.
+   Called on every write and every disk hit. *)
+let touch ~dir path = write_int_file (stamp_path path) (next_stamp dir)
 
 let is_payload name = Filename.check_suffix name ".bin"
 
@@ -133,13 +177,24 @@ let scan_payloads dir =
                match Unix.stat path with
                | exception Unix.Unix_error _ -> None
                | st when st.Unix.st_kind = Unix.S_REG ->
-                   Some (path, st.Unix.st_size, st.Unix.st_mtime)
+                   (* A payload without a sidecar (crash between rename
+                      and stamp) reads as stamp 0: oldest, evicted
+                      first — deterministically. *)
+                   Some (path, st.Unix.st_size, read_int_file (stamp_path path))
                | _ -> None)
 
 let disk_usage_bytes () =
   match disk_dir () with
   | None -> 0
   | Some dir -> List.fold_left (fun acc (_, size, _) -> acc + size) 0 (scan_payloads dir)
+
+(* Test hook: lets the regression suite make one payload unremovable
+   (simulating a permission error / concurrent-reader race) without
+   depending on filesystem permissions, which root bypasses. *)
+let remove_hook : (string -> unit) option ref = ref None
+
+let remove_payload path =
+  match !remove_hook with Some f -> f path | None -> Sys.remove path
 
 let enforce_budget () =
   match (disk_dir (), disk_max_bytes ()) with
@@ -153,7 +208,7 @@ let enforce_budget () =
             let by_age =
               List.sort
                 (fun (pa, _, ma) (pb, _, mb) ->
-                  match Float.compare ma mb with 0 -> String.compare pa pb | c -> c)
+                  match Int.compare ma mb with 0 -> String.compare pa pb | c -> c)
                 entries
             in
             let evicted = ref 0 in
@@ -161,12 +216,17 @@ let enforce_budget () =
               (List.fold_left
                  (fun remaining (path, size, _) ->
                    if remaining <= max_bytes then remaining
-                   else begin
-                     (match Sys.remove path with
-                     | () -> incr evicted
-                     | exception Sys_error _ -> ());
-                     remaining - size
-                   end)
+                   else
+                     (* Only bytes actually freed count against the
+                        overflow: a failed removal must not stop the
+                        loop early and leave the tier over budget. *)
+                     match remove_payload path with
+                     | () ->
+                         incr evicted;
+                         (try Sys.remove (stamp_path path)
+                          with Sys_error _ -> ());
+                         remaining - size
+                     | exception Sys_error _ -> remaining)
                  total by_age);
             if !evicted > 0 then
               with_lock registry_mutex (fun () ->
@@ -205,7 +265,7 @@ let disk_read t digest =
           with
           | Some v ->
               (* Refresh the LRU stamp: a hit makes the payload recent. *)
-              touch path;
+              touch ~dir path;
               Some v
           | None -> None))
 
@@ -233,6 +293,7 @@ let disk_write t digest v =
           in
           if ok then begin
             (try Sys.rename tmp path with Sys_error _ -> ());
+            touch ~dir path;
             enforce_budget ()
           end
           else try Sys.remove tmp with Sys_error _ -> ()))
@@ -240,9 +301,10 @@ let disk_write t digest v =
 let disk_remove t digest =
   match disk_dir () with
   | None -> ()
-  | Some dir -> (
+  | Some dir ->
       let path = payload_path ~dir t digest in
-      try Sys.remove path with Sys_error _ -> ())
+      (try Sys.remove path with Sys_error _ -> ());
+      (try Sys.remove (stamp_path path) with Sys_error _ -> ())
 
 (* --- lookup -------------------------------------------------------------- *)
 
@@ -298,6 +360,10 @@ let find_or_add t ~key compute =
           if not from_disk then disk_write t digest v;
           v
       | Error (exn, bt) -> Printexc.raise_with_backtrace exn bt)
+
+module Private = struct
+  let set_remove_hook h = with_lock eviction_mutex (fun () -> remove_hook := h)
+end
 
 let invalidate t ~key =
   let digest = key_digest key in

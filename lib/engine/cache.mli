@@ -20,10 +20,16 @@
 
     The disk tier can additionally be bounded by a byte budget
     ([~max_bytes], the CLI's [--cache-max-bytes]): payloads carry a
-    recency stamp (their mtime, refreshed on every disk hit) and when
-    the tier overflows, the least-recently-used payloads are evicted
-    first — deterministically (stamp, then file name) and best-effort
-    (losing a race with a reader only costs a recomputation). *)
+    strictly monotonic recency stamp (an integer in a [.stamp] sidecar
+    backed by a per-directory counter file — {e not} mtime, which
+    OCaml truncates to whole seconds and therefore cannot tell a
+    same-second hit from the original write), refreshed on every write
+    and every disk hit. When the tier overflows, the
+    least-recently-used payloads are evicted first — deterministically
+    (stamp, then file name) and best-effort (losing a race with a
+    reader only costs a recomputation; a payload that cannot be
+    removed is skipped without being counted as freed, so the tier
+    still converges to the budget). *)
 
 type 'v t
 
@@ -97,3 +103,14 @@ val all_stats : unit -> (string * stats) list
 val clear_all : unit -> unit
 (** {!clear} every registered cache and reset its counters (used to
     re-run a grid cold, e.g. for serial-vs-parallel benchmarks). *)
+
+(** {2 Test hooks} *)
+
+module Private : sig
+  val set_remove_hook : (string -> unit) option -> unit
+  (** Replace [Sys.remove] for payload {e eviction} only. The
+      regression suite uses this to simulate an unremovable payload
+      (permission error, concurrent-reader race) portably — filesystem
+      permissions are useless for this when the tests run as root.
+      Pass [None] to restore the default. Not for production use. *)
+end

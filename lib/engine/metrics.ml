@@ -3,6 +3,8 @@ type task = { label : string; wall_s : float }
 type snapshot = {
   tasks : task list;
   jobs : int;
+  backend : string;
+  worker_restarts : int;
   wall_s : float;
   busy_s : float;
   utilization : float;
@@ -16,6 +18,8 @@ type t = {
   mutex : Mutex.t;
   mutable rev_tasks : task list;
   mutable jobs : int;
+  mutable backend : string;
+  mutable worker_restarts : int;
   mutable wall_s : float;
   mutable domain_busy : float array;
 }
@@ -25,6 +29,8 @@ let create () =
     mutex = Mutex.create ();
     rev_tasks = [];
     jobs = 1;
+    backend = "domains";
+    worker_restarts = 0;
     wall_s = 0.;
     domain_busy = [||];
   }
@@ -37,6 +43,11 @@ let record t ~label ~wall_s =
   with_lock t.mutex (fun () -> t.rev_tasks <- { label; wall_s } :: t.rev_tasks)
 
 let set_jobs t jobs = with_lock t.mutex (fun () -> t.jobs <- max 1 jobs)
+let set_backend t backend = with_lock t.mutex (fun () -> t.backend <- backend)
+
+let set_worker_restarts t n =
+  with_lock t.mutex (fun () -> t.worker_restarts <- max 0 n)
+
 let set_wall t wall_s = with_lock t.mutex (fun () -> t.wall_s <- wall_s)
 
 let set_domain_busy t busy =
@@ -48,9 +59,14 @@ let time t ~label f =
   Fun.protect ~finally f
 
 let snapshot t =
-  let tasks, jobs, wall_s, domain_busy_s =
+  let tasks, jobs, backend, worker_restarts, wall_s, domain_busy_s =
     with_lock t.mutex (fun () ->
-        (List.rev t.rev_tasks, t.jobs, t.wall_s, Array.copy t.domain_busy))
+        ( List.rev t.rev_tasks,
+          t.jobs,
+          t.backend,
+          t.worker_restarts,
+          t.wall_s,
+          Array.copy t.domain_busy ))
   in
   let busy_s =
     List.fold_left (fun acc (k : task) -> acc +. k.wall_s) 0. tasks
@@ -71,6 +87,8 @@ let snapshot t =
   {
     tasks;
     jobs;
+    backend;
+    worker_restarts;
     wall_s;
     busy_s;
     utilization;
@@ -136,6 +154,10 @@ let to_json (s : snapshot) =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" s.jobs);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"backend\": \"%s\",\n" (json_escape s.backend));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"worker_restarts\": %d,\n" s.worker_restarts);
   Buffer.add_string buf
     (Printf.sprintf "  \"wall_s\": %s,\n" (json_float s.wall_s));
   Buffer.add_string buf

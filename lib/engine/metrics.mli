@@ -12,6 +12,12 @@ type task = { label : string; wall_s : float }
 type snapshot = {
   tasks : task list;  (** submission order; one entry per grid cell *)
   jobs : int;
+  backend : string;
+      (** execution backend identity ({!Pool.backend_name}):
+          ["domains"] or ["procs"] *)
+  worker_restarts : int;
+      (** worker processes lost and replaced during the run; [0] under
+          the domain backend *)
   wall_s : float;  (** whole-run wall-clock time *)
   busy_s : float;  (** sum of task wall times *)
   utilization : float;  (** [busy_s / (jobs * wall_s)]; 0 when unknown *)
@@ -32,6 +38,15 @@ type t
 val create : unit -> t
 val record : t -> label:string -> wall_s:float -> unit
 val set_jobs : t -> int -> unit
+
+val set_backend : t -> string -> unit
+(** Record which pool backend actually ran the grid (use
+    {!Pool.backend_name} on {!Pool.backend} so a degraded [Procs]
+    request reports ["domains"]). Defaults to ["domains"]. *)
+
+val set_worker_restarts : t -> int -> unit
+(** Record {!Pool.restarts} captured just before shutdown. *)
+
 val set_wall : t -> float -> unit
 
 val set_domain_busy : t -> float array -> unit

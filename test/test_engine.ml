@@ -259,10 +259,15 @@ let test_pool_survives_exception () =
            (Array.init 16 (fun i -> i))
        with
       | _ -> Alcotest.fail "expected Task_failed"
-      | exception Engine.Pool.Task_failed { index; exn; _ } ->
+      | exception Engine.Pool.Task_failed { index; exn; backtrace } ->
           Alcotest.(check int) "lowest failing index" 3 index;
           Alcotest.(check string) "original exception" "boom"
-            (match exn with Failure m -> m | _ -> Printexc.to_string exn));
+            (match exn with Failure m -> m | _ -> Printexc.to_string exn);
+          (* Worker domains enable backtrace recording (per-domain
+             state, off by default in fresh domains): a failure report
+             without a backtrace is a debugging dead end. *)
+          Alcotest.(check bool) "non-empty backtrace" true
+            (String.length (String.trim backtrace) > 0));
       (* The queue drained; the same pool still schedules new work. *)
       let again =
         Engine.Pool.map pool (fun i -> i + 1) (Array.init 8 (fun i -> i))
@@ -271,6 +276,281 @@ let test_pool_survives_exception () =
         "pool alive after failure"
         (Array.init 8 (fun i -> i + 1))
         again)
+
+(* (h) Eviction accounting: a payload that cannot be removed must not
+   count as freed bytes, or the tier is left over budget whenever an
+   eviction loses a race (or hits a permission error). Simulated via
+   the Private remove hook — filesystem permissions are useless for
+   this when tests run as root. *)
+let test_eviction_skips_unremovable () =
+  let dir = temp_cache_dir () in
+  (* Calibrate the payload file size with an unbounded tier first. *)
+  Engine.Cache.enable_disk ~dir ();
+  let finally () =
+    Engine.Cache.Private.set_remove_hook None;
+    Engine.Cache.disable_disk ()
+  in
+  Fun.protect ~finally @@ fun () ->
+  let cache = Engine.Cache.create ~name:"test-unremovable" ~schema:"v1" () in
+  let payload i = String.make 512 (Char.chr (65 + i)) in
+  let add i =
+    ignore (Engine.Cache.find_or_add cache ~key:("pin", i) (fun () -> payload i))
+  in
+  add 0;
+  let s = scan_payload_bytes dir in
+  Alcotest.(check bool) "payload written" true (s > 0);
+  (* Re-enable with a 2-payload budget; make payload 0 unremovable. *)
+  Engine.Cache.enable_disk ~max_bytes:(2 * s) ~dir ();
+  let pinned = Engine.Cache.key_digest ("pin", 0) in
+  Engine.Cache.Private.set_remove_hook
+    (Some
+       (fun path ->
+         if
+           Filename.check_suffix path
+             (Printf.sprintf "test-unremovable-%s.bin" pinned)
+         then raise (Sys_error (path ^ ": simulated unremovable payload"))
+         else Sys.remove path));
+  for i = 1 to 3 do
+    add i;
+    let on_disk = scan_payload_bytes dir in
+    (* The buggy accounting subtracted the pinned payload's size
+       despite the failed removal and stopped evicting early, leaving
+       3 payloads (> budget) on disk after insert 2. *)
+    if on_disk > 2 * s then
+      Alcotest.failf
+        "after insert %d: %d payload bytes on disk > budget %d (failed \
+         removal was counted as freed)"
+        i on_disk (2 * s)
+  done;
+  (* The unremovable payload itself was skipped, never deleted: it
+     still disk-hits from a cold memory tier. *)
+  let cold = Engine.Cache.create ~name:"test-unremovable" ~schema:"v1" () in
+  let v = Engine.Cache.find_or_add cold ~key:("pin", 0) (fun () -> "MISS") in
+  Alcotest.(check string) "pinned payload survived" (payload 0) v;
+  (match Engine.Cache.disk_stats () with
+  | None -> Alcotest.fail "disk tier enabled but disk_stats is None"
+  | Some st ->
+      Alcotest.(check bool)
+        (Printf.sprintf "only real removals counted (%d)"
+           st.Engine.Cache.evictions)
+        true
+        (st.Engine.Cache.evictions >= 1))
+
+(* (i) LRU recency: a disk hit must protect a payload from eviction
+   even when it lands in the same second as every write. The old
+   mtime-based stamp (whole seconds under OCaml's Unix.stat) could not
+   see the hit, and the name tie-break then deterministically evicted
+   the hot payload. Keys are ordered so the hot payload sorts first by
+   file name — the exact case the mtime scheme got wrong. *)
+let test_lru_same_second_hit_survives () =
+  let dir = temp_cache_dir () in
+  Engine.Cache.enable_disk ~dir ();
+  Fun.protect ~finally:Engine.Cache.disable_disk @@ fun () ->
+  (* Pick the key whose digest (hence payload file name) is smaller as
+     the hot one: under a same-second mtime tie the old scheme evicted
+     the lexicographically first file, i.e. precisely this payload. *)
+  let k0 = ("lru", 0) and k1 = ("lru", 1) in
+  let hot, cold_key =
+    if String.compare (Engine.Cache.key_digest k0) (Engine.Cache.key_digest k1) < 0
+    then (k0, k1)
+    else (k1, k0)
+  in
+  let computes = ref 0 in
+  let value tag = tag ^ String.make 256 'x' in
+  let add cache key tag =
+    Engine.Cache.find_or_add cache ~key (fun () ->
+        incr computes;
+        value tag)
+  in
+  let c1 = Engine.Cache.create ~name:"test-lru" ~schema:"v1" () in
+  ignore (add c1 hot "hot");
+  let s = scan_payload_bytes dir in
+  ignore (add c1 cold_key "cold");
+  Alcotest.(check int) "both computed" 2 !computes;
+  (* Disk-hit the hot payload through a fresh cache (cold memory
+     tier) — this refreshes its recency stamp, same second or not. *)
+  let c2 = Engine.Cache.create ~name:"test-lru" ~schema:"v1" () in
+  Alcotest.(check string) "hot disk hit" (value "hot") (add c2 hot "hot");
+  Alcotest.(check int) "hit did not recompute" 2 !computes;
+  (* Now bound the tier at two payloads and write a third: the
+     least-recently-used payload is the un-hit one, not the hot one. *)
+  Engine.Cache.enable_disk ~max_bytes:(2 * s) ~dir ();
+  ignore (add c2 ("lru", 2) "new");
+  Alcotest.(check int) "third computed" 3 !computes;
+  let c3 = Engine.Cache.create ~name:"test-lru" ~schema:"v1" () in
+  Alcotest.(check string)
+    "hot payload survived the eviction" (value "hot") (add c3 hot "hot");
+  Alcotest.(check int) "hot still served from disk" 3 !computes;
+  let c4 = Engine.Cache.create ~name:"test-lru" ~schema:"v1" () in
+  ignore (add c4 cold_key "cold");
+  Alcotest.(check int) "un-hit payload was the one evicted" 4 !computes
+
+(* (j) The serial fast path of a multi-worker pool books its time to a
+   distinct caller slot: tiny maps must not skew worker slot 0 (and
+   with it the max/mean load-balance statistic). *)
+let test_caller_slot_not_worker_zero () =
+  let spin_ms x =
+    let t0 = Unix.gettimeofday () in
+    while Unix.gettimeofday () -. t0 < 0.01 do
+      ()
+    done;
+    x
+  in
+  Engine.Pool.with_pool ~jobs:4 (fun pool ->
+      (* A 1-task map takes the serial fast path on the caller. *)
+      ignore (Engine.Pool.map pool spin_ms [| 1 |]);
+      let busy = Engine.Pool.busy_times pool in
+      Alcotest.(check int) "one slot per worker" 4 (Array.length busy);
+      Array.iteri
+        (fun i b ->
+          if b > 0. then
+            Alcotest.failf
+              "worker slot %d booked %.6fs for a serial fast-path map" i b)
+        busy);
+  (* A pool without workers reports the single caller slot instead. *)
+  Engine.Pool.with_pool ~jobs:1 (fun pool ->
+      ignore (Engine.Pool.map pool spin_ms [| 1 |]);
+      let busy = Engine.Pool.busy_times pool in
+      Alcotest.(check int) "single caller slot" 1 (Array.length busy);
+      Alcotest.(check bool) "caller time booked" true (busy.(0) > 0.))
+
+(* --- subprocess backend ---------------------------------------------------- *)
+
+(* The procs tests require the backend to actually come up (this test
+   binary re-invokes itself with --engine-worker; Test_main calls
+   Proc.maybe_run_worker first). A degraded pool would make the
+   self-kill tasks below kill the test process, so assert loudly. *)
+let require_procs pool =
+  if Engine.Pool.backend pool <> Engine.Pool.Procs then
+    Alcotest.fail
+      "subprocess backend unavailable (spawn failed); cannot run this test"
+
+(* (k) Byte-identity across substrates: the same grid rendered through
+   worker subprocesses equals the serial rendering exactly. *)
+let test_proc_backend_identical () =
+  let grid = List.map Experiment.find [ "table1"; "fig8" ] in
+  let serial = Runner.render (Runner.run_experiments ~jobs:1 grid) in
+  let procs =
+    Runner.render
+      (Runner.run_experiments ~backend:Engine.Pool.Procs ~jobs:2 grid)
+  in
+  Alcotest.(check string) "procs rendering byte-identical" serial procs
+
+(* (l) Fault injection: SIGKILL a worker mid-map. The in-flight task
+   must be retried on a surviving/replacement worker, the results must
+   be byte-identical to an undisturbed run, and the pool must report
+   the restart. *)
+let test_proc_worker_kill_recovers () =
+  Engine.Pool.with_pool ~backend:Engine.Pool.Procs ~jobs:2 ~retries:2
+    (fun pool ->
+      require_procs pool;
+      let sentinel = Filename.temp_file "engine-kill" ".sentinel" in
+      Sys.remove sentinel;
+      Fun.protect ~finally:(fun () ->
+          try Sys.remove sentinel with Sys_error _ -> ())
+      @@ fun () ->
+      let f i =
+        if i = 3 && not (Sys.file_exists sentinel) then begin
+          (* First attempt only: leave a marker, then die like a
+             segfault would — no cleanup, no exit handlers. *)
+          let oc = open_out sentinel in
+          close_out oc;
+          Unix.kill (Unix.getpid ()) Sys.sigkill
+        end;
+        i * 2
+      in
+      let out = Engine.Pool.map pool f (Array.init 8 (fun i -> i)) in
+      Alcotest.(check (array int))
+        "results identical despite the crash"
+        (Array.init 8 (fun i -> i * 2))
+        out;
+      Alcotest.(check bool)
+        (Printf.sprintf "restart recorded (%d)" (Engine.Pool.restarts pool))
+        true
+        (Engine.Pool.restarts pool >= 1);
+      (* The pool keeps working after recovery. *)
+      let again = Engine.Pool.map pool (fun i -> i + 1) [| 1; 2; 3 |] in
+      Alcotest.(check (array int)) "pool alive after crash" [| 2; 3; 4 |] again)
+
+(* (m) Retry exhaustion: a task that kills its worker on every attempt
+   fails deterministically with Worker_lost after retries are spent —
+   it must not hang the map or poison the other tasks. *)
+let test_proc_retry_exhaustion () =
+  Engine.Pool.with_pool ~backend:Engine.Pool.Procs ~jobs:2 ~retries:1
+    (fun pool ->
+      require_procs pool;
+      let f i =
+        if i = 1 then Unix.kill (Unix.getpid ()) Sys.sigkill;
+        i + 10
+      in
+      match Engine.Pool.map pool f [| 0; 1; 2; 3 |] with
+      | _ -> Alcotest.fail "expected Task_failed"
+      | exception Engine.Pool.Task_failed { index; exn; _ } -> (
+          Alcotest.(check int) "deterministic failing index" 1 index;
+          match exn with
+          | Engine.Proc.Worker_lost { attempts; _ } ->
+              Alcotest.(check int) "retries=1 means two attempts" 2 attempts
+          | other ->
+              Alcotest.failf "expected Worker_lost, got %s"
+                (Printexc.to_string other)))
+
+(* (n) A task exception inside a worker is a failure report, not a
+   crash: no retry, surfaced as Remote_failure with the printed
+   exception. *)
+let test_proc_remote_failure () =
+  Engine.Pool.with_pool ~backend:Engine.Pool.Procs ~jobs:2 ~retries:2
+    (fun pool ->
+      require_procs pool;
+      match
+        Engine.Pool.map pool
+          (fun i -> if i = 2 then failwith "remote boom" else i)
+          [| 0; 1; 2; 3 |]
+      with
+      | _ -> Alcotest.fail "expected Task_failed"
+      | exception Engine.Pool.Task_failed { index; exn; _ } -> (
+          Alcotest.(check int) "failing index" 2 index;
+          Alcotest.(check int) "a raising task is not a worker loss" 0
+            (Engine.Pool.restarts pool);
+          match exn with
+          | Engine.Proc.Remote_failure { message } ->
+              Alcotest.(check bool)
+                (Printf.sprintf "printed exception carried over (%s)" message)
+                true
+                (String.length message > 0
+                && String.equal message (Printexc.to_string (Failure "remote boom")))
+          | other ->
+              Alcotest.failf "expected Remote_failure, got %s"
+                (Printexc.to_string other)))
+
+(* (o) Per-task timeout: a wedged worker is killed and replaced, and
+   the task retried; the map completes instead of hanging. *)
+let test_proc_timeout_replaces_wedged_worker () =
+  Engine.Pool.with_pool ~backend:Engine.Pool.Procs ~jobs:1 ~retries:2
+    ~timeout_s:0.5 (fun pool ->
+      require_procs pool;
+      let sentinel = Filename.temp_file "engine-wedge" ".sentinel" in
+      Sys.remove sentinel;
+      Fun.protect ~finally:(fun () ->
+          try Sys.remove sentinel with Sys_error _ -> ())
+      @@ fun () ->
+      let f i =
+        if i = 0 && not (Sys.file_exists sentinel) then begin
+          let oc = open_out sentinel in
+          close_out oc;
+          (* Wedge far beyond the timeout; only SIGKILL gets us out. *)
+          Unix.sleep 30
+        end;
+        i + 100
+      in
+      let t0 = Unix.gettimeofday () in
+      let out = Engine.Pool.map pool f [| 0; 1 |] in
+      let wall = Unix.gettimeofday () -. t0 in
+      Alcotest.(check (array int)) "wedged task retried" [| 100; 101 |] out;
+      Alcotest.(check bool)
+        (Printf.sprintf "timeout enforced, no 30s hang (%.2fs)" wall)
+        true (wall < 10.);
+      Alcotest.(check bool) "wedged worker replaced" true
+        (Engine.Pool.restarts pool >= 1))
 
 let suite =
   [
@@ -289,4 +569,20 @@ let suite =
       test_runner_micro_cells;
     Alcotest.test_case "pool survives raising tasks" `Quick
       test_pool_survives_exception;
+    Alcotest.test_case "cache eviction skips unremovable payloads" `Quick
+      test_eviction_skips_unremovable;
+    Alcotest.test_case "cache LRU: same-second disk hit protects a payload"
+      `Quick test_lru_same_second_hit_survives;
+    Alcotest.test_case "pool serial fast path books a caller slot" `Quick
+      test_caller_slot_not_worker_zero;
+    Alcotest.test_case "procs backend renders byte-identically" `Slow
+      test_proc_backend_identical;
+    Alcotest.test_case "procs backend recovers from a killed worker" `Quick
+      test_proc_worker_kill_recovers;
+    Alcotest.test_case "procs backend exhausts retries deterministically"
+      `Quick test_proc_retry_exhaustion;
+    Alcotest.test_case "procs backend reports task exceptions remotely" `Quick
+      test_proc_remote_failure;
+    Alcotest.test_case "procs backend times out a wedged worker" `Quick
+      test_proc_timeout_replaces_wedged_worker;
   ]

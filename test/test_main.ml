@@ -1,3 +1,8 @@
+(* Must come first: the subprocess-backend tests re-invoke this very
+   executable as an engine worker (--engine-worker); serve tasks and
+   exit before Alcotest parses argv. *)
+let () = Engine.Proc.maybe_run_worker ()
+
 let () =
   Alcotest.run "tiered-pricing"
     [
