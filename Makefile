@@ -7,7 +7,7 @@
 # result into test/golden/ — run it (and commit the diff) after an
 # intentional output change.
 
-.PHONY: all build test bench bench-json bench-pool golden-regen smoke smoke-procs clean
+.PHONY: all build test bench bench-json bench-pool golden-regen smoke smoke-procs lint lint-baseline clean
 
 all: build
 
@@ -31,6 +31,23 @@ bench-pool:
 golden-regen:
 	dune build @golden --auto-promote || true
 	dune build @golden
+
+# tiered-lint: the determinism/hygiene static-analysis pass (rule
+# catalog: `dune exec bin/lint.exe -- --list-rules`; DESIGN.md §10).
+# `make lint` fails on any finding that is neither inline-suppressed
+# nor grandfathered in lint/baseline.json and leaves the JSON report
+# at lint-report.json; `dune build @lint` is the sandboxed
+# equivalent. `make lint-baseline` regenerates the baseline from the
+# current findings (target state: empty).
+lint:
+	dune build bin/lint.exe
+	./_build/default/bin/lint.exe --root . --baseline lint/baseline.json \
+	  --json lint-report.json lib bin bench test
+
+lint-baseline:
+	dune build bin/lint.exe
+	./_build/default/bin/lint.exe --root . --baseline lint/baseline.json \
+	  --write-baseline lib bin bench test
 
 smoke:
 	dune exec bin/tiered_cli.exe -- run table1 --jobs 2 --metrics

@@ -1,0 +1,87 @@
+(* tiered-lint: the repo's determinism/hygiene static-analysis pass.
+   See lib/analysis for the rule catalog and DESIGN.md §10 for the
+   rationale.  Exit codes: 0 clean, 1 active findings, 2 usage or
+   baseline errors. *)
+
+let default_dirs = [ "lib"; "bin"; "bench"; "test" ]
+
+let () =
+  let root = ref "." in
+  let baseline_path = ref "lint/baseline.json" in
+  let json_path = ref "" in
+  let write_baseline = ref false in
+  let list_rules = ref false in
+  let quiet = ref false in
+  let dirs = ref [] in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR repo root to scan from (default .)");
+      ( "--baseline",
+        Arg.Set_string baseline_path,
+        "FILE baseline path, relative to --root (default lint/baseline.json)" );
+      ( "--json",
+        Arg.Set_string json_path,
+        "FILE also write the JSON report here (relative to cwd)" );
+      ( "--write-baseline",
+        Arg.Set write_baseline,
+        " rewrite the baseline to grandfather every currently-active finding" );
+      ("--list-rules", Arg.Set list_rules, " print the rule catalog and exit");
+      ("--quiet", Arg.Set quiet, " suppress the report body (summary only)");
+    ]
+  in
+  let usage =
+    "tiered-lint [options] [dir ...]\n\
+     Scans every .ml/.mli under the given directories (default: lib bin \
+     bench test) for determinism/hygiene violations.\n"
+  in
+  Arg.parse spec (fun d -> dirs := d :: !dirs) usage;
+  if !list_rules then begin
+    List.iter
+      (fun (m : Analysis.Rules.meta) ->
+        Printf.printf "%s  %s\n      %s\n" m.Analysis.Rules.id
+          m.Analysis.Rules.title m.Analysis.Rules.rationale)
+      Analysis.Rules.catalog;
+    exit 0
+  end;
+  let dirs = if !dirs = [] then default_dirs else List.rev !dirs in
+  let baseline_file = Filename.concat !root !baseline_path in
+  let baseline =
+    match Analysis.Baseline.load baseline_file with
+    | Ok b -> b
+    | Error msg ->
+        Printf.eprintf "tiered-lint: cannot read baseline: %s\n" msg;
+        exit 2
+  in
+  let outcome = Analysis.Lint.run ~baseline ~root:!root ~dirs () in
+  if !write_baseline then begin
+    let entries = Analysis.Baseline.of_findings (Analysis.Lint.active outcome) in
+    Analysis.Baseline.save baseline_file entries;
+    Printf.printf "tiered-lint: wrote %d baseline entr%s to %s\n"
+      (List.length entries)
+      (if List.length entries = 1 then "y" else "ies")
+      baseline_file;
+    exit 0
+  end;
+  let report =
+    Analysis.Reporter.text ~reported:outcome.Analysis.Lint.reported
+      ~stale:outcome.Analysis.Lint.stale
+  in
+  if !quiet then begin
+    match String.rindex_opt (String.trim report) '\n' with
+    | Some i ->
+        let t = String.trim report in
+        print_endline (String.sub t (i + 1) (String.length t - i - 1))
+    | None -> print_string report
+  end
+  else print_string report;
+  if !json_path <> "" then begin
+    let oc = open_out_bin !json_path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc
+          (Analysis.Json.to_string
+             (Analysis.Reporter.json ~reported:outcome.Analysis.Lint.reported
+                ~stale:outcome.Analysis.Lint.stale)))
+  end;
+  if Analysis.Lint.active outcome <> [] then exit 1

@@ -1,0 +1,81 @@
+type entry = { rule : string; file : string; line : int }
+type t = entry list
+
+let empty = []
+
+let entry_of_finding (f : Finding.t) =
+  { rule = f.Finding.rule; file = f.Finding.file; line = f.Finding.line }
+
+let compare_entry a b =
+  Stdlib.compare (a.file, a.line, a.rule) (b.file, b.line, b.rule)
+
+let of_findings findings =
+  findings |> List.map entry_of_finding |> List.sort_uniq compare_entry
+
+let matches e (f : Finding.t) =
+  e.rule = f.Finding.rule && e.file = f.Finding.file && e.line = f.Finding.line
+
+let mem t f = List.exists (fun e -> matches e f) t
+let stale t findings =
+  List.filter (fun e -> not (List.exists (matches e) findings)) t
+
+let to_json t =
+  Json.Obj
+    [
+      ("version", Json.Int 1);
+      ( "entries",
+        Json.List
+          (List.map
+             (fun e ->
+               Json.Obj
+                 [
+                   ("rule", Json.Str e.rule);
+                   ("file", Json.Str e.file);
+                   ("line", Json.Int e.line);
+                 ])
+             t) );
+    ]
+
+let entry_of_json j =
+  match
+    ( Option.bind (Json.member "rule" j) Json.to_str,
+      Option.bind (Json.member "file" j) Json.to_str,
+      Option.bind (Json.member "line" j) Json.to_int )
+  with
+  | Some rule, Some file, Some line -> Ok { rule; file; line }
+  | _ -> Error "baseline entry needs string rule, string file, int line"
+
+let of_json j =
+  match Option.bind (Json.member "entries" j) Json.to_list with
+  | None -> Error "baseline: expected an object with an \"entries\" array"
+  | Some entries ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | e :: rest -> (
+            match entry_of_json e with
+            | Ok entry -> go (entry :: acc) rest
+            | Error _ as err -> err)
+      in
+      go [] entries
+
+let load path =
+  if not (Sys.file_exists path) then Ok empty
+  else
+    let ic = open_in_bin path in
+    let contents =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Json.of_string contents with
+    | Ok j -> of_json j
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+
+let save path t =
+  let dir = Filename.dirname path in
+  if dir <> "." && not (Sys.file_exists dir) then
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Json.to_string (to_json t)))

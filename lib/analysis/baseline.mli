@@ -1,0 +1,30 @@
+(** The grandfathered-findings baseline ([lint/baseline.json]).
+
+    A finding matching an entry by (rule, file, line) is reported as
+    [Baselined] and does not fail the build.  The file is meant to be
+    empty in steady state — it exists so a new rule can land before
+    every historical violation is fixed, and so the burn-down is
+    reviewable in diffs. *)
+
+type entry = { rule : string; file : string; line : int }
+
+type t = entry list
+
+val empty : t
+
+val of_findings : Finding.t list -> t
+(** Deduplicated, sorted entries for the given findings. *)
+
+val mem : t -> Finding.t -> bool
+
+val stale : t -> Finding.t list -> entry list
+(** Entries matching none of the findings: fixed violations whose
+    baseline line should now be deleted. *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+
+val load : string -> (t, string) result
+(** Read a baseline file.  A missing file is an empty baseline. *)
+
+val save : string -> t -> unit

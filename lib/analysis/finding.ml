@@ -1,0 +1,34 @@
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+type status = Active | Suppressed | Baselined
+
+let v ~rule ~file ~line ~col message = { rule; file; line; col; message }
+
+let of_location ~rule ~file (loc : Location.t) message =
+  let pos = loc.Location.loc_start in
+  {
+    rule;
+    file;
+    line = pos.Lexing.pos_lnum;
+    col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+    message;
+  }
+
+let compare a b =
+  Stdlib.compare
+    (a.file, a.line, a.col, a.rule, a.message)
+    (b.file, b.line, b.col, b.rule, b.message)
+
+let status_to_string = function
+  | Active -> "active"
+  | Suppressed -> "suppressed"
+  | Baselined -> "baselined"
+
+let to_string t =
+  Printf.sprintf "%s:%d:%d: [%s] %s" t.file t.line t.col t.rule t.message

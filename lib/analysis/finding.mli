@@ -1,0 +1,31 @@
+(** A single lint diagnostic: rule id + location + message. *)
+
+type t = {
+  rule : string;  (** e.g. ["D001"] *)
+  file : string;  (** path relative to the repo root, '/'-separated *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based column of the offending token *)
+  message : string;
+}
+
+(** How a finding is classified after suppressions and the baseline
+    have been applied.  Only [Active] findings fail the build. *)
+type status =
+  | Active  (** unbaselined, unsuppressed: fails [make lint] *)
+  | Suppressed  (** covered by an inline [lint: allow] comment *)
+  | Baselined  (** grandfathered in [lint/baseline.json] *)
+
+val v : rule:string -> file:string -> line:int -> col:int -> string -> t
+
+val of_location : rule:string -> file:string -> Location.t -> string -> t
+(** Build a finding from a compiler-libs source location (start
+    position). *)
+
+val compare : t -> t -> int
+(** Order by (file, line, col, rule, message) so reports are stable. *)
+
+val status_to_string : status -> string
+(** ["active"] / ["suppressed"] / ["baselined"] — the JSON encoding. *)
+
+val to_string : t -> string
+(** [file:line:col: [rule] message] — the text-reporter line. *)

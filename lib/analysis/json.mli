@@ -1,0 +1,28 @@
+(** A deliberately tiny JSON layer — just enough for the lint
+    baseline and report files, so the analysis library needs nothing
+    beyond the compiler distribution (no yojson). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Render with 2-space indentation and a trailing newline, keys in
+    the order given — deterministic byte-for-byte. *)
+
+val of_string : string -> (t, string) result
+(** Parse a JSON document.  Unsupported corners of the spec
+    (scientific floats are accepted; [\uXXXX] escapes decode only the
+    ASCII range) are fine for the files this tool writes itself. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on missing field or non-object. *)
+
+val to_int : t -> int option
+val to_str : t -> string option
+val to_list : t -> t list option

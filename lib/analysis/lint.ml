@@ -1,0 +1,134 @@
+type outcome = {
+  reported : (Finding.t * Finding.status) list;
+  stale : Baseline.entry list;
+}
+
+(* --- file discovery ------------------------------------------------------- *)
+
+let skip_dir name =
+  match name with
+  | "_build" | ".git" | "_cache" | "_opam" -> true
+  | _ -> false
+
+let is_source name =
+  Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli"
+
+let scan_files ~root ~dirs =
+  let out = ref [] in
+  let rec walk rel =
+    let abs = Filename.concat root rel in
+    match Sys.readdir abs with
+    | exception Sys_error _ -> ()
+    | names ->
+        Array.sort String.compare names;
+        Array.iter
+          (fun name ->
+            let rel' = rel ^ "/" ^ name in
+            let abs' = Filename.concat root rel' in
+            match Sys.is_directory abs' with
+            | true -> if not (skip_dir name) then walk rel'
+            | false -> if is_source name then out := rel' :: !out
+            | exception Sys_error _ -> ())
+          names
+  in
+  List.iter
+    (fun dir ->
+      let dir =
+        (* normalize "./lib" and "lib/" to "lib" *)
+        let dir =
+          if String.length dir > 2 && String.sub dir 0 2 = "./" then
+            String.sub dir 2 (String.length dir - 2)
+          else dir
+        in
+        if Filename.check_suffix dir "/" then Filename.chop_suffix dir "/"
+        else dir
+      in
+      walk dir)
+    dirs;
+  List.sort_uniq String.compare !out
+
+(* --- parsing -------------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+type parsed =
+  | Structure of Parsetree.structure
+  | Signature of Parsetree.signature
+  | Broken of Finding.t
+
+let parse ~file contents =
+  let lexbuf = Lexing.from_string contents in
+  Location.init lexbuf file;
+  let intf = Filename.check_suffix file ".mli" in
+  match
+    if intf then Signature (Parse.interface lexbuf)
+    else Structure (Parse.implementation lexbuf)
+  with
+  | parsed -> parsed
+  | exception Syntaxerr.Error err ->
+      let loc = Syntaxerr.location_of_error err in
+      Broken
+        (Finding.of_location ~rule:"E001" ~file loc "source does not parse")
+  | exception exn ->
+      Broken
+        (Finding.v ~rule:"E001" ~file ~line:1 ~col:0
+           (Printf.sprintf "source does not parse: %s" (Printexc.to_string exn)))
+
+(* --- per-file check ------------------------------------------------------- *)
+
+let check_source ~file contents =
+  let raw =
+    match parse ~file contents with
+    | Structure str -> Rules.check_structure ~file str
+    | Signature _ -> []
+    | Broken f -> [ f ]
+  in
+  let supps, malformed = Suppress.scan ~file contents in
+  let classify (f : Finding.t) =
+    if
+      f.Finding.rule <> "S001"
+      && Suppress.covers supps ~rule:f.Finding.rule ~line:f.Finding.line
+    then (f, Finding.Suppressed)
+    else (f, Finding.Active)
+  in
+  List.map classify (raw @ malformed)
+  |> List.sort (fun (a, _) (b, _) -> Finding.compare a b)
+
+(* --- whole-tree run ------------------------------------------------------- *)
+
+let run_sources ?(baseline = Baseline.empty) sources =
+  let per_file =
+    List.concat_map (fun (file, contents) -> check_source ~file contents) sources
+  in
+  let tree =
+    Rules.missing_interfaces ~files:(List.map fst sources)
+    |> List.map (fun f -> (f, Finding.Active))
+  in
+  let all = per_file @ tree in
+  let reported =
+    List.map
+      (fun (f, status) ->
+        match (status : Finding.status) with
+        | Finding.Active when Baseline.mem baseline f -> (f, Finding.Baselined)
+        | _ -> (f, status))
+      all
+    |> List.sort (fun (a, _) (b, _) -> Finding.compare a b)
+  in
+  let stale = Baseline.stale baseline (List.map fst all) in
+  { reported; stale }
+
+let run ?baseline ~root ~dirs () =
+  let files = scan_files ~root ~dirs in
+  let sources =
+    List.map (fun file -> (file, read_file (Filename.concat root file))) files
+  in
+  run_sources ?baseline sources
+
+let active outcome =
+  List.filter_map
+    (fun (f, status) -> if status = Finding.Active then Some f else None)
+    outcome.reported

@@ -1,0 +1,34 @@
+(** The [tiered-lint] driver: discover sources, parse them with
+    compiler-libs, run the {!Rules} catalog, honor inline
+    {!Suppress}ions, then classify what is left against the
+    {!Baseline}. *)
+
+type outcome = {
+  reported : (Finding.t * Finding.status) list;
+      (** every finding, sorted by (file, line, col, rule) *)
+  stale : Baseline.entry list;
+      (** baseline entries whose finding no longer fires *)
+}
+
+val scan_files : root:string -> dirs:string list -> string list
+(** All [.ml]/[.mli] files under [root/dir] for each dir, as sorted
+    '/'-separated paths relative to [root].  [_build], [.git] and
+    [_cache] subtrees are skipped. *)
+
+val check_source :
+  file:string -> string -> (Finding.t * Finding.status) list
+(** Parse one source from memory and run the AST rules plus the
+    suppression scanner.  [file] is the relative path used for rule
+    scoping; no baseline and no cross-file rules (H003) here. *)
+
+val run_sources :
+  ?baseline:Baseline.t -> (string * string) list -> outcome
+(** Full pipeline over in-memory [(file, contents)] pairs: per-file
+    rules, H003 over the whole set, baseline classification. *)
+
+val run :
+  ?baseline:Baseline.t -> root:string -> dirs:string list -> unit -> outcome
+(** [run_sources] over [scan_files]. *)
+
+val active : outcome -> Finding.t list
+(** The findings that should fail the build. *)

@@ -1,0 +1,22 @@
+(** Render lint results. Pure: returns strings/JSON, never prints —
+    the analysis library itself lives under [lib/] and obeys D001. *)
+
+val text :
+  reported:(Finding.t * Finding.status) list ->
+  stale:Baseline.entry list ->
+  string
+(** Human-readable report: one [file:line:col: [rule] message] line
+    per active finding, stale-baseline warnings, and a one-line
+    summary. *)
+
+val json :
+  reported:(Finding.t * Finding.status) list ->
+  stale:Baseline.entry list ->
+  Json.t
+(** Machine-readable report:
+    {v
+    { "version": 1, "tool": "tiered-lint",
+      "findings": [ {"rule","file","line","col","message","status"} ],
+      "stale_baseline": [ {"rule","file","line"} ],
+      "summary": {"active","suppressed","baselined","stale_baseline"} }
+    v} *)

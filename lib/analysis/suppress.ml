@@ -1,0 +1,150 @@
+type t = { rules : string list; first_line : int; last_line : int }
+
+let marker = "lint: allow"
+
+(* Textual scan, not a lexer pass: keeping it textual lets the scanner
+   run on .mli files and on sources that fail to parse.  To avoid
+   tripping on prose that merely *mentions* the marker (rule
+   rationales, doc comments, this very module), a marker only counts
+   when it sits directly after a comment opener: "(*" (or "(**"),
+   optional whitespace, then the marker. *)
+
+let find_sub ~start haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    if i + nl > hl then None
+    else if String.sub haystack i nl = needle then Some i
+    else go (i + 1)
+  in
+  go start
+
+(* Does position [p] in [line] sit directly after a comment opener?
+   Walk back over whitespace, then over the opener's '*'s, then
+   require '('. *)
+let after_comment_opener line p =
+  let i = ref (p - 1) in
+  while !i >= 0 && (line.[!i] = ' ' || line.[!i] = '\t') do
+    decr i
+  done;
+  let stars = ref 0 in
+  while !i >= 0 && line.[!i] = '*' do
+    incr stars;
+    decr i
+  done;
+  !stars >= 1 && !i >= 0 && line.[!i] = '('
+
+let is_rule_id tok =
+  String.length tok >= 2
+  && (match tok.[0] with 'A' .. 'Z' -> true | _ -> false)
+  && String.for_all
+       (function 'A' .. 'Z' | '0' .. '9' -> true | _ -> false)
+       tok
+
+(* Split the text after the marker into leading rule ids and the
+   remainder.  Ids are separated by commas and/or spaces. *)
+let parse_clause text =
+  let n = String.length text in
+  let rec skip_sep i =
+    if i < n && (text.[i] = ' ' || text.[i] = ',' || text.[i] = '\t') then
+      skip_sep (i + 1)
+    else i
+  in
+  let token_end i =
+    let rec go j =
+      if j < n && (match text.[j] with 'A' .. 'Z' | '0' .. '9' -> true | _ -> false)
+      then go (j + 1)
+      else j
+    in
+    go i
+  in
+  let rec ids acc i =
+    let i = skip_sep i in
+    let j = token_end i in
+    let tok = String.sub text i (j - i) in
+    if j > i && is_rule_id tok then ids (tok :: acc) j else (List.rev acc, i)
+  in
+  ids [] 0
+
+(* After the rule ids we demand a separator (em dash, hyphen(s) or
+   colon) followed by a non-empty justification. *)
+let has_reason text i =
+  let n = String.length text in
+  let i = ref i in
+  while !i < n && (text.[!i] = ' ' || text.[!i] = '\t') do
+    incr i
+  done;
+  let em_dash = "\xe2\x80\x94" in
+  let sep_len =
+    if !i + 3 <= n && String.sub text !i 3 = em_dash then 3
+    else if !i < n && (text.[!i] = '-' || text.[!i] = ':') then begin
+      (* swallow runs of hyphens ("--") *)
+      let j = ref !i in
+      while !j < n && text.[!j] = '-' do
+        incr j
+      done;
+      if !j = !i then 1 else !j - !i
+    end
+    else 0
+  in
+  if sep_len = 0 then false
+  else begin
+    let rest = String.sub text (!i + sep_len) (n - !i - sep_len) in
+    (* Trim the comment close and whitespace; anything left is the
+       justification. *)
+    let rest =
+      match find_sub ~start:0 rest "*)" with
+      | Some k -> String.sub rest 0 k
+      | None -> rest
+    in
+    String.trim rest <> ""
+  end
+
+let scan ~file contents =
+  let lines = String.split_on_char '\n' contents in
+  let arr = Array.of_list lines in
+  let n = Array.length arr in
+  let supps = ref [] and malformed = ref [] in
+  Array.iteri
+    (fun idx line ->
+      match find_sub ~start:0 line marker with
+      | Some at when after_comment_opener line at ->
+          let lineno = idx + 1 in
+          let clause =
+            String.sub line
+              (at + String.length marker)
+              (String.length line - at - String.length marker)
+          in
+          let rules, after = parse_clause clause in
+          (* The comment may span lines; coverage runs through the
+             line after the close so the comment sits directly above
+             the code it excuses. *)
+          let close =
+            let rec find i =
+              if i >= n then idx
+              else
+                match find_sub ~start:0 arr.(i) "*)" with
+                | Some _ -> i
+                | None -> find (i + 1)
+            in
+            find idx
+          in
+          if rules = [] || not (has_reason clause after) then
+            malformed :=
+              Finding.v ~rule:"S001" ~file ~line:lineno ~col:at
+                "malformed suppression: expected `lint: allow <RULE>[, \
+                 <RULE>] \xe2\x80\x94 justification` right after the comment \
+                 opener"
+              :: !malformed
+          else
+            supps :=
+              { rules; first_line = lineno; last_line = close + 2 } :: !supps
+      | Some _ | None -> ())
+    arr;
+  (List.rev !supps, List.rev !malformed)
+
+let covers supps ~rule ~line =
+  List.exists
+    (fun s ->
+      line >= s.first_line && line <= s.last_line
+      && List.mem rule s.rules)
+    supps

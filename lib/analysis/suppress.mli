@@ -1,0 +1,27 @@
+(** Inline lint suppressions.
+
+    A comment of the form
+
+    {v (* lint: allow D003 — reason the rule does not apply here *) v}
+
+    silences the named rule(s) on the comment's own line(s) and on the
+    first line after the comment closes — i.e. put the comment
+    directly above (or at the end of) the offending line.  Several
+    rules may be listed, separated by commas or spaces.  The
+    justification after the dash is mandatory: a suppression without a
+    reason is itself reported (rule S001) and suppresses nothing. *)
+
+type t = {
+  rules : string list;  (** rule ids this suppression covers *)
+  first_line : int;  (** line the [lint: allow] marker is on (1-based) *)
+  last_line : int;  (** last covered line: one past the comment close *)
+}
+
+val scan : file:string -> string -> t list * Finding.t list
+(** [scan ~file contents] returns the well-formed suppressions plus
+    S001 findings for malformed ones ([lint: allow] markers missing
+    rule ids or a justification). *)
+
+val covers : t list -> rule:string -> line:int -> bool
+(** Is a finding of [rule] on [line] silenced by one of the scanned
+    suppressions? *)

@@ -97,7 +97,9 @@ let serve_worker () =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   (* Keep the result pipe private: stray [print_string]s from task
      code go to stderr instead of corrupting the protocol stream. *)
+  (* lint: allow D001 — claiming the result pipe: dup the real stdout away before task code can touch it. *)
   let out_fd = Unix.dup Unix.stdout in
+  (* lint: allow D001 — point further stdout writes at stderr so stray prints cannot corrupt the protocol. *)
   Unix.dup2 Unix.stderr Unix.stdout;
   let in_fd = Unix.stdin in
   let config : worker_config = Marshal.from_string (read_frame in_fd) 0 in

@@ -42,13 +42,16 @@ let build ~topology contributions =
           in
           walk hops)
     contributions;
+  (* Deterministic render order: bindings leave the table sorted by
+     endpoint key, and the *stable* utilization sort then breaks ties
+     by that key order — hash-bucket order can never leak into the
+     report (lint rule D002, golden byte-identity). *)
   let link_loads =
-    Hashtbl.fold
-      (fun key mbps acc ->
-        let link = Hashtbl.find shortest_between key in
-        { link; mbps; utilization = mbps /. (link.capacity_gbps *. 1000.) } :: acc)
-      loads []
-    |> List.sort (fun a b -> compare b.utilization a.utilization)
+    Tbl.sorted_bindings loads
+    |> List.map (fun (key, mbps) ->
+           let link = Hashtbl.find shortest_between key in
+           { link; mbps; utilization = mbps /. (link.capacity_gbps *. 1000.) })
+    |> List.stable_sort (fun a b -> compare b.utilization a.utilization)
   in
   {
     loads = link_loads;

@@ -54,8 +54,7 @@ let observe topology demands =
     node_out_mbps = node_out;
     node_in_mbps = node_in;
     link_mbps =
-      Hashtbl.fold (fun (a, b) load acc -> (a, b, load) :: acc) link_loads []
-      |> List.sort compare;
+      List.map (fun ((a, b), load) -> (a, b, load)) (Tbl.sorted_bindings link_loads);
   }
 
 let gravity obs =

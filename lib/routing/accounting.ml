@@ -72,7 +72,10 @@ module Snmp = struct
     let polls = (horizon_s + t.poll_interval_s - 1) / t.poll_interval_s in
     List.init t.n_tiers (fun tier ->
         let deltas = Array.make polls 0. in
-        Hashtbl.iter
+        (* Sorted traversal: each bucket owns its own slot, but routing
+           the walk through [Tbl] keeps the accumulation order a pure
+           function of the keys (lint rule D002). *)
+        Tbl.iter_sorted
           (fun bucket cell ->
             if bucket < polls then
               List.iter
@@ -101,11 +104,7 @@ let flow_based ~rib records =
           Hashtbl.replace by_tier tier
             (r.bytes +. Option.value ~default:0. (Hashtbl.find_opt by_tier tier)))
     records;
-  {
-    tier_bytes =
-      Hashtbl.fold (fun tier b acc -> (tier, b) :: acc) by_tier [] |> List.sort compare;
-    untiered_bytes = !untiered;
-  }
+  { tier_bytes = Tbl.sorted_bindings by_tier; untiered_bytes = !untiered }
 
 let rate_series ~rib ~interval_s ~horizon_s records =
   if interval_s <= 0 then invalid_arg "Accounting.rate_series: interval <= 0";
@@ -139,4 +138,4 @@ let rate_series ~rib ~interval_s ~horizon_s records =
               +. (per_s *. overlap *. 8. /. float_of_int interval_s /. 1e6)
           done)
     records;
-  Hashtbl.fold (fun tier s acc -> (tier, s) :: acc) by_tier [] |> List.sort compare
+  Tbl.sorted_bindings by_tier

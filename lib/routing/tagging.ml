@@ -17,8 +17,7 @@ let tier_counts rib =
             (1 + Option.value ~default:0 (Hashtbl.find_opt counts tier))
       | None -> ())
     (Rib.routes rib);
-  Hashtbl.fold (fun tier n acc -> (tier, n) :: acc) counts []
-  |> List.sort compare
+  Tbl.sorted_bindings counts
 
 let untiered_routes rib =
   List.filter

@@ -1,0 +1,32 @@
+(* Deterministic hash-table traversal: the one place in the tree where
+   a raw unordered traversal is allowed, because the stable sort below
+   erases the bucket order before anything escapes. *)
+
+let sorted_bindings ?(compare = Stdlib.compare) tbl =
+  (* lint: allow D002 — this helper IS the blessed sorted traversal; the stable sort erases hash order. *)
+  let bindings = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  (* [Hashtbl.fold] visits same-key bindings most-recent-first (that
+     much the stdlib does specify); a *stable* sort on the key alone
+     keeps that relative order while making the inter-key order a pure
+     function of the keys. *)
+  List.stable_sort (fun (ka, _) (kb, _) -> compare ka kb) bindings
+
+let fold_sorted ?compare f tbl init =
+  List.fold_left
+    (fun acc (k, v) -> f k v acc)
+    init
+    (sorted_bindings ?compare tbl)
+
+let iter_sorted ?compare f tbl =
+  List.iter (fun (k, v) -> f k v) (sorted_bindings ?compare tbl)
+
+let sorted_keys ?(compare = Stdlib.compare) tbl =
+  let keys = List.map fst (sorted_bindings ~compare tbl) in
+  (* Distinct: drop the shadowed duplicates that follow their most
+     recent binding. *)
+  let rec dedup = function
+    | a :: (b :: _ as rest) when compare a b = 0 -> dedup rest
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup keys

@@ -1,0 +1,307 @@
+(* The lint linting itself: fixture snippets per rule (positive +
+   negative), suppression-comment honoring, baseline add/remove
+   round-trips and the JSON-reporter schema.
+
+   Note on fixtures: suppression markers inside these string literals
+   are visible to the *repo* lint too (its scanner is textual), so
+   well-formed fixture suppressions use the ASCII '-' separator (they
+   are harmless no-ops at test_lint.ml's own scope) and malformed ones
+   are assembled by concatenation so the marker never appears
+   contiguously in this file. *)
+
+let lines = String.concat "\n"
+
+(* Statuses for [rule] in a one-fixture check. *)
+let statuses_of ~file contents rule =
+  Analysis.Lint.check_source ~file contents
+  |> List.filter_map (fun ((f : Analysis.Finding.t), status) ->
+         if f.Analysis.Finding.rule = rule then Some status else None)
+
+let check_rule ~file contents rule expected () =
+  Alcotest.(check int)
+    (Printf.sprintf "%s findings for %s in %s" rule file contents)
+    expected
+    (List.length (statuses_of ~file contents rule))
+
+(* --- one positive + one negative fixture per rule ------------------------- *)
+
+let d001 () =
+  check_rule ~file:"lib/fake/mod.ml" "let f () = print_endline \"x\"" "D001" 1
+    ();
+  check_rule ~file:"lib/fake/mod.ml" "let f () = Printf.printf \"%d\" 1" "D001"
+    1 ();
+  (* stderr and caller-supplied formatters are fine; bin/ owns stdout *)
+  check_rule ~file:"lib/fake/mod.ml"
+    "let f ppf = Format.fprintf ppf \"x\"; Printf.eprintf \"y\"" "D001" 0 ();
+  check_rule ~file:"bin/fake.ml" "let f () = print_endline \"x\"" "D001" 0 ()
+
+let d002 () =
+  check_rule ~file:"lib/fake/mod.ml"
+    "let f h = Hashtbl.fold (fun k v a -> (k, v) :: a) h []" "D002" 1 ();
+  check_rule ~file:"lib/fake/mod.ml" "let f h = Hashtbl.iter ignore h" "D002" 1
+    ();
+  check_rule ~file:"lib/fake/mod.ml" "let f h = Tbl.sorted_bindings h" "D002" 0
+    ();
+  (* point lookups are order-free *)
+  check_rule ~file:"lib/fake/mod.ml" "let f h k = Hashtbl.find_opt h k" "D002"
+    0 ();
+  check_rule ~file:"test/fake.ml" "let f h = Hashtbl.iter ignore h" "D002" 0 ()
+
+let d003 () =
+  check_rule ~file:"lib/core/capture.ml" "let t () = Unix.gettimeofday ()"
+    "D003" 1 ();
+  check_rule ~file:"lib/fake/mod.ml" "let s () = Random.self_init ()" "D003" 1
+    ();
+  (* the engine and the runner book wall time legitimately *)
+  check_rule ~file:"lib/engine/pool.ml" "let t () = Unix.gettimeofday ()"
+    "D003" 0 ();
+  check_rule ~file:"lib/core/runner.ml" "let t () = Sys.time ()" "D003" 0 ()
+
+let d004 () =
+  check_rule ~file:"lib/fake/mod.ml" "let f a b = a == b" "D004" 1 ();
+  check_rule ~file:"lib/fake/mod.ml" "let f a b = a != b" "D004" 1 ();
+  check_rule ~file:"lib/fake/mod.ml" "let f a b = a = b || a <> b" "D004" 0 ();
+  check_rule ~file:"test/fake.ml" "let f a b = a == b" "D004" 0 ()
+
+let h001 () =
+  check_rule ~file:"lib/fake/mod.ml" "let f () = exit 1" "H001" 1 ();
+  check_rule ~file:"lib/engine/proc.ml" "let f () = exit 0" "H001" 0 ();
+  check_rule ~file:"lib/fake/mod.ml" "let f () = raise Exit" "H001" 0 ();
+  check_rule ~file:"bin/fake.ml" "let f () = exit 2" "H001" 0 ()
+
+let h002 () =
+  check_rule ~file:"lib/fake/mod.ml" "let s v flags = Marshal.to_string v flags"
+    "H002" 1 ();
+  (* a bare Marshal.to_* passed around hides the flags decision too *)
+  check_rule ~file:"lib/fake/mod.ml" "let s = Marshal.to_string" "H002" 1 ();
+  check_rule ~file:"lib/fake/mod.ml" "let s v = Marshal.to_string v []" "H002"
+    0 ();
+  check_rule ~file:"lib/fake/mod.ml"
+    "let s v = Marshal.to_string v [ Marshal.Closures ]" "H002" 0 ();
+  (* H002 applies outside lib/ as well *)
+  check_rule ~file:"test/fake.ml" "let s v flags = Marshal.to_bytes v flags"
+    "H002" 1 ()
+
+let h003 () =
+  let findings =
+    Analysis.Rules.missing_interfaces
+      ~files:
+        [ "lib/a/x.ml"; "lib/a/x.mli"; "lib/a/y.ml"; "bin/z.ml"; "test/t.ml" ]
+  in
+  Alcotest.(check (list string))
+    "only the unpaired lib module"
+    [ "lib/a/y.ml" ]
+    (List.map (fun (f : Analysis.Finding.t) -> f.Analysis.Finding.file) findings);
+  List.iter
+    (fun (f : Analysis.Finding.t) ->
+      Alcotest.(check string) "rule id" "H003" f.Analysis.Finding.rule)
+    findings
+
+let parse_error () =
+  match statuses_of ~file:"lib/fake/mod.ml" "let let let" "E001" with
+  | [ Analysis.Finding.Active ] -> ()
+  | other ->
+      Alcotest.failf "expected one active E001, got %d" (List.length other)
+
+(* --- suppression honoring ------------------------------------------------- *)
+
+let suppression_honored () =
+  let fixture =
+    lines
+      [
+        "(* lint: allow D002 - fixture: order is erased downstream *)";
+        "let f h = Hashtbl.fold (fun k v a -> (k, v) :: a) h []";
+      ]
+  in
+  (match statuses_of ~file:"lib/fake/mod.ml" fixture "D002" with
+  | [ Analysis.Finding.Suppressed ] -> ()
+  | _ -> Alcotest.fail "comment-above suppression should mark Suppressed");
+  (* same-line form *)
+  let same_line =
+    "let f h = Hashtbl.iter ignore h (* lint: allow D002 - fixture *)"
+  in
+  (match statuses_of ~file:"lib/fake/mod.ml" same_line "D002" with
+  | [ Analysis.Finding.Suppressed ] -> ()
+  | _ -> Alcotest.fail "same-line suppression should mark Suppressed");
+  (* a suppression for a different rule must not silence D002 *)
+  let wrong_rule =
+    lines
+      [
+        "(* lint: allow D001 - fixture: wrong rule on purpose *)";
+        "let f h = Hashtbl.iter ignore h";
+      ]
+  in
+  (match statuses_of ~file:"lib/fake/mod.ml" wrong_rule "D002" with
+  | [ Analysis.Finding.Active ] -> ()
+  | _ -> Alcotest.fail "unrelated suppression must leave the finding Active");
+  (* coverage is tight: two lines below the comment is out of range *)
+  let too_far =
+    lines
+      [
+        "(* lint: allow D002 - fixture: too far above *)";
+        "let g = 1";
+        "let f h = Hashtbl.iter ignore h";
+      ]
+  in
+  match statuses_of ~file:"lib/fake/mod.ml" too_far "D002" with
+  | [ Analysis.Finding.Active ] -> ()
+  | _ -> Alcotest.fail "suppression must not reach two lines down"
+
+let suppression_malformed () =
+  (* Assembled by concatenation so the repo lint does not read this
+     test's own source as containing a malformed marker. *)
+  let missing_ids = "(* lint" ^ ": allow - no rule ids here *)\nlet x = 1" in
+  (match statuses_of ~file:"lib/fake/mod.ml" missing_ids "S001" with
+  | [ Analysis.Finding.Active ] -> ()
+  | other ->
+      Alcotest.failf "missing ids: expected one active S001, got %d"
+        (List.length other));
+  let missing_reason =
+    "(* lint" ^ ": allow D002 *)\nlet f h = Hashtbl.iter ignore h"
+  in
+  (match statuses_of ~file:"lib/fake/mod.ml" missing_reason "S001" with
+  | [ Analysis.Finding.Active ] -> ()
+  | other ->
+      Alcotest.failf "missing reason: expected one active S001, got %d"
+        (List.length other));
+  (* ... and a malformed suppression suppresses nothing *)
+  match statuses_of ~file:"lib/fake/mod.ml" missing_reason "D002" with
+  | [ Analysis.Finding.Active ] -> ()
+  | _ -> Alcotest.fail "malformed suppression must not silence the finding"
+
+(* --- baseline ------------------------------------------------------------- *)
+
+(* Pair every fixture module with an interface so H003 stays out of
+   the way of the rule under test. *)
+let violation_source = ("lib/fake/mod.ml", "let f () = print_endline \"x\"")
+let violation_mli = ("lib/fake/mod.mli", "val f : unit -> unit")
+
+let baseline_roundtrip () =
+  let outcome = Analysis.Lint.run_sources [ violation_source; violation_mli ] in
+  let active = Analysis.Lint.active outcome in
+  Alcotest.(check int) "one active before baselining" 1 (List.length active);
+  let entries = Analysis.Baseline.of_findings active in
+  let path = Filename.temp_file "tiered-lint-baseline" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Analysis.Baseline.save path entries;
+      let loaded =
+        match Analysis.Baseline.load path with
+        | Ok b -> b
+        | Error msg -> Alcotest.failf "baseline load: %s" msg
+      in
+      Alcotest.(check bool) "save/load round-trip" true (loaded = entries);
+      (* add: the baselined finding no longer fails the build *)
+      let outcome' =
+        Analysis.Lint.run_sources ~baseline:loaded
+          [ violation_source; violation_mli ]
+      in
+      Alcotest.(check int) "no active after baselining" 0
+        (List.length (Analysis.Lint.active outcome'));
+      Alcotest.(check int) "nothing stale while it still fires" 0
+        (List.length outcome'.Analysis.Lint.stale);
+      (* remove: once the violation is fixed the entry reads as stale *)
+      let fixed = ("lib/fake/mod.ml", "let f ppf = Format.fprintf ppf \"x\"") in
+      let outcome'' =
+        Analysis.Lint.run_sources ~baseline:loaded [ fixed; violation_mli ]
+      in
+      Alcotest.(check int) "fixed source stays clean" 0
+        (List.length (Analysis.Lint.active outcome''));
+      Alcotest.(check int) "entry reported stale" 1
+        (List.length outcome''.Analysis.Lint.stale))
+
+let baseline_missing_file () =
+  match Analysis.Baseline.load "/nonexistent/lint/baseline.json" with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "missing baseline must read as empty"
+  | Error msg -> Alcotest.failf "missing baseline must not error: %s" msg
+
+(* --- JSON reporter schema -------------------------------------------------- *)
+
+let json_schema () =
+  let outcome =
+    Analysis.Lint.run_sources
+      [
+        violation_source;
+        violation_mli;
+        ("lib/fake/clean.ml", "let ok = 42");
+        ("lib/fake/clean.mli", "val ok : int");
+      ]
+  in
+  let rendered =
+    Analysis.Json.to_string
+      (Analysis.Reporter.json ~reported:outcome.Analysis.Lint.reported
+         ~stale:outcome.Analysis.Lint.stale)
+  in
+  let json =
+    match Analysis.Json.of_string rendered with
+    | Ok j -> j
+    | Error msg -> Alcotest.failf "report does not re-parse: %s" msg
+  in
+  let field name j =
+    match Analysis.Json.member name j with
+    | Some v -> v
+    | None -> Alcotest.failf "missing %S field" name
+  in
+  Alcotest.(check (option int))
+    "version" (Some 1)
+    (Analysis.Json.to_int (field "version" json));
+  Alcotest.(check (option string))
+    "tool" (Some "tiered-lint")
+    (Analysis.Json.to_str (field "tool" json));
+  let findings =
+    match Analysis.Json.to_list (field "findings" json) with
+    | Some l -> l
+    | None -> Alcotest.fail "findings must be a list"
+  in
+  Alcotest.(check bool) "at least one finding" true (findings <> []);
+  List.iter
+    (fun f ->
+      List.iter
+        (fun key -> ignore (field key f))
+        [ "rule"; "file"; "line"; "col"; "message"; "status" ];
+      match Analysis.Json.to_str (field "status" f) with
+      | Some ("active" | "suppressed" | "baselined") -> ()
+      | _ -> Alcotest.fail "status must be a known enum value")
+    findings;
+  let summary = field "summary" json in
+  List.iter
+    (fun key ->
+      match Analysis.Json.to_int (field key summary) with
+      | Some n when n >= 0 -> ()
+      | _ -> Alcotest.failf "summary.%s must be a non-negative int" key)
+    [ "active"; "suppressed"; "baselined"; "stale_baseline" ];
+  (* count consistency: summary.active equals the active findings *)
+  Alcotest.(check (option int))
+    "summary.active consistent"
+    (Some (List.length (Analysis.Lint.active outcome)))
+    (Analysis.Json.to_int (field "active" summary))
+
+let catalog_closed () =
+  (* Every rule id the checker can emit is documented in the catalog. *)
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (id ^ " catalogued") true (Analysis.Rules.known id))
+    [ "D001"; "D002"; "D003"; "D004"; "H001"; "H002"; "H003"; "S001"; "E001" ]
+
+let suite =
+  [
+    Alcotest.test_case "D001 stdout writes" `Quick d001;
+    Alcotest.test_case "D002 raw Hashtbl traversal" `Quick d002;
+    Alcotest.test_case "D003 clock/randomness whitelist" `Quick d003;
+    Alcotest.test_case "D004 physical equality" `Quick d004;
+    Alcotest.test_case "H001 exit outside worker entry" `Quick h001;
+    Alcotest.test_case "H002 Marshal flags literal" `Quick h002;
+    Alcotest.test_case "H003 paired .mli" `Quick h003;
+    Alcotest.test_case "E001 parse failure" `Quick parse_error;
+    Alcotest.test_case "suppressions honored" `Quick suppression_honored;
+    Alcotest.test_case "malformed suppressions flagged" `Quick
+      suppression_malformed;
+    Alcotest.test_case "baseline add/remove round-trip" `Quick
+      baseline_roundtrip;
+    Alcotest.test_case "missing baseline reads empty" `Quick
+      baseline_missing_file;
+    Alcotest.test_case "JSON reporter schema" `Quick json_schema;
+    Alcotest.test_case "rule catalog closed" `Quick catalog_closed;
+  ]

@@ -60,4 +60,5 @@ let () =
       ("cross-module properties", Test_properties.suite);
       ("edge cases", Test_edge_cases.suite);
       ("integration", Test_integration.suite);
+      ("analysis.lint", Test_lint.suite);
     ]
