@@ -1,13 +1,16 @@
 # Convenience wrappers around dune. `make bench-json` regenerates
 # BENCH_sweep.json (serial-vs-parallel timings of the full experiment
-# grid) and `make bench-pool` regenerates BENCH_pool.json (per-backend
-# task-dispatch overhead at 1/10/100 ms granularity) so the perf
-# trajectory accumulates across PRs. `make
-# golden-regen` re-renders every registry experiment and promotes the
-# result into test/golden/ — run it (and commit the diff) after an
-# intentional output change.
+# grid), `make bench-pool` regenerates BENCH_pool.json (per-backend
+# task-dispatch overhead at 1/10/100 ms granularity), and `make
+# bench-dp` regenerates BENCH_dp.json (tier-DP kernel: divide-and-
+# conquer vs exact quadratic across demand specs and market sizes —
+# the n=50k exact legs make this the slow one; `make bench-dp-smoke`
+# is the small-n CI variant) so the perf trajectory accumulates
+# across PRs. `make golden-regen` re-renders every registry
+# experiment and promotes the result into test/golden/ — run it (and
+# commit the diff) after an intentional output change.
 
-.PHONY: all build test bench bench-json bench-pool golden-regen smoke smoke-procs lint lint-baseline clean
+.PHONY: all build test bench bench-json bench-pool bench-dp bench-dp-smoke golden-regen smoke smoke-procs lint lint-baseline clean
 
 all: build
 
@@ -25,6 +28,12 @@ bench-json:
 
 bench-pool:
 	dune exec bench/main.exe -- pool
+
+bench-dp:
+	dune exec bench/main.exe -- dp
+
+bench-dp-smoke:
+	dune exec bench/main.exe -- dp --dp-sizes=1000,4000 --dp-max-exact=4000
 
 # Rewrite test/golden/*.expected from the current code. The second
 # pass re-checks the diffs so a failed promote cannot pass silently.

@@ -5,7 +5,7 @@
 
    Usage: dune exec bench/main.exe [section ...]
    with sections among: experiments fig2 fig17 ablations extensions
-   sweep pool micro (default: all). A specific experiment id (e.g.
+   sweep pool dp micro (default: all). A specific experiment id (e.g.
    fig8) also works.
 
    The experiments section executes on the Engine pool
@@ -1079,6 +1079,183 @@ let run_pool_bench () =
   close_out oc;
   Format.fprintf ppf "@.wrote BENCH_pool.json@."
 
+(* --- dp: tier-DP kernel, quadratic vs divide-and-conquer ------------------- *)
+
+(* Times [Numerics.Segdp.solve] (divide-and-conquer layers with the
+   Monge spot-check) against [Numerics.Segdp.solve_quadratic] (the
+   exact O(B n^2) reference) on the exact seg_value the Optimal
+   strategy runs ([Strategy.dp_inputs]), across demand specs and
+   synthetic market sizes built from the eu_isp calibration via the
+   Workload scale suffix (eu_isp@N). Cuts must agree wherever both
+   legs run — the run aborts otherwise — and the comparison lands in
+   BENCH_dp.json. The quadratic leg is skipped (null) above
+   [--dp-max-exact] flows, where O(n^2) rows stop being a benchmark
+   and start being a stress test. *)
+
+type dp_case = {
+  dc_spec : string;
+  dc_n : int;
+  dc_bundles : int;
+  dc_fast_s : float;
+  dc_fast_evals : int;
+  dc_fallback_layers : int;
+  dc_quad_s : float option;
+  dc_quad_evals : int option;
+  dc_speedup : float option;
+  dc_cuts_identical : bool option;
+}
+
+(* Wall-clock one run; re-run small cases until ~0.2 s total so the
+   per-solve figure is not timer noise. *)
+let dp_time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  if dt >= 0.2 then (r, dt)
+  else begin
+    let reps = max 1 (int_of_float (Float.ceil (0.2 /. Float.max 1e-6 dt))) in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    let total = dt +. (Unix.gettimeofday () -. t0) in
+    (r, total /. float_of_int (reps + 1))
+  end
+
+let run_dp_bench ~sizes ~bundle_counts ~max_exact () =
+  section "DP: tier-partition kernel, quadratic vs divide-and-conquer";
+  let specs =
+    [
+      ("ced", Market.Ced);
+      ("logit", Market.Logit { s0 = Experiment.Defaults.s0 });
+      ("linear", Market.Linear { epsilon = 1.8 });
+    ]
+  in
+  let cases =
+    List.concat_map
+      (fun (spec_name, spec) ->
+        List.concat_map
+          (fun n ->
+            let m = Experiment.market ~spec (Printf.sprintf "eu_isp@%d" n) in
+            let n = Market.n_flows m in
+            let _order, seg_value = Strategy.dp_inputs m in
+            List.map
+              (fun b ->
+                Format.fprintf ppf "  %s n=%d B=%d...@?" spec_name n b;
+                let fast, fast_s =
+                  dp_time (fun () -> Numerics.Segdp.solve ~n ~n_bundles:b seg_value)
+                in
+                let quad =
+                  if n > max_exact then None
+                  else
+                    Some
+                      (dp_time (fun () ->
+                           Numerics.Segdp.solve_quadratic ~n ~n_bundles:b seg_value))
+                in
+                let cuts_identical =
+                  Option.map
+                    (fun ((q : Numerics.Segdp.result), _) ->
+                      q.Numerics.Segdp.cuts = fast.Numerics.Segdp.cuts
+                      && Float.equal q.Numerics.Segdp.value fast.Numerics.Segdp.value)
+                    quad
+                in
+                (match cuts_identical with
+                | Some false ->
+                    failwith
+                      (Printf.sprintf
+                         "bench dp: divide-and-conquer cuts diverged from the \
+                          quadratic DP (%s, n=%d, B=%d)"
+                         spec_name n b)
+                | Some true | None -> ());
+                let speedup =
+                  Option.map (fun (_, quad_s) -> quad_s /. fast_s) quad
+                in
+                Format.fprintf ppf " %.4fs fast%s@." fast_s
+                  (match quad with
+                  | None -> ", quadratic skipped"
+                  | Some (_, quad_s) -> Printf.sprintf ", %.4fs quadratic" quad_s);
+                {
+                  dc_spec = spec_name;
+                  dc_n = n;
+                  dc_bundles = b;
+                  dc_fast_s = fast_s;
+                  dc_fast_evals = fast.Numerics.Segdp.stats.Numerics.Segdp.evaluations;
+                  dc_fallback_layers =
+                    fast.Numerics.Segdp.stats.Numerics.Segdp.fallback_layers;
+                  dc_quad_s = Option.map snd quad;
+                  dc_quad_evals =
+                    Option.map
+                      (fun ((q : Numerics.Segdp.result), _) ->
+                        q.Numerics.Segdp.stats.Numerics.Segdp.evaluations)
+                      quad;
+                  dc_speedup = speedup;
+                  dc_cuts_identical = cuts_identical;
+                })
+              bundle_counts)
+          sizes)
+      specs
+  in
+  let opt_cell f = function None -> "-" | Some v -> f v in
+  Report.print ppf
+    (Report.make
+       ~title:
+         (Printf.sprintf
+            "Tier-DP kernel wall clock (eu_isp@@N synthetic markets, exact leg \
+             up to n=%d)"
+            max_exact)
+       ~header:
+         [ "demand"; "n"; "B"; "d&c (s)"; "evals"; "fallbacks"; "quadratic (s)";
+           "speedup"; "cuts =" ]
+       (List.map
+          (fun c ->
+            [
+              c.dc_spec;
+              string_of_int c.dc_n;
+              string_of_int c.dc_bundles;
+              Printf.sprintf "%.4f" c.dc_fast_s;
+              string_of_int c.dc_fast_evals;
+              string_of_int c.dc_fallback_layers;
+              opt_cell (Printf.sprintf "%.4f") c.dc_quad_s;
+              opt_cell (Printf.sprintf "%.1fx") c.dc_speedup;
+              opt_cell (fun b -> if b then "yes" else "NO") c.dc_cuts_identical;
+            ])
+          cases)
+       ~notes:
+         [
+           "both solvers run the seg_value of Strategy.dp_inputs; cuts are \
+            asserted identical wherever the quadratic leg runs";
+         ]);
+  let oc = open_out "BENCH_dp.json" in
+  let json_opt f = function None -> "null" | Some v -> f v in
+  output_string oc
+    (Printf.sprintf
+       "{\n\
+       \  \"grid\": \"tier-dp\",\n\
+       \  \"workload\": \"eu_isp@N (scale suffix over the eu_isp calibration)\",\n\
+       \  \"max_exact_n\": %d,\n\
+       \  \"cases\": [\n%s\n\
+       \  ]\n\
+        }\n"
+       max_exact
+       (String.concat ",\n"
+          (List.map
+             (fun c ->
+               Printf.sprintf
+                 "    {\"spec\": \"%s\", \"n\": %d, \"bundles\": %d, \
+                  \"fast_s\": %.6f, \"fast_evals\": %d, \
+                  \"fallback_layers\": %d, \"quadratic_s\": %s, \
+                  \"quadratic_evals\": %s, \"speedup\": %s, \
+                  \"cuts_identical\": %s}"
+                 c.dc_spec c.dc_n c.dc_bundles c.dc_fast_s c.dc_fast_evals
+                 c.dc_fallback_layers
+                 (json_opt (Printf.sprintf "%.6f") c.dc_quad_s)
+                 (json_opt string_of_int c.dc_quad_evals)
+                 (json_opt (Printf.sprintf "%.4f") c.dc_speedup)
+                 (json_opt (Printf.sprintf "%b") c.dc_cuts_identical))
+             cases)));
+  close_out oc;
+  Format.fprintf ppf "@.wrote BENCH_dp.json@."
+
 (* --- micro-benchmarks ----------------------------------------------------- *)
 
 let run_micro () =
@@ -1179,6 +1356,37 @@ let () =
         | _ -> acc)
       None raw_args
   in
+  (* dp-section knobs: --dp-sizes=1000,10000 --dp-bundles=3,10
+     --dp-max-exact=50000 (the CI smoke shrinks all three). *)
+  let flag_value name =
+    List.fold_left
+      (fun acc a ->
+        match String.index_opt a '=' with
+        | Some i when String.sub a 0 i = name ->
+            Some (String.sub a (i + 1) (String.length a - i - 1))
+        | _ -> acc)
+      None raw_args
+  in
+  let int_list_flag name default =
+    match flag_value name with
+    | None -> default
+    | Some v ->
+        let parts = String.split_on_char ',' v in
+        let ints = List.filter_map int_of_string_opt parts in
+        if List.length ints <> List.length parts || ints = [] then
+          failwith (name ^ ": expected a comma-separated list of ints")
+        else ints
+  in
+  let dp_sizes = int_list_flag "--dp-sizes" [ 1_000; 10_000; 50_000; 200_000 ] in
+  let dp_bundles = int_list_flag "--dp-bundles" [ 3; 10 ] in
+  let dp_max_exact =
+    match flag_value "--dp-max-exact" with
+    | None -> 50_000
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some n -> n
+        | None -> failwith "--dp-max-exact: expected an int")
+  in
   let use_cache = List.mem "--cache" raw_args || cache_max_bytes <> None in
   if use_cache then
     Engine.Cache.enable_disk ?max_bytes:cache_max_bytes ~dir:"_cache" ();
@@ -1203,6 +1411,9 @@ let () =
     if want "extensions" then run_extensions ();
     if want "sweep" then run_sweep_bench ();
     if want "pool" then run_pool_bench ();
+    if want "dp" then
+      run_dp_bench ~sizes:dp_sizes ~bundle_counts:dp_bundles
+        ~max_exact:dp_max_exact ();
     if want "micro" then run_micro ()
   end;
   Format.fprintf ppf "@."

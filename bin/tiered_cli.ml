@@ -23,9 +23,20 @@ let ppf = Format.std_formatter
 (* --- shared argument parsers -------------------------------------------- *)
 
 let network_conv =
+  (* A network may carry a synthetic scale suffix, e.g. eu_isp@200000:
+     the same calibration with n_flows overridden (Workload.preset). *)
   let parse s =
-    if List.mem s Netsim.Presets.all_names then Ok s
-    else Error (`Msg ("unknown network: " ^ s ^ " (expected eu_isp, cdn or internet2)"))
+    let base =
+      match String.index_opt s '@' with
+      | None -> s
+      | Some i -> String.sub s 0 i
+    in
+    if not (List.mem base Netsim.Presets.all_names) then
+      Error (`Msg ("unknown network: " ^ s ^ " (expected eu_isp, cdn or internet2, optionally name@N)"))
+    else
+      match Flowgen.Workload.preset_params s with
+      | (_ : Flowgen.Workload.params) -> Ok s
+      | exception Invalid_argument msg -> Error (`Msg msg)
   in
   Arg.conv (parse, Format.pp_print_string)
 

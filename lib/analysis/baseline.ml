@@ -7,7 +7,12 @@ let entry_of_finding (f : Finding.t) =
   { rule = f.Finding.rule; file = f.Finding.file; line = f.Finding.line }
 
 let compare_entry a b =
-  Stdlib.compare (a.file, a.line, a.rule) (b.file, b.line, b.rule)
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> String.compare a.rule b.rule
+      | c -> c)
+  | c -> c
 
 let of_findings findings =
   findings |> List.map entry_of_finding |> List.sort_uniq compare_entry

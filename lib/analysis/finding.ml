@@ -20,10 +20,21 @@ let of_location ~rule ~file (loc : Location.t) message =
     message;
   }
 
+(* Monomorphic lexicographic chain — same order as the old tuple
+   [Stdlib.compare]; rule D005 keeps bare [compare] out of lib/. *)
 let compare a b =
-  Stdlib.compare
-    (a.file, a.line, a.col, a.rule, a.message)
-    (b.file, b.line, b.col, b.rule, b.message)
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> (
+              match String.compare a.rule b.rule with
+              | 0 -> String.compare a.message b.message
+              | c -> c)
+          | c -> c)
+      | c -> c)
+  | c -> c
 
 let status_to_string = function
   | Active -> "active"

@@ -43,6 +43,20 @@ let catalog =
          token is always available.";
     };
     {
+      id = "D005";
+      title = "no bare polymorphic compare in lib/";
+      rationale =
+        "Stdlib.compare walks the runtime representation: on \
+         float-bearing keys its NaN/-0. ordering is representational \
+         rather than the IEEE semantics the surrounding arithmetic \
+         assumes, it costs a C call per comparison on hot sort paths, \
+         and it raises on functional values that later sneak into a \
+         key.  The check is untyped and therefore flags every bare \
+         `compare` in lib/ \xe2\x80\x94 spell out Float.compare / Int.compare / \
+         String.compare or a typed comparator (Tbl's deliberately \
+         polymorphic default carries the one blessed suppression).";
+    };
+    {
       id = "H001";
       title = "no exit in lib/ outside the Engine.Proc worker entry";
       rationale =
@@ -144,6 +158,11 @@ let d001_idents =
 let d002_idents = [ "Hashtbl.iter"; "Hashtbl.fold" ]
 let d003_idents = [ "Unix.gettimeofday"; "Sys.time"; "Random.self_init" ]
 let d004_idents = [ "=="; "!=" ]
+
+(* D005: [canonical] already folds [Stdlib.compare] to [compare], so one
+   name covers both spellings; qualified comparators (Float.compare,
+   Finding.compare, ...) canonicalize to their qualified names and pass. *)
+let d005_idents = [ "compare" ]
 let h001_idents = [ "exit"; "Unix._exit" ]
 
 let marshal_idents =
@@ -201,6 +220,14 @@ let check_structure ~file str =
            "physical equality `%s` observes sharing, which varies with \
             cache hits and backend \xe2\x80\x94 use structural equality or an \
             explicit token"
+           name);
+    if lib && List.mem name d005_idents then
+      add ~rule:"D005" loc
+        (Printf.sprintf
+           "bare polymorphic `%s` \xe2\x80\x94 representational ordering on \
+            float-bearing keys and a C call per comparison; use \
+            Float.compare / Int.compare / String.compare or a typed \
+            comparator"
            name);
     if lib && (not (worker_entry file)) && List.mem name h001_idents then
       add ~rule:"H001" loc

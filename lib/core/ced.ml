@@ -28,12 +28,19 @@ let check_bundle valuations costs =
     invalid_arg "Ced: valuations/costs length mismatch";
   if Array.length valuations = 0 then invalid_arg "Ced: empty bundle"
 
+let bundle_price_pow ~alpha ~pow_valuations ~costs =
+  check_alpha alpha;
+  check_bundle pow_valuations costs;
+  let n = Array.length pow_valuations in
+  alpha
+  *. Numerics.Stats.sum_init n (fun i -> costs.(i) *. pow_valuations.(i))
+  /. ((alpha -. 1.) *. Numerics.Stats.sum pow_valuations)
+
 let bundle_price ~alpha ~valuations ~costs =
   check_alpha alpha;
-  check_bundle valuations costs;
-  let va = Array.map (fun v -> v ** alpha) valuations in
-  let cva = Array.map2 (fun c w -> c *. w) costs va in
-  alpha *. Numerics.Stats.sum cva /. ((alpha -. 1.) *. Numerics.Stats.sum va)
+  bundle_price_pow ~alpha
+    ~pow_valuations:(Array.map (fun v -> v ** alpha) valuations)
+    ~costs
 
 let bundle_profit ~alpha ~valuations ~costs ~price =
   check_bundle valuations costs;

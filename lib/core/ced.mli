@@ -29,6 +29,12 @@ val bundle_price : alpha:float -> valuations:float array -> costs:float array ->
 (** Eq. 5: the profit-maximizing common price of a bundle,
     [alpha * sum c_i v_i^alpha / ((alpha - 1) * sum v_i^alpha)]. *)
 
+val bundle_price_pow :
+  alpha:float -> pow_valuations:float array -> costs:float array -> float
+(** [bundle_price] taking the already-raised [v_i ** alpha] (e.g.
+    {!Market.pow_valuations}), skipping the power per call on the hot
+    pricing path. Bit-identical to [bundle_price]. *)
+
 val bundle_profit :
   alpha:float -> valuations:float array -> costs:float array -> price:float -> float
 (** Total profit of the bundle members at a common price. *)

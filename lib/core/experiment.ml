@@ -86,7 +86,8 @@ let dataset_cache : Flow.t array Engine.Cache.t =
   Engine.Cache.create ~name:"dataset" ~schema:"dataset/1" ()
 
 let market_cache : Market.t Engine.Cache.t =
-  Engine.Cache.create ~name:"market" ~schema:"market/1" ()
+  (* market/2: Market.t grew the lazily-filled memo field. *)
+  Engine.Cache.create ~name:"market" ~schema:"market/2" ()
 
 let context_cache : Capture.context Engine.Cache.t =
   Engine.Cache.create ~name:"context" ~schema:"context/1" ()

@@ -5,6 +5,23 @@ let demand_spec_name = function
   | Logit _ -> "logit"
   | Linear _ -> "linear"
 
+(* Derived per-flow arrays the hot paths keep re-asking for. Each field
+   is a deterministic pure function of the immutable fit parameters, so
+   the lazy initialization is a benign race under the domain pool: two
+   domains may both compute the same array and one write wins, and any
+   reader sees either [None] (recompute) or a fully built array. Plain
+   mutable options rather than [Lazy.t] so markets stay marshallable
+   with empty flags (the disk cache tier and the procs backend both
+   Marshal them). *)
+type memo = {
+  mutable pow_valuations : float array option;
+  mutable linear_b : float array option;
+  mutable potential_profits : float array option;
+}
+
+let fresh_memo () =
+  { pow_valuations = None; linear_b = None; potential_profits = None }
+
 type t = {
   flows : Flow.t array;
   spec : demand_spec;
@@ -15,6 +32,7 @@ type t = {
   costs : float array;
   gamma : float;
   k : float;
+  memo : memo;
 }
 
 let fit ~spec ~alpha ~p0 ~cost_model flows =
@@ -33,12 +51,18 @@ let fit ~spec ~alpha ~p0 ~cost_model flows =
       in
       let gamma = Ced.gamma ~alpha ~p0 ~valuations ~rel_costs in
       let costs = Array.map (fun f -> gamma *. f) rel_costs in
-      { flows; spec; alpha; p0; cost_model; valuations; costs; gamma; k = Float.nan }
+      {
+        flows; spec; alpha; p0; cost_model; valuations; costs; gamma;
+        k = Float.nan; memo = fresh_memo ();
+      }
   | Logit { s0 } ->
       let { Logit.valuations; k; _ } = Logit.fit_valuations ~alpha ~p0 ~s0 ~demands in
       let gamma = Logit.gamma ~alpha ~p0 ~s0 ~valuations ~rel_costs in
       let costs = Array.map (fun f -> gamma *. f) rel_costs in
-      { flows; spec; alpha; p0; cost_model; valuations; costs; gamma; k }
+      {
+        flows; spec; alpha; p0; cost_model; valuations; costs; gamma; k;
+        memo = fresh_memo ();
+      }
   | Linear { epsilon } ->
       Lin.check_epsilon epsilon;
       let valuations =
@@ -46,15 +70,35 @@ let fit ~spec ~alpha ~p0 ~cost_model flows =
       in
       let gamma = Lin.gamma ~epsilon ~p0 ~demands ~rel_costs in
       let costs = Array.map (fun f -> gamma *. f) rel_costs in
-      { flows; spec; alpha; p0; cost_model; valuations; costs; gamma; k = Float.nan }
+      {
+        flows; spec; alpha; p0; cost_model; valuations; costs; gamma;
+        k = Float.nan; memo = fresh_memo ();
+      }
 
 let n_flows t = Array.length t.flows
 
 let linear_b t =
   match t.spec with
-  | Linear { epsilon } ->
-      Array.map (fun (f : Flow.t) -> epsilon *. f.Flow.demand_mbps /. t.p0) t.flows
+  | Linear { epsilon } -> (
+      match t.memo.linear_b with
+      | Some b -> b
+      | None ->
+          let b =
+            Array.map
+              (fun (f : Flow.t) -> epsilon *. f.Flow.demand_mbps /. t.p0)
+              t.flows
+          in
+          t.memo.linear_b <- Some b;
+          b)
   | Ced | Logit _ -> invalid_arg "Market.linear_b: not a linear-demand market"
+
+let pow_valuations t =
+  match t.memo.pow_valuations with
+  | Some p -> p
+  | None ->
+      let p = Array.map (fun v -> v ** t.alpha) t.valuations in
+      t.memo.pow_valuations <- Some p;
+      p
 
 let of_parameters ~spec ~alpha ?p0 ?(k = 1.) ~valuations ~costs flows =
   if Array.length flows = 0 then invalid_arg "Market.of_parameters: no flows";
@@ -95,21 +139,30 @@ let of_parameters ~spec ~alpha ?p0 ?(k = 1.) ~valuations ~costs flows =
     costs;
     gamma = 1.;
     k = (match spec with Ced | Linear _ -> Float.nan | Logit _ -> k);
+    memo = fresh_memo ();
   }
 
 let potential_profits t =
-  match t.spec with
-  | Ced ->
-      Array.init (n_flows t) (fun i ->
-          Ced.potential_profit ~alpha:t.alpha ~v:t.valuations.(i) ~c:t.costs.(i))
-  | Logit _ ->
-      (* Eq. 13: potential profit is K s_i / (alpha s_0), proportional to
-         the observed demand. *)
-      Flow.demands t.flows
-  | Linear _ ->
-      let b = linear_b t in
-      Array.init (n_flows t) (fun i ->
-          Lin.potential_profit ~a:t.valuations.(i) ~b:b.(i) ~c:t.costs.(i))
+  match t.memo.potential_profits with
+  | Some p -> p
+  | None ->
+      let p =
+        match t.spec with
+        | Ced ->
+            Array.init (n_flows t) (fun i ->
+                Ced.potential_profit ~alpha:t.alpha ~v:t.valuations.(i)
+                  ~c:t.costs.(i))
+        | Logit _ ->
+            (* Eq. 13: potential profit is K s_i / (alpha s_0),
+               proportional to the observed demand. *)
+            Flow.demands t.flows
+        | Linear _ ->
+            let b = linear_b t in
+            Array.init (n_flows t) (fun i ->
+                Lin.potential_profit ~a:t.valuations.(i) ~b:b.(i) ~c:t.costs.(i))
+      in
+      t.memo.potential_profits <- Some p;
+      p
 
 let pp ppf t =
   Format.fprintf ppf "%s market: %d flows, alpha=%g, p0=%g, %a, gamma=%.4g"

@@ -18,6 +18,12 @@ type demand_spec =
 
 val demand_spec_name : demand_spec -> string
 
+type memo
+(** Lazily filled per-market derived arrays ([v_i^alpha], linear slopes,
+    profit potentials). Deterministic pure functions of the fit, so the
+    lazy fill is a benign race under the domain pool; kept as plain
+    mutable options so markets stay marshallable with empty flags. *)
+
 type t = private {
   flows : Flow.t array;
   spec : demand_spec;
@@ -30,6 +36,7 @@ type t = private {
   costs : float array;  (** Absolute costs [gamma * f(d_i)], per flow. *)
   gamma : float;
   k : float;  (** Logit population; [nan] under CED. *)
+  memo : memo;
 }
 
 val fit :
@@ -45,8 +52,14 @@ val fit :
     cover the implied margin (see {!Logit.gamma}). *)
 
 val linear_b : t -> float array
-(** The [b_i] slope coefficients of a [Linear] market (recomputed from
-    the observed demands). Raises [Invalid_argument] on other specs. *)
+(** The [b_i] slope coefficients of a [Linear] market (derived from the
+    observed demands, memoized on first use — do not mutate). Raises
+    [Invalid_argument] on other specs. *)
+
+val pow_valuations : t -> float array
+(** Per-flow [v_i ** alpha], memoized on first use (do not mutate). The
+    CED segment DP and bundle pricing are dominated by this power when
+    recomputed per call. *)
 
 val of_parameters :
   spec:demand_spec ->

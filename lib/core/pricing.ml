@@ -16,110 +16,93 @@ let flow_prices_of_bundle_prices market bundles prices =
   let owner = Bundle.member_of bundles ~n_flows:n in
   Array.init n (fun i -> prices.(owner.(i)))
 
-(* Assemble an outcome from per-flow prices under either demand model. *)
+(* Assemble an outcome from per-flow prices under either demand model.
+   The aggregate statistics run through [Stats.sum_init] — one pass per
+   statistic, no [Array.init] temporaries, and each Kahan accumulator
+   sees the same addend sequence as the materialized version, so the
+   totals are bit-identical (the goldens pin this). *)
 let outcome_at market bundles bundle_prices =
   let { Market.alpha; valuations; costs; k; spec; _ } = market in
   let flow_prices = flow_prices_of_bundle_prices market bundles bundle_prices in
   let n = Market.n_flows market in
+  let assemble ~flow_demands ~consumer_surplus =
+    let revenue =
+      Numerics.Stats.sum_init n (fun i -> flow_prices.(i) *. flow_demands.(i))
+    in
+    let delivery_cost =
+      Numerics.Stats.sum_init n (fun i -> costs.(i) *. flow_demands.(i))
+    in
+    {
+      bundles;
+      bundle_prices;
+      flow_prices;
+      flow_demands;
+      profit = revenue -. delivery_cost;
+      revenue;
+      delivery_cost;
+      consumer_surplus;
+    }
+  in
   match spec with
   | Market.Ced ->
       let flow_demands =
         Array.init n (fun i -> Ced.demand ~alpha ~v:valuations.(i) flow_prices.(i))
       in
-      let revenue =
-        Numerics.Stats.sum (Array.init n (fun i -> flow_prices.(i) *. flow_demands.(i)))
-      in
-      let delivery_cost =
-        Numerics.Stats.sum (Array.init n (fun i -> costs.(i) *. flow_demands.(i)))
-      in
-      let consumer_surplus =
-        Numerics.Stats.sum
-          (Array.init n (fun i ->
+      assemble ~flow_demands
+        ~consumer_surplus:
+          (Numerics.Stats.sum_init n (fun i ->
                Ced.consumer_surplus ~alpha ~v:valuations.(i) flow_prices.(i)))
-      in
-      {
-        bundles;
-        bundle_prices;
-        flow_prices;
-        flow_demands;
-        profit = revenue -. delivery_cost;
-        revenue;
-        delivery_cost;
-        consumer_surplus;
-      }
   | Market.Linear _ ->
       let b = Market.linear_b market in
       let flow_demands =
         Array.init n (fun i -> Lin.demand ~a:valuations.(i) ~b:b.(i) flow_prices.(i))
       in
-      let revenue =
-        Numerics.Stats.sum (Array.init n (fun i -> flow_prices.(i) *. flow_demands.(i)))
-      in
-      let delivery_cost =
-        Numerics.Stats.sum (Array.init n (fun i -> costs.(i) *. flow_demands.(i)))
-      in
-      let consumer_surplus =
-        Numerics.Stats.sum
-          (Array.init n (fun i ->
+      assemble ~flow_demands
+        ~consumer_surplus:
+          (Numerics.Stats.sum_init n (fun i ->
                Lin.consumer_surplus ~a:valuations.(i) ~b:b.(i) flow_prices.(i)))
-      in
-      {
-        bundles;
-        bundle_prices;
-        flow_prices;
-        flow_demands;
-        profit = revenue -. delivery_cost;
-        revenue;
-        delivery_cost;
-        consumer_surplus;
-      }
   | Market.Logit _ ->
       let flow_demands = Logit.demands_at ~alpha ~k ~valuations ~prices:flow_prices in
-      let revenue =
-        Numerics.Stats.sum (Array.init n (fun i -> flow_prices.(i) *. flow_demands.(i)))
-      in
-      let delivery_cost =
-        Numerics.Stats.sum (Array.init n (fun i -> costs.(i) *. flow_demands.(i)))
-      in
-      let consumer_surplus =
-        Logit.consumer_surplus ~alpha ~k ~valuations ~prices:flow_prices
-      in
-      {
-        bundles;
-        bundle_prices;
-        flow_prices;
-        flow_demands;
-        profit = revenue -. delivery_cost;
-        revenue;
-        delivery_cost;
-        consumer_surplus;
-      }
+      assemble ~flow_demands
+        ~consumer_surplus:
+          (Logit.consumer_surplus ~alpha ~k ~valuations ~prices:flow_prices)
 
 let optimal_bundle_prices market bundles =
   let { Market.alpha; valuations; costs; spec; _ } = market in
-  let member_vs = Bundle.gather bundles valuations in
   let member_cs = Bundle.gather bundles costs in
   match spec with
   | Market.Ced ->
+      (* Gather the memoized [v^alpha] directly: no power per call, and
+         the per-bundle price sums run over the same values in the same
+         order as [Ced.bundle_price] on the raw valuations. *)
+      let member_pva = Bundle.gather bundles (Market.pow_valuations market) in
       Array.init (Bundle.count bundles) (fun b ->
-          Ced.bundle_price ~alpha ~valuations:member_vs.(b) ~costs:member_cs.(b))
+          Ced.bundle_price_pow ~alpha ~pow_valuations:member_pva.(b)
+            ~costs:member_cs.(b))
   | Market.Linear _ ->
-      let b_all = Market.linear_b market in
-      let member_bs = Bundle.gather bundles b_all in
+      let member_vs = Bundle.gather bundles valuations in
+      let member_bs = Bundle.gather bundles (Market.linear_b market) in
       Array.init (Bundle.count bundles) (fun g ->
+          let bs = member_bs.(g) and cs = member_cs.(g) in
           let a_sum = Numerics.Stats.sum member_vs.(g) in
-          let b_sum = Numerics.Stats.sum member_bs.(g) in
+          let b_sum = Numerics.Stats.sum bs in
           let bc_sum =
-            Numerics.Stats.sum (Array.map2 (fun bi c -> bi *. c) member_bs.(g) member_cs.(g))
+            Numerics.Stats.sum_init (Array.length bs) (fun i -> bs.(i) *. cs.(i))
           in
           Lin.bundle_price ~a_sum ~b_sum ~bc_sum)
   | Market.Logit _ ->
-      let aggregates =
-        Array.init (Bundle.count bundles) (fun b ->
-            Logit.bundle_aggregate ~alpha ~valuations:member_vs.(b) ~costs:member_cs.(b))
-      in
-      let bundle_vs = Array.map fst aggregates in
-      let bundle_cs = Array.map snd aggregates in
+      let member_vs = Bundle.gather bundles valuations in
+      let count = Bundle.count bundles in
+      let bundle_vs = Array.make count 0. in
+      let bundle_cs = Array.make count 0. in
+      for b = 0 to count - 1 do
+        let v, c =
+          Logit.bundle_aggregate ~alpha ~valuations:member_vs.(b)
+            ~costs:member_cs.(b)
+        in
+        bundle_vs.(b) <- v;
+        bundle_cs.(b) <- c
+      done;
       let { Logit.prices; _ } = Logit.optimize ~alpha ~valuations:bundle_vs ~costs:bundle_cs in
       prices
 
@@ -136,16 +119,10 @@ let blended market = evaluate market (Bundle.all_in_one ~n_flows:(Market.n_flows
 let max_profit market =
   let { Market.alpha; valuations; costs; k; spec; _ } = market in
   match spec with
-  | Market.Ced ->
-      Numerics.Stats.sum
-        (Array.map2
-           (fun v c -> Ced.potential_profit ~alpha ~v ~c)
-           valuations costs)
-  | Market.Linear _ ->
-      let b = Market.linear_b market in
-      Numerics.Stats.sum
-        (Array.init (Array.length valuations) (fun i ->
-             Lin.potential_profit ~a:valuations.(i) ~b:b.(i) ~c:costs.(i)))
+  | Market.Ced | Market.Linear _ ->
+      (* Exactly the per-flow potential-profit array the strategies use;
+         share the market's memoized copy instead of recomputing it. *)
+      Numerics.Stats.sum (Market.potential_profits market)
   | Market.Logit _ ->
       let { Logit.profit_per_k; _ } = Logit.optimize ~alpha ~valuations ~costs in
       k *. profit_per_k

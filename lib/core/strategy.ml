@@ -28,12 +28,14 @@ let of_name s =
   | None -> invalid_arg ("Strategy.of_name: unknown strategy " ^ s)
 
 (* Indices [0, n) sorted by a per-flow key, decreasing. Ties break by
-   index for determinism. *)
-let order_by_desc key n =
+   index for determinism. Monomorphic comparisons: the keys are floats
+   (Float.compare totally orders NaN exactly like the polymorphic
+   compare did, so this is behavior-preserving). *)
+let order_by_desc (key : float array) n =
   let idx = Array.init n Fun.id in
   Array.sort
     (fun i j ->
-      match compare key.(j) key.(i) with 0 -> compare i j | c -> c)
+      match Float.compare key.(j) key.(i) with 0 -> Int.compare i j | c -> c)
     idx;
   idx
 
@@ -88,7 +90,7 @@ let index_division costs ~n_bundles =
   let by_cost = order_by_desc (Array.map (fun c -> -.c) costs) n in
   let b = min n_bundles n in
   let cuts = List.init (b - 1) (fun j -> (j + 1) * n / b) in
-  let cuts = List.sort_uniq compare (List.filter (fun c -> c > 0 && c < n) cuts) in
+  let cuts = List.sort_uniq Int.compare (List.filter (fun c -> c > 0 && c < n) cuts) in
   Bundle.contiguous ~order:by_cost ~cuts
 
 (* The class label used by the class-aware profit weighting: cost classes
@@ -108,7 +110,10 @@ let flow_class market i =
 let profit_weighted_classes market ~n_bundles =
   let n = Market.n_flows market in
   let profits = Market.potential_profits market in
-  let classes = List.sort_uniq compare (List.init n (flow_class market)) in
+  (* One pass over the cost model up front; the mass/filter loops below
+     would otherwise re-derive the class per class per flow. *)
+  let cls = Array.init n (flow_class market) in
+  let classes = List.sort_uniq Int.compare (Array.to_list cls) in
   let class_count = List.length classes in
   if class_count = 1 || n_bundles < class_count then
     (* One class, or not enough bundles to keep classes apart: plain
@@ -123,7 +128,7 @@ let profit_weighted_classes market ~n_bundles =
       in
       find 0 classes
     in
-    let assignment = Array.init n (fun i -> rank (flow_class market i)) in
+    let assignment = Array.init n (fun i -> rank cls.(i)) in
     Bundle.of_assignment ~n_bundles:class_count assignment
   end
   else begin
@@ -134,7 +139,7 @@ let profit_weighted_classes market ~n_bundles =
         (fun c ->
           let total = ref 0. in
           for i = 0 to n - 1 do
-            if flow_class market i = c then total := !total +. profits.(i)
+            if cls.(i) = c then total := !total +. profits.(i)
           done;
           (c, !total))
         classes
@@ -162,7 +167,7 @@ let profit_weighted_classes market ~n_bundles =
       List.concat_map
         (fun (c, bundles_for_class) ->
           let indices =
-            List.filter (fun i -> flow_class market i = c) (List.init n Fun.id)
+            List.filter (fun i -> cls.(i) = c) (List.init n Fun.id)
           in
           let idx = Array.of_list indices in
           let w = Array.map (fun i -> profits.(i)) idx in
@@ -181,118 +186,92 @@ let profit_weighted_classes market ~n_bundles =
 
 (* --- Optimal: DP over flows sorted by cost ----------------------------- *)
 
-(* Returns the best contiguous partition of [order] into at most
-   [n_bundles] segments maximizing the sum of [seg_value lo hi]
-   (inclusive positions in [order]). *)
-let segment_dp ~n ~n_bundles ~seg_value ~order =
-  let b_max = min n_bundles n in
-  (* dp.(b).(j) = best value of splitting the first j+1 positions into
-     exactly b+1 segments; choice.(b).(j) = start of the last segment. *)
-  let dp = Array.make_matrix b_max n Float.neg_infinity in
-  let choice = Array.make_matrix b_max n 0 in
-  for j = 0 to n - 1 do
-    dp.(0).(j) <- seg_value 0 j
-  done;
-  for b = 1 to b_max - 1 do
-    for j = b to n - 1 do
-      for i = b to j do
-        let candidate = dp.(b - 1).(i - 1) +. seg_value i j in
-        if candidate > dp.(b).(j) then begin
-          dp.(b).(j) <- candidate;
-          choice.(b).(j) <- i
-        end
-      done
-    done
-  done;
-  (* Pick the best achievable bundle count <= b_max (more segments can
-     only help under both objectives, but guard anyway). *)
-  let best_b = ref 0 in
-  for b = 1 to b_max - 1 do
-    if dp.(b).(n - 1) > dp.(!best_b).(n - 1) then best_b := b
-  done;
-  let rec cuts b j acc =
-    if b = 0 then acc
-    else
-      let i = choice.(b).(j) in
-      cuts (b - 1) (i - 1) (i :: acc)
-  in
-  let cut_positions = cuts !best_b (n - 1) [] in
-  Bundle.contiguous ~order ~cuts:cut_positions
-
-let optimal_dp market ~n_bundles =
+(* The DP inputs: flow indices in ascending-cost order, plus the
+   closed-form segment profit over inclusive positions of that order.
+   Exposed (see the mli) so the bench and the regression suite can
+   time and cross-check the kernels on exactly the seg_value the
+   strategy runs. The partition itself is delegated to
+   [Numerics.Segdp.solve]: divide-and-conquer layers with a Monge
+   spot-check and an exact quadratic fallback, cut-for-cut identical to
+   the historical O(B n^2) DP. *)
+let dp_inputs market =
   let { Market.alpha; valuations; costs; spec; _ } = market in
   let n = Market.n_flows market in
   let order = order_by_desc (Array.map (fun c -> -.c) costs) n in
-  match spec with
-  | Market.Ced ->
-      (* Prefix sums of v^alpha and c v^alpha in cost order give O(1)
-         segment profits at the closed-form optimal bundle price. *)
-      let av = Array.make (n + 1) 0. in
-      let acv = Array.make (n + 1) 0. in
-      for k = 0 to n - 1 do
-        let i = order.(k) in
-        let w = valuations.(i) ** alpha in
-        av.(k + 1) <- av.(k) +. w;
-        acv.(k + 1) <- acv.(k) +. (costs.(i) *. w)
-      done;
-      let seg_value lo hi =
-        let sum_v = av.(hi + 1) -. av.(lo) in
-        let sum_cv = acv.(hi + 1) -. acv.(lo) in
-        if sum_v <= 0. then 0.
-        else
-          let price = alpha *. sum_cv /. ((alpha -. 1.) *. sum_v) in
-          (price ** -.alpha) *. ((sum_v *. price) -. sum_cv)
-      in
-      segment_dp ~n ~n_bundles ~seg_value ~order
-  | Market.Linear _ ->
-      (* Prefix sums of a, b, b*c, a*c give O(1) segment profit at the
-         closed-form bundle price. The common-elasticity fit makes
-         a_i / b_i constant across flows, so the optimal partition is
-         again contiguous in cost (the same argument as for CED). *)
-      let b_all = Market.linear_b market in
-      let sa = Array.make (n + 1) 0. in
-      let sb = Array.make (n + 1) 0. in
-      let sbc = Array.make (n + 1) 0. in
-      let sac = Array.make (n + 1) 0. in
-      for k = 0 to n - 1 do
-        let i = order.(k) in
-        sa.(k + 1) <- sa.(k) +. valuations.(i);
-        sb.(k + 1) <- sb.(k) +. b_all.(i);
-        sbc.(k + 1) <- sbc.(k) +. (b_all.(i) *. costs.(i));
-        sac.(k + 1) <- sac.(k) +. (valuations.(i) *. costs.(i))
-      done;
-      let seg_value lo hi =
-        let a_sum = sa.(hi + 1) -. sa.(lo) in
-        let b_sum = sb.(hi + 1) -. sb.(lo) in
-        let bc_sum = sbc.(hi + 1) -. sbc.(lo) in
-        let ac_sum = sac.(hi + 1) -. sac.(lo) in
-        if b_sum <= 0. then 0.
-        else
-          let price = Lin.bundle_price ~a_sum ~b_sum ~bc_sum in
-          Float.max 0. (Lin.bundle_profit ~a_sum ~b_sum ~bc_sum ~ac_sum ~price)
-      in
-      segment_dp ~n ~n_bundles ~seg_value ~order
-  | Market.Logit _ ->
-      (* Maximize S = sum_b W_b e^(-alpha c_bar_b); shift exponents so the
-         segment terms stay in floating range. *)
-      let vmax = Numerics.Stats.max valuations in
-      let cmin = Numerics.Stats.min costs in
-      let w = Array.make (n + 1) 0. in
-      let wc = Array.make (n + 1) 0. in
-      for k = 0 to n - 1 do
-        let i = order.(k) in
-        let wi = exp (alpha *. (valuations.(i) -. vmax)) in
-        w.(k + 1) <- w.(k) +. wi;
-        wc.(k + 1) <- wc.(k) +. (wi *. costs.(i))
-      done;
-      let seg_value lo hi =
-        let sum_w = w.(hi + 1) -. w.(lo) in
-        if sum_w <= 0. then 0.
-        else
-          let c_bar = (wc.(hi + 1) -. wc.(lo)) /. sum_w in
-          sum_w *. exp (-.alpha *. (c_bar -. cmin))
-      in
-      segment_dp ~n ~n_bundles ~seg_value ~order
+  let seg_value =
+    match spec with
+    | Market.Ced ->
+        (* Prefix sums of v^alpha and c v^alpha in cost order give O(1)
+           segment profits at the closed-form optimal bundle price. *)
+        let pva = Market.pow_valuations market in
+        let av = Array.make (n + 1) 0. in
+        let acv = Array.make (n + 1) 0. in
+        for k = 0 to n - 1 do
+          let i = order.(k) in
+          let w = pva.(i) in
+          av.(k + 1) <- av.(k) +. w;
+          acv.(k + 1) <- acv.(k) +. (costs.(i) *. w)
+        done;
+        fun lo hi ->
+          let sum_v = av.(hi + 1) -. av.(lo) in
+          let sum_cv = acv.(hi + 1) -. acv.(lo) in
+          if sum_v <= 0. then 0.
+          else
+            let price = alpha *. sum_cv /. ((alpha -. 1.) *. sum_v) in
+            (price ** -.alpha) *. ((sum_v *. price) -. sum_cv)
+    | Market.Linear _ ->
+        (* Prefix sums of a, b, b*c, a*c give O(1) segment profit at the
+           closed-form bundle price. The common-elasticity fit makes
+           a_i / b_i constant across flows, so the optimal partition is
+           again contiguous in cost (the same argument as for CED). *)
+        let b_all = Market.linear_b market in
+        let sa = Array.make (n + 1) 0. in
+        let sb = Array.make (n + 1) 0. in
+        let sbc = Array.make (n + 1) 0. in
+        let sac = Array.make (n + 1) 0. in
+        for k = 0 to n - 1 do
+          let i = order.(k) in
+          sa.(k + 1) <- sa.(k) +. valuations.(i);
+          sb.(k + 1) <- sb.(k) +. b_all.(i);
+          sbc.(k + 1) <- sbc.(k) +. (b_all.(i) *. costs.(i));
+          sac.(k + 1) <- sac.(k) +. (valuations.(i) *. costs.(i))
+        done;
+        fun lo hi ->
+          let a_sum = sa.(hi + 1) -. sa.(lo) in
+          let b_sum = sb.(hi + 1) -. sb.(lo) in
+          let bc_sum = sbc.(hi + 1) -. sbc.(lo) in
+          let ac_sum = sac.(hi + 1) -. sac.(lo) in
+          if b_sum <= 0. then 0.
+          else
+            let price = Lin.bundle_price ~a_sum ~b_sum ~bc_sum in
+            Float.max 0. (Lin.bundle_profit ~a_sum ~b_sum ~bc_sum ~ac_sum ~price)
+    | Market.Logit _ ->
+        (* Maximize S = sum_b W_b e^(-alpha c_bar_b); shift exponents so
+           the segment terms stay in floating range. *)
+        let vmax = Numerics.Stats.max valuations in
+        let cmin = Numerics.Stats.min costs in
+        let w = Array.make (n + 1) 0. in
+        let wc = Array.make (n + 1) 0. in
+        for k = 0 to n - 1 do
+          let i = order.(k) in
+          let wi = exp (alpha *. (valuations.(i) -. vmax)) in
+          w.(k + 1) <- w.(k) +. wi;
+          wc.(k + 1) <- wc.(k) +. (wi *. costs.(i))
+        done;
+        fun lo hi ->
+          let sum_w = w.(hi + 1) -. w.(lo) in
+          if sum_w <= 0. then 0.
+          else
+            let c_bar = (wc.(hi + 1) -. wc.(lo)) /. sum_w in
+            sum_w *. exp (-.alpha *. (c_bar -. cmin))
+  in
+  (order, seg_value)
+
+let optimal_dp market ~n_bundles =
+  let order, seg_value = dp_inputs market in
+  let n = Market.n_flows market in
+  let r = Numerics.Segdp.solve ~n ~n_bundles seg_value in
+  Bundle.contiguous ~order ~cuts:r.Numerics.Segdp.cuts
 
 let rec apply strategy market ~n_bundles =
   if n_bundles < 1 then invalid_arg "Strategy.apply: n_bundles < 1";
@@ -317,19 +296,24 @@ let rec apply strategy market ~n_bundles =
       | Market.Ced | Market.Linear _ -> dp
       | Market.Logit _ ->
           (* Contiguity in cost is only near-exact for logit; floor the
-             DP at the heuristics. *)
+             DP at the heuristics. Each candidate is priced exactly once
+             (the fold carries (bundle, profit) pairs; re-evaluating the
+             incumbent per step cost O(candidates * n)). *)
           let candidates =
-            dp
-            :: List.filter_map
-                 (fun s ->
-                   if s = Optimal then None else Some (apply s market ~n_bundles))
-                 all
+            List.filter_map
+              (fun s ->
+                if s = Optimal then None else Some (apply s market ~n_bundles))
+              all
           in
           let profit b = (Pricing.evaluate market b).Pricing.profit in
-          let best_of best candidate =
-            if profit candidate > profit best then candidate else best
+          let best, _ =
+            List.fold_left
+              (fun (best, best_profit) candidate ->
+                let p = profit candidate in
+                if p > best_profit then (candidate, p) else (best, best_profit))
+              (dp, profit dp) candidates
           in
-          List.fold_left best_of dp candidates)
+          best)
 
 (* --- Exhaustive optimal (for tests) ------------------------------------ *)
 

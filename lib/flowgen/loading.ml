@@ -51,7 +51,7 @@ let build ~topology contributions =
     |> List.map (fun (key, mbps) ->
            let link = Hashtbl.find shortest_between key in
            { link; mbps; utilization = mbps /. (link.capacity_gbps *. 1000.) })
-    |> List.stable_sort (fun a b -> compare b.utilization a.utilization)
+    |> List.stable_sort (fun a b -> Float.compare b.utilization a.utilization)
   in
   {
     loads = link_loads;

@@ -220,8 +220,28 @@ type target = {
   t_cv_demand : float;
 }
 
-(* Table 1 of the paper. *)
-let table1_targets = function
+(* A preset name may carry a synthetic scale suffix: ["eu_isp@200000"]
+   is the eu_isp calibration with [n_flows] overridden to 200000 (same
+   aggregate rate spread over more flows). This is the large-n knob the
+   tier-DP bench and sweep grid use to exercise the kernel at scale
+   without a separate calibration. *)
+let split_scale name =
+  match String.index_opt name '@' with
+  | None -> (name, None)
+  | Some i -> (
+      let base = String.sub name 0 i in
+      let suffix = String.sub name (i + 1) (String.length name - i - 1) in
+      match int_of_string_opt suffix with
+      | Some n when n >= 1 -> (base, Some n)
+      | Some _ | None ->
+          invalid_arg
+            ("Workload.preset: malformed scale suffix in " ^ name
+           ^ " (want name@N with N >= 1)"))
+
+(* Table 1 of the paper (targets are per calibration, so a scale suffix
+   resolves to its base network's row). *)
+let table1_targets name =
+  match fst (split_scale name) with
   | "eu_isp" ->
       { t_w_avg_distance = 54.; t_cv_distance = 0.70; t_aggregate_gbps = 37.; t_cv_demand = 1.71 }
   | "cdn" ->
@@ -273,7 +293,7 @@ let calibrate ?(max_iter = 400) topology (base : params) target =
 
 (* Stored calibration results (see test/test_workload.ml for the
    tolerance check against Table 1). Regenerate with [calibrate]. *)
-let preset_params = function
+let base_preset_params = function
   | "eu_isp" ->
       {
         n_flows = 600;
@@ -315,4 +335,11 @@ let preset_params = function
       }
   | other -> invalid_arg ("Workload.preset_params: unknown network " ^ other)
 
-let preset name = generate (Netsim.Presets.by_name name) (preset_params name)
+let preset_params name =
+  let base, scale = split_scale name in
+  let p = base_preset_params base in
+  match scale with None -> p | Some n_flows -> { p with n_flows }
+
+let preset name =
+  let base, _ = split_scale name in
+  generate (Netsim.Presets.by_name base) (preset_params name)

@@ -94,6 +94,13 @@ val calibrate :
 val preset : string -> t
 (** Calibrated workload for ["eu_isp"], ["cdn"] or ["internet2"] on the
     matching {!Netsim.Presets} topology, using stored calibration
-    constants (no search at run time). *)
+    constants (no search at run time).
+
+    A name may carry a synthetic scale suffix ["name@N"] (e.g.
+    ["eu_isp@200000"]): the same calibration and topology with
+    [n_flows] overridden to [N] — the large-n knob for exercising the
+    tier-DP kernel at scale. Raises [Invalid_argument] on an unknown
+    base name or a malformed suffix. *)
 
 val preset_params : string -> params
+(** Accepts the same ["name@N"] scale suffix as {!preset}. *)

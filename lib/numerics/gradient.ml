@@ -70,7 +70,7 @@ let nelder_mead ?(tol = 1e-10) ?(max_iter = 20_000) ?(scale = 0.1) ~f x0 =
   in
   let simplex = Array.init (n + 1) (fun i -> (point i, 0.)) in
   Array.iteri (fun i (p, _) -> simplex.(i) <- (p, f p)) simplex;
-  let order () = Array.sort (fun (_, a) (_, b) -> compare a b) simplex in
+  let order () = Array.sort (fun (_, a) (_, b) -> Float.compare a b) simplex in
   let centroid () =
     let c = Array.make n 0. in
     for i = 0 to n - 1 do

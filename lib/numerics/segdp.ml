@@ -1,0 +1,185 @@
+(* Fast segment-partition DP (DESIGN.md §11).
+
+   Layer b of the DP is a max-plus matrix product against the previous
+   layer: A_b[i][j] = dp_{b-1}(i-1) + seg_value i j. When A_b is inverse
+   Monge (the CED closed-form segment profit is; linear/logit are in
+   practice), the leftmost column argmax is nondecreasing in j, so a
+   divide-and-conquer recursion computes the whole layer in O(n log n)
+   evaluations instead of O(n^2). Each layer is then spot-checked (exact
+   re-solve of sampled columns + sampled adjacent Monge quadruples); a
+   failed check recomputes the layer with exact full-range scans, so a
+   structurally hostile seg_value degrades to the quadratic DP rather
+   than to wrong cuts. *)
+
+type stats = { layers : int; fallback_layers : int; evaluations : int }
+
+type result = {
+  cuts : int list;
+  segments : int;
+  value : float;
+  stats : stats;
+}
+
+let validate ~n ~n_bundles =
+  if n < 1 then invalid_arg "Segdp: n must be positive";
+  if n_bundles < 1 then invalid_arg "Segdp: n_bundles must be positive"
+
+(* Exact best split point for column [j] of layer [b]: scan the full
+   candidate range ascending with a strict [>] update, so the smallest
+   argmax wins — the quadratic DP's tie-break, which the goldens pin. *)
+let exact_best ~prev ~seg ~b j =
+  let best = ref Float.neg_infinity and best_i = ref 0 in
+  for i = b to j do
+    let candidate = prev.(i - 1) +. seg i j in
+    if candidate > !best then begin
+      best := candidate;
+      best_i := i
+    end
+  done;
+  (!best, !best_i)
+
+let exact_layer ~prev ~cur ~choice_row ~seg ~b ~n =
+  for j = b to n - 1 do
+    let best, best_i = exact_best ~prev ~seg ~b j in
+    cur.(j) <- best;
+    choice_row.(j) <- best_i
+  done
+
+(* Monotone-decision divide and conquer: solve the middle column over
+   the inherited candidate range, then recurse with the range split at
+   the argmax. Identical to the exact layer whenever the layer matrix is
+   inverse Monge (leftmost argmaxes are then nondecreasing in j, ties
+   included). *)
+let dandc_layer ~prev ~cur ~choice_row ~seg ~b ~n =
+  let rec go jlo jhi ilo ihi =
+    if jlo <= jhi then begin
+      let jmid = jlo + ((jhi - jlo) / 2) in
+      let hi = Stdlib.min jmid ihi in
+      let best = ref Float.neg_infinity and best_i = ref 0 in
+      for i = ilo to hi do
+        let candidate = prev.(i - 1) +. seg i jmid in
+        if candidate > !best then begin
+          best := candidate;
+          best_i := i
+        end
+      done;
+      cur.(jmid) <- !best;
+      choice_row.(jmid) <- !best_i;
+      (* [!best_i = 0] only when every candidate was NaN; clamp so the
+         recursion stays well-formed (validation then forces the exact
+         fallback). *)
+      let split = Stdlib.max !best_i ilo in
+      go jlo (jmid - 1) ilo split;
+      go (jmid + 1) jhi split ihi
+    end
+  in
+  go b (n - 1) b (n - 1)
+
+(* xorshift64: cheap deterministic sampling, independent of the global
+   Random state (lib code must stay reproducible; DESIGN.md §10 D003). *)
+let sample_int state bound =
+  let s = !state in
+  let s = Int64.logxor s (Int64.shift_left s 13) in
+  let s = Int64.logxor s (Int64.shift_right_logical s 7) in
+  let s = Int64.logxor s (Int64.shift_left s 17) in
+  state := s;
+  Int64.to_int (Int64.rem (Int64.logand s Int64.max_int) (Int64.of_int bound))
+
+(* Cheap runtime certificate for one layer: exact re-solve of up to
+   [samples] evenly spaced columns (value and argmax must match
+   bit-for-bit) plus [samples] sampled adjacent Monge quadruples.
+   Sound in the fallback direction: any detected oddity (including NaN)
+   rejects the layer. *)
+let layer_valid ~prev ~cur ~choice_row ~seg ~b ~n ~samples =
+  let ok = ref true in
+  let cols = Stdlib.min samples (n - b) in
+  let k = ref 0 in
+  while !ok && !k < cols do
+    let j =
+      if cols = 1 then n - 1 else b + (!k * (n - 1 - b) / (cols - 1))
+    in
+    let best, best_i = exact_best ~prev ~seg ~b j in
+    if (not (Float.equal cur.(j) best)) || choice_row.(j) <> best_i then
+      ok := false;
+    incr k
+  done;
+  if !ok && n - b >= 3 then begin
+    let state = ref (Int64.of_int (0x9E3779B9 + (b * 0x85EBCA6B))) in
+    let s = ref 0 in
+    while !ok && !s < samples do
+      let i = b + sample_int state (n - 2 - b) in
+      let j = i + 1 + sample_int state (n - 2 - i) in
+      let a_ij = prev.(i - 1) +. seg i j in
+      let a_i1j1 = prev.(i) +. seg (i + 1) (j + 1) in
+      let a_i1j = prev.(i) +. seg (i + 1) j in
+      let a_ij1 = prev.(i - 1) +. seg i (j + 1) in
+      if not (a_ij +. a_i1j1 >= a_i1j +. a_ij1) then ok := false;
+      incr s
+    done
+  end;
+  !ok
+
+let traceback ~choice ~best_b ~n =
+  let rec go b j acc =
+    if b = 0 then acc
+    else
+      let i = choice.(b).(j) in
+      go (b - 1) (i - 1) (i :: acc)
+  in
+  go best_b (n - 1) []
+
+let finish ~choice ~last ~b_max ~n ~stats =
+  (* Smallest argmax over achievable segment counts — the quadratic DP's
+     best_b selection. *)
+  let best_b = ref 0 in
+  for b = 1 to b_max - 1 do
+    if last.(b) > last.(!best_b) then best_b := b
+  done;
+  {
+    cuts = traceback ~choice ~best_b:!best_b ~n;
+    segments = !best_b + 1;
+    value = last.(!best_b);
+    stats;
+  }
+
+let run ~n ~n_bundles ~layer seg_value =
+  validate ~n ~n_bundles;
+  let b_max = Stdlib.min n_bundles n in
+  let evals = ref 0 in
+  let seg i j =
+    incr evals;
+    seg_value i j
+  in
+  let prev = Array.make n Float.neg_infinity in
+  let cur = Array.make n Float.neg_infinity in
+  let choice = Array.make_matrix b_max n 0 in
+  let last = Array.make b_max Float.neg_infinity in
+  for j = 0 to n - 1 do
+    prev.(j) <- seg 0 j
+  done;
+  last.(0) <- prev.(n - 1);
+  let fallbacks = ref 0 in
+  for b = 1 to b_max - 1 do
+    Array.fill cur 0 n Float.neg_infinity;
+    let choice_row = choice.(b) in
+    if not (layer ~prev ~cur ~choice_row ~seg ~b) then begin
+      incr fallbacks;
+      Array.fill cur 0 n Float.neg_infinity;
+      Array.fill choice_row 0 n 0;
+      exact_layer ~prev ~cur ~choice_row ~seg ~b ~n
+    end;
+    last.(b) <- cur.(n - 1);
+    Array.blit cur 0 prev 0 n
+  done;
+  finish ~choice ~last ~b_max ~n
+    ~stats:{ layers = b_max; fallback_layers = !fallbacks; evaluations = !evals }
+
+let solve_quadratic ~n ~n_bundles seg_value =
+  run ~n ~n_bundles seg_value ~layer:(fun ~prev ~cur ~choice_row ~seg ~b ->
+      exact_layer ~prev ~cur ~choice_row ~seg ~b ~n;
+      true)
+
+let solve ?(samples = 16) ~n ~n_bundles seg_value =
+  run ~n ~n_bundles seg_value ~layer:(fun ~prev ~cur ~choice_row ~seg ~b ->
+      dandc_layer ~prev ~cur ~choice_row ~seg ~b ~n;
+      layer_valid ~prev ~cur ~choice_row ~seg ~b ~n ~samples)

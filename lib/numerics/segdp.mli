@@ -1,0 +1,53 @@
+(** Fast segment-partition dynamic programming.
+
+    Solves [max over partitions of 0..n-1 into at most n_bundles
+    contiguous segments of sum (seg_value lo hi)] ([lo], [hi] inclusive
+    positions), the optimal-bundling recurrence of the tier DP
+    (DESIGN.md §11).
+
+    Both solvers share the quadratic DP's exact semantics: ties inside a
+    column break toward the smallest split index, and ties across
+    segment counts break toward the fewest segments (strict [>]
+    updates). [solve] computes each layer by monotone-decision divide
+    and conquer — O(b n log n) evaluations when the per-layer matrices
+    are inverse Monge, which the closed-form CED/linear/logit segment
+    profits are in practice — then spot-checks the layer (exact
+    re-solve of sampled columns plus sampled adjacent Monge quadruples)
+    and recomputes it with exact O(n^2) scans when the check fails, so a
+    structurally hostile [seg_value] degrades to quadratic time, not to
+    different cuts. The regression suite pins [solve = solve_quadratic]
+    cut-for-cut on random markets of every demand spec. *)
+
+type stats = {
+  layers : int;  (** DP layers computed, including the base layer. *)
+  fallback_layers : int;
+      (** Layers whose spot-check failed and that were recomputed with
+          the exact quadratic row ([solve] only; always [0] for
+          [solve_quadratic]). *)
+  evaluations : int;  (** Total [seg_value] calls, checks included. *)
+}
+
+type result = {
+  cuts : int list;
+      (** Segment start positions (ascending, in [\[1, n-1\]], excluding
+          the implicit start at [0]) — the argument order expected by
+          [Bundle.contiguous]. *)
+  segments : int;  (** Number of segments, [List.length cuts + 1]. *)
+  value : float;  (** Total [seg_value] of the returned partition. *)
+  stats : stats;
+}
+
+val solve_quadratic :
+  n:int -> n_bundles:int -> (int -> int -> float) -> result
+(** [solve_quadratic ~n ~n_bundles seg_value]: the exact
+    O(n_bundles * n^2) reference DP. Raises [Invalid_argument] when
+    [n < 1] or [n_bundles < 1]. *)
+
+val solve :
+  ?samples:int -> n:int -> n_bundles:int -> (int -> int -> float) -> result
+(** Divide-and-conquer solver with per-layer validation and exact
+    fallback; cut-for-cut identical to [solve_quadratic] on
+    inverse-Monge layers (and on any layer whose spot-check trips).
+    [samples] bounds both the exact column re-solves and the Monge
+    quadruple probes per layer (default [16]; [0] disables validation).
+    Raises [Invalid_argument] when [n < 1] or [n_bundles < 1]. *)

@@ -12,6 +12,19 @@ let sum xs =
     xs;
   !total
 
+let sum_init n f =
+  (* Same Kahan recurrence as [sum], without materializing the array:
+     bit-identical to [sum (Array.init n f)] for a pure [f]. *)
+  let total = ref 0. and comp = ref 0. in
+  for i = 0 to n - 1 do
+    let x = f i in
+    let y = x -. !comp in
+    let t = !total +. y in
+    comp := t -. !total -. y;
+    total := t
+  done;
+  !total
+
 let require_nonempty name xs =
   if Array.length xs = 0 then invalid_arg (name ^ ": empty array")
 
@@ -54,7 +67,7 @@ let quantile xs q =
   require_nonempty "Stats.quantile" xs;
   if q < 0. || q > 1. then invalid_arg "Stats.quantile: q out of [0,1]";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let pos = q *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor pos) in

@@ -9,6 +9,12 @@
 val sum : float array -> float
 (** Kahan-compensated sum; [0.] on the empty array. *)
 
+val sum_init : int -> (int -> float) -> float
+(** [sum_init n f] is [sum (Array.init n f)] without the intermediate
+    array (same compensation, bit-identical result for a pure [f]);
+    [0.] when [n <= 0]. The hot evaluation loops use it to fuse
+    generate-then-sum passes. *)
+
 val mean : float array -> float
 
 val variance : float array -> float

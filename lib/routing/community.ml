@@ -31,4 +31,7 @@ let of_string s =
   | _ -> invalid_arg ("Community.of_string: malformed community " ^ s)
 
 let equal a b = a.asn = b.asn && a.value = b.value
-let compare a b = compare (a.asn, a.value) (b.asn, b.value)
+let compare a b =
+  match Int.compare a.asn b.asn with
+  | 0 -> Int.compare a.value b.value
+  | c -> c

@@ -93,7 +93,7 @@ let session_of_tier sessions tier =
 let plan ~asn assignments ~n_links =
   if n_links < 1 then invalid_arg "Session.plan: n_links < 1";
   let tiers =
-    List.sort_uniq compare (List.map (fun a -> a.Tagging.tier) assignments)
+    List.sort_uniq Int.compare (List.map (fun a -> a.Tagging.tier) assignments)
   in
   let sessions =
     List.mapi

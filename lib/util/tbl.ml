@@ -2,30 +2,33 @@
    a raw unordered traversal is allowed, because the stable sort below
    erases the bucket order before anything escapes. *)
 
-let sorted_bindings ?(compare = Stdlib.compare) tbl =
+(* lint: allow D005 — the deliberately polymorphic default comparator; callers with float-bearing keys pass ~compare. *)
+let default_compare : 'a -> 'a -> int = Stdlib.compare
+
+let sorted_bindings ?compare:(cmp = default_compare) tbl =
   (* lint: allow D002 — this helper IS the blessed sorted traversal; the stable sort erases hash order. *)
   let bindings = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
   (* [Hashtbl.fold] visits same-key bindings most-recent-first (that
      much the stdlib does specify); a *stable* sort on the key alone
      keeps that relative order while making the inter-key order a pure
      function of the keys. *)
-  List.stable_sort (fun (ka, _) (kb, _) -> compare ka kb) bindings
+  List.stable_sort (fun (ka, _) (kb, _) -> cmp ka kb) bindings
 
-let fold_sorted ?compare f tbl init =
+let fold_sorted ?compare:cmp f tbl init =
   List.fold_left
     (fun acc (k, v) -> f k v acc)
     init
-    (sorted_bindings ?compare tbl)
+    (sorted_bindings ?compare:cmp tbl)
 
-let iter_sorted ?compare f tbl =
-  List.iter (fun (k, v) -> f k v) (sorted_bindings ?compare tbl)
+let iter_sorted ?compare:cmp f tbl =
+  List.iter (fun (k, v) -> f k v) (sorted_bindings ?compare:cmp tbl)
 
-let sorted_keys ?(compare = Stdlib.compare) tbl =
-  let keys = List.map fst (sorted_bindings ~compare tbl) in
+let sorted_keys ?compare:(cmp = default_compare) tbl =
+  let keys = List.map fst (sorted_bindings ~compare:cmp tbl) in
   (* Distinct: drop the shadowed duplicates that follow their most
      recent binding. *)
   let rec dedup = function
-    | a :: (b :: _ as rest) when compare a b = 0 -> dedup rest
+    | a :: (b :: _ as rest) when cmp a b = 0 -> dedup rest
     | a :: rest -> a :: dedup rest
     | [] -> []
   in

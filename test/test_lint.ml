@@ -63,6 +63,24 @@ let d004 () =
   check_rule ~file:"lib/fake/mod.ml" "let f a b = a = b || a <> b" "D004" 0 ();
   check_rule ~file:"test/fake.ml" "let f a b = a == b" "D004" 0 ()
 
+let d005 () =
+  check_rule ~file:"lib/fake/mod.ml"
+    "let f xs = Array.sort (fun a b -> compare a b) xs" "D005" 1 ();
+  check_rule ~file:"lib/fake/mod.ml"
+    "let f xs = List.sort_uniq Stdlib.compare xs" "D005" 1 ();
+  (* passing the bare comparator is just as representational *)
+  check_rule ~file:"lib/fake/mod.ml" "let c = compare" "D005" 1 ();
+  (* monomorphic / module-qualified comparators are the fix *)
+  check_rule ~file:"lib/fake/mod.ml"
+    "let f xs = Array.sort Float.compare xs; List.sort Int.compare []" "D005" 0
+    ();
+  check_rule ~file:"lib/fake/mod.ml"
+    "let f a b = match String.compare a b with 0 -> Finding.compare a b | c -> c"
+    "D005" 0 ();
+  (* lib/-scoped, like the other determinism rules *)
+  check_rule ~file:"test/fake.ml" "let f xs = List.sort compare xs" "D005" 0 ();
+  check_rule ~file:"bin/fake.ml" "let f xs = List.sort compare xs" "D005" 0 ()
+
 let h001 () =
   check_rule ~file:"lib/fake/mod.ml" "let f () = exit 1" "H001" 1 ();
   check_rule ~file:"lib/engine/proc.ml" "let f () = exit 0" "H001" 0 ();
@@ -283,7 +301,10 @@ let catalog_closed () =
   List.iter
     (fun id ->
       Alcotest.(check bool) (id ^ " catalogued") true (Analysis.Rules.known id))
-    [ "D001"; "D002"; "D003"; "D004"; "H001"; "H002"; "H003"; "S001"; "E001" ]
+    [
+      "D001"; "D002"; "D003"; "D004"; "D005"; "H001"; "H002"; "H003"; "S001";
+      "E001";
+    ]
 
 let suite =
   [
@@ -291,6 +312,7 @@ let suite =
     Alcotest.test_case "D002 raw Hashtbl traversal" `Quick d002;
     Alcotest.test_case "D003 clock/randomness whitelist" `Quick d003;
     Alcotest.test_case "D004 physical equality" `Quick d004;
+    Alcotest.test_case "D005 bare polymorphic compare" `Quick d005;
     Alcotest.test_case "H001 exit outside worker entry" `Quick h001;
     Alcotest.test_case "H002 Marshal flags literal" `Quick h002;
     Alcotest.test_case "H003 paired .mli" `Quick h003;

@@ -13,6 +13,7 @@ let () =
       ("numerics.gradient", Test_gradient.suite);
       ("numerics.fit", Test_fit.suite);
       ("numerics.vec", Test_vec.suite);
+      ("numerics.segdp", Test_segdp.suite);
       ("netsim.geo", Test_geo.suite);
       ("netsim.cities", Test_cities.suite);
       ("netsim.graph", Test_graph.suite);

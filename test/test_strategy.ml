@@ -88,6 +88,18 @@ let test_optimal_beats_heuristics () =
         [ 2; 3; 4 ])
     [ Fixtures.ced_market (); Fixtures.logit_market () ]
 
+(* The Optimal strategy now runs on the divide-and-conquer Segdp kernel;
+   on the exhaustive fixture markets also pin it cut-for-cut against the
+   exact quadratic DP so the cross-check covers the fast path too. *)
+let check_kernels_agree m ~n_bundles =
+  let _order, seg_value = Strategy.dp_inputs m in
+  let n = Market.n_flows m in
+  let fast = Numerics.Segdp.solve ~n ~n_bundles seg_value in
+  let exact = Numerics.Segdp.solve_quadratic ~n ~n_bundles seg_value in
+  Alcotest.(check (list int))
+    (Printf.sprintf "kernel cuts B=%d" n_bundles)
+    exact.Numerics.Segdp.cuts fast.Numerics.Segdp.cuts
+
 let test_optimal_matches_exhaustive_ced () =
   (* The DP's contiguity-in-cost argument is exact for CED: cross-check
      against true exhaustive set-partition search. *)
@@ -99,7 +111,8 @@ let test_optimal_matches_exhaustive_ced () =
     (fun b ->
       let dp = (Pricing.evaluate m (Strategy.apply Strategy.Optimal m ~n_bundles:b)).Pricing.profit in
       let ex = (Pricing.evaluate m (Strategy.exhaustive_optimal m ~n_bundles:b)).Pricing.profit in
-      Alcotest.(check (float 1e-6)) (Printf.sprintf "B=%d" b) ex dp)
+      Alcotest.(check (float 1e-6)) (Printf.sprintf "B=%d" b) ex dp;
+      check_kernels_agree m ~n_bundles:b)
     [ 1; 2; 3 ]
 
 let test_optimal_close_to_exhaustive_logit () =

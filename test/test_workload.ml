@@ -174,6 +174,28 @@ let test_unknown_preset () =
     (Invalid_argument "Workload.preset_params: unknown network nope") (fun () ->
       ignore (Workload.preset_params "nope"))
 
+let test_scale_suffix () =
+  (* name@N overrides n_flows over the base calibration; targets and
+     generation both resolve through the base network. *)
+  let p = Workload.preset_params "eu_isp@1234" in
+  let base = Workload.preset_params "eu_isp" in
+  Alcotest.(check int) "n_flows overridden" 1234 p.Workload.n_flows;
+  Alcotest.(check int) "same seed" base.Workload.seed p.Workload.seed;
+  Alcotest.(check (float 0.))
+    "targets resolve to the base row"
+    (Workload.table1_targets "eu_isp").Workload.t_aggregate_gbps
+    (Workload.table1_targets "eu_isp@1234").Workload.t_aggregate_gbps;
+  let w = Workload.preset "eu_isp@1234" in
+  Alcotest.(check int) "generated at scale" 1234 (List.length w.Workload.flows);
+  Alcotest.check_raises "malformed suffix"
+    (Invalid_argument
+       "Workload.preset: malformed scale suffix in eu_isp@x (want name@N \
+        with N >= 1)") (fun () -> ignore (Workload.preset_params "eu_isp@x"));
+  Alcotest.check_raises "zero scale"
+    (Invalid_argument
+       "Workload.preset: malformed scale suffix in eu_isp@0 (want name@N \
+        with N >= 1)") (fun () -> ignore (Workload.preset_params "eu_isp@0"))
+
 let suite =
   [
     Alcotest.test_case "flow count and aggregate" `Quick test_flow_count_and_aggregate;
@@ -189,4 +211,5 @@ let suite =
     Alcotest.test_case "calibrate reduces loss" `Slow test_calibrate_reduces_loss;
     Alcotest.test_case "distance modes differ" `Quick test_distance_modes_differ;
     Alcotest.test_case "unknown preset" `Quick test_unknown_preset;
+    Alcotest.test_case "scale suffix name@N" `Quick test_scale_suffix;
   ]
