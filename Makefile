@@ -5,12 +5,15 @@
 # bench-dp` regenerates BENCH_dp.json (tier-DP kernel: divide-and-
 # conquer vs exact quadratic across demand specs and market sizes —
 # the n=50k exact legs make this the slow one; `make bench-dp-smoke`
-# is the small-n CI variant) so the perf trajectory accumulates
-# across PRs. `make golden-regen` re-renders every registry
+# is the small-n CI variant), and `make bench-serve` regenerates
+# BENCH_serve.json (streaming daemon: ingest throughput, re-tier
+# latency, every posted window re-verified against a from-scratch
+# solve; `make bench-serve-smoke` is the small CI variant) so the
+# perf trajectory accumulates across PRs. `make golden-regen` re-renders every registry
 # experiment and promotes the result into test/golden/ — run it (and
 # commit the diff) after an intentional output change.
 
-.PHONY: all build test bench bench-json bench-pool bench-dp bench-dp-smoke golden-regen smoke smoke-procs lint lint-baseline clean
+.PHONY: all build test bench bench-json bench-pool bench-dp bench-dp-smoke bench-serve bench-serve-smoke golden-regen smoke smoke-procs lint lint-baseline clean
 
 all: build
 
@@ -34,6 +37,12 @@ bench-dp:
 
 bench-dp-smoke:
 	dune exec bench/main.exe -- dp --dp-sizes=1000,4000 --dp-max-exact=4000
+
+bench-serve:
+	dune exec bench/main.exe -- serve
+
+bench-serve-smoke:
+	dune exec bench/main.exe -- serve --serve-flows=300 --serve-days=2
 
 # Rewrite test/golden/*.expected from the current code. The second
 # pass re-checks the diffs so a failed promote cannot pass silently.

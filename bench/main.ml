@@ -5,8 +5,8 @@
 
    Usage: dune exec bench/main.exe [section ...]
    with sections among: experiments fig2 fig17 ablations extensions
-   sweep pool dp micro (default: all). A specific experiment id (e.g.
-   fig8) also works.
+   sweep pool dp serve micro (default: all). A specific experiment id
+   (e.g. fig8) also works.
 
    The experiments section executes on the Engine pool
    ([--backend=procs] switches it to worker subprocesses); the sweep
@@ -901,46 +901,44 @@ let run_sweep_bench () =
            "results are keyed by task index and merged in submission order, \
             so the parallel grid must reproduce the serial bytes exactly";
          ]);
-  let oc = open_out "BENCH_sweep.json" in
-  (match parallel with
-  | None ->
-      output_string oc
-        (Printf.sprintf
-           "{\n\
-           \  \"grid\": \"experiments\",\n\
-           \  \"tasks\": %d,\n\
-           \  \"host_domains\": %d,\n\
-           \  \"jobs_serial\": 1,\n\
-           \  \"serial_s\": %.6f,\n\
-           \  \"jobs_parallel\": null,\n\
-           \  \"parallel_s\": null,\n\
-           \  \"speedup\": null,\n\
-           \  \"pool_utilization\": null,\n\
-           \  \"byte_identical\": true,\n\
-           \  \"note\": \"single-core host: parallel leg skipped, no \
-            speedup target asserted\"\n\
-            }\n"
-           n_tasks host_domains serial_s)
-  | Some (parallel_jobs, _, parallel_s, parallel_snap) ->
-      let speedup = if parallel_s > 0. then serial_s /. parallel_s else 0. in
-      output_string oc
-        (Printf.sprintf
-           "{\n\
-           \  \"grid\": \"experiments\",\n\
-           \  \"tasks\": %d,\n\
-           \  \"host_domains\": %d,\n\
-           \  \"jobs_serial\": 1,\n\
-           \  \"serial_s\": %.6f,\n\
-           \  \"jobs_parallel\": %d,\n\
-           \  \"parallel_s\": %.6f,\n\
-           \  \"speedup\": %.4f,\n\
-           \  \"pool_utilization\": %.4f,\n\
-           \  \"byte_identical\": %b\n\
-            }\n"
-           n_tasks host_domains serial_s parallel_jobs parallel_s speedup
-           parallel_snap.Engine.Metrics.utilization identical));
-  close_out oc;
-  Format.fprintf ppf "@.wrote BENCH_sweep.json@.";
+  let base =
+    Json_out.
+      [
+        ("grid", Str "experiments");
+        ("tasks", Int n_tasks);
+        ("host_domains", Int host_domains);
+        ("jobs_serial", Int 1);
+        ("serial_s", num "%.6f" serial_s);
+      ]
+  in
+  let rest =
+    match parallel with
+    | None ->
+        Json_out.
+          [
+            ("jobs_parallel", Null);
+            ("parallel_s", Null);
+            ("speedup", Null);
+            ("pool_utilization", Null);
+            ("byte_identical", Bool true);
+            ( "note",
+              Str
+                "single-core host: parallel leg skipped, no speedup target \
+                 asserted" );
+          ]
+    | Some (parallel_jobs, _, parallel_s, parallel_snap) ->
+        let speedup = if parallel_s > 0. then serial_s /. parallel_s else 0. in
+        Json_out.
+          [
+            ("jobs_parallel", Int parallel_jobs);
+            ("parallel_s", num "%.6f" parallel_s);
+            ("speedup", num "%.4f" speedup);
+            ( "pool_utilization",
+              num "%.4f" parallel_snap.Engine.Metrics.utilization );
+            ("byte_identical", Bool identical);
+          ]
+  in
+  Json_out.write ppf "BENCH_sweep.json" (base @ rest);
   if not identical then
     failwith "sweep: parallel grid output diverged from the serial run"
 
@@ -1056,28 +1054,26 @@ let run_pool_bench () =
            "overhead = (wall - ideal) / tasks with ideal assuming perfect \
             balance; the procs row prices the per-task Marshal round-trip";
          ]);
-  let oc = open_out "BENCH_pool.json" in
-  output_string oc
-    (Printf.sprintf
-       "{\n\
-       \  \"grid\": \"pool-dispatch\",\n\
-       \  \"host_domains\": %d,\n\
-       \  \"cases\": [\n%s\n\
-       \  ]\n\
-        }\n"
-       host_domains
-       (String.concat ",\n"
-          (List.map
-             (fun c ->
-               Printf.sprintf
-                 "    {\"backend\": \"%s\", \"jobs\": %d, \"task_s\": %g, \
-                  \"tasks\": %d, \"wall_s\": %.6f, \
-                  \"overhead_us_per_task\": %.3f}"
-                 c.pc_backend c.pc_jobs c.pc_task_s c.pc_tasks c.pc_wall_s
-                 c.pc_overhead_us)
-             cases)));
-  close_out oc;
-  Format.fprintf ppf "@.wrote BENCH_pool.json@."
+  Json_out.(
+    write ppf "BENCH_pool.json"
+      [
+        ("grid", Str "pool-dispatch");
+        ("host_domains", Int host_domains);
+        ( "cases",
+          Arr
+            (List.map
+               (fun c ->
+                 Obj
+                   [
+                     ("backend", Str c.pc_backend);
+                     ("jobs", Int c.pc_jobs);
+                     ("task_s", num "%g" c.pc_task_s);
+                     ("tasks", Int c.pc_tasks);
+                     ("wall_s", num "%.6f" c.pc_wall_s);
+                     ("overhead_us_per_task", num "%.3f" c.pc_overhead_us);
+                   ])
+               cases) );
+      ])
 
 (* --- dp: tier-DP kernel, quadratic vs divide-and-conquer ------------------- *)
 
@@ -1225,36 +1221,116 @@ let run_dp_bench ~sizes ~bundle_counts ~max_exact () =
            "both solvers run the seg_value of Strategy.dp_inputs; cuts are \
             asserted identical wherever the quadratic leg runs";
          ]);
-  let oc = open_out "BENCH_dp.json" in
-  let json_opt f = function None -> "null" | Some v -> f v in
-  output_string oc
-    (Printf.sprintf
-       "{\n\
-       \  \"grid\": \"tier-dp\",\n\
-       \  \"workload\": \"eu_isp@N (scale suffix over the eu_isp calibration)\",\n\
-       \  \"max_exact_n\": %d,\n\
-       \  \"cases\": [\n%s\n\
-       \  ]\n\
-        }\n"
-       max_exact
-       (String.concat ",\n"
-          (List.map
-             (fun c ->
-               Printf.sprintf
-                 "    {\"spec\": \"%s\", \"n\": %d, \"bundles\": %d, \
-                  \"fast_s\": %.6f, \"fast_evals\": %d, \
-                  \"fallback_layers\": %d, \"quadratic_s\": %s, \
-                  \"quadratic_evals\": %s, \"speedup\": %s, \
-                  \"cuts_identical\": %s}"
-                 c.dc_spec c.dc_n c.dc_bundles c.dc_fast_s c.dc_fast_evals
-                 c.dc_fallback_layers
-                 (json_opt (Printf.sprintf "%.6f") c.dc_quad_s)
-                 (json_opt string_of_int c.dc_quad_evals)
-                 (json_opt (Printf.sprintf "%.4f") c.dc_speedup)
-                 (json_opt (Printf.sprintf "%b") c.dc_cuts_identical))
-             cases)));
-  close_out oc;
-  Format.fprintf ppf "@.wrote BENCH_dp.json@."
+  Json_out.(
+    write ppf "BENCH_dp.json"
+      [
+        ("grid", Str "tier-dp");
+        ("workload", Str "eu_isp@N (scale suffix over the eu_isp calibration)");
+        ("max_exact_n", Int max_exact);
+        ( "cases",
+          Arr
+            (List.map
+               (fun c ->
+                 Obj
+                   [
+                     ("spec", Str c.dc_spec);
+                     ("n", Int c.dc_n);
+                     ("bundles", Int c.dc_bundles);
+                     ("fast_s", num "%.6f" c.dc_fast_s);
+                     ("fast_evals", Int c.dc_fast_evals);
+                     ("fallback_layers", Int c.dc_fallback_layers);
+                     ("quadratic_s", opt (num "%.6f") c.dc_quad_s);
+                     ("quadratic_evals", opt (fun v -> Int v) c.dc_quad_evals);
+                     ("speedup", opt (num "%.4f") c.dc_speedup);
+                     ( "cuts_identical",
+                       opt (fun b -> Bool b) c.dc_cuts_identical );
+                   ])
+               cases) );
+      ])
+
+(* --- serve: streaming ingest + incremental re-tiering ---------------------- *)
+
+(* The streaming service under load: synthesize a NetFlow stream from
+   the eu_isp calibration (scale suffix, [days] replayed days of
+   duplicated per-router records), pump it through the daemon —
+   streaming dedup, sliding 24h window, re-tier every [every_s] stream
+   seconds — and record ingest throughput plus the re-tier latency
+   histogram in BENCH_serve.json. The acceptance bar reads from that
+   file (>= 1M records/s end to end, solves included). During the timed
+   run the posted windows are only collected; afterwards every one is
+   re-verified cut-for-cut against a from-scratch solve — the same pin
+   the unit tests hold — so the warm-start path cannot drift at
+   benchmark scale. A cuts mismatch fails the bench like a sweep
+   divergence would. *)
+
+let run_serve_bench ~flows ~days ~every_s () =
+  section "Streaming serve: ingest throughput and re-tier latency";
+  let name = Printf.sprintf "eu_isp@%d" flows in
+  let w = Flowgen.Workload.preset name in
+  let bin_s = 3600 and bins = 24 in
+  let window =
+    Serve.Window.create ~expected:flows
+      { Serve.Window.bin_s; bins; decay = Serve.Window.No_decay }
+  in
+  let retier =
+    Serve.Retier.create
+      {
+        Serve.Retier.spec = Market.Ced;
+        alpha = 2.0;
+        p0 = 30.;
+        n_bundles = 4;
+        cost_model = Cost_model.concave ~theta:0.5;
+        samples = 8;
+        cold_every = 24;  (* one forced divergence drill per stream day *)
+        use_cache = false;
+      }
+      ~meta_of:(Serve.Retier.meta_of_workload w)
+  in
+  let ingest = Serve.Ingest.of_workload ~days ~seed:11 w in
+  let posted = ref [] in
+  let result =
+    Serve.Daemon.run
+      ~on_retier:(fun snap o -> posted := (snap, o) :: !posted)
+      ~clock:(Serve.Clock.of_fn Unix.gettimeofday)
+      ~window ~retier
+      { Serve.Daemon.every_s; dedup = true }
+      ingest
+  in
+  let s = result.Serve.Daemon.r_stats in
+  let run = result.Serve.Daemon.r_run in
+  let outcome_matches (o : Serve.Retier.outcome) (c : Serve.Retier.outcome) =
+    List.equal Int.equal o.Serve.Retier.o_cuts c.Serve.Retier.o_cuts
+    && Array.length o.Serve.Retier.o_prices
+       = Array.length c.Serve.Retier.o_prices
+    && Array.for_all2 Float.equal o.Serve.Retier.o_prices
+         c.Serve.Retier.o_prices
+    && Float.equal o.Serve.Retier.o_profit c.Serve.Retier.o_profit
+  in
+  let verified =
+    List.for_all
+      (fun (snap, o) -> outcome_matches o (Serve.Retier.solve_cold retier snap))
+      (List.rev !posted)
+  in
+  Report.print ppf (Serve.Stats.report s run);
+  Format.fprintf ppf "windows verified against cold solve: %d (%s)@."
+    s.Serve.Stats.retiers
+    (if verified then "cut-for-cut identical" else "DIVERGED");
+  Json_out.(
+    write ppf "BENCH_serve.json"
+      [
+        ("grid", Str "serve");
+        ("workload", Str name);
+        ("days", Int days);
+        ("every_s", Int every_s);
+        ("bin_s", Int bin_s);
+        ("bins", Int bins);
+        ("flows", Int result.Serve.Daemon.r_flows);
+        ("daemon", Raw (Serve.Stats.to_json s run));
+        ("windows_verified", Int s.Serve.Stats.retiers);
+        ("warm_equals_cold", Bool verified);
+      ]);
+  if not verified then
+    failwith "serve: warm-started tiers diverged from the cold solve"
 
 (* --- micro-benchmarks ----------------------------------------------------- *)
 
@@ -1377,16 +1453,22 @@ let () =
           failwith (name ^ ": expected a comma-separated list of ints")
         else ints
   in
-  let dp_sizes = int_list_flag "--dp-sizes" [ 1_000; 10_000; 50_000; 200_000 ] in
-  let dp_bundles = int_list_flag "--dp-bundles" [ 3; 10 ] in
-  let dp_max_exact =
-    match flag_value "--dp-max-exact" with
-    | None -> 50_000
+  let int_flag name default =
+    match flag_value name with
+    | None -> default
     | Some v -> (
         match int_of_string_opt v with
         | Some n -> n
-        | None -> failwith "--dp-max-exact: expected an int")
+        | None -> failwith (name ^ ": expected an int"))
   in
+  let dp_sizes = int_list_flag "--dp-sizes" [ 1_000; 10_000; 50_000; 200_000 ] in
+  let dp_bundles = int_list_flag "--dp-bundles" [ 3; 10 ] in
+  let dp_max_exact = int_flag "--dp-max-exact" 50_000 in
+  (* serve-section knobs: --serve-flows=N (eu_isp@N), --serve-days=D,
+     --serve-every=S (the CI smoke shrinks the first two). *)
+  let serve_flows = int_flag "--serve-flows" 2_000 in
+  let serve_days = int_flag "--serve-days" 6 in
+  let serve_every = int_flag "--serve-every" 3_600 in
   let use_cache = List.mem "--cache" raw_args || cache_max_bytes <> None in
   if use_cache then
     Engine.Cache.enable_disk ?max_bytes:cache_max_bytes ~dir:"_cache" ();
@@ -1414,6 +1496,9 @@ let () =
     if want "dp" then
       run_dp_bench ~sizes:dp_sizes ~bundle_counts:dp_bundles
         ~max_exact:dp_max_exact ();
+    if want "serve" then
+      run_serve_bench ~flows:serve_flows ~days:serve_days
+        ~every_s:serve_every ();
     if want "micro" then run_micro ()
   end;
   Format.fprintf ppf "@."

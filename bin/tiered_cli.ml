@@ -6,6 +6,7 @@
    tiered-cli evaluate NETWORK [--demand ced|logit] [--cost MODEL]
        [--theta T] [--bundles B] [--strategy S] ...
    tiered-cli sweep NETWORK --param alpha|p0|s0 [--strategy S] [--jobs N]
+   tiered-cli serve NETWORK [--days D] [--every SECONDS] [--decay KIND] ...
 
    Grid-shaped commands (run, sweep) execute on the Engine pool:
    --jobs picks the worker count, --backend picks the execution
@@ -433,6 +434,164 @@ let tiers_cmd =
     Term.(const run $ network_arg $ demand_arg $ s0_arg $ strategy_arg $ overhead_arg
           $ max_arg)
 
+(* --- serve -------------------------------------------------------------------- *)
+
+let serve_cmd =
+  let days_arg =
+    Arg.(value & opt int 1
+         & info [ "days" ] ~docv:"D"
+             ~doc:"Stream length: one synthesized day of NetFlow replayed \
+                   $(docv) times (timestamps shifted by whole days).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 11
+         & info [ "seed" ] ~docv:"N" ~doc:"NetFlow synthesis seed.")
+  in
+  let bin_arg =
+    Arg.(value & opt int 3600
+         & info [ "bin-s" ] ~docv:"SECONDS" ~doc:"Window bin width.")
+  in
+  let bins_arg =
+    Arg.(value & opt int 24
+         & info [ "bins" ] ~docv:"N" ~doc:"Bins in the sliding window.")
+  in
+  let every_arg =
+    Arg.(value & opt int 3600
+         & info [ "every" ] ~docv:"SECONDS"
+             ~doc:"Re-tier cadence in stream seconds.")
+  in
+  let decay_arg =
+    Arg.(value
+         & opt (enum [ ("none", `None); ("exponential", `Exponential);
+                       ("diurnal", `Diurnal) ])
+             `None
+         & info [ "decay" ] ~docv:"KIND"
+             ~doc:"Demand weighting across the window: $(b,none), \
+                   $(b,exponential) (see --half-life) or $(b,diurnal) \
+                   (see --amplitude / --peak-bin).")
+  in
+  let half_life_arg =
+    Arg.(value & opt float 12.
+         & info [ "half-life" ] ~docv:"BINS"
+             ~doc:"Exponential decay half-life, in bins.")
+  in
+  let amplitude_arg =
+    Arg.(value & opt float 0.5
+         & info [ "amplitude" ] ~docv:"A"
+             ~doc:"Diurnal modulation amplitude in [0, 1].")
+  in
+  let peak_arg =
+    Arg.(value & opt int 0
+         & info [ "peak-bin" ] ~docv:"N" ~doc:"Diurnal peak bin.")
+  in
+  let cold_every_arg =
+    Arg.(value & opt int 24
+         & info [ "cold-every" ] ~docv:"N"
+             ~doc:"Force the divergence fallback (a full re-solve through \
+                   the exact path) on every $(docv)-th solve; 0 disables \
+                   the drill.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Also write the run's counters as JSON to $(docv).")
+  in
+  let usage fmt =
+    Format.kasprintf
+      (fun msg ->
+        Format.eprintf "serve: %s@." msg;
+        exit Cmd.Exit.cli_error)
+      fmt
+  in
+  let run network demand cost theta alpha p0 s0 bundles days seed bin_s bins
+      every decay half_life amplitude peak cold_every cache max_bytes json =
+    enable_cache cache max_bytes;
+    let spec = spec_of ~demand ~s0 in
+    (match spec with
+    | Market.Linear _ ->
+        usage "linear demand has no parametric rebuild (use ced or logit)"
+    | Market.Ced | Market.Logit _ -> ());
+    (* Surface bad numeric parameters as CLI errors here; past this
+       point the same invalid_arg guards in lib/serve would read as
+       internal errors. *)
+    if days < 1 then usage "--days must be at least 1";
+    if bin_s < 1 then usage "--bin-s must be at least 1";
+    if bins < 1 then usage "--bins must be at least 1";
+    if every < 1 then usage "--every must be at least 1";
+    if bundles < 1 then usage "--bundles must be at least 1";
+    if cold_every < 0 then usage "--cold-every must be non-negative";
+    (match decay with
+    | `Exponential when not (half_life > 0. && Float.is_finite half_life) ->
+        usage "--half-life must be a positive number of bins"
+    | `Diurnal when not (amplitude >= 0. && amplitude <= 1.) ->
+        usage "--amplitude must lie in [0, 1]"
+    | `None | `Exponential | `Diurnal -> ());
+    let w = Flowgen.Workload.preset network in
+    let decay =
+      match decay with
+      | `None -> Serve.Window.No_decay
+      | `Exponential -> Serve.Window.Exponential { half_life_bins = half_life }
+      | `Diurnal -> Serve.Window.Diurnal { amplitude; peak_bin = peak }
+    in
+    let window =
+      Serve.Window.create
+        ~expected:(List.length w.Flowgen.Workload.flows)
+        { Serve.Window.bin_s; bins; decay }
+    in
+    let retier =
+      Serve.Retier.create
+        {
+          Serve.Retier.spec;
+          alpha;
+          p0;
+          n_bundles = bundles;
+          cost_model = cost_model_of ~cost ~theta;
+          samples = 8;
+          cold_every;
+          use_cache = cache || max_bytes <> None;
+        }
+        ~meta_of:(Serve.Retier.meta_of_workload w)
+    in
+    let result =
+      Serve.Daemon.run
+        ~clock:(Serve.Clock.of_fn Unix.gettimeofday)
+        ~window ~retier
+        { Serve.Daemon.every_s = every; dedup = true }
+        (Serve.Ingest.of_workload ~days ~seed w)
+    in
+    let s = result.Serve.Daemon.r_stats in
+    let run_row = result.Serve.Daemon.r_run in
+    Report.print ppf (Serve.Stats.report s run_row);
+    (match List.rev result.Serve.Daemon.r_outcomes with
+    | last :: _ when last.Serve.Retier.o_n_flows > 0 ->
+        Format.fprintf ppf "@.posted tiers (final window, %d flows):@."
+          last.Serve.Retier.o_n_flows;
+        Array.iteri
+          (fun i price ->
+            Format.fprintf ppf "  tier %d: $%.2f/Mbps/month@." (i + 1) price)
+          last.Serve.Retier.o_prices
+    | _ -> ());
+    match json with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Serve.Stats.to_json s run_row);
+        output_string oc "\n";
+        close_out oc;
+        Format.fprintf ppf "@.wrote %s@." file
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the streaming pricing service on a synthesized NetFlow \
+             stream: sliding-window demand, incremental re-tiering with \
+             warm-started solves, posted tiers identical to from-scratch \
+             solves.")
+    Term.(const run $ network_arg $ demand_arg $ cost_arg $ theta_arg
+          $ alpha_arg $ p0_arg $ s0_arg $ bundles_arg $ days_arg $ seed_arg
+          $ bin_arg $ bins_arg $ every_arg $ decay_arg $ half_life_arg
+          $ amplitude_arg $ peak_arg $ cold_every_arg $ cache_arg
+          $ cache_max_bytes_arg $ json_arg)
+
 (* --- main ---------------------------------------------------------------------- *)
 
 let () =
@@ -446,4 +605,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; run_cmd; dataset_cmd; evaluate_cmd; sweep_cmd; trace_cmd; loading_cmd;
-         tiers_cmd ]))
+         tiers_cmd; serve_cmd ]))

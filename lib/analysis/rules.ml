@@ -26,7 +26,7 @@ let catalog =
       id = "D003";
       title = "wall-clock and ambient randomness confined to the engine";
       rationale =
-        "Unix.gettimeofday / Sys.time / Random.self_init anywhere outside \
+        "Unix.gettimeofday / Unix.time / Sys.time / Random.self_init anywhere outside \
          the engine's metrics plumbing (lib/engine/*, lib/core/runner.ml) \
          would let timing or seed state leak into experiment output.  \
          Model code draws randomness from an explicitly-seeded \
@@ -156,7 +156,7 @@ let d001_idents =
   ]
 
 let d002_idents = [ "Hashtbl.iter"; "Hashtbl.fold" ]
-let d003_idents = [ "Unix.gettimeofday"; "Sys.time"; "Random.self_init" ]
+let d003_idents = [ "Unix.gettimeofday"; "Unix.time"; "Sys.time"; "Random.self_init" ]
 let d004_idents = [ "=="; "!=" ]
 
 (* D005: [canonical] already folds [Stdlib.compare] to [compare], so one

@@ -46,34 +46,39 @@ let is_on_net ~theta id =
    below zero for very short flows, so clamp. *)
 let cost_floor = 0.05
 
+(* [freeze] pins the flow-set-wide normalizations (the d_max of the
+   linear/concave models, the concave base offset) to a reference flow
+   set and returns a per-flow evaluator. [relative_costs] is the same
+   evaluator applied to its own reference set, so the two cannot drift
+   apart; the streaming re-tier loop uses [freeze] directly to price
+   flows that appear after its calibration window without re-scaling
+   every existing cost. *)
+let freeze t flows =
+  if Array.length flows = 0 then
+    invalid_arg "Cost_model.freeze: empty reference flow set";
+  match t with
+  | Linear { theta } ->
+      let dmax = Numerics.Stats.max (Flow.distances flows) in
+      let base = theta *. dmax in
+      fun (f : Flow.t) -> Float.max cost_floor (f.distance_miles +. base)
+  | Concave { theta; a; b; c } ->
+      let dmax = Float.max 1. (Numerics.Stats.max (Flow.distances flows)) in
+      let curve (f : Flow.t) =
+        let x = Float.max 1e-3 (f.distance_miles /. dmax) in
+        Float.max cost_floor ((a *. (log x /. log b)) +. c)
+      in
+      let base = theta *. Numerics.Stats.max (Array.map curve flows) in
+      fun f -> curve f +. base
+  | Regional { theta } ->
+      fun (f : Flow.t) -> (
+        match f.locality with
+        | Flow.Metro -> 1.
+        | Flow.National -> 2. ** theta
+        | Flow.International -> 3. ** theta)
+  | Destination_type { theta } ->
+      fun (f : Flow.t) -> if is_on_net ~theta f.id then 1. else 2.
+
 let relative_costs t flows =
-  if Array.length flows = 0 then [||]
-  else
-    match t with
-    | Linear { theta } ->
-        let dmax = Numerics.Stats.max (Flow.distances flows) in
-        let base = theta *. dmax in
-        Array.map (fun (f : Flow.t) -> Float.max cost_floor (f.distance_miles +. base)) flows
-    | Concave { theta; a; b; c } ->
-        let dmax = Float.max 1. (Numerics.Stats.max (Flow.distances flows)) in
-        let curve (f : Flow.t) =
-          let x = Float.max 1e-3 (f.distance_miles /. dmax) in
-          Float.max cost_floor ((a *. (log x /. log b)) +. c)
-        in
-        let raw = Array.map curve flows in
-        let base = theta *. Numerics.Stats.max raw in
-        Array.map (fun v -> v +. base) raw
-    | Regional { theta } ->
-        Array.map
-          (fun (f : Flow.t) ->
-            match f.locality with
-            | Flow.Metro -> 1.
-            | Flow.National -> 2. ** theta
-            | Flow.International -> 3. ** theta)
-          flows
-    | Destination_type { theta } ->
-        Array.map
-          (fun (f : Flow.t) -> if is_on_net ~theta f.id then 1. else 2.)
-          flows
+  if Array.length flows = 0 then [||] else Array.map (freeze t flows) flows
 
 let pp ppf t = Format.fprintf ppf "%s(theta=%g)" (name t) (theta t)

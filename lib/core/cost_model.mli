@@ -39,6 +39,15 @@ val relative_costs : t -> Flow.t array -> float array
     flow ids so that a θ sweep changes the on-net share without touching
     the flows. *)
 
+val freeze : t -> Flow.t array -> Flow.t -> float
+(** [freeze t flows] is the relative-cost evaluator with the
+    flow-set-wide normalizations (the linear/concave [d_max], the
+    concave base offset) pinned to [flows]. [relative_costs t flows] is
+    exactly [Array.map (freeze t flows) flows]; the streaming re-tier
+    loop uses the frozen evaluator to cost flows that appear after its
+    calibration window without rescaling existing costs. Raises
+    [Invalid_argument] on an empty reference set. *)
+
 val is_on_net : theta:float -> int -> bool
 (** The deterministic quasi-random on-net assignment used by
     [Destination_type] (golden-ratio low-discrepancy sequence over flow

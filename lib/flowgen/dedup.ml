@@ -17,6 +17,80 @@ let key_of_record (r : Netflow.record) =
     k_first_s = r.first_s;
   }
 
+(* Streaming duplicate suppression. The batch [dedup] keeps the
+   lowest-router observation of each key, which needs the whole input in
+   hand; a long-running ingest loop cannot retract bytes it already
+   accumulated, so the streaming contract is first-observation-wins.
+   The two agree on every byte count: synthesized duplicates carry the
+   same [bytes] at every observing router (per-bin noise is shared, see
+   Netflow.synthesize), so only the [router] attribution differs. *)
+module Stream = struct
+  (* Under the nondecreasing-[first_s] ingest contract a flow's records
+     arrive window by window, so a duplicate is exactly a record whose
+     [first_s] equals the last one kept for its 5-tuple. Remembering
+     only that last value keeps the table the size of the live flow
+     universe — not universe x windows — which keeps the per-record
+     lookup in cache on the daemon's hot path. *)
+  type flow_key = {
+    s_src : Ipv4.t;
+    s_dst : Ipv4.t;
+    s_src_port : int;
+    s_dst_port : int;
+    s_proto : int;
+  }
+
+  type t = {
+    last : (flow_key, int) Hashtbl.t;  (* 5-tuple -> last first_s kept *)
+    arrivals : (flow_key * int) Queue.t;  (* fresh keeps, in order *)
+    mutable dropped : int;
+  }
+
+  let create ?(expected = 4096) () =
+    { last = Hashtbl.create expected; arrivals = Queue.create (); dropped = 0 }
+
+  let flow_key (r : Netflow.record) =
+    {
+      s_src = r.src;
+      s_dst = r.dst;
+      s_src_port = r.src_port;
+      s_dst_port = r.dst_port;
+      s_proto = r.proto;
+    }
+
+  let observe t (r : Netflow.record) =
+    let key = flow_key r in
+    match Hashtbl.find_opt t.last key with
+    | Some fs when fs = r.first_s ->
+        t.dropped <- t.dropped + 1;
+        false
+    | Some _ | None ->
+        Hashtbl.replace t.last key r.first_s;
+        Queue.add (key, r.first_s) t.arrivals;
+        true
+
+  let dropped t = t.dropped
+  let distinct t = Hashtbl.length t.last
+
+  let forget_before t ~first_s =
+    (* Retire 5-tuples that have gone idle so the table does not grow
+       with flow churn over a long-running stream. Entries are retired
+       lazily off the arrival queue; a key re-observed since its queue
+       entry was pushed has a fresher entry further down, so it is left
+       alone here. Requires the ingest contract: a late record older
+       than a retired horizon would be seen as fresh again. *)
+    let stale () =
+      match Queue.peek_opt t.arrivals with
+      | Some (_, fs) -> fs < first_s
+      | None -> false
+    in
+    while stale () do
+      let key, _ = Queue.pop t.arrivals in
+      match Hashtbl.find_opt t.last key with
+      | Some fs when fs < first_s -> Hashtbl.remove t.last key
+      | Some _ | None -> ()
+    done
+end
+
 let dedup records =
   let best : (key, Netflow.record) Hashtbl.t = Hashtbl.create 4096 in
   let order = ref [] in

@@ -24,3 +24,35 @@ val dedup : Netflow.record list -> Netflow.record list
 
 val duplicate_count : Netflow.record list -> int
 (** How many records {!dedup} would drop. *)
+
+(** Streaming duplicate suppression for the long-running ingest loop.
+
+    First observation of a (5-tuple, window) wins (the batch {!dedup}
+    keeps the lowest-numbered router instead, which needs the whole
+    input in hand); byte counts agree between the two because
+    synthesized duplicates carry identical [bytes] at every observing
+    router — only the [router] attribution can differ. Records must
+    arrive in nondecreasing [first_s]: the state kept per 5-tuple is
+    just the last [first_s] seen, so out-of-order input would misread
+    an old window as fresh. *)
+module Stream : sig
+  type t
+
+  val create : ?expected:int -> unit -> t
+
+  val observe : t -> Netflow.record -> bool
+  (** [true] when the record opens a new window for its 5-tuple (keep
+      it); [false] for a same-window duplicate (drop it). *)
+
+  val dropped : t -> int
+  (** Duplicates suppressed so far. *)
+
+  val distinct : t -> int
+  (** 5-tuples currently remembered. *)
+
+  val forget_before : t -> first_s:int -> unit
+  (** Retire every 5-tuple last kept before [first_s], bounding memory
+      under flow churn on a long-running stream. Requires the
+      nondecreasing-[first_s] contract: a late record older than a
+      retired horizon would be treated as fresh. *)
+end

@@ -6,37 +6,74 @@ type aggregate = {
   records : int;
 }
 
+(* Incremental aggregation: the batch entry points below and the
+   streaming service's ingest path share this accumulator, so there is
+   exactly one grouping semantics (first-appearance order, byte sums)
+   however the records arrive. *)
+module Acc = struct
+  type cell = {
+    c_src : Ipv4.t;
+    c_dst : Ipv4.t;
+    mutable c_bytes : float;
+    mutable c_records : int;
+  }
+
+  type t = {
+    key_of : Netflow.record -> int * int;
+    index : (int * int, cell) Hashtbl.t;
+    mutable order : cell list;  (* reverse first-appearance order *)
+    mutable count : int;
+  }
+
+  let create ?(expected = 1024) ~key_of () =
+    { key_of; index = Hashtbl.create expected; order = []; count = 0 }
+
+  let observe t (r : Netflow.record) =
+    let key = t.key_of r in
+    match Hashtbl.find_opt t.index key with
+    | Some cell ->
+        cell.c_bytes <- cell.c_bytes +. r.bytes;
+        cell.c_records <- cell.c_records + 1
+    | None ->
+        let cell =
+          { c_src = r.src; c_dst = r.dst; c_bytes = r.bytes; c_records = 1 }
+        in
+        Hashtbl.add t.index key cell;
+        t.order <- cell :: t.order;
+        t.count <- t.count + 1
+
+  let size t = t.count
+
+  let aggregates t ~window_s =
+    if window_s <= 0 then invalid_arg "Demand: non-positive window";
+    List.rev_map
+      (fun cell ->
+        {
+          src = cell.c_src;
+          dst = cell.c_dst;
+          bytes = cell.c_bytes;
+          records = cell.c_records;
+          mbps = Netflow.mbps_of_bytes ~bytes:cell.c_bytes ~seconds:window_s;
+        })
+      t.order
+end
+
+let endpoint_pair_key (r : Netflow.record) =
+  (Ipv4.to_int r.src, Ipv4.to_int r.dst)
+
+let destination_key (r : Netflow.record) = (0, Ipv4.to_int r.dst)
+
 let group ~window_s ~key_of records =
   if window_s <= 0 then invalid_arg "Demand: non-positive window";
-  let acc = Hashtbl.create 1024 in
-  let order = ref [] in
-  List.iter
-    (fun (r : Netflow.record) ->
-      let key = key_of r in
-      match Hashtbl.find_opt acc key with
-      | None ->
-          Hashtbl.add acc key (r.src, r.dst, r.bytes, 1);
-          order := key :: !order
-      | Some (src, dst, bytes, count) ->
-          Hashtbl.replace acc key (src, dst, bytes +. r.bytes, count + 1))
-    records;
-  List.rev_map
-    (fun key ->
-      let src, dst, bytes, records = Hashtbl.find acc key in
-      {
-        src;
-        dst;
-        bytes;
-        records;
-        mbps = Netflow.mbps_of_bytes ~bytes ~seconds:window_s;
-      })
-    !order
+  let acc = Acc.create ~key_of () in
+  List.iter (Acc.observe acc) records;
+  Acc.aggregates acc ~window_s
 
 let by_endpoint_pair ?(window_s = Netflow.day_seconds) records =
-  group ~window_s ~key_of:(fun (r : Netflow.record) -> (Ipv4.to_int r.src, Ipv4.to_int r.dst)) records
+  group ~window_s ~key_of:endpoint_pair_key records
 
 let by_destination ?(window_s = Netflow.day_seconds) records =
-  group ~window_s ~key_of:(fun (r : Netflow.record) -> (0, Ipv4.to_int r.dst)) records
+  group ~window_s ~key_of:destination_key records
 
 let total_mbps aggregates =
   Numerics.Stats.sum (Array.of_list (List.map (fun a -> a.mbps) aggregates))

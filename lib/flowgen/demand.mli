@@ -13,6 +13,30 @@ type aggregate = {
   records : int;  (** Records merged into this aggregate. *)
 }
 
+(** Incremental aggregation: one record at a time, aggregates on
+    demand. The batch entry points below are thin wrappers, so batch
+    and streaming ingest share one grouping semantics. *)
+module Acc : sig
+  type t
+
+  val create :
+    ?expected:int -> key_of:(Netflow.record -> int * int) -> unit -> t
+
+  val observe : t -> Netflow.record -> unit
+  val size : t -> int
+  (** Distinct keys seen. *)
+
+  val aggregates : t -> window_s:int -> aggregate list
+  (** Snapshot in first-appearance order; [mbps] is the mean rate over
+      [window_s]. Raises [Invalid_argument] when [window_s <= 0]. *)
+end
+
+val endpoint_pair_key : Netflow.record -> int * int
+(** The (src, dst) grouping key of {!by_endpoint_pair}. *)
+
+val destination_key : Netflow.record -> int * int
+(** The destination-only grouping key of {!by_destination}. *)
+
 val by_endpoint_pair : ?window_s:int -> Netflow.record list -> aggregate list
 (** Groups by (src, dst) address pair over a window of [window_s]
     seconds (default one day). Order follows first appearance. *)

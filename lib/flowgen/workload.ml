@@ -231,7 +231,16 @@ let split_scale name =
   | Some i -> (
       let base = String.sub name 0 i in
       let suffix = String.sub name (i + 1) (String.length name - i - 1) in
-      match int_of_string_opt suffix with
+      (* Decimal digits only: [int_of_string_opt] alone would quietly
+         accept hex ("0x10"), sign prefixes ("+5") and underscore
+         separators ("1_000") — none of which a CLI user means by
+         name@N. Overflowing digit strings still fall through to
+         [None]. *)
+      let all_decimal =
+        String.length suffix > 0
+        && String.for_all (fun c -> c >= '0' && c <= '9') suffix
+      in
+      match (if all_decimal then int_of_string_opt suffix else None) with
       | Some n when n >= 1 -> (base, Some n)
       | Some _ | None ->
           invalid_arg

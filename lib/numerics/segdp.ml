@@ -45,12 +45,13 @@ let exact_layer ~prev ~cur ~choice_row ~seg ~b ~n =
     choice_row.(j) <- best_i
   done
 
-(* Monotone-decision divide and conquer: solve the middle column over
-   the inherited candidate range, then recurse with the range split at
-   the argmax. Identical to the exact layer whenever the layer matrix is
-   inverse Monge (leftmost argmaxes are then nondecreasing in j, ties
-   included). *)
-let dandc_layer ~prev ~cur ~choice_row ~seg ~b ~n =
+(* Monotone-decision divide and conquer over a column range: solve the
+   middle column over the inherited candidate range, then recurse with
+   the range split at the argmax. Identical to the exact layer whenever
+   the layer matrix is inverse Monge (leftmost argmaxes are then
+   nondecreasing in j, ties included). The range form is what the
+   warm-start entry re-runs over the dirty column suffix only. *)
+let dandc_range ~prev ~cur ~choice_row ~seg ~jlo ~jhi ~ilo ~ihi =
   let rec go jlo jhi ilo ihi =
     if jlo <= jhi then begin
       let jmid = jlo + ((jhi - jlo) / 2) in
@@ -73,7 +74,11 @@ let dandc_layer ~prev ~cur ~choice_row ~seg ~b ~n =
       go (jmid + 1) jhi split ihi
     end
   in
-  go b (n - 1) b (n - 1)
+  go jlo jhi ilo ihi
+
+let dandc_layer ~prev ~cur ~choice_row ~seg ~b ~n =
+  dandc_range ~prev ~cur ~choice_row ~seg ~jlo:b ~jhi:(n - 1) ~ilo:b
+    ~ihi:(n - 1)
 
 (* xorshift64: cheap deterministic sampling, independent of the global
    Random state (lib code must stay reproducible; DESIGN.md §10 D003). *)
@@ -183,3 +188,143 @@ let solve ?(samples = 16) ~n ~n_bundles seg_value =
   run ~n ~n_bundles seg_value ~layer:(fun ~prev ~cur ~choice_row ~seg ~b ->
       dandc_layer ~prev ~cur ~choice_row ~seg ~b ~n;
       layer_valid ~prev ~cur ~choice_row ~seg ~b ~n ~samples)
+
+(* --- warm start ----------------------------------------------------------- *)
+
+(* The streaming re-tier loop solves an almost-identical instance every
+   window: only a suffix of the cost-sorted positions changes. Retaining
+   the full DP matrices lets the next solve recompute exactly the
+   columns [dirty_from ..] of every layer — column j of any layer
+   depends only on [prev] at positions [< j] and on [seg i j] with
+   [i <= j], so every column left of the first dirty position is
+   untouched by construction, not by assumption. The recomputed suffix
+   runs the same divide-and-conquer with the candidate range inherited
+   from the last clean column's stored argmax, and every layer is
+   re-validated by the same spot-check [solve] uses; a failed check
+   abandons the warm attempt and re-solves from scratch into the same
+   state, so a warm result can never silently diverge from a cold one. *)
+
+type state = {
+  st_n : int;
+  st_n_bundles : int;
+  st_b_max : int;
+  st_dp : float array array;  (* b_max rows of n layer values *)
+  st_choice : int array array;  (* b_max rows; row 0 unused *)
+  st_last : float array;  (* dp value of the full prefix per layer *)
+}
+
+(* Fill every layer of [st] from scratch — the same computations as
+   [solve] (divide-and-conquer, spot-check, exact fallback), just
+   written into retained rows instead of a rolling pair. *)
+let fill_state ~samples ~fallbacks st seg =
+  let n = st.st_n and b_max = st.st_b_max in
+  let dp = st.st_dp and choice = st.st_choice and last = st.st_last in
+  for j = 0 to n - 1 do
+    dp.(0).(j) <- seg 0 j
+  done;
+  last.(0) <- dp.(0).(n - 1);
+  for b = 1 to b_max - 1 do
+    let prev = dp.(b - 1) and cur = dp.(b) in
+    let choice_row = choice.(b) in
+    Array.fill cur 0 n Float.neg_infinity;
+    dandc_layer ~prev ~cur ~choice_row ~seg ~b ~n;
+    if not (layer_valid ~prev ~cur ~choice_row ~seg ~b ~n ~samples) then begin
+      incr fallbacks;
+      Array.fill cur 0 n Float.neg_infinity;
+      Array.fill choice_row 0 n 0;
+      exact_layer ~prev ~cur ~choice_row ~seg ~b ~n
+    end;
+    last.(b) <- cur.(n - 1)
+  done
+
+let solve_with_state ?(samples = 16) ~n ~n_bundles seg_value =
+  validate ~n ~n_bundles;
+  let b_max = Stdlib.min n_bundles n in
+  let st =
+    {
+      st_n = n;
+      st_n_bundles = n_bundles;
+      st_b_max = b_max;
+      st_dp = Array.make_matrix b_max n Float.neg_infinity;
+      st_choice = Array.make_matrix b_max n 0;
+      st_last = Array.make b_max Float.neg_infinity;
+    }
+  in
+  let evals = ref 0 and fallbacks = ref 0 in
+  let seg i j =
+    incr evals;
+    seg_value i j
+  in
+  fill_state ~samples ~fallbacks st seg;
+  ( finish ~choice:st.st_choice ~last:st.st_last ~b_max ~n
+      ~stats:
+        { layers = b_max; fallback_layers = !fallbacks; evaluations = !evals },
+    st )
+
+let state_n st = st.st_n
+let state_n_bundles st = st.st_n_bundles
+
+let solve_warm ?(samples = 16) ?(force_fallback = false) st ~dirty_from
+    seg_value =
+  let n = st.st_n and b_max = st.st_b_max in
+  if dirty_from < 0 || dirty_from > n then
+    invalid_arg "Segdp.solve_warm: dirty_from out of [0, n]";
+  if dirty_from = n && not force_fallback then
+    (* Nothing changed: replay the traceback from the retained state. *)
+    ( finish ~choice:st.st_choice ~last:st.st_last ~b_max ~n
+        ~stats:{ layers = 0; fallback_layers = 0; evaluations = 0 },
+      `Warm )
+  else begin
+    let evals = ref 0 in
+    let seg i j =
+      incr evals;
+      seg_value i j
+    in
+    let d = Stdlib.min dirty_from (n - 1) in
+    let dp = st.st_dp and choice = st.st_choice and last = st.st_last in
+    let ok = ref (not force_fallback) in
+    if !ok then begin
+      for j = d to n - 1 do
+        dp.(0).(j) <- seg 0 j
+      done;
+      last.(0) <- dp.(0).(n - 1);
+      let b = ref 1 in
+      while !ok && !b < b_max do
+        let b' = !b in
+        let prev = dp.(b' - 1) and cur = dp.(b') in
+        let choice_row = choice.(b') in
+        let jlo = Stdlib.max b' d in
+        (* The last clean column's stored argmax bounds every dirty
+           column's argmax from below (monotone decisions — the same
+           property the divide and conquer itself rides on; the
+           spot-check below still guards it). *)
+        let ilo =
+          if jlo - 1 >= b' then Stdlib.max choice_row.(jlo - 1) b' else b'
+        in
+        dandc_range ~prev ~cur ~choice_row ~seg ~jlo ~jhi:(n - 1) ~ilo
+          ~ihi:(n - 1);
+        ok := layer_valid ~prev ~cur ~choice_row ~seg ~b:b' ~n ~samples;
+        last.(b') <- cur.(n - 1);
+        incr b
+      done
+    end;
+    if !ok then
+      ( finish ~choice ~last ~b_max ~n
+          ~stats:{ layers = b_max; fallback_layers = 0; evaluations = !evals },
+        `Warm )
+    else begin
+      (* Divergence (or a forced drill): recompute every layer from
+         scratch into the same state. The warm attempt's evaluations
+         stay in the bill — they were really spent. *)
+      let fallbacks = ref 0 in
+      fill_state ~samples ~fallbacks st seg;
+      ( finish ~choice ~last ~b_max ~n
+          ~stats:
+            {
+              layers = b_max;
+              fallback_layers = !fallbacks;
+              evaluations = !evals;
+            },
+        `Cold )
+    end
+  end

@@ -51,3 +51,51 @@ val solve :
     [samples] bounds both the exact column re-solves and the Monge
     quadruple probes per layer (default [16]; [0] disables validation).
     Raises [Invalid_argument] when [n < 1] or [n_bundles < 1]. *)
+
+(** {2 Warm start}
+
+    The streaming re-tier loop (DESIGN.md §12) solves a near-identical
+    instance every window: only positions [>= dirty_from] of the
+    cost-sorted input change. [solve_with_state] retains the full DP
+    matrices; [solve_warm] then recomputes only the dirty column suffix
+    of every layer — columns left of [dirty_from] are provably
+    untouched, because column [j] depends only on positions [<= j] —
+    re-validating each layer with the same spot-check [solve] runs and
+    re-solving everything from scratch when a check trips. A warm
+    result is therefore always cut-for-cut what the cold solver would
+    have returned on the same inputs. *)
+
+type state
+(** Retained DP matrices (O(n_bundles * n) floats), mutated in place by
+    {!solve_warm}. *)
+
+val state_n : state -> int
+val state_n_bundles : state -> int
+
+val solve_with_state :
+  ?samples:int ->
+  n:int ->
+  n_bundles:int ->
+  (int -> int -> float) ->
+  result * state
+(** Exactly {!solve} (same cuts, value and tie-breaks), additionally
+    returning the retained state for later warm calls. *)
+
+val solve_warm :
+  ?samples:int ->
+  ?force_fallback:bool ->
+  state ->
+  dirty_from:int ->
+  (int -> int -> float) ->
+  result * [ `Warm | `Cold ]
+(** [solve_warm state ~dirty_from seg_value] re-solves with the given
+    [seg_value], which must agree with the previous call's on every
+    segment contained in positions [< dirty_from]. [dirty_from = n]
+    means nothing changed (the retained optimum is replayed with zero
+    evaluations). Returns [`Warm] when the suffix recompute passed every
+    layer's spot-check, [`Cold] when a check tripped and the state was
+    recomputed from scratch (warm-attempt evaluations included in
+    [stats]). [force_fallback] skips the warm attempt and takes the
+    divergence path directly — the fault-injection drill the streaming
+    service's tests and smoke use. Raises [Invalid_argument] when
+    [dirty_from] is outside [\[0, n\]]. *)

@@ -1,0 +1,8 @@
+type t = unit -> float
+
+let of_fn f = f
+let now t = t ()
+
+let manual ?(start = 0.) () =
+  let cur = ref start in
+  ((fun () -> !cur), fun s -> cur := s)

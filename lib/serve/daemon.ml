@@ -1,0 +1,82 @@
+type params = { every_s : int; dedup : bool }
+
+type run_result = {
+  r_outcomes : Retier.outcome list;
+  r_stats : Stats.summary;
+  r_run : Stats.run;
+  r_flows : int;
+}
+
+let run ?on_retier ~clock ~window ~retier params ingest =
+  if params.every_s < 1 then invalid_arg "Serve.Daemon: every_s < 1";
+  let wp = Window.params window in
+  let span_s = wp.Window.bins * wp.Window.bin_s in
+  let dedup = Flowgen.Dedup.Stream.create () in
+  let stats = Stats.create () in
+  let outcomes = ref [] in
+  let records = ref 0 in
+  let t0 = Clock.now clock in
+  (* Re-tier covering all stream time < [at]: advance the window to the
+     bin containing [at - 1] (records at [at] and beyond have not been
+     ingested yet), retire dedup keys the window can no longer hold,
+     snapshot and solve. *)
+  let retier_at at =
+    Window.advance_to window ~bin:(Window.bin_of_time wp (float_of_int (at - 1)));
+    if params.dedup then
+      Flowgen.Dedup.Stream.forget_before dedup ~first_s:(at - span_s);
+    let snap = Window.snapshot window in
+    let t_solve = Clock.now clock in
+    let o = Retier.retier retier snap in
+    let latency_s = Clock.now clock -. t_solve in
+    Stats.observe stats ~solve:o.Retier.o_solve ~latency_s
+      ~evaluations:o.Retier.o_evaluations ~fallback:o.Retier.o_fallback;
+    outcomes := o :: !outcomes;
+    match on_retier with Some f -> f snap o | None -> ()
+  in
+  let deadline = ref min_int in
+  let last_seen = ref min_int in
+  let rec pump () =
+    match Ingest.next ingest with
+    | None -> ()
+    | Some r ->
+        incr records;
+        let first_s = r.Flowgen.Netflow.first_s in
+        if !deadline = min_int then deadline := first_s + params.every_s;
+        while first_s >= !deadline do
+          retier_at !deadline;
+          deadline := !deadline + params.every_s
+        done;
+        last_seen := first_s;
+        let keep =
+          (not params.dedup) || Flowgen.Dedup.Stream.observe dedup r
+        in
+        if keep then
+          ignore
+            (Window.observe window ~src:r.Flowgen.Netflow.src
+               ~dst:r.Flowgen.Netflow.dst ~bytes:r.Flowgen.Netflow.bytes
+               ~bin:(Window.bin_of_time wp (float_of_int first_s)));
+        pump ()
+  in
+  pump ();
+  (* Tail: the deadline loop only fires strictly before a record, so the
+     last partial interval is still unposted. *)
+  if !last_seen <> min_int then retier_at (!last_seen + 1);
+  let wall_s = Clock.now clock -. t0 in
+  let snap_occupancy = (Window.snapshot window).Window.s_occupancy in
+  let run =
+    {
+      Stats.records = !records;
+      dropped_dup = (if params.dedup then Flowgen.Dedup.Stream.dropped dedup else 0);
+      late = Window.late window;
+      occupancy = snap_occupancy;
+      wall_s;
+      records_per_s =
+        (if wall_s > 0. then float_of_int !records /. wall_s else 0.);
+    }
+  in
+  {
+    r_outcomes = List.rev !outcomes;
+    r_stats = Stats.summary stats;
+    r_run = run;
+    r_flows = Window.flow_count window;
+  }

@@ -1,0 +1,52 @@
+type t = {
+  template : Flowgen.Netflow.record array;  (* one day, sorted by first_s *)
+  days : int;
+  mutable day : int;
+  mutable pos : int;
+}
+
+let sort_by_first records =
+  let a = Array.of_list records in
+  let n = Array.length a in
+  (* Stable order: first_s, then original emission index, so router
+     duplicates of the same window arrive in synthesis order and the
+     streaming dedup's first-observation-wins choice is deterministic. *)
+  let idx = Array.init n Fun.id in
+  Array.sort
+    (fun i j ->
+      match
+        Int.compare a.(i).Flowgen.Netflow.first_s a.(j).Flowgen.Netflow.first_s
+      with
+      | 0 -> Int.compare i j
+      | c -> c)
+    idx;
+  Array.map (fun i -> a.(i)) idx
+
+let of_records records =
+  { template = sort_by_first records; days = 1; day = 0; pos = 0 }
+
+let of_workload ?shape ?(days = 1) ~seed w =
+  if days < 1 then invalid_arg "Serve.Ingest.of_workload: days < 1";
+  let rng = Numerics.Rng.create seed in
+  let records =
+    Flowgen.Netflow.synthesize ?shape ~rng (Flowgen.Workload.to_ground_truth w)
+  in
+  { template = sort_by_first records; days; day = 0; pos = 0 }
+
+let total t = Array.length t.template * t.days
+
+let next t =
+  let len = Array.length t.template in
+  if t.pos >= len then begin
+    t.day <- t.day + 1;
+    t.pos <- 0
+  end;
+  if t.day >= t.days || len = 0 then None
+  else begin
+    let r = t.template.(t.pos) in
+    t.pos <- t.pos + 1;
+    if t.day = 0 then Some r
+    else
+      let shift = t.day * Flowgen.Netflow.day_seconds in
+      Some { r with first_s = r.first_s + shift; last_s = r.last_s + shift }
+  end

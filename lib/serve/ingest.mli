@@ -1,0 +1,30 @@
+(** Record streams for the daemon.
+
+    The daemon consumes NetFlow records in nondecreasing [first_s]
+    order (the contract {!Flowgen.Dedup.Stream.forget_before} and the
+    window's late-drop accounting rely on). {!of_records} sorts a batch
+    into that order; {!of_workload} synthesizes one day of records from
+    a workload through the same {!Flowgen.Netflow.synthesize} path the
+    batch pipeline uses — duplicates at every on-path router included —
+    and replays it for [days] days, shifting timestamps by whole days,
+    so arbitrarily long runs cost one day of synthesis. *)
+
+type t
+
+val of_records : Flowgen.Netflow.record list -> t
+(** Sorts by [first_s] (stable, so router duplicates keep their
+    emission order and streaming dedup stays deterministic). *)
+
+val of_workload :
+  ?shape:Flowgen.Netflow.shape ->
+  ?days:int ->
+  seed:int ->
+  Flowgen.Workload.t ->
+  t
+(** [days] defaults to [1]. Raises [Invalid_argument] when
+    [days < 1]. *)
+
+val total : t -> int
+(** Records the stream will yield in all. *)
+
+val next : t -> Flowgen.Netflow.record option

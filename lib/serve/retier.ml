@@ -1,0 +1,409 @@
+module Market = Tiered.Market
+module Flow = Tiered.Flow
+
+type flow_meta = {
+  m_id : int;
+  m_distance_miles : float;
+  m_locality : Flow.locality;
+  m_on_net : bool;
+}
+
+let meta_of_workload (w : Flowgen.Workload.t) =
+  let index = Hashtbl.create (List.length w.flows) in
+  List.iter
+    (fun (f : Flowgen.Workload.flow) ->
+      Hashtbl.replace index
+        (Flowgen.Ipv4.to_int f.src_addr, Flowgen.Ipv4.to_int f.dst_addr)
+        {
+          m_id = f.id;
+          m_distance_miles = f.distance_miles;
+          m_locality = Tiered.Dataset.locality_of f.locality;
+          m_on_net = f.on_net;
+        })
+    w.flows;
+  fun src dst ->
+    Hashtbl.find_opt index (Flowgen.Ipv4.to_int src, Flowgen.Ipv4.to_int dst)
+
+type params = {
+  spec : Market.demand_spec;
+  alpha : float;
+  p0 : float;
+  n_bundles : int;
+  cost_model : Tiered.Cost_model.t;
+  samples : int;
+  cold_every : int;
+  use_cache : bool;
+}
+
+(* The per-position signature the dirty detection runs on: positions
+   are the DP's cost order, so an unchanged prefix of signatures means
+   an unchanged prefix of segment values (under CED; see [dirty_from]
+   for the logit caveat). The signature keys on demand rather than
+   valuation: the valuation is a fixed bijection of demand under the
+   frozen calibration, so equality of (cost, demand, id) is equality of
+   the DP inputs — and unchanged windows never pay the inversion. *)
+type sig_entry = { g_cost : float; g_q : float; g_uid : int }
+
+type solved = { s_cuts : int list; s_prices : float array; s_profit : float }
+
+type calib = {
+  gamma : float;
+  rel_cost : Flow.t -> float;
+  costs : (int, float) Hashtbl.t;
+      (* flow id -> gamma * rel_cost, memoized: every cost model prices
+         static flow attributes (distance, locality, identity), never
+         demand, so the frozen absolute cost is a constant per flow. *)
+}
+
+type t = {
+  params : params;
+  meta_of : Flowgen.Ipv4.t -> Flowgen.Ipv4.t -> flow_meta option;
+  cache : solved Engine.Cache.t option;
+  mutable calib : calib option;
+  mutable meta_memo : flow_meta option option array;
+      (* window uid -> oracle answer; window uids are dense and stable,
+         so the per-window join is an array probe, not a rehash of
+         every endpoint pair. *)
+  mutable dp : Numerics.Segdp.state option;
+  mutable dp_sig : sig_entry array;  (* signature the retained state solved *)
+  mutable last : solved option;  (* priced outcome matching [dp_sig] *)
+  mutable solves : int;  (* warm/cold solves, for the cold_every drill *)
+}
+
+let create params ~meta_of =
+  (match params.spec with
+  | Market.Linear _ ->
+      invalid_arg "Serve.Retier: Linear demand has no parametric rebuild"
+  | Market.Ced | Market.Logit _ -> ());
+  if params.n_bundles < 1 then invalid_arg "Serve.Retier: n_bundles < 1";
+  if params.samples < 0 then invalid_arg "Serve.Retier: samples < 0";
+  if params.cold_every < 0 then invalid_arg "Serve.Retier: cold_every < 0";
+  {
+    params;
+    meta_of;
+    cache =
+      (if params.use_cache then
+         Some (Engine.Cache.create ~schema:"serve-retier-v1" ~name:"serve-retier" ())
+       else None);
+    calib = None;
+    meta_memo = [||];
+    dp = None;
+    dp_sig = [||];
+    last = None;
+    solves = 0;
+  }
+
+let calibrated t = t.calib <> None
+
+type outcome = {
+  o_bin : int;
+  o_n_flows : int;
+  o_skipped : int;
+  o_cuts : int list;
+  o_prices : float array;
+  o_profit : float;
+  o_solve : [ `Warm | `Cold | `Cached | `Unchanged ];
+  o_dirty_from : int;
+  o_evaluations : int;
+  o_fallback : bool;
+}
+
+let empty_outcome ~bin ~skipped =
+  {
+    o_bin = bin;
+    o_n_flows = 0;
+    o_skipped = skipped;
+    o_cuts = [];
+    o_prices = [||];
+    o_profit = 0.;
+    o_solve = `Unchanged;
+    o_dirty_from = 0;
+    o_evaluations = 0;
+    o_fallback = false;
+  }
+
+let flow_of_meta m ~mbps =
+  Flow.make ~locality:m.m_locality ~on_net:m.m_on_net ~id:m.m_id
+    ~demand_mbps:mbps ~distance_miles:m.m_distance_miles ()
+
+let meta_for t (fr : Window.flow_rate) =
+  let uid = fr.Window.f_uid in
+  let len = Array.length t.meta_memo in
+  if uid >= len then begin
+    let grown = Array.make (max (2 * len) (uid + 1)) None in
+    Array.blit t.meta_memo 0 grown 0 len;
+    t.meta_memo <- grown
+  end;
+  match t.meta_memo.(uid) with
+  | Some m -> m
+  | None ->
+      let m = t.meta_of fr.Window.f_src fr.Window.f_dst in
+      t.meta_memo.(uid) <- Some m;
+      m
+
+(* Join a snapshot against the metadata oracle. Returns the priceable
+   flows' metadata and demands (in snapshot order) and the count of
+   rates with no metadata. *)
+let join t (snap : Window.snapshot) =
+  let skipped = ref 0 in
+  let pairs =
+    Array.to_list snap.Window.s_flows
+    |> List.filter_map (fun (fr : Window.flow_rate) ->
+           match meta_for t fr with
+           | Some m -> Some (m, fr.Window.f_mbps)
+           | None ->
+               incr skipped;
+               None)
+  in
+  ( Array.of_list (List.map fst pairs),
+    Array.of_list (List.map snd pairs),
+    !skipped )
+
+let ensure_calibrated t metas qs =
+  match t.calib with
+  | Some c -> c
+  | None ->
+      let flows =
+        Array.init (Array.length metas) (fun i ->
+            flow_of_meta metas.(i) ~mbps:qs.(i))
+      in
+      let m0 =
+        Market.fit ~spec:t.params.spec ~alpha:t.params.alpha ~p0:t.params.p0
+          ~cost_model:t.params.cost_model flows
+      in
+      let c =
+        {
+          gamma = m0.Market.gamma;
+          rel_cost = Tiered.Cost_model.freeze t.params.cost_model flows;
+          costs = Hashtbl.create 4096;
+        }
+      in
+      t.calib <- Some c;
+      c
+
+let cost_of calib m ~q =
+  match Hashtbl.find_opt calib.costs m.m_id with
+  | Some c -> c
+  | None ->
+      let c = calib.gamma *. calib.rel_cost (flow_of_meta m ~mbps:q) in
+      Hashtbl.add calib.costs m.m_id c;
+      c
+
+(* The cheap per-window pass: absolute costs off the memo, the sort by
+   (cost, id) that makes [Strategy.dp_inputs]'s cost order the identity,
+   and the signature. Valuations and the market itself are *not* built
+   here — an unchanged window stops after comparing signatures. *)
+let inputs_of t metas qs =
+  let calib = ensure_calibrated t metas qs in
+  let n = Array.length metas in
+  let cost = Array.init n (fun i -> cost_of calib metas.(i) ~q:qs.(i)) in
+  let perm = Array.init n Fun.id in
+  Array.sort
+    (fun i j ->
+      match Float.compare cost.(i) cost.(j) with
+      | 0 -> Int.compare metas.(i).m_id metas.(j).m_id
+      | c -> c)
+    perm;
+  let costs = Array.map (fun i -> cost.(i)) perm in
+  let signature =
+    Array.init n (fun p ->
+        let i = perm.(p) in
+        { g_cost = costs.(p); g_q = qs.(i); g_uid = metas.(i).m_id })
+  in
+  (perm, costs, signature)
+
+(* Rebuild the window's market from the frozen calibration: valuations
+   track the demands (per-flow closed form under CED, global inversion
+   under logit) over the flows in [inputs_of]'s (cost, id) order. *)
+let market_of t metas qs perm costs =
+  let { spec; alpha; p0; _ } = t.params in
+  let sorted = Array.map (fun i -> flow_of_meta metas.(i) ~mbps:qs.(i)) perm in
+  let valuations, k =
+    match spec with
+    | Market.Ced ->
+        ( Array.map
+            (fun i ->
+              Tiered.Ced.valuation_of_demand ~alpha ~p0 ~q:qs.(i))
+            perm,
+          None )
+    | Market.Logit { s0 } ->
+        let fit =
+          Tiered.Logit.fit_valuations ~alpha ~p0 ~s0
+            ~demands:(Array.map (fun i -> qs.(i)) perm)
+        in
+        (fit.Tiered.Logit.valuations, Some fit.Tiered.Logit.k)
+    | Market.Linear _ -> assert false (* rejected by [create] *)
+  in
+  Market.of_parameters ~spec ~alpha ~p0 ?k ~valuations ~costs sorted
+
+let sig_equal a b =
+  Float.equal a.g_cost b.g_cost
+  && Float.equal a.g_q b.g_q
+  && Int.equal a.g_uid b.g_uid
+
+(* First changed DP position, [n] when nothing changed. Logit's segment
+   values carry set-wide normalizers (max valuation, min cost) and its
+   global demand inversion moves every valuation on any change, so a
+   partially-clean prefix cannot be trusted there: the choice collapses
+   to all (identical signature) or nothing. *)
+let dirty_from t signature =
+  let n = Array.length signature in
+  if Array.length t.dp_sig <> n then 0
+  else begin
+    let d = ref n in
+    (try
+       for p = 0 to n - 1 do
+         if not (sig_equal t.dp_sig.(p) signature.(p)) then begin
+           d := p;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    match t.params.spec with
+    | Market.Ced -> !d
+    | Market.Logit _ -> if !d = n then n else 0
+    | Market.Linear _ -> assert false
+  end
+
+let priced market (r : Numerics.Segdp.result) =
+  let order, _ = Tiered.Strategy.dp_inputs market in
+  let bundles = Tiered.Bundle.contiguous ~order ~cuts:r.Numerics.Segdp.cuts in
+  let outcome = Tiered.Pricing.evaluate market bundles in
+  {
+    s_cuts = r.Numerics.Segdp.cuts;
+    s_prices = outcome.Tiered.Pricing.bundle_prices;
+    s_profit = outcome.Tiered.Pricing.profit;
+  }
+
+let cache_key t signature =
+  let { spec; alpha; p0; n_bundles; cost_model; _ } = t.params in
+  ( Market.demand_spec_name spec,
+    (match spec with Market.Logit { s0 } -> s0 | _ -> 0.),
+    alpha,
+    p0,
+    n_bundles,
+    Tiered.Cost_model.name cost_model,
+    Tiered.Cost_model.theta cost_model,
+    Array.map (fun g -> (g.g_cost, g.g_q, g.g_uid)) signature )
+
+let retier t (snap : Window.snapshot) =
+  let metas, qs, skipped = join t snap in
+  let n = Array.length metas in
+  if n = 0 then empty_outcome ~bin:snap.Window.s_bin ~skipped
+  else begin
+    let perm, costs, signature = inputs_of t metas qs in
+    let solve = ref `Cached in
+    let dirty = ref n in
+    let evals = ref 0 in
+    let fallback = ref false in
+    let do_solve () =
+      t.solves <- t.solves + 1;
+      let force =
+        t.params.cold_every > 0 && t.solves mod t.params.cold_every = 0
+      in
+      let replay =
+        (* Signature-identical window and no drill due: the retained
+           optimum and its pricing still stand verbatim, so skip the
+           market rebuild, the DP replay and the re-pricing outright. *)
+        match (t.dp, t.last) with
+        | Some st, Some s when Numerics.Segdp.state_n st = n && not force ->
+            let d = dirty_from t signature in
+            if d = n then begin
+              dirty := n;
+              Some s
+            end
+            else begin
+              dirty := d;
+              None
+            end
+        | _ -> None
+      in
+      match replay with
+      | Some s ->
+          solve := `Unchanged;
+          evals := 0;
+          fallback := false;
+          s
+      | None ->
+          let market = market_of t metas qs perm costs in
+          let _, seg_value = Tiered.Strategy.dp_inputs market in
+          let result, tag =
+            match t.dp with
+            | Some st when Numerics.Segdp.state_n st = n ->
+                let d = dirty_from t signature in
+                dirty := d;
+                let r, how =
+                  Numerics.Segdp.solve_warm ~samples:t.params.samples
+                    ~force_fallback:force st ~dirty_from:d seg_value
+                in
+                let tag =
+                  match how with
+                  | `Warm -> if d = n then `Unchanged else `Warm
+                  | `Cold -> `Cold
+                in
+                (r, tag)
+            | Some _ | None ->
+                dirty := 0;
+                let r, st =
+                  Numerics.Segdp.solve_with_state ~samples:t.params.samples ~n
+                    ~n_bundles:t.params.n_bundles seg_value
+                in
+                t.dp <- Some st;
+                (r, `Cold)
+          in
+          solve := tag;
+          evals := result.Numerics.Segdp.stats.Numerics.Segdp.evaluations;
+          fallback :=
+            force
+            || result.Numerics.Segdp.stats.Numerics.Segdp.fallback_layers > 0;
+          t.dp_sig <- signature;
+          let s = priced market result in
+          t.last <- Some s;
+          s
+    in
+    let s =
+      match t.cache with
+      | Some cache ->
+          Engine.Cache.find_or_add cache ~key:(cache_key t signature) do_solve
+      | None -> do_solve ()
+    in
+    {
+      o_bin = snap.Window.s_bin;
+      o_n_flows = n;
+      o_skipped = skipped;
+      o_cuts = s.s_cuts;
+      o_prices = s.s_prices;
+      o_profit = s.s_profit;
+      o_solve = !solve;
+      o_dirty_from = !dirty;
+      o_evaluations = !evals;
+      o_fallback = !fallback;
+    }
+  end
+
+let solve_cold t (snap : Window.snapshot) =
+  let metas, qs, skipped = join t snap in
+  let n = Array.length metas in
+  if n = 0 then empty_outcome ~bin:snap.Window.s_bin ~skipped
+  else begin
+    let perm, costs, _ = inputs_of t metas qs in
+    let market = market_of t metas qs perm costs in
+    let _, seg_value = Tiered.Strategy.dp_inputs market in
+    let r =
+      Numerics.Segdp.solve ~samples:t.params.samples ~n
+        ~n_bundles:t.params.n_bundles seg_value
+    in
+    let s = priced market r in
+    {
+      o_bin = snap.Window.s_bin;
+      o_n_flows = n;
+      o_skipped = skipped;
+      o_cuts = s.s_cuts;
+      o_prices = s.s_prices;
+      o_profit = s.s_profit;
+      o_solve = `Cold;
+      o_dirty_from = 0;
+      o_evaluations = r.Numerics.Segdp.stats.Numerics.Segdp.evaluations;
+      o_fallback = r.Numerics.Segdp.stats.Numerics.Segdp.fallback_layers > 0;
+    }
+  end

@@ -1,0 +1,116 @@
+type t = {
+  mutable retiers : int;
+  mutable warm : int;
+  mutable cold : int;
+  mutable cached : int;
+  mutable unchanged : int;
+  mutable fallbacks : int;
+  mutable evaluations : int;
+  mutable lat : float list;  (* seconds, reverse arrival order *)
+}
+
+let create () =
+  {
+    retiers = 0;
+    warm = 0;
+    cold = 0;
+    cached = 0;
+    unchanged = 0;
+    fallbacks = 0;
+    evaluations = 0;
+    lat = [];
+  }
+
+let observe t ~solve ~latency_s ~evaluations ~fallback =
+  t.retiers <- t.retiers + 1;
+  (match solve with
+  | `Warm -> t.warm <- t.warm + 1
+  | `Cold -> t.cold <- t.cold + 1
+  | `Cached -> t.cached <- t.cached + 1
+  | `Unchanged -> t.unchanged <- t.unchanged + 1);
+  if fallback then t.fallbacks <- t.fallbacks + 1;
+  t.evaluations <- t.evaluations + evaluations;
+  t.lat <- latency_s :: t.lat
+
+type summary = {
+  retiers : int;
+  warm : int;
+  cold : int;
+  cached : int;
+  unchanged : int;
+  fallbacks : int;
+  evaluations : int;
+  warm_hit_rate : float;
+  p50_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+let percentile sorted ~p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else if p <= 0. then sorted.(0)
+  else
+    (* Nearest rank: smallest index whose rank covers p percent. *)
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    let rank = if rank < 1 then 1 else if rank > n then n else rank in
+    sorted.(rank - 1)
+
+let summary t =
+  let lat = Array.of_list t.lat in
+  Array.sort Float.compare lat;
+  let n = Array.length lat in
+  let solves = t.warm + t.unchanged + t.cold in
+  {
+    retiers = t.retiers;
+    warm = t.warm;
+    cold = t.cold;
+    cached = t.cached;
+    unchanged = t.unchanged;
+    fallbacks = t.fallbacks;
+    evaluations = t.evaluations;
+    warm_hit_rate =
+      (if solves = 0 then 0.
+       else float_of_int (t.warm + t.unchanged) /. float_of_int solves);
+    p50_ms = 1e3 *. percentile lat ~p:50.;
+    p99_ms = 1e3 *. percentile lat ~p:99.;
+    max_ms = (if n = 0 then 0. else 1e3 *. lat.(n - 1));
+  }
+
+type run = {
+  records : int;
+  dropped_dup : int;
+  late : int;
+  occupancy : float;
+  wall_s : float;
+  records_per_s : float;
+}
+
+let report s run =
+  let cell_i = string_of_int in
+  Tiered.Report.make ~title:"serve: streaming re-tier"
+    ~header:[ "metric"; "value" ]
+    [
+      [ "records ingested"; cell_i run.records ];
+      [ "records/s"; Tiered.Report.cell_f run.records_per_s ];
+      [ "duplicates dropped"; cell_i run.dropped_dup ];
+      [ "late drops"; cell_i run.late ];
+      [ "window occupancy"; Tiered.Report.cell_pct run.occupancy ];
+      [ "re-tiers"; cell_i s.retiers ];
+      [ "warm / unchanged / cold"; Printf.sprintf "%d / %d / %d" s.warm s.unchanged s.cold ];
+      [ "cache hits"; cell_i s.cached ];
+      [ "fallbacks"; cell_i s.fallbacks ];
+      [ "warm-start hit rate"; Tiered.Report.cell_pct s.warm_hit_rate ];
+      [ "re-tier p50 (ms)"; Tiered.Report.cell_f s.p50_ms ];
+      [ "re-tier p99 (ms)"; Tiered.Report.cell_f s.p99_ms ];
+      [ "re-tier max (ms)"; Tiered.Report.cell_f s.max_ms ];
+      [ "seg evaluations"; cell_i s.evaluations ];
+      [ "wall (s)"; Tiered.Report.cell_f run.wall_s ];
+    ]
+
+let to_json s run =
+  Printf.sprintf
+    {|{"records": %d, "records_per_s": %.1f, "dropped_dup": %d, "late": %d, "occupancy": %.4f, "wall_s": %.4f, "retiers": %d, "warm": %d, "cold": %d, "cached": %d, "unchanged": %d, "fallbacks": %d, "evaluations": %d, "warm_hit_rate": %.4f, "p50_retier_ms": %.4f, "p99_retier_ms": %.4f, "max_retier_ms": %.4f}|}
+    run.records run.records_per_s run.dropped_dup run.late run.occupancy
+    run.wall_s s.retiers s.warm s.cold s.cached s.unchanged s.fallbacks
+    s.evaluations s.warm_hit_rate s.p50_ms s.p99_ms s.max_ms

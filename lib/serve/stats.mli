@@ -1,0 +1,57 @@
+(** Service counters: throughput, re-tier latency, solve outcomes.
+
+    The daemon feeds one {!observe} per re-tier; {!summary} reduces to
+    the figures the acceptance bench pins — records/s, the re-tier
+    latency histogram (nearest-rank p50/p99) and the warm-start hit
+    rate — renderable as a {!Tiered.Report} table or JSON. *)
+
+type t
+
+val create : unit -> t
+
+val observe :
+  t ->
+  solve:[ `Warm | `Cold | `Cached | `Unchanged ] ->
+  latency_s:float ->
+  evaluations:int ->
+  fallback:bool ->
+  unit
+
+type summary = {
+  retiers : int;
+  warm : int;
+  cold : int;
+  cached : int;
+  unchanged : int;
+  fallbacks : int;  (** Re-tiers that went through the divergence path
+                        (spot-check trip or forced drill). *)
+  evaluations : int;  (** Total [seg_value] evaluations. *)
+  warm_hit_rate : float;
+      (** Solves that reused the retained DP state — [(warm + unchanged)
+          / (warm + unchanged + cold)]; [0] before any solve. Cache hits
+          are excluded (no solve ran). *)
+  p50_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+val summary : t -> summary
+
+val percentile : float array -> p:float -> float
+(** Nearest-rank percentile of a sorted array ([p] in [\[0, 100\]];
+    [0.] on an empty array). Exposed for the tests. *)
+
+type run = {
+  records : int;  (** Records ingested (pre-dedup). *)
+  dropped_dup : int;
+  late : int;
+  occupancy : float;  (** Final window occupancy. *)
+  wall_s : float;
+  records_per_s : float;
+}
+
+val report : summary -> run -> Tiered.Report.t
+
+val to_json : summary -> run -> string
+(** One flat JSON object; the schema is documented in README.md
+    (BENCH_serve.json embeds it verbatim under ["daemon"]). *)

@@ -1,0 +1,78 @@
+(** Sliding-window per-flow demand with configurable decay.
+
+    The streaming service prices off rates observed over a ring of
+    [bins] time bins of [bin_s] seconds each. Each (src, dst) endpoint
+    pair accumulates bytes into the ring; {!snapshot} turns the ring
+    into an Mbps figure per flow by averaging over the whole window
+    under a decay weighting:
+
+    - [No_decay]: plain mean rate, the batch {!Flowgen.Demand}
+      semantics restricted to the window.
+    - [Exponential]: bin aged [a] bins weighs [0.5 ** (a /
+      half_life_bins)] — recent traffic dominates.
+    - [Diurnal]: bin at absolute index [b] weighs [1 + amplitude * cos
+      (2 pi (b - peak_bin) / bins)] — emphasizes the daily peak hours
+      when the window spans a day, the shape the paper's §4.1.1 capture
+      is implicitly weighted by.
+
+    All per-flow state is cleared lazily (no traversal on advance), and
+    every traversal runs in first-appearance order, so snapshots are
+    deterministic at any ingest batching. *)
+
+type decay =
+  | No_decay
+  | Exponential of { half_life_bins : float }
+  | Diurnal of { amplitude : float; peak_bin : int }
+
+type params = { bin_s : int; bins : int; decay : decay }
+
+type t
+
+val create : ?expected:int -> params -> t
+(** Raises [Invalid_argument] when [bin_s < 1], [bins < 1], an
+    exponential half-life is not positive and finite, or a diurnal
+    amplitude is outside [\[0, 1\]]. *)
+
+val params : t -> params
+
+val bin_of_time : params -> float -> int
+(** The bin containing stream time [t] seconds ([t / bin_s],
+    floored; [t] must be non-negative). *)
+
+val observe : t -> src:Flowgen.Ipv4.t -> dst:Flowgen.Ipv4.t -> bytes:float -> bin:int -> bool
+(** Accumulate [bytes] into the flow's ring at [bin]. Advances the
+    window when [bin] is beyond the current bin. Returns [false] (and
+    counts the record as late) when [bin] has already slid out of the
+    window; late records are dropped, not partially applied. *)
+
+val advance_to : t -> bin:int -> unit
+(** Slide the window forward to [bin] without observing traffic (time
+    passing with no records). Never moves backwards. *)
+
+val current_bin : t -> int
+(** [-1] before any observation or advance. *)
+
+val flow_count : t -> int
+(** Distinct endpoint pairs ever observed. *)
+
+val late : t -> int
+(** Late records dropped so far. *)
+
+type flow_rate = {
+  f_src : Flowgen.Ipv4.t;
+  f_dst : Flowgen.Ipv4.t;
+  f_uid : int;  (** First-appearance index; stable across windows. *)
+  f_mbps : float;  (** Decay-weighted mean rate over the window. *)
+}
+
+type snapshot = {
+  s_bin : int;  (** The window's current (inclusive) bin. *)
+  s_flows : flow_rate array;
+      (** First-appearance order; flows whose window rate is [0] (fully
+          decayed or never seen in-window) are omitted. *)
+  s_occupancy : float;  (** Bins elapsed since the first observation,
+                            as a fraction of the window (capped at 1). *)
+  s_late : int;
+}
+
+val snapshot : t -> snapshot

@@ -63,6 +63,59 @@ let test_invalid_window () =
 let test_empty () =
   Alcotest.(check int) "no records" 0 (List.length (Demand.by_endpoint_pair []))
 
+let test_window_edge_record () =
+  (* Grouping is purely by key: a record timed exactly at the window
+     boundary (first_s = window_s) still aggregates — the window length
+     only scales the rate. A capture cut at the edge must not silently
+     drop the last record. *)
+  let records =
+    [
+      record ~src:"10.0.0.1" ~dst:"10.1.0.1" ~bytes:1e6 ~first_s:0;
+      record ~src:"10.0.0.1" ~dst:"10.1.0.1" ~bytes:1e6 ~first_s:8;
+    ]
+  in
+  let aggs = Demand.by_endpoint_pair ~window_s:8 records in
+  Alcotest.(check int) "one aggregate" 1 (List.length aggs);
+  Alcotest.(check int) "both records" 2 (List.hd aggs).Demand.records;
+  Alcotest.(check (float 1e-9)) "rate over the window" 2. (List.hd aggs).Demand.mbps
+
+let test_one_second_window () =
+  (* window_s = 1: the smallest legal window; mbps = bytes * 8e-6. *)
+  let records = [ record ~src:"10.0.0.1" ~dst:"10.1.0.1" ~bytes:5e5 ~first_s:0 ] in
+  let aggs = Demand.by_endpoint_pair ~window_s:1 records in
+  Alcotest.(check (float 1e-9)) "4 Mbps" 4. (List.hd aggs).Demand.mbps
+
+let test_acc_matches_batch () =
+  (* The streaming accumulator IS the batch grouping: one record at a
+     time through Acc equals the list entry point, order included. *)
+  let records =
+    [
+      record ~src:"10.0.0.2" ~dst:"10.1.0.1" ~bytes:50. ~first_s:0;
+      record ~src:"10.0.0.1" ~dst:"10.1.0.1" ~bytes:100. ~first_s:0;
+      record ~src:"10.0.0.2" ~dst:"10.1.0.1" ~bytes:25. ~first_s:3600;
+      record ~src:"10.0.0.1" ~dst:"10.2.0.9" ~bytes:75. ~first_s:3600;
+    ]
+  in
+  let acc = Demand.Acc.create ~key_of:Demand.endpoint_pair_key () in
+  List.iter (Demand.Acc.observe acc) records;
+  Alcotest.(check int) "distinct keys" 3 (Demand.Acc.size acc);
+  let streaming = Demand.Acc.aggregates acc ~window_s:3600 in
+  let batch = Demand.by_endpoint_pair ~window_s:3600 records in
+  let flat a =
+    Printf.sprintf "%s>%s b=%g r=%d m=%g"
+      (Ipv4.to_string a.Demand.src)
+      (Ipv4.to_string a.Demand.dst)
+      a.Demand.bytes a.Demand.records a.Demand.mbps
+  in
+  Alcotest.(check (list string))
+    "same aggregates, same order" (List.map flat batch) (List.map flat streaming)
+
+let test_acc_invalid_window () =
+  let acc = Demand.Acc.create ~key_of:Demand.destination_key () in
+  Alcotest.check_raises "acc window 0"
+    (Invalid_argument "Demand: non-positive window") (fun () ->
+      ignore (Demand.Acc.aggregates acc ~window_s:0))
+
 let prop_total_bytes_preserved =
   QCheck.Test.make ~name:"aggregation preserves total bytes" ~count:100
     QCheck.(list_of_size Gen.(0 -- 40) (pair (int_range 0 5) (float_range 1. 1e6)))
@@ -90,5 +143,9 @@ let suite =
     Alcotest.test_case "total and vector" `Quick test_total_and_vector;
     Alcotest.test_case "invalid window" `Quick test_invalid_window;
     Alcotest.test_case "empty input" `Quick test_empty;
+    Alcotest.test_case "record on the window edge" `Quick test_window_edge_record;
+    Alcotest.test_case "one-second window" `Quick test_one_second_window;
+    Alcotest.test_case "streaming acc = batch" `Quick test_acc_matches_batch;
+    Alcotest.test_case "acc invalid window" `Quick test_acc_invalid_window;
     QCheck_alcotest.to_alcotest prop_total_bytes_preserved;
   ]

@@ -57,6 +57,23 @@ let d003 () =
     "D003" 0 ();
   check_rule ~file:"lib/core/runner.ml" "let t () = Sys.time ()" "D003" 0 ()
 
+let d003_serve () =
+  (* The streaming service's determinism hinges on injected time: the
+     daemon must not be able to grow a wall-clock (or self-seeded
+     randomness) dependency without tripping the lint. bin/ injects the
+     real clock and stays exempt. *)
+  check_rule ~file:"lib/serve/daemon.ml" "let t () = Unix.gettimeofday ()"
+    "D003" 1 ();
+  check_rule ~file:"lib/serve/window.ml" "let t () = Unix.time ()" "D003" 1 ();
+  check_rule ~file:"lib/serve/retier.ml" "let s () = Random.self_init ()"
+    "D003" 1 ();
+  check_rule ~file:"lib/serve/clock.ml" "let t () = Sys.time ()" "D003" 1 ();
+  (* the sanctioned shape: a clock value threaded in from outside *)
+  check_rule ~file:"lib/serve/daemon.ml"
+    "let run ~clock () = Clock.now clock" "D003" 0 ();
+  check_rule ~file:"bin/tiered_cli.ml"
+    "let clock = Serve.Clock.of_fn Unix.gettimeofday" "D003" 0 ()
+
 let d004 () =
   check_rule ~file:"lib/fake/mod.ml" "let f a b = a == b" "D004" 1 ();
   check_rule ~file:"lib/fake/mod.ml" "let f a b = a != b" "D004" 1 ();
@@ -311,6 +328,7 @@ let suite =
     Alcotest.test_case "D001 stdout writes" `Quick d001;
     Alcotest.test_case "D002 raw Hashtbl traversal" `Quick d002;
     Alcotest.test_case "D003 clock/randomness whitelist" `Quick d003;
+    Alcotest.test_case "D003 covers lib/serve" `Quick d003_serve;
     Alcotest.test_case "D004 physical equality" `Quick d004;
     Alcotest.test_case "D005 bare polymorphic compare" `Quick d005;
     Alcotest.test_case "H001 exit outside worker entry" `Quick h001;

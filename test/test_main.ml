@@ -61,5 +61,6 @@ let () =
       ("cross-module properties", Test_properties.suite);
       ("edge cases", Test_edge_cases.suite);
       ("integration", Test_integration.suite);
+      ("serve", Test_serve.suite);
       ("analysis.lint", Test_lint.suite);
     ]

@@ -168,6 +168,118 @@ let prop_cuts_valid =
           && r.Numerics.Segdp.segments <= Stdlib.min b n)
         [ 1; 2; 4; 8 ])
 
+(* --- Warm start (the streaming service's incremental solves) ------------ *)
+
+(* Concave-of-additive segment values off a per-position weight array:
+   inverse Monge, and mutating a position suffix perturbs exactly the
+   segments that touch it — the shape of a re-tier's dirty window. *)
+let seg_of_weights w =
+  let n = Array.length w in
+  let prefix = Array.make (n + 1) 0. in
+  for i = 0 to n - 1 do
+    prefix.(i + 1) <- prefix.(i) +. w.(i)
+  done;
+  fun lo hi -> sqrt (prefix.(hi + 1) -. prefix.(lo))
+
+let base_weights n = Array.init n (fun i -> 1. +. (float_of_int (i mod 7) /. 3.))
+
+let test_state_matches_solve () =
+  let n = 80 and n_bundles = 6 in
+  let seg = seg_of_weights (base_weights n) in
+  let from_state, _ = Numerics.Segdp.solve_with_state ~n ~n_bundles seg in
+  check_same "with_state" from_state (Numerics.Segdp.solve ~n ~n_bundles seg)
+
+let test_warm_suffix_matches_cold () =
+  let n = 80 and n_bundles = 6 and d = 55 in
+  let w = base_weights n in
+  let _, st = Numerics.Segdp.solve_with_state ~n ~n_bundles (seg_of_weights w) in
+  for i = d to n - 1 do
+    w.(i) <- w.(i) +. 2.5
+  done;
+  let seg = seg_of_weights w in
+  let warm, how = Numerics.Segdp.solve_warm st ~dirty_from:d seg in
+  Alcotest.(check bool) "warm path" true (how = `Warm);
+  Alcotest.(check int)
+    "no fallback" 0 warm.Numerics.Segdp.stats.Numerics.Segdp.fallback_layers;
+  let cold = Numerics.Segdp.solve ~n ~n_bundles seg in
+  check_same "warm = cold" warm cold;
+  Alcotest.(check bool)
+    "suffix recompute is cheaper" true
+    (warm.Numerics.Segdp.stats.Numerics.Segdp.evaluations
+    < cold.Numerics.Segdp.stats.Numerics.Segdp.evaluations)
+
+let test_warm_dirty_zero_full_recompute () =
+  let n = 60 and n_bundles = 5 in
+  let w = base_weights n in
+  let _, st = Numerics.Segdp.solve_with_state ~n ~n_bundles (seg_of_weights w) in
+  Array.iteri (fun i v -> w.(i) <- v *. 1.7) (Array.copy w);
+  let seg = seg_of_weights w in
+  let warm, _ = Numerics.Segdp.solve_warm st ~dirty_from:0 seg in
+  check_same "dirty 0" warm (Numerics.Segdp.solve ~n ~n_bundles seg)
+
+let test_warm_unchanged_replay () =
+  let n = 50 and n_bundles = 4 in
+  let seg = seg_of_weights (base_weights n) in
+  let first, st = Numerics.Segdp.solve_with_state ~n ~n_bundles seg in
+  let replay, how = Numerics.Segdp.solve_warm st ~dirty_from:n seg in
+  Alcotest.(check bool) "warm tag" true (how = `Warm);
+  Alcotest.(check int)
+    "zero evaluations" 0 replay.Numerics.Segdp.stats.Numerics.Segdp.evaluations;
+  check_same "replay" replay first
+
+let test_warm_force_fallback () =
+  let n = 50 and n_bundles = 4 in
+  let w = base_weights n in
+  let _, st = Numerics.Segdp.solve_with_state ~n ~n_bundles (seg_of_weights w) in
+  w.(30) <- w.(30) +. 9.;
+  let seg = seg_of_weights w in
+  let warm, how =
+    Numerics.Segdp.solve_warm ~force_fallback:true st ~dirty_from:30 seg
+  in
+  Alcotest.(check bool) "took the cold path" true (how = `Cold);
+  check_same "forced" warm (Numerics.Segdp.solve ~n ~n_bundles seg);
+  (* The state is usable again after the drill. *)
+  let again, how = Numerics.Segdp.solve_warm st ~dirty_from:n seg in
+  Alcotest.(check bool) "replay after drill" true (how = `Warm);
+  check_same "post-drill replay" again warm
+
+let test_warm_genuine_divergence () =
+  (* Hostile convex base (the same shape [test_forced_fallback] uses):
+     the warm suffix recompute's spot-check must trip and the cold
+     fallback must still match the exact quadratic DP. *)
+  let n = 40 and n_bundles = 5 and d = 20 in
+  let bump = Array.make n 0. in
+  let seg_with bump lo hi =
+    let extra = ref 0. in
+    for x = lo to hi do
+      extra := !extra +. bump.(x)
+    done;
+    float_of_int ((hi - lo) * (hi - lo)) +. !extra
+  in
+  let _, st =
+    Numerics.Segdp.solve_with_state ~n ~n_bundles (seg_with bump)
+  in
+  for i = d to n - 1 do
+    bump.(i) <- 3.
+  done;
+  let seg = seg_with bump in
+  let warm, how = Numerics.Segdp.solve_warm st ~dirty_from:d seg in
+  Alcotest.(check bool) "diverged to cold" true (how = `Cold);
+  check_same "divergence" warm
+    (Numerics.Segdp.solve_quadratic ~n ~n_bundles seg)
+
+let test_warm_validation () =
+  let n = 10 in
+  let seg = seg_of_weights (base_weights n) in
+  let _, st = Numerics.Segdp.solve_with_state ~n ~n_bundles:3 seg in
+  List.iter
+    (fun d ->
+      Alcotest.check_raises
+        (Printf.sprintf "dirty_from=%d" d)
+        (Invalid_argument "Segdp.solve_warm: dirty_from out of [0, n]")
+        (fun () -> ignore (Numerics.Segdp.solve_warm st ~dirty_from:d seg)))
+    [ -1; n + 1 ]
+
 let suite =
   [
     Alcotest.test_case "argument validation" `Quick test_validation;
@@ -182,6 +294,14 @@ let suite =
       test_fallback_disabled_sampling_still_exact_on_monge;
     Alcotest.test_case "d&c beats quadratic eval count" `Quick
       test_dandc_cheaper_than_quadratic;
+    Alcotest.test_case "state solve matches solve" `Quick test_state_matches_solve;
+    Alcotest.test_case "warm suffix matches cold" `Quick test_warm_suffix_matches_cold;
+    Alcotest.test_case "warm dirty 0 = full recompute" `Quick
+      test_warm_dirty_zero_full_recompute;
+    Alcotest.test_case "warm unchanged replay" `Quick test_warm_unchanged_replay;
+    Alcotest.test_case "warm forced fallback" `Quick test_warm_force_fallback;
+    Alcotest.test_case "warm genuine divergence" `Quick test_warm_genuine_divergence;
+    Alcotest.test_case "warm validation" `Quick test_warm_validation;
     QCheck_alcotest.to_alcotest (prop_cuts_equal "ced" `Ced);
     QCheck_alcotest.to_alcotest (prop_cuts_equal "logit" `Logit);
     QCheck_alcotest.to_alcotest (prop_cuts_equal "linear" `Linear);

@@ -1,0 +1,471 @@
+(* The streaming pricing service (lib/serve): sliding-window demand,
+   incremental re-tiering with warm-started DP, and the daemon loop.
+   The acceptance property is determinism: posted tiers are cut-for-cut
+   what a from-scratch solve of the same window produces, across long
+   runs that include warm solves, unchanged replays, cache hits and
+   forced divergence drills. *)
+
+open Serve
+
+let ip = Flowgen.Ipv4.of_int
+
+(* --- Clock -------------------------------------------------------------- *)
+
+let test_manual_clock () =
+  let clock, set = Clock.manual ~start:5. () in
+  Alcotest.(check (float 0.)) "start" 5. (Clock.now clock);
+  set 42.5;
+  Alcotest.(check (float 0.)) "set" 42.5 (Clock.now clock)
+
+(* --- Window ------------------------------------------------------------- *)
+
+let wparams ?(bin_s = 10) ?(bins = 6) ?(decay = Window.No_decay) () =
+  { Window.bin_s; bins; decay }
+
+let test_window_mean_rate () =
+  let p = wparams () in
+  let w = Window.create p in
+  (* 600 kB in one bin of a 6 x 10 s window: 600e3 * 8 / (60 * 1e6). *)
+  ignore (Window.observe w ~src:(ip 1) ~dst:(ip 2) ~bytes:600_000. ~bin:0);
+  let s = Window.snapshot w in
+  Alcotest.(check int) "one flow" 1 (Array.length s.Window.s_flows);
+  Alcotest.(check (float 1e-9)) "mean Mbps" 0.08
+    s.Window.s_flows.(0).Window.f_mbps
+
+let test_window_accumulates_and_slides () =
+  let w = Window.create (wparams ()) in
+  ignore (Window.observe w ~src:(ip 1) ~dst:(ip 2) ~bytes:100. ~bin:0);
+  ignore (Window.observe w ~src:(ip 1) ~dst:(ip 2) ~bytes:100. ~bin:1);
+  let rate_before = (Window.snapshot w).Window.s_flows.(0).Window.f_mbps in
+  (* Slide until bin 0 and 1 are out of the window: nothing left. *)
+  Window.advance_to w ~bin:7;
+  let s = Window.snapshot w in
+  Alcotest.(check bool) "had rate" true (rate_before > 0.);
+  Alcotest.(check int) "fully decayed flow omitted" 0
+    (Array.length s.Window.s_flows);
+  (* The flow table still remembers the pair (uid stability). *)
+  Alcotest.(check int) "flow count" 1 (Window.flow_count w)
+
+let test_window_late_drop () =
+  let w = Window.create (wparams ()) in
+  ignore (Window.observe w ~src:(ip 1) ~dst:(ip 2) ~bytes:1. ~bin:10);
+  let kept = Window.observe w ~src:(ip 3) ~dst:(ip 4) ~bytes:1. ~bin:4 in
+  Alcotest.(check bool) "late dropped" false kept;
+  Alcotest.(check int) "late counted" 1 (Window.late w);
+  (* Oldest in-window bin is still accepted. *)
+  let kept = Window.observe w ~src:(ip 3) ~dst:(ip 4) ~bytes:1. ~bin:5 in
+  Alcotest.(check bool) "in-window kept" true kept
+
+let test_window_ring_reuse () =
+  (* A slot reused after a full wrap must not leak old bytes. *)
+  let w = Window.create (wparams ~bins:4 ()) in
+  ignore (Window.observe w ~src:(ip 1) ~dst:(ip 2) ~bytes:1000. ~bin:0);
+  ignore (Window.observe w ~src:(ip 1) ~dst:(ip 2) ~bytes:24. ~bin:4);
+  (* bin 4 maps to slot 0; the 1000 bytes of bin 0 must be gone. *)
+  let s = Window.snapshot w in
+  let expect = 24. *. 8. /. (4. *. 10. *. 1e6) in
+  Alcotest.(check (float 1e-12)) "only new bytes" expect
+    s.Window.s_flows.(0).Window.f_mbps
+
+let test_window_exponential_decay () =
+  let decay = Window.Exponential { half_life_bins = 1. } in
+  let w = Window.create (wparams ~decay ()) in
+  ignore (Window.observe w ~src:(ip 1) ~dst:(ip 2) ~bytes:64. ~bin:0);
+  ignore (Window.observe w ~src:(ip 3) ~dst:(ip 4) ~bytes:64. ~bin:2);
+  Window.advance_to w ~bin:2;
+  let s = Window.snapshot w in
+  let rate u =
+    let r =
+      Array.to_list s.Window.s_flows
+      |> List.find (fun f -> f.Window.f_uid = u)
+    in
+    r.Window.f_mbps
+  in
+  (* Same bytes, two bins apart, half-life one bin: 4x ratio. *)
+  Alcotest.(check (float 1e-9)) "half-life ratio" 4. (rate 1 /. rate 0)
+
+let test_window_diurnal_weights () =
+  let decay = Window.Diurnal { amplitude = 0.5; peak_bin = 2 } in
+  let w = Window.create (wparams ~bins:4 ~decay ()) in
+  ignore (Window.observe w ~src:(ip 1) ~dst:(ip 2) ~bytes:100. ~bin:2);
+  ignore (Window.observe w ~src:(ip 3) ~dst:(ip 4) ~bytes:100. ~bin:3);
+  Window.advance_to w ~bin:3;
+  let s = Window.snapshot w in
+  let peak = s.Window.s_flows.(0).Window.f_mbps in
+  let off = s.Window.s_flows.(1).Window.f_mbps in
+  (* Peak-bin bytes weigh 1 + 0.5, the quarter-cycle bin 1.0. *)
+  Alcotest.(check (float 1e-9)) "peak emphasis" 1.5 (peak /. off)
+
+let test_window_occupancy () =
+  let w = Window.create (wparams ~bins:4 ()) in
+  ignore (Window.observe w ~src:(ip 1) ~dst:(ip 2) ~bytes:1. ~bin:0);
+  Alcotest.(check (float 1e-9)) "one bin" 0.25
+    (Window.snapshot w).Window.s_occupancy;
+  Window.advance_to w ~bin:9;
+  Alcotest.(check (float 1e-9)) "capped" 1.
+    (Window.snapshot w).Window.s_occupancy
+
+let test_window_validation () =
+  let check name p =
+    Alcotest.check_raises name (Invalid_argument "") (fun () ->
+        try ignore (Window.create p) with Invalid_argument _ ->
+          raise (Invalid_argument ""))
+  in
+  check "bins" (wparams ~bins:0 ());
+  check "bin_s" (wparams ~bin_s:0 ());
+  check "half-life"
+    (wparams ~decay:(Window.Exponential { half_life_bins = 0. }) ());
+  check "amplitude"
+    (wparams ~decay:(Window.Diurnal { amplitude = 1.5; peak_bin = 0 }) ())
+
+(* --- Ingest ------------------------------------------------------------- *)
+
+let small_workload =
+  lazy
+    (Flowgen.Workload.generate
+       (Netsim.Presets.eu_isp ())
+       {
+         Flowgen.Workload.n_flows = 60;
+         aggregate_gbps = 2.;
+         locality_scale = 50.;
+         locality_spread = 1.0;
+         demand_cv = 1.0;
+         demand_distance_exponent = 1.0;
+         local_tail_miles = 30.;
+         on_net_fraction = 0.5;
+         distance_mode = `Path;
+         seed = 77;
+       })
+
+let test_ingest_sorted_and_replayed () =
+  let w = Lazy.force small_workload in
+  let ing = Ingest.of_workload ~days:2 ~seed:3 w in
+  let rec drain acc last n =
+    match Ingest.next ing with
+    | None -> (acc, n)
+    | Some r ->
+        Alcotest.(check bool) "nondecreasing" true
+          (r.Flowgen.Netflow.first_s >= last);
+        drain (acc + r.Flowgen.Netflow.first_s) r.Flowgen.Netflow.first_s
+          (n + 1)
+    | exception e -> raise e
+  in
+  let _, n = drain 0 min_int 0 in
+  Alcotest.(check int) "both days yielded" (Ingest.total ing) n;
+  Alcotest.(check bool) "two days of records" true (n > 0 && n mod 2 = 0)
+
+let test_ingest_day_shift () =
+  let w = Lazy.force small_workload in
+  let one = Ingest.of_workload ~days:1 ~seed:3 w in
+  let two = Ingest.of_workload ~days:2 ~seed:3 w in
+  let day1 = ref [] in
+  let rec skip_day1 () =
+    match Ingest.next two with
+    | Some r when r.Flowgen.Netflow.first_s < Flowgen.Netflow.day_seconds ->
+        skip_day1 ()
+    | other -> other
+  in
+  let rec drain1 () =
+    match Ingest.next one with
+    | Some r ->
+        day1 := r :: !day1;
+        drain1 ()
+    | None -> ()
+  in
+  drain1 ();
+  (* First record of day 2 is the first template record, shifted. *)
+  let first_template = List.nth (List.rev !day1) 0 in
+  match skip_day1 () with
+  | Some r ->
+      Alcotest.(check int) "shifted by a day"
+        (first_template.Flowgen.Netflow.first_s + Flowgen.Netflow.day_seconds)
+        r.Flowgen.Netflow.first_s;
+      Alcotest.(check (float 0.)) "same bytes"
+        first_template.Flowgen.Netflow.bytes r.Flowgen.Netflow.bytes
+  | None -> Alcotest.fail "day 2 missing"
+
+(* --- Stats -------------------------------------------------------------- *)
+
+let test_percentile_nearest_rank () =
+  let a = [| 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8.; 9.; 10. |] in
+  Alcotest.(check (float 0.)) "p50" 5. (Stats.percentile a ~p:50.);
+  Alcotest.(check (float 0.)) "p99" 10. (Stats.percentile a ~p:99.);
+  Alcotest.(check (float 0.)) "p0" 1. (Stats.percentile a ~p:0.);
+  Alcotest.(check (float 0.)) "empty" 0. (Stats.percentile [||] ~p:50.)
+
+let test_stats_rates () =
+  let s = Stats.create () in
+  Stats.observe s ~solve:`Cold ~latency_s:0.002 ~evaluations:10 ~fallback:false;
+  Stats.observe s ~solve:`Warm ~latency_s:0.001 ~evaluations:5 ~fallback:false;
+  Stats.observe s ~solve:`Unchanged ~latency_s:0.0005 ~evaluations:0
+    ~fallback:false;
+  Stats.observe s ~solve:`Cached ~latency_s:0.0001 ~evaluations:0
+    ~fallback:false;
+  Stats.observe s ~solve:`Cold ~latency_s:0.003 ~evaluations:12 ~fallback:true;
+  let sum = Stats.summary s in
+  Alcotest.(check int) "retiers" 5 sum.Stats.retiers;
+  Alcotest.(check int) "fallbacks" 1 sum.Stats.fallbacks;
+  Alcotest.(check int) "evaluations" 27 sum.Stats.evaluations;
+  (* 2 of the 4 actual solves reused state; the cache hit is excluded. *)
+  Alcotest.(check (float 1e-9)) "hit rate" 0.5 sum.Stats.warm_hit_rate;
+  Alcotest.(check (float 1e-9)) "p99 = max" sum.Stats.max_ms sum.Stats.p99_ms
+
+(* --- Retier on hand-crafted snapshots ----------------------------------- *)
+
+(* A tiny synthetic universe: 8 flows with distinct distances, metadata
+   keyed by endpoint pair, demands set per test. *)
+let universe_n = 8
+
+let meta_of src dst =
+  let s = Flowgen.Ipv4.to_int src and d = Flowgen.Ipv4.to_int dst in
+  if d = 999 then None
+  else if s >= 1 && s <= universe_n && d = 100 + s then
+    Some
+      {
+        Retier.m_id = s - 1;
+        m_distance_miles = 20. +. (60. *. float_of_int s);
+        m_locality = (if s <= 4 then Tiered.Flow.National else Tiered.Flow.International);
+        m_on_net = s mod 2 = 0;
+      }
+  else None
+
+let snap_of ?(bin = 0) demands =
+  let flows =
+    List.mapi
+      (fun i q ->
+        { Window.f_src = ip (i + 1); f_dst = ip (100 + i + 1); f_uid = i; f_mbps = q })
+      demands
+    |> List.filter (fun f -> f.Window.f_mbps > 0.)
+  in
+  {
+    Window.s_bin = bin;
+    s_flows = Array.of_list flows;
+    s_occupancy = 1.;
+    s_late = 0;
+  }
+
+let rparams ?(spec = Tiered.Market.Ced) ?(n_bundles = 3) ?(cold_every = 0)
+    ?(use_cache = false) () =
+  {
+    Retier.spec;
+    alpha = 2.0;
+    p0 = 30.;
+    n_bundles;
+    cost_model = Tiered.Cost_model.concave ~theta:0.5;
+    samples = 8;
+    cold_every;
+    use_cache;
+  }
+
+let base_demands = [ 40.; 25.; 9.; 31.; 5.; 17.; 52.; 3. ]
+
+let check_cuts = Alcotest.(check (list int))
+let check_prices = Alcotest.(check (array (float 0.)))
+
+let check_matches_cold t snap (o : Retier.outcome) =
+  let cold = Retier.solve_cold t snap in
+  check_cuts "cuts = from-scratch" cold.Retier.o_cuts o.Retier.o_cuts;
+  check_prices "prices = from-scratch" cold.Retier.o_prices o.Retier.o_prices;
+  Alcotest.(check (float 0.)) "profit = from-scratch" cold.Retier.o_profit
+    o.Retier.o_profit
+
+let test_retier_empty_window () =
+  let t = Retier.create (rparams ()) ~meta_of in
+  let o = Retier.retier t (snap_of []) in
+  Alcotest.(check int) "no flows" 0 o.Retier.o_n_flows;
+  Alcotest.(check (list int)) "no cuts" [] o.Retier.o_cuts;
+  Alcotest.(check bool) "not calibrated" false (Retier.calibrated t)
+
+let test_retier_skips_unknown_endpoints () =
+  let t = Retier.create (rparams ()) ~meta_of in
+  let snap = snap_of base_demands in
+  let unknown =
+    { Window.f_src = ip 50; f_dst = ip 999; f_uid = 99; f_mbps = 7. }
+  in
+  let snap =
+    { snap with Window.s_flows = Array.append snap.Window.s_flows [| unknown |] }
+  in
+  let o = Retier.retier t snap in
+  Alcotest.(check int) "skipped" 1 o.Retier.o_skipped;
+  Alcotest.(check int) "priced the rest" universe_n o.Retier.o_n_flows
+
+let test_retier_unchanged_replay () =
+  let t = Retier.create (rparams ()) ~meta_of in
+  let o1 = Retier.retier t (snap_of base_demands) in
+  let o2 = Retier.retier t (snap_of ~bin:1 base_demands) in
+  Alcotest.(check bool) "first solve cold" true (o1.Retier.o_solve = `Cold);
+  Alcotest.(check bool) "replayed" true (o2.Retier.o_solve = `Unchanged);
+  Alcotest.(check int) "no evaluations" 0 o2.Retier.o_evaluations;
+  Alcotest.(check int) "dirty_from = n" universe_n o2.Retier.o_dirty_from;
+  check_cuts "same cuts" o1.Retier.o_cuts o2.Retier.o_cuts
+
+let test_retier_warm_suffix () =
+  let t = Retier.create (rparams ()) ~meta_of in
+  ignore (Retier.retier t (snap_of base_demands));
+  (* Bump one demand: only that flow's valuation changes under CED, so
+     the dirty suffix starts at its cost-order position, not 0. *)
+  let bumped = List.mapi (fun i q -> if i = 6 then q +. 5. else q) base_demands in
+  let snap = snap_of ~bin:1 bumped in
+  let o = Retier.retier t snap in
+  Alcotest.(check bool) "warm" true (o.Retier.o_solve = `Warm);
+  Alcotest.(check bool) "suffix only" true
+    (o.Retier.o_dirty_from > 0 && o.Retier.o_dirty_from < universe_n);
+  Alcotest.(check bool) "no spot-check trip" false o.Retier.o_fallback;
+  check_matches_cold t snap o
+
+let test_retier_forced_fallback () =
+  let t = Retier.create (rparams ~cold_every:2 ()) ~meta_of in
+  ignore (Retier.retier t (snap_of base_demands));
+  let bumped = List.map (fun q -> q +. 1.) base_demands in
+  let snap = snap_of ~bin:1 bumped in
+  (* Second solve: the drill forces the divergence path. *)
+  let o = Retier.retier t snap in
+  Alcotest.(check bool) "cold via drill" true (o.Retier.o_solve = `Cold);
+  Alcotest.(check bool) "fallback flagged" true o.Retier.o_fallback;
+  check_matches_cold t snap o
+
+let test_retier_flow_churn () =
+  (* Flows appearing/disappearing change n: the state is rebuilt cold
+     and the result still matches from-scratch. *)
+  let t = Retier.create (rparams ()) ~meta_of in
+  ignore (Retier.retier t (snap_of base_demands));
+  let shrunk = List.mapi (fun i q -> if i = 2 then 0. else q) base_demands in
+  let snap = snap_of ~bin:1 shrunk in
+  let o = Retier.retier t snap in
+  Alcotest.(check int) "one flow gone" (universe_n - 1) o.Retier.o_n_flows;
+  Alcotest.(check bool) "cold rebuild" true (o.Retier.o_solve = `Cold);
+  check_matches_cold t snap o;
+  (* And back. *)
+  let snap = snap_of ~bin:2 base_demands in
+  let o = Retier.retier t snap in
+  Alcotest.(check bool) "cold again" true (o.Retier.o_solve = `Cold);
+  check_matches_cold t snap o
+
+let test_retier_cache_roundtrip () =
+  let t = Retier.create (rparams ~use_cache:true ()) ~meta_of in
+  let d2 = List.map (fun q -> q *. 1.5) base_demands in
+  let o1 = Retier.retier t (snap_of base_demands) in
+  let _o2 = Retier.retier t (snap_of ~bin:1 d2) in
+  (* Revisiting the first demand pattern hits the cache... *)
+  let o3 = Retier.retier t (snap_of ~bin:2 base_demands) in
+  Alcotest.(check bool) "cache hit" true (o3.Retier.o_solve = `Cached);
+  check_cuts "cached cuts" o1.Retier.o_cuts o3.Retier.o_cuts;
+  check_prices "cached prices" o1.Retier.o_prices o3.Retier.o_prices;
+  (* ...and leaves the retained state on the last *solved* window, so
+     revisiting that one replays instead of re-solving. *)
+  let o4 = Retier.retier t (snap_of ~bin:3 d2) in
+  Alcotest.(check bool) "state untouched by hit" true
+    (o4.Retier.o_solve = `Unchanged || o4.Retier.o_solve = `Cached)
+
+let test_retier_logit_all_or_nothing () =
+  let spec = Tiered.Market.Logit { s0 = 0.3 } in
+  let t = Retier.create (rparams ~spec ()) ~meta_of in
+  ignore (Retier.retier t (snap_of base_demands));
+  let o_same = Retier.retier t (snap_of ~bin:1 base_demands) in
+  Alcotest.(check bool) "identical replays" true
+    (o_same.Retier.o_solve = `Unchanged);
+  let bumped = List.mapi (fun i q -> if i = 6 then q +. 5. else q) base_demands in
+  let snap = snap_of ~bin:2 bumped in
+  let o = Retier.retier t snap in
+  (* Logit never trusts a partial prefix: dirty_from collapses to 0. *)
+  Alcotest.(check int) "all-or-nothing" 0 o.Retier.o_dirty_from;
+  check_matches_cold t snap o
+
+let test_retier_rejects_linear () =
+  Alcotest.check_raises "linear rejected" (Invalid_argument "")
+    (fun () ->
+      try
+        ignore
+          (Retier.create
+             (rparams ~spec:(Tiered.Market.Linear { epsilon = 1.2 }) ())
+             ~meta_of)
+      with Invalid_argument _ -> raise (Invalid_argument ""))
+
+(* --- Daemon end-to-end: warm == cold over a multi-day run ---------------- *)
+
+let test_daemon_determinism () =
+  let w = Lazy.force small_workload in
+  let window =
+    Window.create { Window.bin_s = 3600; bins = 24; decay = Window.No_decay }
+  in
+  let retier =
+    Retier.create
+      {
+        Retier.spec = Tiered.Market.Ced;
+        alpha = 2.0;
+        p0 = 30.;
+        n_bundles = 4;
+        cost_model = Tiered.Cost_model.concave ~theta:0.5;
+        samples = 8;
+        cold_every = 9;  (* >= 1 forced-divergence drill over the run *)
+        use_cache = false;
+      }
+      ~meta_of:(Retier.meta_of_workload w)
+  in
+  let clock, _set = Clock.manual () in
+  let windows = ref 0 in
+  let result =
+    Daemon.run
+      ~on_retier:(fun snap o ->
+        incr windows;
+        check_matches_cold retier snap o)
+      ~clock ~window ~retier
+      { Daemon.every_s = 3600; dedup = true }
+      (* Three days: hourly windows repeat with a one-day period once
+         the window has slid fully into replayed traffic, so the run
+         contains signature-identical (unchanged) windows. *)
+      (Ingest.of_workload ~days:3 ~seed:11 w)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 20 windows (got %d)" !windows)
+    true (!windows >= 20);
+  let s = result.Daemon.r_stats in
+  Alcotest.(check bool) "warm solves happened" true (s.Stats.warm > 0);
+  Alcotest.(check bool) "forced fallback happened" true (s.Stats.fallbacks >= 1);
+  Alcotest.(check int) "every window posted" !windows s.Stats.retiers;
+  (* Day 2 replays day 1's bytes at the same phase, so some windows are
+     signature-identical to an already-solved one. *)
+  Alcotest.(check bool) "unchanged replays happened" true (s.Stats.unchanged > 0);
+  Alcotest.(check bool) "duplicates were suppressed" true
+    (result.Daemon.r_run.Stats.dropped_dup > 0);
+  Alcotest.(check bool) "no late drops" true
+    (result.Daemon.r_run.Stats.late = 0)
+
+let test_daemon_validation () =
+  let w = Window.create (wparams ()) in
+  let t = Retier.create (rparams ()) ~meta_of in
+  let clock, _ = Clock.manual () in
+  Alcotest.check_raises "every_s" (Invalid_argument "Serve.Daemon: every_s < 1")
+    (fun () ->
+      ignore
+        (Daemon.run ~clock ~window:w ~retier:t
+           { Daemon.every_s = 0; dedup = false }
+           (Ingest.of_records [])))
+
+let suite =
+  [
+    Alcotest.test_case "manual clock" `Quick test_manual_clock;
+    Alcotest.test_case "window mean rate" `Quick test_window_mean_rate;
+    Alcotest.test_case "window slides" `Quick test_window_accumulates_and_slides;
+    Alcotest.test_case "window late drop" `Quick test_window_late_drop;
+    Alcotest.test_case "window ring reuse" `Quick test_window_ring_reuse;
+    Alcotest.test_case "window exponential decay" `Quick test_window_exponential_decay;
+    Alcotest.test_case "window diurnal weights" `Quick test_window_diurnal_weights;
+    Alcotest.test_case "window occupancy" `Quick test_window_occupancy;
+    Alcotest.test_case "window validation" `Quick test_window_validation;
+    Alcotest.test_case "ingest sorted + replayed" `Quick test_ingest_sorted_and_replayed;
+    Alcotest.test_case "ingest day shift" `Quick test_ingest_day_shift;
+    Alcotest.test_case "percentile nearest rank" `Quick test_percentile_nearest_rank;
+    Alcotest.test_case "stats rates" `Quick test_stats_rates;
+    Alcotest.test_case "retier empty window" `Quick test_retier_empty_window;
+    Alcotest.test_case "retier skips unknown endpoints" `Quick test_retier_skips_unknown_endpoints;
+    Alcotest.test_case "retier unchanged replay" `Quick test_retier_unchanged_replay;
+    Alcotest.test_case "retier warm suffix" `Quick test_retier_warm_suffix;
+    Alcotest.test_case "retier forced fallback" `Quick test_retier_forced_fallback;
+    Alcotest.test_case "retier flow churn" `Quick test_retier_flow_churn;
+    Alcotest.test_case "retier cache roundtrip" `Quick test_retier_cache_roundtrip;
+    Alcotest.test_case "retier logit all-or-nothing" `Quick test_retier_logit_all_or_nothing;
+    Alcotest.test_case "retier rejects linear" `Quick test_retier_rejects_linear;
+    Alcotest.test_case "daemon determinism (warm == cold)" `Quick test_daemon_determinism;
+    Alcotest.test_case "daemon validation" `Quick test_daemon_validation;
+  ]

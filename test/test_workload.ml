@@ -196,6 +196,25 @@ let test_scale_suffix () =
        "Workload.preset: malformed scale suffix in eu_isp@0 (want name@N \
         with N >= 1)") (fun () -> ignore (Workload.preset_params "eu_isp@0"))
 
+let test_scale_suffix_strict () =
+  (* The suffix must be plain decimal: [int_of_string]'s extensions
+     (hex/octal/binary prefixes, underscores, signs) are configuration
+     typos, not scales — "eu_isp@0x10" silently meaning 16 flows would
+     be a debugging session. *)
+  let reject suffix =
+    Alcotest.check_raises ("reject " ^ suffix)
+      (Invalid_argument
+         (Printf.sprintf
+            "Workload.preset: malformed scale suffix in eu_isp@%s (want \
+             name@N with N >= 1)"
+            suffix))
+      (fun () -> ignore (Workload.preset_params ("eu_isp@" ^ suffix)))
+  in
+  List.iter reject [ "0x10"; "0b11"; "0o17"; "1_000"; "+5"; "-3"; ""; "12 "; "3.5" ];
+  (* Leading zeros are still decimal. *)
+  let p = Workload.preset_params "eu_isp@007" in
+  Alcotest.(check int) "leading zeros ok" 7 p.Workload.n_flows
+
 let suite =
   [
     Alcotest.test_case "flow count and aggregate" `Quick test_flow_count_and_aggregate;
@@ -212,4 +231,5 @@ let suite =
     Alcotest.test_case "distance modes differ" `Quick test_distance_modes_differ;
     Alcotest.test_case "unknown preset" `Quick test_unknown_preset;
     Alcotest.test_case "scale suffix name@N" `Quick test_scale_suffix;
+    Alcotest.test_case "scale suffix strict decimal" `Quick test_scale_suffix_strict;
   ]
