@@ -2,10 +2,11 @@
 # BENCH_sweep.json (serial-vs-parallel timings of the full experiment
 # grid), `make bench-pool` regenerates BENCH_pool.json (per-backend
 # task-dispatch overhead at 1/10/100 ms granularity), and `make
-# bench-dp` regenerates BENCH_dp.json (tier-DP kernel: divide-and-
-# conquer vs exact quadratic across demand specs and market sizes —
+# bench-dp` regenerates BENCH_dp.json (tier-DP kernel: certified
+# ladder vs exact quadratic across demand specs and market sizes —
 # the n=50k exact legs make this the slow one; `make bench-dp-smoke`
-# is the small-n CI variant), and `make bench-serve` regenerates
+# is the CI variant, which still covers n=200k via the sampled-column
+# check), and `make bench-serve` regenerates
 # BENCH_serve.json (streaming daemon: ingest throughput, re-tier
 # latency, every posted window re-verified against a from-scratch
 # solve; `make bench-serve-smoke` is the small CI variant) so the
@@ -13,7 +14,7 @@
 # experiment and promotes the result into test/golden/ — run it (and
 # commit the diff) after an intentional output change.
 
-.PHONY: all build test bench bench-json bench-pool bench-dp bench-dp-smoke bench-serve bench-serve-smoke golden-regen smoke smoke-procs lint lint-baseline clean
+.PHONY: all build test test-segdp bench bench-json bench-pool bench-dp bench-dp-smoke bench-serve bench-serve-smoke golden-regen smoke smoke-procs lint lint-baseline clean
 
 all: build
 
@@ -22,6 +23,12 @@ build:
 
 test:
 	dune runtest
+
+# Just the tier-DP kernel suites (unit + hostile corpus + properties):
+# the fast loop while working on lib/numerics/segdp.ml.
+test-segdp:
+	dune build test/test_main.exe
+	./_build/default/test/test_main.exe test 'numerics.segdp'
 
 bench:
 	dune exec bench/main.exe
@@ -36,7 +43,7 @@ bench-dp:
 	dune exec bench/main.exe -- dp
 
 bench-dp-smoke:
-	dune exec bench/main.exe -- dp --dp-sizes=1000,4000 --dp-max-exact=4000
+	dune exec bench/main.exe -- dp --dp-sizes=1000,4000,200000 --dp-max-exact=4000
 
 bench-serve:
 	dune exec bench/main.exe -- serve

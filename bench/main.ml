@@ -1077,16 +1077,20 @@ let run_pool_bench () =
 
 (* --- dp: tier-DP kernel, quadratic vs divide-and-conquer ------------------- *)
 
-(* Times [Numerics.Segdp.solve] (divide-and-conquer layers with the
-   Monge spot-check) against [Numerics.Segdp.solve_quadratic] (the
-   exact O(B n^2) reference) on the exact seg_value the Optimal
-   strategy runs ([Strategy.dp_inputs]), across demand specs and
-   synthetic market sizes built from the eu_isp calibration via the
-   Workload scale suffix (eu_isp@N). Cuts must agree wherever both
-   legs run — the run aborts otherwise — and the comparison lands in
-   BENCH_dp.json. The quadratic leg is skipped (null) above
-   [--dp-max-exact] flows, where O(n^2) rows stop being a benchmark
-   and start being a stress test. *)
+(* Times [Numerics.Segdp.solve] (the region-wise D&C / SMAWK /
+   quadratic-backstop ladder) against [Numerics.Segdp.solve_quadratic]
+   (the exact O(B n^2) reference) on the exact (seg_value, regions) the
+   Optimal strategy runs ([Strategy.dp_inputs]), across demand specs
+   and synthetic market sizes built from the eu_isp calibration via the
+   Workload scale suffix (eu_isp@N). Every cell is checked against the
+   reference — the run aborts otherwise: cells up to [--dp-max-exact]
+   flows run the full quadratic leg; larger cells re-solve up to 64
+   deterministically sampled columns of every retained layer with exact
+   scans ([Segdp.verify_columns], untimed), so no cell ships unchecked.
+   The run also aborts if any cell needed a quadratic-backstop layer:
+   the default grid is certified fast-path-only, and a regression
+   reintroducing the O(n^2) cliff fails CI here rather than surfacing
+   in a later full-size run. *)
 
 type dp_case = {
   dc_spec : string;
@@ -1094,11 +1098,14 @@ type dp_case = {
   dc_bundles : int;
   dc_fast_s : float;
   dc_fast_evals : int;
+  dc_smawk_layers : int;
   dc_fallback_layers : int;
+  dc_regions : int;
   dc_quad_s : float option;
   dc_quad_evals : int option;
   dc_speedup : float option;
-  dc_cuts_identical : bool option;
+  dc_check : string;
+  dc_cuts_identical : bool;
 }
 
 (* Wall-clock one run; re-run small cases until ~0.2 s total so the
@@ -1134,12 +1141,13 @@ let run_dp_bench ~sizes ~bundle_counts ~max_exact () =
           (fun n ->
             let m = Experiment.market ~spec (Printf.sprintf "eu_isp@%d" n) in
             let n = Market.n_flows m in
-            let _order, seg_value = Strategy.dp_inputs m in
+            let _order, seg_value, regions = Strategy.dp_inputs m in
             List.map
               (fun b ->
                 Format.fprintf ppf "  %s n=%d B=%d...@?" spec_name n b;
                 let fast, fast_s =
-                  dp_time (fun () -> Numerics.Segdp.solve ~n ~n_bundles:b seg_value)
+                  dp_time (fun () ->
+                      Numerics.Segdp.solve ~regions ~n ~n_bundles:b seg_value)
                 in
                 let quad =
                   if n > max_exact then None
@@ -1148,21 +1156,43 @@ let run_dp_bench ~sizes ~bundle_counts ~max_exact () =
                       (dp_time (fun () ->
                            Numerics.Segdp.solve_quadratic ~n ~n_bundles:b seg_value))
                 in
-                let cuts_identical =
-                  Option.map
-                    (fun ((q : Numerics.Segdp.result), _) ->
-                      q.Numerics.Segdp.cuts = fast.Numerics.Segdp.cuts
-                      && Float.equal q.Numerics.Segdp.value fast.Numerics.Segdp.value)
-                    quad
+                let check, cuts_identical =
+                  match quad with
+                  | Some ((q : Numerics.Segdp.result), _) ->
+                      ( "exact",
+                        q.Numerics.Segdp.cuts = fast.Numerics.Segdp.cuts
+                        && Float.equal q.Numerics.Segdp.value
+                             fast.Numerics.Segdp.value )
+                  | None ->
+                      (* Too big for the full quadratic leg: re-solve the
+                         same instance into a retained state and check up
+                         to 64 sampled columns of every layer with exact
+                         scans, bit-for-bit (untimed). *)
+                      let from_state, st =
+                        Numerics.Segdp.solve_with_state ~regions ~n
+                          ~n_bundles:b seg_value
+                      in
+                      ( "sampled-columns",
+                        from_state.Numerics.Segdp.cuts
+                        = fast.Numerics.Segdp.cuts
+                        && Float.equal from_state.Numerics.Segdp.value
+                             fast.Numerics.Segdp.value
+                        && Numerics.Segdp.verify_columns ~samples:64 st
+                             seg_value )
                 in
-                (match cuts_identical with
-                | Some false ->
-                    failwith
-                      (Printf.sprintf
-                         "bench dp: divide-and-conquer cuts diverged from the \
-                          quadratic DP (%s, n=%d, B=%d)"
-                         spec_name n b)
-                | Some true | None -> ());
+                if not cuts_identical then
+                  failwith
+                    (Printf.sprintf
+                       "bench dp: fast-path cuts diverged from the exact \
+                        reference (%s, n=%d, B=%d, check=%s)"
+                       spec_name n b check);
+                if fast.Numerics.Segdp.stats.Numerics.Segdp.fallback_layers > 0
+                then
+                  failwith
+                    (Printf.sprintf
+                       "bench dp: quadratic-backstop layer on the default \
+                        grid (%s, n=%d, B=%d) — the fast rungs regressed"
+                       spec_name n b);
                 let speedup =
                   Option.map (fun (_, quad_s) -> quad_s /. fast_s) quad
                 in
@@ -1176,8 +1206,11 @@ let run_dp_bench ~sizes ~bundle_counts ~max_exact () =
                   dc_bundles = b;
                   dc_fast_s = fast_s;
                   dc_fast_evals = fast.Numerics.Segdp.stats.Numerics.Segdp.evaluations;
+                  dc_smawk_layers =
+                    fast.Numerics.Segdp.stats.Numerics.Segdp.smawk_layers;
                   dc_fallback_layers =
                     fast.Numerics.Segdp.stats.Numerics.Segdp.fallback_layers;
+                  dc_regions = fast.Numerics.Segdp.stats.Numerics.Segdp.regions;
                   dc_quad_s = Option.map snd quad;
                   dc_quad_evals =
                     Option.map
@@ -1185,6 +1218,7 @@ let run_dp_bench ~sizes ~bundle_counts ~max_exact () =
                         q.Numerics.Segdp.stats.Numerics.Segdp.evaluations)
                       quad;
                   dc_speedup = speedup;
+                  dc_check = check;
                   dc_cuts_identical = cuts_identical;
                 })
               bundle_counts)
@@ -1200,8 +1234,8 @@ let run_dp_bench ~sizes ~bundle_counts ~max_exact () =
              up to n=%d)"
             max_exact)
        ~header:
-         [ "demand"; "n"; "B"; "d&c (s)"; "evals"; "fallbacks"; "quadratic (s)";
-           "speedup"; "cuts =" ]
+         [ "demand"; "n"; "B"; "fast (s)"; "evals"; "smawk"; "backstop";
+           "quadratic (s)"; "speedup"; "check"; "cuts =" ]
        (List.map
           (fun c ->
             [
@@ -1210,16 +1244,20 @@ let run_dp_bench ~sizes ~bundle_counts ~max_exact () =
               string_of_int c.dc_bundles;
               Printf.sprintf "%.4f" c.dc_fast_s;
               string_of_int c.dc_fast_evals;
+              string_of_int c.dc_smawk_layers;
               string_of_int c.dc_fallback_layers;
               opt_cell (Printf.sprintf "%.4f") c.dc_quad_s;
               opt_cell (Printf.sprintf "%.1fx") c.dc_speedup;
-              opt_cell (fun b -> if b then "yes" else "NO") c.dc_cuts_identical;
+              c.dc_check;
+              (if c.dc_cuts_identical then "yes" else "NO");
             ])
           cases)
        ~notes:
          [
-           "both solvers run the seg_value of Strategy.dp_inputs; cuts are \
-            asserted identical wherever the quadratic leg runs";
+           "both solvers run the (seg_value, regions) of Strategy.dp_inputs; \
+            every cell is checked against the exact reference (full \
+            quadratic leg up to max_exact_n, 64 sampled columns per layer \
+            above) and must finish without quadratic-backstop layers";
          ]);
   Json_out.(
     write ppf "BENCH_dp.json"
@@ -1238,12 +1276,14 @@ let run_dp_bench ~sizes ~bundle_counts ~max_exact () =
                      ("bundles", Int c.dc_bundles);
                      ("fast_s", num "%.6f" c.dc_fast_s);
                      ("fast_evals", Int c.dc_fast_evals);
+                     ("smawk_layers", Int c.dc_smawk_layers);
                      ("fallback_layers", Int c.dc_fallback_layers);
+                     ("regions", Int c.dc_regions);
                      ("quadratic_s", opt (num "%.6f") c.dc_quad_s);
                      ("quadratic_evals", opt (fun v -> Int v) c.dc_quad_evals);
                      ("speedup", opt (num "%.4f") c.dc_speedup);
-                     ( "cuts_identical",
-                       opt (fun b -> Bool b) c.dc_cuts_identical );
+                     ("check", Str c.dc_check);
+                     ("cuts_identical", Bool c.dc_cuts_identical);
                    ])
                cases) );
       ])

@@ -186,91 +186,153 @@ let profit_weighted_classes market ~n_bundles =
 
 (* --- Optimal: DP over flows sorted by cost ----------------------------- *)
 
-(* The DP inputs: flow indices in ascending-cost order, plus the
-   closed-form segment profit over inclusive positions of that order.
-   Exposed (see the mli) so the bench and the regression suite can
-   time and cross-check the kernels on exactly the seg_value the
+(* The DP inputs: flow indices in ascending-cost order, the closed-form
+   segment profit over inclusive positions of that order, and the
+   piecewise-region starts for [Numerics.Segdp] (logit only; see
+   below). Exposed (see the mli) so the bench and the regression suite
+   can time and cross-check the kernels on exactly the seg_value the
    strategy runs. The partition itself is delegated to
-   [Numerics.Segdp.solve]: divide-and-conquer layers with a Monge
-   spot-check and an exact quadratic fallback, cut-for-cut identical to
-   the historical O(B n^2) DP. *)
+   [Numerics.Segdp.solve]: region-wise divide-and-conquer layers with
+   Monge/total-monotonicity spot-checks, an SMAWK middle rung and an
+   exact quadratic backstop, cut-for-cut identical to the historical
+   O(B n^2) DP. Prefix rows are [floatarray]s read through unsafe gets:
+   the indices are pinned to [0, n] by construction and the closures
+   are the hottest call in the repo (billions of calls per bench
+   sweep). *)
 let dp_inputs market =
   let { Market.alpha; valuations; costs; spec; _ } = market in
   let n = Market.n_flows market in
   let order = order_by_desc (Array.map (fun c -> -.c) costs) n in
-  let seg_value =
-    match spec with
-    | Market.Ced ->
-        (* Prefix sums of v^alpha and c v^alpha in cost order give O(1)
-           segment profits at the closed-form optimal bundle price. *)
-        let pva = Market.pow_valuations market in
-        let av = Array.make (n + 1) 0. in
-        let acv = Array.make (n + 1) 0. in
-        for k = 0 to n - 1 do
-          let i = order.(k) in
-          let w = pva.(i) in
-          av.(k + 1) <- av.(k) +. w;
-          acv.(k + 1) <- acv.(k) +. (costs.(i) *. w)
+  let fget = Float.Array.unsafe_get in
+  let fset = Float.Array.unsafe_set in
+  match spec with
+  | Market.Ced ->
+      (* Prefix sums of v^alpha and c v^alpha in cost order give O(1)
+         segment profits at the closed-form optimal bundle price. *)
+      let pva = Market.pow_valuations market in
+      let av = Float.Array.make (n + 1) 0. in
+      let acv = Float.Array.make (n + 1) 0. in
+      for k = 0 to n - 1 do
+        let i = order.(k) in
+        let w = pva.(i) in
+        fset av (k + 1) (fget av k +. w);
+        fset acv (k + 1) (fget acv k +. (costs.(i) *. w))
+      done;
+      let seg lo hi =
+        let sum_v = fget av (hi + 1) -. fget av lo in
+        let sum_cv = fget acv (hi + 1) -. fget acv lo in
+        if sum_v <= 0. then 0.
+        else
+          let price = alpha *. sum_cv /. ((alpha -. 1.) *. sum_v) in
+          (price ** -.alpha) *. ((sum_v *. price) -. sum_cv)
+      in
+      (order, seg, [| 0 |])
+  | Market.Linear _ ->
+      (* Prefix sums of a, b, b*c, a*c give O(1) segment profit at the
+         closed-form bundle price. The common-elasticity fit makes
+         a_i / b_i constant across flows, so the optimal partition is
+         again contiguous in cost (the same argument as for CED). *)
+      let b_all = Market.linear_b market in
+      let sa = Float.Array.make (n + 1) 0. in
+      let sb = Float.Array.make (n + 1) 0. in
+      let sbc = Float.Array.make (n + 1) 0. in
+      let sac = Float.Array.make (n + 1) 0. in
+      for k = 0 to n - 1 do
+        let i = order.(k) in
+        fset sa (k + 1) (fget sa k +. valuations.(i));
+        fset sb (k + 1) (fget sb k +. b_all.(i));
+        fset sbc (k + 1) (fget sbc k +. (b_all.(i) *. costs.(i)));
+        fset sac (k + 1) (fget sac k +. (valuations.(i) *. costs.(i)))
+      done;
+      let seg lo hi =
+        let a_sum = fget sa (hi + 1) -. fget sa lo in
+        let b_sum = fget sb (hi + 1) -. fget sb lo in
+        let bc_sum = fget sbc (hi + 1) -. fget sbc lo in
+        let ac_sum = fget sac (hi + 1) -. fget sac lo in
+        if b_sum <= 0. then 0.
+        else
+          let price = Lin.bundle_price ~a_sum ~b_sum ~bc_sum in
+          Float.max 0. (Lin.bundle_profit ~a_sum ~b_sum ~bc_sum ~ac_sum ~price)
+      in
+      (order, seg, [| 0 |])
+  | Market.Logit _ ->
+      (* Maximize S = sum_b W_b e^(-alpha c_bar_b); shift exponents so
+         the segment terms stay in floating range. *)
+      let vmax = Numerics.Stats.max valuations in
+      let cmin = Numerics.Stats.min costs in
+      let w = Float.Array.make (n + 1) 0. in
+      let wc = Float.Array.make (n + 1) 0. in
+      for k = 0 to n - 1 do
+        let i = order.(k) in
+        let wi = exp (alpha *. (valuations.(i) -. vmax)) in
+        fset w (k + 1) (fget w k +. wi);
+        fset wc (k + 1) (fget wc k +. (wi *. costs.(i)))
+      done;
+      let seg lo hi =
+        let sum_w = fget w (hi + 1) -. fget w lo in
+        if sum_w <= 0. then 0.
+        else
+          let c_bar = (fget wc (hi + 1) -. fget wc lo) /. sum_w in
+          sum_w *. exp (-.alpha *. (c_bar -. cmin))
+      in
+      (* Piecewise decomposition for Segdp's region-wise D&C. The
+         shifted weights can underflow to 0 or be absorbed by the
+         running prefix sum (wi below one ulp of the accumulator), and
+         exp(-alpha (c - cmin)) underflows once the cost spread exceeds
+         ~690/alpha; both clamp seg to a plateau, and a plateau glued to
+         a smooth range breaks the global Monge property the D&C rides
+         on. Region starts mark every transition between "flat" and
+         "live" prefix increments plus the exp-saturation point — within
+         a region the profit is one smooth branch and inverse Monge
+         again. A pathologically fragmented input (>64 regions) is left
+         undecomposed; the SMAWK and quadratic rungs still certify it. *)
+      let starts = ref [] in
+      if n > 1 then begin
+        let flat k = fget w (k + 1) = fget w k && fget wc (k + 1) = fget wc k in
+        let prev_flat = ref (flat 0) in
+        for k = 1 to n - 1 do
+          let f = flat k in
+          if f <> !prev_flat then starts := k :: !starts;
+          prev_flat := f
         done;
-        fun lo hi ->
-          let sum_v = av.(hi + 1) -. av.(lo) in
-          let sum_cv = acv.(hi + 1) -. acv.(lo) in
-          if sum_v <= 0. then 0.
-          else
-            let price = alpha *. sum_cv /. ((alpha -. 1.) *. sum_v) in
-            (price ** -.alpha) *. ((sum_v *. price) -. sum_cv)
-    | Market.Linear _ ->
-        (* Prefix sums of a, b, b*c, a*c give O(1) segment profit at the
-           closed-form bundle price. The common-elasticity fit makes
-           a_i / b_i constant across flows, so the optimal partition is
-           again contiguous in cost (the same argument as for CED). *)
-        let b_all = Market.linear_b market in
-        let sa = Array.make (n + 1) 0. in
-        let sb = Array.make (n + 1) 0. in
-        let sbc = Array.make (n + 1) 0. in
-        let sac = Array.make (n + 1) 0. in
-        for k = 0 to n - 1 do
-          let i = order.(k) in
-          sa.(k + 1) <- sa.(k) +. valuations.(i);
-          sb.(k + 1) <- sb.(k) +. b_all.(i);
-          sbc.(k + 1) <- sbc.(k) +. (b_all.(i) *. costs.(i));
-          sac.(k + 1) <- sac.(k) +. (valuations.(i) *. costs.(i))
+        let sat = ref 0 in
+        while
+          !sat < n && alpha *. (costs.(order.(!sat)) -. cmin) < 690.
+        do
+          incr sat
         done;
-        fun lo hi ->
-          let a_sum = sa.(hi + 1) -. sa.(lo) in
-          let b_sum = sb.(hi + 1) -. sb.(lo) in
-          let bc_sum = sbc.(hi + 1) -. sbc.(lo) in
-          let ac_sum = sac.(hi + 1) -. sac.(lo) in
-          if b_sum <= 0. then 0.
-          else
-            let price = Lin.bundle_price ~a_sum ~b_sum ~bc_sum in
-            Float.max 0. (Lin.bundle_profit ~a_sum ~b_sum ~bc_sum ~ac_sum ~price)
-    | Market.Logit _ ->
-        (* Maximize S = sum_b W_b e^(-alpha c_bar_b); shift exponents so
-           the segment terms stay in floating range. *)
-        let vmax = Numerics.Stats.max valuations in
-        let cmin = Numerics.Stats.min costs in
-        let w = Array.make (n + 1) 0. in
-        let wc = Array.make (n + 1) 0. in
-        for k = 0 to n - 1 do
-          let i = order.(k) in
-          let wi = exp (alpha *. (valuations.(i) -. vmax)) in
-          w.(k + 1) <- w.(k) +. wi;
-          wc.(k + 1) <- wc.(k) +. (wi *. costs.(i))
+        if !sat > 0 && !sat < n then starts := !sat :: !starts;
+        (* Leading noise stretch: cheap flows whose shifted weights are
+           denormal-adjacent junk (nonzero, but negligible against the
+           market's total mass) keep the prefix moving — so the flat
+           test above never fires — while every segment they span is
+           pure rounding noise and its argmax is decided at ulp scale.
+           Isolate each pre-mass position as a singleton region: those
+           columns degrade to exact scans, the live range keeps the
+           monotone D&C. *)
+        let total_w = fget w n in
+        let mass_start = ref 0 in
+        while
+          !mass_start < n
+          && fget w (!mass_start + 1) < total_w *. 0x1p-53
+        do
+          incr mass_start
         done;
-        fun lo hi ->
-          let sum_w = w.(hi + 1) -. w.(lo) in
-          if sum_w <= 0. then 0.
-          else
-            let c_bar = (wc.(hi + 1) -. wc.(lo)) /. sum_w in
-            sum_w *. exp (-.alpha *. (c_bar -. cmin))
-  in
-  (order, seg_value)
+        for k = 1 to Stdlib.min !mass_start (n - 1) do
+          starts := k :: !starts
+        done
+      end;
+      let region_starts = List.sort_uniq Int.compare (0 :: !starts) in
+      let regions =
+        if List.length region_starts > 64 then [| 0 |]
+        else Array.of_list region_starts
+      in
+      (order, seg, regions)
 
 let optimal_dp market ~n_bundles =
-  let order, seg_value = dp_inputs market in
+  let order, seg_value, regions = dp_inputs market in
   let n = Market.n_flows market in
-  let r = Numerics.Segdp.solve ~n ~n_bundles seg_value in
+  let r = Numerics.Segdp.solve ~regions ~n ~n_bundles seg_value in
   Bundle.contiguous ~order ~cuts:r.Numerics.Segdp.cuts
 
 let rec apply strategy market ~n_bundles =

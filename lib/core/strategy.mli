@@ -34,18 +34,23 @@ val of_name : string -> t
 
 val apply : t -> Market.t -> n_bundles:int -> Bundle.t
 (** Raises [Invalid_argument] when [n_bundles < 1]. [Optimal] runs the
-    segment DP through {!Numerics.Segdp.solve} (divide-and-conquer
-    layers, Monge spot-check, exact quadratic fallback) — cut-for-cut
+    segment DP through {!Numerics.Segdp.solve} (region-wise
+    divide-and-conquer layers, Monge/total-monotonicity spot-checks,
+    SMAWK middle rung, exact quadratic backstop) — cut-for-cut
     identical to the historical O(B n^2) DP. *)
 
-val dp_inputs : Market.t -> int array * (int -> int -> float)
-(** [dp_inputs market] is [(order, seg_value)]: flow indices in
-    ascending-cost order (ties by index) and the closed-form segment
+val dp_inputs : Market.t -> int array * (int -> int -> float) * int array
+(** [dp_inputs market] is [(order, seg_value, regions)]: flow indices
+    in ascending-cost order (ties by index), the closed-form segment
     profit of the contiguous run of positions [lo..hi] (inclusive) of
-    [order] under the market's demand spec — exactly the inputs
-    [Optimal]'s DP runs on. Exposed for the kernel bench and the
-    fast-vs-quadratic regression suite. O(n) setup; each [seg_value]
-    call is O(1) off prefix sums. *)
+    [order] under the market's demand spec, and the piecewise-region
+    starts to pass to {!Numerics.Segdp.solve} — exactly the inputs
+    [Optimal]'s DP runs on. [regions] is [[|0|]] for CED/linear; for
+    logit it splits the cost order at clamped/underflowed prefix-sum
+    ranges and at the exp-saturation point, so each region's segment
+    profit is a single smooth, inverse-Monge branch. Exposed for the
+    kernel bench and the fast-vs-quadratic regression suite. O(n)
+    setup; each [seg_value] call is O(1) off prefix sums. *)
 
 val token_bucket : weights:float array -> order:int array -> n_bundles:int -> Bundle.t
 (** The paper's token-bucket grouping: budget [sum w / B] per bundle,

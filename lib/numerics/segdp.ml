@@ -5,13 +5,39 @@
    Monge (the CED closed-form segment profit is; linear/logit are in
    practice), the leftmost column argmax is nondecreasing in j, so a
    divide-and-conquer recursion computes the whole layer in O(n log n)
-   evaluations instead of O(n^2). Each layer is then spot-checked (exact
-   re-solve of sampled columns + sampled adjacent Monge quadruples); a
-   failed check recomputes the layer with exact full-range scans, so a
-   structurally hostile seg_value degrades to the quadratic DP rather
-   than to wrong cuts. *)
+   evaluations instead of O(n^2).
 
-type stats = { layers : int; fallback_layers : int; evaluations : int }
+   Each layer climbs a three-rung ladder, each rung certified by the
+   same runtime spot-check (exact re-solve of sampled columns, value and
+   argmax bit-for-bit):
+
+   1. Region-wise divide and conquer. The caller may pass [regions] —
+      start positions where seg_value changes branch structure (clamped
+      prefix sums, underflowed exponentials); the D&C re-anchors its
+      candidate range at every region start, so each region only needs
+      the Monge property locally. Probed with seg-only adjacent Monge
+      quadruples: the dp_{b-1} terms cancel exactly in the quadruple, so
+      including them (as the pre-ladder implementation did) only
+      measured floating-point cancellation against numbers many orders
+      of magnitude larger than the segment deltas — the false positive
+      that used to push every big logit layer onto the quadratic row.
+
+   2. SMAWK over the full layer. Total monotonicity is strictly weaker
+      than inverse Monge and is exactly what monotone argmaxes need;
+      probed with sampled strict-hypothesis TM implications on the
+      rounded candidate matrix (what SMAWK actually compares).
+
+   3. Exact quadratic row — the certified backstop. A structurally
+      hostile seg_value degrades to the quadratic DP rather than to
+      wrong cuts. *)
+
+type stats = {
+  layers : int;
+  smawk_layers : int;
+  fallback_layers : int;
+  evaluations : int;
+  regions : int;
+}
 
 type result = {
   cuts : int list;
@@ -20,9 +46,41 @@ type result = {
   stats : stats;
 }
 
+(* Bounds checks on the hot inner loops are pure overhead once the index
+   arithmetic is pinned by the validation suite; flip to [true] for a
+   bounds-checked debug build (the branch is a compile-time constant, so
+   flambda-less builds still drop it). *)
+let checked_gets = false
+
+let[@inline] fget (a : float array) i =
+  if checked_gets then Array.get a i else Array.unsafe_get a i
+
+let[@inline] iget (a : int array) i =
+  if checked_gets then Array.get a i else Array.unsafe_get a i
+
+let no_regions = [| 0 |]
+
 let validate ~n ~n_bundles =
   if n < 1 then invalid_arg "Segdp: n must be positive";
   if n_bundles < 1 then invalid_arg "Segdp: n_bundles must be positive"
+
+let check_regions ~n regions =
+  let k = Array.length regions in
+  if k = 0 || regions.(0) <> 0 then
+    invalid_arg "Segdp: regions must start with 0";
+  for r = 1 to k - 1 do
+    if regions.(r) <= regions.(r - 1) || regions.(r) >= n then
+      invalid_arg "Segdp: regions must be strictly increasing within [0, n)"
+  done
+
+(* Greatest [r] with [regions.(r) <= j]. *)
+let region_of regions j =
+  let lo = ref 0 and hi = ref (Array.length regions - 1) in
+  while !lo < !hi do
+    let mid = !lo + ((!hi - !lo + 1) / 2) in
+    if regions.(mid) <= j then lo := mid else hi := mid - 1
+  done;
+  !lo
 
 (* Exact best split point for column [j] of layer [b]: scan the full
    candidate range ascending with a strict [>] update, so the smallest
@@ -30,7 +88,7 @@ let validate ~n ~n_bundles =
 let exact_best ~prev ~seg ~b j =
   let best = ref Float.neg_infinity and best_i = ref 0 in
   for i = b to j do
-    let candidate = prev.(i - 1) +. seg i j in
+    let candidate = fget prev (i - 1) +. seg i j in
     if candidate > !best then begin
       best := candidate;
       best_i := i
@@ -48,9 +106,8 @@ let exact_layer ~prev ~cur ~choice_row ~seg ~b ~n =
 (* Monotone-decision divide and conquer over a column range: solve the
    middle column over the inherited candidate range, then recurse with
    the range split at the argmax. Identical to the exact layer whenever
-   the layer matrix is inverse Monge (leftmost argmaxes are then
-   nondecreasing in j, ties included). The range form is what the
-   warm-start entry re-runs over the dirty column suffix only. *)
+   the layer matrix is inverse Monge over the range (leftmost argmaxes
+   are then nondecreasing in j, ties included). *)
 let dandc_range ~prev ~cur ~choice_row ~seg ~jlo ~jhi ~ilo ~ihi =
   let rec go jlo jhi ilo ihi =
     if jlo <= jhi then begin
@@ -58,7 +115,7 @@ let dandc_range ~prev ~cur ~choice_row ~seg ~jlo ~jhi ~ilo ~ihi =
       let hi = Stdlib.min jmid ihi in
       let best = ref Float.neg_infinity and best_i = ref 0 in
       for i = ilo to hi do
-        let candidate = prev.(i - 1) +. seg i jmid in
+        let candidate = fget prev (i - 1) +. seg i jmid in
         if candidate > !best then begin
           best := candidate;
           best_i := i
@@ -67,8 +124,8 @@ let dandc_range ~prev ~cur ~choice_row ~seg ~jlo ~jhi ~ilo ~ihi =
       cur.(jmid) <- !best;
       choice_row.(jmid) <- !best_i;
       (* [!best_i = 0] only when every candidate was NaN; clamp so the
-         recursion stays well-formed (validation then forces the exact
-         fallback). *)
+         recursion stays well-formed (validation then forces the next
+         rung). *)
       let split = Stdlib.max !best_i ilo in
       go jlo (jmid - 1) ilo split;
       go (jmid + 1) jhi split ihi
@@ -76,9 +133,127 @@ let dandc_range ~prev ~cur ~choice_row ~seg ~jlo ~jhi ~ilo ~ihi =
   in
   go jlo jhi ilo ihi
 
-let dandc_layer ~prev ~cur ~choice_row ~seg ~b ~n =
-  dandc_range ~prev ~cur ~choice_row ~seg ~jlo:b ~jhi:(n - 1) ~ilo:b
-    ~ihi:(n - 1)
+(* Region-wise D&C over columns [max b jlo0 .. n-1]. Each region
+   re-anchors the candidate range at [b] — monotone argmaxes are only
+   assumed within a region, never across a boundary. When the first
+   processed column has an in-region left neighbour (the warm-start
+   suffix case), that clean column's stored argmax bounds the suffix
+   argmaxes from below. *)
+let dandc_regions ~prev ~cur ~choice_row ~seg ~b ~n ~regions ~jlo0 =
+  let nreg = Array.length regions in
+  let r0 =
+    if jlo0 <= 0 then 0 else region_of regions (Stdlib.min jlo0 (n - 1))
+  in
+  for r = r0 to nreg - 1 do
+    let rlo = regions.(r) in
+    let rhi = if r + 1 < nreg then regions.(r + 1) - 1 else n - 1 in
+    let jlo = Stdlib.max b (Stdlib.max rlo jlo0) in
+    if jlo <= rhi then begin
+      let ilo =
+        if jlo - 1 >= b && jlo - 1 >= rlo then
+          Stdlib.max (iget choice_row (jlo - 1)) b
+        else b
+      in
+      dandc_range ~prev ~cur ~choice_row ~seg ~jlo ~jhi:rhi ~ilo ~ihi:rhi
+    end
+  done
+
+(* SMAWK over the staircase layer matrix: rows are DP columns [j],
+   columns are split candidates [i], entries prev.(i-1) + seg i j with
+   the invalid triangle i > j padded to -inf (padding that preserves
+   total monotonicity whenever the staircase part has it). Computes the
+   leftmost row maximum of every row in O(rows + cols) evaluations per
+   recursion level; exact precisely when the layer matrix is totally
+   monotone — which the caller's spot-check then certifies. *)
+let smawk_layer ~prev ~cur ~choice_row ~seg ~b ~n =
+  let m j i =
+    if i > j then Float.neg_infinity else fget prev (i - 1) +. seg i j
+  in
+  let rec go rows cols =
+    let nr = Array.length rows in
+    if nr > 0 then begin
+      (* REDUCE: prune to at most [nr] candidates that can still hold
+         some row's leftmost argmax. Pops are strict [>], so a tie keeps
+         the earlier candidate — the quadratic DP's tie-break. *)
+      let cols =
+        if Array.length cols <= nr then cols
+        else begin
+          let stack = Array.make nr 0 in
+          let top = ref 0 in
+          Array.iter
+            (fun c ->
+              while
+                !top > 0
+                && m rows.(!top - 1) c > m rows.(!top - 1) stack.(!top - 1)
+              do
+                decr top
+              done;
+              if !top < nr then begin
+                stack.(!top) <- c;
+                incr top
+              end)
+            cols;
+          Array.sub stack 0 !top
+        end
+      in
+      if nr = 1 then begin
+        let j = rows.(0) in
+        let best = ref Float.neg_infinity and best_i = ref b in
+        Array.iter
+          (fun c ->
+            let v = m j c in
+            if v > !best then begin
+              best := v;
+              best_i := c
+            end)
+          cols;
+        cur.(j) <- !best;
+        choice_row.(j) <- !best_i
+      end
+      else begin
+        let odd = Array.init (nr / 2) (fun k -> rows.((2 * k) + 1)) in
+        go odd cols;
+        (* Interpolate the even rows: row rows.(2k)'s leftmost argmax
+           lies between its solved neighbours' argmaxes, so one pointer
+           sweeps [cols] across all even rows. *)
+        let ncols = Array.length cols in
+        let p = ref 0 in
+        let k = ref 0 in
+        while !k < nr do
+          let j = rows.(!k) in
+          let stop =
+            if !k + 1 < nr then choice_row.(rows.(!k + 1))
+            else cols.(ncols - 1)
+          in
+          let best = ref Float.neg_infinity and best_i = ref b in
+          let q = ref !p in
+          let scanning = ref true in
+          while !scanning && !q < ncols do
+            let c = cols.(!q) in
+            if c > stop then scanning := false
+            else begin
+              let v = m j c in
+              if v > !best then begin
+                best := v;
+                best_i := c
+              end;
+              if c = stop then scanning := false else incr q
+            end
+          done;
+          cur.(j) <- !best;
+          choice_row.(j) <- !best_i;
+          while !p + 1 < ncols && cols.(!p) < stop do
+            incr p
+          done;
+          k := !k + 2
+        done
+      end
+    end
+  in
+  if n - 1 >= b then begin
+    let idx = Array.init (n - b) (fun k -> b + k) in
+    go idx idx
+  end
 
 (* xorshift64: cheap deterministic sampling, independent of the global
    Random state (lib code must stay reproducible; DESIGN.md §10 D003). *)
@@ -90,39 +265,119 @@ let sample_int state bound =
   state := s;
   Int64.to_int (Int64.rem (Int64.logand s Int64.max_int) (Int64.of_int bound))
 
-(* Cheap runtime certificate for one layer: exact re-solve of up to
-   [samples] evenly spaced columns (value and argmax must match
-   bit-for-bit) plus [samples] sampled adjacent Monge quadruples.
-   Sound in the fallback direction: any detected oddity (including NaN)
-   rejects the layer. *)
-let layer_valid ~prev ~cur ~choice_row ~seg ~b ~n ~samples =
+(* The certificate shared by every fast rung: exact re-solve of up to
+   [samples] evenly spaced columns — value and argmax must match
+   bit-for-bit — plus every region-start column (strided down to
+   [samples] when the decomposition is finer), because the boundaries
+   are exactly where the region-wise D&C re-anchors. *)
+let columns_valid ~prev ~cur ~choice_row ~seg ~b ~n ~samples ~regions =
   let ok = ref true in
+  let check j =
+    let best, best_i = exact_best ~prev ~seg ~b j in
+    if (not (Float.equal cur.(j) best)) || choice_row.(j) <> best_i then
+      ok := false
+  in
   let cols = Stdlib.min samples (n - b) in
   let k = ref 0 in
   while !ok && !k < cols do
-    let j =
-      if cols = 1 then n - 1 else b + (!k * (n - 1 - b) / (cols - 1))
-    in
-    let best, best_i = exact_best ~prev ~seg ~b j in
-    if (not (Float.equal cur.(j) best)) || choice_row.(j) <> best_i then
-      ok := false;
+    let j = if cols = 1 then n - 1 else b + (!k * (n - 1 - b) / (cols - 1)) in
+    check j;
     incr k
   done;
-  if !ok && n - b >= 3 then begin
-    let state = ref (Int64.of_int (0x9E3779B9 + (b * 0x85EBCA6B))) in
-    let s = ref 0 in
-    while !ok && !s < samples do
-      let i = b + sample_int state (n - 2 - b) in
-      let j = i + 1 + sample_int state (n - 2 - i) in
-      let a_ij = prev.(i - 1) +. seg i j in
-      let a_i1j1 = prev.(i) +. seg (i + 1) (j + 1) in
-      let a_i1j = prev.(i) +. seg (i + 1) j in
-      let a_ij1 = prev.(i - 1) +. seg i (j + 1) in
-      if not (a_ij +. a_i1j1 >= a_i1j +. a_ij1) then ok := false;
-      incr s
+  let nreg = Array.length regions in
+  if !ok && nreg > 1 && samples > 0 then begin
+    let stride = 1 + ((nreg - 1) / samples) in
+    let r = ref 1 in
+    while !ok && !r < nreg do
+      let j = Stdlib.max b regions.(!r) in
+      if j < n then check j;
+      r := !r + stride
     done
   end;
   !ok
+
+(* Rung-1 probe: [samples] adjacent inverse-Monge quadruples on
+   seg_value alone, with the column pair (j, j+1) drawn inside one
+   region. The dp_{b-1} terms cancel exactly in the real-arithmetic
+   quadruple, so they are omitted rather than letting their
+   floating-point cancellation (|dp| can exceed |seg delta| by 1e13)
+   manufacture spurious violations. Sound in the fallback direction:
+   any detected oddity, NaN included, rejects the rung. *)
+let monge_valid ~seg ~b ~n ~samples ~regions =
+  if n - b < 3 then true
+  else begin
+    let ok = ref true in
+    let state = ref (Int64.of_int (0x9E3779B9 + (b * 0x85EBCA6B))) in
+    let s = ref 0 in
+    let one_region = Array.length regions = 1 in
+    while !ok && !s < samples do
+      let i = b + sample_int state (n - 2 - b) in
+      let j = i + 1 + sample_int state (n - 2 - i) in
+      if one_region || region_of regions j = region_of regions (j + 1) then begin
+        let a_ij = seg i j and a_i1j1 = seg (i + 1) (j + 1) in
+        let a_i1j = seg (i + 1) j and a_ij1 = seg i (j + 1) in
+        if not (a_ij +. a_i1j1 >= a_i1j +. a_ij1) then ok := false
+      end;
+      incr s
+    done;
+    !ok
+  end
+
+(* Rung-2 probe: [samples] strict-hypothesis total-monotonicity
+   implications on the rounded candidate matrix (dp terms included —
+   these are exactly the comparisons SMAWK performs, so near-ties make
+   the hypothesis false and the draw vacuous instead of noisy). *)
+let tm_valid ~prev ~seg ~b ~n ~samples =
+  if n - b < 3 then true
+  else begin
+    let ok = ref true in
+    let state = ref (Int64.of_int (0xC2B2AE35 + (b * 0x27D4EB2F))) in
+    let s = ref 0 in
+    let cand i j = fget prev (i - 1) +. seg i j in
+    while !ok && !s < samples do
+      let i = b + sample_int state (n - 2 - b) in
+      let i' = i + 1 + sample_int state (n - 2 - i) in
+      let j = i' + sample_int state (n - 1 - i') in
+      let j' = j + 1 + sample_int state (n - 1 - j) in
+      let a = cand i j
+      and b' = cand i' j
+      and c = cand i j'
+      and d = cand i' j' in
+      if Float.is_nan a || Float.is_nan b' || Float.is_nan c || Float.is_nan d
+      then ok := false
+      else if a < b' && not (c < d) then ok := false;
+      incr s
+    done;
+    !ok
+  end
+
+(* One layer through the ladder. [samples = 0] disables validation and
+   accepts the region-wise D&C outright (documented contract). *)
+let ladder_layer ~samples ~regions ~smawk_count ~fallback_count ~prev ~cur
+    ~choice_row ~seg ~b ~n =
+  dandc_regions ~prev ~cur ~choice_row ~seg ~b ~n ~regions ~jlo0:0;
+  let dandc_ok =
+    samples = 0
+    || (monge_valid ~seg ~b ~n ~samples ~regions
+       && columns_valid ~prev ~cur ~choice_row ~seg ~b ~n ~samples ~regions)
+  in
+  if not dandc_ok then begin
+    Array.fill cur 0 n Float.neg_infinity;
+    Array.fill choice_row 0 n 0;
+    smawk_layer ~prev ~cur ~choice_row ~seg ~b ~n;
+    let smawk_ok =
+      tm_valid ~prev ~seg ~b ~n ~samples
+      && columns_valid ~prev ~cur ~choice_row ~seg ~b ~n ~samples
+           ~regions:no_regions
+    in
+    if smawk_ok then incr smawk_count
+    else begin
+      incr fallback_count;
+      Array.fill cur 0 n Float.neg_infinity;
+      Array.fill choice_row 0 n 0;
+      exact_layer ~prev ~cur ~choice_row ~seg ~b ~n
+    end
+  end
 
 let traceback ~choice ~best_b ~n =
   let rec go b j acc =
@@ -147,8 +402,9 @@ let finish ~choice ~last ~b_max ~n ~stats =
     stats;
   }
 
-let run ~n ~n_bundles ~layer seg_value =
+let run ~n ~n_bundles ~regions ~smawk_count ~fallback_count ~layer seg_value =
   validate ~n ~n_bundles;
+  check_regions ~n regions;
   let b_max = Stdlib.min n_bundles n in
   let evals = ref 0 in
   let seg i j =
@@ -163,31 +419,35 @@ let run ~n ~n_bundles ~layer seg_value =
     prev.(j) <- seg 0 j
   done;
   last.(0) <- prev.(n - 1);
-  let fallbacks = ref 0 in
   for b = 1 to b_max - 1 do
     Array.fill cur 0 n Float.neg_infinity;
     let choice_row = choice.(b) in
-    if not (layer ~prev ~cur ~choice_row ~seg ~b) then begin
-      incr fallbacks;
-      Array.fill cur 0 n Float.neg_infinity;
-      Array.fill choice_row 0 n 0;
-      exact_layer ~prev ~cur ~choice_row ~seg ~b ~n
-    end;
+    layer ~prev ~cur ~choice_row ~seg ~b;
     last.(b) <- cur.(n - 1);
     Array.blit cur 0 prev 0 n
   done;
   finish ~choice ~last ~b_max ~n
-    ~stats:{ layers = b_max; fallback_layers = !fallbacks; evaluations = !evals }
+    ~stats:
+      {
+        layers = b_max;
+        smawk_layers = !smawk_count;
+        fallback_layers = !fallback_count;
+        evaluations = !evals;
+        regions = Array.length regions;
+      }
 
 let solve_quadratic ~n ~n_bundles seg_value =
-  run ~n ~n_bundles seg_value ~layer:(fun ~prev ~cur ~choice_row ~seg ~b ->
-      exact_layer ~prev ~cur ~choice_row ~seg ~b ~n;
-      true)
+  let zero = ref 0 in
+  run ~n ~n_bundles ~regions:no_regions ~smawk_count:zero ~fallback_count:zero
+    seg_value ~layer:(fun ~prev ~cur ~choice_row ~seg ~b ->
+      exact_layer ~prev ~cur ~choice_row ~seg ~b ~n)
 
-let solve ?(samples = 16) ~n ~n_bundles seg_value =
-  run ~n ~n_bundles seg_value ~layer:(fun ~prev ~cur ~choice_row ~seg ~b ->
-      dandc_layer ~prev ~cur ~choice_row ~seg ~b ~n;
-      layer_valid ~prev ~cur ~choice_row ~seg ~b ~n ~samples)
+let solve ?(samples = 16) ?(regions = no_regions) ~n ~n_bundles seg_value =
+  let smawk_count = ref 0 and fallback_count = ref 0 in
+  run ~n ~n_bundles ~regions ~smawk_count ~fallback_count seg_value
+    ~layer:(fun ~prev ~cur ~choice_row ~seg ~b ->
+      ladder_layer ~samples ~regions ~smawk_count ~fallback_count ~prev ~cur
+        ~choice_row ~seg ~b ~n)
 
 (* --- warm start ----------------------------------------------------------- *)
 
@@ -198,11 +458,12 @@ let solve ?(samples = 16) ~n ~n_bundles seg_value =
    depends only on [prev] at positions [< j] and on [seg i j] with
    [i <= j], so every column left of the first dirty position is
    untouched by construction, not by assumption. The recomputed suffix
-   runs the same divide-and-conquer with the candidate range inherited
-   from the last clean column's stored argmax, and every layer is
-   re-validated by the same spot-check [solve] uses; a failed check
-   abandons the warm attempt and re-solves from scratch into the same
-   state, so a warm result can never silently diverge from a cold one. *)
+   runs the region-wise divide-and-conquer with the candidate range
+   inherited from the last clean column's stored argmax (same-region
+   columns only), and every layer is re-validated by the same spot-check
+   [solve] uses; a failed check abandons the warm attempt and re-solves
+   from scratch through the full ladder into the same state, so a warm
+   result can never silently diverge from a cold one. *)
 
 type state = {
   st_n : int;
@@ -211,13 +472,15 @@ type state = {
   st_dp : float array array;  (* b_max rows of n layer values *)
   st_choice : int array array;  (* b_max rows; row 0 unused *)
   st_last : float array;  (* dp value of the full prefix per layer *)
+  mutable st_regions : int array;  (* region starts of the last solve *)
 }
 
 (* Fill every layer of [st] from scratch — the same computations as
-   [solve] (divide-and-conquer, spot-check, exact fallback), just
-   written into retained rows instead of a rolling pair. *)
-let fill_state ~samples ~fallbacks st seg =
+   [solve] (the full D&C -> SMAWK -> exact ladder), just written into
+   retained rows instead of a rolling pair. *)
+let fill_state ~samples ~smawk_count ~fallback_count st seg =
   let n = st.st_n and b_max = st.st_b_max in
+  let regions = st.st_regions in
   let dp = st.st_dp and choice = st.st_choice and last = st.st_last in
   for j = 0 to n - 1 do
     dp.(0).(j) <- seg 0 j
@@ -227,18 +490,15 @@ let fill_state ~samples ~fallbacks st seg =
     let prev = dp.(b - 1) and cur = dp.(b) in
     let choice_row = choice.(b) in
     Array.fill cur 0 n Float.neg_infinity;
-    dandc_layer ~prev ~cur ~choice_row ~seg ~b ~n;
-    if not (layer_valid ~prev ~cur ~choice_row ~seg ~b ~n ~samples) then begin
-      incr fallbacks;
-      Array.fill cur 0 n Float.neg_infinity;
-      Array.fill choice_row 0 n 0;
-      exact_layer ~prev ~cur ~choice_row ~seg ~b ~n
-    end;
+    ladder_layer ~samples ~regions ~smawk_count ~fallback_count ~prev ~cur
+      ~choice_row ~seg ~b ~n;
     last.(b) <- cur.(n - 1)
   done
 
-let solve_with_state ?(samples = 16) ~n ~n_bundles seg_value =
+let solve_with_state ?(samples = 16) ?(regions = no_regions) ~n ~n_bundles
+    seg_value =
   validate ~n ~n_bundles;
+  check_regions ~n regions;
   let b_max = Stdlib.min n_bundles n in
   let st =
     {
@@ -248,31 +508,52 @@ let solve_with_state ?(samples = 16) ~n ~n_bundles seg_value =
       st_dp = Array.make_matrix b_max n Float.neg_infinity;
       st_choice = Array.make_matrix b_max n 0;
       st_last = Array.make b_max Float.neg_infinity;
+      st_regions = regions;
     }
   in
-  let evals = ref 0 and fallbacks = ref 0 in
+  let evals = ref 0 and smawk_count = ref 0 and fallback_count = ref 0 in
   let seg i j =
     incr evals;
     seg_value i j
   in
-  fill_state ~samples ~fallbacks st seg;
+  fill_state ~samples ~smawk_count ~fallback_count st seg;
   ( finish ~choice:st.st_choice ~last:st.st_last ~b_max ~n
       ~stats:
-        { layers = b_max; fallback_layers = !fallbacks; evaluations = !evals },
+        {
+          layers = b_max;
+          smawk_layers = !smawk_count;
+          fallback_layers = !fallback_count;
+          evaluations = !evals;
+          regions = Array.length regions;
+        },
     st )
 
 let state_n st = st.st_n
 let state_n_bundles st = st.st_n_bundles
 
-let solve_warm ?(samples = 16) ?(force_fallback = false) st ~dirty_from
-    seg_value =
+let solve_warm ?(samples = 16) ?regions ?(force_fallback = false) st
+    ~dirty_from seg_value =
   let n = st.st_n and b_max = st.st_b_max in
   if dirty_from < 0 || dirty_from > n then
     invalid_arg "Segdp.solve_warm: dirty_from out of [0, n]";
+  (match regions with
+  | Some r ->
+      check_regions ~n r;
+      st.st_regions <- r
+  | None -> ());
+  let regions = st.st_regions in
+  let nregions = Array.length regions in
   if dirty_from = n && not force_fallback then
     (* Nothing changed: replay the traceback from the retained state. *)
     ( finish ~choice:st.st_choice ~last:st.st_last ~b_max ~n
-        ~stats:{ layers = 0; fallback_layers = 0; evaluations = 0 },
+        ~stats:
+          {
+            layers = 0;
+            smawk_layers = 0;
+            fallback_layers = 0;
+            evaluations = 0;
+            regions = nregions;
+          },
       `Warm )
   else begin
     let evals = ref 0 in
@@ -294,37 +575,69 @@ let solve_warm ?(samples = 16) ?(force_fallback = false) st ~dirty_from
         let prev = dp.(b' - 1) and cur = dp.(b') in
         let choice_row = choice.(b') in
         let jlo = Stdlib.max b' d in
-        (* The last clean column's stored argmax bounds every dirty
-           column's argmax from below (monotone decisions — the same
-           property the divide and conquer itself rides on; the
-           spot-check below still guards it). *)
-        let ilo =
-          if jlo - 1 >= b' then Stdlib.max choice_row.(jlo - 1) b' else b'
-        in
-        dandc_range ~prev ~cur ~choice_row ~seg ~jlo ~jhi:(n - 1) ~ilo
-          ~ihi:(n - 1);
-        ok := layer_valid ~prev ~cur ~choice_row ~seg ~b:b' ~n ~samples;
+        dandc_regions ~prev ~cur ~choice_row ~seg ~b:b' ~n ~regions ~jlo0:jlo;
+        ok :=
+          monge_valid ~seg ~b:b' ~n ~samples ~regions
+          && columns_valid ~prev ~cur ~choice_row ~seg ~b:b' ~n ~samples
+               ~regions;
         last.(b') <- cur.(n - 1);
         incr b
       done
     end;
     if !ok then
       ( finish ~choice ~last ~b_max ~n
-          ~stats:{ layers = b_max; fallback_layers = 0; evaluations = !evals },
+          ~stats:
+            {
+              layers = b_max;
+              smawk_layers = 0;
+              fallback_layers = 0;
+              evaluations = !evals;
+              regions = nregions;
+            },
         `Warm )
     else begin
       (* Divergence (or a forced drill): recompute every layer from
-         scratch into the same state. The warm attempt's evaluations
-         stay in the bill — they were really spent. *)
-      let fallbacks = ref 0 in
-      fill_state ~samples ~fallbacks st seg;
+         scratch through the ladder into the same state. The warm
+         attempt's evaluations stay in the bill — they were really
+         spent. *)
+      let smawk_count = ref 0 and fallback_count = ref 0 in
+      fill_state ~samples ~smawk_count ~fallback_count st seg;
       ( finish ~choice ~last ~b_max ~n
           ~stats:
             {
               layers = b_max;
-              fallback_layers = !fallbacks;
+              smawk_layers = !smawk_count;
+              fallback_layers = !fallback_count;
               evaluations = !evals;
+              regions = nregions;
             },
         `Cold )
     end
   end
+
+let verify_columns ?(samples = 64) st seg_value =
+  let n = st.st_n and b_max = st.st_b_max in
+  let dp = st.st_dp and choice = st.st_choice in
+  let ok = ref true in
+  let b = ref 0 in
+  while !ok && !b < b_max do
+    let b' = !b in
+    let state = ref (Int64.of_int (0x165667B1 + (b' * 0x85EBCA6B))) in
+    let draws = Stdlib.min samples (n - b') in
+    let s = ref 0 in
+    while !ok && !s < draws do
+      let j = b' + sample_int state (n - b') in
+      if b' = 0 then begin
+        if not (Float.equal dp.(0).(j) (seg_value 0 j)) then ok := false
+      end
+      else begin
+        let best, best_i = exact_best ~prev:dp.(b' - 1) ~seg:seg_value ~b:b' j in
+        if
+          (not (Float.equal dp.(b').(j) best)) || choice.(b').(j) <> best_i
+        then ok := false
+      end;
+      incr s
+    done;
+    incr b
+  done;
+  !ok

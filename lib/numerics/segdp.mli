@@ -5,26 +5,43 @@
     positions), the optimal-bundling recurrence of the tier DP
     (DESIGN.md §11).
 
-    Both solvers share the quadratic DP's exact semantics: ties inside a
+    All solvers share the quadratic DP's exact semantics: ties inside a
     column break toward the smallest split index, and ties across
     segment counts break toward the fewest segments (strict [>]
-    updates). [solve] computes each layer by monotone-decision divide
-    and conquer — O(b n log n) evaluations when the per-layer matrices
-    are inverse Monge, which the closed-form CED/linear/logit segment
-    profits are in practice — then spot-checks the layer (exact
-    re-solve of sampled columns plus sampled adjacent Monge quadruples)
-    and recomputes it with exact O(n^2) scans when the check fails, so a
-    structurally hostile [seg_value] degrades to quadratic time, not to
-    different cuts. The regression suite pins [solve = solve_quadratic]
-    cut-for-cut on random markets of every demand spec. *)
+    updates). [solve] computes each layer through a three-rung ladder,
+    every rung certified by an exact re-solve of sampled columns (value
+    and argmax bit-for-bit):
+
+    + region-wise monotone-decision divide and conquer — O(b n log n)
+      evaluations when each region's layer matrix is inverse Monge,
+      which the closed-form CED/linear/logit segment profits are
+      (piecewise, once clamped/underflowed prefix ranges are split out
+      via [regions]); probed with seg-only adjacent Monge quadruples;
+    + SMAWK over the full layer — total monotonicity is strictly weaker
+      than inverse Monge and still gives exact leftmost argmaxes in
+      O(n) evaluations per recursion level; probed with sampled
+      strict-hypothesis TM implications;
+    + the exact quadratic row as a last-resort certified backstop, so a
+      structurally hostile [seg_value] degrades to quadratic time, not
+      to different cuts.
+
+    The regression suite pins [solve = solve_quadratic] cut-for-cut on
+    random markets of every demand spec and on an adversarial corpus of
+    hostile layers. *)
 
 type stats = {
   layers : int;  (** DP layers computed, including the base layer. *)
+  smawk_layers : int;
+      (** Layers that failed the Monge spot-check but were accepted on
+          the SMAWK rung ([0] for [solve_quadratic]). *)
   fallback_layers : int;
-      (** Layers whose spot-check failed and that were recomputed with
+      (** Layers that exhausted both fast rungs and were recomputed with
           the exact quadratic row ([solve] only; always [0] for
           [solve_quadratic]). *)
   evaluations : int;  (** Total [seg_value] calls, checks included. *)
+  regions : int;
+      (** Number of piecewise regions the solve ran with ([1] when no
+          decomposition was supplied). *)
 }
 
 type result = {
@@ -44,13 +61,24 @@ val solve_quadratic :
     [n < 1] or [n_bundles < 1]. *)
 
 val solve :
-  ?samples:int -> n:int -> n_bundles:int -> (int -> int -> float) -> result
-(** Divide-and-conquer solver with per-layer validation and exact
-    fallback; cut-for-cut identical to [solve_quadratic] on
-    inverse-Monge layers (and on any layer whose spot-check trips).
-    [samples] bounds both the exact column re-solves and the Monge
-    quadruple probes per layer (default [16]; [0] disables validation).
-    Raises [Invalid_argument] when [n < 1] or [n_bundles < 1]. *)
+  ?samples:int ->
+  ?regions:int array ->
+  n:int ->
+  n_bundles:int ->
+  (int -> int -> float) ->
+  result
+(** Ladder solver (region-wise D&C, then SMAWK, then exact fallback);
+    cut-for-cut identical to [solve_quadratic] on every input whose
+    hostile structure the spot-checks detect — and the checks fail
+    toward the backstop, NaN included. [samples] bounds the exact column
+    re-solves and the Monge/TM probes per layer (default [16]; [0]
+    disables validation and accepts the D&C rung outright). [regions]
+    lists piecewise-region start positions, strictly increasing from
+    [0] within [\[0, n)] (default [[|0|]]): the D&C re-anchors its
+    candidate range at every region start, so clamped or underflowed
+    [seg_value] branches only need the Monge property locally — see
+    [Strategy.dp_inputs], which derives the logit decomposition. Raises
+    [Invalid_argument] on malformed [n], [n_bundles] or [regions]. *)
 
 (** {2 Warm start}
 
@@ -61,9 +89,9 @@ val solve :
     of every layer — columns left of [dirty_from] are provably
     untouched, because column [j] depends only on positions [<= j] —
     re-validating each layer with the same spot-check [solve] runs and
-    re-solving everything from scratch when a check trips. A warm
-    result is therefore always cut-for-cut what the cold solver would
-    have returned on the same inputs. *)
+    re-solving everything from scratch (through the full ladder) when a
+    check trips. A warm result is therefore always cut-for-cut what the
+    cold solver would have returned on the same inputs. *)
 
 type state
 (** Retained DP matrices (O(n_bundles * n) floats), mutated in place by
@@ -74,15 +102,18 @@ val state_n_bundles : state -> int
 
 val solve_with_state :
   ?samples:int ->
+  ?regions:int array ->
   n:int ->
   n_bundles:int ->
   (int -> int -> float) ->
   result * state
 (** Exactly {!solve} (same cuts, value and tie-breaks), additionally
-    returning the retained state for later warm calls. *)
+    returning the retained state for later warm calls. The state
+    remembers [regions] until a later {!solve_warm} overrides them. *)
 
 val solve_warm :
   ?samples:int ->
+  ?regions:int array ->
   ?force_fallback:bool ->
   state ->
   dirty_from:int ->
@@ -92,10 +123,21 @@ val solve_warm :
     [seg_value], which must agree with the previous call's on every
     segment contained in positions [< dirty_from]. [dirty_from = n]
     means nothing changed (the retained optimum is replayed with zero
-    evaluations). Returns [`Warm] when the suffix recompute passed every
+    evaluations). [regions], when given, replaces the state's retained
+    decomposition (demand changes can move clamp boundaries between
+    windows). Returns [`Warm] when the suffix recompute passed every
     layer's spot-check, [`Cold] when a check tripped and the state was
-    recomputed from scratch (warm-attempt evaluations included in
-    [stats]). [force_fallback] skips the warm attempt and takes the
-    divergence path directly — the fault-injection drill the streaming
-    service's tests and smoke use. Raises [Invalid_argument] when
-    [dirty_from] is outside [\[0, n\]]. *)
+    recomputed from scratch through the ladder (warm-attempt evaluations
+    included in [stats]). [force_fallback] skips the warm attempt and
+    takes the divergence path directly — the fault-injection drill the
+    streaming service's tests and smoke use. Raises [Invalid_argument]
+    when [dirty_from] is outside [\[0, n\]] or [regions] is malformed. *)
+
+val verify_columns : ?samples:int -> state -> (int -> int -> float) -> bool
+(** [verify_columns st seg_value] re-solves up to [samples] (default
+    [64]) deterministically drawn columns of every retained layer with
+    exact full-range scans and checks them — value and argmax — against
+    the state bit-for-bit (layer 0 against [seg_value 0 j] directly).
+    The bench uses this as the exact spot-check on cells too large to
+    run the full quadratic reference. [seg_value] must be the function
+    the state was last solved with. *)

@@ -266,7 +266,7 @@ let dirty_from t signature =
   end
 
 let priced market (r : Numerics.Segdp.result) =
-  let order, _ = Tiered.Strategy.dp_inputs market in
+  let order, _, _ = Tiered.Strategy.dp_inputs market in
   let bundles = Tiered.Bundle.contiguous ~order ~cuts:r.Numerics.Segdp.cuts in
   let outcome = Tiered.Pricing.evaluate market bundles in
   {
@@ -326,14 +326,17 @@ let retier t (snap : Window.snapshot) =
           s
       | None ->
           let market = market_of t metas qs perm costs in
-          let _, seg_value = Tiered.Strategy.dp_inputs market in
+          let _, seg_value, regions = Tiered.Strategy.dp_inputs market in
           let result, tag =
             match t.dp with
             | Some st when Numerics.Segdp.state_n st = n ->
                 let d = dirty_from t signature in
                 dirty := d;
+                (* Demand changes can move the clamp boundaries between
+                   windows, so the warm solve always refreshes the
+                   state's region decomposition. *)
                 let r, how =
-                  Numerics.Segdp.solve_warm ~samples:t.params.samples
+                  Numerics.Segdp.solve_warm ~samples:t.params.samples ~regions
                     ~force_fallback:force st ~dirty_from:d seg_value
                 in
                 let tag =
@@ -345,8 +348,8 @@ let retier t (snap : Window.snapshot) =
             | Some _ | None ->
                 dirty := 0;
                 let r, st =
-                  Numerics.Segdp.solve_with_state ~samples:t.params.samples ~n
-                    ~n_bundles:t.params.n_bundles seg_value
+                  Numerics.Segdp.solve_with_state ~samples:t.params.samples
+                    ~regions ~n ~n_bundles:t.params.n_bundles seg_value
                 in
                 t.dp <- Some st;
                 (r, `Cold)
@@ -388,9 +391,9 @@ let solve_cold t (snap : Window.snapshot) =
   else begin
     let perm, costs, _ = inputs_of t metas qs in
     let market = market_of t metas qs perm costs in
-    let _, seg_value = Tiered.Strategy.dp_inputs market in
+    let _, seg_value, regions = Tiered.Strategy.dp_inputs market in
     let r =
-      Numerics.Segdp.solve ~samples:t.params.samples ~n
+      Numerics.Segdp.solve ~samples:t.params.samples ~regions ~n
         ~n_bundles:t.params.n_bundles seg_value
     in
     let s = priced market r in

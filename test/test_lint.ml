@@ -80,6 +80,23 @@ let d004 () =
   check_rule ~file:"lib/fake/mod.ml" "let f a b = a = b || a <> b" "D004" 0 ();
   check_rule ~file:"test/fake.ml" "let f a b = a == b" "D004" 0 ()
 
+let d004_kernel () =
+  (* The DP kernel is exactly where a physical-equality shortcut on a
+     cached row looks tempting and silently breaks the cut-for-cut
+     contract (two structurally equal prev rows are NOT the same
+     box after a refill). Pin the rule on the kernel files. *)
+  check_rule ~file:"lib/numerics/segdp.ml"
+    "let warm prev cached = if prev == cached then reuse () else refill ()"
+    "D004" 1 ();
+  check_rule ~file:"lib/numerics/segdp.ml"
+    "let dirty prev cached = prev != cached" "D004" 1 ();
+  (* structural comparison of the retained state is the sanctioned fix *)
+  check_rule ~file:"lib/numerics/segdp.ml"
+    "let warm prev cached = if prev = cached then reuse () else refill ()"
+    "D004" 0 ();
+  check_rule ~file:"lib/core/strategy.ml"
+    "let same_regions a b = a == b" "D004" 1 ()
+
 let d005 () =
   check_rule ~file:"lib/fake/mod.ml"
     "let f xs = Array.sort (fun a b -> compare a b) xs" "D005" 1 ();
@@ -97,6 +114,20 @@ let d005 () =
   (* lib/-scoped, like the other determinism rules *)
   check_rule ~file:"test/fake.ml" "let f xs = List.sort compare xs" "D005" 0 ();
   check_rule ~file:"bin/fake.ml" "let f xs = List.sort compare xs" "D005" 0 ()
+
+let d005_kernel () =
+  (* Region boundaries are sorted ints and candidate values are floats;
+     a bare polymorphic compare on either would walk the representation
+     (and NaN-order surprises in the float case). The kernel files must
+     stay on monomorphic comparators. *)
+  check_rule ~file:"lib/core/strategy.ml"
+    "let region_starts = List.sort_uniq compare (0 :: starts)" "D005" 1 ();
+  check_rule ~file:"lib/numerics/segdp.ml"
+    "let order vs = Array.sort (fun a b -> compare b a) vs" "D005" 1 ();
+  check_rule ~file:"lib/core/strategy.ml"
+    "let region_starts = List.sort_uniq Int.compare (0 :: starts)" "D005" 0 ();
+  check_rule ~file:"lib/numerics/segdp.ml"
+    "let order vs = Array.sort (fun a b -> Float.compare b a) vs" "D005" 0 ()
 
 let h001 () =
   check_rule ~file:"lib/fake/mod.ml" "let f () = exit 1" "H001" 1 ();
@@ -330,7 +361,9 @@ let suite =
     Alcotest.test_case "D003 clock/randomness whitelist" `Quick d003;
     Alcotest.test_case "D003 covers lib/serve" `Quick d003_serve;
     Alcotest.test_case "D004 physical equality" `Quick d004;
+    Alcotest.test_case "D004 on the DP kernel files" `Quick d004_kernel;
     Alcotest.test_case "D005 bare polymorphic compare" `Quick d005;
+    Alcotest.test_case "D005 on the DP kernel files" `Quick d005_kernel;
     Alcotest.test_case "H001 exit outside worker entry" `Quick h001;
     Alcotest.test_case "H002 Marshal flags literal" `Quick h002;
     Alcotest.test_case "H003 paired .mli" `Quick h003;

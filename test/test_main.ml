@@ -14,6 +14,7 @@ let () =
       ("numerics.fit", Test_fit.suite);
       ("numerics.vec", Test_vec.suite);
       ("numerics.segdp", Test_segdp.suite);
+      ("numerics.segdp.hostile", Test_segdp_hostile.suite);
       ("netsim.geo", Test_geo.suite);
       ("netsim.cities", Test_cities.suite);
       ("netsim.graph", Test_graph.suite);

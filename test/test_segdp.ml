@@ -70,16 +70,19 @@ let test_known_optimum () =
 let test_forced_fallback () =
   (* Convex segment value: seg i j = (j - i)^2 violates the adjacent
      inverse-Monge condition everywhere (2 d^2 < (d-1)^2 + (d+1)^2), so
-     the per-layer spot-check must trip and the fallback recompute must
-     still return the quadratic DP's exact cuts. The optimum here is a
-     single huge segment, but intermediate layers are hostile. *)
+     the Monge spot-check must kick the layer off the D&C rung, and
+     whichever later rung accepts it (SMAWK or the quadratic backstop)
+     must still return the quadratic DP's exact cuts. The optimum here
+     is a single huge segment, but intermediate layers are hostile. *)
   let seg i j = float_of_int ((j - i) * (j - i)) in
   let n = 40 and n_bundles = 5 in
   let fast = Numerics.Segdp.solve ~n ~n_bundles seg in
   let exact = Numerics.Segdp.solve_quadratic ~n ~n_bundles seg in
   Alcotest.(check bool)
     "spot-check tripped" true
-    (fast.Numerics.Segdp.stats.Numerics.Segdp.fallback_layers >= 1);
+    (fast.Numerics.Segdp.stats.Numerics.Segdp.fallback_layers
+     + fast.Numerics.Segdp.stats.Numerics.Segdp.smawk_layers
+    >= 1);
   check_same "fallback" fast exact
 
 let test_fallback_disabled_sampling_still_exact_on_monge () =
@@ -124,24 +127,113 @@ let market_of ~demand flows =
       Market.fit ~spec:(Market.Linear { epsilon = 1.8 }) ~alpha:1.1 ~p0:20.
         ~cost_model:(Cost_model.linear ~theta:0.2) flows
 
+let all_bundle_counts = List.init 10 (fun i -> i + 1)
+
 let prop_cuts_equal name demand =
   QCheck.Test.make
     ~name:(Printf.sprintf "solve = solve_quadratic cuts (%s)" name)
     ~count:25 spec_gen
     (fun spec ->
       let m = market_of ~demand (Fixtures.flows_of_spec spec) in
-      let _order, seg_value = Strategy.dp_inputs m in
+      let _order, seg_value, regions = Strategy.dp_inputs m in
       let n = Market.n_flows m in
       List.for_all
         (fun b ->
-          let fast = Numerics.Segdp.solve ~n ~n_bundles:b seg_value in
+          let fast = Numerics.Segdp.solve ~regions ~n ~n_bundles:b seg_value in
           let exact =
             Numerics.Segdp.solve_quadratic ~n ~n_bundles:b seg_value
           in
           fast.Numerics.Segdp.cuts = exact.Numerics.Segdp.cuts
           && Float.equal fast.Numerics.Segdp.value
                exact.Numerics.Segdp.value)
-        [ 1; 2; 3; 5; 8 ])
+        all_bundle_counts)
+
+(* Hostile logit generator: valuation offsets and costs biased toward
+   the clamp/underflow boundaries where the pre-ladder kernel used to
+   trip — weight underflow near alpha*dv = -745, prefix-sum absorption
+   near dv = -40, exp saturation near alpha*dc = 690 — mixed with
+   benign draws so region boundaries land mid-array. Offsets hang off
+   a base valuation of 800 so the top flows keep a real profit scale:
+   the no-backstop guarantee is about *clamped* markets, not about
+   surfaces that have collapsed below one ulp wholesale (there the
+   rounded dp+seg candidates can flip argmaxes at noise scale, the
+   probes rightly notice, and the backstop carrying the layer is the
+   ladder working as designed — cut equality still holds and is
+   asserted for every draw). *)
+let hostile_logit_arb =
+  let open QCheck in
+  let voff =
+    Gen.oneof
+      [
+        Gen.float_range (-800.) 0.;
+        Gen.float_range (-700.) (-650.);
+        Gen.float_range (-45.) (-35.);
+        Gen.return 0.;
+      ]
+  in
+  let cost =
+    Gen.oneof
+      [
+        Gen.float_range 1. 1500.;
+        Gen.float_range 600. 660.;
+        Gen.float_range 1. 50.;
+      ]
+  in
+  make
+    ~print:Print.(list (pair float float))
+    Gen.(list_size (5 -- 40) (pair voff cost))
+
+let prop_hostile_logit_decomposed =
+  QCheck.Test.make
+    ~name:"hostile logit: cuts equal, decomposed => no backstop" ~count:50
+    hostile_logit_arb
+    (fun spec ->
+      let n = List.length spec in
+      let valuations =
+        Array.of_list (List.map (fun (dv, _) -> 800. +. dv) spec)
+      in
+      let costs = Array.of_list (List.map (fun (_, c) -> c) spec) in
+      let flows =
+        Fixtures.flows_of_spec
+          (List.mapi (fun i _ -> (10. +. float_of_int i, 100.)) spec)
+      in
+      let m =
+        Market.of_parameters
+          ~spec:(Market.Logit { s0 = 0.2 })
+          ~alpha:1.1 ~p0:20. ~valuations ~costs flows
+      in
+      let _order, seg_value, regions = Strategy.dp_inputs m in
+      List.for_all
+        (fun b ->
+          let fast = Numerics.Segdp.solve ~regions ~n ~n_bundles:b seg_value in
+          let exact =
+            Numerics.Segdp.solve_quadratic ~n ~n_bundles:b seg_value
+          in
+          fast.Numerics.Segdp.cuts = exact.Numerics.Segdp.cuts
+          && Float.equal fast.Numerics.Segdp.value exact.Numerics.Segdp.value
+          (* The whole point of the decomposition: once the clamped
+             ranges are split out, no layer may pay the O(n^2) row. *)
+          && (Array.length regions = 1
+             || fast.Numerics.Segdp.stats.Numerics.Segdp.fallback_layers = 0))
+        all_bundle_counts)
+
+let prop_evals_monotone_in_n =
+  (* Work must grow with the instance: the same spec replicated 8x has
+     to cost strictly more seg_value evaluations at every bundle
+     count. Guards against validation accidentally scaling with
+     something other than n (or a rung silently re-running layers). *)
+  QCheck.Test.make ~name:"evaluations monotone in n" ~count:15 spec_gen
+    (fun spec ->
+      let evals m b =
+        let _order, seg_value, regions = Strategy.dp_inputs m in
+        let n = Market.n_flows m in
+        let r = Numerics.Segdp.solve ~regions ~n ~n_bundles:b seg_value in
+        r.Numerics.Segdp.stats.Numerics.Segdp.evaluations
+      in
+      let small = market_of ~demand:`Ced (Fixtures.flows_of_spec spec) in
+      let big_spec = List.concat (List.init 8 (fun _ -> spec)) in
+      let big = market_of ~demand:`Ced (Fixtures.flows_of_spec big_spec) in
+      List.for_all (fun b -> evals small b < evals big b) [ 2; 5; 10 ])
 
 let prop_cuts_valid =
   (* Structural sanity on the returned partition itself. *)
@@ -149,7 +241,7 @@ let prop_cuts_valid =
     ~count:25 spec_gen
     (fun spec ->
       let m = Fixtures.ced_market ~flows:(Fixtures.flows_of_spec spec) () in
-      let _order, seg_value = Strategy.dp_inputs m in
+      let _order, seg_value, _regions = Strategy.dp_inputs m in
       let n = Market.n_flows m in
       List.for_all
         (fun b ->
@@ -305,5 +397,7 @@ let suite =
     QCheck_alcotest.to_alcotest (prop_cuts_equal "ced" `Ced);
     QCheck_alcotest.to_alcotest (prop_cuts_equal "logit" `Logit);
     QCheck_alcotest.to_alcotest (prop_cuts_equal "linear" `Linear);
+    QCheck_alcotest.to_alcotest prop_hostile_logit_decomposed;
+    QCheck_alcotest.to_alcotest prop_evals_monotone_in_n;
     QCheck_alcotest.to_alcotest prop_cuts_valid;
   ]

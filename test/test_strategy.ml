@@ -92,9 +92,9 @@ let test_optimal_beats_heuristics () =
    on the exhaustive fixture markets also pin it cut-for-cut against the
    exact quadratic DP so the cross-check covers the fast path too. *)
 let check_kernels_agree m ~n_bundles =
-  let _order, seg_value = Strategy.dp_inputs m in
+  let _order, seg_value, regions = Strategy.dp_inputs m in
   let n = Market.n_flows m in
-  let fast = Numerics.Segdp.solve ~n ~n_bundles seg_value in
+  let fast = Numerics.Segdp.solve ~regions ~n ~n_bundles seg_value in
   let exact = Numerics.Segdp.solve_quadratic ~n ~n_bundles seg_value in
   Alcotest.(check (list int))
     (Printf.sprintf "kernel cuts B=%d" n_bundles)
