@@ -1290,29 +1290,51 @@ let run_dp_bench ~sizes ~bundle_counts ~max_exact () =
 
 (* --- serve: streaming ingest + incremental re-tiering ---------------------- *)
 
-(* The streaming service under load: synthesize a NetFlow stream from
-   the eu_isp calibration (scale suffix, [days] replayed days of
-   duplicated per-router records), pump it through the daemon —
-   streaming dedup, sliding 24h window, re-tier every [every_s] stream
-   seconds — and record ingest throughput plus the re-tier latency
-   histogram in BENCH_serve.json. The acceptance bar reads from that
-   file (>= 1M records/s end to end, solves included). During the timed
-   run the posted windows are only collected; afterwards every one is
-   re-verified cut-for-cut against a from-scratch solve — the same pin
-   the unit tests hold — so the warm-start path cannot drift at
-   benchmark scale. A cuts mismatch fails the bench like a sweep
-   divergence would. *)
+(* The streaming service under load, end to end from the wire: a
+   NetFlow stream synthesized from the eu_isp calibration (scale
+   suffix, [days] days of duplicated per-router records, with a churn
+   cohort of flows absent on odd days so windows see genuine arrivals
+   and departures) is encoded to a binary NetFlow v5/IPFIX file, then
+   replayed through the framed reader into the sharded daemon — per-
+   shard streaming dedup + sliding 24h windows, deterministic merge,
+   re-tier every [every_s] stream seconds. Two legs run on the same
+   file: [--serve-shards] shards on a domain pool, and an unsharded
+   golden leg; posted tiers must be bitwise-identical between them.
+   The sharded leg's windows are then re-verified cut-for-cut against
+   from-scratch solves, and the solve mix is pinned: arrivals and
+   departures must warm-start, so cold solves number exactly
+   1 + (actual solves / cold_every) — the first window plus the drill.
+   Any violation fails the bench like a sweep divergence would.
+   BENCH_serve.json records throughput, latency histogram, shard
+   equality, wire counters and steady-state RSS. *)
 
-let run_serve_bench ~flows ~days ~every_s () =
-  section "Streaming serve: ingest throughput and re-tier latency";
+let rss_mb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go () =
+            match input_line ic with
+            | exception End_of_file -> None
+            | line ->
+                if String.length line > 6 && String.sub line 0 6 = "VmRSS:"
+                then
+                  Scanf.sscanf
+                    (String.sub line 6 (String.length line - 6))
+                    " %d" (fun kb -> Some (float_of_int kb /. 1024.))
+                else go ()
+          in
+          go ())
+
+let run_serve_bench ~flows ~days ~every_s ~shards () =
+  section "Streaming serve: wire ingest throughput and re-tier latency";
   let name = Printf.sprintf "eu_isp@%d" flows in
   let w = Flowgen.Workload.preset name in
   let bin_s = 3600 and bins = 24 in
-  let window =
-    Serve.Window.create ~expected:flows
-      { Serve.Window.bin_s; bins; decay = Serve.Window.No_decay }
-  in
-  let retier =
+  let wp = { Serve.Window.bin_s; bins; decay = Serve.Window.No_decay } in
+  let make_retier () =
     Serve.Retier.create
       {
         Serve.Retier.spec = Market.Ced;
@@ -1326,16 +1348,85 @@ let run_serve_bench ~flows ~days ~every_s () =
       }
       ~meta_of:(Serve.Retier.meta_of_workload w)
   in
-  let ingest = Serve.Ingest.of_workload ~days ~seed:11 w in
-  let posted = ref [] in
-  let result =
-    Serve.Daemon.run
-      ~on_retier:(fun snap o -> posted := (snap, o) :: !posted)
-      ~clock:(Serve.Clock.of_fn Unix.gettimeofday)
-      ~window ~retier
-      { Serve.Daemon.every_s; dedup = true }
-      ingest
+  (* One synthesized day, emission-stable sort by first_s (the wire file
+     must honor the daemon's nondecreasing-first_s contract). *)
+  let template =
+    let rng = Numerics.Rng.create 11 in
+    List.stable_sort
+      (fun (a : Flowgen.Netflow.record) b ->
+        Int.compare a.Flowgen.Netflow.first_s b.Flowgen.Netflow.first_s)
+      (Flowgen.Netflow.synthesize ~rng (Flowgen.Workload.to_ground_truth w))
   in
+  (* Churn cohort: every 11th flow id is dark on odd days, so day
+     boundaries produce windows whose flow *set* changes — the
+     structural-delta path — while the rest of each day exercises
+     plain suffix-dirty warm starts. *)
+  let churn = Hashtbl.create 256 in
+  List.iter
+    (fun (f : Flowgen.Workload.flow) ->
+      if f.Flowgen.Workload.id mod 11 = 0 then
+        Hashtbl.replace churn
+          ( Flowgen.Ipv4.to_int f.Flowgen.Workload.src_addr,
+            Flowgen.Ipv4.to_int f.Flowgen.Workload.dst_addr )
+          ())
+    w.Flowgen.Workload.flows;
+  let stream =
+    List.concat_map
+      (fun day ->
+        let shift = day * Flowgen.Netflow.day_seconds in
+        List.filter_map
+          (fun (r : Flowgen.Netflow.record) ->
+            let dark =
+              day mod 2 = 1
+              && Hashtbl.mem churn
+                   ( Flowgen.Ipv4.to_int r.Flowgen.Netflow.src,
+                     Flowgen.Ipv4.to_int r.Flowgen.Netflow.dst )
+            in
+            if dark then None
+            else
+              Some
+                {
+                  r with
+                  Flowgen.Netflow.first_s = r.Flowgen.Netflow.first_s + shift;
+                  last_s = r.Flowgen.Netflow.last_s + shift;
+                })
+          template)
+      (List.init days Fun.id)
+  in
+  let wire_file = Filename.temp_file "tiered_bench_serve" ".nf" in
+  Flowgen.Netflow.Wire.write_file wire_file stream;
+  let wire_bytes = (Unix.stat wire_file).Unix.st_size in
+  Format.fprintf ppf "wire file: %d records, %.1f MB@." (List.length stream)
+    (float_of_int wire_bytes /. 1e6);
+  let run_leg ~shards ~pool =
+    let shard_state =
+      Serve.Shards.create ~expected:flows ~shards ~dedup:true wp
+    in
+    let retier = make_retier () in
+    let ic = open_in_bin wire_file in
+    let posted = ref [] in
+    let result =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          Serve.Daemon.run
+            ~on_retier:(fun snap o -> posted := (snap, o) :: !posted)
+            ~clock:(Serve.Clock.of_fn Unix.gettimeofday)
+            ?pool ~shards:shard_state ~retier
+            { Serve.Daemon.every_s }
+            (Serve.Ingest.of_reader (Flowgen.Netflow.Wire.of_channel ic)))
+    in
+    (result, List.rev !posted, retier)
+  in
+  let result, posted, retier =
+    if shards > 1 then
+      Engine.Pool.with_pool ~jobs:shards (fun pool ->
+          run_leg ~shards ~pool:(Some pool))
+    else run_leg ~shards ~pool:None
+  in
+  let rss = rss_mb () in
+  let result1, posted1, _ = run_leg ~shards:1 ~pool:None in
+  Sys.remove wire_file;
   let s = result.Serve.Daemon.r_stats in
   let run = result.Serve.Daemon.r_run in
   let outcome_matches (o : Serve.Retier.outcome) (c : Serve.Retier.outcome) =
@@ -1346,15 +1437,33 @@ let run_serve_bench ~flows ~days ~every_s () =
          c.Serve.Retier.o_prices
     && Float.equal o.Serve.Retier.o_profit c.Serve.Retier.o_profit
   in
+  (* Golden leg: the sharded run's posted tiers must match the 1-shard
+     run's bitwise, window for window. *)
+  let shards_identical =
+    List.length posted = List.length posted1
+    && List.for_all2 (fun (_, o) (_, o1) -> outcome_matches o o1) posted
+         posted1
+  in
   let verified =
     List.for_all
       (fun (snap, o) -> outcome_matches o (Serve.Retier.solve_cold retier snap))
-      (List.rev !posted)
+      posted
   in
+  (* Arrival/departure-only windows must warm-start: cold solves are
+     exactly the first window plus the cold_every drills (the drill
+     fires on every 24th actual solve; solve #1 is the ordinary cold
+     start, never a drill). *)
+  let actual_solves = s.Serve.Stats.warm + s.Serve.Stats.cold in
+  let cold_expected = 1 + (actual_solves / 24) in
+  let drills_only = s.Serve.Stats.cold = cold_expected in
   Report.print ppf (Serve.Stats.report s run);
   Format.fprintf ppf "windows verified against cold solve: %d (%s)@."
     s.Serve.Stats.retiers
     (if verified then "cut-for-cut identical" else "DIVERGED");
+  Format.fprintf ppf "%d-shard vs 1-shard posted tiers: %s@." shards
+    (if shards_identical then "bitwise identical" else "DIVERGED");
+  Format.fprintf ppf "cold solves: %d (expected %d = 1 + drills)@."
+    s.Serve.Stats.cold cold_expected;
   Json_out.(
     write ppf "BENCH_serve.json"
       [
@@ -1365,12 +1474,27 @@ let run_serve_bench ~flows ~days ~every_s () =
         ("bin_s", Int bin_s);
         ("bins", Int bins);
         ("flows", Int result.Serve.Daemon.r_flows);
+        ("shards", Int shards);
+        ("wire_bytes", Int wire_bytes);
+        ("seq_gaps", Int run.Serve.Stats.seq_gaps);
+        ("malformed", Int run.Serve.Stats.malformed);
+        ("rss_mb", opt (num "%.1f") rss);
         ("daemon", Raw (Serve.Stats.to_json s run));
+        ( "daemon_1shard",
+          Raw
+            (Serve.Stats.to_json result1.Serve.Daemon.r_stats
+               result1.Serve.Daemon.r_run) );
         ("windows_verified", Int s.Serve.Stats.retiers);
         ("warm_equals_cold", Bool verified);
+        ("shards_identical", Bool shards_identical);
+        ("cold_only_drills", Bool drills_only);
       ]);
   if not verified then
-    failwith "serve: warm-started tiers diverged from the cold solve"
+    failwith "serve: warm-started tiers diverged from the cold solve";
+  if not shards_identical then
+    failwith "serve: sharded posted tiers diverged from the 1-shard run";
+  if not drills_only then
+    failwith "serve: flow churn forced cold solves outside the drill cadence"
 
 (* --- micro-benchmarks ----------------------------------------------------- *)
 
@@ -1505,10 +1629,13 @@ let () =
   let dp_bundles = int_list_flag "--dp-bundles" [ 3; 10 ] in
   let dp_max_exact = int_flag "--dp-max-exact" 50_000 in
   (* serve-section knobs: --serve-flows=N (eu_isp@N), --serve-days=D,
-     --serve-every=S (the CI smoke shrinks the first two). *)
+     --serve-every=S, --serve-shards=K (the CI smoke shrinks the first
+     two; the shard count is still >= 2 there so the golden-equality
+     leg always runs). *)
   let serve_flows = int_flag "--serve-flows" 2_000 in
   let serve_days = int_flag "--serve-days" 6 in
   let serve_every = int_flag "--serve-every" 3_600 in
+  let serve_shards = int_flag "--serve-shards" 2 in
   let use_cache = List.mem "--cache" raw_args || cache_max_bytes <> None in
   if use_cache then
     Engine.Cache.enable_disk ?max_bytes:cache_max_bytes ~dir:"_cache" ();
@@ -1538,7 +1665,7 @@ let () =
         ~max_exact:dp_max_exact ();
     if want "serve" then
       run_serve_bench ~flows:serve_flows ~days:serve_days
-        ~every_s:serve_every ();
+        ~every_s:serve_every ~shards:serve_shards ();
     if want "micro" then run_micro ()
   end;
   Format.fprintf ppf "@."

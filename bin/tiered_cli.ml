@@ -368,7 +368,7 @@ let sweep_cmd =
 let trace_cmd =
   let out_arg =
     Arg.(required & opt (some string) None
-         & info [ "out" ] ~docv:"FILE" ~doc:"Write the CSV trace to $(docv).")
+         & info [ "out" ] ~docv:"FILE" ~doc:"Write the trace to $(docv).")
   in
   let sample_arg =
     Arg.(value & opt int 1
@@ -377,7 +377,14 @@ let trace_cmd =
   let seed_arg =
     Arg.(value & opt int 99 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
   in
-  let run network out sample seed =
+  let format_arg =
+    Arg.(value & opt (enum [ ("csv", `Csv); ("wire", `Wire) ]) `Csv
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"$(b,csv) (one record per line) or $(b,wire) (binary \
+                   NetFlow v5/IPFIX packets, the format $(b,serve --from) \
+                   replays).")
+  in
+  let run network out sample seed format =
     let w = Experiment.workload network in
     let rng = Numerics.Rng.create seed in
     let records = Flowgen.Netflow.synthesize ~rng (Flowgen.Workload.to_ground_truth w) in
@@ -385,12 +392,16 @@ let trace_cmd =
       if sample <= 1 then records
       else Flowgen.Sampling.sample rng (Flowgen.Sampling.make sample) records
     in
-    Flowgen.Trace.save ~path:out records;
+    (match format with
+    | `Csv -> Flowgen.Trace.save ~path:out records
+    | `Wire -> Flowgen.Netflow.Wire.write_file out records);
     Format.fprintf ppf "wrote %s: %s@." out (Flowgen.Trace.summarize records)
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Synthesize a day of NetFlow for a network and dump it as CSV.")
-    Term.(const run $ network_arg $ out_arg $ sample_arg $ seed_arg)
+    (Cmd.info "trace"
+       ~doc:"Synthesize a day of NetFlow for a network and dump it as CSV \
+             or binary wire packets.")
+    Term.(const run $ network_arg $ out_arg $ sample_arg $ seed_arg $ format_arg)
 
 (* --- loading ---------------------------------------------------------------------- *)
 
@@ -496,6 +507,23 @@ let serve_cmd =
          & info [ "json" ] ~docv:"FILE"
              ~doc:"Also write the run's counters as JSON to $(docv).")
   in
+  let from_arg =
+    Arg.(value & opt (some string) None
+         & info [ "from" ] ~docv:"FILE"
+             ~doc:"Replay binary NetFlow v5/IPFIX packets from $(docv) \
+                   ($(b,-) reads stdin, so a socket can be piped in) \
+                   instead of synthesizing records; $(b,--days)/$(b,--seed) \
+                   are ignored. NETWORK still provides the flow metadata \
+                   the calibration joins against. Produce such files with \
+                   $(b,tiered-cli trace --format wire).")
+  in
+  let shards_arg =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Partition ingest (dedup + window state) across $(docv) \
+                   shards drained by a domain pool; posted tiers are \
+                   bitwise-identical at any shard count.")
+  in
   let usage fmt =
     Format.kasprintf
       (fun msg ->
@@ -504,7 +532,8 @@ let serve_cmd =
       fmt
   in
   let run network demand cost theta alpha p0 s0 bundles days seed bin_s bins
-      every decay half_life amplitude peak cold_every cache max_bytes json =
+      every decay half_life amplitude peak cold_every cache max_bytes json
+      from_ shards =
     enable_cache cache max_bytes;
     let spec = spec_of ~demand ~s0 in
     (match spec with
@@ -520,6 +549,7 @@ let serve_cmd =
     if every < 1 then usage "--every must be at least 1";
     if bundles < 1 then usage "--bundles must be at least 1";
     if cold_every < 0 then usage "--cold-every must be non-negative";
+    if shards < 1 then usage "--shards must be at least 1";
     (match decay with
     | `Exponential when not (half_life > 0. && Float.is_finite half_life) ->
         usage "--half-life must be a positive number of bins"
@@ -533,9 +563,10 @@ let serve_cmd =
       | `Exponential -> Serve.Window.Exponential { half_life_bins = half_life }
       | `Diurnal -> Serve.Window.Diurnal { amplitude; peak_bin = peak }
     in
-    let window =
-      Serve.Window.create
+    let shard_state =
+      Serve.Shards.create
         ~expected:(List.length w.Flowgen.Workload.flows)
+        ~shards ~dedup:true
         { Serve.Window.bin_s; bins; decay }
     in
     let retier =
@@ -552,13 +583,32 @@ let serve_cmd =
         }
         ~meta_of:(Serve.Retier.meta_of_workload w)
     in
-    let result =
+    let ingest, cleanup =
+      match from_ with
+      | None -> (Serve.Ingest.of_workload ~days ~seed w, fun () -> ())
+      | Some "-" ->
+          ( Serve.Ingest.of_reader (Flowgen.Netflow.Wire.of_channel stdin),
+            fun () -> () )
+      | Some path -> (
+          match open_in_bin path with
+          | ic ->
+              ( Serve.Ingest.of_reader (Flowgen.Netflow.Wire.of_channel ic),
+                fun () -> close_in_noerr ic )
+          | exception Sys_error msg -> usage "%s" msg)
+    in
+    let run_daemon pool =
       Serve.Daemon.run
         ~clock:(Serve.Clock.of_fn Unix.gettimeofday)
-        ~window ~retier
-        { Serve.Daemon.every_s = every; dedup = true }
-        (Serve.Ingest.of_workload ~days ~seed w)
+        ?pool ~shards:shard_state ~retier
+        { Serve.Daemon.every_s = every }
+        ingest
     in
+    let result =
+      if shards > 1 then
+        Engine.Pool.with_pool ~jobs:shards (fun pool -> run_daemon (Some pool))
+      else run_daemon None
+    in
+    cleanup ();
     let s = result.Serve.Daemon.r_stats in
     let run_row = result.Serve.Daemon.r_run in
     Report.print ppf (Serve.Stats.report s run_row);
@@ -590,7 +640,7 @@ let serve_cmd =
           $ alpha_arg $ p0_arg $ s0_arg $ bundles_arg $ days_arg $ seed_arg
           $ bin_arg $ bins_arg $ every_arg $ decay_arg $ half_life_arg
           $ amplitude_arg $ peak_arg $ cold_every_arg $ cache_arg
-          $ cache_max_bytes_arg $ json_arg)
+          $ cache_max_bytes_arg $ json_arg $ from_arg $ shards_arg)
 
 (* --- main ---------------------------------------------------------------------- *)
 

@@ -57,6 +57,88 @@ val synthesize :
     mean-one). Ports and protocol are drawn from a realistic-looking
     fixed distribution. *)
 
+(** Binary wire codec: NetFlow v5 packets and a minimal IPFIX (RFC 7011
+    framing) data record, plus a framed pull-based reader with bounded
+    buffering.
+
+    The encoder keeps records in order and picks the format per record:
+    NetFlow v5 when the byte/packet counters fit the format's 32-bit
+    fields and the timestamps fit the 32-bit SysUptime millisecond
+    clock, IPFIX (64-bit counters, absolute millisecond stamps)
+    otherwise. Both coexist in one stream — every packet is
+    self-describing through its version field. Byte/packet counts are
+    rounded to wire integers; see {!Wire.normalize}.
+
+    The decoder never raises on wire input: malformed packets, bad set
+    strides, truncated tails and nonsense records are {e counted} (and
+    skipped) rather than thrown. Sequence-number gaps are accounted per
+    exporter (v5 [flow_sequence] counts flows; IPFIX sequence counts
+    data records). *)
+module Wire : sig
+  type counters = {
+    mutable c_packets : int;  (** Well-framed packets decoded. *)
+    mutable c_records : int;  (** Records decoded and accepted. *)
+    mutable c_seq_gaps : int;
+        (** Total missing flows/records inferred from sequence jumps. *)
+    mutable c_malformed : int;
+        (** Bad frames, truncated tails, unusable records. *)
+  }
+
+  val encode_v5 : router:int -> seq:int -> record list -> string
+  (** One NetFlow v5 packet (1–30 records, one router). The export
+      clock is pinned so that decoding reconstructs [first_s]/[last_s]
+      exactly. Raises [Invalid_argument] on an empty or oversized
+      batch. *)
+
+  val encode_ipfix : router:int -> seq:int -> record list -> string
+  (** One IPFIX message with a single data set (set id 256, fixed
+      48-byte records, 64-bit counters). The router id travels in the
+      observation-domain field. *)
+
+  val encode : record list -> string list
+  (** Packetize a record stream in order, grouping consecutive
+      same-router runs and tracking per-exporter sequence numbers.
+      Raises [Invalid_argument] only on records that no format can
+      carry (negative timestamps, router id above 65_535). *)
+
+  val write_channel : out_channel -> record list -> unit
+  val write_file : string -> record list -> unit
+
+  type reader
+  (** Framed pull-based decoder. Internal buffering is bounded by one
+      packet (≤ 65_535 bytes): a slow consumer exerts backpressure on
+      the underlying channel instead of queueing unbounded records. *)
+
+  val of_channel : in_channel -> reader
+  (** Works over files, pipes and socket channels alike. *)
+
+  val of_string : string -> reader
+  val of_refill : (Bytes.t -> int -> int -> int) -> reader
+  (** [of_refill f] pulls bytes through [f buf off len] (returning the
+      number of bytes written, 0 at end of stream), e.g. a
+      [Unix.read] wrapper for nonblocking sockets. *)
+
+  val read : reader -> record option
+  (** Next record, pulling and decoding frames as needed. [None] is
+      end of stream — clean EOF or an unrecoverable framing error
+      (recorded in {!malformed}; a desynchronized byte stream has no
+      resync point). Never raises on wire content. *)
+
+  val read_all : reader -> record list
+
+  val seq_gaps : reader -> int
+  val malformed : reader -> int
+  val packets : reader -> int
+  val records : reader -> int
+
+  val decode_string : string -> record list * counters
+  (** Decode a whole in-memory stream; for tests. *)
+
+  val normalize : record -> record
+  (** Rounds [bytes]/[packets] to the integers the wire carries —
+      the fixpoint of an encode/decode round trip. *)
+end
+
 val total_bytes : record list -> float
 val mbps_of_bytes : bytes:float -> seconds:int -> float
 (** [bytes * 8 / seconds / 1e6]. *)

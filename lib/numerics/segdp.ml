@@ -466,12 +466,12 @@ let solve ?(samples = 16) ?(regions = no_regions) ~n ~n_bundles seg_value =
    result can never silently diverge from a cold one. *)
 
 type state = {
-  st_n : int;
+  mutable st_n : int;
   st_n_bundles : int;
-  st_b_max : int;
-  st_dp : float array array;  (* b_max rows of n layer values *)
-  st_choice : int array array;  (* b_max rows; row 0 unused *)
-  st_last : float array;  (* dp value of the full prefix per layer *)
+  mutable st_b_max : int;
+  mutable st_dp : float array array;  (* b_max rows of n layer values *)
+  mutable st_choice : int array array;  (* b_max rows; row 0 unused *)
+  mutable st_last : float array;  (* dp value of the full prefix per layer *)
   mutable st_regions : int array;  (* region starts of the last solve *)
 }
 
@@ -600,6 +600,122 @@ let solve_warm ?(samples = 16) ?regions ?(force_fallback = false) st
          scratch through the ladder into the same state. The warm
          attempt's evaluations stay in the bill — they were really
          spent. *)
+      let smawk_count = ref 0 and fallback_count = ref 0 in
+      fill_state ~samples ~smawk_count ~fallback_count st seg;
+      ( finish ~choice ~last ~b_max ~n
+          ~stats:
+            {
+              layers = b_max;
+              smawk_layers = !smawk_count;
+              fallback_layers = !fallback_count;
+              evaluations = !evals;
+              regions = nregions;
+            },
+        `Cold )
+    end
+  end
+
+(* --- structural deltas ---------------------------------------------------- *)
+
+(* Flow arrivals and departures change the instance {e size}, not just a
+   suffix of values: the cost-ordered index injection maps every
+   retained position [< dirty_from] to the same index in the new
+   instance, and everything at or past the first structural change is
+   new territory. The retained rows are reallocated at the new width
+   with the clean prefix blitted across — valid because column j of any
+   layer depends only on positions [<= j], so a prefix that is
+   bitwise-identical as an {e instance} has bitwise-identical columns.
+   The suffix recompute is exactly [solve_warm]'s, with the same
+   per-layer spot-checks; any failure falls back to a full cold fill
+   into the (already resized) state. *)
+let solve_structural ?(samples = 16) ?regions ?(force_fallback = false) st ~n
+    ~dirty_from seg_value =
+  if n < 1 then invalid_arg "Segdp.solve_structural: n must be positive";
+  let old_n = st.st_n and old_b_max = st.st_b_max in
+  if dirty_from < 0 || dirty_from > Stdlib.min old_n n then
+    invalid_arg "Segdp.solve_structural: dirty_from out of [0, min old_n n]";
+  (match regions with
+  | Some r ->
+      check_regions ~n r;
+      st.st_regions <- r
+  | None ->
+      (* Region starts from the previous (different-sized) instance can
+         point past the new end; keep only the valid prefix. *)
+      if n <> old_n then
+        st.st_regions <-
+          Array.of_seq
+            (Seq.filter (fun s -> s < n) (Array.to_seq st.st_regions)));
+  if n = old_n then solve_warm ~samples ~force_fallback st ~dirty_from seg_value
+  else begin
+    let b_max = Stdlib.min st.st_n_bundles n in
+    let d = dirty_from in
+    let old_dp = st.st_dp and old_choice = st.st_choice in
+    let dp = Array.make_matrix b_max n Float.neg_infinity in
+    let choice = Array.make_matrix b_max n 0 in
+    let last = Array.make b_max Float.neg_infinity in
+    for b = 0 to Stdlib.min b_max old_b_max - 1 do
+      Array.blit old_dp.(b) 0 dp.(b) 0 d;
+      Array.blit old_choice.(b) 0 choice.(b) 0 d
+    done;
+    st.st_n <- n;
+    st.st_b_max <- b_max;
+    st.st_dp <- dp;
+    st.st_choice <- choice;
+    st.st_last <- last;
+    let regions = st.st_regions in
+    let nregions = Array.length regions in
+    let evals = ref 0 in
+    let seg i j =
+      incr evals;
+      seg_value i j
+    in
+    let ok = ref (not force_fallback) in
+    if !ok then
+      if d = n then
+        (* Pure truncation (departures off the tail): every retained
+           column is still exact; only the per-layer totals move to the
+           new final column. Zero evaluations, like an unchanged
+           replay. *)
+        for b = 0 to b_max - 1 do
+          last.(b) <- dp.(b).(n - 1)
+        done
+      else begin
+        for j = d to n - 1 do
+          dp.(0).(j) <- seg 0 j
+        done;
+        last.(0) <- dp.(0).(n - 1);
+        let b = ref 1 in
+        while !ok && !b < b_max do
+          let b' = !b in
+          let prev = dp.(b' - 1) and cur = dp.(b') in
+          let choice_row = choice.(b') in
+          (* Layers beyond the old [b_max] (the instance grew past a
+             tiny old size) have no retained prefix; [max b' d] starts
+             them at their first real column anyway because
+             [d <= old_n <= b'] there. *)
+          let jlo = Stdlib.max b' d in
+          dandc_regions ~prev ~cur ~choice_row ~seg ~b:b' ~n ~regions
+            ~jlo0:jlo;
+          ok :=
+            monge_valid ~seg ~b:b' ~n ~samples ~regions
+            && columns_valid ~prev ~cur ~choice_row ~seg ~b:b' ~n ~samples
+                 ~regions;
+          last.(b') <- cur.(n - 1);
+          incr b
+        done
+      end;
+    if !ok then
+      ( finish ~choice ~last ~b_max ~n
+          ~stats:
+            {
+              layers = (if d = n then 0 else b_max);
+              smawk_layers = 0;
+              fallback_layers = 0;
+              evaluations = !evals;
+              regions = nregions;
+            },
+        `Warm )
+    else begin
       let smawk_count = ref 0 and fallback_count = ref 0 in
       fill_state ~samples ~smawk_count ~fallback_count st seg;
       ( finish ~choice ~last ~b_max ~n

@@ -1,4 +1,4 @@
-type params = { every_s : int; dedup : bool }
+type params = { every_s : int }
 
 type run_result = {
   r_outcomes : Retier.outcome list;
@@ -7,24 +7,23 @@ type run_result = {
   r_flows : int;
 }
 
-let run ?on_retier ~clock ~window ~retier params ingest =
+let run ?on_retier ~clock ?pool ~shards ~retier params ingest =
   if params.every_s < 1 then invalid_arg "Serve.Daemon: every_s < 1";
-  let wp = Window.params window in
+  let wp = Shards.window_params shards in
   let span_s = wp.Window.bins * wp.Window.bin_s in
-  let dedup = Flowgen.Dedup.Stream.create () in
   let stats = Stats.create () in
   let outcomes = ref [] in
   let records = ref 0 in
+  let occupancy = ref 0. in
   let t0 = Clock.now clock in
-  (* Re-tier covering all stream time < [at]: advance the window to the
-     bin containing [at - 1] (records at [at] and beyond have not been
-     ingested yet), retire dedup keys the window can no longer hold,
-     snapshot and solve. *)
+  (* Re-tier covering all stream time < [at]: drain every shard up to
+     the bin containing [at - 1] (records at [at] and beyond have not
+     been ingested yet), retire dedup keys the window can no longer
+     hold, merge and solve. *)
   let retier_at at =
-    Window.advance_to window ~bin:(Window.bin_of_time wp (float_of_int (at - 1)));
-    if params.dedup then
-      Flowgen.Dedup.Stream.forget_before dedup ~first_s:(at - span_s);
-    let snap = Window.snapshot window in
+    let bin = Window.bin_of_time wp (float_of_int (at - 1)) in
+    let snap = Shards.snapshot ?pool shards ~bin ~retire_s:(at - span_s) in
+    occupancy := snap.Window.s_occupancy;
     let t_solve = Clock.now clock in
     let o = Retier.retier retier snap in
     let latency_s = Clock.now clock -. t_solve in
@@ -46,15 +45,10 @@ let run ?on_retier ~clock ~window ~retier params ingest =
           retier_at !deadline;
           deadline := !deadline + params.every_s
         done;
-        last_seen := first_s;
-        let keep =
-          (not params.dedup) || Flowgen.Dedup.Stream.observe dedup r
-        in
-        if keep then
-          ignore
-            (Window.observe window ~src:r.Flowgen.Netflow.src
-               ~dst:r.Flowgen.Netflow.dst ~bytes:r.Flowgen.Netflow.bytes
-               ~bin:(Window.bin_of_time wp (float_of_int first_s)));
+        (* [max], not assignment: an out-of-order record must not pull
+           the tail re-tier's horizon backwards. *)
+        if first_s > !last_seen then last_seen := first_s;
+        Shards.observe shards r;
         pump ()
   in
   pump ();
@@ -62,13 +56,18 @@ let run ?on_retier ~clock ~window ~retier params ingest =
      last partial interval is still unposted. *)
   if !last_seen <> min_int then retier_at (!last_seen + 1);
   let wall_s = Clock.now clock -. t0 in
-  let snap_occupancy = (Window.snapshot window).Window.s_occupancy in
+  let seq_gaps, malformed =
+    match Ingest.wire_counters ingest with Some c -> c | None -> (0, 0)
+  in
   let run =
     {
       Stats.records = !records;
-      dropped_dup = (if params.dedup then Flowgen.Dedup.Stream.dropped dedup else 0);
-      late = Window.late window;
-      occupancy = snap_occupancy;
+      dropped_dup = Shards.dropped_dup shards;
+      late = Shards.late shards;
+      seq_gaps;
+      malformed;
+      shards = Shards.shards shards;
+      occupancy = !occupancy;
       wall_s;
       records_per_s =
         (if wall_s > 0. then float_of_int !records /. wall_s else 0.);
@@ -78,5 +77,5 @@ let run ?on_retier ~clock ~window ~retier params ingest =
     r_outcomes = List.rev !outcomes;
     r_stats = Stats.summary stats;
     r_run = run;
-    r_flows = Window.flow_count window;
+    r_flows = Shards.flow_count shards;
   }

@@ -1,9 +1,12 @@
-type t = {
-  template : Flowgen.Netflow.record array;  (* one day, sorted by first_s *)
-  days : int;
-  mutable day : int;
-  mutable pos : int;
-}
+type t =
+  | Replay of {
+      template : Flowgen.Netflow.record array;  (* one day, sorted *)
+      days : int;
+      mutable day : int;
+      mutable pos : int;
+    }
+  | Seq of { mutable rest : Flowgen.Netflow.record list; length : int }
+  | Wire of Flowgen.Netflow.Wire.reader
 
 let sort_by_first records =
   let a = Array.of_list records in
@@ -23,7 +26,9 @@ let sort_by_first records =
   Array.map (fun i -> a.(i)) idx
 
 let of_records records =
-  { template = sort_by_first records; days = 1; day = 0; pos = 0 }
+  Replay { template = sort_by_first records; days = 1; day = 0; pos = 0 }
+
+let of_sequence records = Seq { rest = records; length = List.length records }
 
 let of_workload ?shape ?(days = 1) ~seed w =
   if days < 1 then invalid_arg "Serve.Ingest.of_workload: days < 1";
@@ -31,22 +36,45 @@ let of_workload ?shape ?(days = 1) ~seed w =
   let records =
     Flowgen.Netflow.synthesize ?shape ~rng (Flowgen.Workload.to_ground_truth w)
   in
-  { template = sort_by_first records; days; day = 0; pos = 0 }
+  Replay { template = sort_by_first records; days; day = 0; pos = 0 }
 
-let total t = Array.length t.template * t.days
+let of_reader r = Wire r
 
-let next t =
-  let len = Array.length t.template in
-  if t.pos >= len then begin
-    t.day <- t.day + 1;
-    t.pos <- 0
-  end;
-  if t.day >= t.days || len = 0 then None
-  else begin
-    let r = t.template.(t.pos) in
-    t.pos <- t.pos + 1;
-    if t.day = 0 then Some r
-    else
-      let shift = t.day * Flowgen.Netflow.day_seconds in
-      Some { r with first_s = r.first_s + shift; last_s = r.last_s + shift }
-  end
+let total = function
+  | Replay { template; days; _ } -> Some (Array.length template * days)
+  | Seq { length; _ } -> Some length
+  | Wire _ -> None
+
+let wire_counters = function
+  | Wire r ->
+      Some (Flowgen.Netflow.Wire.seq_gaps r, Flowgen.Netflow.Wire.malformed r)
+  | Replay _ | Seq _ -> None
+
+let next = function
+  | Replay r ->
+      let len = Array.length r.template in
+      if r.pos >= len then begin
+        r.day <- r.day + 1;
+        r.pos <- 0
+      end;
+      if r.day >= r.days || len = 0 then None
+      else begin
+        let rec_ = r.template.(r.pos) in
+        r.pos <- r.pos + 1;
+        if r.day = 0 then Some rec_
+        else
+          let shift = r.day * Flowgen.Netflow.day_seconds in
+          Some
+            {
+              rec_ with
+              first_s = rec_.first_s + shift;
+              last_s = rec_.last_s + shift;
+            }
+      end
+  | Seq s -> (
+      match s.rest with
+      | [] -> None
+      | x :: tl ->
+          s.rest <- tl;
+          Some x)
+  | Wire r -> Flowgen.Netflow.Wire.read r

@@ -7,13 +7,22 @@
     a workload through the same {!Flowgen.Netflow.synthesize} path the
     batch pipeline uses — duplicates at every on-path router included —
     and replays it for [days] days, shifting timestamps by whole days,
-    so arbitrarily long runs cost one day of synthesis. *)
+    so arbitrarily long runs cost one day of synthesis. {!of_reader}
+    pulls binary NetFlow v5/IPFIX packets off a wire stream; the
+    reader's bounded buffering makes a stalled solver exert
+    backpressure on the channel. *)
 
 type t
 
 val of_records : Flowgen.Netflow.record list -> t
 (** Sorts by [first_s] (stable, so router duplicates keep their
     emission order and streaming dedup stays deterministic). *)
+
+val of_sequence : Flowgen.Netflow.record list -> t
+(** Yields the records verbatim, in the given order — including orders
+    that violate the nondecreasing-[first_s] contract. Out-of-order
+    tests use this to pin what the pipeline does with misbehaving
+    exporters; everything else should prefer {!of_records}. *)
 
 val of_workload :
   ?shape:Flowgen.Netflow.shape ->
@@ -24,7 +33,16 @@ val of_workload :
 (** [days] defaults to [1]. Raises [Invalid_argument] when
     [days < 1]. *)
 
-val total : t -> int
-(** Records the stream will yield in all. *)
+val of_reader : Flowgen.Netflow.Wire.reader -> t
+(** Wire ingest: records decoded on demand from framed NetFlow
+    v5/IPFIX packets. Yields whatever order the wire carries. *)
+
+val total : t -> int option
+(** Records the stream will yield in all; [None] for wire streams
+    (unknown until EOF). *)
+
+val wire_counters : t -> (int * int) option
+(** [(seq_gaps, malformed)] so far, for wire streams; [None]
+    otherwise. *)
 
 val next : t -> Flowgen.Netflow.record option

@@ -241,29 +241,31 @@ let sig_equal a b =
   && Float.equal a.g_q b.g_q
   && Int.equal a.g_uid b.g_uid
 
-(* First changed DP position, [n] when nothing changed. Logit's segment
-   values carry set-wide normalizers (max valuation, min cost) and its
-   global demand inversion moves every valuation on any change, so a
+(* First changed DP position, [n] when nothing changed. Lengths may
+   differ (flow arrivals/departures): the result is then the length of
+   the common clean prefix — the index injection the structural warm
+   start remaps the retained state through. Logit's segment values
+   carry set-wide normalizers (max valuation, min cost) and its global
+   demand inversion moves every valuation on any change, so a
    partially-clean prefix cannot be trusted there: the choice collapses
    to all (identical signature) or nothing. *)
 let dirty_from t signature =
   let n = Array.length signature in
-  if Array.length t.dp_sig <> n then 0
-  else begin
-    let d = ref n in
-    (try
-       for p = 0 to n - 1 do
-         if not (sig_equal t.dp_sig.(p) signature.(p)) then begin
-           d := p;
-           raise Exit
-         end
-       done
-     with Exit -> ());
-    match t.params.spec with
-    | Market.Ced -> !d
-    | Market.Logit _ -> if !d = n then n else 0
-    | Market.Linear _ -> assert false
-  end
+  let n_old = Array.length t.dp_sig in
+  let m = Stdlib.min n_old n in
+  let d = ref m in
+  (try
+     for p = 0 to m - 1 do
+       if not (sig_equal t.dp_sig.(p) signature.(p)) then begin
+         d := p;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  match t.params.spec with
+  | Market.Ced -> !d
+  | Market.Logit _ -> if n_old = n && !d = n then n else 0
+  | Market.Linear _ -> assert false
 
 let priced market (r : Numerics.Segdp.result) =
   let order, _, _ = Tiered.Strategy.dp_inputs market in
@@ -297,9 +299,13 @@ let retier t (snap : Window.snapshot) =
     let evals = ref 0 in
     let fallback = ref false in
     let do_solve () =
-      t.solves <- t.solves + 1;
+      (* Drill cadence counts {e actual} solves only: unchanged replays
+         and cache hits post without solving and must not advance it,
+         or the "every Nth solve cold" contract drifts under high
+         unchanged rates. [t.solves] is bumped below, after the replay
+         check. *)
       let force =
-        t.params.cold_every > 0 && t.solves mod t.params.cold_every = 0
+        t.params.cold_every > 0 && (t.solves + 1) mod t.params.cold_every = 0
       in
       let replay =
         (* Signature-identical window and no drill due: the retained
@@ -325,27 +331,38 @@ let retier t (snap : Window.snapshot) =
           fallback := false;
           s
       | None ->
+          t.solves <- t.solves + 1;
           let market = market_of t metas qs perm costs in
           let _, seg_value, regions = Tiered.Strategy.dp_inputs market in
           let result, tag =
             match t.dp with
-            | Some st when Numerics.Segdp.state_n st = n ->
+            | Some st ->
                 let d = dirty_from t signature in
                 dirty := d;
+                let same_n = Numerics.Segdp.state_n st = n in
                 (* Demand changes can move the clamp boundaries between
                    windows, so the warm solve always refreshes the
-                   state's region decomposition. *)
+                   state's region decomposition. Size changes (flow
+                   arrivals/departures) remap the retained state
+                   through the clean-prefix injection instead of
+                   cold-solving. *)
                 let r, how =
-                  Numerics.Segdp.solve_warm ~samples:t.params.samples ~regions
-                    ~force_fallback:force st ~dirty_from:d seg_value
+                  if same_n then
+                    Numerics.Segdp.solve_warm ~samples:t.params.samples
+                      ~regions ~force_fallback:force st ~dirty_from:d
+                      seg_value
+                  else
+                    Numerics.Segdp.solve_structural ~samples:t.params.samples
+                      ~regions ~force_fallback:force st ~n ~dirty_from:d
+                      seg_value
                 in
                 let tag =
                   match how with
-                  | `Warm -> if d = n then `Unchanged else `Warm
+                  | `Warm -> if same_n && d = n then `Unchanged else `Warm
                   | `Cold -> `Cold
                 in
                 (r, tag)
-            | Some _ | None ->
+            | None ->
                 dirty := 0;
                 let r, st =
                   Numerics.Segdp.solve_with_state ~samples:t.params.samples

@@ -20,7 +20,11 @@
        triple and [dirty_from] is the first position whose triple
        changed. Under CED the segment values left of [dirty_from] are
        bitwise unchanged (prefix sums of per-flow terms), so
-       {!Numerics.Segdp.solve_warm} recomputes only the dirty suffix.
+       {!Numerics.Segdp.solve_warm} recomputes only the dirty suffix;
+       when the flow {e set} changes (arrivals/departures), the clean
+       common prefix plays the same role and
+       {!Numerics.Segdp.solve_structural} remaps the retained state
+       through the cost-order index injection instead of cold-solving.
        Logit's segment values carry set-wide normalizers, so its dirty
        detection is all-or-nothing: identical signature replays the
        retained optimum, anything else recomputes in full.}
@@ -59,8 +63,10 @@ type params = {
   cost_model : Tiered.Cost_model.t;
   samples : int;  (** Spot-check budget per DP layer (see {!Numerics.Segdp.solve}). *)
   cold_every : int;
-      (** Force the divergence fallback on every [cold_every]-th solve;
-          [0] disables the drill. *)
+      (** Force the divergence fallback on every [cold_every]-th
+          {e actual} solve — unchanged replays and cache hits do not
+          advance the cadence. [1] makes every solve cold; [0] disables
+          the drill. *)
   use_cache : bool;
 }
 
@@ -83,9 +89,14 @@ type outcome = {
   o_profit : float;
   o_solve : [ `Warm | `Cold | `Cached | `Unchanged ];
       (** [`Unchanged]: identical signature, retained optimum replayed.
-          [`Cached]: posted from the result cache without solving. *)
+          [`Cached]: posted from the result cache without solving.
+          [`Warm] covers both suffix-dirty windows (same flow set) and
+          structural ones (arrivals/departures remapped through
+          {!Numerics.Segdp.solve_structural}). *)
   o_dirty_from : int;  (** First changed cost-order position ([n_flows]
-                           when nothing changed; [0] on a cold start). *)
+                           when nothing changed; [0] on a cold start).
+                           Under flow churn: length of the clean common
+                           prefix of the old and new cost orders. *)
   o_evaluations : int;  (** [seg_value] calls this re-tier. *)
   o_fallback : bool;  (** Divergence path taken (spot-check or drill). *)
 }

@@ -3,7 +3,10 @@
     The daemon feeds one {!observe} per re-tier; {!summary} reduces to
     the figures the acceptance bench pins — records/s, the re-tier
     latency histogram (nearest-rank p50/p99) and the warm-start hit
-    rate — renderable as a {!Tiered.Report} table or JSON. *)
+    rate — renderable as a {!Tiered.Report} table or JSON. Quantities
+    that can be absent rather than zero — quantiles of an empty
+    histogram, duplicates when dedup is off — are options and render as
+    JSON [null], never a misleading [0]. *)
 
 type t
 
@@ -30,21 +33,25 @@ type summary = {
       (** Solves that reused the retained DP state — [(warm + unchanged)
           / (warm + unchanged + cold)]; [0] before any solve. Cache hits
           are excluded (no solve ran). *)
-  p50_ms : float;
-  p99_ms : float;
-  max_ms : float;
+  p50_ms : float option;  (** [None] before any re-tier. *)
+  p99_ms : float option;
+  max_ms : float option;
 }
 
 val summary : t -> summary
 
-val percentile : float array -> p:float -> float
-(** Nearest-rank percentile of a sorted array ([p] in [\[0, 100\]];
-    [0.] on an empty array). Exposed for the tests. *)
+val percentile : float array -> p:float -> float option
+(** Nearest-rank percentile of a sorted array ([p] in [\[0, 100\]]).
+    [None] on an empty array; a single observation is every quantile of
+    itself. Exposed for the tests. *)
 
 type run = {
   records : int;  (** Records ingested (pre-dedup). *)
-  dropped_dup : int;
+  dropped_dup : int option;  (** [None] when dedup is disabled. *)
   late : int;
+  seq_gaps : int;  (** Wire sequence gaps; [0] for generator streams. *)
+  malformed : int;  (** Malformed wire packets/records; likewise. *)
+  shards : int;
   occupancy : float;  (** Final window occupancy. *)
   wall_s : float;
   records_per_s : float;

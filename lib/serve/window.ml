@@ -50,6 +50,13 @@ let bin_of_time p time =
   if time < 0. then invalid_arg "Serve.Window.bin_of_time: negative time";
   int_of_float (time /. float_of_int p.bin_s)
 
+(* Positive remainder: OCaml's [mod] takes the dividend's sign, so a
+   negative left operand indexes out of bounds. Every ring-index
+   computation goes through here. *)
+let pmod a m =
+  let r = a mod m in
+  if r < 0 then r + m else r
+
 (* Ring slots between a cell's last-written bin and [bin] hold bytes
    from bins that have since slid out; zero them before writing. Lazy
    per-cell catch-up keeps [advance_to] O(1) — no traversal of the flow
@@ -59,7 +66,7 @@ let catch_up ~bins cell ~bin =
     let gap = bin - cell.c_last in
     let steps = if gap > bins then bins else gap in
     for k = 1 to steps do
-      cell.ring.((bin - steps + k) mod bins) <- 0.
+      cell.ring.(pmod (bin - steps + k) bins) <- 0.
     done;
     cell.c_last <- bin
   end
@@ -121,10 +128,8 @@ let two_pi = 8. *. atan 1.
 
 (* The unique window bin a ring slot holds: the [b <= cur] congruent to
    [slot] mod [bins] within the window ([mod] of a negative is negative
-   in OCaml, hence the re-centering). *)
-let bin_of_slot ~bins ~cur slot =
-  let d = (cur - slot) mod bins in
-  cur - (if d < 0 then d + bins else d)
+   in OCaml, hence [pmod]). *)
+let bin_of_slot ~bins ~cur slot = cur - pmod (cur - slot) bins
 
 let weight p ~cur ~slot =
   let b = bin_of_slot ~bins:p.bins ~cur slot in

@@ -23,6 +23,7 @@ let () =
       ("flowgen.ipv4", Test_ipv4.suite);
       ("flowgen.geoip", Test_geoip.suite);
       ("flowgen.netflow", Test_netflow.suite);
+      ("flowgen.netflow_wire", Test_netflow_wire.suite);
       ("flowgen.sampling", Test_sampling.suite);
       ("flowgen.dedup", Test_dedup.suite);
       ("flowgen.demand", Test_demand.suite);

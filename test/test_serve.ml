@@ -1,13 +1,19 @@
 (* The streaming pricing service (lib/serve): sliding-window demand,
-   incremental re-tiering with warm-started DP, and the daemon loop.
-   The acceptance property is determinism: posted tiers are cut-for-cut
-   what a from-scratch solve of the same window produces, across long
-   runs that include warm solves, unchanged replays, cache hits and
-   forced divergence drills. *)
+   sharded ingest, incremental re-tiering with warm-started DP, and the
+   daemon loop. The acceptance property is determinism: posted tiers
+   are cut-for-cut what a from-scratch solve of the same window
+   produces — across long runs that include warm solves, structural
+   (arrival/departure) warm starts, unchanged replays, cache hits,
+   forced divergence drills, and any shard count. *)
 
 open Serve
 
 let ip = Flowgen.Ipv4.of_int
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
 
 (* --- Clock -------------------------------------------------------------- *)
 
@@ -66,6 +72,34 @@ let test_window_ring_reuse () =
   let expect = 24. *. 8. /. (4. *. 10. *. 1e6) in
   Alcotest.(check (float 1e-12)) "only new bytes" expect
     s.Window.s_flows.(0).Window.f_mbps
+
+let test_window_lagging_flow () =
+  (* Regression for the ring-index arithmetic (window.ml [pmod]): a
+     flow that lags the window by more than a full wrap must have every
+     stale slot zeroed on catch-up — both when it reappears and when
+     the snapshot catches it up in place — with no out-of-range index
+     on the way. *)
+  let w = Window.create (wparams ~bins:4 ()) in
+  ignore (Window.observe w ~src:(ip 1) ~dst:(ip 2) ~bytes:1000. ~bin:0);
+  (* Another flow drags the window far ahead; flow 0 lags > bins. *)
+  ignore (Window.observe w ~src:(ip 3) ~dst:(ip 4) ~bytes:40. ~bin:9);
+  (* Flow 0 reappears: its whole ring predates the window, so only the
+     fresh bytes may count. *)
+  ignore (Window.observe w ~src:(ip 1) ~dst:(ip 2) ~bytes:24. ~bin:9);
+  let s = Window.snapshot w in
+  let rate u =
+    (Array.to_list s.Window.s_flows
+    |> List.find (fun f -> f.Window.f_uid = u))
+      .Window.f_mbps
+  in
+  let expect = 24. *. 8. /. (4. *. 10. *. 1e6) in
+  Alcotest.(check (float 1e-12)) "stale bytes zeroed" expect (rate 0);
+  (* And a flow that stops sending is caught up lazily by the snapshot
+     itself, far past a full wrap, without leaking its old bytes. *)
+  Window.advance_to w ~bin:20;
+  let s = Window.snapshot w in
+  Alcotest.(check int) "lagging flows fully retired" 0
+    (Array.length s.Window.s_flows)
 
 let test_window_exponential_decay () =
   let decay = Window.Exponential { half_life_bins = 1. } in
@@ -151,7 +185,7 @@ let test_ingest_sorted_and_replayed () =
     | exception e -> raise e
   in
   let _, n = drain 0 min_int 0 in
-  Alcotest.(check int) "both days yielded" (Ingest.total ing) n;
+  Alcotest.(check (option int)) "both days yielded" (Some n) (Ingest.total ing);
   Alcotest.(check bool) "two days of records" true (n > 0 && n mod 2 = 0)
 
 let test_ingest_day_shift () =
@@ -184,14 +218,97 @@ let test_ingest_day_shift () =
         first_template.Flowgen.Netflow.bytes r.Flowgen.Netflow.bytes
   | None -> Alcotest.fail "day 2 missing"
 
+(* Hand-forged wire-shaped records for the sequence/daemon tests. *)
+let rec_ ?(router = 0) ?(src_port = 1000) ?(dst_port = 80) ~src ~dst ~bytes
+    ~first_s () =
+  {
+    Flowgen.Netflow.src = ip src;
+    dst = ip dst;
+    src_port;
+    dst_port;
+    proto = 6;
+    bytes;
+    packets = 1.;
+    first_s;
+    last_s = first_s + 1;
+    router;
+  }
+
+let test_ingest_sequence_verbatim () =
+  (* [of_sequence] must preserve the given order — it exists precisely
+     so the tests can feed out-of-order streams. *)
+  let records =
+    [
+      rec_ ~src:1 ~dst:101 ~bytes:10. ~first_s:20 ();
+      rec_ ~src:2 ~dst:102 ~bytes:10. ~first_s:5 ();
+      rec_ ~src:3 ~dst:103 ~bytes:10. ~first_s:12 ();
+    ]
+  in
+  let ing = Ingest.of_sequence records in
+  Alcotest.(check (option int)) "total known" (Some 3) (Ingest.total ing);
+  let order = ref [] in
+  let rec drain () =
+    match Ingest.next ing with
+    | Some r ->
+        order := r.Flowgen.Netflow.first_s :: !order;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "verbatim order" [ 20; 5; 12 ]
+    (List.rev !order);
+  Alcotest.(check bool) "no wire counters" true
+    (Ingest.wire_counters ing = None)
+
+let test_ingest_wire_reader () =
+  (* A wire-backed ingest decodes the same records the encoder was
+     given (normalized) and exposes the decoder's counters. *)
+  let records =
+    [
+      rec_ ~src:1 ~dst:101 ~bytes:1500. ~first_s:3 ();
+      rec_ ~src:2 ~dst:102 ~bytes:250. ~first_s:7 ();
+    ]
+  in
+  let wire = String.concat "" (Flowgen.Netflow.Wire.encode records) in
+  let ing = Ingest.of_reader (Flowgen.Netflow.Wire.of_string wire) in
+  Alcotest.(check (option int)) "length unknown up front" None
+    (Ingest.total ing);
+  let got = ref [] in
+  let rec drain () =
+    match Ingest.next ing with
+    | Some r ->
+        got := r :: !got;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  let expect = List.map Flowgen.Netflow.Wire.normalize records in
+  Alcotest.(check int) "all decoded" (List.length expect) (List.length !got);
+  List.iter2
+    (fun (a : Flowgen.Netflow.record) b ->
+      Alcotest.(check int) "first_s" a.Flowgen.Netflow.first_s
+        b.Flowgen.Netflow.first_s;
+      Alcotest.(check (float 0.)) "bytes" a.Flowgen.Netflow.bytes
+        b.Flowgen.Netflow.bytes)
+    expect (List.rev !got);
+  Alcotest.(check (option (pair int int))) "clean stream" (Some (0, 0))
+    (Ingest.wire_counters ing)
+
 (* --- Stats -------------------------------------------------------------- *)
 
 let test_percentile_nearest_rank () =
   let a = [| 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8.; 9.; 10. |] in
-  Alcotest.(check (float 0.)) "p50" 5. (Stats.percentile a ~p:50.);
-  Alcotest.(check (float 0.)) "p99" 10. (Stats.percentile a ~p:99.);
-  Alcotest.(check (float 0.)) "p0" 1. (Stats.percentile a ~p:0.);
-  Alcotest.(check (float 0.)) "empty" 0. (Stats.percentile [||] ~p:50.)
+  let check_q name expect got =
+    Alcotest.(check (option (float 0.))) name expect got
+  in
+  check_q "p50" (Some 5.) (Stats.percentile a ~p:50.);
+  check_q "p99" (Some 10.) (Stats.percentile a ~p:99.);
+  check_q "p0" (Some 1.) (Stats.percentile a ~p:0.);
+  (* An empty histogram has no quantiles — not a sentinel zero. *)
+  check_q "empty" None (Stats.percentile [||] ~p:50.);
+  (* A single observation is every quantile of itself. *)
+  check_q "n=1 p50" (Some 7.) (Stats.percentile [| 7. |] ~p:50.);
+  check_q "n=1 p99" (Some 7.) (Stats.percentile [| 7. |] ~p:99.)
 
 let test_stats_rates () =
   let s = Stats.create () in
@@ -208,7 +325,48 @@ let test_stats_rates () =
   Alcotest.(check int) "evaluations" 27 sum.Stats.evaluations;
   (* 2 of the 4 actual solves reused state; the cache hit is excluded. *)
   Alcotest.(check (float 1e-9)) "hit rate" 0.5 sum.Stats.warm_hit_rate;
-  Alcotest.(check (float 1e-9)) "p99 = max" sum.Stats.max_ms sum.Stats.p99_ms
+  Alcotest.(check (option (float 1e-9))) "p99 = max" sum.Stats.max_ms
+    sum.Stats.p99_ms
+
+let test_stats_absent_vs_zero () =
+  (* Quantiles of nothing and dedup-off both serialize as JSON null —
+     a 0 would read as "instant re-tiers" / "no duplicates". *)
+  let empty = Stats.summary (Stats.create ()) in
+  Alcotest.(check (option (float 0.))) "no p50" None empty.Stats.p50_ms;
+  Alcotest.(check (option (float 0.))) "no max" None empty.Stats.max_ms;
+  let run =
+    {
+      Stats.records = 10;
+      dropped_dup = None;
+      late = 0;
+      seq_gaps = 0;
+      malformed = 0;
+      shards = 1;
+      occupancy = 1.;
+      wall_s = 0.5;
+      records_per_s = 20.;
+    }
+  in
+  let j = Stats.to_json empty run in
+  Alcotest.(check bool) "dedup off is null" true
+    (contains j {|"dropped_dup": null|});
+  Alcotest.(check bool) "empty quantile is null" true
+    (contains j {|"p50_retier_ms": null|});
+  (* One observation: every quantile is that sample, and JSON carries
+     numbers again. *)
+  let s1 = Stats.create () in
+  Stats.observe s1 ~solve:`Cold ~latency_s:0.004 ~evaluations:1
+    ~fallback:false;
+  let sum1 = Stats.summary s1 in
+  Alcotest.(check (option (float 1e-9))) "n=1 p50 = sample" (Some 4.)
+    sum1.Stats.p50_ms;
+  Alcotest.(check (option (float 1e-9))) "n=1 p99 = p50" sum1.Stats.p50_ms
+    sum1.Stats.p99_ms;
+  let j1 =
+    Stats.to_json sum1 { run with Stats.dropped_dup = Some 0 }
+  in
+  Alcotest.(check bool) "dedup on is a number" true
+    (contains j1 {|"dropped_dup": 0|})
 
 (* --- Retier on hand-crafted snapshots ----------------------------------- *)
 
@@ -324,8 +482,62 @@ let test_retier_forced_fallback () =
   Alcotest.(check bool) "fallback flagged" true o.Retier.o_fallback;
   check_matches_cold t snap o
 
+let test_retier_cold_every_one () =
+  (* cold_every = 1: the drill fires on every actual solve — nothing is
+     ever warm, and every outcome carries the fallback flag. *)
+  let t = Retier.create (rparams ~cold_every:1 ()) ~meta_of in
+  let demands =
+    [ base_demands; base_demands; List.map (fun q -> q +. 2.) base_demands ]
+  in
+  List.iteri
+    (fun i d ->
+      let snap = snap_of ~bin:i d in
+      let o = Retier.retier t snap in
+      Alcotest.(check bool)
+        (Printf.sprintf "window %d cold" i)
+        true
+        (o.Retier.o_solve = `Cold);
+      Alcotest.(check bool)
+        (Printf.sprintf "window %d drilled" i)
+        true o.Retier.o_fallback;
+      check_matches_cold t snap o)
+    demands
+
+let test_retier_drill_counts_solves_only () =
+  (* The cadence counts actual solves, not posted windows: unchanged
+     replays in between must not advance it. With cold_every = 2 the
+     drill lands exactly on solves #2 and #4, however many replays
+     separate them. *)
+  let t = Retier.create (rparams ~cold_every:2 ()) ~meta_of in
+  let d2 = List.map (fun q -> q +. 3.) base_demands in
+  let d3 = List.mapi (fun i q -> if i = 5 then q +. 1. else q) d2 in
+  let windows = [ base_demands; base_demands; base_demands; d2; d3 ] in
+  let tags =
+    List.mapi
+      (fun i d ->
+        let snap = snap_of ~bin:i d in
+        let o = Retier.retier t snap in
+        check_matches_cold t snap o;
+        o.Retier.o_solve)
+      windows
+  in
+  (* Solve #1 cold (no state); window 2 would replay but the drill is
+     due on solve #2, so it goes cold; window 3 replays (the drill
+     already fired, solves = 2); window 4 is solve #3 — warm; window 5
+     is solve #4 — drill again. *)
+  let show = function
+    | `Cold -> "cold"
+    | `Warm -> "warm"
+    | `Unchanged -> "unchanged"
+    | `Cached -> "cached"
+  in
+  Alcotest.(check (list string)) "drill cadence pinned to solves"
+    [ "cold"; "cold"; "unchanged"; "warm"; "cold" ]
+    (List.map show tags)
+
 let test_retier_flow_churn () =
-  (* Flows appearing/disappearing change n: the state is rebuilt cold
+  (* Flows appearing/disappearing change n: the retained state is
+     remapped through the clean common prefix (structural warm start),
      and the result still matches from-scratch. *)
   let t = Retier.create (rparams ()) ~meta_of in
   ignore (Retier.retier t (snap_of base_demands));
@@ -333,12 +545,15 @@ let test_retier_flow_churn () =
   let snap = snap_of ~bin:1 shrunk in
   let o = Retier.retier t snap in
   Alcotest.(check int) "one flow gone" (universe_n - 1) o.Retier.o_n_flows;
-  Alcotest.(check bool) "cold rebuild" true (o.Retier.o_solve = `Cold);
+  Alcotest.(check bool) "departure warm-starts" true
+    (o.Retier.o_solve = `Warm);
+  Alcotest.(check bool) "clean prefix retained" true
+    (o.Retier.o_dirty_from > 0);
   check_matches_cold t snap o;
-  (* And back. *)
+  (* And back: the arrival also warm-starts. *)
   let snap = snap_of ~bin:2 base_demands in
   let o = Retier.retier t snap in
-  Alcotest.(check bool) "cold again" true (o.Retier.o_solve = `Cold);
+  Alcotest.(check bool) "arrival warm-starts" true (o.Retier.o_solve = `Warm);
   check_matches_cold t snap o
 
 let test_retier_cache_roundtrip () =
@@ -381,27 +596,78 @@ let test_retier_rejects_linear () =
              ~meta_of)
       with Invalid_argument _ -> raise (Invalid_argument ""))
 
+(* --- Shards -------------------------------------------------------------- *)
+
+let test_shards_stable_partition () =
+  let t = Shards.create ~shards:3 ~dedup:false (wparams ()) in
+  let r = rec_ ~src:0x0A0B0C01 ~dst:0x0A0B0D02 ~bytes:1. ~first_s:0 () in
+  let s0 = Shards.shard_of t r in
+  (* The same endpoint pair always lands on the same shard, regardless
+     of ports, router or time — a flow's duplicates share its shard. *)
+  let variants =
+    [
+      rec_ ~router:5 ~src:0x0A0B0C01 ~dst:0x0A0B0D02 ~bytes:9. ~first_s:77 ();
+      rec_ ~src_port:4242 ~src:0x0A0B0C01 ~dst:0x0A0B0D02 ~bytes:2. ~first_s:3 ();
+    ]
+  in
+  List.iter
+    (fun v -> Alcotest.(check int) "stable shard" s0 (Shards.shard_of t v))
+    variants;
+  (* Last-octet churn stays on the shard too (/24 prefix partition). *)
+  let sibling = rec_ ~src:0x0A0B0C63 ~dst:0x0A0B0D07 ~bytes:1. ~first_s:0 () in
+  Alcotest.(check int) "/24 sibling" s0 (Shards.shard_of t sibling)
+
+let test_shards_merge_matches_single () =
+  (* The sharded pipeline's merged snapshot feeds the same tiers as a
+     1-shard run: exercised end-to-end below; here, the merge itself —
+     flow multiset and aggregate counters agree at any shard count. *)
+  let records =
+    (* Endpoints spread across /24s so a multi-shard run actually
+       partitions the flows. *)
+    List.init 40 (fun i ->
+        rec_ ~src:((i * 1024) + 7) ~dst:((i * 2048) + 9000)
+          ~bytes:(float_of_int (100 * (i + 1)))
+          ~first_s:i ())
+  in
+  let run k =
+    let t = Shards.create ~shards:k ~dedup:false (wparams ()) in
+    List.iter (Shards.observe t) records;
+    Shards.snapshot t ~bin:4 ~retire_s:(-100)
+  in
+  let s1 = run 1 and s3 = run 3 in
+  let key f = (Flowgen.Ipv4.to_int f.Window.f_src, f.Window.f_mbps) in
+  let sorted s =
+    Array.to_list s.Window.s_flows |> List.map key |> List.sort compare
+  in
+  Alcotest.(check int) "same flow count" (Array.length s1.Window.s_flows)
+    (Array.length s3.Window.s_flows);
+  Alcotest.(check bool) "same rates" true (sorted s1 = sorted s3);
+  Alcotest.(check (float 0.)) "same occupancy" s1.Window.s_occupancy
+    s3.Window.s_occupancy;
+  Alcotest.(check int) "same late" s1.Window.s_late s3.Window.s_late
+
 (* --- Daemon end-to-end: warm == cold over a multi-day run ---------------- *)
+
+let serve_wp = { Window.bin_s = 3600; bins = 24; decay = Window.No_decay }
+
+let serve_retier ?(cold_every = 9) w =
+  Retier.create
+    {
+      Retier.spec = Tiered.Market.Ced;
+      alpha = 2.0;
+      p0 = 30.;
+      n_bundles = 4;
+      cost_model = Tiered.Cost_model.concave ~theta:0.5;
+      samples = 8;
+      cold_every;
+      use_cache = false;
+    }
+    ~meta_of:(Retier.meta_of_workload w)
 
 let test_daemon_determinism () =
   let w = Lazy.force small_workload in
-  let window =
-    Window.create { Window.bin_s = 3600; bins = 24; decay = Window.No_decay }
-  in
-  let retier =
-    Retier.create
-      {
-        Retier.spec = Tiered.Market.Ced;
-        alpha = 2.0;
-        p0 = 30.;
-        n_bundles = 4;
-        cost_model = Tiered.Cost_model.concave ~theta:0.5;
-        samples = 8;
-        cold_every = 9;  (* >= 1 forced-divergence drill over the run *)
-        use_cache = false;
-      }
-      ~meta_of:(Retier.meta_of_workload w)
-  in
+  let retier = serve_retier w in
+  let shards = Shards.create ~shards:1 ~dedup:true serve_wp in
   let clock, _set = Clock.manual () in
   let windows = ref 0 in
   let result =
@@ -409,8 +675,8 @@ let test_daemon_determinism () =
       ~on_retier:(fun snap o ->
         incr windows;
         check_matches_cold retier snap o)
-      ~clock ~window ~retier
-      { Daemon.every_s = 3600; dedup = true }
+      ~clock ~shards ~retier
+      { Daemon.every_s = 3600 }
       (* Three days: hourly windows repeat with a one-day period once
          the window has slid fully into replayed traffic, so the run
          contains signature-identical (unchanged) windows. *)
@@ -427,19 +693,161 @@ let test_daemon_determinism () =
      signature-identical to an already-solved one. *)
   Alcotest.(check bool) "unchanged replays happened" true (s.Stats.unchanged > 0);
   Alcotest.(check bool) "duplicates were suppressed" true
-    (result.Daemon.r_run.Stats.dropped_dup > 0);
-  Alcotest.(check bool) "no late drops" true
-    (result.Daemon.r_run.Stats.late = 0)
+    (match result.Daemon.r_run.Stats.dropped_dup with
+    | Some d -> d > 0
+    | None -> false);
+  Alcotest.(check int) "no late drops" 0 result.Daemon.r_run.Stats.late;
+  Alcotest.(check int) "one shard reported" 1
+    result.Daemon.r_run.Stats.shards
+
+let run_sharded ?pool ~shards ~days w =
+  let retier = serve_retier w in
+  let state = Shards.create ~shards ~dedup:true serve_wp in
+  let clock, _ = Clock.manual () in
+  let posted = ref [] in
+  let result =
+    Daemon.run
+      ~on_retier:(fun _ o -> posted := o :: !posted)
+      ~clock ?pool ~shards:state ~retier
+      { Daemon.every_s = 3600 }
+      (Ingest.of_workload ~days ~seed:11 w)
+  in
+  (result, List.rev !posted)
+
+let check_same_postings name a b =
+  Alcotest.(check int) (name ^ ": window count") (List.length a)
+    (List.length b);
+  List.iter2
+    (fun (x : Retier.outcome) (y : Retier.outcome) ->
+      check_cuts (name ^ ": cuts") x.Retier.o_cuts y.Retier.o_cuts;
+      check_prices (name ^ ": prices") x.Retier.o_prices y.Retier.o_prices;
+      Alcotest.(check (float 0.))
+        (name ^ ": profit")
+        x.Retier.o_profit y.Retier.o_profit)
+    a b
+
+let test_daemon_shard_equality () =
+  (* The acceptance pin of the sharded pipeline: posted tiers are
+     bitwise those of the 1-shard run, window for window, and the
+     aggregate run counters agree. *)
+  let w = Lazy.force small_workload in
+  let r1, p1 = run_sharded ~shards:1 ~days:2 w in
+  let r3, p3 = run_sharded ~shards:3 ~days:2 w in
+  check_same_postings "3 vs 1 shards" p1 p3;
+  Alcotest.(check int) "same records" r1.Daemon.r_run.Stats.records
+    r3.Daemon.r_run.Stats.records;
+  Alcotest.(check (option int)) "same duplicates dropped"
+    r1.Daemon.r_run.Stats.dropped_dup r3.Daemon.r_run.Stats.dropped_dup;
+  Alcotest.(check int) "same flows" r1.Daemon.r_flows r3.Daemon.r_flows
+
+let test_daemon_shard_pool () =
+  (* Same pin with the drain fanned out on a domain pool. *)
+  let w = Lazy.force small_workload in
+  let _, serial = run_sharded ~shards:2 ~days:1 w in
+  let _, pooled =
+    Engine.Pool.with_pool ~jobs:2 (fun pool ->
+        run_sharded ~pool ~shards:2 ~days:1 w)
+  in
+  check_same_postings "pooled vs serial" serial pooled
+
+let test_daemon_out_of_order () =
+  (* Out-of-order arrivals (dedup off — its contract needs ordered
+     input): the tail horizon must not be pulled backwards by a late
+     record, and every posted window still matches from-scratch. *)
+  let records =
+    [
+      rec_ ~src:1 ~dst:101 ~bytes:4.5e5 ~first_s:2 ();
+      rec_ ~src:2 ~dst:102 ~bytes:3.0e5 ~first_s:25 ();
+      (* Late but in-window: must land in its own bin, and must not
+         rewind last_seen (the tail re-tier still covers bin 2). *)
+      rec_ ~src:1 ~dst:101 ~bytes:1.5e5 ~first_s:18 ();
+    ]
+  in
+  let retier = Retier.create (rparams ()) ~meta_of in
+  let shards = Shards.create ~shards:1 ~dedup:false (wparams ()) in
+  let clock, _ = Clock.manual () in
+  let posted = ref [] in
+  let result =
+    Daemon.run
+      ~on_retier:(fun snap o ->
+        posted := o :: !posted;
+        check_matches_cold retier snap o)
+      ~clock ~shards ~retier
+      { Daemon.every_s = 10 }
+      (Ingest.of_sequence records)
+  in
+  Alcotest.(check bool) "dedup off" true
+    (result.Daemon.r_run.Stats.dropped_dup = None);
+  Alcotest.(check int) "nothing late" 0 result.Daemon.r_run.Stats.late;
+  match !posted with
+  | last :: _ ->
+      (* last_seen = 25 (not 18): the tail re-tier covers bin 2. *)
+      Alcotest.(check int) "tail window bin" 2 last.Retier.o_bin
+  | [] -> Alcotest.fail "no windows posted"
+
+let test_daemon_dedup_and_late () =
+  (* Duplicates (same 5-tuple and window, different router) are dropped
+     and counted; a record older than the whole window is dropped as
+     late, not misread as a duplicate. *)
+  let records =
+    [
+      rec_ ~router:0 ~src:1 ~dst:101 ~bytes:1e5 ~first_s:0 ();
+      rec_ ~router:7 ~src:1 ~dst:101 ~bytes:1e5 ~first_s:0 ();
+      rec_ ~router:0 ~src:2 ~dst:102 ~bytes:2e5 ~first_s:0 ();
+      rec_ ~router:3 ~src:2 ~dst:102 ~bytes:2e5 ~first_s:0 ();
+      rec_ ~router:0 ~src:1 ~dst:101 ~bytes:1e5 ~first_s:70 ();
+      (* Fresh 5-tuple window, but its bin slid out 10s ago. *)
+      rec_ ~router:0 ~src:2 ~dst:102 ~bytes:2e5 ~first_s:5 ();
+    ]
+  in
+  let retier = Retier.create (rparams ()) ~meta_of in
+  let shards = Shards.create ~shards:1 ~dedup:true (wparams ()) in
+  let clock, _ = Clock.manual () in
+  let result =
+    Daemon.run ~clock ~shards ~retier
+      { Daemon.every_s = 1000 }
+      (Ingest.of_sequence records)
+  in
+  Alcotest.(check int) "all ingested" 6 result.Daemon.r_run.Stats.records;
+  Alcotest.(check (option int)) "two duplicates dropped" (Some 2)
+    result.Daemon.r_run.Stats.dropped_dup;
+  Alcotest.(check int) "one late drop" 1 result.Daemon.r_run.Stats.late
+
+let test_daemon_wire_counters () =
+  (* A wire-backed run surfaces the decoder's accounting: a crafted
+     sequence jump shows up as seq_gaps, trailing garbage as malformed,
+     and the records still price. *)
+  let r1 = rec_ ~src:1 ~dst:101 ~bytes:4.5e5 ~first_s:2 () in
+  let r2 = rec_ ~src:2 ~dst:102 ~bytes:3.0e5 ~first_s:14 () in
+  let wire =
+    Flowgen.Netflow.Wire.encode_v5 ~router:0 ~seq:0 [ r1 ]
+    (* Sequence should be 1 here: 5 flows went missing upstream. *)
+    ^ Flowgen.Netflow.Wire.encode_v5 ~router:0 ~seq:6 [ r2 ]
+    ^ "trailing-garbage"
+  in
+  let retier = Retier.create (rparams ()) ~meta_of in
+  let shards = Shards.create ~shards:1 ~dedup:true (wparams ()) in
+  let clock, _ = Clock.manual () in
+  let result =
+    Daemon.run ~clock ~shards ~retier
+      { Daemon.every_s = 1000 }
+      (Ingest.of_reader (Flowgen.Netflow.Wire.of_string wire))
+  in
+  Alcotest.(check int) "both records priced" 2
+    result.Daemon.r_run.Stats.records;
+  Alcotest.(check int) "gap accounted" 5 result.Daemon.r_run.Stats.seq_gaps;
+  Alcotest.(check int) "garbage accounted" 1
+    result.Daemon.r_run.Stats.malformed
 
 let test_daemon_validation () =
-  let w = Window.create (wparams ()) in
+  let shards = Shards.create ~shards:1 ~dedup:false (wparams ()) in
   let t = Retier.create (rparams ()) ~meta_of in
   let clock, _ = Clock.manual () in
   Alcotest.check_raises "every_s" (Invalid_argument "Serve.Daemon: every_s < 1")
     (fun () ->
       ignore
-        (Daemon.run ~clock ~window:w ~retier:t
-           { Daemon.every_s = 0; dedup = false }
+        (Daemon.run ~clock ~shards ~retier:t
+           { Daemon.every_s = 0 }
            (Ingest.of_records [])))
 
 let suite =
@@ -449,23 +857,36 @@ let suite =
     Alcotest.test_case "window slides" `Quick test_window_accumulates_and_slides;
     Alcotest.test_case "window late drop" `Quick test_window_late_drop;
     Alcotest.test_case "window ring reuse" `Quick test_window_ring_reuse;
+    Alcotest.test_case "window lagging flow" `Quick test_window_lagging_flow;
     Alcotest.test_case "window exponential decay" `Quick test_window_exponential_decay;
     Alcotest.test_case "window diurnal weights" `Quick test_window_diurnal_weights;
     Alcotest.test_case "window occupancy" `Quick test_window_occupancy;
     Alcotest.test_case "window validation" `Quick test_window_validation;
     Alcotest.test_case "ingest sorted + replayed" `Quick test_ingest_sorted_and_replayed;
     Alcotest.test_case "ingest day shift" `Quick test_ingest_day_shift;
+    Alcotest.test_case "ingest sequence verbatim" `Quick test_ingest_sequence_verbatim;
+    Alcotest.test_case "ingest wire reader" `Quick test_ingest_wire_reader;
     Alcotest.test_case "percentile nearest rank" `Quick test_percentile_nearest_rank;
     Alcotest.test_case "stats rates" `Quick test_stats_rates;
+    Alcotest.test_case "stats absent vs zero" `Quick test_stats_absent_vs_zero;
     Alcotest.test_case "retier empty window" `Quick test_retier_empty_window;
     Alcotest.test_case "retier skips unknown endpoints" `Quick test_retier_skips_unknown_endpoints;
     Alcotest.test_case "retier unchanged replay" `Quick test_retier_unchanged_replay;
     Alcotest.test_case "retier warm suffix" `Quick test_retier_warm_suffix;
     Alcotest.test_case "retier forced fallback" `Quick test_retier_forced_fallback;
-    Alcotest.test_case "retier flow churn" `Quick test_retier_flow_churn;
+    Alcotest.test_case "retier cold_every=1 all cold" `Quick test_retier_cold_every_one;
+    Alcotest.test_case "retier drill counts solves only" `Quick test_retier_drill_counts_solves_only;
+    Alcotest.test_case "retier flow churn warm-starts" `Quick test_retier_flow_churn;
     Alcotest.test_case "retier cache roundtrip" `Quick test_retier_cache_roundtrip;
     Alcotest.test_case "retier logit all-or-nothing" `Quick test_retier_logit_all_or_nothing;
     Alcotest.test_case "retier rejects linear" `Quick test_retier_rejects_linear;
+    Alcotest.test_case "shards stable partition" `Quick test_shards_stable_partition;
+    Alcotest.test_case "shards merge matches single" `Quick test_shards_merge_matches_single;
     Alcotest.test_case "daemon determinism (warm == cold)" `Quick test_daemon_determinism;
+    Alcotest.test_case "daemon shard equality" `Quick test_daemon_shard_equality;
+    Alcotest.test_case "daemon shard pool" `Quick test_daemon_shard_pool;
+    Alcotest.test_case "daemon out-of-order tail" `Quick test_daemon_out_of_order;
+    Alcotest.test_case "daemon dedup and late" `Quick test_daemon_dedup_and_late;
+    Alcotest.test_case "daemon wire counters" `Quick test_daemon_wire_counters;
     Alcotest.test_case "daemon validation" `Quick test_daemon_validation;
   ]
