@@ -19,7 +19,7 @@
 # experiment and promotes the result into test/golden/ — run it (and
 # commit the diff) after an intentional output change.
 
-.PHONY: all build test test-segdp bench bench-json bench-pool bench-dp bench-dp-smoke bench-serve bench-serve-smoke golden-regen smoke smoke-procs lint lint-baseline clean
+.PHONY: all build test test-segdp bench bench-json bench-pool bench-dp bench-dp-smoke bench-serve bench-serve-smoke golden-regen smoke smoke-procs lint lint-typed lint-baseline effects-regen clean
 
 all: build
 
@@ -64,18 +64,34 @@ golden-regen:
 
 # tiered-lint: the determinism/hygiene static-analysis pass (rule
 # catalog: `dune exec bin/lint.exe -- --list-rules`; DESIGN.md §10).
-# `make lint` fails on any finding that is neither inline-suppressed
-# nor grandfathered in lint/baseline.json and leaves the JSON report
-# at lint-report.json; `dune build @lint` is the sandboxed
-# equivalent. `make lint-baseline` regenerates the baseline from the
-# current findings (target state: empty).
+# `make lint` runs BOTH engines — the textual AST rules and, because
+# the tree is built first, the typed interprocedural pass (T001-T003)
+# over the lib/ cmt artifacts — and fails on any finding that is
+# neither inline-suppressed nor grandfathered in lint/baseline.json.
+# It leaves the JSON report at lint-report.json and a SARIF 2.1.0
+# twin at lint-report.sarif; `dune build @lint` is the dune-tracked
+# equivalent (it also diffs the effects golden).  `make lint-typed`
+# runs just the typed pass plus the effects-golden diff; `make
+# effects-regen` re-derives lint/effects.golden.json after an
+# intentional interface change (the second pass re-checks the diff).
+# `make lint-baseline` regenerates the baseline from the current
+# findings (target state: empty).
 lint:
-	dune build bin/lint.exe
+	dune build
 	./_build/default/bin/lint.exe --root . --baseline lint/baseline.json \
-	  --json lint-report.json lib bin bench test
+	  --json lint-report.json --sarif lint-report.sarif lib bin bench test
+
+lint-typed:
+	dune build @lint-typed
+	./_build/default/bin/lint.exe --root . --baseline lint/baseline.json \
+	  --typed-only
+
+effects-regen:
+	dune build @lint-typed --auto-promote || true
+	dune build @lint-typed
 
 lint-baseline:
-	dune build bin/lint.exe
+	dune build
 	./_build/default/bin/lint.exe --root . --baseline lint/baseline.json \
 	  --write-baseline lib bin bench test
 

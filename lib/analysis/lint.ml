@@ -100,7 +100,7 @@ let check_source ~file contents =
 
 (* --- whole-tree run ------------------------------------------------------- *)
 
-let run_sources ?(baseline = Baseline.empty) sources =
+let run_sources ?(baseline = Baseline.empty) ?(extra = []) sources =
   let per_file =
     List.concat_map (fun (file, contents) -> check_source ~file contents) sources
   in
@@ -108,7 +108,38 @@ let run_sources ?(baseline = Baseline.empty) sources =
     Rules.missing_interfaces ~files:(List.map fst sources)
     |> List.map (fun f -> (f, Finding.Active))
   in
-  let all = per_file @ tree in
+  (* Findings from other engines (the typed pass) honor the same
+     inline suppressions as the textual rules; suppressions are
+     re-scanned per distinct file so extras need not come from the
+     scanned source set. *)
+  let extra_classified =
+    let supps_for =
+      let cache = Hashtbl.create 8 in
+      fun file ->
+        match Hashtbl.find_opt cache file with
+        | Some s -> s
+        | None ->
+            let s =
+              match List.assoc_opt file sources with
+              | Some contents -> fst (Suppress.scan ~file contents)
+              | None -> (
+                  match read_file file with
+                  | contents -> fst (Suppress.scan ~file contents)
+                  | exception Sys_error _ -> [])
+            in
+            Hashtbl.add cache file s;
+            s
+    in
+    List.map
+      (fun (f : Finding.t) ->
+        if
+          Suppress.covers (supps_for f.Finding.file) ~rule:f.Finding.rule
+            ~line:f.Finding.line
+        then (f, Finding.Suppressed)
+        else (f, Finding.Active))
+      extra
+  in
+  let all = per_file @ tree @ extra_classified in
   let reported =
     List.map
       (fun (f, status) ->
@@ -121,12 +152,12 @@ let run_sources ?(baseline = Baseline.empty) sources =
   let stale = Baseline.stale baseline (List.map fst all) in
   { reported; stale }
 
-let run ?baseline ~root ~dirs () =
+let run ?baseline ?extra ~root ~dirs () =
   let files = scan_files ~root ~dirs in
   let sources =
     List.map (fun file -> (file, read_file (Filename.concat root file))) files
   in
-  run_sources ?baseline sources
+  run_sources ?baseline ?extra sources
 
 let active outcome =
   List.filter_map

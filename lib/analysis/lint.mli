@@ -22,12 +22,22 @@ val check_source :
     scoping; no baseline and no cross-file rules (H003) here. *)
 
 val run_sources :
-  ?baseline:Baseline.t -> (string * string) list -> outcome
+  ?baseline:Baseline.t ->
+  ?extra:Finding.t list ->
+  (string * string) list ->
+  outcome
 (** Full pipeline over in-memory [(file, contents)] pairs: per-file
-    rules, H003 over the whole set, baseline classification. *)
+    rules, H003 over the whole set, baseline classification.  [extra]
+    carries findings from other engines (the typed pass); they get
+    the same suppression and baseline treatment as textual ones. *)
 
 val run :
-  ?baseline:Baseline.t -> root:string -> dirs:string list -> unit -> outcome
+  ?baseline:Baseline.t ->
+  ?extra:Finding.t list ->
+  root:string ->
+  dirs:string list ->
+  unit ->
+  outcome
 (** [run_sources] over [scan_files]. *)
 
 val active : outcome -> Finding.t list

@@ -98,6 +98,48 @@ let catalog =
         "An unparseable file cannot be checked, so it cannot be assumed \
          clean.";
     };
+    {
+      id = "T001";
+      title = "pool tasks must not touch unsynchronized module state";
+      rationale =
+        "A closure handed to Engine.Pool.map runs on another domain; if \
+         anything it can reach (transitively, through the call graph) \
+         writes a module-level ref/Hashtbl/Buffer without a Mutex, two \
+         cells race and the result depends on the schedule.  Engine-owned \
+         state is internally locked and whitelisted; everything else \
+         needs Mutex.protect or a redesign that returns data instead of \
+         mutating.";
+    };
+    {
+      id = "T002";
+      title = "cache keys and serve decisions must be deterministic";
+      rationale =
+        "Anything reachable from the Experiment memo functions or the \
+         Serve.Retier entry points feeds cache keys, goldens or live \
+         re-tier decisions; if a clock read, ambient randomness or \
+         hash-bucket order sneaks in anywhere down the call chain, cache \
+         hits stop being replays and goldens drift by machine.  The typed \
+         pass walks the summaries, so a helper three calls deep is caught \
+         at the root.";
+    };
+    {
+      id = "T003";
+      title = "no polymorphic =/compare at float types outside lib/numerics";
+      rationale =
+        "Float equality is almost never what model code means: nan <> \
+         nan, -0. = 0., and two mathematically-equal folds differ in the \
+         last ulp.  Comparisons instantiated at a float-involving type \
+         (typed check, so partial applications and Array.sort compare \
+         count) belong in lib/numerics behind an explicit tolerance.";
+    };
+    {
+      id = "E002";
+      title = "cmt artifact does not load";
+      rationale =
+        "The typed pass reads the .cmt files dune produces; one that \
+         fails to load (version skew, truncation) silently shrinks the \
+         call graph, so it is reported rather than skipped.";
+    };
   ]
 
 let known id = List.exists (fun m -> m.id = id) catalog
@@ -156,7 +198,16 @@ let d001_idents =
   ]
 
 let d002_idents = [ "Hashtbl.iter"; "Hashtbl.fold" ]
-let d003_idents = [ "Unix.gettimeofday"; "Unix.time"; "Sys.time"; "Random.self_init" ]
+let d003_idents =
+  [
+    "Unix.gettimeofday";
+    "Unix.time";
+    "Unix.times";
+    "Sys.time";
+    "Sys.cpu_time";
+    "Random.self_init";
+    "Random.State.make_self_init";
+  ]
 let d004_idents = [ "=="; "!=" ]
 
 (* D005: [canonical] already folds [Stdlib.compare] to [compare], so one

@@ -99,6 +99,36 @@ let has_reason text i =
     String.trim rest <> ""
   end
 
+(* The coverage block below a suppression ends where the *next*
+   top-level-ish item starts: a line at the same (or lesser)
+   indentation as the covered site's first line that begins with a
+   binding keyword.  Deeper-indented lines and closing delimiters
+   continue the block, so a multi-line binding needs one marker. *)
+
+let indent_of line =
+  let n = String.length line in
+  let rec go i = if i < n && (line.[i] = ' ' || line.[i] = '\t') then go (i + 1) else i in
+  go 0
+
+let binding_keywords =
+  [
+    "let"; "and"; "type"; "module"; "exception"; "external"; "open";
+    "include"; "val"; "class";
+  ]
+
+let starts_binding line =
+  let line = String.trim line in
+  let n = String.length line in
+  let word_end =
+    let rec go i =
+      if i < n && (match line.[i] with 'a' .. 'z' -> true | _ -> false) then
+        go (i + 1)
+      else i
+    in
+    go 0
+  in
+  List.mem (String.sub line 0 word_end) binding_keywords
+
 let scan ~file contents =
   let lines = String.split_on_char '\n' contents in
   let arr = Array.of_list lines in
@@ -116,8 +146,10 @@ let scan ~file contents =
           in
           let rules, after = parse_clause clause in
           (* The comment may span lines; coverage runs through the
-             line after the close so the comment sits directly above
-             the code it excuses. *)
+             expression/binding that follows the close (see
+             [starts_binding] above for where that block ends), so one
+             marker excuses a multi-line flagged site.  At minimum the
+             single line after the close is covered, as before. *)
           let close =
             let rec find i =
               if i >= n then idx
@@ -128,6 +160,23 @@ let scan ~file contents =
             in
             find idx
           in
+          let block_end =
+            let base = close + 1 in
+            if base >= n || String.trim arr.(base) = "" then base + 1
+            else begin
+              let ind0 = indent_of arr.(base) in
+              let rec extend i =
+                if i >= n then i
+                else if String.trim arr.(i) = "" then i
+                else if indent_of arr.(i) <= ind0 && starts_binding arr.(i)
+                then i
+                else extend (i + 1)
+              in
+              (* 0-based one past the last covered line = 1-based last *)
+              extend (base + 1)
+            end
+          in
+          let last_line = Stdlib.max (close + 2) block_end in
           if rules = [] || not (has_reason clause after) then
             malformed :=
               Finding.v ~rule:"S001" ~file ~line:lineno ~col:at
@@ -135,9 +184,7 @@ let scan ~file contents =
                  <RULE>] \xe2\x80\x94 justification` right after the comment \
                  opener"
               :: !malformed
-          else
-            supps :=
-              { rules; first_line = lineno; last_line = close + 2 } :: !supps
+          else supps := { rules; first_line = lineno; last_line } :: !supps
       | Some _ | None -> ())
     arr;
   (List.rev !supps, List.rev !malformed)

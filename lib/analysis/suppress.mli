@@ -4,17 +4,23 @@
 
     {v (* lint: allow D003 — reason the rule does not apply here *) v}
 
-    silences the named rule(s) on the comment's own line(s) and on the
-    first line after the comment closes — i.e. put the comment
-    directly above (or at the end of) the offending line.  Several
-    rules may be listed, separated by commas or spaces.  The
-    justification after the dash is mandatory: a suppression without a
-    reason is itself reported (rule S001) and suppresses nothing. *)
+    silences the named rule(s) on the comment's own line(s) and
+    through the expression/binding that immediately follows — read
+    textually as the contiguous block of non-blank lines below the
+    comment close, so one marker covers a multi-line flagged site.  A
+    blank line ends the coverage; at minimum the single line after the
+    close is covered, so the comment sits directly above (or at the
+    end of) the offending code.  Several rules may be listed,
+    separated by commas or spaces.  The justification after the dash
+    is mandatory: a suppression without a reason is itself reported
+    (rule S001) and suppresses nothing. *)
 
 type t = {
   rules : string list;  (** rule ids this suppression covers *)
   first_line : int;  (** line the [lint: allow] marker is on (1-based) *)
-  last_line : int;  (** last covered line: one past the comment close *)
+  last_line : int;
+      (** last covered line: the end of the contiguous non-blank block
+          after the comment close (at least one line past the close) *)
 }
 
 val scan : file:string -> string -> t list * Finding.t list

@@ -1,0 +1,362 @@
+(* Cross-module call-graph extraction from typed trees.
+
+   Extraction is deliberately two-phase: this module only records
+   *facts* — one node per top-level binding with every resolved ident
+   occurrence it contains (tagged with its syntactic context), plus
+   module-level mutable definitions and closures submitted to pool
+   sinks.  Classifying an occurrence as a call edge, a mutable-state
+   access or a stdlib effect needs the *global* mutable-definition and
+   node sets, so it happens later in {!Summarize} once every unit has
+   been extracted. *)
+
+type ctx = Plain | Write_ctx | Read_ctx
+
+type occ = {
+  o_path : string;
+      (* canonical dotted path; may be a bare name for same-unit idents *)
+  o_ctx : ctx;
+  o_guarded : bool;  (* under Mutex.protect *)
+  o_handled : bool;  (* inside a try body *)
+  o_line : int;
+  o_col : int;
+}
+
+type sub_target = Closure of string | Named of string
+
+type submission = { s_target : sub_target; s_line : int; s_col : int }
+
+type kind = Fn | Init | Closure_node
+
+type node = {
+  n_id : string;
+  n_file : string;
+  n_kind : kind;
+  n_line : int;
+  n_col : int;
+  mutable n_occs : occ list;  (* reverse order during extraction *)
+  mutable n_subs : submission list;
+}
+
+type mutdef = { m_path : string; m_file : string; m_line : int }
+
+type graph = { nodes : node list; mutables : mutdef list }
+
+(* --- path canonicalization ----------------------------------------------- *)
+
+let canonical_path p =
+  let raw = Path.name p in
+  (* strip the Stdlib prefix and turn mangled wrapped-library names
+     ("Engine__Pool.map") into their display form ("Engine.Pool.map") *)
+  let raw =
+    let pre = "Stdlib." in
+    if
+      String.length raw > String.length pre
+      && String.sub raw 0 (String.length pre) = pre
+    then String.sub raw (String.length pre) (String.length raw - String.length pre)
+    else raw
+  in
+  Cmt_load.display_of_modname raw
+
+(* Type constructors under which a module-level binding counts as
+   shared mutable state.  Arrays and bytes are deliberately absent:
+   the rules target refs, hash tables and buffers (per the rule
+   catalog); flat numeric arrays used as read-only tables would drown
+   the signal. *)
+let mutable_type_heads =
+  [ "ref"; "Hashtbl.t"; "Buffer.t"; "Queue.t"; "Stack.t" ]
+
+(* Heads whose first argument is mutated / read.  Used to refine the
+   context of that argument's occurrence; every other position keeps
+   the conservative [Plain] context. *)
+let mutator_heads =
+  [
+    ":="; "incr"; "decr";
+    "Hashtbl.replace"; "Hashtbl.add"; "Hashtbl.remove"; "Hashtbl.reset";
+    "Hashtbl.clear"; "Hashtbl.filter_map_inplace";
+    "Buffer.add_string"; "Buffer.add_char"; "Buffer.add_bytes";
+    "Buffer.add_substring"; "Buffer.add_buffer"; "Buffer.add_channel";
+    "Buffer.clear"; "Buffer.reset"; "Buffer.truncate";
+    "Queue.push"; "Queue.add"; "Queue.pop"; "Queue.take"; "Queue.clear";
+    "Queue.transfer";
+    "Stack.push"; "Stack.pop"; "Stack.clear";
+  ]
+
+let reader_heads =
+  [
+    "!";
+    "Hashtbl.find"; "Hashtbl.find_opt"; "Hashtbl.find_all"; "Hashtbl.mem";
+    "Hashtbl.length"; "Hashtbl.fold"; "Hashtbl.iter"; "Hashtbl.to_seq";
+    "Hashtbl.to_seq_keys"; "Hashtbl.to_seq_values"; "Hashtbl.copy";
+    "Buffer.contents"; "Buffer.length"; "Buffer.nth";
+    "Queue.peek"; "Queue.top"; "Queue.length"; "Queue.is_empty";
+    "Queue.iter"; "Queue.fold";
+    "Stack.top"; "Stack.length"; "Stack.is_empty";
+  ]
+
+let guard_heads = [ "Mutex.protect" ]
+
+(* --- extraction ----------------------------------------------------------- *)
+
+type state = {
+  mutable cur : node;
+  mutable guarded : bool;
+  mutable handled : bool;
+  mutable acc : node list;
+  sinks : string list;
+  file : string;
+}
+
+let pos_of (loc : Location.t) =
+  (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+
+let add_occ st ~ctx ~loc path =
+  let line, col = pos_of loc in
+  st.cur.n_occs <-
+    {
+      o_path = path;
+      o_ctx = ctx;
+      o_guarded = st.guarded;
+      o_handled = st.handled;
+      o_line = line;
+      o_col = col;
+    }
+    :: st.cur.n_occs
+
+let new_node st ~kind ~loc id =
+  let line, col = pos_of loc in
+  let n =
+    { n_id = id; n_file = st.file; n_kind = kind; n_line = line; n_col = col;
+      n_occs = []; n_subs = [] }
+  in
+  st.acc <- n :: st.acc;
+  n
+
+let head_path (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> Some (canonical_path p)
+  | _ -> None
+
+(* Submitting [fn] to a pool sink: inline closures become synthetic
+   nodes so their captured accesses get their own summary; named
+   functions are resolved against the node set later. *)
+let rec visit_expr st (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> add_occ st ~ctx:Plain ~loc:e.exp_loc (canonical_path p)
+  | Texp_apply (head, args) -> (
+      let hp = head_path head in
+      (match hp with
+      | Some h when List.mem h guard_heads ->
+          add_occ st ~ctx:Plain ~loc:head.exp_loc h;
+          let saved = st.guarded in
+          st.guarded <- true;
+          List.iter (fun (_, a) -> Option.iter (visit_expr st) a) args;
+          st.guarded <- saved
+      | Some h when List.mem h st.sinks ->
+          add_occ st ~ctx:Plain ~loc:head.exp_loc h;
+          List.iter
+            (fun (_, a) ->
+              match a with
+              | None -> ()
+              | Some (arg : Typedtree.expression) -> (
+                  match arg.exp_desc with
+                  | Texp_function _ ->
+                      let line, col = pos_of arg.exp_loc in
+                      let id =
+                        Printf.sprintf "%s#closure:%d" st.cur.n_id line
+                      in
+                      let closure =
+                        new_node st ~kind:Closure_node ~loc:arg.exp_loc id
+                      in
+                      st.cur.n_subs <-
+                        { s_target = Closure id; s_line = line; s_col = col }
+                        :: st.cur.n_subs;
+                      let saved = st.cur in
+                      st.cur <- closure;
+                      visit_expr st arg;
+                      st.cur <- saved
+                  | Texp_ident (p, _, _) ->
+                      let line, col = pos_of arg.exp_loc in
+                      st.cur.n_subs <-
+                        {
+                          s_target = Named (canonical_path p);
+                          s_line = line;
+                          s_col = col;
+                        }
+                        :: st.cur.n_subs;
+                      (* the submitted function also runs: keep the edge *)
+                      visit_expr st arg
+                  | _ -> visit_expr st arg))
+            args
+      | _ ->
+          let refined =
+            match hp with
+            | Some h when List.mem h mutator_heads -> Some Write_ctx
+            | Some h when List.mem h reader_heads -> Some Read_ctx
+            | _ -> None
+          in
+          visit_expr st head;
+          let first_value = ref true in
+          List.iter
+            (fun (_, a) ->
+              match a with
+              | None -> ()
+              | Some (arg : Typedtree.expression) ->
+                  let is_first = !first_value in
+                  first_value := false;
+                  (match (refined, is_first, arg.exp_desc) with
+                  | Some ctx, true, Texp_ident (p, _, _) ->
+                      add_occ st ~ctx ~loc:arg.exp_loc (canonical_path p)
+                  | _ -> visit_expr st arg))
+            args))
+  | Texp_setfield (obj, _, _, v) ->
+      (match obj.exp_desc with
+      | Texp_ident (p, _, _) ->
+          add_occ st ~ctx:Write_ctx ~loc:obj.exp_loc (canonical_path p)
+      | _ -> visit_expr st obj);
+      visit_expr st v
+  | Texp_try (body, cases) ->
+      let saved = st.handled in
+      st.handled <- true;
+      visit_expr st body;
+      st.handled <- saved;
+      List.iter (fun (c : _ Typedtree.case) -> visit_case st c) cases
+  | Texp_assert (cond, _) ->
+      (* assert false and failed assertions raise *)
+      add_occ st ~ctx:Plain ~loc:e.exp_loc "raise";
+      visit_expr st cond
+  | _ -> fallback_iter st e
+
+and visit_case : type k. state -> k Typedtree.case -> unit =
+ fun st c ->
+  Option.iter (visit_expr st) c.c_guard;
+  visit_expr st c.c_rhs
+
+(* Everything without bespoke handling walks through the default
+   iterator, re-entering [visit_expr] at each sub-expression. *)
+and fallback_iter st e =
+  let sub =
+    {
+      Tast_iterator.default_iterator with
+      expr = (fun _ e' -> visit_expr st e');
+    }
+  in
+  Tast_iterator.default_iterator.expr sub e
+
+(* --- module-level mutables ------------------------------------------------ *)
+
+let type_head (ty : Types.type_expr) =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> Some (canonical_path p)
+  | _ -> None
+
+let is_mutable_type ~safe_type_heads (ty : Types.type_expr) =
+  match type_head ty with
+  | Some h ->
+      List.mem h mutable_type_heads && not (List.mem h safe_type_heads)
+  | None -> false
+
+(* --- structure walk ------------------------------------------------------- *)
+
+let rec collect_pat_vars (p : Typedtree.pattern) =
+  match p.pat_desc with
+  | Tpat_var (_, name) -> [ (name.txt, p.pat_type, p.pat_loc) ]
+  | Tpat_alias (inner, _, name) ->
+      (name.txt, p.pat_type, p.pat_loc) :: collect_pat_vars inner
+  | Tpat_tuple ps -> List.concat_map collect_pat_vars ps
+  | Tpat_construct (_, _, ps, _) -> List.concat_map collect_pat_vars ps
+  | Tpat_record (fields, _) ->
+      List.concat_map (fun (_, _, p) -> collect_pat_vars p) fields
+  | _ -> []
+
+let extract_unit ~sinks ~safe_type_heads (u : Cmt_load.unit_info) =
+  let st =
+    {
+      cur =
+        { n_id = "<toplevel>"; n_file = u.ui_source; n_kind = Init; n_line = 1;
+          n_col = 0; n_occs = []; n_subs = [] };
+      guarded = false;
+      handled = false;
+      acc = [];
+      sinks;
+      file = u.ui_source;
+    }
+  in
+  let mutables = ref [] in
+  let rec walk_structure prefix (str : Typedtree.structure) =
+    List.iter (walk_item prefix) str.str_items
+  and walk_item prefix (item : Typedtree.structure_item) =
+    match item.str_desc with
+    | Tstr_value (_, vbs) ->
+        List.iter
+          (fun (vb : Typedtree.value_binding) ->
+            match collect_pat_vars vb.vb_pat with
+            | [] ->
+                (* [let () = ...] and friends: module initialization *)
+                let line, _ = pos_of vb.vb_loc in
+                let id = Printf.sprintf "%s.(init:%d)" prefix line in
+                let n = new_node st ~kind:Init ~loc:vb.vb_loc id in
+                let saved = st.cur in
+                st.cur <- n;
+                visit_expr st vb.vb_expr;
+                st.cur <- saved
+            | vars ->
+                List.iter
+                  (fun (name, ty, loc) ->
+                    if is_mutable_type ~safe_type_heads ty then
+                      mutables :=
+                        {
+                          m_path = prefix ^ "." ^ name;
+                          m_file = u.ui_source;
+                          m_line = fst (pos_of loc);
+                        }
+                        :: !mutables)
+                  vars;
+                let name, _, _ = List.hd vars in
+                let id = prefix ^ "." ^ name in
+                let n = new_node st ~kind:Fn ~loc:vb.vb_loc id in
+                let saved = st.cur in
+                st.cur <- n;
+                visit_expr st vb.vb_expr;
+                st.cur <- saved)
+          vbs
+    | Tstr_module mb -> walk_module prefix mb
+    | Tstr_recmodule mbs -> List.iter (walk_module prefix) mbs
+    | Tstr_eval (e, _) ->
+        let line, _ = pos_of item.str_loc in
+        let id = Printf.sprintf "%s.(init:%d)" prefix line in
+        let n = new_node st ~kind:Init ~loc:item.str_loc id in
+        let saved = st.cur in
+        st.cur <- n;
+        visit_expr st e;
+        st.cur <- saved
+    | _ -> ()
+  and walk_module prefix (mb : Typedtree.module_binding) =
+    let sub =
+      match mb.mb_id with
+      | Some id -> prefix ^ "." ^ Ident.name id
+      | None -> prefix
+    in
+    walk_module_expr sub mb.mb_expr
+  and walk_module_expr prefix (me : Typedtree.module_expr) =
+    match me.mod_desc with
+    | Tmod_structure str -> walk_structure prefix str
+    | Tmod_constraint (inner, _, _, _) -> walk_module_expr prefix inner
+    | Tmod_functor (_, inner) -> walk_module_expr prefix inner
+    | _ -> ()
+  in
+  walk_structure u.ui_modname u.ui_structure;
+  (List.rev st.acc, List.rev !mutables)
+
+let extract ~sinks ~safe_type_heads units =
+  let nodes = ref [] and mutables = ref [] in
+  List.iter
+    (fun u ->
+      let ns, ms = extract_unit ~sinks ~safe_type_heads u in
+      nodes := !nodes @ ns;
+      mutables := !mutables @ ms)
+    units;
+  {
+    nodes = List.sort (fun a b -> String.compare a.n_id b.n_id) !nodes;
+    mutables =
+      List.sort (fun a b -> String.compare a.m_path b.m_path) !mutables;
+  }

@@ -1,0 +1,66 @@
+(** Fact extraction over typed trees: one node per top-level binding,
+    with every resolved ident occurrence, pool-sink submissions and
+    module-level mutable definitions.
+
+    Classification (call edge vs. mutable access vs. stdlib effect)
+    is deferred to {!Summarize}, which sees the global node and
+    mutable sets. *)
+
+type ctx =
+  | Plain  (** call position, escape, or unrefined argument *)
+  | Write_ctx  (** first argument of a known mutator / setfield target *)
+  | Read_ctx  (** first argument of a known reader / deref *)
+
+type occ = {
+  o_path : string;
+      (** canonical dotted path; bare names are same-unit or local idents *)
+  o_ctx : ctx;
+  o_guarded : bool;  (** under [Mutex.protect] *)
+  o_handled : bool;  (** inside a [try] body *)
+  o_line : int;
+  o_col : int;
+}
+
+type sub_target =
+  | Closure of string  (** synthetic node id of an inline closure *)
+  | Named of string  (** canonical path of a named function argument *)
+
+type submission = { s_target : sub_target; s_line : int; s_col : int }
+
+type kind =
+  | Fn  (** top-level [let] binding *)
+  | Init  (** [let () = ...] / [Tstr_eval] module initialization *)
+  | Closure_node  (** inline closure submitted to a pool sink *)
+
+type node = {
+  n_id : string;
+  n_file : string;
+  n_kind : kind;
+  n_line : int;
+  n_col : int;
+  mutable n_occs : occ list;
+  mutable n_subs : submission list;
+}
+
+type mutdef = { m_path : string; m_file : string; m_line : int }
+
+type graph = { nodes : node list; mutables : mutdef list }
+
+val canonical_path : Path.t -> string
+(** [Path.name] with the ["Stdlib."] prefix stripped and mangled
+    wrapped-library names (["Engine__Pool.map"]) rewritten to display
+    form (["Engine.Pool.map"]). *)
+
+val mutable_type_heads : string list
+(** Type constructors that make a module-level binding shared mutable
+    state: [ref], [Hashtbl.t], [Buffer.t], [Queue.t], [Stack.t]. *)
+
+val extract :
+  sinks:string list ->
+  safe_type_heads:string list ->
+  Cmt_load.unit_info list ->
+  graph
+(** Walk every unit; [sinks] are the parallel-submission heads
+    (e.g. ["Engine.Pool.map"]), [safe_type_heads] type constructors
+    exempt from the mutable scan (internally synchronized).  Nodes and
+    mutables come back sorted by id/path. *)

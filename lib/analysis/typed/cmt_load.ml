@@ -1,0 +1,117 @@
+(* Ingestion of the `.cmt` typed trees dune already produces.
+
+   Dune compiles every library module with `-bin-annot`, leaving one
+   cmt per implementation under
+   `_build/default/lib/<dir>/.<lib>.objs/byte/<lib>__<Mod>.cmt` (the
+   wrapper alias module has no `__` and a `.ml-gen` source; it is
+   skipped).  The loader works both from the repo root (artifacts
+   under `_build/default/lib`) and from inside a dune action (cwd is
+   the build context root, artifacts directly under `lib`). *)
+
+type unit_info = {
+  ui_modname : string;  (** display module path, e.g. ["Engine.Pool"] *)
+  ui_source : string;  (** root-relative source, e.g. ["lib/engine/pool.ml"] *)
+  ui_structure : Typedtree.structure;
+}
+
+(* "Engine__Pool" -> "Engine.Pool"; plain "Tbl" stays. *)
+let display_of_modname m =
+  let buf = Buffer.create (String.length m) in
+  let n = String.length m in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && m.[!i] = '_' && m.[!i + 1] = '_' then begin
+      Buffer.add_char buf '.';
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char buf m.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let search_dirs ~root =
+  [ Filename.concat root "lib"; Filename.concat (Filename.concat root "_build") (Filename.concat "default" "lib") ]
+
+let discover ~root =
+  let out = ref [] in
+  let rec walk dir =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> ()
+    | names ->
+        Array.sort String.compare names;
+        Array.iter
+          (fun name ->
+            let path = Filename.concat dir name in
+            if Sys.is_directory path then walk path
+            else if Filename.check_suffix name ".cmt" then out := path :: !out)
+          names
+  in
+  List.iter walk (search_dirs ~root);
+  List.sort String.compare !out
+
+(* Source paths inside cmts are as passed to the compiler — relative
+   to the build context root, i.e. already root-relative
+   ("lib/engine/pool.ml").  Guard against absolute or _build-prefixed
+   spellings anyway. *)
+let normalize_source src =
+  let strip_prefix p s =
+    if
+      String.length s > String.length p
+      && String.sub s 0 (String.length p) = p
+    then Some (String.sub s (String.length p) (String.length s - String.length p))
+    else None
+  in
+  let src =
+    match strip_prefix "_build/default/" src with Some s -> s | None -> src
+  in
+  match String.index_opt src '/' with
+  | Some _ when String.length src > 4 && String.sub src 0 4 = "lib/" -> Some src
+  | _ -> (
+      (* absolute path: cut at the last "lib/" segment *)
+      let rec find_from i acc =
+        match
+          if i + 4 <= String.length src then
+            if String.sub src i 4 = "lib/" then Some i else None
+          else None
+        with
+        | Some at -> find_from (i + 1) (Some at)
+        | None -> if i + 4 > String.length src then acc else find_from (i + 1) acc
+      in
+      match find_from 0 None with
+      | Some at -> Some (String.sub src at (String.length src - at))
+      | None -> None)
+
+let load ~root =
+  let errors = ref [] in
+  let seen = Hashtbl.create 64 in
+  let units = ref [] in
+  List.iter
+    (fun path ->
+      match Cmt_format.read_cmt path with
+      | exception exn ->
+          errors :=
+            Analysis.Finding.v ~rule:"E002" ~file:path ~line:1 ~col:0
+              (Printf.sprintf "cmt does not load: %s" (Printexc.to_string exn))
+            :: !errors
+      | cmt -> (
+          match (cmt.Cmt_format.cmt_annots, cmt.Cmt_format.cmt_sourcefile) with
+          | Cmt_format.Implementation str, Some src
+            when Filename.check_suffix src ".ml" -> (
+              match normalize_source src with
+              | Some source when not (Hashtbl.mem seen cmt.Cmt_format.cmt_modname)
+                ->
+                  Hashtbl.add seen cmt.Cmt_format.cmt_modname ();
+                  units :=
+                    {
+                      ui_modname = display_of_modname cmt.Cmt_format.cmt_modname;
+                      ui_source = source;
+                      ui_structure = str;
+                    }
+                    :: !units
+              | _ -> ())
+          | _ -> ()))
+    (discover ~root);
+  ( List.sort (fun a b -> String.compare a.ui_modname b.ui_modname) !units,
+    List.rev !errors )

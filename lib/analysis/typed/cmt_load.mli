@@ -1,0 +1,24 @@
+(** Loader for the [.cmt] typed trees dune produces for [lib/].
+
+    One {!unit_info} per implementation module; wrapper alias modules
+    (generated [.ml-gen] sources) and interface-only cmts are skipped.
+    Unreadable cmts surface as [E002] findings instead of aborting the
+    pass. *)
+
+type unit_info = {
+  ui_modname : string;  (** display module path, e.g. ["Engine.Pool"] *)
+  ui_source : string;  (** root-relative source, e.g. ["lib/engine/pool.ml"] *)
+  ui_structure : Typedtree.structure;
+}
+
+val display_of_modname : string -> string
+(** ["Engine__Pool"] -> ["Engine.Pool"]; names without ["__"] pass
+    through. *)
+
+val discover : root:string -> string list
+(** All [.cmt] files under [root/lib] and [root/_build/default/lib],
+    sorted. *)
+
+val load : root:string -> unit_info list * Analysis.Finding.t list
+(** Read every discovered cmt.  Units are sorted and de-duplicated by
+    module name; the finding list carries [E002] load errors. *)

@@ -1,0 +1,127 @@
+(* The effect-summary lattice of the typed lint pass.
+
+   A summary is a finite set of atoms; the lattice is the powerset
+   under union (bottom = pure).  [Mut_write]/[Mut_read] atoms carry
+   the dotted path of the module-level mutable value they touch, so
+   the domain is finite per analyzed tree (one atom per mutable
+   definition) and the interprocedural fixpoint terminates. *)
+
+type atom =
+  | Nondet_clock  (** wall/CPU clock observed: Unix.gettimeofday family *)
+  | Nondet_rand  (** ambient randomness: global Random state, self_init *)
+  | Nondet_hash  (** hash-bucket traversal order escapes *)
+  | Mut_write of string  (** writes the named module-level mutable value *)
+  | Mut_read of string  (** reads the named module-level mutable value *)
+  | Io  (** talks to a channel, the filesystem or a process *)
+  | Raises  (** may raise out of the call (not locally handled) *)
+
+let atom_rank = function
+  | Nondet_clock -> 0
+  | Nondet_rand -> 1
+  | Nondet_hash -> 2
+  | Mut_write _ -> 3
+  | Mut_read _ -> 4
+  | Io -> 5
+  | Raises -> 6
+
+let atom_payload = function
+  | Mut_write p | Mut_read p -> p
+  | Nondet_clock | Nondet_rand | Nondet_hash | Io | Raises -> ""
+
+let compare_atom a b =
+  match Int.compare (atom_rank a) (atom_rank b) with
+  | 0 -> String.compare (atom_payload a) (atom_payload b)
+  | c -> c
+
+module Set = Stdlib.Set.Make (struct
+  type t = atom
+
+  let compare = compare_atom
+end)
+
+let is_nondet = function
+  | Nondet_clock | Nondet_rand | Nondet_hash -> true
+  | Mut_write _ | Mut_read _ | Io | Raises -> false
+
+let to_string = function
+  | Nondet_clock -> "nondet:clock"
+  | Nondet_rand -> "nondet:rand"
+  | Nondet_hash -> "nondet:hash-order"
+  | Mut_write p -> "write:" ^ p
+  | Mut_read p -> "read:" ^ p
+  | Io -> "io"
+  | Raises -> "raises"
+
+let of_string s =
+  let prefixed p =
+    String.length s > String.length p && String.sub s 0 (String.length p) = p
+  in
+  let payload p = String.sub s (String.length p) (String.length s - String.length p) in
+  match s with
+  | "nondet:clock" -> Some Nondet_clock
+  | "nondet:rand" -> Some Nondet_rand
+  | "nondet:hash-order" -> Some Nondet_hash
+  | "io" -> Some Io
+  | "raises" -> Some Raises
+  | _ when prefixed "write:" -> Some (Mut_write (payload "write:"))
+  | _ when prefixed "read:" -> Some (Mut_read (payload "read:"))
+  | _ -> None
+
+let describe = function
+  | Nondet_clock -> "reads the wall/CPU clock"
+  | Nondet_rand -> "draws ambient randomness"
+  | Nondet_hash -> "leaks hash-bucket traversal order"
+  | Mut_write p -> Printf.sprintf "writes module-level mutable `%s`" p
+  | Mut_read p -> Printf.sprintf "reads module-level mutable `%s`" p
+  | Io -> "performs I/O"
+  | Raises -> "may raise"
+
+(* --- effects-golden (de)serialization ------------------------------------ *)
+
+(* The golden is a deterministic JSON object: function ids sorted,
+   atoms rendered in [compare_atom] order.  Rendering goes through
+   [Analysis.Json] so the bytes are stable across hosts. *)
+
+let golden_json (summaries : (string * Set.t) list) =
+  Analysis.Json.Obj
+    [
+      ("version", Analysis.Json.Int 1);
+      ("tool", Analysis.Json.Str "tiered-lint/typed");
+      ( "summaries",
+        Analysis.Json.Obj
+          (summaries
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+          |> List.map (fun (id, set) ->
+                 ( id,
+                   Analysis.Json.List
+                     (Set.elements set
+                     |> List.map (fun a -> Analysis.Json.Str (to_string a))) ))
+          ) );
+    ]
+
+let golden_of_json j =
+  match Option.bind (Analysis.Json.member "summaries" j) (function
+          | Analysis.Json.Obj fields -> Some fields
+          | _ -> None)
+  with
+  | None -> Error "effects golden: expected an object with a \"summaries\" object"
+  | Some fields ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | (id, v) :: rest -> (
+            match Analysis.Json.to_list v with
+            | None -> Error (Printf.sprintf "effects golden: %s: expected a list" id)
+            | Some atoms -> (
+                let parsed =
+                  List.map
+                    (fun a ->
+                      Option.bind (Analysis.Json.to_str a) of_string)
+                    atoms
+                in
+                if List.exists Option.is_none parsed then
+                  Error (Printf.sprintf "effects golden: %s: bad atom" id)
+                else
+                  match List.filter_map Fun.id parsed with
+                  | atoms -> go ((id, Set.of_list atoms) :: acc) rest))
+      in
+      go [] fields

@@ -1,0 +1,42 @@
+(** The effect-summary lattice of the typed lint pass.
+
+    A per-function summary is a finite set of {!atom}s ordered by
+    inclusion — bottom is the pure function, join is set union.
+    [Mut_write]/[Mut_read] carry the dotted path of the module-level
+    mutable value touched, so the lattice is finite for a given tree
+    and the interprocedural fixpoint terminates. *)
+
+type atom =
+  | Nondet_clock  (** wall/CPU clock observed: Unix.gettimeofday family *)
+  | Nondet_rand  (** ambient randomness: global Random state, self_init *)
+  | Nondet_hash  (** hash-bucket traversal order escapes *)
+  | Mut_write of string  (** writes the named module-level mutable value *)
+  | Mut_read of string  (** reads the named module-level mutable value *)
+  | Io  (** talks to a channel, the filesystem or a process *)
+  | Raises  (** may raise out of the call (not locally handled) *)
+
+val compare_atom : atom -> atom -> int
+(** Total monomorphic order: by atom kind, then payload. *)
+
+module Set : Stdlib.Set.S with type elt = atom
+
+val is_nondet : atom -> bool
+(** The three [Nondet_*] atoms — the ones rule T002 forbids. *)
+
+val to_string : atom -> string
+(** Stable rendering used in the effects golden ("nondet:clock",
+    "write:Engine.Cache.registry", ...). *)
+
+val of_string : string -> atom option
+(** Inverse of {!to_string}. *)
+
+val describe : atom -> string
+(** Human sentence fragment for finding messages. *)
+
+val golden_json : (string * Set.t) list -> Analysis.Json.t
+(** Deterministic JSON for [lint/effects.golden.json]: ids sorted,
+    atoms in {!compare_atom} order. *)
+
+val golden_of_json :
+  Analysis.Json.t -> ((string * Set.t) list, string) Stdlib.result
+(** Parse a golden back; used by the round-trip test. *)

@@ -1,0 +1,39 @@
+(** The interprocedural T-rules: pool data races (T001), determinism
+    taint on cache/serve roots (T002), float [=]/[compare] (T003). *)
+
+type config = {
+  pool_sinks : string list;
+      (** application heads whose function argument runs on the pool *)
+  safe_type_heads : string list;
+      (** type constructors exempt from the module-mutable scan *)
+  trusted_prefixes : string list;
+      (** callees whose Nondet atoms stop at the call boundary *)
+  sanitizers : string list;
+      (** callees that strip hash-order nondeterminism *)
+  mut_whitelist : string list;
+      (** mutable paths that are internally synchronized *)
+  t002_roots : string list;  (** exact node ids that must be deterministic *)
+  t002_root_prefixes : string list;  (** id prefixes, e.g. ["Serve.Retier."] *)
+  float_exempt : string list;  (** source prefixes exempt from T003 *)
+}
+
+val default : config
+(** The repo's policy: [Engine.Pool.map]/[map_list] are the sinks,
+    [Engine.]* state is synchronized, [Engine.]*/[Tiered.Runner.]* are
+    timing-trusted, [Tbl.sorted_*] sanitize hash order, the
+    [Experiment] memo functions and [Serve.Retier] are determinism
+    roots, and [lib/numerics] owns its float comparisons. *)
+
+val t001 : Summarize.t -> Callgraph.graph -> Analysis.Finding.t list
+
+val t002 : config -> Summarize.t -> Callgraph.graph -> Analysis.Finding.t list
+
+val t003 : config -> Cmt_load.unit_info list -> Analysis.Finding.t list
+
+val run :
+  config ->
+  Summarize.t ->
+  Callgraph.graph ->
+  Cmt_load.unit_info list ->
+  Analysis.Finding.t list
+(** All three rules, concatenated (T001, T002, then T003). *)

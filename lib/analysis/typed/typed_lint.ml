@@ -1,0 +1,49 @@
+(* Driver for the typed pass: cmts -> facts -> fixpoint -> T-rules.
+
+   Findings are plain {!Analysis.Finding.t}s, so the textual
+   pipeline's suppression/baseline/reporting machinery applies to
+   them unchanged. *)
+
+type outcome = {
+  findings : Analysis.Finding.t list;
+      (* T001/T002/T003 plus E002 cmt-load errors, sorted *)
+  summaries : (string * Effects.Set.t) list;  (* sorted by node id *)
+  units : int;  (* implementation modules analyzed *)
+}
+
+let available ~root = Cmt_load.discover ~root <> []
+
+let run ?(config = Rules_typed.default) ~root () =
+  let units, load_errors = Cmt_load.load ~root in
+  let graph =
+    Callgraph.extract ~sinks:config.Rules_typed.pool_sinks
+      ~safe_type_heads:config.Rules_typed.safe_type_heads units
+  in
+  let t =
+    Summarize.run ~trusted_prefixes:config.Rules_typed.trusted_prefixes
+      ~sanitizers:config.Rules_typed.sanitizers
+      ~mut_whitelist:config.Rules_typed.mut_whitelist graph
+  in
+  let findings =
+    List.sort Analysis.Finding.compare
+      (load_errors @ Rules_typed.run config t graph units)
+  in
+  { findings; summaries = Summarize.golden t; units = List.length units }
+
+let golden_string summaries =
+  Analysis.Json.to_string (Effects.golden_json summaries) ^ "\n"
+
+(* Debug rendering for `tiered-lint --typed-dump`: every summary on
+   one line, pure nodes elided. *)
+let dump outcome =
+  let buf = Buffer.create 4096 in
+  Printf.bprintf buf "%d units, %d summaries\n" outcome.units
+    (List.length outcome.summaries);
+  List.iter
+    (fun (id, set) ->
+      if not (Effects.Set.is_empty set) then
+        Printf.bprintf buf "%s: %s\n" id
+          (String.concat ", "
+             (List.map Effects.to_string (Effects.Set.elements set))))
+    outcome.summaries;
+  Buffer.contents buf

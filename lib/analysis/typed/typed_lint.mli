@@ -1,0 +1,21 @@
+(** Driver for the typed pass: load cmts, extract the call graph, run
+    the effect fixpoint and the T-rules. *)
+
+type outcome = {
+  findings : Analysis.Finding.t list;
+      (** T001/T002/T003 plus E002 cmt-load errors, sorted *)
+  summaries : (string * Effects.Set.t) list;  (** sorted by node id *)
+  units : int;  (** implementation modules analyzed *)
+}
+
+val available : root:string -> bool
+(** Are there any cmts to read (i.e. has [_build] been populated)? *)
+
+val run : ?config:Rules_typed.config -> root:string -> unit -> outcome
+
+val golden_string : (string * Effects.Set.t) list -> string
+(** Deterministic bytes of [lint/effects.golden.json], trailing
+    newline included. *)
+
+val dump : outcome -> string
+(** Debug rendering: one line per non-pure summary. *)

@@ -52,7 +52,7 @@ let probe ?(noise_cv = 0.05) ?rng market ~discounts =
               (fun d ->
                 let price = market.Market.p0 *. d in
                 let noise =
-                  if noise_cv = 0. then 1.
+                  if Float.equal noise_cv 0. then 1.
                   else Numerics.Dist.lognormal_of_mean_cv rng ~mean:1. ~cv:noise_cv
                 in
                 { price; demand = Ced.demand ~alpha:market.Market.alpha ~v price *. noise })

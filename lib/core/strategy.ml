@@ -288,7 +288,10 @@ let dp_inputs market =
          undecomposed; the SMAWK and quadratic rungs still certify it. *)
       let starts = ref [] in
       if n > 1 then begin
-        let flat k = fget w (k + 1) = fget w k && fget wc (k + 1) = fget wc k in
+        let flat k =
+          Float.equal (fget w (k + 1)) (fget w k)
+          && Float.equal (fget wc (k + 1)) (fget wc k)
+        in
         let prev_flat = ref (flat 0) in
         for k = 1 to n - 1 do
           let f = flat k in

@@ -94,7 +94,7 @@ let synthesize ?(shape = default_shape) ~rng gts =
       let bin_bytes =
         Array.init shape.bins (fun b ->
             let noise =
-              if shape.noise_cv = 0. then 1.
+              if Float.equal shape.noise_cv 0. then 1.
               else Numerics.Dist.lognormal_of_mean_cv rng ~mean:1. ~cv:shape.noise_cv
             in
             gt.gt_mbps *. bytes_per_mbit_second

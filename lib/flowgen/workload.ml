@@ -123,7 +123,7 @@ let generate topology p =
     Array.map
       (fun idx ->
         let tail =
-          if p.local_tail_miles = 0. then 0.
+          if Float.equal p.local_tail_miles 0. then 0.
           else
             let rate = 2. /. p.local_tail_miles in
             Numerics.Dist.exponential rng ~rate +. Numerics.Dist.exponential rng ~rate

@@ -127,14 +127,14 @@ let shortest_path t ~src ~dst =
   let n = Array.length t.nodes in
   if dst < 0 || dst >= n then invalid_arg "Graph.shortest_path: bad dst id";
   let dist, prev = dijkstra t src in
-  if dist.(dst) = infinity then None
+  if Float.equal dist.(dst) infinity then None
   else
     let rec backtrack acc u = if u = src then src :: acc else backtrack (u :: acc) prev.(u) in
     Some { hops = backtrack [] dst; length_miles = dist.(dst) }
 
 let path_distance_miles t ~src ~dst =
   let dist = shortest_path_lengths t ~src in
-  if dist.(dst) = infinity then None else Some dist.(dst)
+  if Float.equal dist.(dst) infinity then None else Some dist.(dst)
 
 let is_connected t =
   match Array.length t.nodes with

@@ -74,6 +74,22 @@ let d003_serve () =
   check_rule ~file:"bin/tiered_cli.ml"
     "let clock = Serve.Clock.of_fn Unix.gettimeofday" "D003" 0 ()
 
+let d003_idents () =
+  (* the long tail of clock/entropy reads: process CPU clocks and
+     self-seeded explicit Random states are just as nondeterministic *)
+  check_rule ~file:"lib/fake/mod.ml"
+    "let s () = Random.State.make_self_init ()" "D003" 1 ();
+  check_rule ~file:"lib/fake/mod.ml" "let t () = Unix.times ()" "D003" 1 ();
+  check_rule ~file:"lib/fake/mod.ml" "let t () = Sys.cpu_time ()" "D003" 1 ();
+  (* an explicitly-seeded state is the sanctioned shape *)
+  check_rule ~file:"lib/fake/mod.ml"
+    "let s seed = Random.State.make [| seed |]" "D003" 0 ();
+  (* engine plumbing and bin/ keep their exemption *)
+  check_rule ~file:"lib/engine/pool.ml" "let t () = Sys.cpu_time ()" "D003" 0
+    ();
+  check_rule ~file:"bin/fake.ml" "let s () = Random.State.make_self_init ()"
+    "D003" 0 ()
+
 let d004 () =
   check_rule ~file:"lib/fake/mod.ml" "let f a b = a == b" "D004" 1 ();
   check_rule ~file:"lib/fake/mod.ml" "let f a b = a != b" "D004" 1 ();
@@ -213,6 +229,50 @@ let suppression_honored () =
   | [ Analysis.Finding.Active ] -> ()
   | _ -> Alcotest.fail "suppression must not reach two lines down"
 
+let suppression_block () =
+  (* One marker covers the whole binding that follows the comment
+     close, however many lines it spans; coverage stops at the next
+     same-or-outer-indentation binding keyword. *)
+  let multi_line =
+    lines
+      [
+        "(* lint: allow D002 - fixture: whole binding is covered *)";
+        "let f h =";
+        "  let acc = ref [] in";
+        "  Hashtbl.iter (fun k v -> acc := (k, v) :: !acc) h;";
+        "  !acc";
+      ]
+  in
+  (match statuses_of ~file:"lib/fake/mod.ml" multi_line "D002" with
+  | [ Analysis.Finding.Suppressed ] -> ()
+  | _ -> Alcotest.fail "line 4 of the covered binding should be Suppressed");
+  (* the next top-level binding is outside the block *)
+  let next_binding =
+    lines
+      [
+        "(* lint: allow D002 - fixture: only the first binding *)";
+        "let f h =";
+        "  Hashtbl.length h";
+        "let g h = Hashtbl.iter ignore h";
+      ]
+  in
+  (match statuses_of ~file:"lib/fake/mod.ml" next_binding "D002" with
+  | [ Analysis.Finding.Active ] -> ()
+  | _ -> Alcotest.fail "the binding after the covered one must stay Active");
+  (* multi-line comment: the block starts after the comment close *)
+  let spanning_comment =
+    lines
+      [
+        "(* lint: allow D002 - fixture: a justification long enough";
+        "   to spill onto a second comment line *)";
+        "let f h =";
+        "  Hashtbl.fold (fun k v a -> (k, v) :: a) h []";
+      ]
+  in
+  match statuses_of ~file:"lib/fake/mod.ml" spanning_comment "D002" with
+  | [ Analysis.Finding.Suppressed ] -> ()
+  | _ -> Alcotest.fail "coverage must start at the comment close, not its open"
+
 let suppression_malformed () =
   (* Assembled by concatenation so the repo lint does not read this
      test's own source as containing a malformed marker. *)
@@ -351,7 +411,7 @@ let catalog_closed () =
       Alcotest.(check bool) (id ^ " catalogued") true (Analysis.Rules.known id))
     [
       "D001"; "D002"; "D003"; "D004"; "D005"; "H001"; "H002"; "H003"; "S001";
-      "E001";
+      "E001"; "T001"; "T002"; "T003"; "E002";
     ]
 
 let suite =
@@ -360,6 +420,8 @@ let suite =
     Alcotest.test_case "D002 raw Hashtbl traversal" `Quick d002;
     Alcotest.test_case "D003 clock/randomness whitelist" `Quick d003;
     Alcotest.test_case "D003 covers lib/serve" `Quick d003_serve;
+    Alcotest.test_case "D003 CPU clocks and self-seeded states" `Quick
+      d003_idents;
     Alcotest.test_case "D004 physical equality" `Quick d004;
     Alcotest.test_case "D004 on the DP kernel files" `Quick d004_kernel;
     Alcotest.test_case "D005 bare polymorphic compare" `Quick d005;
@@ -369,6 +431,8 @@ let suite =
     Alcotest.test_case "H003 paired .mli" `Quick h003;
     Alcotest.test_case "E001 parse failure" `Quick parse_error;
     Alcotest.test_case "suppressions honored" `Quick suppression_honored;
+    Alcotest.test_case "suppression covers the following block" `Quick
+      suppression_block;
     Alcotest.test_case "malformed suppressions flagged" `Quick
       suppression_malformed;
     Alcotest.test_case "baseline add/remove round-trip" `Quick

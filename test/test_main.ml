@@ -65,4 +65,5 @@ let () =
       ("integration", Test_integration.suite);
       ("serve", Test_serve.suite);
       ("analysis.lint", Test_lint.suite);
+      ("analysis.typed", Test_typed_lint.suite);
     ]
