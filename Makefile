@@ -103,4 +103,4 @@ smoke-procs:
 
 clean:
 	dune clean
-	rm -rf _cache
+	rm -rf _cache _cas

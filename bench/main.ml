@@ -983,26 +983,30 @@ let run_pool_bench () =
   let legs =
     (* The domains leg is meaningless on a host that reports one domain
        (workers would multiplex on the submitter's core), but the procs
-       leg always runs: worker *processes* are scheduled by the OS and
-       reach real cores even when [recommended_domain_count]
-       under-reports. *)
+       and remote legs always run: worker *processes* are scheduled by
+       the OS and reach real cores even when [recommended_domain_count]
+       under-reports. The remote leg spawns 2 loopback TCP workers, so
+       its row prices the socket round-trip on top of the Marshal cost
+       the procs row isolates. *)
     (("serial", Engine.Pool.Domains, 1)
      ::
      (if host_domains <= 1 then []
       else [ ("domains", Engine.Pool.Domains, parallel_jobs) ]))
-    @ [ ("procs", Engine.Pool.Procs, parallel_jobs) ]
+    @ [ ("procs", Engine.Pool.Procs, parallel_jobs);
+        ("remote", Engine.Pool.Remote, 2) ]
   in
   let cases =
     List.concat_map
       (fun (label, backend, jobs) ->
         Engine.Pool.with_pool ~backend ~jobs (fun pool ->
-            (* Report the backend actually used: a procs request can
-               degrade to domains on hosts where fork/exec fails. *)
+            (* Report the backend actually used: a procs or remote
+               request can degrade to domains on hosts where fork/exec
+               (or loopback sockets) fail. *)
             let label =
               if
-                String.equal label "procs"
+                (String.equal label "procs" || String.equal label "remote")
                 && Engine.Pool.backend pool = Engine.Pool.Domains
-              then "procs(degraded:domains)"
+              then label ^ "(degraded:domains)"
               else label
             in
             List.map
@@ -1330,6 +1334,14 @@ let rss_mb () =
 
 let run_serve_bench ~flows ~days ~every_s ~shards () =
   section "Streaming serve: wire ingest throughput and re-tier latency";
+  let host_domains = Domain.recommended_domain_count () in
+  (* The multi-shard leg drains shards on a domain pool; on a host that
+     reports a single domain it would only measure multiplexing on the
+     submitter's core, so it is skipped (the golden-equality leg then
+     trivially compares the 1-shard run against itself) and the JSON
+     says why instead of shipping a meaningless speedup. *)
+  let requested_shards = shards in
+  let shards = if host_domains <= 1 then 1 else shards in
   let name = Printf.sprintf "eu_isp@%d" flows in
   let w = Flowgen.Workload.preset name in
   let bin_s = 3600 and bins = 24 in
@@ -1456,6 +1468,13 @@ let run_serve_bench ~flows ~days ~every_s ~shards () =
   let actual_solves = s.Serve.Stats.warm + s.Serve.Stats.cold in
   let cold_expected = 1 + (actual_solves / 24) in
   let drills_only = s.Serve.Stats.cold = cold_expected in
+  (* Shard speedup: 1-shard ingest wall over the sharded leg's. Only
+     meaningful when the sharded leg actually ran on >1 shard. *)
+  let shard_speedup =
+    if shards > 1 && run.Serve.Stats.wall_s > 0. then
+      Some (result1.Serve.Daemon.r_run.Serve.Stats.wall_s /. run.Serve.Stats.wall_s)
+    else None
+  in
   Report.print ppf (Serve.Stats.report s run);
   Format.fprintf ppf "windows verified against cold solve: %d (%s)@."
     s.Serve.Stats.retiers
@@ -1474,7 +1493,17 @@ let run_serve_bench ~flows ~days ~every_s ~shards () =
         ("bin_s", Int bin_s);
         ("bins", Int bins);
         ("flows", Int result.Serve.Daemon.r_flows);
+        ("host_domains", Int host_domains);
         ("shards", Int shards);
+        ("requested_shards", Int requested_shards);
+        ("shard_speedup", opt (num "%.3f") shard_speedup);
+        ( "shard_note",
+          Str
+            (if shards = requested_shards then
+               "multi-shard leg drained on a domain pool"
+             else
+               "host reports a single domain: multi-shard leg skipped, \
+                speedup not measurable") );
         ("wire_bytes", Int wire_bytes);
         ("seq_gaps", Int run.Serve.Stats.seq_gaps);
         ("malformed", Int run.Serve.Stats.malformed);
@@ -1577,15 +1606,17 @@ let run_micro () =
 
 let () =
   (* Must come first: when this executable is re-invoked as an engine
-     worker subprocess (--backend=procs / the pool section), serve
-     tasks and exit before any driver logic runs. *)
+     worker subprocess (--backend=procs / the pool section) or a
+     loopback fleet child (the remote leg), serve tasks and exit
+     before any driver logic runs. *)
   Engine.Proc.maybe_run_worker ();
+  Engine.Remote.maybe_run_worker ();
   let raw_args = List.tl (Array.to_list Sys.argv) in
-  (* Flags mirror tiered-cli: [--cache] turns on the disk tier under
-     _cache/, [--cache-max-bytes=N] additionally bounds it (implying
-     [--cache]), [--backend=procs] runs the experiments section on
-     worker subprocesses. Everything else selects sections or
-     experiment ids. *)
+  (* Flags mirror tiered-cli: [--cache] turns on the content-addressed
+     disk tier under _cas/, [--cache-max-bytes=N] additionally bounds
+     it (implying [--cache]), [--backend=procs] / [--backend=remote]
+     run the experiments section on worker subprocesses / a loopback
+     TCP fleet. Everything else selects sections or experiment ids. *)
   let cache_max_bytes =
     List.fold_left
       (fun acc a ->
@@ -1638,9 +1669,10 @@ let () =
   let serve_shards = int_flag "--serve-shards" 2 in
   let use_cache = List.mem "--cache" raw_args || cache_max_bytes <> None in
   if use_cache then
-    Engine.Cache.enable_disk ?max_bytes:cache_max_bytes ~dir:"_cache" ();
+    Engine.Cache.enable_disk ?max_bytes:cache_max_bytes ~dir:"_cas" ();
   let backend =
     if List.mem "--backend=procs" raw_args then Engine.Pool.Procs
+    else if List.mem "--backend=remote" raw_args then Engine.Pool.Remote
     else Engine.Pool.Domains
   in
   let args =

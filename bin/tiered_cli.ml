@@ -6,15 +6,20 @@
    tiered-cli evaluate NETWORK [--demand ced|logit] [--cost MODEL]
        [--theta T] [--bundles B] [--strategy S] ...
    tiered-cli sweep NETWORK --param alpha|p0|s0 [--strategy S] [--jobs N]
+       [--manifest FILE]
    tiered-cli serve NETWORK [--days D] [--every SECONDS] [--decay KIND] ...
+   tiered-cli worker --listen PORT
 
    Grid-shaped commands (run, sweep) execute on the Engine pool:
    --jobs picks the worker count, --backend picks the execution
-   substrate (worker domains in-process, or worker subprocesses with
-   crash recovery — results are merged in submission order, so any
+   substrate (worker domains in-process, worker subprocesses, or a TCP
+   worker fleet — results are merged in submission order, so any
    --jobs/--backend combination prints byte-identical output) and
-   --cache persists calibrated workloads / fitted markets under
-   _cache/ across invocations. *)
+   --cache persists calibrated workloads / fitted markets in the
+   content-addressed store under _cas/ across invocations. `sweep
+   --manifest FILE` additionally records the grid and each completed
+   cell's artifact digest, so an interrupted sweep resumes computing
+   only the cells whose artifacts the store is missing. *)
 
 open Cmdliner
 open Tiered
@@ -99,32 +104,62 @@ let jobs_arg =
 
 let backend_arg =
   Arg.(value
-       & opt (enum [ ("domains", Engine.Pool.Domains); ("procs", Engine.Pool.Procs) ])
+       & opt (enum [ ("domains", Engine.Pool.Domains); ("procs", Engine.Pool.Procs);
+                     ("remote", Engine.Pool.Remote) ])
            Engine.Pool.Domains
        & info [ "backend" ] ~docv:"B"
            ~doc:"Pool backend: $(b,domains) runs worker domains inside this \
                  process; $(b,procs) forks worker processes of this \
                  executable and recovers from worker crashes (requeue on a \
-                 surviving worker, bounded retries, replacement spawn). \
-                 Output is byte-identical either way.")
+                 surviving worker, bounded retries, replacement spawn); \
+                 $(b,remote) drives a TCP worker fleet (see $(b,--workers)) \
+                 with the same crash recovery plus work stealing, so a slow \
+                 host does not serialize the tail. Output is byte-identical \
+                 in every case.")
+
+let workers_conv =
+  let parse s =
+    match Engine.Remote.parse_spec s with
+    | Ok spec -> Ok spec
+    | Error msg -> Error (`Msg msg)
+  in
+  let print fmt = function
+    | Engine.Remote.Exec n -> Format.fprintf fmt "exec:%d" n
+    | Engine.Remote.Addrs addrs ->
+        Format.pp_print_string fmt
+          (String.concat ","
+             (List.map (fun (h, p) -> Printf.sprintf "%s:%d" h p) addrs))
+  in
+  Arg.conv (parse, print)
+
+let workers_arg =
+  Arg.(value & opt (some workers_conv) None
+       & info [ "workers" ] ~docv:"SPEC"
+           ~doc:"With --backend remote: the worker fleet, either \
+                 $(b,host:port)[$(b,,host:port)…] — addresses of daemons \
+                 started out-of-band with $(b,tiered-cli worker --listen \
+                 PORT) — or $(b,exec:N) to spawn $(i,N) loopback worker \
+                 children of this executable. Defaults to $(b,exec:)$(i,jobs).")
 
 let worker_retries_arg =
   Arg.(value & opt int 2
        & info [ "worker-retries" ] ~docv:"N"
-           ~doc:"With --backend procs: how many times a task whose worker \
-                 died is re-executed before the run fails.")
+           ~doc:"With --backend procs or remote: how many times a task whose \
+                 worker died is re-executed before the run fails.")
 
 let task_timeout_arg =
   Arg.(value & opt (some float) None
        & info [ "task-timeout" ] ~docv:"SECONDS"
-           ~doc:"With --backend procs: kill and replace a worker whose task \
-                 runs longer than $(docv) (the task is retried like a crash).")
+           ~doc:"With --backend procs or remote: kill and replace a worker \
+                 whose task runs longer than $(docv) (the task is retried \
+                 like a crash).")
 
 let cache_arg =
   Arg.(value & flag
        & info [ "cache" ]
            ~doc:"Persist expensive artifacts (calibrated workloads, fitted \
-                 markets) on disk under _cache/ and reuse them across runs.")
+                 markets) in the content-addressed store under _cas/ and \
+                 reuse them across runs.")
 
 let cache_max_bytes_arg =
   Arg.(value & opt (some int) None
@@ -135,7 +170,7 @@ let cache_max_bytes_arg =
 
 let enable_cache cache max_bytes =
   if cache || max_bytes <> None then
-    Engine.Cache.enable_disk ?max_bytes ~dir:"_cache" ()
+    Engine.Cache.enable_disk ?max_bytes ~dir:"_cas" ()
 
 let cost_model_of ~cost ~theta =
   let theta_or default = Option.value ~default theta in
@@ -188,8 +223,8 @@ let run_cmd =
          & info [ "metrics-json" ] ~docv:"FILE"
              ~doc:"Dump the run metrics as JSON into $(docv).")
   in
-  let run ids csv_dir md_dir backend retries timeout_s jobs cache cache_max_bytes
-      show_metrics metrics_json =
+  let run ids csv_dir md_dir backend retries timeout_s jobs workers cache
+      cache_max_bytes show_metrics metrics_json =
     enable_cache cache cache_max_bytes;
     let experiments =
       match ids with
@@ -215,8 +250,8 @@ let run_cmd =
     in
     let metrics = Engine.Metrics.create () in
     let results =
-      Runner.run_experiments ~backend ~retries ?timeout_s ~jobs ~metrics
-        experiments
+      Runner.run_experiments ~backend ~retries ?timeout_s ~jobs ?workers
+        ~metrics experiments
     in
     List.iter
       (fun (r : Runner.result) ->
@@ -248,8 +283,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Regenerate paper tables/figures (all by default).")
     Term.(const run $ ids_arg $ csv_arg $ md_arg $ backend_arg
-          $ worker_retries_arg $ task_timeout_arg $ jobs_arg $ cache_arg
-          $ cache_max_bytes_arg $ metrics_arg $ metrics_json_arg)
+          $ worker_retries_arg $ task_timeout_arg $ jobs_arg $ workers_arg
+          $ cache_arg $ cache_max_bytes_arg $ metrics_arg $ metrics_json_arg)
 
 (* --- dataset ---------------------------------------------------------------- *)
 
@@ -320,8 +355,27 @@ let sweep_cmd =
          & opt (some (enum [ ("alpha", `Alpha); ("p0", `P0); ("s0", `S0) ])) None
          & info [ "param" ] ~docv:"P" ~doc:"Parameter to sweep: alpha, p0 or s0.")
   in
-  let run network demand s0 strategy param backend retries timeout_s jobs cache
-      cache_max_bytes =
+  let manifest_arg =
+    Arg.(value & opt (some string) None
+         & info [ "manifest" ] ~docv:"FILE"
+             ~doc:"Write (or resume) a sweep manifest at $(docv): a \
+                   deterministic grid file naming every cell with its input \
+                   digest, appended with each completed cell's artifact \
+                   digest. On re-invocation only cells whose artifacts are \
+                   missing from the content-addressed store are scheduled; \
+                   the assembled table is byte-identical to an uninterrupted \
+                   serial run. Implies --cache.")
+  in
+  let manifest_chunk_arg =
+    Arg.(value & opt (some int) None
+         & info [ "manifest-chunk" ] ~docv:"K"
+             ~doc:"With --manifest: compute at most $(docv) missing cells \
+                   this invocation, then stop (without printing the table \
+                   unless the grid completed). Lets a long sweep run as a \
+                   sequence of resumable slices.")
+  in
+  let run network demand s0 strategy param backend retries timeout_s jobs
+      workers cache cache_max_bytes manifest chunk =
     enable_cache cache cache_max_bytes;
     let values, fit =
       match param with
@@ -338,30 +392,117 @@ let sweep_cmd =
     (* One grid cell per swept value: fit + capture across the bundle
        counts. Cells are independent, so they go through the pool;
        rows come back in value order regardless of jobs or backend. *)
-    let rows =
-      Engine.Pool.with_pool ~backend ~retries ?timeout_s ~jobs (fun pool ->
-          Engine.Pool.map_list pool
-            (fun v ->
-              let market = fit v in
-              Report.cell_f v
-              :: List.map
-                   (fun b ->
-                     Report.cell_f
-                       (Sensitivity.capture_at market strategy ~n_bundles:b))
-                   Experiment.Defaults.bundle_counts)
-            values)
+    let compute v =
+      let market = fit v in
+      Report.cell_f v
+      :: List.map
+           (fun b ->
+             Report.cell_f
+               (Sensitivity.capture_at market strategy ~n_bundles:b))
+           Experiment.Defaults.bundle_counts
     in
-    Report.print ppf
-      (Report.make
-         ~title:(Printf.sprintf "capture on %s while sweeping the parameter" network)
-         ~header:("value" :: List.map string_of_int Experiment.Defaults.bundle_counts)
-         rows)
+    let map_cells f cells =
+      Engine.Pool.with_pool ~backend ~retries ?timeout_s ~jobs ?workers
+        (fun pool -> Engine.Pool.map_list pool f cells)
+    in
+    let print_table rows =
+      Report.print ppf
+        (Report.make
+           ~title:(Printf.sprintf "capture on %s while sweeping the parameter" network)
+           ~header:("value" :: List.map string_of_int Experiment.Defaults.bundle_counts)
+           rows)
+    in
+    match manifest with
+    | None -> print_table (map_cells compute values)
+    | Some path ->
+        (* The artifact store is the resume source of truth, so the
+           disk tier must be on even without --cache. *)
+        if Engine.Cache.disk_dir () = None then
+          Engine.Cache.enable_disk ?max_bytes:cache_max_bytes ~dir:"_cas" ();
+        let artifacts =
+          Engine.Cache.create ~name:"sweep-cell" ~schema:"sweep-cell/1" ()
+        in
+        let param_name =
+          match param with `Alpha -> "alpha" | `P0 -> "p0" | `S0 -> "s0"
+        in
+        let demand_name =
+          match demand with `Ced -> "ced" | `Logit -> "logit" | `Linear -> "linear"
+        in
+        (* Everything that determines a cell's bytes, in one key. *)
+        let cell_key v =
+          ( "sweep-cell", network, demand_name, s0, Strategy.name strategy,
+            param_name, v, Experiment.Defaults.bundle_counts )
+        in
+        let cells =
+          List.mapi
+            (fun i v ->
+              { Engine.Manifest.index = i;
+                name = Printf.sprintf "%s=%.12g" param_name v;
+                input_digest = Engine.Cache.key_digest (cell_key v) })
+            values
+        in
+        let m =
+          match Engine.Manifest.load_or_create ~path cells with
+          | m -> m
+          | exception Failure msg ->
+              Format.eprintf "sweep: %s@." msg;
+              exit 1
+        in
+        Fun.protect ~finally:(fun () -> Engine.Manifest.close m) @@ fun () ->
+        let varr = Array.of_list values in
+        let restored =
+          Array.map (fun v -> Engine.Cache.disk_get artifacts ~key:(cell_key v))
+            varr
+        in
+        Array.iteri
+          (fun i r ->
+            match r with
+            | Some (_, digest) ->
+                Engine.Manifest.record_done m ~index:i ~artifact:digest
+            | None -> ())
+          restored;
+        let missing =
+          List.filter_map
+            (fun i -> if restored.(i) = None then Some (i, varr.(i)) else None)
+            (List.init (Array.length varr) Fun.id)
+        in
+        let scheduled =
+          match chunk with
+          | Some k when k >= 0 -> List.filteri (fun j _ -> j < k) missing
+          | _ -> missing
+        in
+        let computed =
+          match scheduled with
+          | [] -> []
+          | scheduled -> map_cells (fun (_, v) -> compute v) scheduled
+        in
+        List.iter2
+          (fun (i, v) row ->
+            match Engine.Cache.disk_put artifacts ~key:(cell_key v) row with
+            | Some digest ->
+                Engine.Manifest.record_done m ~index:i ~artifact:digest
+            | None -> ())
+          scheduled computed;
+        let n = Array.length varr in
+        let n_restored = n - List.length missing in
+        let n_computed = List.length scheduled in
+        let n_remaining = List.length missing - n_computed in
+        Format.eprintf
+          "manifest %s: %d cells, %d restored from the store, %d computed, \
+           %d remaining@."
+          path n n_restored n_computed n_remaining;
+        if n_remaining = 0 then begin
+          let rows = Array.map (fun r -> Option.map fst r) restored in
+          List.iter2 (fun (i, _) row -> rows.(i) <- Some row) scheduled computed;
+          print_table (List.filter_map Fun.id (Array.to_list rows))
+        end
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Sweep a model parameter and tabulate profit capture.")
     Term.(const run $ network_arg $ demand_arg $ s0_arg $ strategy_arg $ param_arg
           $ backend_arg $ worker_retries_arg $ task_timeout_arg $ jobs_arg
-          $ cache_arg $ cache_max_bytes_arg)
+          $ workers_arg $ cache_arg $ cache_max_bytes_arg $ manifest_arg
+          $ manifest_chunk_arg)
 
 (* --- trace ----------------------------------------------------------------------- *)
 
@@ -642,17 +783,49 @@ let serve_cmd =
           $ amplitude_arg $ peak_arg $ cold_every_arg $ cache_arg
           $ cache_max_bytes_arg $ json_arg $ from_arg $ shards_arg)
 
+(* --- worker -------------------------------------------------------------------- *)
+
+let worker_cmd =
+  let listen_arg =
+    Arg.(required & opt (some int) None
+         & info [ "listen" ] ~docv:"PORT"
+             ~doc:"TCP port to listen on (all interfaces).")
+  in
+  let run port =
+    if port < 1 || port > 65535 then begin
+      Format.eprintf "worker: --listen must be a port in 1..65535@.";
+      exit Cmd.Exit.cli_error
+    end;
+    try Engine.Remote.serve_forever ~port
+    with Unix.Unix_error (e, _, _) ->
+      (* EADDRINUSE from a daemon already on the port is the common
+         operator mistake; report it as a CLI error, not a crash. *)
+      Format.eprintf "worker: cannot listen on port %d: %s@." port
+        (Unix.error_message e);
+      exit Cmd.Exit.cli_error
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:"Run a standalone fleet worker daemon: listen for a parent \
+             driving $(b,--backend remote --workers host:port,…) and serve \
+             its task and artifact frames, one parent connection at a time, \
+             forever. In-memory artifact caches stay warm across \
+             connections.")
+    Term.(const run $ listen_arg)
+
 (* --- main ---------------------------------------------------------------------- *)
 
 let () =
   (* Must come first: when this executable is re-invoked as an engine
-     worker subprocess (--backend procs), serve tasks and exit before
-     any CLI parsing happens. *)
+     worker subprocess (--backend procs) or a loopback fleet child
+     (--backend remote), serve tasks and exit before any CLI parsing
+     happens. *)
   Engine.Proc.maybe_run_worker ();
+  Engine.Remote.maybe_run_worker ();
   let info =
     Cmd.info "tiered-cli" ~version:"1.0.0"
       ~doc:"Tiered transit pricing: reproduction of Valancius et al., SIGCOMM 2011."
   in
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; run_cmd; dataset_cmd; evaluate_cmd; sweep_cmd; trace_cmd; loading_cmd;
-         tiers_cmd; serve_cmd ]))
+         tiers_cmd; serve_cmd; worker_cmd ]))

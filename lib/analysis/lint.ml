@@ -7,7 +7,7 @@ type outcome = {
 
 let skip_dir name =
   match name with
-  | "_build" | ".git" | "_cache" | "_opam" -> true
+  | "_build" | ".git" | "_cache" | "_cas" | "_opam" -> true
   | _ -> false
 
 let is_source name =

@@ -12,8 +12,8 @@ type outcome = {
 
 val scan_files : root:string -> dirs:string list -> string list
 (** All [.ml]/[.mli] files under [root/dir] for each dir, as sorted
-    '/'-separated paths relative to [root].  [_build], [.git] and
-    [_cache] subtrees are skipped. *)
+    '/'-separated paths relative to [root].  [_build], [.git],
+    [_cache] and [_cas] subtrees are skipped. *)
 
 val check_source :
   file:string -> string -> (Finding.t * Finding.status) list

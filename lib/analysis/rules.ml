@@ -159,7 +159,8 @@ let timing_whitelisted file =
 
 (* H001 / D001-stdout: the worker entry point must terminate the
    process and re-plumb stdout; everything else in lib/ may not. *)
-let worker_entry file = file = "lib/engine/proc.ml"
+let worker_entry file =
+  file = "lib/engine/proc.ml" || file = "lib/engine/remote.ml"
 
 (* --- ident classification ------------------------------------------------- *)
 

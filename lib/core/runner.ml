@@ -11,7 +11,8 @@ type result = {
    cells interleave with everything else instead of pinning a domain.
    Outputs are sliced back per experiment and assembled in submission
    order, which keeps the rendered bytes independent of [jobs]. *)
-let run_experiments ?backend ?retries ?timeout_s ?jobs ?metrics experiments =
+let run_experiments ?backend ?retries ?timeout_s ?jobs ?workers ?metrics
+    experiments =
   let exps = Array.of_list experiments in
   let plans =
     Array.map (fun (e : Experiment.t) -> Array.of_list (e.Experiment.cells ())) exps
@@ -23,7 +24,8 @@ let run_experiments ?backend ?retries ?timeout_s ?jobs ?metrics experiments =
   in
   let t0 = Unix.gettimeofday () in
   let outputs, n_jobs, domain_busy, used_backend, worker_restarts =
-    Engine.Pool.with_pool ?backend ?retries ?timeout_s ?jobs (fun pool ->
+    Engine.Pool.with_pool ?backend ?retries ?timeout_s ?jobs ?workers
+      (fun pool ->
         let outputs =
           Engine.Pool.map pool
             (fun (c : Experiment.cell) ->
@@ -119,12 +121,13 @@ let metrics_reports (s : Engine.Metrics.snapshot) =
   in
   let caches =
     Report.make ~title:"Artifact caches"
-      ~header:[ "cache"; "hits"; "disk hits"; "misses"; "hit rate" ]
+      ~header:
+        [ "cache"; "hits"; "disk hits"; "remote hits"; "misses"; "hit rate" ]
       (Engine.Metrics.cache_rows s)
       ~notes:
         [
-          "misses are artifact computations; enable the disk tier with \
-           --cache to persist them under _cache/";
+          "misses are artifact computations; enable the content-addressed \
+           disk tier with --cache to persist them under _cas/";
         ]
   in
   let disk =
@@ -136,7 +139,7 @@ let metrics_reports (s : Engine.Metrics.snapshot) =
             ~header:[ "quantity"; "value" ]
             [
               [ "directory"; d.Engine.Cache.dir ];
-              [ "payload bytes"; string_of_int d.Engine.Cache.bytes ];
+              [ "object bytes"; string_of_int d.Engine.Cache.bytes ];
               [
                 "max bytes";
                 (match d.Engine.Cache.max_bytes with
@@ -147,7 +150,7 @@ let metrics_reports (s : Engine.Metrics.snapshot) =
             ]
             ~notes:
               [
-                "least-recently-used payloads are evicted first once the \
+                "least-recently-used objects are evicted first once the \
                  tier overflows --cache-max-bytes";
               ];
         ]

@@ -1,10 +1,15 @@
-type stats = { hits : int; disk_hits : int; misses : int }
+type stats = { hits : int; disk_hits : int; remote_hits : int; misses : int }
 
 type disk_stats = {
   dir : string;
   bytes : int;
   max_bytes : int option;
   evictions : int;
+}
+
+type remote_tier = {
+  fetch : cache:string -> key_digest:string -> string option;
+  publish : cache:string -> key_digest:string -> payload:string -> unit;
 }
 
 type 'v slot =
@@ -21,6 +26,7 @@ type 'v t = {
   table : (string, 'v slot) Hashtbl.t;  (* key digest -> artifact *)
   mutable hits : int;
   mutable disk_hits : int;
+  mutable remote_hits : int;
   mutable misses : int;
 }
 
@@ -31,6 +37,7 @@ let registry : (string * (unit -> stats) * (unit -> unit)) list ref = ref []
 let disk : string option ref = ref None
 let disk_max : int option ref = ref None
 let disk_evictions = ref 0
+let remote : remote_tier option ref = ref None
 
 let with_lock m f =
   Mutex.lock m;
@@ -49,6 +56,8 @@ let disable_disk () =
 
 let disk_dir () = with_lock registry_mutex (fun () -> !disk)
 let disk_max_bytes () = with_lock registry_mutex (fun () -> !disk_max)
+let set_remote_tier rt = with_lock registry_mutex (fun () -> remote := rt)
+let remote_tier () = with_lock registry_mutex (fun () -> !remote)
 
 let register name stats clear =
   with_lock registry_mutex (fun () ->
@@ -70,13 +79,19 @@ let key_digest key = Digest.to_hex (Digest.string (Marshal.to_string key []))
 
 let stats t =
   with_lock t.mutex (fun () ->
-      { hits = t.hits; disk_hits = t.disk_hits; misses = t.misses })
+      {
+        hits = t.hits;
+        disk_hits = t.disk_hits;
+        remote_hits = t.remote_hits;
+        misses = t.misses;
+      })
 
 let clear t =
   with_lock t.mutex (fun () ->
       Hashtbl.reset t.table;
       t.hits <- 0;
       t.disk_hits <- 0;
+      t.remote_hits <- 0;
       t.misses <- 0)
 
 let create ?(schema = "1") ~name () =
@@ -89,6 +104,7 @@ let create ?(schema = "1") ~name () =
       table = Hashtbl.create 16;
       hits = 0;
       disk_hits = 0;
+      remote_hits = 0;
       misses = 0;
     }
   in
@@ -97,34 +113,49 @@ let create ?(schema = "1") ~name () =
 
 (* --- disk tier ----------------------------------------------------------- *)
 
-(* A payload is the marshalled pair (schema stamp, artifact). Reading
-   anything unexpected — missing file, truncated payload, foreign
-   schema — is a miss, never an error. *)
+(* The disk tier is content-addressed (see {!Cas}): a payload — the
+   marshalled pair (schema stamp, artifact) — lives in an object file
+   named by its own digest, and the cache's key digest points at it
+   through a tiny reference file. Identical artifacts written under
+   different keys (or by different caches, processes or hosts) share
+   one object. Reading anything unexpected — missing ref or object,
+   digest mismatch, truncated payload, foreign schema — is a miss,
+   never an error. *)
 
-let payload_path ~dir t digest =
-  Filename.concat dir (Printf.sprintf "%s-%s.bin" t.name digest)
+let payload_of t v =
+  match Marshal.to_string (t.schema, v) [] with
+  | payload -> Some payload
+  | exception _ -> None
+
+let of_payload t payload =
+  match (Marshal.from_string payload 0 : string * 'v) with
+  | stamp, v when String.equal stamp t.schema -> Some v
+  | _ -> None
+  | exception _ -> None
 
 (* --- size accounting and LRU eviction ------------------------------------ *)
 
-(* The disk tier is bounded by an optional byte budget. Every payload
+(* The disk tier is bounded by an optional byte budget. Every object
    file carries a recency stamp — a strictly increasing integer kept
-   in a [.stamp] sidecar next to the payload, allocated from a
+   in a [.stamp] sidecar next to the object, allocated from a
    [lru.next] counter file in the cache directory. mtime is useless
    here: OCaml's [Unix.stat] truncates [st_mtime] to whole seconds, so
    a hit in the same second as the write never looked more recent and
-   a hot payload could be evicted as "oldest". The counter survives
+   a hot object could be evicted as "oldest". The counter survives
    the process (it lives on disk) and is additionally floored by an
    in-process counter, so stamps are strictly monotonic within a
    process and monotone-enough across concurrent processes (a lost
    race costs at most one eviction-order tie, broken by file name).
    When the tier grows past [max_bytes] the least-recently-used
-   payloads are removed first. Eviction is best-effort and crash-safe:
+   objects are removed first. Eviction is best-effort and crash-safe:
    losing a file to a concurrent reader, a permission error or a crash
-   mid-eviction only ever costs a recomputation, never raises — and a
-   payload that cannot be removed is skipped without being counted as
+   mid-eviction only ever costs a recomputation, never raises — and an
+   object that cannot be removed is skipped without being counted as
    freed, so the loop keeps evicting until the budget truly holds.
    Ties on the stamp break by file name so the eviction order is
-   deterministic. *)
+   deterministic. References are not budgeted (they are ~32 bytes);
+   references left dangling by an eviction are pruned afterwards and
+   read as misses until then. *)
 
 let eviction_mutex = Mutex.create ()
 let stamp_mutex = Mutex.create ()
@@ -159,11 +190,11 @@ let next_stamp dir =
       write_int_file (counter_path dir) n;
       n)
 
-(* Refresh a payload's recency: write a fresh stamp into its sidecar.
+(* Refresh an object's recency: write a fresh stamp into its sidecar.
    Called on every write and every disk hit. *)
 let touch ~dir path = write_int_file (stamp_path path) (next_stamp dir)
 
-let is_payload name = Filename.check_suffix name ".bin"
+let is_payload = Cas.is_object
 
 let scan_payloads dir =
   match Sys.readdir dir with
@@ -177,7 +208,7 @@ let scan_payloads dir =
                match Unix.stat path with
                | exception Unix.Unix_error _ -> None
                | st when st.Unix.st_kind = Unix.S_REG ->
-                   (* A payload without a sidecar (crash between rename
+                   (* An object without a sidecar (crash between rename
                       and stamp) reads as stamp 0: oldest, evicted
                       first — deterministically. *)
                    Some (path, st.Unix.st_size, read_int_file (stamp_path path))
@@ -188,7 +219,7 @@ let disk_usage_bytes () =
   | None -> 0
   | Some dir -> List.fold_left (fun acc (_, size, _) -> acc + size) 0 (scan_payloads dir)
 
-(* Test hook: lets the regression suite make one payload unremovable
+(* Test hook: lets the regression suite make one object unremovable
    (simulating a permission error / concurrent-reader race) without
    depending on filesystem permissions, which root bypasses. *)
 let remove_hook : (string -> unit) option ref = ref None
@@ -203,7 +234,7 @@ let enforce_budget () =
           let entries = scan_payloads dir in
           let total = List.fold_left (fun acc (_, size, _) -> acc + size) 0 entries in
           if total > max_bytes then begin
-            (* Oldest stamp first; the just-written payload is evicted
+            (* Oldest stamp first; the just-written object is evicted
                too when it alone overflows the budget. *)
             let by_age =
               List.sort
@@ -228,9 +259,11 @@ let enforce_budget () =
                          remaining - size
                      | exception Sys_error _ -> remaining)
                  total by_age);
-            if !evicted > 0 then
+            if !evicted > 0 then begin
               with_lock registry_mutex (fun () ->
-                  disk_evictions := !disk_evictions + !evicted)
+                  disk_evictions := !disk_evictions + !evicted);
+              Cas.prune_refs ~dir
+            end
           end)
   | _ -> ()
 
@@ -246,65 +279,112 @@ let disk_stats () =
           evictions = with_lock registry_mutex (fun () -> !disk_evictions);
         }
 
-let disk_read t digest =
-  match disk_dir () with
-  | None -> None
-  | Some dir -> (
-      let path = payload_path ~dir t digest in
-      match open_in_bin path with
-      | exception Sys_error _ -> None
-      | ic -> (
-          match
-            Fun.protect
-              ~finally:(fun () -> close_in_noerr ic)
-              (fun () ->
-                match (Marshal.from_channel ic : string * 'v) with
-                | stamp, v when String.equal stamp t.schema -> Some v
-                | _ -> None
-                | exception _ -> None)
-          with
-          | Some v ->
-              (* Refresh the LRU stamp: a hit makes the payload recent. *)
-              touch ~dir path;
-              Some v
-          | None -> None))
-
 let ensure_dir dir =
   if not (Sys.file_exists dir) then
     try Sys.mkdir dir 0o755 with Sys_error _ -> ()
 
-let disk_write t digest v =
+(* Store raw payload bytes and point [cache]/[key_digest] at the
+   resulting object. Returns the object (content) digest. *)
+let disk_write_payload ~cache key_digest payload =
   match disk_dir () with
-  | None -> ()
+  | None -> None
   | Some dir -> (
       ensure_dir dir;
-      let path = payload_path ~dir t digest in
-      let tmp = path ^ ".tmp" in
-      match open_out_bin tmp with
-      | exception Sys_error _ -> ()
-      | oc -> (
-          let ok =
-            Fun.protect
-              ~finally:(fun () -> close_out_noerr oc)
-              (fun () ->
-                match Marshal.to_channel oc (t.schema, v) [] with
-                | () -> true
-                | exception _ -> false)
-          in
-          if ok then begin
-            (try Sys.rename tmp path with Sys_error _ -> ());
-            touch ~dir path;
-            enforce_budget ()
-          end
-          else try Sys.remove tmp with Sys_error _ -> ()))
+      match Cas.write_object ~dir ~payload with
+      | None -> None
+      | Some od ->
+          Cas.write_ref ~dir ~cache ~key_digest ~digest:od;
+          touch ~dir (Cas.object_path ~dir od);
+          enforce_budget ();
+          Some od)
+
+(* Raw payload bytes under a key, if both the reference and a
+   digest-verified object exist. *)
+let raw_payload ~cache ~key_digest =
+  match disk_dir () with
+  | None -> None
+  | Some dir -> (
+      match Cas.read_ref ~dir ~cache ~key_digest with
+      | None -> None
+      | Some od -> (
+          match Cas.read_object ~dir od with
+          | None -> None
+          | Some payload ->
+              (* Refresh the LRU stamp: a hit makes the object recent. *)
+              touch ~dir (Cas.object_path ~dir od);
+              Some payload))
+
+let store_raw_payload ~cache ~key_digest ~payload =
+  ignore (disk_write_payload ~cache key_digest payload : string option)
+
+let disk_read t digest =
+  match raw_payload ~cache:t.name ~key_digest:digest with
+  | None -> None
+  | Some payload -> of_payload t payload
+
+let disk_write t digest v =
+  match payload_of t v with
+  | None -> None
+  | Some payload -> disk_write_payload ~cache:t.name digest payload
 
 let disk_remove t digest =
+  (* Only the reference goes: the object may be shared with other keys
+     and is reclaimed by the LRU budget. A recomputation of the same
+     artifact re-links the same object. *)
   match disk_dir () with
   | None -> ()
-  | Some dir ->
-      let path = payload_path ~dir t digest in
-      (try Sys.remove path with Sys_error _ -> ());
-      (try Sys.remove (stamp_path path) with Sys_error _ -> ())
+  | Some dir -> Cas.remove_ref ~dir ~cache:t.name ~key_digest:digest
+
+(* --- remote tier ---------------------------------------------------------- *)
+
+(* Inside a fleet worker, {!Transport.serve_worker} installs a hook
+   that forwards misses to the parent process over the task channel;
+   everywhere else the hook is [None] and this tier is free. *)
+
+let remote_read t digest =
+  match remote_tier () with
+  | None -> None
+  | Some rt -> (
+      match rt.fetch ~cache:t.name ~key_digest:digest with
+      | None -> None
+      | Some payload -> (
+          match of_payload t payload with
+          | Some v ->
+              (* Adopt the artifact locally so later lookups (and the
+                 LRU budget) see it without another round-trip. *)
+              ignore (disk_write_payload ~cache:t.name digest payload : string option);
+              Some v
+          | None -> None))
+
+let remote_publish t digest payload =
+  match remote_tier () with
+  | None -> ()
+  | Some rt -> (
+      (* Best-effort: a parent that died mid-publish already costs the
+         worker its connection; the computed value is still good. *)
+      try rt.publish ~cache:t.name ~key_digest:digest ~payload
+      with End_of_file | Unix.Unix_error _ | Sys_error _ -> ())
+
+(* --- manifest support ----------------------------------------------------- *)
+
+let disk_get t ~key =
+  match disk_dir () with
+  | None -> None
+  | Some dir -> (
+      let kd = key_digest key in
+      match Cas.read_ref ~dir ~cache:t.name ~key_digest:kd with
+      | None -> None
+      | Some od -> (
+          match Cas.read_object ~dir od with
+          | None -> None
+          | Some payload -> (
+              match of_payload t payload with
+              | Some v ->
+                  touch ~dir (Cas.object_path ~dir od);
+                  Some (v, od)
+              | None -> None)))
+
+let disk_put t ~key v = disk_write t (key_digest key) v
 
 (* --- lookup -------------------------------------------------------------- *)
 
@@ -335,20 +415,25 @@ let find_or_add t ~key compute =
       Mutex.unlock t.mutex;
       let outcome =
         match disk_read t digest with
-        | Some v -> Ok (v, true)
+        | Some v -> Ok (v, `Disk)
         | None -> (
-            match compute () with
-            | v -> Ok ((v : _), false)
-            | exception exn ->
-                let bt = Printexc.get_raw_backtrace () in
-                Error (exn, bt))
+            match remote_read t digest with
+            | Some v -> Ok (v, `Remote)
+            | None -> (
+                match compute () with
+                | v -> Ok ((v : _), `Fresh)
+                | exception exn ->
+                    let bt = Printexc.get_raw_backtrace () in
+                    Error (exn, bt)))
       in
       Mutex.lock t.mutex;
       (match outcome with
-      | Ok (v, from_disk) ->
+      | Ok (v, src) ->
           Hashtbl.replace t.table digest (Ready v);
-          if from_disk then t.disk_hits <- t.disk_hits + 1
-          else t.misses <- t.misses + 1
+          (match src with
+          | `Disk -> t.disk_hits <- t.disk_hits + 1
+          | `Remote -> t.remote_hits <- t.remote_hits + 1
+          | `Fresh -> t.misses <- t.misses + 1)
       | Error _ ->
           (* Release the claim so waiters retry (and re-raise in their
              own context if the computation is deterministic). *)
@@ -356,13 +441,30 @@ let find_or_add t ~key compute =
       Condition.broadcast t.filled;
       Mutex.unlock t.mutex;
       match outcome with
-      | Ok (v, from_disk) ->
-          if not from_disk then disk_write t digest v;
+      | Ok (v, `Fresh) ->
+          (match payload_of t v with
+          | None -> ()
+          | Some payload ->
+              ignore
+                (disk_write_payload ~cache:t.name digest payload
+                  : string option);
+              remote_publish t digest payload);
           v
+      | Ok (v, (`Disk | `Remote)) -> v
       | Error (exn, bt) -> Printexc.raise_with_backtrace exn bt)
 
 module Private = struct
   let set_remove_hook h = with_lock eviction_mutex (fun () -> remove_hook := h)
+
+  let payload_digest t v =
+    match payload_of t v with
+    | Some payload -> Cas.digest_hex payload
+    | None -> invalid_arg "Cache.Private.payload_digest: unmarshalable artifact"
+
+  let payload_of_value t v =
+    match payload_of t v with
+    | Some payload -> payload
+    | None -> invalid_arg "Cache.Private.payload_of_value: unmarshalable artifact"
 end
 
 let invalidate t ~key =

@@ -6,65 +6,88 @@
     alpha, p0, cost model, theta, seed, … — digested to a fixed-size
     identifier, so call sites never hand-build string keys.
 
-    Two tiers:
+    Three tiers:
     - an in-memory tier (domain-safe hash table) that returns the
-      {e physically} same artifact on repeat lookups, and
-    - an optional on-disk tier ([Marshal] under a key digest inside a
-      cache directory, [_cache/] by default), shared across processes
-      and invalidated by a per-cache schema version stamp: a payload
-      written under a different schema is ignored and recomputed.
+      {e physically} same artifact on repeat lookups;
+    - an optional on-disk tier — a {e content-addressed store} (see
+      {!Cas}): each payload lives in an immutable object file named by
+      the digest of its own bytes ([_cas/cas-<digest>.bin], written
+      atomically via tmp + rename), and the key digest points at it
+      through a tiny reference file, so identical artifacts written
+      under any number of keys, by any number of processes or hosts,
+      occupy one object. Payloads carry a per-cache schema version
+      stamp: a payload written under a different schema is ignored and
+      recomputed. Objects are digest-verified on read and corrupt ones
+      self-repair (removed, reported as a miss);
+    - an optional {e remote} tier: inside a fleet worker,
+      {!Transport.serve_worker} installs a {!remote_tier} hook that
+      forwards misses to the parent process over the worker's task
+      channel and publishes fresh artifacts back, so a cell computed
+      on one host is never recomputed on another.
 
     The disk tier is off by default and switched on globally with
     {!enable_disk} (the CLI's [--cache] flag). Corrupt or unreadable
     payloads are treated as misses, never as errors.
 
     The disk tier can additionally be bounded by a byte budget
-    ([~max_bytes], the CLI's [--cache-max-bytes]): payloads carry a
+    ([~max_bytes], the CLI's [--cache-max-bytes]): objects carry a
     strictly monotonic recency stamp (an integer in a [.stamp] sidecar
     backed by a per-directory counter file — {e not} mtime, which
     OCaml truncates to whole seconds and therefore cannot tell a
     same-second hit from the original write), refreshed on every write
     and every disk hit. When the tier overflows, the
-    least-recently-used payloads are evicted first — deterministically
+    least-recently-used objects are evicted first — deterministically
     (stamp, then file name) and best-effort (losing a race with a
-    reader only costs a recomputation; a payload that cannot be
+    reader only costs a recomputation; an object that cannot be
     removed is skipped without being counted as freed, so the tier
-    still converges to the budget). *)
+    still converges to the budget). References left dangling by an
+    eviction read as misses and are pruned opportunistically. *)
 
 type 'v t
 
 type stats = {
   hits : int;  (** in-memory tier hits *)
   disk_hits : int;  (** disk tier hits (memory tier missed) *)
-  misses : int;  (** both tiers missed: the artifact was computed *)
+  remote_hits : int;
+      (** artifacts fetched from the parent over the worker channel *)
+  misses : int;  (** every tier missed: the artifact was computed *)
 }
 
 type disk_stats = {
   dir : string;
-  bytes : int;  (** total payload bytes currently on disk *)
+  bytes : int;  (** total object bytes currently on disk *)
   max_bytes : int option;  (** configured budget, if any *)
-  evictions : int;  (** payloads evicted since {!enable_disk} *)
+  evictions : int;  (** objects evicted since {!enable_disk} *)
+}
+
+type remote_tier = {
+  fetch : cache:string -> key_digest:string -> string option;
+      (** raw payload bytes for a key, or [None] *)
+  publish : cache:string -> key_digest:string -> payload:string -> unit;
+      (** offer a freshly computed payload to the far side *)
 }
 
 val create : ?schema:string -> name:string -> unit -> 'v t
 (** A new cache holding artifacts of one type. [name] namespaces disk
-    payloads and labels the cache in {!all_stats}; [schema] (default
-    ["1"]) stamps disk payloads — bump it whenever the artifact's
+    references and labels the cache in {!all_stats}; [schema] (default
+    ["1"]) stamps payloads — bump it whenever the artifact's
     representation changes. Caches register themselves for
     {!all_stats} / {!clear_all}. *)
 
 val find_or_add : 'v t -> key:'k -> (unit -> 'v) -> 'v
-(** Memory tier, then disk tier (when enabled), then compute — and
-    populate the tiers that missed. A missing key is claimed before
-    computing: concurrent lookups of the same key block on the single
-    in-flight computation instead of duplicating it, so every artifact
-    is computed once and repeat lookups stay physically equal.
-    Independent keys never wait on each other. If the computation
-    raises, the claim is released (waiters retry) and the exception
-    propagates. *)
+(** Memory tier, then disk tier (when enabled), then remote tier (when
+    hooked), then compute — and populate the tiers that missed. A
+    missing key is claimed before computing: concurrent lookups of the
+    same key block on the single in-flight computation instead of
+    duplicating it, so every artifact is computed once and repeat
+    lookups stay physically equal. Independent keys never wait on each
+    other. If the computation raises, the claim is released (waiters
+    retry) and the exception propagates. *)
 
 val invalidate : 'v t -> key:'k -> unit
-(** Drop one key from both tiers; the next lookup recomputes. *)
+(** Drop one key: the in-memory entry and the disk {e reference} (the
+    content object may be shared and is left to the LRU budget). The
+    next lookup recomputes. *)
 
 val clear : 'v t -> unit
 (** Drop the whole in-memory tier (disk payloads are kept). *)
@@ -78,19 +101,18 @@ val key_digest : 'k -> string
 (** {2 Global registry} *)
 
 val enable_disk : ?max_bytes:int -> dir:string -> unit -> unit
-(** Enable the on-disk tier for every cache, storing payloads under
+(** Enable the on-disk tier for every cache, storing objects under
     [dir] (created on demand). When [max_bytes] is given the tier
-    never holds more than that many payload bytes: every write that
-    overflows the budget evicts least-recently-used payloads (and the
+    never holds more than that many object bytes: every write that
+    overflows the budget evicts least-recently-used objects (and the
     eviction counter resets). *)
 
 val disable_disk : unit -> unit
-
 val disk_dir : unit -> string option
 val disk_max_bytes : unit -> int option
 
 val disk_usage_bytes : unit -> int
-(** Total bytes of payload files currently in the disk tier ([0] when
+(** Total bytes of object files currently in the disk tier ([0] when
     the tier is disabled). *)
 
 val disk_stats : unit -> disk_stats option
@@ -104,13 +126,57 @@ val clear_all : unit -> unit
 (** {!clear} every registered cache and reset its counters (used to
     re-run a grid cold, e.g. for serial-vs-parallel benchmarks). *)
 
+(** {2 Remote tier} *)
+
+val set_remote_tier : remote_tier option -> unit
+(** Install (or remove) the process-wide remote tier hook. Installed
+    by {!Transport.serve_worker} for the duration of a worker
+    connection; [None] everywhere else. *)
+
+(** {2 Raw payload access}
+
+    The parent side of the worker CAS channel ({!Transport.Store})
+    answers fetches with payload bytes without knowing artifact types. *)
+
+val raw_payload : cache:string -> key_digest:string -> string option
+(** The payload bytes a key points at, digest-verified; [None] when
+    the disk tier is off or the key is absent. Refreshes the object's
+    LRU stamp. *)
+
+val store_raw_payload : cache:string -> key_digest:string -> payload:string -> unit
+(** Store payload bytes under their content digest and point the key
+    at them. No-op when the disk tier is off. *)
+
+(** {2 Manifest support}
+
+    Direct disk-tier probes used by resumable sweep manifests: decide
+    whether a cell's artifact is already in the CAS without running
+    the compute path (no counters are touched). *)
+
+val disk_get : 'v t -> key:'k -> ('v * string) option
+(** The artifact and its content digest, when the disk tier holds a
+    schema-valid payload for [key]. *)
+
+val disk_put : 'v t -> key:'k -> 'v -> string option
+(** Write an artifact for [key]; returns its content digest ([None]
+    when the disk tier is off or the write failed). *)
+
 (** {2 Test hooks} *)
 
 module Private : sig
   val set_remove_hook : (string -> unit) option -> unit
-  (** Replace [Sys.remove] for payload {e eviction} only. The
-      regression suite uses this to simulate an unremovable payload
+  (** Replace [Sys.remove] for object {e eviction} only. The
+      regression suite uses this to simulate an unremovable object
       (permission error, concurrent-reader race) portably — filesystem
       permissions are useless for this when the tests run as root.
       Pass [None] to restore the default. Not for production use. *)
+
+  val payload_digest : 'v t -> 'v -> string
+  (** The content digest the disk tier would store this artifact
+      under (schema-stamped payload bytes hashed). For tests. *)
+
+  val payload_of_value : 'v t -> 'v -> string
+  (** The exact schema-stamped payload bytes the disk tier would
+      store — what a pre-seeded {!Transport.Store} must hold for a
+      remote worker's fetch of this artifact to succeed. For tests. *)
 end

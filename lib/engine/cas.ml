@@ -1,0 +1,128 @@
+(* Content-addressed object files. See cas.mli for the contract.
+
+   Layout is deliberately flat (one directory, no fan-out subdirs): the
+   cache's LRU eviction and the regression suite both enumerate the
+   tier with a single [Sys.readdir] over [*.bin], and sweep-sized
+   object counts (thousands) are far below the point where flat
+   directories hurt. Objects are [cas-<digest>.bin]; key references
+   are [<cache>-<keydigest>.ref] text files holding the object digest.
+   Both are written atomically (tmp + rename) so a crash mid-write can
+   only leave a [.tmp] corpse, never a half-object. *)
+
+let digest_hex payload = Digest.to_hex (Digest.string payload)
+let object_name digest = Printf.sprintf "cas-%s.bin" digest
+let object_path ~dir digest = Filename.concat dir (object_name digest)
+
+let ref_path ~dir ~cache ~key_digest =
+  Filename.concat dir (Printf.sprintf "%s-%s.ref" cache key_digest)
+
+let is_object name = Filename.check_suffix name ".bin"
+let is_ref name = Filename.check_suffix name ".ref"
+
+(* An object digest doubles as a file-name component, so anything that
+   is not a 32-char lowercase hex string is rejected before it can
+   reach [Filename.concat]. *)
+let is_digest s =
+  String.length s = 32
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+       s
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match really_input_string ic (in_channel_length ic) with
+          | s -> Some s
+          | exception (End_of_file | Sys_error _) -> None)
+
+let write_atomic ~path content =
+  let tmp = path ^ ".tmp" in
+  match open_out_bin tmp with
+  | exception Sys_error _ -> false
+  | oc -> (
+      let ok =
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            match output_string oc content with
+            | () -> true
+            | exception Sys_error _ -> false)
+      in
+      if ok then
+        match Sys.rename tmp path with
+        | () -> true
+        | exception Sys_error _ ->
+            (try Sys.remove tmp with Sys_error _ -> ());
+            false
+      else begin
+        (try Sys.remove tmp with Sys_error _ -> ());
+        false
+      end)
+
+let read_ref ~dir ~cache ~key_digest =
+  match read_file (ref_path ~dir ~cache ~key_digest) with
+  | None -> None
+  | Some s ->
+      let s = String.trim s in
+      if is_digest s then Some s else None
+
+let write_ref ~dir ~cache ~key_digest ~digest =
+  ignore (write_atomic ~path:(ref_path ~dir ~cache ~key_digest) digest : bool)
+
+let remove_ref ~dir ~cache ~key_digest =
+  try Sys.remove (ref_path ~dir ~cache ~key_digest) with Sys_error _ -> ()
+
+let read_object ~dir digest =
+  if not (is_digest digest) then None
+  else
+    match read_file (object_path ~dir digest) with
+    | None -> None
+    | Some payload ->
+        if String.equal (digest_hex payload) digest then Some payload
+        else begin
+          (* The object does not hash to its name: a torn write or bit
+             rot. Self-repair by dropping it — the next lookup misses
+             and recomputes, which rewrites a good copy. *)
+          (try Sys.remove (object_path ~dir digest) with Sys_error _ -> ());
+          None
+        end
+
+let write_object ~dir ~payload =
+  let digest = digest_hex payload in
+  let path = object_path ~dir digest in
+  let already =
+    match Unix.stat path with
+    | st ->
+        st.Unix.st_kind = Unix.S_REG && st.Unix.st_size = String.length payload
+    | exception Unix.Unix_error _ -> false
+  in
+  if already then Some digest
+  else if write_atomic ~path payload then Some digest
+  else None
+
+let prune_refs ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | names ->
+      Array.iter
+        (fun name ->
+          if is_ref name then
+            let path = Filename.concat dir name in
+            let target =
+              match read_file path with
+              | None -> None
+              | Some s ->
+                  let s = String.trim s in
+                  if is_digest s then Some s else None
+            in
+            let dangling =
+              match target with
+              | None -> true
+              | Some digest -> not (Sys.file_exists (object_path ~dir digest))
+            in
+            if dangling then try Sys.remove path with Sys_error _ -> ())
+        names

@@ -1,0 +1,57 @@
+(** Content-addressed object files: the storage primitive under
+    {!Cache}'s disk tier.
+
+    An {e object} is an immutable file named by the MD5 digest of its
+    own bytes ([cas-<digest>.bin]); a {e reference} is a tiny text
+    file ([<cache>-<keydigest>.ref]) mapping a cache's structural key
+    digest to an object digest. Identical payloads written under any
+    number of keys (or by any number of caches/hosts) share one
+    object, so a sweep cell computed anywhere is stored — and
+    byte-budgeted — exactly once. All writes are atomic (tmp +
+    rename); reads verify the object's digest against its name and
+    self-repair (remove, report miss) on mismatch, so corruption can
+    only ever cost a recomputation.
+
+    This module is pure file plumbing: no locking, no budgets, no
+    schema stamps — {!Cache} layers LRU stamps, eviction and schema
+    checks on top. *)
+
+val digest_hex : string -> string
+(** MD5 of the payload bytes, in hex — the object's identity. *)
+
+val object_name : string -> string
+(** [object_name digest] is ["cas-<digest>.bin"]. *)
+
+val object_path : dir:string -> string -> string
+val ref_path : dir:string -> cache:string -> key_digest:string -> string
+
+val is_object : string -> bool
+(** Filename test: is this directory entry an object file? *)
+
+val is_digest : string -> bool
+(** 32 lowercase hex chars — validated before a digest read from disk
+    or the wire is used as a file-name component. *)
+
+val read_object : dir:string -> string -> string option
+(** The object's payload bytes, or [None] when missing, unreadable or
+    failing digest verification (the corrupt file is removed
+    best-effort). *)
+
+val write_object : dir:string -> payload:string -> string option
+(** Store the payload under its digest (atomic; a no-op when an object
+    of that digest and size already exists). Returns the digest, or
+    [None] when the write failed. *)
+
+val read_ref : dir:string -> cache:string -> key_digest:string -> string option
+(** The object digest a key points at; [None] when absent or malformed. *)
+
+val write_ref :
+  dir:string -> cache:string -> key_digest:string -> digest:string -> unit
+(** Point a key at an object (atomic, best-effort). *)
+
+val remove_ref : dir:string -> cache:string -> key_digest:string -> unit
+
+val prune_refs : dir:string -> unit
+(** Drop references whose object no longer exists (after evictions),
+    best-effort — a dangling reference is harmless (it reads as a
+    miss) but accumulates. *)

@@ -1,0 +1,197 @@
+(* Declarative, resumable sweep manifests. See manifest.mli.
+
+   File format (plain text, one record per line):
+
+     tiered-sweep-manifest v1
+     grid <hex digest of the cell table>
+     cells <count>
+     cell <index> <input key digest> <name>
+     ...
+     done <index> <artifact content digest>
+     ...
+
+   The header and cell table are written once, atomically (tmp +
+   rename); [done] records are appended and flushed one line at a
+   time as cells land. A crash can therefore only lose or tear the
+   final [done] line — the loader ignores unparsable or truncated
+   trailing records, and a lost record merely means one CAS probe
+   finds the artifact anyway on resume. Re-recording an index
+   overrides (last record wins). *)
+
+type cell = { index : int; name : string; input_digest : string }
+
+type t = {
+  path : string;
+  cells : cell array;
+  completed : (int, string) Hashtbl.t;
+  mutable oc : out_channel option;
+}
+
+let header_line = "tiered-sweep-manifest v1"
+
+let valid_name n =
+  String.length n > 0
+  && String.for_all (fun c -> c > ' ' && Char.code c < 127) n
+
+let cell_line c = Printf.sprintf "cell %d %s %s" c.index c.input_digest c.name
+
+let grid_digest cells =
+  Digest.to_hex
+    (Digest.string (String.concat "\n" (List.map cell_line cells)))
+
+let render cells =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b header_line;
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Printf.sprintf "grid %s\n" (grid_digest cells));
+  Buffer.add_string b (Printf.sprintf "cells %d\n" (List.length cells));
+  List.iter
+    (fun c ->
+      Buffer.add_string b (cell_line c);
+      Buffer.add_char b '\n')
+    cells;
+  Buffer.contents b
+
+let write_initial ~path cells =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (render cells));
+  Sys.rename tmp path
+
+let fail path fmt =
+  Printf.ksprintf (fun msg -> failwith (Printf.sprintf "manifest %s: %s" path msg)) fmt
+
+let check_cells path cells =
+  if cells = [] then fail path "empty cell table";
+  List.iteri
+    (fun i c ->
+      if c.index <> i then fail path "cell %d carries index %d" i c.index;
+      if not (valid_name c.name) then
+        fail path "cell %d has an invalid name %S (no spaces/control chars)" i c.name;
+      if not (Cas.is_digest c.input_digest) then
+        fail path "cell %d has an invalid input digest %S" i c.input_digest)
+    cells
+
+let load ~path cells =
+  let ic = open_in path in
+  let lines = ref [] in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      try
+        while true do
+          lines := input_line ic :: !lines
+        done
+      with End_of_file -> ());
+  let lines = List.rev !lines in
+  let expect_grid = grid_digest cells in
+  let carr = Array.of_list cells in
+  let n_cells = Array.length carr in
+  (match lines with
+  | first :: _ when String.equal first header_line -> ()
+  | _ -> fail path "not a sweep manifest (bad header)");
+  let completed = Hashtbl.create 16 in
+  let seen_grid = ref None in
+  let seen_count = ref None in
+  let cell_seen = Array.make n_cells false in
+  List.iteri
+    (fun lineno line ->
+      match String.split_on_char ' ' line with
+      | [ "grid"; d ] -> seen_grid := Some d
+      | [ "cells"; n ] -> seen_count := int_of_string_opt n
+      | [ "cell"; i; d; name ] -> (
+          match int_of_string_opt i with
+          | Some i when i >= 0 && i < n_cells ->
+              let expect = carr.(i) in
+              if
+                not
+                  (String.equal d expect.input_digest
+                  && String.equal name expect.name)
+              then
+                fail path
+                  "cell %d does not match this sweep (manifest %s %s, sweep %s %s) — \
+                   the manifest belongs to a different grid"
+                  i d name expect.input_digest expect.name;
+              cell_seen.(i) <- true
+          | Some i -> fail path "cell index %d out of range" i
+          | None -> fail path "unreadable cell record on line %d" (lineno + 1))
+      | [ "done"; i; d ] -> (
+          (* Appended records: tolerate tears — a truncated or garbled
+             trailing line is skipped, the CAS probe recovers it. *)
+          match int_of_string_opt i with
+          | Some i when i >= 0 && i < n_cells && Cas.is_digest d ->
+              Hashtbl.replace completed i d
+          | Some _ | None -> ())
+      | _ when String.equal line header_line -> ()
+      | _ ->
+          (* Unknown or torn record: ignore if it looks like an
+             appended tail, otherwise it is structural corruption. *)
+          if String.length line >= 5 && String.equal (String.sub line 0 5) "done "
+          then ()
+          else fail path "unrecognized record on line %d: %S" (lineno + 1) line)
+    lines;
+  (match !seen_grid with
+  | Some d when String.equal d expect_grid -> ()
+  | Some _ ->
+      fail path
+        "grid digest mismatch — the manifest was written for different sweep \
+         parameters; pass a fresh manifest file"
+  | None -> fail path "missing grid record");
+  (match !seen_count with
+  | Some n when n = n_cells -> ()
+  | Some n -> fail path "cell count mismatch (manifest %d, sweep %d)" n n_cells
+  | None -> fail path "missing cells record");
+  Array.iteri
+    (fun i seen -> if not seen then fail path "cell %d missing from manifest" i)
+    cell_seen;
+  { path; cells = carr; completed; oc = None }
+
+let load_or_create ~path cells =
+  check_cells path cells;
+  if Sys.file_exists path then load ~path cells
+  else begin
+    write_initial ~path cells;
+    {
+      path;
+      cells = Array.of_list cells;
+      completed = Hashtbl.create 16;
+      oc = None;
+    }
+  end
+
+let cells t = t.cells
+let completed t = Hashtbl.length t.completed
+let artifact t index = Hashtbl.find_opt t.completed index
+
+let record_done t ~index ~artifact =
+  let fresh =
+    match Hashtbl.find_opt t.completed index with
+    | Some d when String.equal d artifact -> false
+    | Some _ | None -> true
+  in
+  if fresh then begin
+    Hashtbl.replace t.completed index artifact;
+    let oc =
+      match t.oc with
+      | Some oc -> oc
+      | None ->
+          let oc =
+            open_out_gen [ Open_append; Open_creat ] 0o644 t.path
+          in
+          t.oc <- Some oc;
+          oc
+    in
+    output_string oc (Printf.sprintf "done %d %s\n" index artifact);
+    (* One line per record, flushed as it lands: an interrupted sweep
+       keeps every completed cell. *)
+    flush oc
+  end
+
+let close t =
+  match t.oc with
+  | Some oc ->
+      t.oc <- None;
+      close_out_noerr oc
+  | None -> ()

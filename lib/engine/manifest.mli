@@ -1,0 +1,54 @@
+(** Declarative, resumable sweep manifests.
+
+    A manifest names every cell of a sweep grid {e before} anything
+    runs: a deterministic plain-text file with one [cell] record per
+    grid point, carrying the cell's index, its {e input digest} (the
+    {!Cache.key_digest} of everything that determines the cell's
+    output) and a human-readable name. As cells complete, [done]
+    records are appended — one flushed line per cell, each naming the
+    cell's {e artifact digest} in the content-addressed store.
+
+    Resume semantics: on re-invocation with the same grid, the runner
+    probes the CAS for each cell's artifact ({!Cache.disk_get} by the
+    cell's input key) and schedules {e only} the cells whose artifacts
+    are missing — the [done] records are an audit trail, not the
+    source of truth, so a manifest that lost its tail to a crash (the
+    loader tolerates torn trailing records) or even one whose [done]
+    lines were deleted still resumes with zero recomputation as long
+    as the CAS holds the artifacts.
+
+    A manifest is bound to its grid: the header pins a digest of the
+    full cell table, and loading a manifest against a different grid
+    (changed parameter ranges, different strategy, …) fails loudly
+    rather than silently mixing sweeps. *)
+
+type t
+
+type cell = { index : int; name : string; input_digest : string }
+(** [index] is the cell's position in the sweep's serial order (and in
+    the assembled output); [name] a short space-free label like
+    ["alpha=2.5"]; [input_digest] the structural digest of the cell's
+    inputs. *)
+
+val load_or_create : path:string -> cell list -> t
+(** Validate the cell list (indices must be [0..n-1] in order, names
+    space-free, digests hex) and either write a fresh manifest
+    (atomically) or load an existing one, verifying it describes
+    exactly this grid. Raises [Failure] with a descriptive message on
+    any mismatch or structural corruption. *)
+
+val cells : t -> cell array
+
+val completed : t -> int
+(** Number of cells with a (possibly re-recorded) [done] record. *)
+
+val artifact : t -> int -> string option
+(** The recorded artifact digest of a cell, if any (last record wins). *)
+
+val record_done : t -> index:int -> artifact:string -> unit
+(** Append-and-flush a [done] record. Recording the same digest for
+    the same index again is a no-op, so restored cells can be
+    re-recorded idempotently on every resume. *)
+
+val close : t -> unit
+(** Close the append channel (records already written are on disk). *)

@@ -115,16 +115,17 @@ let task_rows s =
 let cache_rows s =
   List.map
     (fun (name, (c : Cache.stats)) ->
-      let lookups = c.Cache.hits + c.Cache.disk_hits + c.Cache.misses in
+      let served = c.Cache.hits + c.Cache.disk_hits + c.Cache.remote_hits in
+      let lookups = served + c.Cache.misses in
       [
         name;
         string_of_int c.Cache.hits;
         string_of_int c.Cache.disk_hits;
+        string_of_int c.Cache.remote_hits;
         string_of_int c.Cache.misses;
         (if lookups > 0 then
            Printf.sprintf "%.1f%%"
-             (100. *. float_of_int (c.Cache.hits + c.Cache.disk_hits)
-             /. float_of_int lookups)
+             (100. *. float_of_int served /. float_of_int lookups)
          else "-");
       ])
     s.caches
@@ -201,8 +202,9 @@ let to_json (s : snapshot) =
       Buffer.add_string buf
         (Printf.sprintf
            "\n    {\"name\": \"%s\", \"hits\": %d, \"disk_hits\": %d, \
-            \"misses\": %d}"
-           (json_escape name) c.Cache.hits c.Cache.disk_hits c.Cache.misses))
+            \"remote_hits\": %d, \"misses\": %d}"
+           (json_escape name) c.Cache.hits c.Cache.disk_hits c.Cache.remote_hits
+           c.Cache.misses))
     s.caches;
   Buffer.add_string buf "\n  ]\n}\n";
   Buffer.contents buf

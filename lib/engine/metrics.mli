@@ -62,7 +62,8 @@ val task_rows : snapshot -> string list list
 (** One row per task: label, wall seconds, share of busy time. *)
 
 val cache_rows : snapshot -> string list list
-(** One row per cache: name, hits, disk hits, misses, hit rate. *)
+(** One row per cache: name, hits, disk hits, remote hits, misses,
+    hit rate. *)
 
 val to_json : snapshot -> string
 (** Self-contained JSON object (no external dependency). *)

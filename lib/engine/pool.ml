@@ -1,8 +1,11 @@
 exception Task_failed of { index : int; exn : exn; backtrace : string }
 
-type backend = Domains | Procs
+type backend = Domains | Procs | Remote
 
-let backend_name = function Domains -> "domains" | Procs -> "procs"
+let backend_name = function
+  | Domains -> "domains"
+  | Procs -> "procs"
+  | Remote -> "remote"
 
 type t = {
   n_jobs : int;
@@ -22,12 +25,24 @@ type t = {
   proc : Proc.t option;
       (* [Some _] when the subprocess backend is active; the domain
          machinery above is then unused. *)
+  remote : Remote.t option;
+      (* [Some _] when the TCP fleet backend is active; mutually
+         exclusive with [proc]. *)
 }
 
 let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
 let jobs t = t.n_jobs
-let backend t = match t.proc with Some _ -> Procs | None -> Domains
-let restarts t = match t.proc with Some p -> Proc.restarts p | None -> 0
+let backend t =
+  match (t.proc, t.remote) with
+  | Some _, _ -> Procs
+  | None, Some _ -> Remote
+  | None, None -> Domains
+
+let restarts t =
+  match (t.proc, t.remote) with
+  | Some p, _ -> Proc.restarts p
+  | None, Some r -> Remote.restarts r
+  | None, None -> 0
 
 let add_busy t idx dt =
   Mutex.lock t.mutex;
@@ -40,9 +55,10 @@ let add_caller_busy t dt =
   Mutex.unlock t.mutex
 
 let busy_times t =
-  match t.proc with
-  | Some p -> Proc.busy_times p
-  | None ->
+  match (t.proc, t.remote) with
+  | Some p, _ -> Proc.busy_times p
+  | None, Some r -> Remote.busy_times r
+  | None, None ->
       Mutex.lock t.mutex;
       (* A pool without worker domains has exactly one execution slot —
          the caller — so report that; a pooled run reports only the
@@ -88,13 +104,13 @@ let worker t idx =
   in
   next ()
 
-let create ?(backend = Domains) ?retries ?timeout_s ?jobs () =
+let create ?(backend = Domains) ?retries ?timeout_s ?jobs ?workers () =
   let n_jobs =
     match jobs with Some j -> max 1 j | None -> default_jobs ()
   in
   let proc =
     match backend with
-    | Domains -> None
+    | Domains | Remote -> None
     | Procs -> (
         match Proc.create ~workers:n_jobs ?retries ?timeout_s () with
         | p -> Some p
@@ -108,6 +124,27 @@ let create ?(backend = Domains) ?retries ?timeout_s ?jobs () =
               (Printexc.to_string exn);
             None)
   in
+  let remote =
+    match backend with
+    | Domains | Procs -> None
+    | Remote -> (
+        let spec =
+          match workers with Some s -> s | None -> Remote.Exec n_jobs
+        in
+        match Remote.create ?retries ?timeout_s spec with
+        | r -> Some r
+        | exception exn ->
+            (* Same degradation story as Procs: a host where the fleet
+               cannot come up (no loopback, exec failure, dead remote
+               addresses) still runs, just in-process. *)
+            Printf.eprintf
+              "engine: remote backend unavailable (%s); falling back to the \
+               domain backend\n\
+               %!"
+              (Printexc.to_string exn);
+            None)
+  in
+  let n_jobs = match remote with Some r -> Remote.workers r | None -> n_jobs in
   let t =
     {
       n_jobs;
@@ -119,11 +156,12 @@ let create ?(backend = Domains) ?retries ?timeout_s ?jobs () =
       busy = Array.make n_jobs 0.;
       caller_busy = 0.;
       proc;
+      remote;
     }
   in
-  (match proc with
-  | Some _ -> ()
-  | None ->
+  (match (proc, remote) with
+  | Some _, _ | _, Some _ -> ()
+  | None, None ->
       if n_jobs > 1 then
         t.domains <-
           List.init n_jobs (fun i -> Domain.spawn (fun () -> worker t i)));
@@ -131,6 +169,7 @@ let create ?(backend = Domains) ?retries ?timeout_s ?jobs () =
 
 let shutdown t =
   (match t.proc with Some p -> Proc.shutdown p | None -> ());
+  (match t.remote with Some r -> Remote.shutdown r | None -> ());
   Mutex.lock t.mutex;
   t.stop <- true;
   Condition.broadcast t.nonempty;
@@ -138,8 +177,8 @@ let shutdown t =
   List.iter Domain.join t.domains;
   t.domains <- []
 
-let with_pool ?backend ?retries ?timeout_s ?jobs f =
-  let t = create ?backend ?retries ?timeout_s ?jobs () in
+let with_pool ?backend ?retries ?timeout_s ?jobs ?workers f =
+  let t = create ?backend ?retries ?timeout_s ?jobs ?workers () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 let run_task f x =
@@ -164,12 +203,14 @@ let collect results =
     results
 
 let map t f tasks =
-  match t.proc with
-  | Some p ->
+  match (t.proc, t.remote) with
+  | Some p, _ ->
       (* Subprocess backend: Proc merges by task index already; reuse
          [collect] for the deterministic lowest-index failure report. *)
       collect (Array.map (fun r -> Some r) (Proc.map p f tasks))
-  | None ->
+  | None, Some r ->
+      collect (Array.map (fun res -> Some res) (Remote.map r f tasks))
+  | None, None ->
       let n = Array.length tasks in
       let results = Array.make n None in
       if t.n_jobs <= 1 || n <= 1 || t.domains = [] then begin

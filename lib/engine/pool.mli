@@ -7,7 +7,7 @@
     order, so parallel output is byte-identical to a serial run —
     callers never observe scheduling order, whatever the backend.
 
-    Two backends:
+    Three backends:
     - {!Domains} (default): worker domains inside this process. At
       [jobs = 1] no domain is spawned and tasks run serially on the
       calling domain (the fallback for single-core hosts and for
@@ -21,6 +21,16 @@
       {!Proc.maybe_run_worker} first; if no worker can be spawned the
       pool degrades to the domain backend (see {!backend} for the
       backend actually in use).
+    - {!Remote}: TCP fleet workers ({!Remote}): either loopback
+      children of the current executable ([Remote.Exec], the default
+      when no [workers] spec is given — [jobs] sets the fleet size) or
+      out-of-band daemons addressed by [host:port] ([Remote.Addrs],
+      from the CLI's [--workers] list). Same scheduler as {!Procs}
+      (shared {!Transport}): crash recovery, bounded retries, per-task
+      timeouts, work stealing, and a CAS side-channel so workers share
+      artifacts by digest. Requires every entry point to call
+      {!Remote.maybe_run_worker} after {!Proc.maybe_run_worker};
+      degrades to the domain backend when no worker comes up.
 
     [jobs] counts workers. The default is
     [Domain.recommended_domain_count () - 1], reserving one core for
@@ -28,11 +38,11 @@
 
 type t
 
-type backend = Domains | Procs
+type backend = Domains | Procs | Remote
 
 val backend_name : backend -> string
-(** ["domains"] / ["procs"] — the identity threaded into metrics and
-    CLI output. *)
+(** ["domains"] / ["procs"] / ["remote"] — the identity threaded into
+    metrics and CLI output. *)
 
 exception Task_failed of { index : int; exn : exn; backtrace : string }
 (** Raised by {!map} when a task failed. Every task is still attempted
@@ -51,24 +61,28 @@ val create :
   ?retries:int ->
   ?timeout_s:float ->
   ?jobs:int ->
+  ?workers:Remote.spec ->
   unit ->
   t
 (** Spawn the workers ([jobs] defaults to {!default_jobs}; values
     [< 1] are clamped to [1]). [backend] defaults to {!Domains}.
     [retries] (default [2]) and [timeout_s] (default none) only apply
-    to the {!Procs} backend: how many times a task whose worker died
-    is re-executed, and how long one task may run before its worker is
-    killed and replaced. *)
+    to the {!Procs} and {!Remote} backends: how many times a task
+    whose worker died is re-executed, and how long one task may run
+    before its worker is killed and replaced. [workers] only applies
+    to {!Remote} and selects the fleet ([Remote.Exec jobs] when
+    omitted); when it names remote addresses, {!jobs} reports the
+    fleet size. *)
 
 val jobs : t -> int
 
 val backend : t -> backend
-(** The backend actually in use — {!Domains} when a {!Procs} request
-    degraded because no worker process could be spawned. *)
+(** The backend actually in use — {!Domains} when a {!Procs} or
+    {!Remote} request degraded because no worker could be brought
+    up. *)
 
 val restarts : t -> int
-(** Worker processes lost and replaced so far ([0] under the domain
-    backend). *)
+(** Workers lost and replaced so far ([0] under the domain backend). *)
 
 val busy_times : t -> float array
 (** Cumulative busy seconds per worker slot. For a pool with workers
@@ -100,6 +114,7 @@ val with_pool :
   ?retries:int ->
   ?timeout_s:float ->
   ?jobs:int ->
+  ?workers:Remote.spec ->
   (t -> 'a) ->
   'a
 (** [create], run, then {!shutdown} (also on exception). *)

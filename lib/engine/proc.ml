@@ -1,96 +1,18 @@
 (* Subprocess worker backend. See proc.mli for the contract.
 
-   Wire protocol (both directions): length-prefixed Marshal frames —
-   a 4-byte big-endian payload length followed by the payload bytes.
-   Frames from parent to worker:
-     1. one config frame (plain Marshal): the parent's disk-cache
-        configuration, applied before the worker signals readiness;
-     2. task frames: [(index, thunk)] marshalled with
-        [Marshal.Closures] — valid because worker and parent run the
-        same executable image, which the unmarshaller checks against
-        the code-segment digest.
-   Frames from worker to parent:
-     1. a magic byte-string, then one "ready" handshake frame (this is
-        also how exec failures are detected: a child that dies before
-        the handshake reads as EOF and create/spawn reports
-        Spawn_failure);
-     2. result frames: [(index, (Ok value | Error (printed_exn, bt)))].
+   This module is now only the pipe transport: fork/exec of the
+   current executable, stdin/stdout plumbing, and child reaping. The
+   frame protocol, handshake/resync, crash recovery, bounded retries,
+   per-task timeouts and work stealing all live in {!Transport}, which
+   this backend shares with {!Remote}. *)
 
-   The magic resynchronizes the stream: module initializers of the
-   host executable run before [maybe_run_worker] and may print to
-   stdout — which, in a worker, IS the result pipe (qcheck-alcotest's
-   seed banner does exactly this). The parent discards bytes until the
-   magic, after which the worker has redirected fd 1 away and owns the
-   stream exclusively.
-
-   Crash detection needs no SIGCHLD handler: a dead worker's result
-   pipe reads EOF (or the task pipe writes EPIPE), which is both
-   prompt and race-free under [select]; the corpse is reaped with
-   [waitpid] afterwards. *)
-
-exception Spawn_failure of string
-exception Remote_failure of { message : string }
-exception Worker_lost of { attempts : int; reason : string }
+exception Spawn_failure = Transport.Spawn_failure
+exception Remote_failure = Transport.Remote_failure
+exception Worker_lost = Transport.Worker_lost
 
 let worker_flag = "--engine-worker"
-let now = Unix.gettimeofday
-
-(* --- framed IO over raw fds ---------------------------------------------- *)
-
-(* Raw [Unix.read]/[Unix.write] loops, not channels: [select] must see
-   exactly what has been consumed, and channel buffering would hide
-   already-read bytes from it. *)
-
-let rec restart_on_intr f =
-  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart_on_intr f
-
-let write_all fd buf pos len =
-  let pos = ref pos and len = ref len in
-  while !len > 0 do
-    let n = restart_on_intr (fun () -> Unix.write fd buf !pos !len) in
-    pos := !pos + n;
-    len := !len - n
-  done
-
-let read_all fd buf pos len =
-  let pos = ref pos and len = ref len in
-  while !len > 0 do
-    let n = restart_on_intr (fun () -> Unix.read fd buf !pos !len) in
-    if n = 0 then raise End_of_file;
-    pos := !pos + n;
-    len := !len - n
-  done
-
-let write_frame fd payload =
-  let len = String.length payload in
-  let hdr = Bytes.create 4 in
-  Bytes.set_int32_be hdr 0 (Int32.of_int len);
-  write_all fd hdr 0 4;
-  write_all fd (Bytes.unsafe_of_string payload) 0 len
-
-let read_frame fd =
-  let hdr = Bytes.create 4 in
-  read_all fd hdr 0 4;
-  let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
-  if len < 0 then raise End_of_file;
-  let buf = Bytes.create len in
-  read_all fd buf 0 len;
-  Bytes.unsafe_to_string buf
-
-(* Stream-resync marker the worker emits before its first frame (see
-   the header comment). '\001' appears only at position 0, so the
-   parent's rolling scan needs no failure table: on mismatch it
-   restarts the match at 1 iff the offending byte is '\001'. *)
-let magic = "\001\253tiered-engine-worker\253\002"
 
 (* --- worker side ---------------------------------------------------------- *)
-
-type worker_config = { disk_dir : string option; disk_max : int option }
-
-(* A worker-side task outcome. The value travels as [Obj.t] (the
-   parent knows the real type); exceptions travel as printed strings
-   because exception identity does not survive unmarshalling. *)
-type wire_result = (Obj.t, string * string) result
 
 let serve_worker () =
   Printexc.record_backtrace true;
@@ -101,35 +23,12 @@ let serve_worker () =
   let out_fd = Unix.dup Unix.stdout in
   (* lint: allow D001 — point further stdout writes at stderr so stray prints cannot corrupt the protocol. *)
   Unix.dup2 Unix.stderr Unix.stdout;
-  let in_fd = Unix.stdin in
-  let config : worker_config = Marshal.from_string (read_frame in_fd) 0 in
-  (match config.disk_dir with
-  | Some dir -> Cache.enable_disk ?max_bytes:config.disk_max ~dir ()
-  | None -> ());
-  write_all out_fd (Bytes.unsafe_of_string magic) 0 (String.length magic);
-  write_frame out_fd "ready";
-  let rec loop () =
-    match read_frame in_fd with
-    | exception End_of_file -> exit 0
-    | frame ->
-        let (seq, thunk) : int * (unit -> Obj.t) =
-          Marshal.from_string frame 0
-        in
-        let outcome : wire_result =
-          match thunk () with
-          | v -> Ok v
-          | exception exn ->
-              Error (Printexc.to_string exn, Printexc.get_backtrace ())
-        in
-        write_frame out_fd (Marshal.to_string (seq, outcome) [ Marshal.Closures ]);
-        loop ()
-  in
-  loop ()
+  Transport.serve_worker ~in_fd:Unix.stdin ~out_fd ()
 
 let maybe_run_worker () =
   if Array.exists (String.equal worker_flag) Sys.argv then
     match serve_worker () with
-    | _ -> exit 0
+    | () -> exit 0
     | exception End_of_file -> exit 0
     | exception exn ->
         Printf.eprintf "engine worker: fatal: %s\n%!" (Printexc.to_string exn);
@@ -137,84 +36,44 @@ let maybe_run_worker () =
 
 (* --- parent side ---------------------------------------------------------- *)
 
-type worker = {
-  pid : int;
-  to_w : Unix.file_descr;  (* parent writes task frames *)
-  from_w : Unix.file_descr;  (* parent reads result frames *)
-  mutable job : (int * int * float) option;
-      (* in-flight (task index, prior attempts, dispatch time) *)
-}
+type t = { sched : Transport.sched }
 
-type t = {
-  n_workers : int;
-  max_retries : int;
-  timeout_s : float option;
-  slots : worker option array;
-  busy : float array;
-  mutable restarts : int;
-  mutable shut : bool;
-}
-
-let current_config () =
-  { disk_dir = Cache.disk_dir (); disk_max = Cache.disk_max_bytes () }
-
-let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()
-let kill_noerr pid = try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
-
-let reap_noerr pid =
-  try ignore (restart_on_intr (fun () -> Unix.waitpid [] pid))
-  with Unix.Unix_error _ -> ()
-
-let spawn_worker () =
+let spawn_endpoint () =
   let exe = Sys.executable_name in
   let task_r, task_w = Unix.pipe () in
   let res_r, res_w = Unix.pipe () in
   Unix.set_close_on_exec task_w;
   Unix.set_close_on_exec res_r;
-  match Unix.create_process exe [| exe; worker_flag |] task_r res_w Unix.stderr with
+  match
+    Unix.create_process exe [| exe; worker_flag |] task_r res_w Unix.stderr
+  with
   | exception exn ->
-      List.iter close_noerr [ task_r; task_w; res_r; res_w ];
+      List.iter Transport.close_noerr [ task_r; task_w; res_r; res_w ];
       raise (Spawn_failure (Printexc.to_string exn))
   | pid -> (
-      close_noerr task_r;
-      close_noerr res_w;
+      Transport.close_noerr task_r;
+      Transport.close_noerr res_w;
       try
-        write_frame task_w (Marshal.to_string (current_config ()) []);
-        (* The handshake doubles as the exec-failure detector: a child
-           that could not exec (or crashed in init) reads as EOF.
-           Before the handshake frame the child's stdout may carry
-           arbitrary init-time noise (e.g. a test harness's seed
-           banner), so scan byte-by-byte until the magic marker. *)
-        let deadline = now () +. 10.0 in
-        let wait_readable () =
-          let remaining = deadline -. now () in
-          if remaining <= 0. then failwith "worker handshake timed out";
-          match restart_on_intr (fun () -> Unix.select [ res_r ] [] [] remaining) with
-          | [], _, _ -> failwith "worker handshake timed out"
-          | _ -> ()
-        in
-        let byte = Bytes.create 1 in
-        let mlen = String.length magic in
-        let rec scan matched =
-          if matched < mlen then begin
-            wait_readable ();
-            if restart_on_intr (fun () -> Unix.read res_r byte 0 1) = 0 then
-              raise End_of_file;
-            let c = Bytes.get byte 0 in
-            if Char.equal c magic.[matched] then scan (matched + 1)
-            else scan (if Char.equal c magic.[0] then 1 else 0)
-          end
-        in
-        scan 0;
-        wait_readable ();
-        let r = read_frame res_r in
-        if not (String.equal r "ready") then failwith "bad worker handshake";
-        { pid; to_w = task_w; from_w = res_r; job = None }
+        Transport.write_config task_w;
+        Transport.handshake ~deadline_s:10.0 res_r;
+        {
+          Transport.ep_send = task_w;
+          ep_recv = res_r;
+          ep_kill = (fun () -> Transport.kill_noerr pid);
+          ep_close =
+            (fun () ->
+              (* EOF on the task pipe makes the worker exit cleanly
+                 (its read loop returns), so close that first, give it
+                 a moment, and SIGKILL stragglers. *)
+              Transport.close_noerr task_w;
+              Transport.reap_with_grace pid;
+              Transport.close_noerr res_r);
+        }
       with exn ->
-        kill_noerr pid;
-        reap_noerr pid;
-        close_noerr task_w;
-        close_noerr res_r;
+        Transport.kill_noerr pid;
+        Transport.reap_noerr pid;
+        Transport.close_noerr task_w;
+        Transport.close_noerr res_r;
         raise (Spawn_failure (Printexc.to_string exn)))
 
 let create ?workers ?(retries = 2) ?timeout_s () =
@@ -225,218 +84,27 @@ let create ?workers ?(retries = 2) ?timeout_s () =
   in
   (* A dead worker must surface as EPIPE on the task pipe, not kill
      the parent. *)
-  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  let slots = Array.make workers None in
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let endpoints = Array.make workers None in
   (* The first worker must come up, otherwise the backend is
      unavailable and the caller degrades; later failures only shrink
      the pool. *)
-  slots.(0) <- Some (spawn_worker ());
+  endpoints.(0) <- Some (spawn_endpoint ());
   for i = 1 to workers - 1 do
-    match spawn_worker () with
-    | w -> slots.(i) <- Some w
+    match spawn_endpoint () with
+    | ep -> endpoints.(i) <- Some ep
     | exception Spawn_failure _ -> ()
   done;
-  {
-    n_workers = workers;
-    max_retries = max 0 retries;
-    timeout_s;
-    slots;
-    busy = Array.make workers 0.;
-    restarts = 0;
-    shut = false;
-  }
+  let respawn _slot =
+    match spawn_endpoint () with
+    | ep -> Some ep
+    | exception Spawn_failure _ -> None
+  in
+  { sched = Transport.make_sched ~retries ?timeout_s ~respawn endpoints }
 
-let workers t = t.n_workers
-let restarts t = t.restarts
-let busy_times t = Array.copy t.busy
-
-let dispose w =
-  close_noerr w.to_w;
-  close_noerr w.from_w;
-  reap_noerr w.pid
-
-let map (type a b) t (f : a -> b) (tasks : a array) :
-    (b, exn * string) result array =
-  let n = Array.length tasks in
-  if n = 0 then [||]
-  else begin
-    let results : (b, exn * string) result option array = Array.make n None in
-    let pending = Queue.create () in
-    for i = 0 to n - 1 do
-      Queue.add (i, 0) pending
-    done;
-    let completed = ref 0 in
-    let crashes = ref 0 in
-    let record i r =
-      if results.(i) = None then begin
-        results.(i) <- Some r;
-        incr completed
-      end
-    in
-    (* Last resort when every worker is gone and none respawns: run on
-       the calling process with identical semantics. *)
-    let run_local i =
-      record i
-        (match f tasks.(i) with
-        | v -> Ok v
-        | exception exn -> Error (exn, Printexc.get_backtrace ()))
-    in
-    let send_task w (i, att) =
-      let x = tasks.(i) in
-      let thunk () = Obj.repr (f x) in
-      write_frame w.to_w (Marshal.to_string (i, thunk) [ Marshal.Closures ]);
-      w.job <- Some (i, att, now ())
-    in
-    (* A worker died (EOF / EPIPE / timeout): reap it, requeue its
-       in-flight task (bounded by max_retries), back off briefly and
-       spawn a replacement into the same slot. *)
-    let handle_crash si w reason =
-      incr crashes;
-      t.restarts <- t.restarts + 1;
-      kill_noerr w.pid;
-      dispose w;
-      t.slots.(si) <- None;
-      (match w.job with
-      | Some (i, att, started) ->
-          t.busy.(si) <- t.busy.(si) +. (now () -. started);
-          if att >= t.max_retries then
-            record i (Error (Worker_lost { attempts = att + 1; reason }, ""))
-          else Queue.add (i, att + 1) pending
-      | None -> ());
-      Unix.sleepf
-        (Float.min 0.5 (0.02 *. (2. ** float_of_int (Stdlib.min !crashes 5))));
-      match spawn_worker () with
-      | w' -> t.slots.(si) <- Some w'
-      | exception Spawn_failure _ -> ()
-    in
-    let receive si w =
-      match read_frame w.from_w with
-      | exception End_of_file -> handle_crash si w "worker exited (EOF)"
-      | exception Unix.Unix_error (e, _, _) ->
-          handle_crash si w (Unix.error_message e)
-      | frame -> (
-          let (seq, outcome) : int * wire_result =
-            Marshal.from_string frame 0
-          in
-          match w.job with
-          | Some (i, _, started) when i = seq ->
-              t.busy.(si) <- t.busy.(si) +. (now () -. started);
-              w.job <- None;
-              record seq
-                (match outcome with
-                | Ok v -> Ok (Obj.obj v : b)
-                | Error (msg, bt) -> Error (Remote_failure { message = msg }, bt))
-          | _ ->
-              (* A frame for a task we no longer track: the protocol is
-                 out of sync, drop the worker. *)
-              handle_crash si w "protocol mismatch")
-    in
-    while !completed < n do
-      (* 1. Fill every idle live worker from the pending queue. *)
-      Array.iteri
-        (fun si slot ->
-          match slot with
-          | Some w when w.job = None && not (Queue.is_empty pending) -> (
-              let (i, att) = Queue.take pending in
-              match send_task w (i, att) with
-              | () -> ()
-              | exception (Unix.Unix_error _ | Sys_error _) ->
-                  (* The worker died while idle; the task never reached
-                     it, so requeue without charging an attempt. *)
-                  Queue.add (i, att) pending;
-                  handle_crash si w "task dispatch failed")
-          | _ -> ())
-        t.slots;
-      let in_flight =
-        Array.to_seq t.slots
-        |> Seq.filter_map (function
-             | Some w when w.job <> None -> Some w
-             | _ -> None)
-        |> List.of_seq
-      in
-      if in_flight = [] then begin
-        (* Nothing is running. If workers survive, the next loop
-           iteration dispatches; if none are left, drain locally. *)
-        if Array.for_all (fun s -> s = None) t.slots then
-          while not (Queue.is_empty pending) do
-            let (i, _) = Queue.take pending in
-            run_local i
-          done
-      end
-      else begin
-        let tmo =
-          match t.timeout_s with
-          | None -> -1.
-          | Some ts ->
-              let tnow = now () in
-              List.fold_left
-                (fun acc w ->
-                  match w.job with
-                  | Some (_, _, started) ->
-                      Float.min acc (Float.max 0.001 (started +. ts -. tnow))
-                  | None -> acc)
-                ts in_flight
-        in
-        let fds = List.map (fun w -> w.from_w) in_flight in
-        match restart_on_intr (fun () -> Unix.select fds [] [] tmo) with
-        | [], _, _ -> (
-            (* Only reachable with a timeout configured: kill every
-               worker whose task exceeded it. *)
-            match t.timeout_s with
-            | None -> ()
-            | Some ts ->
-                let tnow = now () in
-                Array.iteri
-                  (fun si slot ->
-                    match slot with
-                    | Some w -> (
-                        match w.job with
-                        | Some (_, _, started) when tnow -. started >= ts ->
-                            handle_crash si w
-                              (Printf.sprintf "task exceeded %.3fs timeout" ts)
-                        | _ -> ())
-                    | None -> ())
-                  t.slots)
-        | readable, _, _ ->
-            Array.iteri
-              (fun si slot ->
-                match slot with
-                | Some w when List.memq w.from_w readable -> receive si w
-                | _ -> ())
-              t.slots
-      end
-    done;
-    Array.map (function Some r -> r | None -> assert false) results
-  end
-
-let shutdown t =
-  if not t.shut then begin
-    t.shut <- true;
-    Array.iteri
-      (fun si slot ->
-        match slot with
-        | None -> ()
-        | Some w ->
-            t.slots.(si) <- None;
-            (* EOF on the task pipe makes the worker exit cleanly... *)
-            close_noerr w.to_w;
-            let rec reap tries =
-              match Unix.waitpid [ Unix.WNOHANG ] w.pid with
-              | 0, _ ->
-                  if tries <= 0 then begin
-                    (* ... and stragglers are killed. *)
-                    kill_noerr w.pid;
-                    reap_noerr w.pid
-                  end
-                  else begin
-                    Unix.sleepf 0.01;
-                    reap (tries - 1)
-                  end
-              | _ -> ()
-              | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap tries
-              | exception Unix.Unix_error _ -> ()
-            in
-            reap 100;
-            close_noerr w.from_w)
-      t.slots
-  end
+let workers t = Transport.workers t.sched
+let restarts t = Transport.restarts t.sched
+let busy_times t = Transport.busy_times t.sched
+let map t f tasks = Transport.map t.sched f tasks
+let shutdown t = Transport.shutdown t.sched

@@ -36,7 +36,13 @@
 
     {!create} raises {!Spawn_failure} when no worker at all can be
     brought up; {!Pool} uses that to degrade gracefully to the domain
-    backend. *)
+    backend.
+
+    This module is only the pipe {e transport}; the scheduler (frame
+    protocol, crash recovery, retries, timeouts, work stealing, CAS
+    side-channel) is {!Transport}, shared with the TCP backend
+    {!Remote}. The exceptions below are aliases of {!Transport}'s, so
+    matching on either module's constructors works. *)
 
 type t
 

@@ -1,0 +1,374 @@
+(* TCP fleet worker backend. See remote.mli for the contract.
+
+   This module is only the socket transport: listeners, connects,
+   loopback exec launching and child reaping. The frame protocol,
+   handshake/resync, crash recovery, bounded retries, per-task
+   timeouts, work stealing and the CAS side-channel all live in
+   {!Transport}, shared with {!Proc}.
+
+   Two launch modes:
+   - [Exec n]: the parent binds an ephemeral loopback listener and
+     spawns [n] children of the current executable with
+     [--engine-remote-worker=connect:127.0.0.1:<port>]; each child
+     connects back and is handshaken over its socket. Crashed workers
+     are respawned the same way. This is the same-host smoke path —
+     process isolation identical to {!Proc}, but exercising the full
+     TCP stack.
+   - [Addrs]: workers were started out-of-band ([tiered-cli worker
+     --listen PORT], typically via ssh) and the parent connects out to
+     each [host:port]. A crashed worker is replaced by one reconnect
+     attempt to the same address (the listener loop serves connections
+     sequentially, so a restarted daemon picks the slot back up). *)
+
+exception Spawn_failure = Transport.Spawn_failure
+exception Remote_failure = Transport.Remote_failure
+exception Worker_lost = Transport.Worker_lost
+
+let worker_flag_prefix = "--engine-remote-worker="
+
+type spec = Exec of int | Addrs of (string * int) list
+
+let parse_spec s =
+  let exec_prefix = "exec:" in
+  let has_prefix p s =
+    String.length s >= String.length p && String.equal (String.sub s 0 (String.length p)) p
+  in
+  if has_prefix exec_prefix s then
+    let n = String.sub s (String.length exec_prefix) (String.length s - String.length exec_prefix) in
+    match int_of_string_opt n with
+    | Some n when n >= 1 -> Ok (Exec n)
+    | Some _ | None -> Error "exec:N needs a positive worker count"
+  else
+    let parse_addr a =
+      match String.rindex_opt a ':' with
+      | None -> Error (Printf.sprintf "%S is not host:port" a)
+      | Some i -> (
+          let host = String.sub a 0 i in
+          let port = String.sub a (i + 1) (String.length a - i - 1) in
+          match int_of_string_opt port with
+          | Some p when p >= 1 && p <= 65535 && String.length host > 0 ->
+              Ok (host, p)
+          | Some _ | None -> Error (Printf.sprintf "%S is not host:port" a))
+    in
+    let parts = String.split_on_char ',' s |> List.filter (fun p -> String.length p > 0) in
+    if parts = [] then Error "empty worker list"
+    else
+      List.fold_left
+        (fun acc part ->
+          match (acc, parse_addr part) with
+          | Error _, _ -> acc
+          | Ok _, Error e -> Error e
+          | Ok addrs, Ok a -> Ok (a :: addrs))
+        (Ok []) parts
+      |> Result.map (fun addrs -> Addrs (List.rev addrs))
+
+let spec_workers = function Exec n -> max 1 n | Addrs l -> List.length l
+
+(* --- sockets --------------------------------------------------------------- *)
+
+let set_nodelay sock =
+  (* Frames are small and request/response-shaped; Nagle would add
+     40ms hiccups to every CAS round-trip. *)
+  try Unix.setsockopt sock Unix.TCP_NODELAY true with Unix.Unix_error _ -> ()
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+          raise (Spawn_failure (Printf.sprintf "cannot resolve %s" host))
+      | h -> h.Unix.h_addr_list.(0))
+
+let connect ~timeout_s host port =
+  let addr = Unix.ADDR_INET (resolve host, port) in
+  let sock = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec sock;
+  let fail msg =
+    Transport.close_noerr sock;
+    raise (Spawn_failure (Printf.sprintf "connect %s:%d: %s" host port msg))
+  in
+  Unix.set_nonblock sock;
+  (match Unix.connect sock addr with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EINPROGRESS, _, _) -> (
+      match
+        Transport.restart_on_intr (fun () ->
+            Unix.select [] [ sock ] [] timeout_s)
+      with
+      | _, [ _ ], _ -> (
+          match Unix.getsockopt_error sock with
+          | None -> ()
+          | Some e -> fail (Unix.error_message e))
+      | _ -> fail "timed out")
+  | exception Unix.Unix_error (e, _, _) -> fail (Unix.error_message e));
+  Unix.clear_nonblock sock;
+  set_nodelay sock;
+  sock
+
+(* --- worker side ----------------------------------------------------------- *)
+
+let serve_connection sock =
+  match Transport.serve_worker ~in_fd:sock ~out_fd:sock () with
+  | () -> ()
+  | exception End_of_file -> ()
+
+let serve_forever ~port =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  Printexc.record_backtrace true;
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_any, port));
+  Unix.listen listener 8;
+  Printf.eprintf "engine remote worker: listening on port %d\n%!" port;
+  let rec loop () =
+    let sock, peer =
+      Transport.restart_on_intr (fun () -> Unix.accept listener)
+    in
+    let peer_name =
+      match peer with
+      | Unix.ADDR_INET (a, p) ->
+          Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+      | Unix.ADDR_UNIX p -> p
+    in
+    Printf.eprintf "engine remote worker: serving %s\n%!" peer_name;
+    set_nodelay sock;
+    (match serve_connection sock with
+    | () -> ()
+    | exception exn ->
+        Printf.eprintf "engine remote worker: connection to %s failed: %s\n%!"
+          peer_name (Printexc.to_string exn));
+    Transport.close_noerr sock;
+    Printf.eprintf "engine remote worker: %s disconnected\n%!" peer_name;
+    loop ()
+  in
+  loop ()
+
+let run_directive directive =
+  (* "connect:HOST:PORT" — dial the parent's listener and serve one
+     connection. "listen:PORT" — run the standalone daemon. *)
+  let strip prefix =
+    let plen = String.length prefix in
+    if
+      String.length directive > plen
+      && String.equal (String.sub directive 0 plen) prefix
+    then Some (String.sub directive plen (String.length directive - plen))
+    else None
+  in
+  match (strip "connect:", strip "listen:") with
+  | Some rest, _ ->
+      let host, port =
+        match String.rindex_opt rest ':' with
+        | None -> failwith (Printf.sprintf "bad worker directive %S" directive)
+        | Some i -> (
+            let host = String.sub rest 0 i in
+            match
+              int_of_string_opt
+                (String.sub rest (i + 1) (String.length rest - i - 1))
+            with
+            | Some p -> (host, p)
+            | None ->
+                failwith (Printf.sprintf "bad worker directive %S" directive))
+      in
+      let sock = connect ~timeout_s:10.0 host port in
+      Fun.protect
+        ~finally:(fun () -> Transport.close_noerr sock)
+        (fun () -> serve_connection sock)
+  | None, Some port -> (
+      match int_of_string_opt port with
+      | Some p when p >= 1 && p <= 65535 -> serve_forever ~port:p
+      | Some _ | None ->
+          failwith (Printf.sprintf "bad worker directive %S" directive))
+  | None, None -> failwith (Printf.sprintf "bad worker directive %S" directive)
+
+let maybe_run_worker () =
+  let directive =
+    Array.fold_left
+      (fun acc arg ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            let plen = String.length worker_flag_prefix in
+            if
+              String.length arg > plen
+              && String.equal (String.sub arg 0 plen) worker_flag_prefix
+            then Some (String.sub arg plen (String.length arg - plen))
+            else None)
+      None Sys.argv
+  in
+  match directive with
+  | None -> ()
+  | Some directive -> (
+      Printexc.record_backtrace true;
+      (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+       with Invalid_argument _ -> ());
+      match run_directive directive with
+      | () -> exit 0
+      | exception exn ->
+          Printf.eprintf "engine remote worker: fatal: %s\n%!"
+            (Printexc.to_string exn);
+          exit 125)
+
+(* --- parent side ----------------------------------------------------------- *)
+
+type t = {
+  sched : Transport.sched;
+  listener : Unix.file_descr option;
+  mutable shut : bool;
+}
+
+let endpoint_of_socket ?pid sock =
+  try
+    Transport.write_config sock;
+    Transport.handshake ~deadline_s:10.0 sock;
+    {
+      Transport.ep_send = sock;
+      ep_recv = sock;
+      ep_kill =
+        (fun () ->
+          match pid with
+          | Some p -> Transport.kill_noerr p
+          | None -> Transport.close_noerr sock);
+      ep_close =
+        (fun () ->
+          (* One fd both ways: close once. EOF makes the worker's read
+             loop return; exec children additionally get reaped. *)
+          Transport.close_noerr sock;
+          match pid with
+          | Some p -> Transport.reap_with_grace p
+          | None -> ());
+    }
+  with exn ->
+    (match pid with
+    | Some p ->
+        Transport.kill_noerr p;
+        Transport.reap_noerr p
+    | None -> ());
+    Transport.close_noerr sock;
+    raise (Spawn_failure (Printexc.to_string exn))
+
+let spawn_exec_child ~port =
+  let exe = Sys.executable_name in
+  let arg = Printf.sprintf "%sconnect:127.0.0.1:%d" worker_flag_prefix port in
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  match
+    (* stdout → stderr: init-time noise from the host executable must
+       not land on the parent's stdout (the golden tables) — and unlike
+       a pipe worker, the protocol channel here is the socket, so the
+       child's fd 1 carries nothing we need. *)
+    Unix.create_process exe [| exe; arg |] null Unix.stderr Unix.stderr
+  with
+  | exception exn ->
+      Transport.close_noerr null;
+      raise (Spawn_failure (Printexc.to_string exn))
+  | pid ->
+      Transport.close_noerr null;
+      pid
+
+let accept_worker listener ~timeout_s =
+  match
+    Transport.restart_on_intr (fun () -> Unix.select [ listener ] [] [] timeout_s)
+  with
+  | [], _, _ -> raise (Spawn_failure "remote worker did not connect in time")
+  | _ ->
+      let sock, _peer =
+        Transport.restart_on_intr (fun () -> Unix.accept listener)
+      in
+      Unix.set_close_on_exec sock;
+      set_nodelay sock;
+      sock
+
+let create ?(retries = 2) ?timeout_s spec =
+  (* A dead worker must surface as EPIPE/ECONNRESET on its socket, not
+     kill the parent. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  match spec with
+  | Exec n ->
+      let n = max 1 n in
+      let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.set_close_on_exec listener;
+      Unix.setsockopt listener Unix.SO_REUSEADDR true;
+      Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+      Unix.listen listener (n + 8);
+      let port =
+        match Unix.getsockname listener with
+        | Unix.ADDR_INET (_, p) -> p
+        | Unix.ADDR_UNIX _ -> assert false
+      in
+      let spawn_one () =
+        let pid = spawn_exec_child ~port in
+        match accept_worker listener ~timeout_s:10.0 with
+        | sock -> endpoint_of_socket ~pid sock
+        | exception exn ->
+            Transport.kill_noerr pid;
+            Transport.reap_noerr pid;
+            raise exn
+      in
+      let endpoints = Array.make n None in
+      (* The first worker must come up, otherwise the backend is
+         unavailable and the caller degrades; later failures only
+         shrink the fleet. *)
+      (match spawn_one () with
+      | ep -> endpoints.(0) <- Some ep
+      | exception exn ->
+          Transport.close_noerr listener;
+          raise exn);
+      for i = 1 to n - 1 do
+        match spawn_one () with
+        | ep -> endpoints.(i) <- Some ep
+        | exception Spawn_failure _ -> ()
+      done;
+      let respawn _slot =
+        match spawn_one () with
+        | ep -> Some ep
+        | exception Spawn_failure _ -> None
+      in
+      {
+        sched = Transport.make_sched ~retries ?timeout_s ~respawn endpoints;
+        listener = Some listener;
+        shut = false;
+      }
+  | Addrs addr_list ->
+      if addr_list = [] then raise (Spawn_failure "empty worker list");
+      let addrs = Array.of_list addr_list in
+      let n = Array.length addrs in
+      let spawn_at (host, port) =
+        endpoint_of_socket (connect ~timeout_s:5.0 host port)
+      in
+      let endpoints = Array.make n None in
+      endpoints.(0) <- Some (spawn_at addrs.(0));
+      for i = 1 to n - 1 do
+        match spawn_at addrs.(i) with
+        | ep -> endpoints.(i) <- Some ep
+        | exception Spawn_failure _ -> ()
+      done;
+      let respawn slot =
+        (* One reconnect attempt to the worker's own address: a
+           [serve_forever] daemon accepts the next connection after its
+           previous one died. *)
+        match spawn_at addrs.(slot) with
+        | ep -> Some ep
+        | exception Spawn_failure _ -> None
+      in
+      {
+        sched = Transport.make_sched ~retries ?timeout_s ~respawn endpoints;
+        listener = None;
+        shut = false;
+      }
+
+let workers t = Transport.workers t.sched
+let restarts t = Transport.restarts t.sched
+let busy_times t = Transport.busy_times t.sched
+let store t = Transport.store t.sched
+let map t f tasks = Transport.map t.sched f tasks
+
+let shutdown t =
+  if not t.shut then begin
+    t.shut <- true;
+    Transport.shutdown t.sched;
+    match t.listener with
+    | Some fd -> Transport.close_noerr fd
+    | None -> ()
+  end

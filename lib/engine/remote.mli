@@ -1,0 +1,89 @@
+(** TCP fleet worker backend: the {!Transport} scheduler over socket
+    endpoints, so a sweep can run on workers that live on {e other
+    hosts} — or on loopback children for same-host smoke runs.
+
+    Worker launch modes ({!spec}):
+    - [Exec n] — the parent binds an ephemeral loopback listener and
+      spawns [n] children of the current executable, each re-entered
+      through the hidden [--engine-remote-worker=connect:…] argv
+      directive; they dial back and are handshaken over their socket.
+      Process isolation identical to {!Proc}, plus the full TCP stack:
+      this is what [--backend remote] without [--workers] and the CI
+      smoke use.
+    - [Addrs [(host, port); …]] — workers were started out-of-band
+      with [tiered-cli worker --listen PORT] (typically via ssh) and
+      the parent connects out to each address. A crashed worker is
+      replaced by one reconnect attempt to the same address.
+
+    Everything above the sockets — framing, handshake/resync, crash
+    recovery with bounded retries, per-task timeouts, work stealing,
+    local draining, and the CAS side-channel through which workers
+    fetch/publish artifacts by digest — is {!Transport}, shared with
+    the subprocess backend, so the two backends have identical task
+    semantics (at-least-once execution, exactly-once result merging in
+    submission order, byte-identical rendered output).
+
+    Every entry point that may drive a remote pool must call
+    {!maybe_run_worker} first in [main] (right after
+    {!Proc.maybe_run_worker}). *)
+
+type t
+
+exception Spawn_failure of string
+exception Remote_failure of { message : string }
+exception Worker_lost of { attempts : int; reason : string }
+(** Aliases of {!Transport}'s exceptions (and therefore of {!Proc}'s):
+    matching on any of the three modules' constructors works. *)
+
+type spec = Exec of int | Addrs of (string * int) list
+
+val parse_spec : string -> (spec, string) result
+(** ["exec:N"] or ["host:port,host:port,…"] (the [--workers] argument
+    syntax). *)
+
+val spec_workers : spec -> int
+(** Fleet size the spec asks for. *)
+
+val worker_flag_prefix : string
+(** ["--engine-remote-worker="] — the hidden argv prefix that turns
+    the current executable into a connecting fleet worker. *)
+
+val maybe_run_worker : unit -> unit
+(** If [Sys.argv] carries a [--engine-remote-worker=connect:HOST:PORT]
+    directive, become a fleet worker: dial the parent, serve task
+    frames until the connection closes, then [exit 0]. A
+    [--engine-remote-worker=listen:PORT] directive runs
+    {!serve_forever} instead, so any host executable can be started as
+    a standalone daemon. Never returns in either case. *)
+
+val serve_forever : port:int -> 'a
+(** Run a standalone worker daemon: listen on [port] (all interfaces)
+    and serve one parent connection at a time, forever — each
+    connection re-applies the parent's disk-cache configuration, and
+    in-memory artifact caches stay warm across connections (the schema
+    stamp guards staleness). This is [tiered-cli worker --listen].
+    Progress notes go to stderr. *)
+
+val create : ?retries:int -> ?timeout_s:float -> spec -> t
+(** Bring the fleet up (spawn-and-accept for [Exec], connect for
+    [Addrs]) and handshake every worker. [retries] (default [2])
+    bounds how many crashed executions a task absorbs; [timeout_s]
+    kills a worker stuck on one task. Raises {!Spawn_failure} when not
+    even one worker comes up; later failures merely shrink the fleet.
+    Side effect: [SIGPIPE] is ignored process-wide. *)
+
+val workers : t -> int
+val restarts : t -> int
+val busy_times : t -> float array
+
+val store : t -> Transport.Store.t
+(** The parent-side artifact store answering the fleet's CAS frames —
+    exposed so callers and tests can pre-seed artifacts workers will
+    fetch by digest. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> ('b, exn * string) result array
+(** Same contract as {!Transport.map}. *)
+
+val shutdown : t -> unit
+(** Close every worker connection (loopback children are reaped) and
+    the listener. Idempotent. *)

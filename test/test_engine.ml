@@ -299,16 +299,16 @@ let test_eviction_skips_unremovable () =
   add 0;
   let s = scan_payload_bytes dir in
   Alcotest.(check bool) "payload written" true (s > 0);
-  (* Re-enable with a 2-payload budget; make payload 0 unremovable. *)
+  (* Re-enable with a 2-payload budget; make payload 0 unremovable.
+     Objects are content-addressed, so the pinned file is named by the
+     digest of payload 0's bytes, not by its key. *)
   Engine.Cache.enable_disk ~max_bytes:(2 * s) ~dir ();
-  let pinned = Engine.Cache.key_digest ("pin", 0) in
+  let pinned = Engine.Cache.Private.payload_digest cache (payload 0) in
   Engine.Cache.Private.set_remove_hook
     (Some
        (fun path ->
-         if
-           Filename.check_suffix path
-             (Printf.sprintf "test-unremovable-%s.bin" pinned)
-         then raise (Sys_error (path ^ ": simulated unremovable payload"))
+         if Filename.basename path = Engine.Cas.object_name pinned then
+           raise (Sys_error (path ^ ": simulated unremovable payload"))
          else Sys.remove path));
   for i = 1 to 3 do
     add i;

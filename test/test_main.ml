@@ -3,6 +3,10 @@
    exit before Alcotest parses argv. *)
 let () = Engine.Proc.maybe_run_worker ()
 
+(* Same for the TCP fleet backend: Exec-mode tests spawn this binary
+   with --engine-remote-worker=connect:... *)
+let () = Engine.Remote.maybe_run_worker ()
+
 let () =
   Alcotest.run "tiered-pricing"
     [
@@ -49,6 +53,9 @@ let () =
       ("tiered.report", Test_report.suite);
       ("tiered.experiment", Test_experiment.suite);
       ("engine", Test_engine.suite);
+      ("engine.transport", Test_transport.suite);
+      ("engine.remote", Test_remote.suite);
+      ("engine.manifest", Test_manifest.suite);
       ("golden", Test_golden.suite);
       ("flowgen.loading", Test_loading.suite);
       ("flowgen.trace", Test_trace.suite);

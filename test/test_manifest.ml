@@ -1,0 +1,161 @@
+(* Engine.Manifest: deterministic grid files with appended completion
+   records — the resumable-sweep bookkeeping. *)
+
+let temp_manifest () =
+  let path = Filename.temp_file "tiered-manifest" ".manifest" in
+  Sys.remove path;
+  path
+
+let with_manifest_path f =
+  let path = temp_manifest () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let digest s = Digest.to_hex (Digest.string s)
+
+let grid n =
+  List.init n (fun i ->
+      {
+        Engine.Manifest.index = i;
+        name = Printf.sprintf "alpha=%d.5" i;
+        input_digest = digest (Printf.sprintf "cell-%d" i);
+      })
+
+(* (a) Create, record, reload: the reloaded manifest sees the same
+   cells and the recorded artifacts; unrecorded cells stay open. *)
+let test_roundtrip () =
+  with_manifest_path @@ fun path ->
+  let m = Engine.Manifest.load_or_create ~path (grid 4) in
+  Alcotest.(check int) "fresh manifest has no completions" 0
+    (Engine.Manifest.completed m);
+  Engine.Manifest.record_done m ~index:2 ~artifact:(digest "artifact-2");
+  Engine.Manifest.record_done m ~index:0 ~artifact:(digest "artifact-0");
+  Engine.Manifest.close m;
+  let m2 = Engine.Manifest.load_or_create ~path (grid 4) in
+  Fun.protect ~finally:(fun () -> Engine.Manifest.close m2) @@ fun () ->
+  Alcotest.(check int) "two completions survive reload" 2
+    (Engine.Manifest.completed m2);
+  Alcotest.(check (option string))
+    "artifact digest round-trips"
+    (Some (digest "artifact-2"))
+    (Engine.Manifest.artifact m2 2);
+  Alcotest.(check (option string))
+    "unrecorded cell stays open" None
+    (Engine.Manifest.artifact m2 1);
+  Alcotest.(check int) "cells preserved" 4
+    (Array.length (Engine.Manifest.cells m2))
+
+(* (b) Idempotent re-recording: restoring the same artifact on every
+   resume neither duplicates completions nor grows the file without
+   bound. *)
+let test_idempotent_record () =
+  with_manifest_path @@ fun path ->
+  let m = Engine.Manifest.load_or_create ~path (grid 2) in
+  let a = digest "same-artifact" in
+  Engine.Manifest.record_done m ~index:1 ~artifact:a;
+  Engine.Manifest.close m;
+  let size_once = (Unix.stat path).Unix.st_size in
+  let m2 = Engine.Manifest.load_or_create ~path (grid 2) in
+  Engine.Manifest.record_done m2 ~index:1 ~artifact:a;
+  Engine.Manifest.record_done m2 ~index:1 ~artifact:a;
+  Engine.Manifest.close m2;
+  Alcotest.(check int) "re-recording the same digest appends nothing"
+    size_once
+    (Unix.stat path).Unix.st_size;
+  let m3 = Engine.Manifest.load_or_create ~path (grid 2) in
+  Fun.protect ~finally:(fun () -> Engine.Manifest.close m3) @@ fun () ->
+  Alcotest.(check int) "still one completion" 1 (Engine.Manifest.completed m3)
+
+(* (c) Grid binding: loading a manifest against a different grid —
+   changed digest, changed size, renamed cell — fails loudly. *)
+let test_grid_mismatch_fails () =
+  with_manifest_path @@ fun path ->
+  Engine.Manifest.close (Engine.Manifest.load_or_create ~path (grid 3));
+  let check_fails what cells =
+    match Engine.Manifest.load_or_create ~path cells with
+    | m ->
+        Engine.Manifest.close m;
+        Alcotest.failf "%s: load succeeded against a different grid" what
+    | exception Failure _ -> ()
+  in
+  check_fails "different size" (grid 4);
+  check_fails "changed input digest"
+    (List.map
+       (fun (c : Engine.Manifest.cell) ->
+         if c.index = 1 then { c with input_digest = digest "tampered" } else c)
+       (grid 3));
+  check_fails "renamed cell"
+    (List.map
+       (fun (c : Engine.Manifest.cell) ->
+         if c.index = 0 then { c with name = "beta=0.5" } else c)
+       (grid 3))
+
+(* (d) Torn tail: a crash mid-append leaves a truncated done record;
+   the loader drops it (the CAS re-probe recovers the cell) instead of
+   refusing the whole manifest. *)
+let test_torn_done_record_tolerated () =
+  with_manifest_path @@ fun path ->
+  let m = Engine.Manifest.load_or_create ~path (grid 3) in
+  Engine.Manifest.record_done m ~index:0 ~artifact:(digest "a0");
+  Engine.Manifest.record_done m ~index:1 ~artifact:(digest "a1");
+  Engine.Manifest.close m;
+  (* Simulate the crash: chop bytes off the final line. *)
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc
+        (String.sub full 0 (String.length full - 7)));
+  let m2 = Engine.Manifest.load_or_create ~path (grid 3) in
+  Fun.protect ~finally:(fun () -> Engine.Manifest.close m2) @@ fun () ->
+  Alcotest.(check int) "intact record survives, torn record dropped" 1
+    (Engine.Manifest.completed m2);
+  Alcotest.(check (option string))
+    "torn cell reads as open" None
+    (Engine.Manifest.artifact m2 1)
+
+(* (e) Structural validation: out-of-order indices, names with spaces
+   and non-hex digests are rejected at creation. *)
+let test_cell_validation () =
+  let check_fails what cells =
+    with_manifest_path @@ fun path ->
+    match Engine.Manifest.load_or_create ~path cells with
+    | m ->
+        Engine.Manifest.close m;
+        Alcotest.failf "%s: accepted" what
+    | exception Failure _ -> ()
+  in
+  check_fails "out-of-order indices"
+    [
+      { Engine.Manifest.index = 1; name = "a"; input_digest = digest "x" };
+      { Engine.Manifest.index = 0; name = "b"; input_digest = digest "y" };
+    ];
+  check_fails "space in name"
+    [ { Engine.Manifest.index = 0; name = "a b"; input_digest = digest "x" } ];
+  check_fails "non-hex digest"
+    [ { Engine.Manifest.index = 0; name = "a"; input_digest = "not-hex!" } ];
+  check_fails "empty grid" []
+
+(* (f) Determinism: writing the same grid twice produces byte-identical
+   manifest files (the resume path depends on the grid digest being a
+   pure function of the cells). *)
+let test_deterministic_render () =
+  with_manifest_path @@ fun path1 ->
+  with_manifest_path @@ fun path2 ->
+  Engine.Manifest.close (Engine.Manifest.load_or_create ~path:path1 (grid 5));
+  Engine.Manifest.close (Engine.Manifest.load_or_create ~path:path2 (grid 5));
+  let read p = In_channel.with_open_bin p In_channel.input_all in
+  Alcotest.(check string) "same grid, same bytes" (read path1) (read path2)
+
+let suite =
+  [
+    Alcotest.test_case "record/reload round-trip" `Quick test_roundtrip;
+    Alcotest.test_case "re-recording is idempotent" `Quick
+      test_idempotent_record;
+    Alcotest.test_case "grid mismatch fails loudly" `Quick
+      test_grid_mismatch_fails;
+    Alcotest.test_case "torn trailing done record is tolerated" `Quick
+      test_torn_done_record_tolerated;
+    Alcotest.test_case "cell validation" `Quick test_cell_validation;
+    Alcotest.test_case "manifest files are deterministic" `Quick
+      test_deterministic_render;
+  ]

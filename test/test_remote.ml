@@ -1,0 +1,259 @@
+(* Engine.Remote: the TCP fleet backend, exercised end-to-end over
+   loopback workers (this test binary re-invokes itself through
+   --engine-remote-worker=connect:…; Test_main calls
+   Remote.maybe_run_worker first). Mirrors the subprocess-backend
+   tests in Test_engine: identical task semantics, plus the TCP-only
+   paths — the CAS side-channel and the standalone daemon. *)
+
+open Tiered
+
+(* The remote tests require the fleet to actually come up. A degraded
+   pool would make the self-kill tasks below kill the test process, so
+   assert loudly instead. *)
+let require_remote pool =
+  if Engine.Pool.backend pool <> Engine.Pool.Remote then
+    Alcotest.fail
+      "remote backend unavailable (loopback spawn failed); cannot run this test"
+
+(* (a) Byte-identity across substrates: the same grid rendered through
+   a 2-worker loopback fleet equals the serial rendering exactly. *)
+let test_remote_backend_identical () =
+  let grid = List.map Experiment.find [ "table1"; "fig8" ] in
+  let serial = Runner.render (Runner.run_experiments ~jobs:1 grid) in
+  let remote =
+    Runner.render
+      (Runner.run_experiments ~backend:Engine.Pool.Remote ~jobs:2 grid)
+  in
+  Alcotest.(check string) "remote rendering byte-identical" serial remote
+
+(* (b) Fault injection: SIGKILL a fleet worker mid-map. The in-flight
+   task is retried on a surviving/replacement worker, results are
+   byte-identical to an undisturbed run, and the restart is counted. *)
+let test_remote_worker_kill_recovers () =
+  Engine.Pool.with_pool ~backend:Engine.Pool.Remote ~jobs:2 ~retries:2
+    (fun pool ->
+      require_remote pool;
+      let sentinel = Filename.temp_file "engine-remote-kill" ".sentinel" in
+      Sys.remove sentinel;
+      Fun.protect ~finally:(fun () ->
+          try Sys.remove sentinel with Sys_error _ -> ())
+      @@ fun () ->
+      let f i =
+        if i = 3 && not (Sys.file_exists sentinel) then begin
+          let oc = open_out sentinel in
+          close_out oc;
+          Unix.kill (Unix.getpid ()) Sys.sigkill
+        end;
+        i * 2
+      in
+      let out = Engine.Pool.map pool f (Array.init 8 (fun i -> i)) in
+      Alcotest.(check (array int))
+        "results identical despite the crash"
+        (Array.init 8 (fun i -> i * 2))
+        out;
+      Alcotest.(check bool)
+        (Printf.sprintf "restart recorded (%d)" (Engine.Pool.restarts pool))
+        true
+        (Engine.Pool.restarts pool >= 1);
+      let again = Engine.Pool.map pool (fun i -> i + 1) [| 1; 2; 3 |] in
+      Alcotest.(check (array int)) "fleet alive after crash" [| 2; 3; 4 |] again)
+
+(* (c) Retry exhaustion is deterministic: attempts = retries + 1, the
+   lowest failing index surfaces, the map neither hangs nor poisons
+   the other tasks. *)
+let test_remote_retry_exhaustion () =
+  Engine.Pool.with_pool ~backend:Engine.Pool.Remote ~jobs:2 ~retries:1
+    (fun pool ->
+      require_remote pool;
+      let f i =
+        if i = 1 then Unix.kill (Unix.getpid ()) Sys.sigkill;
+        i + 10
+      in
+      match Engine.Pool.map pool f [| 0; 1; 2; 3 |] with
+      | _ -> Alcotest.fail "expected Task_failed"
+      | exception Engine.Pool.Task_failed { index; exn; _ } -> (
+          Alcotest.(check int) "deterministic failing index" 1 index;
+          match exn with
+          | Engine.Remote.Worker_lost { attempts; _ } ->
+              Alcotest.(check int) "retries=1 means two attempts" 2 attempts
+          | other ->
+              Alcotest.failf "expected Worker_lost, got %s"
+                (Printexc.to_string other)))
+
+(* (d) A task exception inside a fleet worker is a failure report, not
+   a crash: no retry, surfaced as Remote_failure with the printed
+   exception. *)
+let test_remote_task_failure () =
+  Engine.Pool.with_pool ~backend:Engine.Pool.Remote ~jobs:2 ~retries:2
+    (fun pool ->
+      require_remote pool;
+      match
+        Engine.Pool.map pool
+          (fun i -> if i = 2 then failwith "remote boom" else i)
+          [| 0; 1; 2; 3 |]
+      with
+      | _ -> Alcotest.fail "expected Task_failed"
+      | exception Engine.Pool.Task_failed { index; exn; _ } -> (
+          Alcotest.(check int) "failing index" 2 index;
+          Alcotest.(check int) "a raising task is not a worker loss" 0
+            (Engine.Pool.restarts pool);
+          match exn with
+          | Engine.Remote.Remote_failure { message } ->
+              Alcotest.(check string) "printed exception carried over"
+                (Printexc.to_string (Failure "remote boom"))
+                message
+          | other ->
+              Alcotest.failf "expected Remote_failure, got %s"
+                (Printexc.to_string other)))
+
+(* (e) The CAS side-channel: a worker that misses an artifact fetches
+   it from the parent's store by digest over its task connection. The
+   parent store is pre-seeded with the marshalled payload; the task's
+   compute function raises, so only a successful remote fetch can
+   produce the value. *)
+let test_remote_cas_fetch () =
+  let fleet = Engine.Remote.create (Engine.Remote.Exec 1) in
+  Fun.protect ~finally:(fun () -> Engine.Remote.shutdown fleet) @@ fun () ->
+  let cache = Engine.Cache.create ~name:"test-remote-cas" ~schema:"v1" () in
+  let key = ("artifact", 7) in
+  let payload = Engine.Cache.Private.payload_of_value cache "fetched-over-tcp" in
+  Engine.Transport.Store.put (Engine.Remote.store fleet)
+    ~cache:"test-remote-cas"
+    ~key_digest:(Engine.Cache.key_digest key)
+    ~payload;
+  let out =
+    Engine.Remote.map fleet
+      (fun () ->
+        let c = Engine.Cache.create ~name:"test-remote-cas" ~schema:"v1" () in
+        Engine.Cache.find_or_add c ~key:("artifact", 7) (fun () ->
+            failwith "compute ran: the remote tier did not serve the artifact"))
+      [| () |]
+  in
+  match out.(0) with
+  | Ok v -> Alcotest.(check string) "artifact served by digest" "fetched-over-tcp" v
+  | Error (exn, _) ->
+      Alcotest.failf "fetch failed: %s" (Printexc.to_string exn)
+
+(* (f) The publish direction: with no disk tier in the parent, a
+   worker's computed artifact lands in the parent's in-memory store
+   under the cache name and key digest. *)
+let test_remote_cas_publish () =
+  let fleet = Engine.Remote.create (Engine.Remote.Exec 1) in
+  Fun.protect ~finally:(fun () -> Engine.Remote.shutdown fleet) @@ fun () ->
+  let key = ("published", 1) in
+  let out =
+    Engine.Remote.map fleet
+      (fun () ->
+        let c = Engine.Cache.create ~name:"test-remote-pub" ~schema:"v1" () in
+        Engine.Cache.find_or_add c ~key:("published", 1) (fun () -> "made-remotely"))
+      [| () |]
+  in
+  (match out.(0) with
+  | Ok v -> Alcotest.(check string) "task result" "made-remotely" v
+  | Error (exn, _) ->
+      Alcotest.failf "task failed: %s" (Printexc.to_string exn));
+  match
+    Engine.Transport.Store.get (Engine.Remote.store fleet)
+      ~cache:"test-remote-pub"
+      ~key_digest:(Engine.Cache.key_digest key)
+  with
+  | None -> Alcotest.fail "worker artifact was not published to the parent"
+  | Some payload ->
+      Alcotest.(check bool) "published payload is non-empty" true
+        (String.length payload > 0)
+
+(* (g) Spec parsing: the --workers syntax. *)
+let test_parse_spec () =
+  (match Engine.Remote.parse_spec "exec:3" with
+  | Ok (Engine.Remote.Exec 3) -> ()
+  | Ok _ -> Alcotest.fail "exec:3 parsed to the wrong spec"
+  | Error msg -> Alcotest.failf "exec:3 rejected: %s" msg);
+  (match Engine.Remote.parse_spec "10.0.0.1:7000,host-b:7001" with
+  | Ok (Engine.Remote.Addrs [ ("10.0.0.1", 7000); ("host-b", 7001) ]) -> ()
+  | Ok _ -> Alcotest.fail "address list parsed to the wrong spec"
+  | Error msg -> Alcotest.failf "address list rejected: %s" msg);
+  List.iter
+    (fun bad ->
+      match Engine.Remote.parse_spec bad with
+      | Ok _ -> Alcotest.failf "%S parsed but should not" bad
+      | Error _ -> ())
+    [ ""; "exec:0"; "exec:x"; "nohost"; "host:"; "host:0"; "host:notaport" ]
+
+(* (h) The standalone daemon path: a worker started with serve_forever
+   semantics (here: a listener the fleet connects out to) serves a
+   map, survives the parent disconnecting, and serves a second parent
+   — in-memory caches staying warm across connections. *)
+let test_remote_daemon_reconnect () =
+  (* Bind the daemon port first so the fleet has something to dial. *)
+  let exe = Sys.executable_name in
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let port =
+    (* Pick a free port by binding an ephemeral listener, reading the
+       port back, and closing it — a race in principle, but the daemon
+       child rebinds it immediately. *)
+    let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt s Unix.SO_REUSEADDR true;
+    Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+    let p =
+      match Unix.getsockname s with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> assert false
+    in
+    Unix.close s;
+    p
+  in
+  let pid =
+    Unix.create_process exe
+      [| exe; "--engine-remote-worker=listen:" ^ string_of_int port |]
+      null Unix.stderr Unix.stderr
+  in
+  Unix.close null;
+  let finally () =
+    (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+    ignore (try Unix.waitpid [] pid with Unix.Unix_error _ -> (0, Unix.WEXITED 0))
+  in
+  Fun.protect ~finally @@ fun () ->
+  let addrs = Engine.Remote.Addrs [ ("127.0.0.1", port) ] in
+  let connect_with_patience () =
+    (* The daemon child needs a moment to bind. *)
+    let rec go tries =
+      match Engine.Remote.create addrs with
+      | fleet -> fleet
+      | exception Engine.Remote.Spawn_failure _ when tries > 0 ->
+          Unix.sleepf 0.1;
+          go (tries - 1)
+    in
+    go 50
+  in
+  let fleet = connect_with_patience () in
+  let out = Engine.Remote.map fleet (fun i -> i * 3) [| 1; 2; 3 |] in
+  Alcotest.(check bool) "first connection maps" true
+    (Array.for_all Result.is_ok out);
+  Engine.Remote.shutdown fleet;
+  (* Second parent: the daemon must accept a fresh connection. *)
+  let fleet2 = connect_with_patience () in
+  let out2 = Engine.Remote.map fleet2 (fun i -> i + 1) [| 10 |] in
+  (match out2.(0) with
+  | Ok v -> Alcotest.(check int) "second connection maps" 11 v
+  | Error (exn, _) ->
+      Alcotest.failf "second connection failed: %s" (Printexc.to_string exn));
+  Engine.Remote.shutdown fleet2
+
+let suite =
+  [
+    Alcotest.test_case "remote backend renders byte-identically" `Slow
+      test_remote_backend_identical;
+    Alcotest.test_case "remote backend recovers from a killed worker" `Quick
+      test_remote_worker_kill_recovers;
+    Alcotest.test_case "remote backend exhausts retries deterministically"
+      `Quick test_remote_retry_exhaustion;
+    Alcotest.test_case "remote backend reports task exceptions" `Quick
+      test_remote_task_failure;
+    Alcotest.test_case "workers fetch artifacts from the parent store" `Quick
+      test_remote_cas_fetch;
+    Alcotest.test_case "workers publish artifacts to the parent store" `Quick
+      test_remote_cas_publish;
+    Alcotest.test_case "--workers spec parsing" `Quick test_parse_spec;
+    Alcotest.test_case "standalone daemon serves successive parents" `Quick
+      test_remote_daemon_reconnect;
+  ]
