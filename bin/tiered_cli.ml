@@ -152,7 +152,11 @@ let task_timeout_arg =
        & info [ "task-timeout" ] ~docv:"SECONDS"
            ~doc:"With --backend procs or remote: kill and replace a worker \
                  whose task runs longer than $(docv) (the task is retried \
-                 like a crash).")
+                 like a crash). On standalone daemons ($(b,--workers \
+                 host:port,…)) this severs the connection but cannot abort \
+                 the computation already running on the remote host — the \
+                 daemon finishes it, then rejoins the fleet; only \
+                 exec-spawned and $(b,procs) workers are actually killed.")
 
 let cache_arg =
   Arg.(value & flag
@@ -367,7 +371,18 @@ let sweep_cmd =
                    serial run. Implies --cache.")
   in
   let manifest_chunk_arg =
-    Arg.(value & opt (some int) None
+    (* Validated at parse time: a negative K must be a CLI error, not
+       silently read as "no chunk limit". *)
+    let nonneg_int =
+      let parse s =
+        match int_of_string_opt s with
+        | Some k when k >= 0 -> Ok k
+        | Some _ -> Error (`Msg "--manifest-chunk must be >= 0")
+        | None -> Error (`Msg (Printf.sprintf "%S is not an integer" s))
+      in
+      Arg.conv (parse, Format.pp_print_int)
+    in
+    Arg.(value & opt (some nonneg_int) None
          & info [ "manifest-chunk" ] ~docv:"K"
              ~doc:"With --manifest: compute at most $(docv) missing cells \
                    this invocation, then stop (without printing the table \
@@ -468,8 +483,8 @@ let sweep_cmd =
         in
         let scheduled =
           match chunk with
-          | Some k when k >= 0 -> List.filteri (fun j _ -> j < k) missing
-          | _ -> missing
+          | Some k -> List.filteri (fun j _ -> j < k) missing
+          | None -> missing
         in
         let computed =
           match scheduled with
@@ -788,21 +803,58 @@ let serve_cmd =
 let worker_cmd =
   let listen_arg =
     Arg.(required & opt (some int) None
-         & info [ "listen" ] ~docv:"PORT"
-             ~doc:"TCP port to listen on (all interfaces).")
+         & info [ "listen" ] ~docv:"PORT" ~doc:"TCP port to listen on.")
   in
-  let run port =
+  let bind_arg =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "bind" ] ~docv:"ADDR"
+             ~doc:"Address to listen on. Defaults to loopback; pass an \
+                   interface address (or $(b,0.0.0.0)) to accept external \
+                   parents — which additionally requires a shared secret \
+                   ($(b,--token-file) or $(b,TIERED_WORKER_TOKEN)), because \
+                   task frames execute arbitrary code in this daemon. Only \
+                   expose workers on trusted, firewalled networks: the \
+                   secret authenticates, it does not encrypt.")
+  in
+  let token_file_arg =
+    Arg.(value & opt (some string) None
+         & info [ "token-file" ] ~docv:"FILE"
+             ~doc:"Read the shared secret (trailing whitespace trimmed) from \
+                   $(docv). The parent presents the same secret, taken from \
+                   its $(b,TIERED_WORKER_TOKEN) environment variable, before \
+                   any task frame is accepted. Defaults to the daemon's own \
+                   $(b,TIERED_WORKER_TOKEN).")
+  in
+  let run port bind token_file =
     if port < 1 || port > 65535 then begin
       Format.eprintf "worker: --listen must be a port in 1..65535@.";
       exit Cmd.Exit.cli_error
     end;
-    try Engine.Remote.serve_forever ~port
-    with Unix.Unix_error (e, _, _) ->
-      (* EADDRINUSE from a daemon already on the port is the common
-         operator mistake; report it as a CLI error, not a crash. *)
-      Format.eprintf "worker: cannot listen on port %d: %s@." port
-        (Unix.error_message e);
-      exit Cmd.Exit.cli_error
+    let token =
+      match token_file with
+      | None -> (
+          match Sys.getenv_opt Engine.Remote.token_env with
+          | Some t -> t
+          | None -> "")
+      | Some f -> (
+          match In_channel.with_open_bin f In_channel.input_all with
+          | contents -> String.trim contents
+          | exception Sys_error msg ->
+              Format.eprintf "worker: cannot read --token-file: %s@." msg;
+              exit Cmd.Exit.cli_error)
+    in
+    try Engine.Remote.serve_forever ~bind ~token ~port with
+    | Unix.Unix_error (e, _, _) ->
+        (* EADDRINUSE from a daemon already on the port is the common
+           operator mistake; report it as a CLI error, not a crash. *)
+        Format.eprintf "worker: cannot listen on %s:%d: %s@." bind port
+          (Unix.error_message e);
+        exit Cmd.Exit.cli_error
+    | Failure msg | Engine.Remote.Spawn_failure msg ->
+        (* Unresolvable --bind, or a non-loopback bind without a
+           secret. *)
+        Format.eprintf "worker: %s@." msg;
+        exit Cmd.Exit.cli_error
   in
   Cmd.v
     (Cmd.info "worker"
@@ -810,8 +862,10 @@ let worker_cmd =
              driving $(b,--backend remote --workers host:port,…) and serve \
              its task and artifact frames, one parent connection at a time, \
              forever. In-memory artifact caches stay warm across \
-             connections.")
-    Term.(const run $ listen_arg)
+             connections. Listens on loopback unless $(b,--bind) says \
+             otherwise; non-loopback binds require a shared secret and a \
+             trusted network (task frames execute arbitrary code).")
+    Term.(const run $ listen_arg $ bind_arg $ token_file_arg)
 
 (* --- main ---------------------------------------------------------------------- *)
 

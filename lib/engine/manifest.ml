@@ -96,6 +96,7 @@ let load ~path cells =
   let seen_grid = ref None in
   let seen_count = ref None in
   let cell_seen = Array.make n_cells false in
+  let n_lines = List.length lines in
   List.iteri
     (fun lineno line ->
       match String.split_on_char ' ' line with
@@ -127,9 +128,22 @@ let load ~path cells =
       | _ when String.equal line header_line -> ()
       | _ ->
           (* Unknown or torn record: ignore if it looks like an
-             appended tail, otherwise it is structural corruption. *)
-          if String.length line >= 5 && String.equal (String.sub line 0 5) "done "
-          then ()
+             appended tail, otherwise it is structural corruption. A
+             tear can cut "done <i> <digest>\n" anywhere, including
+             inside the keyword itself — so the final line is also
+             tolerated when it is any proper prefix of "done " (e.g. a
+             bare "done"). *)
+          let keyword = "done " in
+          let starts_with_done =
+            String.length line >= String.length keyword
+            && String.equal (String.sub line 0 (String.length keyword)) keyword
+          in
+          let torn_trailing_prefix =
+            lineno = n_lines - 1
+            && String.length line < String.length keyword
+            && String.equal line (String.sub keyword 0 (String.length line))
+          in
+          if starts_with_done || torn_trailing_prefix then ()
           else fail path "unrecognized record on line %d: %S" (lineno + 1) line)
     lines;
   (match !seen_grid with

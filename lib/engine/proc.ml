@@ -54,6 +54,9 @@ let spawn_endpoint () =
       Transport.close_noerr task_r;
       Transport.close_noerr res_w;
       try
+        (* Pipe fds are private by construction, so the empty token is
+           the whole preamble here; TCP endpoints carry a real secret. *)
+        Transport.write_auth task_w ~token:"";
         Transport.write_config task_w;
         Transport.handshake ~deadline_s:10.0 res_r;
         {

@@ -26,6 +26,38 @@ exception Worker_lost = Transport.Worker_lost
 
 let worker_flag_prefix = "--engine-remote-worker="
 
+(* --- shared secret ---------------------------------------------------------- *)
+
+(* Task frames execute arbitrary code in whoever accepts them (see the
+   trust-model note in transport.ml), so TCP connections authenticate
+   with a shared token. It travels in the environment, never on argv —
+   argv is world-readable via ps. *)
+
+let token_env = "TIERED_WORKER_TOKEN"
+let bind_env = "TIERED_WORKER_BIND"
+
+let env_token () =
+  match Sys.getenv_opt token_env with Some t -> t | None -> ""
+
+let gen_token () =
+  let hex s =
+    let b = Buffer.create (2 * String.length s) in
+    String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+    Buffer.contents b
+  in
+  match open_in_bin "/dev/urandom" with
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> hex (really_input_string ic 16))
+  | exception Sys_error _ ->
+      (* No urandom (exotic platform): loopback-only fleets still get a
+         per-run token nobody off-host can observe. *)
+      Digest.to_hex
+        (Digest.string
+           (Printf.sprintf "tiered-%d-%.9f" (Unix.getpid ())
+              (Unix.gettimeofday ())))
+
 type spec = Exec of int | Addrs of (string * int) list
 
 let parse_spec s =
@@ -108,20 +140,43 @@ let connect ~timeout_s host port =
 
 (* --- worker side ----------------------------------------------------------- *)
 
-let serve_connection sock =
-  match Transport.serve_worker ~in_fd:sock ~out_fd:sock () with
+let serve_connection ~token sock =
+  match Transport.serve_worker ~in_fd:sock ~out_fd:sock ~token () with
   | () -> ()
   | exception End_of_file -> ()
 
-let serve_forever ~port =
+let is_loopback addr =
+  let s = Unix.string_of_inet_addr addr in
+  String.equal s "::1"
+  || (String.length s >= 4 && String.equal (String.sub s 0 4) "127.")
+
+let serve_forever ?(bind = "127.0.0.1") ?token ~port =
+  let token = match token with Some t -> t | None -> env_token () in
+  let bind_addr = resolve bind in
+  (* Loopback needs no secret (the host boundary is the trust
+     boundary, same as the subprocess backend). Anything wider is
+     remote code execution for whoever can reach the port, so it is
+     double opt-in: an explicit bind address AND a shared token — and
+     even then the port belongs on a trusted/firewalled network. *)
+  if (not (is_loopback bind_addr)) && String.equal token "" then
+    failwith
+      (Printf.sprintf
+         "refusing to listen on %s without a shared secret: task frames \
+          execute arbitrary code in this daemon, so an exposed port is \
+          remote code execution for anyone who can reach it. Pass \
+          --token-file (or set %s) here and on the parent, and only run \
+          workers on trusted networks"
+         bind token_env);
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   Printexc.record_backtrace true;
   let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listener Unix.SO_REUSEADDR true;
-  Unix.bind listener (Unix.ADDR_INET (Unix.inet_addr_any, port));
+  Unix.bind listener (Unix.ADDR_INET (bind_addr, port));
   Unix.listen listener 8;
-  Printf.eprintf "engine remote worker: listening on port %d\n%!" port;
+  Printf.eprintf "engine remote worker: listening on %s:%d\n%!"
+    (Unix.string_of_inet_addr bind_addr)
+    port;
   let rec loop () =
     let sock, peer =
       Transport.restart_on_intr (fun () -> Unix.accept listener)
@@ -134,8 +189,12 @@ let serve_forever ~port =
     in
     Printf.eprintf "engine remote worker: serving %s\n%!" peer_name;
     set_nodelay sock;
-    (match serve_connection sock with
+    (match serve_connection ~token sock with
     | () -> ()
+    | exception Transport.Auth_failure ->
+        Printf.eprintf
+          "engine remote worker: rejected %s (bad or missing shared secret)\n%!"
+          peer_name
     | exception exn ->
         Printf.eprintf "engine remote worker: connection to %s failed: %s\n%!"
           peer_name (Printexc.to_string exn));
@@ -147,7 +206,9 @@ let serve_forever ~port =
 
 let run_directive directive =
   (* "connect:HOST:PORT" — dial the parent's listener and serve one
-     connection. "listen:PORT" — run the standalone daemon. *)
+     connection. "listen:PORT" — run the standalone daemon. Both take
+     the shared secret from the environment ([token_env]); the daemon
+     additionally honours [bind_env] (default loopback). *)
   let strip prefix =
     let plen = String.length prefix in
     if
@@ -174,10 +235,13 @@ let run_directive directive =
       let sock = connect ~timeout_s:10.0 host port in
       Fun.protect
         ~finally:(fun () -> Transport.close_noerr sock)
-        (fun () -> serve_connection sock)
+        (fun () -> serve_connection ~token:(env_token ()) sock)
   | None, Some port -> (
       match int_of_string_opt port with
-      | Some p when p >= 1 && p <= 65535 -> serve_forever ~port:p
+      | Some p when p >= 1 && p <= 65535 ->
+          serve_forever
+            ?bind:(Sys.getenv_opt bind_env)
+            ~token:(env_token ()) ~port:p
       | Some _ | None ->
           failwith (Printf.sprintf "bad worker directive %S" directive))
   | None, None -> failwith (Printf.sprintf "bad worker directive %S" directive)
@@ -218,10 +282,11 @@ type t = {
   mutable shut : bool;
 }
 
-let endpoint_of_socket ?pid sock =
+let endpoint_of_socket ?pid ?(handshake_timeout_s = 10.0) ~token sock =
   try
+    Transport.write_auth sock ~token;
     Transport.write_config sock;
-    Transport.handshake ~deadline_s:10.0 sock;
+    Transport.handshake ~deadline_s:handshake_timeout_s ~token sock;
     {
       Transport.ep_send = sock;
       ep_recv = sock;
@@ -248,16 +313,30 @@ let endpoint_of_socket ?pid sock =
     Transport.close_noerr sock;
     raise (Spawn_failure (Printexc.to_string exn))
 
-let spawn_exec_child ~port =
+let spawn_exec_child ~port ~token =
   let exe = Sys.executable_name in
   let arg = Printf.sprintf "%sconnect:127.0.0.1:%d" worker_flag_prefix port in
+  let env =
+    (* Hand the child the fleet's secret via the environment (argv
+       shows in ps), shadowing any inherited value. *)
+    let prefix = token_env ^ "=" in
+    let plen = String.length prefix in
+    let keep =
+      Array.to_list (Unix.environment ())
+      |> List.filter (fun kv ->
+             not
+               (String.length kv >= plen
+               && String.equal (String.sub kv 0 plen) prefix))
+    in
+    Array.of_list (keep @ [ prefix ^ token ])
+  in
   let null = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
   match
     (* stdout → stderr: init-time noise from the host executable must
        not land on the parent's stdout (the golden tables) — and unlike
        a pipe worker, the protocol channel here is the socket, so the
        child's fd 1 carries nothing we need. *)
-    Unix.create_process exe [| exe; arg |] null Unix.stderr Unix.stderr
+    Unix.create_process_env exe [| exe; arg |] env null Unix.stderr Unix.stderr
   with
   | exception exn ->
       Transport.close_noerr null;
@@ -279,13 +358,19 @@ let accept_worker listener ~timeout_s =
       set_nodelay sock;
       sock
 
-let create ?(retries = 2) ?timeout_s spec =
+let create ?(retries = 2) ?timeout_s ?token spec =
   (* A dead worker must surface as EPIPE/ECONNRESET on its socket, not
      kill the parent. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   match spec with
   | Exec n ->
+      (* Loopback children: a fresh random secret per fleet, handed
+         down through the environment. Anything else on this host that
+         races us to the ephemeral listener port is rejected at the
+         preamble, and an impostor listener cannot produce our ready
+         frame. *)
+      let token = match token with Some t -> t | None -> gen_token () in
       let n = max 1 n in
       let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
       Unix.set_close_on_exec listener;
@@ -298,9 +383,9 @@ let create ?(retries = 2) ?timeout_s spec =
         | Unix.ADDR_UNIX _ -> assert false
       in
       let spawn_one () =
-        let pid = spawn_exec_child ~port in
+        let pid = spawn_exec_child ~port ~token in
         match accept_worker listener ~timeout_s:10.0 with
-        | sock -> endpoint_of_socket ~pid sock
+        | sock -> endpoint_of_socket ~pid ~token sock
         | exception exn ->
             Transport.kill_noerr pid;
             Transport.reap_noerr pid;
@@ -332,10 +417,15 @@ let create ?(retries = 2) ?timeout_s spec =
       }
   | Addrs addr_list ->
       if addr_list = [] then raise (Spawn_failure "empty worker list");
+      (* Out-of-band daemons: both ends read the secret from the
+         environment by default (never argv). *)
+      let token = match token with Some t -> t | None -> env_token () in
       let addrs = Array.of_list addr_list in
       let n = Array.length addrs in
-      let spawn_at (host, port) =
-        endpoint_of_socket (connect ~timeout_s:5.0 host port)
+      let spawn_at ?(connect_timeout_s = 5.0) ?handshake_timeout_s (host, port)
+          =
+        endpoint_of_socket ?handshake_timeout_s ~token
+          (connect ~timeout_s:connect_timeout_s host port)
       in
       let endpoints = Array.make n None in
       endpoints.(0) <- Some (spawn_at addrs.(0));
@@ -345,10 +435,19 @@ let create ?(retries = 2) ?timeout_s spec =
         | exception Spawn_failure _ -> ()
       done;
       let respawn slot =
-        (* One reconnect attempt to the worker's own address: a
-           [serve_forever] daemon accepts the next connection after its
-           previous one died. *)
-        match spawn_at addrs.(slot) with
+        (* Reconnect to the worker's own address: a [serve_forever]
+           daemon accepts the next connection once its previous one
+           died. The daemon serves one connection at a time and cannot
+           abort a computation whose connection was severed (a
+           --task-timeout kill only closes our end), so a reconnect
+           right after a kill usually finds it still busy — fail fast
+           on short timeouts and let the scheduler's deferred-respawn
+           backoff retry while work remains, instead of blocking the
+           dispatch loop for the full connect+handshake budget and
+           abandoning the slot. *)
+        match
+          spawn_at ~connect_timeout_s:1.0 ~handshake_timeout_s:2.0 addrs.(slot)
+        with
         | ep -> Some ep
         | exception Spawn_failure _ -> None
       in

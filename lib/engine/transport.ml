@@ -40,6 +40,8 @@
 exception Spawn_failure of string
 exception Remote_failure of { message : string }
 exception Worker_lost of { attempts : int; reason : string }
+exception Frame_too_large of { bytes : int }
+exception Auth_failure
 
 let now = Unix.gettimeofday
 
@@ -77,6 +79,11 @@ let max_frame_bytes = 1 lsl 30
 
 let write_frame fd payload =
   let len = String.length payload in
+  (* A payload past the cap would wrap the 4-byte header and corrupt
+     the stream — the peer would resync into garbage and the failure
+     would surface much later as inexplicable Worker_lost retries.
+     Refuse before writing anything, so the channel stays usable. *)
+  if len > max_frame_bytes then raise (Frame_too_large { bytes = len });
   let hdr = Bytes.create 4 in
   Bytes.set_int32_be hdr 0 (Int32.of_int len);
   write_all fd hdr 0 4;
@@ -96,6 +103,41 @@ let read_frame fd =
    parent's rolling scan needs no failure table: on mismatch it
    restarts the match at 1 iff the offending byte is '\001'. *)
 let magic = "\001\253tiered-engine-worker\253\002"
+
+(* --- shared-secret auth ----------------------------------------------------- *)
+
+(* Task frames carry [Marshal.Closures] payloads, i.e. whoever can
+   speak the protocol gets arbitrary code execution in the worker. A
+   pipe worker inherits its fds and needs no secret (the channel is
+   private by construction), but a TCP worker must authenticate its
+   parent before unmarshalling a single byte: the parent's very first
+   frame is the shared token, raw bytes, never [Marshal]ed, compared in
+   constant time under its own small length cap so an unauthenticated
+   peer can neither probe the comparison nor force a big allocation.
+   The worker proves knowledge of the same token back by folding it
+   into the ready frame, which {!handshake} checks — so a parent also
+   cannot be fed results by an impostor that guessed the port. *)
+
+let max_auth_bytes = 4096
+
+let const_time_equal a b =
+  String.length a = String.length b
+  &&
+  let d = ref 0 in
+  String.iteri (fun i c -> d := !d lor (Char.code c lxor Char.code b.[i])) a;
+  !d = 0
+
+let write_auth fd ~token = write_frame fd token
+
+let read_auth fd ~expect =
+  let hdr = Bytes.create 4 in
+  read_all fd hdr 0 4;
+  let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+  if len < 0 || len > max_auth_bytes then raise Auth_failure;
+  let buf = Bytes.create len in
+  read_all fd buf 0 len;
+  if not (const_time_equal (Bytes.unsafe_to_string buf) expect) then
+    raise Auth_failure
 
 (* --- wire frames ----------------------------------------------------------- *)
 
@@ -152,7 +194,11 @@ let reap_with_grace pid =
 
 (* --- worker side ----------------------------------------------------------- *)
 
-let serve_worker ~in_fd ~out_fd () =
+let serve_worker ~in_fd ~out_fd ?(token = "") () =
+  (* Authenticate the parent before trusting anything on the stream:
+     every later frame is unmarshalled, and task frames carry
+     closures. *)
+  read_auth in_fd ~expect:token;
   let config : worker_config = Marshal.from_string (read_frame in_fd) 0 in
   (match config.disk_dir with
   | Some dir -> Cache.enable_disk ?max_bytes:config.disk_max ~dir ()
@@ -183,7 +229,7 @@ let serve_worker ~in_fd ~out_fd () =
     ~finally:(fun () -> Cache.set_remote_tier None)
     (fun () ->
       write_all out_fd (Bytes.unsafe_of_string magic) 0 (String.length magic);
-      write_frame out_fd "ready";
+      write_frame out_fd ("ready" ^ token);
       let rec loop () =
         match read_frame in_fd with
         | exception End_of_file -> ()
@@ -196,9 +242,27 @@ let serve_worker ~in_fd ~out_fd () =
                   | exception exn ->
                       Error (Printexc.to_string exn, Printexc.get_backtrace ())
                 in
-                write_frame out_fd
-                  (Marshal.to_string (Result (seq, outcome))
-                     [ Marshal.Closures ])
+                let payload =
+                  Marshal.to_string (Result (seq, outcome)) [ Marshal.Closures ]
+                in
+                let payload =
+                  (* An oversize result must fail the task, not tear the
+                     stream: report it as a deterministic task error. *)
+                  if String.length payload <= max_frame_bytes then payload
+                  else
+                    Marshal.to_string
+                      (Result
+                         ( seq,
+                           (Error
+                              ( Printf.sprintf
+                                  "task result frame of %d bytes exceeds the \
+                                   %d-byte frame cap"
+                                  (String.length payload) max_frame_bytes,
+                                "" )
+                             : wire_result) ))
+                      [ Marshal.Closures ]
+                in
+                write_frame out_fd payload
             | Cas_found _ | Cas_missing ->
                 (* A CAS reply with no fetch outstanding: stale frame
                    from a resynchronized stream; drop it. *)
@@ -209,7 +273,7 @@ let serve_worker ~in_fd ~out_fd () =
 
 (* --- parent-side handshake ------------------------------------------------- *)
 
-let handshake ~deadline_s fd =
+let handshake ~deadline_s ?(token = "") fd =
   (* The handshake doubles as the spawn-failure detector: a peer that
      could not exec (or crashed in init) reads as EOF. Before the
      handshake frame the peer's stdout may carry arbitrary init-time
@@ -238,7 +302,11 @@ let handshake ~deadline_s fd =
   scan 0;
   wait_readable ();
   let r = read_frame fd in
-  if not (String.equal r "ready") then failwith "bad worker handshake"
+  (* The worker folds the shared token into its ready frame, proving it
+     read (and accepted) the parent's auth preamble — mutual auth for
+     free, and what rejects an impostor squatting on a worker's port. *)
+  if not (const_time_equal r ("ready" ^ token)) then
+    failwith "bad worker handshake"
 
 (* --- parent-side artifact store -------------------------------------------- *)
 
@@ -301,6 +369,14 @@ type sched = {
   s_slots : live option array;
   s_busy : float array;
   s_respawn : int -> endpoint option;
+  s_respawn_at : float array;
+      (* Earliest next respawn attempt per empty slot; [infinity] means
+         none is scheduled. A failed respawn (e.g. a standalone daemon
+         still chewing on its severed task) must not be retried in a
+         tight loop from the scheduler — attempts are deferred with
+         exponential backoff and retried from [map] while work is
+         pending, so the slot is recovered instead of silently lost. *)
+  s_respawn_backoff : float array;
   s_store : Store.t;
   mutable s_restarts : int;
   mutable s_shut : bool;
@@ -317,6 +393,8 @@ let make_sched ?(retries = 2) ?timeout_s ?(steal_after = 1.0) ~respawn
     s_slots = Array.map (Option.map (fun ep -> { ep; job = None })) endpoints;
     s_busy = Array.make n 0.;
     s_respawn = respawn;
+    s_respawn_at = Array.make n Float.infinity;
+    s_respawn_backoff = Array.make n 1.0;
     s_store = Store.create ();
     s_restarts = 0;
     s_shut = false;
@@ -384,6 +462,17 @@ let map (type a b) t (f : a -> b) (tasks : a array) :
       w.ep.ep_close ();
       t.s_slots.(si) <- None
     in
+    let try_respawn si =
+      match t.s_respawn si with
+      | Some ep ->
+          t.s_slots.(si) <- Some { ep; job = None };
+          t.s_respawn_at.(si) <- Float.infinity;
+          t.s_respawn_backoff.(si) <- 1.0
+      | None ->
+          t.s_respawn_at.(si) <- now () +. t.s_respawn_backoff.(si);
+          t.s_respawn_backoff.(si) <-
+            Float.min 10. (2. *. t.s_respawn_backoff.(si))
+    in
     (* A worker died (EOF / EPIPE / timeout / garbage frames): drop it,
        requeue its in-flight task unless another copy is still running
        (bounded by max_retries), back off briefly and respawn a
@@ -408,9 +497,19 @@ let map (type a b) t (f : a -> b) (tasks : a array) :
       | Some _ | None -> ());
       Unix.sleepf
         (Float.min 0.5 (0.02 *. (2. ** float_of_int (Stdlib.min !crashes 5))));
-      match t.s_respawn si with
-      | Some ep -> t.s_slots.(si) <- Some { ep; job = None }
-      | None -> ()
+      try_respawn si
+    in
+    (* Retry deferred respawns for empty slots while work remains —
+       a standalone daemon that finished (or was restarted) after a
+       severed connection picks its slot back up mid-map. *)
+    let retry_respawns () =
+      if not (Queue.is_empty pending) then
+        Array.iteri
+          (fun si slot ->
+            match slot with
+            | Some _ -> ()
+            | None -> if now () >= t.s_respawn_at.(si) then try_respawn si)
+          t.s_slots
     in
     let cas_reply w hit =
       let frame =
@@ -445,7 +544,11 @@ let map (type a b) t (f : a -> b) (tasks : a array) :
           | Cas_get (cache, key_digest) -> (
               match cas_reply w (Store.get t.s_store ~cache ~key_digest) with
               | () -> ()
-              | exception (Unix.Unix_error _ | Sys_error _) ->
+              | exception (Unix.Unix_error _ | Sys_error _ | Frame_too_large _)
+                ->
+                  (* The worker is blocked waiting on this reply; if it
+                     cannot be delivered, the only safe move is to drop
+                     the worker and retry its task elsewhere. *)
                   handle_crash si w "CAS reply failed")
           | Cas_put (cache, key_digest, payload) ->
               Store.put t.s_store ~cache ~key_digest ~payload)
@@ -472,6 +575,11 @@ let map (type a b) t (f : a -> b) (tasks : a array) :
               | Some i -> (
                   match send_task w i with
                   | () -> ()
+                  | exception Frame_too_large { bytes } ->
+                      (* The marshalled task itself exceeds the frame
+                         cap: deterministic, so fail the task rather
+                         than blaming (and restarting) the worker. *)
+                      record i (Error (Frame_too_large { bytes }, ""))
                   | exception (Unix.Unix_error _ | Sys_error _) ->
                       (* The worker died while idle; the task never
                          reached it, so requeue without charging an
@@ -516,6 +624,10 @@ let map (type a b) t (f : a -> b) (tasks : a array) :
                 | Some (i, _) -> (
                     match send_task w i with
                     | () -> ()
+                    | exception Frame_too_large _ ->
+                        (* Cannot have happened on the victim's copy
+                           without failing there first; skip the steal. *)
+                        ()
                     | exception (Unix.Unix_error _ | Sys_error _) ->
                         (* The task is still running elsewhere; only the
                            thief is lost. *)
@@ -525,6 +637,7 @@ let map (type a b) t (f : a -> b) (tasks : a array) :
       end
     in
     while !completed < n do
+      retry_respawns ();
       dispatch ();
       steal ();
       let in_flight =
@@ -579,6 +692,22 @@ let map (type a b) t (f : a -> b) (tasks : a array) :
                   | _ -> acc)
                 acc in_flight
             else acc
+          in
+          (* And for deferred respawn retries, so a recovered daemon
+             rejoins promptly while tasks are still pending. *)
+          let acc =
+            let a = ref acc in
+            if not (Queue.is_empty pending) then
+              Array.iteri
+                (fun si slot ->
+                  match slot with
+                  | None when Float.is_finite t.s_respawn_at.(si) ->
+                      a :=
+                        Float.min !a
+                          (Float.max 0.001 (t.s_respawn_at.(si) -. tnow))
+                  | _ -> ())
+                t.s_slots;
+            !a
           in
           if Float.is_finite acc then acc else -1.
         in

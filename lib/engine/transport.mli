@@ -33,13 +33,27 @@ exception Worker_lost of { attempts : int; reason : string }
     running the task and the bounded retries were exhausted;
     [attempts] counts executions that ended in a crash. *)
 
+exception Frame_too_large of { bytes : int }
+(** A frame payload exceeded {!max_frame_bytes}. Raised by
+    {!write_frame} before anything is written (a wrapped 4-byte header
+    would corrupt the stream); a task whose marshalled form is oversize
+    fails with this in its result slot, without blaming the worker. *)
+
+exception Auth_failure
+(** The peer's shared-secret preamble was missing, oversize, or did not
+    match the expected token. Raised by {!serve_worker} before any
+    frame is unmarshalled — task frames carry closures, so an
+    unauthenticated peer must never get that far. *)
+
 (** {1 Framed IO} *)
 
 val restart_on_intr : (unit -> 'a) -> 'a
 (** Retry a syscall wrapper on [EINTR]. *)
 
 val write_frame : Unix.file_descr -> string -> unit
-(** One length-prefixed frame: 4-byte big-endian length, then payload. *)
+(** One length-prefixed frame: 4-byte big-endian length, then payload.
+    Raises {!Frame_too_large} (before writing anything) when the
+    payload exceeds {!max_frame_bytes}. *)
 
 val read_frame : Unix.file_descr -> string
 (** Read one frame. Raises [End_of_file] on a closed stream, a
@@ -52,6 +66,21 @@ val max_frame_bytes : int
 val magic : string
 (** Stream-resync marker a worker emits before its first frame, so
     init-time stdout noise ahead of it is discarded by the parent. *)
+
+(** {1 Shared-secret auth}
+
+    Task frames are [Marshal.Closures] payloads — speaking the protocol
+    is arbitrary code execution in the peer. Pipe workers inherit
+    private fds and use the empty token; TCP workers must be driven
+    with a non-empty shared secret whenever they listen beyond
+    loopback. The parent's first bytes on a fresh connection are the
+    token (raw, never marshalled, compared in constant time under a
+    small length cap); the worker folds the same token into its ready
+    frame, so {!handshake} authenticates the worker back. *)
+
+val write_auth : Unix.file_descr -> token:string -> unit
+(** Send the auth preamble. Always the first write on a connection,
+    before {!write_config}. *)
 
 (** {1 Worker side} *)
 
@@ -77,8 +106,11 @@ type up =
   | Cas_put of string * string * string
       (** [(cache, key_digest, payload)]: fire-and-forget publish *)
 
-val serve_worker : in_fd:Unix.file_descr -> out_fd:Unix.file_descr -> unit -> unit
+val serve_worker :
+  in_fd:Unix.file_descr -> out_fd:Unix.file_descr -> ?token:string -> unit -> unit
 (** Run the worker side of the protocol on an established channel:
+    verify the parent's auth preamble against [token] (default [""];
+    raises {!Auth_failure} on mismatch, before unmarshalling anything),
     read the config frame, configure the disk cache, install the
     {!Cache.remote_tier} hook that forwards cache misses to the parent
     as [Cas_get]/[Cas_put] frames, emit [magic] + the ready frame,
@@ -89,10 +121,11 @@ val serve_worker : in_fd:Unix.file_descr -> out_fd:Unix.file_descr -> unit -> un
 
 (** {1 Parent side} *)
 
-val handshake : deadline_s:float -> Unix.file_descr -> unit
+val handshake : deadline_s:float -> ?token:string -> Unix.file_descr -> unit
 (** Scan for [magic] (discarding init noise byte-by-byte) and read the
-    ready frame, all under a deadline. Raises [Failure] or
-    [End_of_file] when the peer is not a live worker. *)
+    ready frame — which must carry [token] (default [""]) back — all
+    under a deadline. Raises [Failure] or [End_of_file] when the peer
+    is not a live worker holding the same secret. *)
 
 type endpoint = {
   ep_send : Unix.file_descr;  (** parent writes down-frames *)
@@ -130,7 +163,12 @@ val make_sched :
     a task absorbs before [Worker_lost]; [timeout_s] kills a worker
     stuck on one task; [steal_after] (default [1.0]s, clamped to
     [>= 0.01]) is the in-flight age below which tasks are never
-    duplicated. *)
+    duplicated. A [respawn] that returns [None] after a crash is
+    retried from [map] with exponential backoff (1s doubling to 10s)
+    while tasks are pending, so a slot whose worker comes back later
+    (a restarted daemon, a busy daemon finishing its severed task) is
+    recovered instead of silently lost; [respawn] should therefore
+    fail fast rather than block. *)
 
 val map : sched -> ('a -> 'b) -> 'a array -> ('b, exn * string) result array
 (** Run [f] over every element on the workers; results in input order.

@@ -113,6 +113,27 @@ let test_torn_done_record_tolerated () =
     "torn cell reads as open" None
     (Engine.Manifest.artifact m2 1)
 
+(* (d') A tear can also cut inside the keyword itself: a final line
+   that is any proper prefix of "done " — including a bare "done" with
+   no trailing space — is a torn append, not structural corruption. *)
+let test_torn_done_keyword_tolerated () =
+  List.iter
+    (fun torn ->
+      with_manifest_path @@ fun path ->
+      let m = Engine.Manifest.load_or_create ~path (grid 2) in
+      Engine.Manifest.record_done m ~index:0 ~artifact:(digest "a0");
+      Engine.Manifest.close m;
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc torn;
+      close_out oc;
+      let m2 = Engine.Manifest.load_or_create ~path (grid 2) in
+      Fun.protect ~finally:(fun () -> Engine.Manifest.close m2) @@ fun () ->
+      Alcotest.(check int)
+        (Printf.sprintf "trailing %S tolerated, intact record kept" torn)
+        1
+        (Engine.Manifest.completed m2))
+    [ "done"; "don"; "d"; "done " ]
+
 (* (e) Structural validation: out-of-order indices, names with spaces
    and non-hex digests are rejected at creation. *)
 let test_cell_validation () =
@@ -155,6 +176,8 @@ let suite =
       test_grid_mismatch_fails;
     Alcotest.test_case "torn trailing done record is tolerated" `Quick
       test_torn_done_record_tolerated;
+    Alcotest.test_case "torn trailing done keyword is tolerated" `Quick
+      test_torn_done_keyword_tolerated;
     Alcotest.test_case "cell validation" `Quick test_cell_validation;
     Alcotest.test_case "manifest files are deterministic" `Quick
       test_deterministic_render;

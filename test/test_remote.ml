@@ -239,6 +239,87 @@ let test_remote_daemon_reconnect () =
       Alcotest.failf "second connection failed: %s" (Printexc.to_string exn));
   Engine.Remote.shutdown fleet2
 
+(* (i) Shared-secret enforcement on the daemon path: a daemon holding
+   a token serves a parent presenting the same token and rejects one
+   presenting another — the rejection happens at the preamble, before
+   any closure-carrying frame could be unmarshalled. *)
+let test_remote_daemon_token_auth () =
+  let exe = Sys.executable_name in
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let port =
+    let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt s Unix.SO_REUSEADDR true;
+    Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+    let p =
+      match Unix.getsockname s with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> assert false
+    in
+    Unix.close s;
+    p
+  in
+  let env =
+    let prefix = Engine.Remote.token_env ^ "=" in
+    let plen = String.length prefix in
+    let keep =
+      Array.to_list (Unix.environment ())
+      |> List.filter (fun kv ->
+             not
+               (String.length kv >= plen
+               && String.equal (String.sub kv 0 plen) prefix))
+    in
+    Array.of_list (keep @ [ prefix ^ "s3cret" ])
+  in
+  let pid =
+    Unix.create_process_env exe
+      [| exe; "--engine-remote-worker=listen:" ^ string_of_int port |]
+      env null Unix.stderr Unix.stderr
+  in
+  Unix.close null;
+  let finally () =
+    (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+    ignore (try Unix.waitpid [] pid with Unix.Unix_error _ -> (0, Unix.WEXITED 0))
+  in
+  Fun.protect ~finally @@ fun () ->
+  let addrs = Engine.Remote.Addrs [ ("127.0.0.1", port) ] in
+  (* Correct token (with patience for the daemon to bind). *)
+  let fleet =
+    let rec go tries =
+      match Engine.Remote.create ~token:"s3cret" addrs with
+      | fleet -> fleet
+      | exception Engine.Remote.Spawn_failure _ when tries > 0 ->
+          Unix.sleepf 0.1;
+          go (tries - 1)
+    in
+    go 50
+  in
+  let out = Engine.Remote.map fleet (fun i -> i * 7) [| 6 |] in
+  (match out.(0) with
+  | Ok v -> Alcotest.(check int) "authenticated parent maps" 42 v
+  | Error (exn, _) ->
+      Alcotest.failf "authenticated map failed: %s" (Printexc.to_string exn));
+  Engine.Remote.shutdown fleet;
+  (* Wrong token: the daemon is demonstrably up (we just used it), so
+     Spawn_failure here can only be the auth rejection. *)
+  (match Engine.Remote.create ~token:"wrong" addrs with
+  | fleet ->
+      Engine.Remote.shutdown fleet;
+      Alcotest.fail "daemon accepted a parent with the wrong token"
+  | exception Engine.Remote.Spawn_failure _ -> ());
+  (* And no token at all is equally rejected. *)
+  match Engine.Remote.create ~token:"" addrs with
+  | fleet ->
+      Engine.Remote.shutdown fleet;
+      Alcotest.fail "daemon accepted a parent with no token"
+  | exception Engine.Remote.Spawn_failure _ -> ()
+
+(* (j) Binding beyond loopback without a shared secret is refused
+   outright — an open port accepts closures, i.e. arbitrary code. *)
+let test_serve_forever_refuses_open_bind_without_token () =
+  match Engine.Remote.serve_forever ~bind:"0.0.0.0" ~token:"" ~port:1 with
+  | _ -> Alcotest.fail "serve_forever bound 0.0.0.0 without a token"
+  | exception Failure _ -> ()
+
 let suite =
   [
     Alcotest.test_case "remote backend renders byte-identically" `Slow
@@ -256,4 +337,8 @@ let suite =
     Alcotest.test_case "--workers spec parsing" `Quick test_parse_spec;
     Alcotest.test_case "standalone daemon serves successive parents" `Quick
       test_remote_daemon_reconnect;
+    Alcotest.test_case "standalone daemon enforces the shared secret" `Quick
+      test_remote_daemon_token_auth;
+    Alcotest.test_case "non-loopback bind requires a shared secret" `Quick
+      test_serve_forever_refuses_open_bind_without_token;
   ]
